@@ -1,0 +1,76 @@
+//===-- bench/ExperimentReport.h - Shared bench reporting ---------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared console reporting for the Section 5 experiment benches: a
+/// paired-methods table with the paper's reference values alongside the
+/// measured ones, plus the standard run header.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_BENCH_EXPERIMENTREPORT_H
+#define ECOSCHED_BENCH_EXPERIMENTREPORT_H
+
+#include "core/Experiment.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+namespace ecosched {
+
+/// Prints the run header common to the experiment benches.
+inline void printRunHeader(const ExperimentResult &R) {
+  std::printf("iterations: %zu total, %zu counted (both methods covered "
+              "every job and the limits admitted a combination)\n",
+              R.TotalIterations, R.CountedIterations);
+  std::printf("avg slots per iteration %.2f, avg jobs per counted "
+              "iteration %.2f\n\n",
+              R.SlotsAll.mean(), R.JobsCounted.mean());
+}
+
+/// One row of a measured-vs-paper comparison.
+struct PaperComparisonRow {
+  const char *Metric;
+  double MeasuredAlp;
+  double MeasuredAmp;
+  double PaperAlp;
+  double PaperAmp;
+};
+
+/// Prints measured ALP/AMP values next to the paper's, with the
+/// AMP/ALP ratio for shape comparison.
+inline void printPaperComparison(const PaperComparisonRow *Rows,
+                                 size_t Count) {
+  TablePrinter Table;
+  Table.addColumn("metric", TablePrinter::AlignKind::Left);
+  Table.addColumn("ALP");
+  Table.addColumn("AMP");
+  Table.addColumn("AMP/ALP");
+  Table.addColumn("paper ALP");
+  Table.addColumn("paper AMP");
+  Table.addColumn("paper ratio");
+  for (size_t I = 0; I < Count; ++I) {
+    const PaperComparisonRow &Row = Rows[I];
+    Table.beginRow();
+    Table.addCell(std::string(Row.Metric));
+    Table.addCell(Row.MeasuredAlp, 2);
+    Table.addCell(Row.MeasuredAmp, 2);
+    Table.addCell(Row.MeasuredAlp > 0.0
+                      ? Row.MeasuredAmp / Row.MeasuredAlp
+                      : 0.0,
+                  3);
+    Table.addCell(Row.PaperAlp, 2);
+    Table.addCell(Row.PaperAmp, 2);
+    Table.addCell(Row.PaperAlp > 0.0 ? Row.PaperAmp / Row.PaperAlp : 0.0,
+                  3);
+  }
+  Table.print(stdout);
+}
+
+} // namespace ecosched
+
+#endif // ECOSCHED_BENCH_EXPERIMENTREPORT_H

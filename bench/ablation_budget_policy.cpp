@@ -1,0 +1,85 @@
+//===-- bench/ablation_budget_policy.cpp - S from span vs volume ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E10 (DESIGN.md): the paper defines the AMP budget as
+/// S = C*t*N but leaves "t" ambiguous for heterogeneous requests (see
+/// DESIGN.md, "Model conventions"). We default to the reserved span
+/// t = V/Pmin; this ablation compares against the volume-based reading
+/// t = V, which inflates budgets of high-Pmin requests and shifts the
+/// cost/time balance. Also sweeps the quota policy (paper-literal
+/// floored formula (2) vs exact mean), showing its effect on the
+/// counted-iteration rate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiment.h"
+#include "support/CommandLine.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ecosched;
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("ablation_budget_policy",
+                 "AMP budget derivation and quota policy ablation");
+  const int64_t &Iterations =
+      Args.addInt("iterations", 600, "iterations per configuration");
+  const int64_t &Seed = Args.addInt("seed", 2011, "RNG seed");
+  if (!Args.parse(Argc, Argv))
+    return 1;
+
+  std::printf("Ablation: AMP budget policy x quota policy "
+              "(time minimization)\n");
+  std::printf("============================================="
+              "=============\n\n");
+
+  TablePrinter Table;
+  Table.addColumn("budget policy", TablePrinter::AlignKind::Left);
+  Table.addColumn("quota policy", TablePrinter::AlignKind::Left);
+  Table.addColumn("counted");
+  Table.addColumn("AMP alts/job");
+  Table.addColumn("AMP time");
+  Table.addColumn("AMP cost");
+  Table.addColumn("ALP time");
+
+  for (const BudgetPolicyKind Budget :
+       {BudgetPolicyKind::SpanBased, BudgetPolicyKind::VolumeBased}) {
+    for (const QuotaPolicyKind Quota :
+         {QuotaPolicyKind::FlooredTerms, QuotaPolicyKind::ExactMean}) {
+      ExperimentConfig Cfg;
+      Cfg.Iterations = Iterations;
+      Cfg.Seed = static_cast<uint64_t>(Seed);
+      Cfg.Task = OptimizationTaskKind::MinimizeTime;
+      Cfg.Jobs.BudgetPolicy = Budget;
+      Cfg.Quota = Quota;
+      const ExperimentResult R = PairedExperiment(Cfg).run();
+
+      Table.beginRow();
+      Table.addCell(std::string(Budget == BudgetPolicyKind::SpanBased
+                                    ? "span (C*N*V/Pmin)"
+                                    : "volume (C*N*V)"));
+      Table.addCell(std::string(Quota == QuotaPolicyKind::FlooredTerms
+                                    ? "floored (paper)"
+                                    : "exact mean"));
+      Table.addCell(static_cast<long long>(R.CountedIterations));
+      Table.addCell(R.Amp.AlternativesPerJob.mean(), 2);
+      Table.addCell(R.Amp.JobTime.mean(), 2);
+      Table.addCell(R.Amp.JobCost.mean(), 2);
+      Table.addCell(R.Alp.JobTime.mean(), 2);
+    }
+  }
+  Table.print(stdout);
+
+  std::printf("\nreading: the volume-based budget is looser for "
+              "high-Pmin requests, buying more alternatives and lower "
+              "times at higher cost; the exact-mean quota lifts the "
+              "floored formula (2) truncation and counts more "
+              "iterations.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===-- bench/ablation_deadline.cpp - Deadline-constrained requests -------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extension experiment: deadline-and-budget constrained requests are
+/// the canonical strategy pair of the economic scheduling literature
+/// the paper builds on (ref [6], Buyya et al.). Every generated job
+/// gets a completion deadline; the sweep tightens it and measures how
+/// batch coverage and the ALP/AMP comparison respond. Deadlines also
+/// let the linear scans terminate early (sorted lists), which the
+/// examined-slots column shows.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlpSearch.h"
+#include "core/AlternativeSearch.h"
+#include "core/AmpSearch.h"
+#include "sim/JobGenerator.h"
+#include "sim/SlotGenerator.h"
+#include "support/CommandLine.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ecosched;
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("ablation_deadline",
+                 "tightening completion deadlines on the Section 5 "
+                 "workload");
+  const int64_t &Iterations =
+      Args.addInt("iterations", 400, "simulated scheduling iterations");
+  const int64_t &Seed = Args.addInt("seed", 2011, "RNG seed");
+  if (!Args.parse(Argc, Argv))
+    return 1;
+
+  std::printf("Extension: deadline-constrained resource requests\n");
+  std::printf("=================================================\n\n");
+
+  TablePrinter Table;
+  Table.addColumn("deadline", TablePrinter::AlignKind::Left);
+  Table.addColumn("ALP covered %");
+  Table.addColumn("AMP covered %");
+  Table.addColumn("ALP alts/job");
+  Table.addColumn("AMP alts/job");
+  Table.addColumn("AMP slots examined");
+
+  AlpSearch Alp;
+  AmpSearch Amp;
+  SlotGenerator Slots;
+  JobGenerator Jobs;
+
+  const double Deadlines[] = {150.0, 250.0, 400.0, 800.0, -1.0};
+  for (const double Deadline : Deadlines) {
+    RandomGenerator Master(static_cast<uint64_t>(Seed));
+    size_t AlpCovered = 0, AmpCovered = 0, JobCount = 0;
+    RunningStats AlpAlts, AmpAlts, Examined;
+
+    for (int64_t Iter = 0; Iter < Iterations; ++Iter) {
+      RandomGenerator Rng = Master.fork();
+      const SlotList SlotsNow = Slots.generate(Rng);
+      Batch BatchNow = Jobs.generate(Rng);
+      for (Job &J : BatchNow)
+        if (Deadline > 0.0)
+          J.Request.Deadline = Deadline;
+
+      SearchStats AmpStats;
+      const AlternativeSet A =
+          AlternativeSearch(Alp).run(SlotsNow, BatchNow);
+      const AlternativeSet M =
+          AlternativeSearch(Amp).run(SlotsNow, BatchNow, &AmpStats);
+      JobCount += BatchNow.size();
+      for (size_t J = 0; J < BatchNow.size(); ++J) {
+        AlpCovered += !A.PerJob[J].empty();
+        AmpCovered += !M.PerJob[J].empty();
+      }
+      AlpAlts.add(A.averagePerJob());
+      AmpAlts.add(M.averagePerJob());
+      Examined.add(static_cast<double>(AmpStats.SlotsExamined));
+    }
+
+    char Label[32];
+    if (Deadline > 0.0)
+      std::snprintf(Label, sizeof(Label), "%.0f", Deadline);
+    else
+      std::snprintf(Label, sizeof(Label), "none");
+    Table.beginRow();
+    Table.addCell(std::string(Label));
+    Table.addCell(100.0 * static_cast<double>(AlpCovered) /
+                      static_cast<double>(JobCount),
+                  1);
+    Table.addCell(100.0 * static_cast<double>(AmpCovered) /
+                      static_cast<double>(JobCount),
+                  1);
+    Table.addCell(AlpAlts.mean(), 2);
+    Table.addCell(AmpAlts.mean(), 2);
+    Table.addCell(Examined.mean(), 0);
+  }
+  Table.print(stdout);
+
+  std::printf("\nreading: tightening deadlines first eats the late "
+              "alternatives (counts drop), then coverage itself; AMP's "
+              "coverage degrades more slowly than ALP's because its "
+              "budget admits fast nodes that finish in time. The "
+              "examined-slots column shows the sorted-list early exit "
+              "deadlines enable.\n");
+  return 0;
+}

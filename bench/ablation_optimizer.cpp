@@ -1,0 +1,170 @@
+//===-- bench/ablation_optimizer.cpp - DP vs greedy vs exact --------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E10 (DESIGN.md): quality of the combination-selection
+/// stage. On identical per-iteration alternative sets (AMP search over
+/// the Section 5 workload), compares the paper's discretized backward-
+/// run DP against exact branch-and-bound and a greedy swap heuristic:
+/// objective gap to the exact optimum and solve time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlternativeSearch.h"
+#include "core/AmpSearch.h"
+#include "core/BruteForceOptimizer.h"
+#include "core/DpOptimizer.h"
+#include "core/GreedyOptimizer.h"
+#include "core/Limits.h"
+#include "sim/JobGenerator.h"
+#include "sim/SlotGenerator.h"
+#include "support/CommandLine.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace ecosched;
+
+namespace {
+
+struct OptimizerScore {
+  RunningStats GapPercent; // Objective gap to the exact optimum.
+  RunningStats SolveUs;
+  size_t Solved = 0;
+  size_t Missed = 0; // Exact found a combination, this optimizer not.
+};
+
+/// Budget tightenings: 1.0 is the paper's B*; smaller fractions turn
+/// the selection into a real knapsack and separate the optimizers.
+constexpr double BudgetFractions[] = {1.0, 0.9, 0.8};
+constexpr size_t FractionCount = 3;
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("ablation_optimizer",
+                 "combination stage: DP vs greedy vs exact");
+  const int64_t &Iterations =
+      Args.addInt("iterations", 300, "simulated scheduling iterations");
+  const int64_t &Seed = Args.addInt("seed", 2011, "RNG seed");
+  if (!Args.parse(Argc, Argv))
+    return 1;
+
+  std::printf("Ablation: combination optimizers on identical alternative "
+              "sets (time minimization)\n");
+  std::printf("========================================================="
+              "===============\n\n");
+
+  RandomGenerator Master(static_cast<uint64_t>(Seed));
+  SlotGenerator Slots;
+  JobGenerator Jobs;
+  AmpSearch Amp;
+  BruteForceOptimizer Exact;
+  const DpOptimizer DpFine(8192);
+  const DpOptimizer DpCoarse(256);
+  const GreedyOptimizer Greedy;
+
+  const CombinationOptimizer *Contenders[] = {&DpFine, &DpCoarse,
+                                              &Greedy};
+  const char *Names[] = {"dp (8192 bins)", "dp (256 bins)", "greedy"};
+  OptimizerScore Scores[FractionCount][3];
+  RunningStats ExactUs;
+  size_t Problems[FractionCount] = {};
+
+  for (int64_t Iter = 0; Iter < Iterations; ++Iter) {
+    RandomGenerator Rng = Master.fork();
+    const SlotList SlotsNow = Slots.generate(Rng);
+    const Batch BatchNow = Jobs.generate(Rng);
+
+    // Cap the alternatives per job to keep the exact oracle tractable
+    // on every instance.
+    AlternativeSearch::Config SearchCfg;
+    SearchCfg.MaxAlternativesPerJob = 16;
+    const AlternativeSet Alts =
+        AlternativeSearch(Amp, SearchCfg).run(SlotsNow, BatchNow);
+    if (!Alts.allCovered())
+      continue;
+    const auto Values = toAlternativeValues(Alts);
+    const double Quota = computeTimeQuota(Values);
+    const double Budget = computeVoBudget(Values, Quota, Exact);
+    if (Budget < 0.0)
+      continue;
+
+    for (size_t F = 0; F < FractionCount; ++F) {
+      CombinationProblem P;
+      P.PerJob = Values;
+      P.Objective = MeasureKind::Time;
+      P.Direction = DirectionKind::Minimize;
+      P.Constraint = MeasureKind::Cost;
+      P.Limit = Budget * BudgetFractions[F];
+
+      const auto T0 = std::chrono::steady_clock::now();
+      const CombinationChoice Want = Exact.solve(P);
+      const auto T1 = std::chrono::steady_clock::now();
+      if (!Want.Feasible)
+        continue;
+      ++Problems[F];
+      if (F == 0)
+        ExactUs.add(
+            std::chrono::duration<double, std::micro>(T1 - T0).count());
+
+      for (int C = 0; C < 3; ++C) {
+        const auto S0 = std::chrono::steady_clock::now();
+        const CombinationChoice Got = Contenders[C]->solve(P);
+        const auto S1 = std::chrono::steady_clock::now();
+        Scores[F][C].SolveUs.add(
+            std::chrono::duration<double, std::micro>(S1 - S0).count());
+        if (!Got.Feasible) {
+          ++Scores[F][C].Missed;
+          continue;
+        }
+        ++Scores[F][C].Solved;
+        Scores[F][C].GapPercent.add(
+            100.0 * (Got.ObjectiveTotal - Want.ObjectiveTotal) /
+            Want.ObjectiveTotal);
+      }
+    }
+  }
+
+  std::printf("%zu / %zu / %zu combination problems feasible at budget "
+              "fractions 1.0 / 0.9 / 0.8 (exact solve avg %.1f us)\n\n",
+              Problems[0], Problems[1], Problems[2], ExactUs.mean());
+  TablePrinter Table;
+  Table.addColumn("budget", TablePrinter::AlignKind::Left);
+  Table.addColumn("optimizer", TablePrinter::AlignKind::Left);
+  Table.addColumn("solved");
+  Table.addColumn("missed");
+  Table.addColumn("avg gap %");
+  Table.addColumn("max gap %");
+  Table.addColumn("avg us");
+
+  for (size_t F = 0; F < FractionCount; ++F) {
+    char BudgetText[32];
+    std::snprintf(BudgetText, sizeof(BudgetText), "%.1f x B*",
+                  BudgetFractions[F]);
+    for (int C = 0; C < 3; ++C) {
+      Table.beginRow();
+      Table.addCell(std::string(BudgetText));
+      Table.addCell(std::string(Names[C]));
+      Table.addCell(static_cast<long long>(Scores[F][C].Solved));
+      Table.addCell(static_cast<long long>(Scores[F][C].Missed));
+      Table.addCell(Scores[F][C].GapPercent.mean(), 3);
+      Table.addCell(Scores[F][C].GapPercent.max(), 3);
+      Table.addCell(Scores[F][C].SolveUs.mean(), 1);
+    }
+  }
+  Table.print(stdout);
+
+  std::printf("\nreading: at the paper's own budget B* the selection is "
+              "easy and every optimizer is exact; tightening the budget "
+              "turns it into a real knapsack where the DP stays "
+              "near-exact (grid-dependent) while greedy leaves batch "
+              "time on the table.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+//===-- bench/ablation_ordering.cpp - Batch priority policies -------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extension experiment: the paper takes batch priorities as given, but
+/// the alternative search serves jobs in priority order and early jobs
+/// see more vacancy. This ablation sweeps the classic ordering policies
+/// over Section 5 workloads and reports batch coverage (fraction of
+/// iterations where every job got an alternative) and the usual quality
+/// measures under time minimization. ALP is the interesting case: its
+/// per-slot price cap makes vacancy scarce, so the serving order
+/// decides which jobs find windows (AMP covers every batch regardless).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlpSearch.h"
+#include "core/BatchOrdering.h"
+#include "core/DpOptimizer.h"
+#include "core/Metascheduler.h"
+#include "sim/JobGenerator.h"
+#include "sim/SlotGenerator.h"
+#include "support/CommandLine.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ecosched;
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("ablation_ordering",
+                 "batch priority policies for the alternative search");
+  const int64_t &Iterations =
+      Args.addInt("iterations", 400, "simulated scheduling iterations");
+  const int64_t &Seed = Args.addInt("seed", 2011, "RNG seed");
+  if (!Args.parse(Argc, Argv))
+    return 1;
+
+  std::printf("Extension: batch ordering policies (ALP, time "
+              "minimization)\n");
+  std::printf("========================================================\n"
+              "\n");
+
+  const OrderingPolicyKind Policies[] = {
+      OrderingPolicyKind::SubmissionOrder, OrderingPolicyKind::WidestFirst,
+      OrderingPolicyKind::NarrowestFirst,
+      OrderingPolicyKind::LargestWorkFirst,
+      OrderingPolicyKind::SmallestWorkFirst};
+
+  TablePrinter Table;
+  Table.addColumn("policy", TablePrinter::AlignKind::Left);
+  Table.addColumn("full coverage %");
+  Table.addColumn("scheduled jobs");
+  Table.addColumn("avg job time");
+  Table.addColumn("avg job cost");
+  Table.addColumn("alts/job");
+
+  AlpSearch Alp;
+  DpOptimizer Dp;
+  SlotGenerator Slots;
+  JobGenerator Jobs;
+
+  for (const OrderingPolicyKind Policy : Policies) {
+    RandomGenerator Master(static_cast<uint64_t>(Seed));
+    Metascheduler Scheduler(Alp, Dp);
+    size_t FullyCovered = 0, ScheduledJobs = 0;
+    RunningStats JobTime, JobCost, AltsPerJob;
+
+    for (int64_t Iter = 0; Iter < Iterations; ++Iter) {
+      RandomGenerator Rng = Master.fork();
+      const SlotList SlotsNow = Slots.generate(Rng);
+      const Batch BatchNow = orderBatch(Jobs.generate(Rng), Policy);
+
+      const IterationOutcome Out =
+          Scheduler.runIteration(SlotsNow, BatchNow);
+      if (Out.Alternatives.allCovered())
+        ++FullyCovered;
+      ScheduledJobs += Out.Scheduled.size();
+      for (const ScheduledJob &S : Out.Scheduled) {
+        JobTime.add(S.W.timeSpan());
+        JobCost.add(S.W.totalCost());
+        AltsPerJob.add(static_cast<double>(
+            Out.Alternatives.PerJob[S.BatchIndex].size()));
+      }
+    }
+
+    Table.beginRow();
+    Table.addCell(std::string(orderingPolicyName(Policy)));
+    Table.addCell(100.0 * static_cast<double>(FullyCovered) /
+                      static_cast<double>(Iterations),
+                  1);
+    Table.addCell(static_cast<long long>(ScheduledJobs));
+    Table.addCell(JobTime.mean(), 2);
+    Table.addCell(JobCost.mean(), 2);
+    Table.addCell(AltsPerJob.mean(), 2);
+  }
+  Table.print(stdout);
+
+  std::printf("\nreading: under ALP's scarce admissible vacancy the "
+              "serving order decides which jobs get windows; the "
+              "coverage and throughput spread across policies "
+              "quantifies the packing trade-offs the paper's fixed "
+              "priority assumption hides. (Under AMP the budgets are "
+              "loose enough that every ordering covers every batch.)\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===-- bench/ablation_strategy.cpp - Safety strategy dependability -------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extension experiment (Section 7 / refs [13,14]): multi-version
+/// safety strategies. On Section 5 workloads, every scheduled job
+/// reserves up to K disjoint execution versions; launches fail with a
+/// per-node probability p. Reported per (K, p): completion rate,
+/// versions consumed, and the reserved-capacity overhead — the
+/// dependability-vs-capacity trade the strategy concept is about.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AmpSearch.h"
+#include "core/DpOptimizer.h"
+#include "core/Strategy.h"
+#include "sim/JobGenerator.h"
+#include "sim/SlotGenerator.h"
+#include "support/CommandLine.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ecosched;
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("ablation_strategy",
+                 "multi-version safety strategies under launch failures");
+  const int64_t &Iterations =
+      Args.addInt("iterations", 200, "scheduling iterations per cell");
+  const int64_t &Seed = Args.addInt("seed", 2011, "RNG seed");
+  if (!Args.parse(Argc, Argv))
+    return 1;
+
+  std::printf("Extension: safety scheduling strategies (Section 7, refs "
+              "[13,14])\n");
+  std::printf("==========================================================="
+              "==\n\n");
+
+  TablePrinter Table;
+  Table.addColumn("versions K");
+  Table.addColumn("node p(fail)");
+  Table.addColumn("completion %");
+  Table.addColumn("avg versions used");
+  Table.addColumn("reserved/primary time");
+
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler(Amp, Dp);
+  SlotGenerator Slots;
+  JobGenerator Jobs;
+
+  for (const size_t MaxVersions : {1u, 2u, 3u, 5u}) {
+    for (const double FailureProbability : {0.05, 0.15, 0.30}) {
+      RandomGenerator Master(static_cast<uint64_t>(Seed));
+      size_t JobsTotal = 0, CompletedTotal = 0;
+      RunningStats VersionsUsed;
+      double Reserved = 0.0, Primary = 0.0;
+
+      for (int64_t Iter = 0; Iter < Iterations; ++Iter) {
+        RandomGenerator Rng = Master.fork();
+        const SlotList SlotsNow = Slots.generate(Rng);
+        const Batch BatchNow = Jobs.generate(Rng);
+        const IterationOutcome Outcome =
+            Scheduler.runIteration(SlotsNow, BatchNow);
+        if (Outcome.Scheduled.empty())
+          continue;
+
+        StrategyConfig Cfg;
+        Cfg.MaxVersions = MaxVersions;
+        const auto Strategies = buildStrategies(Outcome, Cfg);
+        for (const JobStrategy &S : Strategies) {
+          Reserved += S.reservedNodeTime();
+          for (const WindowSlot &M : S.Versions[0])
+            Primary += M.Runtime;
+        }
+
+        const StrategyExecutionReport Report =
+            executeStrategies(Strategies, Rng, FailureProbability);
+        JobsTotal += Report.Jobs;
+        CompletedTotal += Report.Completed;
+        VersionsUsed.merge(Report.VersionsUsed);
+      }
+
+      Table.beginRow();
+      Table.addCell(static_cast<long long>(MaxVersions));
+      Table.addCell(FailureProbability, 2);
+      Table.addCell(JobsTotal ? 100.0 * CompletedTotal / JobsTotal : 0.0,
+                    1);
+      Table.addCell(VersionsUsed.mean(), 2);
+      Table.addCell(Primary > 0.0 ? Reserved / Primary : 0.0, 2);
+    }
+  }
+  Table.print(stdout);
+
+  std::printf("\nreading: a single version loses jobs in proportion to "
+              "the window failure probability; reserving 2-5 disjoint "
+              "versions recovers most losses at the cost of withholding "
+              "proportionally more processor time from other use — the "
+              "strategy trade-off of refs [13,14].\n");
+  return 0;
+}

@@ -1,0 +1,178 @@
+//===-- bench/micro_benchmarks.cpp - google-benchmark microbenches --------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmarks of the hot paths: ALP/AMP/backfill window search as
+/// a function of the slot-list size (the Section 3 complexity claim in
+/// wall-clock form), slot subtraction, the alternative search sweep,
+/// and the backward-run DP as a function of the grid resolution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlpSearch.h"
+#include "core/AlternativeSearch.h"
+#include "core/AmpSearch.h"
+#include "core/BackfillSearch.h"
+#include "core/BatchSearch.h"
+#include "core/BicriteriaOptimizer.h"
+#include "core/DpOptimizer.h"
+#include "sim/JobGenerator.h"
+#include "sim/SlotGenerator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ecosched;
+
+namespace {
+
+SlotList makeList(int SlotCount, uint64_t Seed) {
+  SlotGeneratorConfig Cfg;
+  Cfg.MinSlotCount = SlotCount;
+  Cfg.MaxSlotCount = SlotCount;
+  RandomGenerator Rng(Seed);
+  return SlotGenerator(Cfg).generate(Rng);
+}
+
+ResourceRequest makeRequest(int Nodes) {
+  ResourceRequest Req;
+  Req.NodeCount = Nodes;
+  Req.Volume = 100.0;
+  Req.MinPerformance = 1.3;
+  Req.MaxUnitPrice = 1.25 * 2.0; // ~1.25 * 1.7^1.3.
+  return Req;
+}
+
+void BM_AlpSearch(benchmark::State &State) {
+  const SlotList List = makeList(static_cast<int>(State.range(0)), 42);
+  const ResourceRequest Req = makeRequest(4);
+  AlpSearch Alp;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Alp.findWindow(List, Req));
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_AmpSearch(benchmark::State &State) {
+  const SlotList List = makeList(static_cast<int>(State.range(0)), 42);
+  const ResourceRequest Req = makeRequest(4);
+  AmpSearch Amp;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Amp.findWindow(List, Req));
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_AlpSearchWorstCase(benchmark::State &State) {
+  const SlotList List = makeList(static_cast<int>(State.range(0)), 42);
+  ResourceRequest Req = makeRequest(100000); // Unsatisfiable: full scan.
+  AlpSearch Alp;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Alp.findWindow(List, Req));
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_BackfillSearchWorstCase(benchmark::State &State) {
+  const SlotList List = makeList(static_cast<int>(State.range(0)), 42);
+  ResourceRequest Req = makeRequest(100000);
+  BackfillSearch Backfill;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Backfill.findWindow(List, Req));
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_SlotSubtraction(benchmark::State &State) {
+  const SlotList List = makeList(static_cast<int>(State.range(0)), 7);
+  for (auto _ : State) {
+    SlotList Work = List;
+    // Subtract a span from the middle of every fourth slot.
+    for (size_t I = 0; I < Work.size(); I += 4) {
+      const Slot S = Work[I];
+      const double Mid = (S.Start + S.End) / 2.0;
+      benchmark::DoNotOptimize(
+          Work.subtract(S.NodeId, S.Start, Mid));
+    }
+    benchmark::DoNotOptimize(Work.size());
+  }
+}
+
+void BM_AlternativeSearchSweep(benchmark::State &State) {
+  RandomGenerator Rng(11);
+  const SlotList List = makeList(135, 11);
+  const Batch Jobs = JobGenerator().generate(Rng);
+  AmpSearch Amp;
+  for (auto _ : State) {
+    const AlternativeSet Alts = AlternativeSearch(Amp).run(List, Jobs);
+    benchmark::DoNotOptimize(Alts.total());
+  }
+}
+
+void BM_DpOptimizer(benchmark::State &State) {
+  RandomGenerator Rng(13);
+  CombinationProblem P;
+  for (int J = 0; J < 6; ++J) {
+    std::vector<AlternativeValue> Alts;
+    for (int A = 0; A < 30; ++A)
+      Alts.push_back({Rng.uniformReal(50.0, 500.0),
+                      Rng.uniformReal(20.0, 150.0)});
+    P.PerJob.push_back(std::move(Alts));
+  }
+  P.Objective = MeasureKind::Time;
+  P.Direction = DirectionKind::Minimize;
+  P.Constraint = MeasureKind::Cost;
+  P.Limit = 1500.0;
+  const DpOptimizer Dp(static_cast<size_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Dp.solve(P));
+}
+
+void BM_OnePassBatchScheduler(benchmark::State &State) {
+  RandomGenerator Rng(17);
+  const SlotList List = makeList(static_cast<int>(State.range(0)), 17);
+  const Batch Jobs = JobGenerator().generate(Rng);
+  OnePassBatchScheduler Scheduler;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Scheduler.assign(List, Jobs));
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_BicriteriaDp(benchmark::State &State) {
+  RandomGenerator Rng(19);
+  BicriteriaProblem P;
+  for (int J = 0; J < 5; ++J) {
+    std::vector<AlternativeValue> Alts;
+    for (int A = 0; A < 25; ++A)
+      Alts.push_back({Rng.uniformReal(50.0, 500.0),
+                      Rng.uniformReal(20.0, 150.0)});
+    P.PerJob.push_back(std::move(Alts));
+  }
+  P.Budget = 1200.0;
+  P.TimeQuota = 450.0;
+  P.CostWeight = 0.5;
+  const BicriteriaDpOptimizer Dp(static_cast<size_t>(State.range(0)),
+                                 static_cast<size_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Dp.solve(P));
+}
+
+} // namespace
+
+BENCHMARK(BM_AlpSearch)->RangeMultiplier(4)->Range(128, 8192);
+BENCHMARK(BM_AmpSearch)->RangeMultiplier(4)->Range(128, 8192);
+BENCHMARK(BM_AlpSearchWorstCase)
+    ->RangeMultiplier(4)
+    ->Range(128, 8192)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_BackfillSearchWorstCase)
+    ->RangeMultiplier(4)
+    ->Range(128, 2048)
+    ->Complexity(benchmark::oNSquared);
+BENCHMARK(BM_SlotSubtraction)->RangeMultiplier(4)->Range(128, 2048);
+BENCHMARK(BM_AlternativeSearchSweep);
+BENCHMARK(BM_DpOptimizer)->RangeMultiplier(4)->Range(256, 16384);
+BENCHMARK(BM_OnePassBatchScheduler)
+    ->RangeMultiplier(4)
+    ->Range(128, 8192)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_BicriteriaDp)->RangeMultiplier(2)->Range(64, 256);

@@ -1,0 +1,238 @@
+//===-- bench/repro_summary.cpp - Self-verifying reproduction report ------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One binary, one verdict: re-derives every headline claim of the
+/// paper on live runs and prints a PASS/FAIL table. Returns a non-zero
+/// exit code if any claim fails, so CI can gate on the reproduction
+/// staying intact. Shape bands are generous on purpose: they encode
+/// "who wins and by roughly what factor", not the authors' exact RNG.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlpSearch.h"
+#include "core/AlternativeSearch.h"
+#include "core/AmpSearch.h"
+#include "core/BackfillSearch.h"
+#include "core/Experiment.h"
+#include "sim/PaperExample.h"
+#include "sim/SlotGenerator.h"
+#include "support/CommandLine.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+using namespace ecosched;
+
+namespace {
+
+struct ClaimChecker {
+  TablePrinter Table;
+  int Failures = 0;
+
+  ClaimChecker() {
+    Table.addColumn("claim", TablePrinter::AlignKind::Left);
+    Table.addColumn("paper", TablePrinter::AlignKind::Left);
+    Table.addColumn("measured", TablePrinter::AlignKind::Left);
+    Table.addColumn("verdict", TablePrinter::AlignKind::Left);
+  }
+
+  void check(const std::string &Claim, const std::string &Paper,
+             const std::string &Measured, bool Ok) {
+    Table.beginRow();
+    Table.addCell(Claim);
+    Table.addCell(Paper);
+    Table.addCell(Measured);
+    Table.addCell(std::string(Ok ? "PASS" : "FAIL"));
+    Failures += !Ok;
+  }
+
+  void checkValue(const std::string &Claim, double Paper, double Measured,
+                  double Lo, double Hi) {
+    check(Claim, formatDouble(Paper, 2), formatDouble(Measured, 2),
+          Measured >= Lo && Measured <= Hi);
+  }
+};
+
+std::string spanText(const Window &W) {
+  return "[" + formatDouble(W.startTime(), 0) + ", " +
+         formatDouble(W.endTime(), 0) + ")";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("repro_summary",
+                 "live PASS/FAIL check of every headline claim");
+  const int64_t &Iterations = Args.addInt(
+      "iterations", 1500, "simulated iterations for the statistics");
+  const int64_t &Seed = Args.addInt("seed", 2011, "RNG seed");
+  if (!Args.parse(Argc, Argv))
+    return 1;
+
+  std::printf("Reproduction summary: Toporkov et al., PaCT 2011\n");
+  std::printf("================================================\n\n");
+
+  ClaimChecker Checker;
+  AlpSearch Alp;
+  AmpSearch Amp;
+
+  // --- Section 4 example (Fig. 2 / Fig. 3). ---
+  {
+    ComputingDomain Domain = buildPaperExampleDomain();
+    const Batch Jobs = buildPaperExampleBatch();
+    const SlotList Slots = Domain.vacantSlots(PaperExampleHorizonStart,
+                                              PaperExampleHorizonEnd);
+    SlotList Work = Slots;
+    const auto W1 = Amp.findWindow(Work, Jobs[0].Request);
+    if (W1)
+      W1->subtractFrom(Work);
+    std::optional<Window> W2, W3;
+    if (W1)
+      W2 = Amp.findWindow(Work, Jobs[1].Request);
+    if (W2) {
+      W2->subtractFrom(Work);
+      W3 = Amp.findWindow(Work, Jobs[2].Request);
+    }
+
+    Checker.check("Fig2 W1 = [150,230) on cpu1+cpu4, unit cost 10",
+                  "[150, 230), 10",
+                  W1 ? spanText(*W1) + ", " +
+                           formatDouble(W1->unitPriceSum(), 0)
+                     : "none",
+                  W1 && W1->startTime() == 150.0 && W1->endTime() == 230.0 &&
+                      W1->usesNode(0) && W1->usesNode(3) &&
+                      W1->unitPriceSum() == 10.0);
+    Checker.check("Fig2 W2 on cpu1+cpu2+cpu4, unit cost 14", "cost 14",
+                  W2 ? spanText(*W2) + ", " +
+                           formatDouble(W2->unitPriceSum(), 0)
+                     : "none",
+                  W2 && W2->usesNode(0) && W2->usesNode(1) &&
+                      W2->usesNode(3) && W2->unitPriceSum() == 14.0);
+    Checker.check("Fig2 W3 = [450,500)", "[450, 500)",
+                  W3 ? spanText(*W3) : "none",
+                  W3 && W3->startTime() == 450.0 &&
+                      W3->endTime() == 500.0);
+
+    const AlternativeSet AlpAlts =
+        AlternativeSearch(Alp).run(Slots, Jobs);
+    const AlternativeSet AmpAlts =
+        AlternativeSearch(Amp).run(Slots, Jobs);
+    bool AlpCpu6 = false, AmpCpu6 = false;
+    for (const auto &PerJob : AlpAlts.PerJob)
+      for (const Window &W : PerJob)
+        AlpCpu6 |= W.usesNode(5);
+    for (const auto &PerJob : AmpAlts.PerJob)
+      for (const Window &W : PerJob)
+        AmpCpu6 |= W.usesNode(5);
+    Checker.check("Fig3 cpu6 used by AMP but not ALP", "yes",
+                  AmpCpu6 && !AlpCpu6 ? "yes" : "no",
+                  AmpCpu6 && !AlpCpu6);
+    Checker.check("Fig3 AMP finds more alternatives on the example",
+                  "more",
+                  std::to_string(AmpAlts.total()) + " vs " +
+                      std::to_string(AlpAlts.total()),
+                  AmpAlts.total() > AlpAlts.total());
+  }
+
+  // --- Section 5 statistics (Figs. 4-6 + scalars). ---
+  ExperimentConfig TimeCfg;
+  TimeCfg.Iterations = Iterations;
+  TimeCfg.Seed = static_cast<uint64_t>(Seed);
+  TimeCfg.Task = OptimizationTaskKind::MinimizeTime;
+  TimeCfg.SeriesCapacity = 100;
+  const ExperimentResult TimeRun = PairedExperiment(TimeCfg).run();
+
+  ExperimentConfig CostCfg = TimeCfg;
+  CostCfg.Task = OptimizationTaskKind::MinimizeCost;
+  const ExperimentResult CostRun = PairedExperiment(CostCfg).run();
+
+  {
+    const double Gain =
+        100.0 * (1.0 - TimeRun.Amp.JobTime.mean() /
+                           TimeRun.Alp.JobTime.mean());
+    Checker.checkValue("Fig4a AMP time gain % (band 20..50)", 34.8, Gain,
+                       20.0, 50.0);
+    const double Overhead =
+        100.0 * (TimeRun.Amp.JobCost.mean() /
+                     TimeRun.Alp.JobCost.mean() -
+                 1.0);
+    Checker.checkValue("Fig4b AMP cost overhead % (band 5..40)", 17.9,
+                       Overhead, 5.0, 40.0);
+
+    size_t AmpWins = 0;
+    const size_t N = TimeRun.Amp.JobTimeSeries.size();
+    for (size_t I = 0; I < N; ++I)
+      AmpWins += TimeRun.Amp.JobTimeSeries[I] <
+                 TimeRun.Alp.JobTimeSeries[I];
+    Checker.checkValue("Fig5 AMP faster, % of experiments (>= 95)",
+                       100.0,
+                       N ? 100.0 * static_cast<double>(AmpWins) /
+                               static_cast<double>(N)
+                         : 0.0,
+                       95.0, 100.0);
+
+    const double AlpAdvantage =
+        100.0 * (CostRun.Amp.JobCost.mean() /
+                     CostRun.Alp.JobCost.mean() -
+                 1.0);
+    Checker.checkValue("Fig6a ALP cost advantage % (band 0..25)", 9.6,
+                       AlpAdvantage, 0.0, 25.0);
+    const double CostTaskTimeGain =
+        100.0 * (1.0 - CostRun.Amp.JobTime.mean() /
+                           CostRun.Alp.JobTime.mean());
+    Checker.checkValue("Fig6b AMP time gain % (band 5..35)", 15.4,
+                       CostTaskTimeGain, 5.0, 35.0);
+
+    const double Ratio = TimeRun.Amp.AlternativesPerJob.mean() /
+                         TimeRun.Alp.AlternativesPerJob.mean();
+    Checker.checkValue("S5 AMP/ALP alternatives ratio (band 2..7)", 4.64,
+                       Ratio, 2.0, 7.0);
+    Checker.checkValue("S5 avg slots per iteration (band 120..150)",
+                       135.11, TimeRun.SlotsAll.mean(), 120.0, 150.0);
+    Checker.checkValue(
+        "S5 counted fraction % (band 15..55)", 34.3,
+        100.0 * static_cast<double>(CostRun.CountedIterations) /
+            static_cast<double>(CostRun.TotalIterations),
+        15.0, 55.0);
+  }
+
+  // --- Section 3 complexity claim. ---
+  {
+    SlotGeneratorConfig Cfg;
+    Cfg.MinSlotCount = Cfg.MaxSlotCount = 4000;
+    RandomGenerator Rng(7);
+    const SlotList List = SlotGenerator(Cfg).generate(Rng);
+    ResourceRequest Unsatisfiable;
+    Unsatisfiable.NodeCount = 1000000;
+    Unsatisfiable.Volume = 50.0;
+    Unsatisfiable.MinPerformance = 1.0;
+    Unsatisfiable.MaxUnitPrice = 1e9;
+    SearchStats AlpStats, BackfillStats;
+    (void)Alp.findWindow(List, Unsatisfiable, &AlpStats);
+    BackfillSearch Backfill;
+    (void)Backfill.findWindow(List, Unsatisfiable, &BackfillStats);
+    Checker.check("S3 ALP examines exactly m slots (m=4000)", "m",
+                  std::to_string(AlpStats.SlotsExamined),
+                  AlpStats.SlotsExamined == 4000);
+    Checker.check("S3 backfill examines ~m+m^2 slots", ">= m^2",
+                  std::to_string(BackfillStats.SlotsExamined),
+                  BackfillStats.SlotsExamined >= 4000ull * 4000ull);
+  }
+
+  Checker.Table.print(stdout);
+  std::printf("\n%s (%d failing claim%s); statistics from %lld "
+              "iterations, seed %lld\n",
+              Checker.Failures == 0 ? "REPRODUCTION INTACT"
+                                    : "REPRODUCTION BROKEN",
+              Checker.Failures, Checker.Failures == 1 ? "" : "s",
+              static_cast<long long>(Iterations),
+              static_cast<long long>(Seed));
+  return Checker.Failures == 0 ? 0 : 1;
+}

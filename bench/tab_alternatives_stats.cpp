@@ -1,0 +1,107 @@
+//===-- bench/tab_alternatives_stats.cpp - Section 5 scalar results -------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E7 (DESIGN.md): the in-text scalar results of Section 5 —
+/// alternatives found per job under both tasks, the average number of
+/// slots per experiment (135.11), the average number of jobs per counted
+/// iteration (4.18 under cost minimization, below the overall batch-size
+/// mean), and the counted-experiment rate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiment.h"
+#include "support/CommandLine.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ecosched;
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("tab_alternatives_stats",
+                 "Section 5 scalar results: alternatives, slots, jobs");
+  const int64_t &Iterations =
+      Args.addInt("iterations", 2000, "simulated scheduling iterations");
+  const int64_t &Seed = Args.addInt("seed", 2011, "RNG seed");
+  const double &PriceFactor = Args.addReal(
+      "price-factor", 1.1,
+      "request price cap factor: C = factor * 1.7^Pmin");
+  const int64_t &Threads = Args.addInt(
+      "threads", 0, "worker threads (0 = all cores); results are "
+                    "identical for any value");
+  if (!Args.parse(Argc, Argv))
+    return 1;
+
+  std::printf("Section 5 scalar results reproduction\n");
+  std::printf("=====================================\n\n");
+
+  TablePrinter Table;
+  Table.addColumn("metric", TablePrinter::AlignKind::Left);
+  Table.addColumn("task", TablePrinter::AlignKind::Left);
+  Table.addColumn("measured");
+  Table.addColumn("paper");
+
+  for (const bool CostTask : {false, true}) {
+    ExperimentConfig Cfg;
+    Cfg.Iterations = Iterations;
+    Cfg.Seed = static_cast<uint64_t>(Seed);
+    Cfg.Jobs.PriceFactor = PriceFactor;
+  Cfg.Threads = static_cast<size_t>(Threads);
+    Cfg.Task = CostTask ? OptimizationTaskKind::MinimizeCost
+                        : OptimizationTaskKind::MinimizeTime;
+    const ExperimentResult R = PairedExperiment(Cfg).run();
+    const char *Task = CostTask ? "cost-min" : "time-min";
+
+    Table.beginRow();
+    Table.addCell(std::string("ALP alternatives per job"));
+    Table.addCell(std::string(Task));
+    Table.addCell(R.Alp.AlternativesPerJob.mean(), 2);
+    Table.addCell(CostTask ? 7.28 : 7.39, 2);
+
+    Table.beginRow();
+    Table.addCell(std::string("AMP alternatives per job"));
+    Table.addCell(std::string(Task));
+    Table.addCell(R.Amp.AlternativesPerJob.mean(), 2);
+    Table.addCell(CostTask ? 34.23 : 34.28, 2);
+
+    Table.beginRow();
+    Table.addCell(std::string("avg slots per iteration"));
+    Table.addCell(std::string(Task));
+    Table.addCell(R.SlotsCounted.mean(), 2);
+    Table.addCell(135.11, 2);
+
+    Table.beginRow();
+    Table.addCell(std::string("avg jobs per counted iteration"));
+    Table.addCell(std::string(Task));
+    Table.addCell(R.JobsCounted.mean(), 2);
+    Table.addCell(CostTask ? 4.18 : 0.0, 2);
+
+    Table.beginRow();
+    Table.addCell(std::string("avg jobs per iteration (all)"));
+    Table.addCell(std::string(Task));
+    Table.addCell(R.JobsAll.mean(), 2);
+    Table.addCell(5.0, 2); // Uniform [3,7] has mean 5.
+
+    Table.beginRow();
+    Table.addCell(std::string("counted iterations %"));
+    Table.addCell(std::string(Task));
+    Table.addCell(100.0 * static_cast<double>(R.CountedIterations) /
+                      static_cast<double>(R.TotalIterations),
+                  1);
+    Table.addCell(CostTask ? 34.3 : 0.0, 1);
+  }
+  Table.print(stdout);
+
+  std::printf("\nnotes: the paper publishes the counted rate and "
+              "jobs-per-iteration only for the cost-minimization study "
+              "(8571/25000, 4.18); 0.00 marks unpublished references.\n"
+              "Counted batches are smaller than average because large "
+              "batches often leave some job without any ALP "
+              "alternative, dropping the experiment (Section 5).\n");
+  return 0;
+}

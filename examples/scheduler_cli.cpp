@@ -1,0 +1,220 @@
+//===-- examples/scheduler_cli.cpp - Trace-driven scheduling tool ---------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A command-line front end over the whole library: generate workloads
+/// to trace files, schedule archived workloads with any search/task
+/// combination, and inspect traces — the way a downstream user would
+/// drive EcoSched without writing C++.
+///
+///   scheduler_cli --mode=generate --slots=s.trace --jobs=j.trace
+///   scheduler_cli --mode=schedule --slots=s.trace --jobs=j.trace
+///                 --search=amp --task=time [--rho=0.8] [--csv=out.csv]
+///   scheduler_cli --mode=inspect --slots=s.trace --jobs=j.trace
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlpSearch.h"
+#include "core/AmpSearch.h"
+#include "core/DpOptimizer.h"
+#include "core/Metascheduler.h"
+#include "sim/JobGenerator.h"
+#include "sim/SlotGenerator.h"
+#include "sim/TraceIO.h"
+#include "support/CommandLine.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ecosched;
+
+namespace {
+
+int generateMode(uint64_t Seed, const std::string &SlotPath,
+                 const std::string &JobPath) {
+  RandomGenerator Rng(Seed);
+  const SlotList Slots = SlotGenerator().generate(Rng);
+  const Batch Jobs = JobGenerator().generate(Rng);
+  std::string Error;
+  if (!saveSlotTrace(Slots, SlotPath, &Error) ||
+      !saveBatchTrace(Jobs, JobPath, &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu slots to %s and %zu jobs to %s (seed %llu)\n",
+              Slots.size(), SlotPath.c_str(), Jobs.size(),
+              JobPath.c_str(), static_cast<unsigned long long>(Seed));
+  return 0;
+}
+
+int inspectMode(const SlotList &Slots, const Batch &Jobs) {
+  std::printf("slots: %zu spanning %.1f node-time units\n", Slots.size(),
+              Slots.totalSpan());
+  TablePrinter Table;
+  Table.addColumn("job");
+  Table.addColumn("nodes");
+  Table.addColumn("volume");
+  Table.addColumn("min perf");
+  Table.addColumn("price cap");
+  Table.addColumn("rho");
+  for (const Job &J : Jobs) {
+    Table.beginRow();
+    Table.addCell(static_cast<long long>(J.Id));
+    Table.addCell(static_cast<long long>(J.Request.NodeCount));
+    Table.addCell(J.Request.Volume, 1);
+    Table.addCell(J.Request.MinPerformance, 2);
+    Table.addCell(J.Request.MaxUnitPrice, 2);
+    Table.addCell(J.Request.BudgetFactor, 2);
+  }
+  Table.print(stdout);
+  return 0;
+}
+
+int scheduleMode(const SlotList &Slots, Batch Jobs,
+                 const std::string &Search, const std::string &Task,
+                 double Rho, const std::string &CsvPath) {
+  for (Job &J : Jobs)
+    J.Request.BudgetFactor = Rho;
+
+  AlpSearch Alp;
+  AmpSearch Amp;
+  const SlotSearchAlgorithm *Algo = nullptr;
+  if (Search == "alp")
+    Algo = &Alp;
+  else if (Search == "amp")
+    Algo = &Amp;
+  if (!Algo) {
+    std::fprintf(stderr, "unknown search '%s' (alp|amp)\n",
+                 Search.c_str());
+    return 1;
+  }
+
+  Metascheduler::Config Cfg;
+  if (Task == "time") {
+    Cfg.Task = OptimizationTaskKind::MinimizeTime;
+  } else if (Task == "cost") {
+    Cfg.Task = OptimizationTaskKind::MinimizeCost;
+  } else {
+    std::fprintf(stderr, "unknown task '%s' (time|cost)\n", Task.c_str());
+    return 1;
+  }
+
+  DpOptimizer Dp;
+  Metascheduler Scheduler(*Algo, Dp, Cfg);
+  const IterationOutcome Out = Scheduler.runIteration(Slots, Jobs);
+
+  std::printf("search %s, task %s-minimization, rho %.2f\n",
+              Search.c_str(), Task.c_str(), Rho);
+  std::printf("T* = %.2f, B* = %.2f, alternatives per job:",
+              Out.TimeQuota, Out.VoBudget);
+  for (const auto &PerJob : Out.Alternatives.PerJob)
+    std::printf(" %zu", PerJob.size());
+  std::printf("\n\n");
+
+  TablePrinter Table;
+  Table.addColumn("job");
+  Table.addColumn("status", TablePrinter::AlignKind::Left);
+  Table.addColumn("start");
+  Table.addColumn("end");
+  Table.addColumn("time");
+  Table.addColumn("cost");
+  Table.addColumn("nodes", TablePrinter::AlignKind::Left);
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    const ScheduledJob *Placed = nullptr;
+    for (const ScheduledJob &S : Out.Scheduled)
+      if (S.BatchIndex == I)
+        Placed = &S;
+    Table.beginRow();
+    Table.addCell(static_cast<long long>(Jobs[I].Id));
+    if (!Placed) {
+      Table.addCell(std::string("postponed"));
+      Table.addCell(std::string("-"));
+      Table.addCell(std::string("-"));
+      Table.addCell(std::string("-"));
+      Table.addCell(std::string("-"));
+      Table.addCell(std::string("-"));
+      continue;
+    }
+    std::string Nodes;
+    for (const WindowSlot &M : Placed->W) {
+      if (!Nodes.empty())
+        Nodes += ",";
+      Nodes += std::to_string(M.Source.NodeId);
+    }
+    Table.addCell(std::string("scheduled"));
+    Table.addCell(Placed->W.startTime(), 1);
+    Table.addCell(Placed->W.endTime(), 1);
+    Table.addCell(Placed->W.timeSpan(), 2);
+    Table.addCell(Placed->W.totalCost(), 2);
+    Table.addCell(Nodes);
+  }
+  Table.print(stdout);
+
+  if (Out.Choice.Feasible) {
+    const bool TimeTask = Cfg.Task == OptimizationTaskKind::MinimizeTime;
+    const double TotalTime = TimeTask ? Out.Choice.ObjectiveTotal
+                                      : Out.Choice.ConstraintTotal;
+    const double TotalCost = TimeTask ? Out.Choice.ConstraintTotal
+                                      : Out.Choice.ObjectiveTotal;
+    std::printf("\nbatch totals: time %.2f, cost %.2f\n", TotalTime,
+                TotalCost);
+  } else {
+    std::printf("\nno feasible combination; batch postponed\n");
+  }
+
+  if (!CsvPath.empty() && Table.writeCsv(CsvPath))
+    std::printf("wrote %s\n", CsvPath.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ArgParser Args("scheduler_cli",
+                 "generate, inspect, and schedule workload traces");
+  const std::string &Mode = Args.addString(
+      "mode", "schedule", "generate | inspect | schedule");
+  const std::string &SlotPath =
+      Args.addString("slots", "/tmp/ecosched_slots.trace", "slot trace");
+  const std::string &JobPath =
+      Args.addString("jobs", "/tmp/ecosched_jobs.trace", "job trace");
+  const int64_t &Seed = Args.addInt("seed", 42, "generate-mode RNG seed");
+  const std::string &Search =
+      Args.addString("search", "amp", "slot search: alp | amp");
+  const std::string &Task =
+      Args.addString("task", "time", "optimize: time | cost");
+  const double &Rho =
+      Args.addReal("rho", 1.0, "AMP budget factor (Section 6)");
+  const std::string &CsvPath =
+      Args.addString("csv", "", "optional CSV schedule output");
+  if (!Args.parse(Argc, Argv))
+    return 1;
+
+  if (Mode == "generate")
+    return generateMode(static_cast<uint64_t>(Seed), SlotPath, JobPath);
+
+  std::string Error;
+  const auto Slots = loadSlotTrace(SlotPath, &Error);
+  if (!Slots) {
+    std::fprintf(stderr,
+                 "error: %s\n(hint: --mode=generate writes traces)\n",
+                 Error.c_str());
+    return 1;
+  }
+  const auto Jobs = loadBatchTrace(JobPath, &Error);
+  if (!Jobs) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  if (Mode == "inspect")
+    return inspectMode(*Slots, *Jobs);
+  if (Mode == "schedule")
+    return scheduleMode(*Slots, *Jobs, Search, Task, Rho, CsvPath);
+  std::fprintf(stderr, "unknown mode '%s'\n", Mode.c_str());
+  return 1;
+}

@@ -1,0 +1,58 @@
+//===-- core/AlpSearch.cpp - Algorithm based on Local Price ---------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AlpSearch.h"
+
+#include "core/SearchCommon.h"
+
+#include <algorithm>
+
+using namespace ecosched;
+
+std::optional<Window>
+AlpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
+                      SearchStats *Stats) const {
+  assert(Request.NodeCount > 0 && "request must ask for at least one slot");
+  const size_t Needed = static_cast<size_t>(Request.NodeCount);
+  std::vector<const Slot *> Group;
+  SearchStats Local;
+
+  for (const Slot &S : List) {
+    if (S.Start >= Request.Deadline - TimeEpsilon)
+      break; // Sorted list: no later slot can meet the deadline.
+    ++Local.SlotsExamined;
+    if (!detail::meetsPerformance(S, Request))
+      continue;
+    if (!detail::meetsPriceCap(S, Request))
+      continue;
+    if (!detail::meetsLength(S, Request))
+      continue;
+    if (!detail::fitsDeadline(S, S.Start, Request))
+      continue;
+
+    // Step 3: the window start advances to the newest slot's start; drop
+    // group members whose remaining length is no longer sufficient (or,
+    // with a deadline, whose task can no longer finish in time).
+    const double WindowStart = S.Start;
+    std::erase_if(Group, [&](const Slot *G) {
+      return !G->coversFrom(WindowStart, G->runtimeFor(Request.Volume)) ||
+             !detail::fitsDeadline(*G, WindowStart, Request);
+    });
+    Group.push_back(&S);
+    Local.GroupOperations += Group.size();
+    Local.GroupPeak = std::max(Local.GroupPeak, Group.size());
+
+    if (Group.size() == Needed) {
+      if (Stats)
+        *Stats += Local;
+      return detail::buildWindow(WindowStart, Group, Request);
+    }
+  }
+  if (Stats)
+    *Stats += Local;
+  return std::nullopt;
+}

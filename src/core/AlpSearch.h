@@ -1,0 +1,39 @@
+//===-- core/AlpSearch.h - Algorithm based on Local Price ----------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ALP — the Algorithm based on Local Price of slots (Section 3). A
+/// single forward scan over the ordered slot list accumulates slots that
+/// satisfy the performance (2a), length (2b), and *per-slot* price cap
+/// (2c) conditions; slots whose remaining length expires when the window
+/// start advances are dropped (step 3). The first time the working group
+/// reaches N slots, the window is returned. Linear in the number of
+/// slots: the scan never moves backwards and every slot enters and
+/// leaves the group at most once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_ALPSEARCH_H
+#define ECOSCHED_CORE_ALPSEARCH_H
+
+#include "core/SearchAlgorithm.h"
+
+namespace ecosched {
+
+/// The ALP slot-set search.
+class AlpSearch : public SlotSearchAlgorithm {
+public:
+  std::string_view name() const override { return "ALP"; }
+
+  std::optional<Window>
+  findWindow(const SlotList &List, const ResourceRequest &Request,
+             SearchStats *Stats = nullptr) const override;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_ALPSEARCH_H

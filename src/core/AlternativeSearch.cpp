@@ -1,0 +1,41 @@
+//===-- core/AlternativeSearch.cpp - Multi-variant batch search -----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AlternativeSearch.h"
+
+#include <cassert>
+
+using namespace ecosched;
+
+AlternativeSet AlternativeSearch::run(SlotList List, const Batch &Jobs,
+                                      SearchStats *Stats) const {
+  AlternativeSet Result;
+  Result.PerJob.resize(Jobs.size());
+
+  for (size_t Pass = 0; Cfg.MaxPasses == 0 || Pass < Cfg.MaxPasses;
+       ++Pass) {
+    bool PlacedAny = false;
+    for (size_t I = 0, E = Jobs.size(); I != E; ++I) {
+      if (Cfg.MaxAlternativesPerJob != 0 &&
+          Result.PerJob[I].size() >= Cfg.MaxAlternativesPerJob)
+        continue;
+      std::optional<Window> W =
+          Algo.findWindow(List, Jobs[I].Request, Stats);
+      if (!W)
+        continue;
+      // Exclude the window's spans so later alternatives (for this or
+      // any other job) cannot reuse the processor time.
+      [[maybe_unused]] const bool Subtracted = W->subtractFrom(List);
+      assert(Subtracted && "search returned a window outside the list");
+      Result.PerJob[I].push_back(std::move(*W));
+      PlacedAny = true;
+    }
+    if (!PlacedAny)
+      break;
+  }
+  return Result;
+}

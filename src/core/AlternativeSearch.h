@@ -1,0 +1,86 @@
+//===-- core/AlternativeSearch.h - Multi-variant batch search ------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first phase of the scheduling scheme (Section 2): for every job
+/// of the batch, collect several *alternative* slot sets. The search
+/// sweeps the batch in priority order; each found window is subtracted
+/// from the working slot list (Fig. 1(b)) so alternatives never
+/// intersect in processor time; sweeps repeat until no job can be
+/// placed on the remaining slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_ALTERNATIVESEARCH_H
+#define ECOSCHED_CORE_ALTERNATIVESEARCH_H
+
+#include "core/SearchAlgorithm.h"
+
+#include <vector>
+
+namespace ecosched {
+
+/// All alternatives found for one batch; PerJob is parallel to the
+/// batch's job order.
+struct AlternativeSet {
+  std::vector<std::vector<Window>> PerJob;
+
+  /// True if every job has at least one alternative (the requirement for
+  /// an experiment to be counted, Section 5).
+  bool allCovered() const {
+    for (const auto &Windows : PerJob)
+      if (Windows.empty())
+        return false;
+    return !PerJob.empty();
+  }
+
+  /// Total number of alternatives across the batch.
+  size_t total() const {
+    size_t Sum = 0;
+    for (const auto &Windows : PerJob)
+      Sum += Windows.size();
+    return Sum;
+  }
+
+  /// Mean alternatives per job; 0 for an empty batch.
+  double averagePerJob() const {
+    if (PerJob.empty())
+      return 0.0;
+    return static_cast<double>(total()) /
+           static_cast<double>(PerJob.size());
+  }
+};
+
+/// Runs the multi-pass alternative search for a batch.
+class AlternativeSearch {
+public:
+  struct Config {
+    /// Stop after this many sweeps over the batch; 0 means sweep until
+    /// a full pass places nothing (the paper's termination rule).
+    size_t MaxPasses = 0;
+    /// Optional cap on alternatives per job; 0 means unlimited.
+    size_t MaxAlternativesPerJob = 0;
+  };
+
+  explicit AlternativeSearch(const SlotSearchAlgorithm &Algo)
+      : Algo(Algo) {}
+  AlternativeSearch(const SlotSearchAlgorithm &Algo, Config Cfg)
+      : Algo(Algo), Cfg(Cfg) {}
+
+  /// Collects alternatives for \p Jobs on a copy of \p List.
+  /// \param Stats optional accumulated search work counters.
+  AlternativeSet run(SlotList List, const Batch &Jobs,
+                     SearchStats *Stats = nullptr) const;
+
+private:
+  const SlotSearchAlgorithm &Algo;
+  Config Cfg = {};
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_ALTERNATIVESEARCH_H

@@ -1,0 +1,80 @@
+//===-- core/AmpSearch.cpp - Algorithm based on Maximal job Price ---------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AmpSearch.h"
+
+#include "core/SearchCommon.h"
+
+#include <algorithm>
+
+using namespace ecosched;
+
+std::optional<Window>
+AmpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
+                      SearchStats *Stats) const {
+  assert(Request.NodeCount > 0 && "request must ask for at least one slot");
+  const size_t Needed = static_cast<size_t>(Request.NodeCount);
+  const double Budget = Request.budget();
+  std::vector<const Slot *> Group;
+  std::vector<const Slot *> Cheapest;
+  SearchStats Local;
+
+  for (const Slot &S : List) {
+    if (S.Start >= Request.Deadline - TimeEpsilon)
+      break; // Sorted list: no later slot can meet the deadline.
+    ++Local.SlotsExamined;
+    // Steps 1/3: accumulate slots under conditions 2a and 2b only; the
+    // per-slot price condition 2c is deliberately dropped.
+    if (!detail::meetsPerformance(S, Request))
+      continue;
+    if (!detail::meetsLength(S, Request))
+      continue;
+    if (!detail::fitsDeadline(S, S.Start, Request))
+      continue;
+
+    const double WindowStart = S.Start;
+    std::erase_if(Group, [&](const Slot *G) {
+      return !G->coversFrom(WindowStart, G->runtimeFor(Request.Volume)) ||
+             !detail::fitsDeadline(*G, WindowStart, Request);
+    });
+    Group.push_back(&S);
+    Local.GroupOperations += Group.size();
+    Local.GroupPeak = std::max(Local.GroupPeak, Group.size());
+
+    if (Group.size() < Needed)
+      continue;
+
+    // Step 2: sort the alive slots by their usage cost and test whether
+    // the N cheapest fit the job budget.
+    Cheapest = Group;
+    std::partial_sort(Cheapest.begin(),
+                      Cheapest.begin() + static_cast<long>(Needed),
+                      Cheapest.end(), [&](const Slot *A, const Slot *B) {
+                        const double CostA =
+                            detail::slotUsageCost(*A, Request);
+                        const double CostB =
+                            detail::slotUsageCost(*B, Request);
+                        if (CostA != CostB)
+                          return CostA < CostB;
+                        return A->NodeId < B->NodeId;
+                      });
+    Cheapest.resize(Needed);
+    Local.GroupOperations += Group.size();
+
+    double Total = 0.0;
+    for (const Slot *C : Cheapest)
+      Total += detail::slotUsageCost(*C, Request);
+    if (Total <= Budget + TimeEpsilon) {
+      if (Stats)
+        *Stats += Local;
+      return detail::buildWindow(WindowStart, Cheapest, Request);
+    }
+  }
+  if (Stats)
+    *Stats += Local;
+  return std::nullopt;
+}

@@ -1,0 +1,39 @@
+//===-- core/AmpSearch.h - Algorithm based on Maximal job Price ----*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AMP — the Algorithm based on Maximal job Price (Section 3). The
+/// per-slot price cap of ALP is replaced by the job budget S = C*t*N:
+/// the scan accumulates every slot that satisfies the performance and
+/// length conditions, and whenever at least N slots are alive it tests
+/// whether the N cheapest of them fit the budget. The first fitting set
+/// is returned; surplus slots are left in the list. Any ALP window is
+/// AMP-admissible, but AMP can additionally mix individually expensive
+/// slots into a window as long as the total stays within S (Section 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_AMPSEARCH_H
+#define ECOSCHED_CORE_AMPSEARCH_H
+
+#include "core/SearchAlgorithm.h"
+
+namespace ecosched {
+
+/// The AMP slot-set search.
+class AmpSearch : public SlotSearchAlgorithm {
+public:
+  std::string_view name() const override { return "AMP"; }
+
+  std::optional<Window>
+  findWindow(const SlotList &List, const ResourceRequest &Request,
+             SearchStats *Stats = nullptr) const override;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_AMPSEARCH_H

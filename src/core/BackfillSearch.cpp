@@ -1,0 +1,90 @@
+//===-- core/BackfillSearch.cpp - Quadratic baseline search ---------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BackfillSearch.h"
+
+#include "core/SearchCommon.h"
+
+#include <algorithm>
+
+using namespace ecosched;
+
+std::optional<Window>
+BackfillSearch::findWindow(const SlotList &List,
+                           const ResourceRequest &Request,
+                           SearchStats *Stats) const {
+  assert(Request.NodeCount > 0 && "request must ask for at least one slot");
+  const size_t Needed = static_cast<size_t>(Request.NodeCount);
+  const double Budget = Request.budget();
+  SearchStats Local;
+  std::vector<const Slot *> Alive;
+
+  // The earliest feasible start is always a release point: the count of
+  // alive slots only increases at slot starts. Anchors are examined in
+  // start order, so the first feasible anchor gives the earliest window.
+  for (const Slot &Anchor : List) {
+    if (Anchor.Start >= Request.Deadline - TimeEpsilon)
+      break; // Sorted list: later anchors cannot meet the deadline.
+    ++Local.SlotsExamined;
+    if (!detail::meetsPerformance(Anchor, Request))
+      continue;
+    if (PriceRule == PriceRuleKind::PerSlotCap &&
+        !detail::meetsPriceCap(Anchor, Request))
+      continue;
+    const double StartTime = Anchor.Start;
+
+    // Rescan the whole list for slots alive at StartTime. This is the
+    // deliberate O(m) inner loop of the baseline.
+    Alive.clear();
+    for (const Slot &S : List) {
+      ++Local.SlotsExamined;
+      if (!detail::meetsPerformance(S, Request))
+        continue;
+      if (PriceRule == PriceRuleKind::PerSlotCap &&
+          !detail::meetsPriceCap(S, Request))
+        continue;
+      if (!S.coversFrom(StartTime, S.runtimeFor(Request.Volume)))
+        continue;
+      if (!detail::fitsDeadline(S, StartTime, Request))
+        continue;
+      Alive.push_back(&S);
+    }
+    if (Alive.size() < Needed)
+      continue;
+    Local.GroupPeak = std::max(Local.GroupPeak, Alive.size());
+    Local.GroupOperations += Alive.size();
+
+    // Choose the N cheapest alive slots; under the per-slot rule every
+    // alive slot is admissible, so cheapest-N is as good as any.
+    std::partial_sort(Alive.begin(),
+                      Alive.begin() + static_cast<long>(Needed),
+                      Alive.end(), [&](const Slot *A, const Slot *B) {
+                        const double CostA =
+                            detail::slotUsageCost(*A, Request);
+                        const double CostB =
+                            detail::slotUsageCost(*B, Request);
+                        if (CostA != CostB)
+                          return CostA < CostB;
+                        return A->NodeId < B->NodeId;
+                      });
+    Alive.resize(Needed);
+
+    if (PriceRule == PriceRuleKind::JobBudget) {
+      double Total = 0.0;
+      for (const Slot *S : Alive)
+        Total += detail::slotUsageCost(*S, Request);
+      if (Total > Budget + TimeEpsilon)
+        continue;
+    }
+    if (Stats)
+      *Stats += Local;
+    return detail::buildWindow(StartTime, Alive, Request);
+  }
+  if (Stats)
+    *Stats += Local;
+  return std::nullopt;
+}

@@ -1,0 +1,60 @@
+//===-- core/BackfillSearch.h - Quadratic baseline search ----------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline the paper compares against (Section 3): a backfill-style
+/// search [11, 12] that examines every potential window start (every
+/// slot release point) and, for each, rescans the list for concurrent
+/// slots — O(m^2) overall. Classic backfilling assumes homogeneous nodes
+/// and identical task requirements; this implementation generalizes it
+/// just enough to run on our heterogeneous slot lists so it can serve
+/// two roles:
+///   * the complexity comparator for the O(m) claim (bench E8), and
+///   * an exhaustive "earliest window" oracle for property-testing ALP
+///     and AMP (any feasible window start is an examined anchor, so the
+///     returned window is provably the earliest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_BACKFILLSEARCH_H
+#define ECOSCHED_CORE_BACKFILLSEARCH_H
+
+#include "core/SearchAlgorithm.h"
+
+namespace ecosched {
+
+/// Which price admissibility rule the baseline applies; this makes it an
+/// oracle for ALP (per-slot cap) or AMP (job budget) respectively.
+enum class PriceRuleKind {
+  /// Condition 2c: every slot's unit price within the request cap.
+  PerSlotCap,
+  /// AMP rule: total usage cost of the window within the job budget.
+  JobBudget,
+};
+
+/// Exhaustive earliest-window search, quadratic in the list size.
+class BackfillSearch : public SlotSearchAlgorithm {
+public:
+  explicit BackfillSearch(PriceRuleKind PriceRule = PriceRuleKind::PerSlotCap)
+      : PriceRule(PriceRule) {}
+
+  std::string_view name() const override {
+    return PriceRule == PriceRuleKind::PerSlotCap ? "backfill"
+                                                  : "backfill-budget";
+  }
+
+  std::optional<Window>
+  findWindow(const SlotList &List, const ResourceRequest &Request,
+             SearchStats *Stats = nullptr) const override;
+
+private:
+  PriceRuleKind PriceRule;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_BACKFILLSEARCH_H

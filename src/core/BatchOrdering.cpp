@@ -1,0 +1,64 @@
+//===-- core/BatchOrdering.cpp - Batch priority policies ------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchOrdering.h"
+
+#include <algorithm>
+
+using namespace ecosched;
+
+std::string_view ecosched::orderingPolicyName(OrderingPolicyKind Policy) {
+  switch (Policy) {
+  case OrderingPolicyKind::SubmissionOrder:
+    return "submission";
+  case OrderingPolicyKind::WidestFirst:
+    return "widest-first";
+  case OrderingPolicyKind::NarrowestFirst:
+    return "narrowest-first";
+  case OrderingPolicyKind::LargestWorkFirst:
+    return "largest-work-first";
+  case OrderingPolicyKind::SmallestWorkFirst:
+    return "smallest-work-first";
+  }
+  return "unknown";
+}
+
+Batch ecosched::orderBatch(const Batch &Jobs, OrderingPolicyKind Policy) {
+  Batch Ordered = Jobs;
+  const auto Work = [](const Job &J) {
+    return static_cast<double>(J.Request.NodeCount) * J.Request.Volume;
+  };
+  switch (Policy) {
+  case OrderingPolicyKind::SubmissionOrder:
+    break;
+  case OrderingPolicyKind::WidestFirst:
+    std::stable_sort(Ordered.begin(), Ordered.end(),
+                     [](const Job &A, const Job &B) {
+                       return A.Request.NodeCount > B.Request.NodeCount;
+                     });
+    break;
+  case OrderingPolicyKind::NarrowestFirst:
+    std::stable_sort(Ordered.begin(), Ordered.end(),
+                     [](const Job &A, const Job &B) {
+                       return A.Request.NodeCount < B.Request.NodeCount;
+                     });
+    break;
+  case OrderingPolicyKind::LargestWorkFirst:
+    std::stable_sort(Ordered.begin(), Ordered.end(),
+                     [&](const Job &A, const Job &B) {
+                       return Work(A) > Work(B);
+                     });
+    break;
+  case OrderingPolicyKind::SmallestWorkFirst:
+    std::stable_sort(Ordered.begin(), Ordered.end(),
+                     [&](const Job &A, const Job &B) {
+                       return Work(A) < Work(B);
+                     });
+    break;
+  }
+  return Ordered;
+}

@@ -1,0 +1,148 @@
+//===-- core/BatchSearch.cpp - Whole-batch one-pass co-allocation ---------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchSearch.h"
+
+#include "core/SearchCommon.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace ecosched;
+
+namespace {
+
+/// A slot in the scan queue, tagged with a unique serial so committed
+/// members can be evicted from every job's working group.
+struct ScanSlot {
+  Slot S;
+  uint64_t Serial = 0;
+};
+
+bool scanSlotStartLess(const ScanSlot &A, const ScanSlot &B) {
+  return slotStartLess(A.S, B.S);
+}
+
+} // namespace
+
+BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
+                                              const Batch &Jobs) const {
+  BatchAssignment Result;
+  Result.PerJob.resize(Jobs.size());
+
+  // The scan queue: original slots plus, later, the unused tails of
+  // committed window members. Indexed, because it grows mid-scan.
+  std::vector<ScanSlot> Queue;
+  Queue.reserve(List.size());
+  uint64_t NextSerial = 0;
+  for (const Slot &S : List)
+    Queue.push_back({S, NextSerial++});
+  std::sort(Queue.begin(), Queue.end(), scanSlotStartLess);
+
+  std::vector<std::vector<ScanSlot>> Groups(Jobs.size());
+  std::unordered_set<uint64_t> Consumed;
+  size_t Unplaced = Jobs.size();
+
+  std::vector<const ScanSlot *> Candidates;
+  for (size_t Idx = 0; Idx < Queue.size() && Unplaced > 0; ++Idx) {
+    const ScanSlot Cur = Queue[Idx]; // Copy: Queue may reallocate below.
+    ++Result.Stats.SlotsExamined;
+    const double Anchor = Cur.S.Start;
+
+    for (size_t J = 0, E = Jobs.size(); J != E; ++J) {
+      if (Result.PerJob[J])
+        continue;
+      if (Consumed.count(Cur.Serial))
+        break; // A higher-priority job took this slot at this anchor.
+      const ResourceRequest &Req = Jobs[J].Request;
+      if (!detail::meetsPerformance(Cur.S, Req))
+        continue;
+      if (PriceMode == PriceModeKind::PerSlotCap &&
+          !detail::meetsPriceCap(Cur.S, Req))
+        continue;
+      if (!detail::meetsLength(Cur.S, Req))
+        continue;
+      if (!detail::fitsDeadline(Cur.S, Anchor, Req))
+        continue;
+
+      // The job's window start advances to the newest slot's start;
+      // expire stale members (ALP/AMP step 3).
+      std::vector<ScanSlot> &Group = Groups[J];
+      std::erase_if(Group, [&](const ScanSlot &G) {
+        return !G.S.coversFrom(Anchor, G.S.runtimeFor(Req.Volume)) ||
+               !detail::fitsDeadline(G.S, Anchor, Req);
+      });
+      Group.push_back(Cur);
+      Result.Stats.GroupOperations += Group.size();
+      Result.Stats.GroupPeak =
+          std::max(Result.Stats.GroupPeak, Group.size());
+
+      const size_t Needed = static_cast<size_t>(Req.NodeCount);
+      if (Group.size() < Needed)
+        continue;
+
+      // Cheapest-N members; in budget mode also check the job budget.
+      Candidates.clear();
+      for (const ScanSlot &G : Group)
+        Candidates.push_back(&G);
+      std::partial_sort(
+          Candidates.begin(),
+          Candidates.begin() + static_cast<long>(Needed),
+          Candidates.end(), [&](const ScanSlot *A, const ScanSlot *B) {
+            const double CostA = detail::slotUsageCost(A->S, Req);
+            const double CostB = detail::slotUsageCost(B->S, Req);
+            if (CostA != CostB)
+              return CostA < CostB;
+            return A->Serial < B->Serial;
+          });
+      Candidates.resize(Needed);
+
+      if (PriceMode == PriceModeKind::JobBudget) {
+        double Total = 0.0;
+        for (const ScanSlot *C : Candidates)
+          Total += detail::slotUsageCost(C->S, Req);
+        if (Total > Req.budget() + TimeEpsilon)
+          continue;
+      }
+
+      // Commit the window: evict members everywhere, requeue tails.
+      std::vector<const Slot *> Members;
+      std::vector<uint64_t> Serials;
+      for (const ScanSlot *C : Candidates) {
+        Members.push_back(&C->S);
+        Serials.push_back(C->Serial);
+      }
+      Result.PerJob[J] = detail::buildWindow(Anchor, Members, Req);
+      --Unplaced;
+
+      for (const WindowSlot &M : *Result.PerJob[J]) {
+        const double TailStart = Anchor + M.Runtime;
+        if (M.Source.End - TailStart > TimeEpsilon) {
+          ScanSlot Tail;
+          Tail.S = M.Source;
+          Tail.S.Start = TailStart;
+          Tail.Serial = NextSerial++;
+          // Tails start after the current anchor; keep the unscanned
+          // region sorted so the scan encounters them in order.
+          const auto Pos = std::upper_bound(
+              Queue.begin() + static_cast<long>(Idx) + 1, Queue.end(),
+              Tail, scanSlotStartLess);
+          Queue.insert(Pos, Tail);
+        }
+      }
+      for (const uint64_t Serial : Serials)
+        Consumed.insert(Serial);
+      for (auto &OtherGroup : Groups)
+        std::erase_if(OtherGroup, [&](const ScanSlot &G) {
+          return Consumed.count(G.Serial) != 0;
+        });
+      if (Consumed.count(Cur.Serial))
+        break; // The anchor slot itself was taken.
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,96 @@
+//===-- core/BatchSearch.h - Whole-batch one-pass co-allocation ----*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's stated future work (Section 7): "the problem of slot
+/// selection for the whole job batch at once and not for each job
+/// consecutively", scheduling "on the fly" without a dedicated
+/// optimization phase.
+///
+/// OnePassBatchScheduler makes a single synchronized forward scan of
+/// the ordered slot list, maintaining one ALP/AMP-style working group
+/// per *unplaced* job simultaneously. Whenever the newest slot lets
+/// some job (served in priority order) complete a window, the window is
+/// committed immediately: its members leave every other job's group and
+/// the members' unused tails re-enter the scan as fresh slots. The scan
+/// touches every original and remainder slot once, so the whole batch
+/// is placed in O((m + k) * n) for m slots, k committed members, and n
+/// jobs — no sweep repetition and no second phase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_BATCHSEARCH_H
+#define ECOSCHED_CORE_BATCHSEARCH_H
+
+#include "core/SearchAlgorithm.h"
+
+#include <vector>
+
+namespace ecosched {
+
+/// Result of a one-pass batch co-allocation.
+struct BatchAssignment {
+  /// Chosen window per job (parallel to the batch); empty optional for
+  /// jobs the pass could not place.
+  std::vector<std::optional<Window>> PerJob;
+  /// Scan work counters (original + remainder slots examined).
+  SearchStats Stats;
+
+  /// Number of placed jobs.
+  size_t placedCount() const {
+    size_t Count = 0;
+    for (const auto &W : PerJob)
+      Count += W.has_value();
+    return Count;
+  }
+
+  /// Latest end time across placed windows; 0 when none placed.
+  double makespan() const {
+    double End = 0.0;
+    for (const auto &W : PerJob)
+      if (W && W->endTime() > End)
+        End = W->endTime();
+    return End;
+  }
+
+  /// Total money cost across placed windows.
+  double totalCost() const {
+    double Cost = 0.0;
+    for (const auto &W : PerJob)
+      if (W)
+        Cost += W->totalCost();
+    return Cost;
+  }
+};
+
+/// Single-scan whole-batch scheduler (future-work extension).
+class OnePassBatchScheduler {
+public:
+  /// How slot prices are admitted, mirroring ALP vs AMP.
+  enum class PriceModeKind {
+    /// ALP-style: per-slot unit-price cap.
+    PerSlotCap,
+    /// AMP-style: per-job budget S = rho*C*t*N.
+    JobBudget,
+  };
+
+  explicit OnePassBatchScheduler(
+      PriceModeKind PriceMode = PriceModeKind::JobBudget)
+      : PriceMode(PriceMode) {}
+
+  /// Places the whole \p Jobs batch onto \p List in one forward scan.
+  /// Jobs are served in batch (priority) order at every step; committed
+  /// windows are pairwise disjoint in processor time.
+  BatchAssignment assign(const SlotList &List, const Batch &Jobs) const;
+
+private:
+  PriceModeKind PriceMode;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_BATCHSEARCH_H

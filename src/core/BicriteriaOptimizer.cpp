@@ -1,0 +1,214 @@
+//===-- core/BicriteriaOptimizer.cpp - Criteria-vector selection ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BicriteriaOptimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+using namespace ecosched;
+
+namespace {
+
+constexpr double Unreachable = std::numeric_limits<double>::infinity();
+
+enum class RoundingKind { Up, Down };
+
+size_t toCells(double Weight, double CellSize, RoundingKind Round) {
+  if (Weight <= 0.0)
+    return 0;
+  const double Scaled = Weight / CellSize;
+  if (Round == RoundingKind::Up)
+    return static_cast<size_t>(std::ceil(Scaled - 1e-12));
+  return static_cast<size_t>(std::floor(Scaled + 1e-12));
+}
+
+/// Evaluates a selection exactly against both limits.
+BicriteriaChoice evaluate(const BicriteriaProblem &P,
+                          std::vector<size_t> Selected) {
+  BicriteriaChoice Choice;
+  Choice.Selected = std::move(Selected);
+  for (size_t I = 0, E = Choice.Selected.size(); I != E; ++I) {
+    const AlternativeValue &V = P.PerJob[I][Choice.Selected[I]];
+    Choice.Cost += V.Cost;
+    Choice.Time += V.Time;
+  }
+  Choice.Feasible = Choice.Cost <= P.Budget + 1e-9 &&
+                    Choice.Time <= P.TimeQuota + 1e-9;
+  return Choice;
+}
+
+/// One 2D backward run; empty vector when nothing fits the grid.
+std::vector<size_t> solve2d(const BicriteriaProblem &P, size_t CostBins,
+                            size_t TimeBins, RoundingKind Round) {
+  const size_t JobCount = P.PerJob.size();
+  const double CostCell =
+      P.Budget > 0.0 ? P.Budget / static_cast<double>(CostBins) : 1.0;
+  const double TimeCell =
+      P.TimeQuota > 0.0 ? P.TimeQuota / static_cast<double>(TimeBins)
+                        : 1.0;
+  const size_t CostCells = P.Budget > 0.0 ? CostBins : 0;
+  const size_t TimeCells = P.TimeQuota > 0.0 ? TimeBins : 0;
+  const size_t WidthC = CostCells + 1;
+  const size_t WidthT = TimeCells + 1;
+  const size_t States = WidthC * WidthT;
+
+  std::vector<double> Next(States, 0.0), Current(States);
+  std::vector<std::vector<uint32_t>> ChoiceTable(
+      JobCount, std::vector<uint32_t>(States, 0));
+
+  std::vector<size_t> CostNeeded, TimeNeeded;
+  std::vector<double> Score;
+  for (size_t I = JobCount; I-- > 0;) {
+    const auto &Alts = P.PerJob[I];
+    CostNeeded.resize(Alts.size());
+    TimeNeeded.resize(Alts.size());
+    Score.resize(Alts.size());
+    for (size_t A = 0, E = Alts.size(); A != E; ++A) {
+      CostNeeded[A] = toCells(Alts[A].Cost, CostCell, Round);
+      TimeNeeded[A] = toCells(Alts[A].Time, TimeCell, Round);
+      Score[A] = P.CostWeight * Alts[A].Cost +
+                 (1.0 - P.CostWeight) * Alts[A].Time;
+    }
+    for (size_t Zc = 0; Zc < WidthC; ++Zc) {
+      for (size_t Zt = 0; Zt < WidthT; ++Zt) {
+        double Best = Unreachable;
+        uint32_t BestAlt = 0;
+        for (size_t A = 0, E = Alts.size(); A != E; ++A) {
+          if (CostNeeded[A] > Zc || TimeNeeded[A] > Zt)
+            continue;
+          const double Tail =
+              Next[(Zc - CostNeeded[A]) * WidthT + (Zt - TimeNeeded[A])];
+          if (Tail == Unreachable)
+            continue;
+          const double Value = Score[A] + Tail;
+          if (Value < Best) {
+            Best = Value;
+            BestAlt = static_cast<uint32_t>(A);
+          }
+        }
+        Current[Zc * WidthT + Zt] = Best;
+        ChoiceTable[I][Zc * WidthT + Zt] = BestAlt;
+      }
+    }
+    std::swap(Current, Next);
+  }
+
+  if (Next[CostCells * WidthT + TimeCells] == Unreachable)
+    return {};
+
+  std::vector<size_t> Selected(JobCount);
+  size_t Zc = CostCells, Zt = TimeCells;
+  for (size_t I = 0; I < JobCount; ++I) {
+    const size_t Alt = ChoiceTable[I][Zc * WidthT + Zt];
+    Selected[I] = Alt;
+    Zc -= toCells(P.PerJob[I][Alt].Cost, CostCell, Round);
+    Zt -= toCells(P.PerJob[I][Alt].Time, TimeCell, Round);
+  }
+  return Selected;
+}
+
+} // namespace
+
+BicriteriaChoice
+BicriteriaDpOptimizer::solve(const BicriteriaProblem &P) const {
+  assert(CostBins > 0 && TimeBins > 0 && "empty DP grid");
+  assert(P.CostWeight >= 0.0 && P.CostWeight <= 1.0 &&
+         "scalarization weight outside [0, 1]");
+  BicriteriaChoice Infeasible;
+  if (P.PerJob.empty())
+    return Infeasible;
+  for (const auto &Alts : P.PerJob)
+    if (Alts.empty())
+      return Infeasible;
+  if (P.Budget < 0.0 || P.TimeQuota < 0.0)
+    return Infeasible;
+
+  BicriteriaChoice Best;
+  const std::vector<size_t> Up =
+      solve2d(P, CostBins, TimeBins, RoundingKind::Up);
+  if (!Up.empty()) {
+    Best = evaluate(P, Up);
+    assert(Best.Feasible && "ceil-rounded 2D DP violated a limit");
+  }
+  const std::vector<size_t> Down =
+      solve2d(P, CostBins, TimeBins, RoundingKind::Down);
+  if (!Down.empty()) {
+    const BicriteriaChoice Candidate = evaluate(P, Down);
+    if (Candidate.Feasible) {
+      const auto ScoreOf = [&](const BicriteriaChoice &C) {
+        return P.CostWeight * C.Cost + (1.0 - P.CostWeight) * C.Time;
+      };
+      if (!Best.Feasible || ScoreOf(Candidate) < ScoreOf(Best))
+        Best = Candidate;
+    }
+  }
+  return Best;
+}
+
+std::vector<ParetoPoint>
+ecosched::enumerateParetoFront(const BicriteriaProblem &P) {
+  std::vector<ParetoPoint> Points;
+  const size_t JobCount = P.PerJob.size();
+  if (JobCount == 0)
+    return Points;
+  for (const auto &Alts : P.PerJob)
+    if (Alts.empty())
+      return Points;
+
+  // Suffix minima for pruning against both limits.
+  std::vector<double> MinCostSuffix(JobCount + 1, 0.0);
+  std::vector<double> MinTimeSuffix(JobCount + 1, 0.0);
+  for (size_t I = JobCount; I-- > 0;) {
+    double MinCost = Unreachable, MinTime = Unreachable;
+    for (const AlternativeValue &V : P.PerJob[I]) {
+      MinCost = std::min(MinCost, V.Cost);
+      MinTime = std::min(MinTime, V.Time);
+    }
+    MinCostSuffix[I] = MinCostSuffix[I + 1] + MinCost;
+    MinTimeSuffix[I] = MinTimeSuffix[I + 1] + MinTime;
+  }
+
+  std::vector<size_t> Stack;
+  auto Visit = [&](auto &&Self, size_t Job, double Cost,
+                   double Time) -> void {
+    if (Cost + MinCostSuffix[Job] > P.Budget + 1e-9 ||
+        Time + MinTimeSuffix[Job] > P.TimeQuota + 1e-9)
+      return;
+    if (Job == JobCount) {
+      Points.push_back({Cost, Time, Stack});
+      return;
+    }
+    for (size_t A = 0, E = P.PerJob[Job].size(); A != E; ++A) {
+      const AlternativeValue &V = P.PerJob[Job][A];
+      Stack.push_back(A);
+      Self(Self, Job + 1, Cost + V.Cost, Time + V.Time);
+      Stack.pop_back();
+    }
+  };
+  Visit(Visit, 0, 0.0, 0.0);
+
+  // Keep the non-dominated points: sort by (cost, time) and sweep.
+  std::sort(Points.begin(), Points.end(),
+            [](const ParetoPoint &A, const ParetoPoint &B) {
+              if (A.Cost != B.Cost)
+                return A.Cost < B.Cost;
+              return A.Time < B.Time;
+            });
+  std::vector<ParetoPoint> Front;
+  double BestTime = Unreachable;
+  for (ParetoPoint &Point : Points) {
+    if (Point.Time < BestTime - 1e-12) {
+      BestTime = Point.Time;
+      Front.push_back(std::move(Point));
+    }
+  }
+  return Front;
+}

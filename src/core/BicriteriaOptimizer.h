@@ -1,0 +1,100 @@
+//===-- core/BicriteriaOptimizer.h - Criteria-vector selection -----*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The general case of the economic model (Section 2): "it is necessary
+/// to use a vector of criteria, for example <C(s), D(s), T(s), I(s)>,
+/// where D(s) = B* - C(s), I(s) = T* - T(s)" — i.e. both VO limits hold
+/// simultaneously and the policy trades the two slacks off against each
+/// other. This module provides:
+///
+///  * BicriteriaDpOptimizer — a two-dimensional backward-run DP over a
+///    (cost, time) grid that minimizes the scalarization
+///    CostWeight * C + (1 - CostWeight) * T subject to C <= B* and
+///    T <= T*. Sweeping CostWeight traces the policy spectrum between
+///    pure cost and pure time minimization under the full limit vector.
+///  * enumerateParetoFront — the exact set of non-dominated (C, T)
+///    selections within both limits, for small instances; the oracle
+///    the tests hold the DP against and the curve the bicriteria bench
+///    prints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_BICRITERIAOPTIMIZER_H
+#define ECOSCHED_CORE_BICRITERIAOPTIMIZER_H
+
+#include "core/Optimizer.h"
+
+namespace ecosched {
+
+/// Selection under the full limit vector.
+struct BicriteriaProblem {
+  /// Alternatives per job, as in CombinationProblem.
+  std::vector<std::vector<AlternativeValue>> PerJob;
+  /// The VO budget B* (cost limit).
+  double Budget = 0.0;
+  /// The quota T* (time limit).
+  double TimeQuota = 0.0;
+  /// Scalarization weight in [0, 1]: 1 = pure cost minimization,
+  /// 0 = pure time minimization.
+  double CostWeight = 0.5;
+};
+
+/// A selection with its full criteria vector <C, D, T, I>.
+struct BicriteriaChoice {
+  bool Feasible = false;
+  std::vector<size_t> Selected;
+  double Cost = 0.0;
+  double Time = 0.0;
+
+  /// D(s) = B* - C(s): the unspent budget.
+  double budgetSlack(const BicriteriaProblem &P) const {
+    return P.Budget - Cost;
+  }
+  /// I(s) = T* - T(s): the unspent quota.
+  double quotaSlack(const BicriteriaProblem &P) const {
+    return P.TimeQuota - Time;
+  }
+};
+
+/// Two-dimensional discretized backward run.
+class BicriteriaDpOptimizer {
+public:
+  /// \p CostBins x \p TimeBins is the grid resolution; memory and time
+  /// scale with their product.
+  explicit BicriteriaDpOptimizer(size_t CostBins = 160,
+                                 size_t TimeBins = 160)
+      : CostBins(CostBins), TimeBins(TimeBins) {}
+
+  /// Solves \p Problem. Constraint weights are rounded up on the grid,
+  /// so a feasible result always satisfies both limits exactly; like
+  /// DpOptimizer, a floor-rounded second pass recovers exact-boundary
+  /// optima when its reconstruction validates.
+  BicriteriaChoice solve(const BicriteriaProblem &Problem) const;
+
+private:
+  size_t CostBins;
+  size_t TimeBins;
+};
+
+/// One point of the exact Pareto front.
+struct ParetoPoint {
+  double Cost = 0.0;
+  double Time = 0.0;
+  std::vector<size_t> Selected;
+};
+
+/// Enumerates every non-dominated (cost, time) selection satisfying
+/// both limits, sorted by ascending cost (hence descending time).
+/// Exponential in the worst case; intended for small instances (the
+/// enumeration prunes against the limits and the incumbent front).
+std::vector<ParetoPoint>
+enumerateParetoFront(const BicriteriaProblem &Problem);
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_BICRITERIAOPTIMIZER_H

@@ -1,0 +1,103 @@
+//===-- core/BruteForceOptimizer.cpp - Exact enumeration oracle -----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BruteForceOptimizer.h"
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+using namespace ecosched;
+
+namespace {
+
+/// Depth-first enumeration state.
+struct EnumerationState {
+  const CombinationProblem &P;
+  bool Minimize;
+  /// Per-job minimum constraint weight of the remaining suffix; used to
+  /// prune branches that cannot stay within the limit.
+  std::vector<double> SuffixMinWeight;
+  /// Per-job best possible objective of the remaining suffix; used to
+  /// prune branches that cannot beat the incumbent.
+  std::vector<double> SuffixBestObjective;
+
+  std::vector<size_t> Stack;
+  std::vector<size_t> BestSelected;
+  double BestObjective = 0.0;
+  bool HaveBest = false;
+
+  explicit EnumerationState(const CombinationProblem &P)
+      : P(P), Minimize(P.Direction == DirectionKind::Minimize) {
+    const size_t N = P.PerJob.size();
+    SuffixMinWeight.assign(N + 1, 0.0);
+    SuffixBestObjective.assign(N + 1, 0.0);
+    for (size_t I = N; I-- > 0;) {
+      double MinWeight = std::numeric_limits<double>::infinity();
+      double BestObj = Minimize ? std::numeric_limits<double>::infinity()
+                                : -std::numeric_limits<double>::infinity();
+      for (const AlternativeValue &V : P.PerJob[I]) {
+        const double W = V.get(P.Constraint);
+        MinWeight = W < MinWeight ? W : MinWeight;
+        const double G = V.get(P.Objective);
+        if (Minimize ? G < BestObj : G > BestObj)
+          BestObj = G;
+      }
+      SuffixMinWeight[I] = SuffixMinWeight[I + 1] + MinWeight;
+      SuffixBestObjective[I] = SuffixBestObjective[I + 1] + BestObj;
+    }
+  }
+
+  void visit(size_t Job, double Objective, double Weight) {
+    if (Job == P.PerJob.size()) {
+      if (!HaveBest ||
+          (Minimize ? Objective < BestObjective
+                    : Objective > BestObjective)) {
+        BestObjective = Objective;
+        BestSelected = Stack;
+        HaveBest = true;
+      }
+      return;
+    }
+    // Prune: the cheapest completion already violates the limit.
+    if (Weight + SuffixMinWeight[Job] > P.Limit + 1e-9)
+      return;
+    // Prune: even the ideal completion cannot beat the incumbent.
+    if (HaveBest) {
+      const double Ideal = Objective + SuffixBestObjective[Job];
+      if (Minimize ? Ideal >= BestObjective : Ideal <= BestObjective)
+        return;
+    }
+    for (size_t A = 0, E = P.PerJob[Job].size(); A != E; ++A) {
+      const AlternativeValue &V = P.PerJob[Job][A];
+      const double NextWeight = Weight + V.get(P.Constraint);
+      if (NextWeight > P.Limit + 1e-9)
+        continue;
+      Stack.push_back(A);
+      visit(Job + 1, Objective + V.get(P.Objective), NextWeight);
+      Stack.pop_back();
+    }
+  }
+};
+
+} // namespace
+
+CombinationChoice
+BruteForceOptimizer::solve(const CombinationProblem &Problem) const {
+  CombinationChoice Infeasible;
+  if (Problem.PerJob.empty())
+    return Infeasible;
+  for (const auto &Alts : Problem.PerJob)
+    if (Alts.empty())
+      return Infeasible;
+
+  EnumerationState State(Problem);
+  State.visit(0, 0.0, 0.0);
+  if (!State.HaveBest)
+    return Infeasible;
+  return evaluateSelection(Problem, std::move(State.BestSelected));
+}

@@ -1,0 +1,34 @@
+//===-- core/BruteForceOptimizer.h - Exact enumeration oracle ------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive enumeration with branch-and-bound pruning. Exact, so it
+/// serves as the correctness oracle for DpOptimizer in the tests, and
+/// as the reference optimum in the optimizer-ablation bench. Worst-case
+/// exponential; intended for small instances (the paper's batches have
+/// 3..7 jobs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_BRUTEFORCEOPTIMIZER_H
+#define ECOSCHED_CORE_BRUTEFORCEOPTIMIZER_H
+
+#include "core/Optimizer.h"
+
+namespace ecosched {
+
+/// Exact multiple-choice optimizer via pruned enumeration.
+class BruteForceOptimizer : public CombinationOptimizer {
+public:
+  std::string_view name() const override { return "brute-force"; }
+
+  CombinationChoice solve(const CombinationProblem &Problem) const override;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_BRUTEFORCEOPTIMIZER_H

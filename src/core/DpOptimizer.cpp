@@ -1,0 +1,147 @@
+//===-- core/DpOptimizer.cpp - Backward-run dynamic programming -----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DpOptimizer.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+using namespace ecosched;
+
+namespace {
+
+/// Sentinel for unreachable DP states.
+constexpr double Unreachable = std::numeric_limits<double>::infinity();
+
+enum class RoundingKind { Up, Down };
+
+/// Converts a constraint weight to grid cells. Rounding up never
+/// understates consumption (safe but can reject boundary optima);
+/// rounding down never overstates it (candidate selections must be
+/// re-validated in exact arithmetic).
+size_t weightToCells(double Weight, double CellSize, RoundingKind Round) {
+  if (Weight <= 0.0)
+    return 0;
+  const double Scaled = Weight / CellSize;
+  if (Round == RoundingKind::Up)
+    return static_cast<size_t>(std::ceil(Scaled - 1e-12));
+  return static_cast<size_t>(std::floor(Scaled + 1e-12));
+}
+
+/// One backward run of equation (1) on the discretized constraint axis.
+/// Returns the reconstructed selection, or an empty vector when no
+/// selection fits the grid.
+std::vector<size_t> solveRounded(const CombinationProblem &P, size_t Bins,
+                                 RoundingKind Round) {
+  const size_t JobCount = P.PerJob.size();
+  const double CellSize =
+      P.Limit > 0.0 ? P.Limit / static_cast<double>(Bins) : 1.0;
+  const size_t Cells = P.Limit > 0.0 ? Bins : 0;
+  const bool Minimize = P.Direction == DirectionKind::Minimize;
+
+  // f[i][z]: best objective for jobs i..n-1 with z grid cells of the
+  // constrained resource remaining. Backward run: i = n-1 .. 0.
+  const size_t Width = Cells + 1;
+  std::vector<double> Next(Width, 0.0), Current(Width);
+  std::vector<std::vector<uint32_t>> ChoiceTable(
+      JobCount, std::vector<uint32_t>(Width, 0));
+
+  std::vector<size_t> CellCosts;
+  std::vector<double> Objectives;
+  for (size_t I = JobCount; I-- > 0;) {
+    const auto &Alts = P.PerJob[I];
+    // Hoist the per-alternative conversions out of the Z loop.
+    CellCosts.resize(Alts.size());
+    Objectives.resize(Alts.size());
+    for (size_t A = 0, E = Alts.size(); A != E; ++A) {
+      CellCosts[A] =
+          weightToCells(Alts[A].get(P.Constraint), CellSize, Round);
+      Objectives[A] = Alts[A].get(P.Objective);
+    }
+    for (size_t Z = 0; Z < Width; ++Z) {
+      double Best = 0.0;
+      uint32_t BestAlt = 0;
+      bool Found = false;
+      for (size_t A = 0, E = Alts.size(); A != E; ++A) {
+        const size_t Cost = CellCosts[A];
+        if (Cost > Z)
+          continue;
+        const double Tail = Next[Z - Cost];
+        if (Tail == Unreachable || Tail == -Unreachable)
+          continue;
+        const double Value = Objectives[A] + Tail;
+        if (!Found || (Minimize ? Value < Best : Value > Best)) {
+          Best = Value;
+          BestAlt = static_cast<uint32_t>(A);
+          Found = true;
+        }
+      }
+      Current[Z] = Found ? Best : (Minimize ? Unreachable : -Unreachable);
+      ChoiceTable[I][Z] = BestAlt;
+    }
+    std::swap(Current, Next);
+  }
+
+  if (Next[Cells] == Unreachable || Next[Cells] == -Unreachable)
+    return {};
+
+  // Forward reconstruction of the chosen alternatives.
+  std::vector<size_t> Selected(JobCount);
+  size_t Z = Cells;
+  for (size_t I = 0; I < JobCount; ++I) {
+    const size_t Alt = ChoiceTable[I][Z];
+    Selected[I] = Alt;
+    Z -= weightToCells(P.PerJob[I][Alt].get(P.Constraint), CellSize,
+                       Round);
+  }
+  return Selected;
+}
+
+} // namespace
+
+CombinationChoice DpOptimizer::solve(const CombinationProblem &P) const {
+  assert(Bins > 0 && "DP needs at least one constraint cell");
+  CombinationChoice Infeasible;
+  if (P.PerJob.empty())
+    return Infeasible;
+  for (const auto &Alts : P.PerJob)
+    if (Alts.empty())
+      return Infeasible;
+  if (P.Limit < 0.0)
+    return Infeasible;
+
+  // Pass 1 (round up): any reconstructed selection is feasible in exact
+  // arithmetic, but selections sitting exactly at the limit may be
+  // rejected by the grid.
+  CombinationChoice Best;
+  const std::vector<size_t> Up = solveRounded(P, Bins, RoundingKind::Up);
+  if (!Up.empty()) {
+    Best = evaluateSelection(P, Up);
+    assert(Best.Feasible &&
+           "ceil-rounded DP produced a constraint-violating selection");
+  }
+
+  // Pass 2 (round down): the floor grid admits every exactly-feasible
+  // selection, so its optimum bounds the true optimum; if the
+  // reconstructed selection validates exactly, it *is* the true
+  // optimum and supersedes pass 1.
+  const std::vector<size_t> Down =
+      solveRounded(P, Bins, RoundingKind::Down);
+  if (!Down.empty()) {
+    const CombinationChoice Candidate = evaluateSelection(P, Down);
+    if (Candidate.Feasible) {
+      const bool Minimize = P.Direction == DirectionKind::Minimize;
+      if (!Best.Feasible ||
+          (Minimize ? Candidate.ObjectiveTotal < Best.ObjectiveTotal
+                    : Candidate.ObjectiveTotal > Best.ObjectiveTotal))
+        Best = Candidate;
+    }
+  }
+  return Best;
+}

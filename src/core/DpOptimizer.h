@@ -1,0 +1,49 @@
+//===-- core/DpOptimizer.h - Backward-run dynamic programming ------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backward-run dynamic programming of equation (1):
+///
+///   f_i(Z_i) = extr{ g_i(s_i) + f_{i+1}(Z_i - z_i(s_i)) },
+///   f_{n+1} = 0,
+///
+/// over jobs i = n..1 with the admissible resource z_i (time or cost)
+/// discretized onto a fixed grid. Constraint weights are rounded *up*
+/// to grid cells, so any selection the DP reports feasible is feasible
+/// in exact arithmetic; the objective is exact (not discretized). The
+/// grid resolution only affects how close the result is to the true
+/// optimum (error vanishes as Bins grows; tests cross-check against
+/// BruteForceOptimizer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_DPOPTIMIZER_H
+#define ECOSCHED_CORE_DPOPTIMIZER_H
+
+#include "core/Optimizer.h"
+
+namespace ecosched {
+
+/// Discretized implementation of the paper's backward-run scheme.
+class DpOptimizer : public CombinationOptimizer {
+public:
+  /// \p Bins is the resolution of the constraint axis.
+  explicit DpOptimizer(size_t Bins = 4096) : Bins(Bins) {}
+
+  std::string_view name() const override { return "dp"; }
+
+  CombinationChoice solve(const CombinationProblem &Problem) const override;
+
+  size_t bins() const { return Bins; }
+
+private:
+  size_t Bins;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_DPOPTIMIZER_H

@@ -1,0 +1,56 @@
+//===-- core/DynamicPricing.cpp - Supply-and-demand node pricing ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DynamicPricing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ecosched;
+
+void PricingEngine::captureBasePrices(const ComputingDomain &Domain) {
+  BasePrices.clear();
+  BasePrices.reserve(Domain.pool().size());
+  for (const ResourceNode &Node : Domain.pool())
+    BasePrices.push_back(Node.UnitPrice);
+}
+
+double PricingEngine::nodeUtilization(const ComputingDomain &Domain,
+                                      int NodeId, double WindowStart,
+                                      double WindowEnd) {
+  assert(WindowStart < WindowEnd && "empty utilization window");
+  double Busy = 0.0;
+  for (const BusyInterval &B : Domain.occupancy(NodeId)) {
+    const double OverlapStart = std::max(B.Start, WindowStart);
+    const double OverlapEnd = std::min(B.End, WindowEnd);
+    if (OverlapEnd > OverlapStart)
+      Busy += OverlapEnd - OverlapStart;
+  }
+  return Busy / (WindowEnd - WindowStart);
+}
+
+std::vector<double> PricingEngine::update(ComputingDomain &Domain,
+                                          double WindowStart,
+                                          double WindowEnd) {
+  assert(BasePrices.size() == Domain.pool().size() &&
+         "captureBasePrices() before update(), and after adding nodes");
+  std::vector<double> Utilizations;
+  Utilizations.reserve(Domain.pool().size());
+  for (const ResourceNode &Node : Domain.pool()) {
+    const double Utilization =
+        nodeUtilization(Domain, Node.Id, WindowStart, WindowEnd);
+    Utilizations.push_back(Utilization);
+    const double Error = Utilization - Cfg.TargetUtilization;
+    const double Base = BasePrices[static_cast<size_t>(Node.Id)];
+    const double Proposed =
+        Node.UnitPrice * (1.0 + Cfg.Sensitivity * Error);
+    const double Clamped = std::clamp(Proposed, Cfg.MinFactor * Base,
+                                      Cfg.MaxFactor * Base);
+    Domain.setNodePrice(Node.Id, Clamped);
+  }
+  return Utilizations;
+}

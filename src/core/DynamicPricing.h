@@ -1,0 +1,75 @@
+//===-- core/DynamicPricing.h - Supply-and-demand node pricing ----*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's stated future work (Section 7): "pricing mechanisms that
+/// will take into account supply-and-demand trends for computational
+/// resources in virtual organizations".
+///
+/// PricingEngine implements a simple multiplicative owner-side rule:
+/// after every scheduling iteration each node's unit price moves
+/// towards demand,
+///
+///   price *= 1 + Sensitivity * (utilization - TargetUtilization),
+///
+/// clamped to [MinFactor, MaxFactor] times the node's base price.
+/// Overloaded (popular) nodes become more expensive, pushing
+/// price-capped requests towards idle nodes; idle nodes discount until
+/// they attract load. The `ablation_dynamic_pricing` bench measures the
+/// resulting utilization balance and owner income on the VO loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_DYNAMICPRICING_H
+#define ECOSCHED_CORE_DYNAMICPRICING_H
+
+#include "sim/ComputingDomain.h"
+
+#include <vector>
+
+namespace ecosched {
+
+/// Owner-side supply-and-demand price controller for a domain.
+class PricingEngine {
+public:
+  struct Config {
+    /// Utilization the owner is content with; no price movement there.
+    double TargetUtilization = 0.6;
+    /// Fractional price change per unit of utilization error.
+    double Sensitivity = 0.5;
+    /// Price floor/ceiling as factors of the node's base price.
+    double MinFactor = 0.25;
+    double MaxFactor = 4.0;
+  };
+
+  PricingEngine() = default;
+  explicit PricingEngine(Config Cfg) : Cfg(Cfg) {}
+
+  /// Captures the base prices of \p Domain's nodes; must be called once
+  /// before the first update (and again if nodes are added).
+  void captureBasePrices(const ComputingDomain &Domain);
+
+  /// Measures each node's utilization over [\p WindowStart,
+  /// \p WindowEnd) and adjusts its price in \p Domain.
+  /// \returns the per-node utilizations measured (test/report hook).
+  std::vector<double> update(ComputingDomain &Domain, double WindowStart,
+                             double WindowEnd);
+
+  /// Utilization of one node over a time window: busy time / window.
+  static double nodeUtilization(const ComputingDomain &Domain, int NodeId,
+                                double WindowStart, double WindowEnd);
+
+  const Config &config() const { return Cfg; }
+
+private:
+  Config Cfg;
+  std::vector<double> BasePrices;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_DYNAMICPRICING_H

@@ -1,0 +1,223 @@
+//===-- core/Experiment.cpp - Section 5 paired simulation study -----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiment.h"
+
+#include "core/AlpSearch.h"
+#include "core/AmpSearch.h"
+#include "core/DpOptimizer.h"
+#include "core/Limits.h"
+
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+using namespace ecosched;
+
+namespace {
+
+/// Everything one method produced for one iteration.
+struct MethodIteration {
+  AlternativeSet Alts;
+  std::vector<std::vector<AlternativeValue>> Values;
+  double TimeQuota = 0.0;
+  double VoBudget = -1.0;
+  CombinationChoice Choice;
+  bool Covered = false;
+  bool Feasible = false;
+};
+
+MethodIteration runMethod(const SlotSearchAlgorithm &Algo,
+                          const SlotList &Slots, const Batch &Jobs,
+                          OptimizationTaskKind Task,
+                          QuotaPolicyKind Quota,
+                          const CombinationOptimizer &Optimizer) {
+  MethodIteration Out;
+  AlternativeSearch Search(Algo);
+  Out.Alts = Search.run(Slots, Jobs);
+  Out.Covered = Out.Alts.allCovered();
+  if (!Out.Covered)
+    return Out;
+
+  Out.Values = toAlternativeValues(Out.Alts);
+  Out.TimeQuota = computeTimeQuota(Out.Values, Quota);
+  Out.VoBudget = computeVoBudget(Out.Values, Out.TimeQuota, Optimizer);
+  if (Out.VoBudget < 0.0)
+    return Out; // T* admits no combination; iteration is not counted.
+
+  CombinationProblem Problem;
+  Problem.PerJob = Out.Values;
+  Problem.Direction = DirectionKind::Minimize;
+  if (Task == OptimizationTaskKind::MinimizeTime) {
+    Problem.Objective = MeasureKind::Time;
+    Problem.Constraint = MeasureKind::Cost;
+    Problem.Limit = Out.VoBudget;
+  } else {
+    Problem.Objective = MeasureKind::Cost;
+    Problem.Constraint = MeasureKind::Time;
+    Problem.Limit = Out.TimeQuota;
+  }
+  Out.Choice = Optimizer.solve(Problem);
+  Out.Feasible = Out.Choice.Feasible;
+  return Out;
+}
+
+/// Per-job values of one method for one counted iteration.
+struct MethodRecord {
+  bool Covered = false;
+  bool Feasible = false;
+  /// Per job: chosen time, chosen cost, alternatives found.
+  std::vector<std::array<double, 3>> Jobs;
+};
+
+/// Everything the ordered fold needs from one iteration. Workers fill
+/// records concurrently; the calling thread folds them in iteration
+/// order so results are independent of the thread count.
+struct IterationRecord {
+  double SlotCount = 0.0;
+  double JobCount = 0.0;
+  MethodRecord Alp;
+  MethodRecord Amp;
+};
+
+MethodRecord toRecord(const MethodIteration &It) {
+  MethodRecord Record;
+  Record.Covered = It.Covered;
+  Record.Feasible = It.Feasible;
+  if (!It.Feasible)
+    return Record;
+  Record.Jobs.reserve(It.Values.size());
+  for (size_t I = 0, E = It.Values.size(); I != E; ++I) {
+    const AlternativeValue &V = It.Values[I][It.Choice.Selected[I]];
+    Record.Jobs.push_back(
+        {V.Time, V.Cost,
+         static_cast<double>(It.Alts.PerJob[I].size())});
+  }
+  return Record;
+}
+
+void foldMethod(MethodAggregate &Agg, const MethodRecord &Record) {
+  if (!Record.Covered)
+    ++Agg.CoverageFailures;
+  else if (!Record.Feasible)
+    ++Agg.QuotaInfeasible;
+}
+
+void foldCounted(MethodAggregate &Agg, const MethodRecord &Record,
+                 size_t SeriesCapacity) {
+  RunningStats IterTime, IterCost;
+  for (const auto &[Time, Cost, Alternatives] : Record.Jobs) {
+    Agg.JobTime.add(Time);
+    Agg.JobCost.add(Cost);
+    Agg.AlternativesPerJob.add(Alternatives);
+    IterTime.add(Time);
+    IterCost.add(Cost);
+  }
+  if (SeriesCapacity > 0 && Agg.JobTimeSeries.size() < SeriesCapacity) {
+    Agg.JobTimeSeries.push_back(IterTime.mean());
+    Agg.JobCostSeries.push_back(IterCost.mean());
+  }
+}
+
+} // namespace
+
+ExperimentResult PairedExperiment::run() const {
+  ExperimentResult Result;
+  RandomGenerator Master(Cfg.Seed);
+  const SlotGenerator Slots(Cfg.Slots);
+  const JobGenerator Jobs(Cfg.Jobs);
+
+  const size_t Threads =
+      Cfg.Threads != 0
+          ? Cfg.Threads
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+
+  const auto RunIteration = [&](RandomGenerator Rng) {
+    // Thread-local algorithm/optimizer instances (all stateless, but
+    // keeping them local documents the intent).
+    AlpSearch Alp;
+    AmpSearch Amp;
+    DpOptimizer Optimizer(Cfg.DpBins);
+    IterationRecord Record;
+    const SlotList SlotsNow =
+        Cfg.SlotSource ? Cfg.SlotSource(Rng) : Slots.generate(Rng);
+    const Batch BatchNow = Jobs.generate(Rng);
+    Record.SlotCount = static_cast<double>(SlotsNow.size());
+    Record.JobCount = static_cast<double>(BatchNow.size());
+    Record.Alp = toRecord(
+        runMethod(Alp, SlotsNow, BatchNow, Cfg.Task, Cfg.Quota, Optimizer));
+    Record.Amp = toRecord(
+        runMethod(Amp, SlotsNow, BatchNow, Cfg.Task, Cfg.Quota, Optimizer));
+    return Record;
+  };
+
+  const auto Fold = [&](const IterationRecord &Record) {
+    ++Result.TotalIterations;
+    Result.SlotsAll.add(Record.SlotCount);
+    Result.JobsAll.add(Record.JobCount);
+    foldMethod(Result.Alp, Record.Alp);
+    foldMethod(Result.Amp, Record.Amp);
+    if (!Record.Alp.Feasible || !Record.Amp.Feasible)
+      return; // Not counted (Section 5 rule).
+    ++Result.CountedIterations;
+    Result.SlotsCounted.add(Record.SlotCount);
+    Result.JobsCounted.add(Record.JobCount);
+    foldCounted(Result.Alp, Record.Alp, Cfg.SeriesCapacity);
+    foldCounted(Result.Amp, Record.Amp, Cfg.SeriesCapacity);
+  };
+
+  const auto Done = [&] {
+    return Cfg.StopAfterCounted != 0 &&
+           Result.CountedIterations >= Cfg.StopAfterCounted;
+  };
+
+  if (Threads == 1) {
+    for (int64_t Iter = 0; Iter < Cfg.Iterations && !Done(); ++Iter)
+      Fold(RunIteration(Master.fork()));
+    return Result;
+  }
+
+  // Parallel path: process fixed-size chunks of pre-forked iterations,
+  // folding each chunk in order on this thread. Early stop
+  // (StopAfterCounted) takes effect at iteration granularity inside the
+  // chunk, so results match the sequential path exactly; at most one
+  // chunk of surplus iterations is computed and discarded.
+  const int64_t ChunkSize = static_cast<int64_t>(Threads) * 8;
+  for (int64_t ChunkStart = 0;
+       ChunkStart < Cfg.Iterations && !Done();
+       ChunkStart += ChunkSize) {
+    const int64_t ChunkEnd =
+        std::min(ChunkStart + ChunkSize, Cfg.Iterations);
+    const size_t Count = static_cast<size_t>(ChunkEnd - ChunkStart);
+
+    std::vector<RandomGenerator> Rngs;
+    Rngs.reserve(Count);
+    for (size_t I = 0; I < Count; ++I)
+      Rngs.push_back(Master.fork());
+
+    std::vector<IterationRecord> Records(Count);
+    std::atomic<size_t> Next{0};
+    std::vector<std::thread> Workers;
+    const size_t WorkerCount = std::min(Threads, Count);
+    Workers.reserve(WorkerCount);
+    for (size_t W = 0; W < WorkerCount; ++W)
+      Workers.emplace_back([&] {
+        for (size_t I = Next.fetch_add(1); I < Count;
+             I = Next.fetch_add(1))
+          Records[I] = RunIteration(Rngs[I]);
+      });
+    for (std::thread &Worker : Workers)
+      Worker.join();
+
+    for (const IterationRecord &Record : Records) {
+      if (Done())
+        break;
+      Fold(Record);
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,87 @@
+//===-- core/GreedyOptimizer.cpp - Repair-and-improve heuristic -----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GreedyOptimizer.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace ecosched;
+
+CombinationChoice
+GreedyOptimizer::solve(const CombinationProblem &Problem) const {
+  CombinationChoice Infeasible;
+  const size_t JobCount = Problem.PerJob.size();
+  if (JobCount == 0)
+    return Infeasible;
+  const bool Minimize = Problem.Direction == DirectionKind::Minimize;
+
+  // Start from the per-job minimum constraint weight (ties broken by the
+  // better objective), the most conservative selection possible.
+  std::vector<size_t> Selected(JobCount);
+  double Weight = 0.0;
+  for (size_t I = 0; I != JobCount; ++I) {
+    const auto &Alts = Problem.PerJob[I];
+    if (Alts.empty())
+      return Infeasible;
+    size_t Best = 0;
+    for (size_t A = 1, E = Alts.size(); A != E; ++A) {
+      const double DW =
+          Alts[A].get(Problem.Constraint) - Alts[Best].get(Problem.Constraint);
+      const double DG =
+          Alts[A].get(Problem.Objective) - Alts[Best].get(Problem.Objective);
+      if (DW < -1e-12 ||
+          (DW <= 1e-12 && (Minimize ? DG < 0.0 : DG > 0.0)))
+        Best = A;
+    }
+    Selected[I] = Best;
+    Weight += Alts[Best].get(Problem.Constraint);
+  }
+  if (Weight > Problem.Limit + 1e-9)
+    return Infeasible;
+
+  // Improve: repeatedly take the swap with the best objective gain that
+  // still fits the limit, preferring gain per extra weight.
+  for (;;) {
+    size_t SwapJob = JobCount;
+    size_t SwapAlt = 0;
+    double SwapScore = 0.0;
+    for (size_t I = 0; I != JobCount; ++I) {
+      const auto &Alts = Problem.PerJob[I];
+      const AlternativeValue &Cur = Alts[Selected[I]];
+      for (size_t A = 0, E = Alts.size(); A != E; ++A) {
+        if (A == Selected[I])
+          continue;
+        const AlternativeValue &Cand = Alts[A];
+        const double Gain =
+            Minimize ? Cur.get(Problem.Objective) - Cand.get(Problem.Objective)
+                     : Cand.get(Problem.Objective) - Cur.get(Problem.Objective);
+        if (Gain <= 1e-12)
+          continue;
+        const double Extra =
+            Cand.get(Problem.Constraint) - Cur.get(Problem.Constraint);
+        if (Weight + Extra > Problem.Limit + 1e-9)
+          continue;
+        // Gain per unit of extra weight; free or weight-saving swaps
+        // score as pure gain.
+        const double Score = Extra > 1e-12 ? Gain / Extra : Gain * 1e12;
+        if (SwapJob == JobCount || Score > SwapScore) {
+          SwapJob = I;
+          SwapAlt = A;
+          SwapScore = Score;
+        }
+      }
+    }
+    if (SwapJob == JobCount)
+      break;
+    const auto &Alts = Problem.PerJob[SwapJob];
+    Weight += Alts[SwapAlt].get(Problem.Constraint) -
+              Alts[Selected[SwapJob]].get(Problem.Constraint);
+    Selected[SwapJob] = SwapAlt;
+  }
+  return evaluateSelection(Problem, std::move(Selected));
+}

@@ -1,0 +1,35 @@
+//===-- core/GreedyOptimizer.h - Repair-and-improve heuristic ------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cheap heuristic for the combination problem, used as the ablation
+/// baseline for the paper's DP scheme: start from the per-job
+/// minimum-constraint selection (the most conservative feasible point,
+/// if one exists) and repeatedly apply the single alternative swap with
+/// the best objective improvement per unit of extra constrained
+/// resource until no swap fits the limit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_GREEDYOPTIMIZER_H
+#define ECOSCHED_CORE_GREEDYOPTIMIZER_H
+
+#include "core/Optimizer.h"
+
+namespace ecosched {
+
+/// Greedy swap-based optimizer; feasible but generally suboptimal.
+class GreedyOptimizer : public CombinationOptimizer {
+public:
+  std::string_view name() const override { return "greedy"; }
+
+  CombinationChoice solve(const CombinationProblem &Problem) const override;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_GREEDYOPTIMIZER_H

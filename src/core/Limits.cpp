@@ -1,0 +1,44 @@
+//===-- core/Limits.cpp - VO economic limits T* and B* --------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Limits.h"
+
+#include <cmath>
+
+using namespace ecosched;
+
+double ecosched::computeTimeQuota(
+    const std::vector<std::vector<AlternativeValue>> &PerJob,
+    QuotaPolicyKind Policy) {
+  double Quota = 0.0;
+  for (const auto &Alts : PerJob) {
+    if (Alts.empty())
+      continue;
+    const double Count = static_cast<double>(Alts.size());
+    for (const AlternativeValue &V : Alts) {
+      const double Term = V.Time / Count;
+      Quota += Policy == QuotaPolicyKind::FlooredTerms ? std::floor(Term)
+                                                       : Term;
+    }
+  }
+  return Quota;
+}
+
+double ecosched::computeVoBudget(
+    const std::vector<std::vector<AlternativeValue>> &PerJob,
+    double TimeQuota, const CombinationOptimizer &Optimizer) {
+  CombinationProblem Income;
+  Income.PerJob = PerJob;
+  Income.Objective = MeasureKind::Cost;
+  Income.Direction = DirectionKind::Maximize;
+  Income.Constraint = MeasureKind::Time;
+  Income.Limit = TimeQuota;
+  const CombinationChoice Choice = Optimizer.solve(Income);
+  if (!Choice.Feasible)
+    return -1.0;
+  return Choice.ObjectiveTotal;
+}

@@ -1,0 +1,55 @@
+//===-- core/Limits.h - VO economic limits T* and B* ---------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VO policy limits of Section 2. The total slot-occupancy quota T*
+/// (formula (2)) balances global and local job shares; the VO budget B*
+/// (formula (3)) is the maximal owner income achievable under T*,
+/// computed with the same backward-run machinery as the scheduling
+/// optimization itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_LIMITS_H
+#define ECOSCHED_CORE_LIMITS_H
+
+#include "core/Optimizer.h"
+
+namespace ecosched {
+
+/// How formula (2) is evaluated.
+enum class QuotaPolicyKind {
+  /// Literal formula (2): every term floor(t/l_i). The truncation makes
+  /// batches whose alternatives share one execution time (uniform
+  /// resources) quota-infeasible; Section 5's reduced counted-iteration
+  /// rate stems from this, so the experiment harness uses this policy.
+  FlooredTerms,
+  /// sum_i mean_a t_a: the un-truncated quota. Free of the artifact;
+  /// the default for production scheduling via Metascheduler.
+  ExactMean,
+};
+
+/// Formula (2): T* = sum_i sum_{s_i} [t_i(s_i) / l_i], where l_i is the
+/// number of alternatives of job i. Jobs without alternatives
+/// contribute nothing.
+double computeTimeQuota(
+    const std::vector<std::vector<AlternativeValue>> &PerJob,
+    QuotaPolicyKind Policy = QuotaPolicyKind::FlooredTerms);
+
+/// Formula (3): B* = max total cost subject to total time <= \p TimeQuota,
+/// solved with \p Optimizer.
+///
+/// \returns the budget, or a negative value if no combination satisfies
+/// the quota (the scheduling iteration is then skipped, Section 5's
+/// counting rule).
+double computeVoBudget(
+    const std::vector<std::vector<AlternativeValue>> &PerJob,
+    double TimeQuota, const CombinationOptimizer &Optimizer);
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_LIMITS_H

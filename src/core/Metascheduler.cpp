@@ -1,0 +1,91 @@
+//===-- core/Metascheduler.cpp - Two-phase batch scheduling ---------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Metascheduler.h"
+
+#include "core/Limits.h"
+
+#include <cassert>
+
+using namespace ecosched;
+
+IterationOutcome Metascheduler::runIteration(const SlotList &List,
+                                             const Batch &Jobs) const {
+  IterationOutcome Outcome;
+  AlternativeSearch Search(SearchAlgo, Cfg.Search);
+  Outcome.Alternatives = Search.run(List, Jobs, &Outcome.Stats);
+
+  // Jobs without alternatives are postponed; whether the rest proceeds
+  // depends on the partial-batch policy.
+  std::vector<size_t> Covered;
+  for (size_t I = 0, E = Jobs.size(); I != E; ++I) {
+    if (Outcome.Alternatives.PerJob[I].empty())
+      Outcome.Postponed.push_back(Jobs[I].Id);
+    else
+      Covered.push_back(I);
+  }
+  const bool FullyCovered = Outcome.Postponed.empty();
+  if (Covered.empty() || (!FullyCovered && !Cfg.AllowPartialBatch)) {
+    Outcome.Postponed.clear();
+    for (const Job &J : Jobs)
+      Outcome.Postponed.push_back(J.Id);
+    return Outcome;
+  }
+
+  // Phase 2 works on the covered sub-batch.
+  std::vector<std::vector<AlternativeValue>> Values;
+  Values.reserve(Covered.size());
+  for (size_t I : Covered) {
+    std::vector<AlternativeValue> JobValues;
+    for (const Window &W : Outcome.Alternatives.PerJob[I])
+      JobValues.push_back({W.totalCost(), W.timeSpan()});
+    Values.push_back(std::move(JobValues));
+  }
+
+  Outcome.TimeQuota = computeTimeQuota(Values, Cfg.Quota);
+  Outcome.VoBudget = computeVoBudget(Values, Outcome.TimeQuota, Optimizer);
+
+  CombinationProblem Problem;
+  Problem.PerJob = Values;
+  if (Cfg.Task == OptimizationTaskKind::MinimizeTime) {
+    Problem.Objective = MeasureKind::Time;
+    Problem.Constraint = MeasureKind::Cost;
+    Problem.Limit = Outcome.VoBudget;
+  } else {
+    Problem.Objective = MeasureKind::Cost;
+    Problem.Constraint = MeasureKind::Time;
+    Problem.Limit = Outcome.TimeQuota;
+  }
+  Problem.Direction = DirectionKind::Minimize;
+
+  if (Outcome.VoBudget < 0.0) {
+    // T* admits no combination at all; the whole batch waits.
+    Outcome.Postponed.clear();
+    for (const Job &J : Jobs)
+      Outcome.Postponed.push_back(J.Id);
+    return Outcome;
+  }
+
+  Outcome.Choice = Optimizer.solve(Problem);
+  if (!Outcome.Choice.Feasible) {
+    Outcome.Postponed.clear();
+    for (const Job &J : Jobs)
+      Outcome.Postponed.push_back(J.Id);
+    return Outcome;
+  }
+
+  for (size_t K = 0, E = Covered.size(); K != E; ++K) {
+    const size_t BatchIndex = Covered[K];
+    ScheduledJob S;
+    S.JobId = Jobs[BatchIndex].Id;
+    S.BatchIndex = BatchIndex;
+    S.AlternativeIndex = Outcome.Choice.Selected[K];
+    S.W = Outcome.Alternatives.PerJob[BatchIndex][S.AlternativeIndex];
+    Outcome.Scheduled.push_back(std::move(S));
+  }
+  return Outcome;
+}

@@ -1,0 +1,105 @@
+//===-- core/Metascheduler.h - Two-phase batch scheduling ----------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metascheduler ties the two phases together (Sections 1-2): it
+/// takes the ordered slot list published by the resource domains and a
+/// priority-ordered batch, collects alternatives (phase 1), derives the
+/// VO limits T*/B*, selects the efficient combination (phase 2), and
+/// reports which jobs are scheduled and which are postponed to the next
+/// iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_METASCHEDULER_H
+#define ECOSCHED_CORE_METASCHEDULER_H
+
+#include "core/AlternativeSearch.h"
+#include "core/Limits.h"
+#include "core/Optimizer.h"
+
+namespace ecosched {
+
+/// Which single-criterion task the iteration optimizes (Section 2).
+enum class OptimizationTaskKind {
+  /// min T(s) subject to C(s) <= B*.
+  MinimizeTime,
+  /// min C(s) subject to T(s) <= T*.
+  MinimizeCost,
+};
+
+/// One scheduled job of an iteration.
+struct ScheduledJob {
+  int JobId = -1;
+  /// Index of the job in the batch.
+  size_t BatchIndex = 0;
+  /// Index of the chosen alternative within the job's alternatives.
+  size_t AlternativeIndex = 0;
+  /// The committed window.
+  Window W;
+};
+
+/// Outcome of one scheduling iteration.
+struct IterationOutcome {
+  /// Phase-1 result: every alternative found per job.
+  AlternativeSet Alternatives;
+  /// The quota T* (formula (2)) computed from the alternatives.
+  double TimeQuota = 0.0;
+  /// The budget B* (formula (3)); negative when T* admits no
+  /// combination.
+  double VoBudget = -1.0;
+  /// Phase-2 selection; infeasible when limits cannot be met or some
+  /// job has no alternative.
+  CombinationChoice Choice;
+  /// Jobs scheduled this iteration (empty when Choice is infeasible).
+  std::vector<ScheduledJob> Scheduled;
+  /// Ids of jobs postponed to the next iteration.
+  std::vector<int> Postponed;
+  /// Search work counters of phase 1.
+  SearchStats Stats;
+};
+
+/// The VO metascheduler.
+class Metascheduler {
+public:
+  struct Config {
+    OptimizationTaskKind Task = OptimizationTaskKind::MinimizeTime;
+    /// Production default avoids the floored-quota infeasibility
+    /// artifact (see QuotaPolicyKind); the Section 5 experiment harness
+    /// uses the paper-literal floored policy instead.
+    QuotaPolicyKind Quota = QuotaPolicyKind::ExactMean;
+    AlternativeSearch::Config Search;
+    /// When a batch is only partially coverable, schedule the covered
+    /// jobs anyway (true) or postpone the whole batch (false). The
+    /// paper's experiments require full coverage; the VO loop uses
+    /// partial scheduling to keep making progress.
+    bool AllowPartialBatch = true;
+  };
+
+  /// \p SearchAlgo and \p Optimizer must outlive the scheduler.
+  Metascheduler(const SlotSearchAlgorithm &SearchAlgo,
+                const CombinationOptimizer &Optimizer)
+      : SearchAlgo(SearchAlgo), Optimizer(Optimizer) {}
+  Metascheduler(const SlotSearchAlgorithm &SearchAlgo,
+                const CombinationOptimizer &Optimizer, Config Cfg)
+      : SearchAlgo(SearchAlgo), Optimizer(Optimizer), Cfg(Cfg) {}
+
+  /// Runs one full scheduling iteration of \p Jobs over \p List.
+  IterationOutcome runIteration(const SlotList &List,
+                                const Batch &Jobs) const;
+
+  const Config &config() const { return Cfg; }
+
+private:
+  const SlotSearchAlgorithm &SearchAlgo;
+  const CombinationOptimizer &Optimizer;
+  Config Cfg = {};
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_METASCHEDULER_H

@@ -1,0 +1,47 @@
+//===-- core/Optimizer.cpp - Combination optimization interface -----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Optimizer.h"
+
+#include <cassert>
+
+using namespace ecosched;
+
+// Virtual method anchor.
+CombinationOptimizer::~CombinationOptimizer() = default;
+
+std::vector<std::vector<AlternativeValue>>
+ecosched::toAlternativeValues(const AlternativeSet &Alts) {
+  std::vector<std::vector<AlternativeValue>> Values;
+  Values.reserve(Alts.PerJob.size());
+  for (const auto &Windows : Alts.PerJob) {
+    std::vector<AlternativeValue> JobValues;
+    JobValues.reserve(Windows.size());
+    for (const Window &W : Windows)
+      JobValues.push_back({W.totalCost(), W.timeSpan()});
+    Values.push_back(std::move(JobValues));
+  }
+  return Values;
+}
+
+CombinationChoice
+ecosched::evaluateSelection(const CombinationProblem &Problem,
+                            std::vector<size_t> Selected) {
+  assert(Selected.size() == Problem.PerJob.size() &&
+         "selection does not match the job count");
+  CombinationChoice Choice;
+  Choice.Selected = std::move(Selected);
+  for (size_t I = 0, E = Choice.Selected.size(); I != E; ++I) {
+    assert(Choice.Selected[I] < Problem.PerJob[I].size() &&
+           "selected alternative out of range");
+    const AlternativeValue &V = Problem.PerJob[I][Choice.Selected[I]];
+    Choice.ObjectiveTotal += V.get(Problem.Objective);
+    Choice.ConstraintTotal += V.get(Problem.Constraint);
+  }
+  Choice.Feasible = Choice.ConstraintTotal <= Problem.Limit + 1e-9;
+  return Choice;
+}

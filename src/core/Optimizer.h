@@ -1,0 +1,92 @@
+//===-- core/Optimizer.h - Combination optimization interface ------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second phase of the scheduling scheme: choose one alternative per
+/// job so that the whole batch is efficient or optimal (Section 2). Each
+/// alternative is reduced to its (cost, time) pair; the optimizer
+/// extremizes one measure subject to a limit on the other, e.g.
+/// min T(s) with C(s) <= B*, or max C(s) with T(s) <= T* (formula (3)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_OPTIMIZER_H
+#define ECOSCHED_CORE_OPTIMIZER_H
+
+#include "core/AlternativeSearch.h"
+
+#include <string_view>
+#include <vector>
+
+namespace ecosched {
+
+/// The two measures of the paper's criteria vector we optimize over.
+enum class MeasureKind { Cost, Time };
+
+/// Direction of the extremum in the functional equation (1).
+enum class DirectionKind { Minimize, Maximize };
+
+/// The (cost, time) footprint of one alternative; the g/z values of the
+/// paper's equation (1).
+struct AlternativeValue {
+  double Cost = 0.0;
+  double Time = 0.0;
+
+  double get(MeasureKind Kind) const {
+    return Kind == MeasureKind::Cost ? Cost : Time;
+  }
+};
+
+/// A multiple-choice selection problem: exactly one alternative per job.
+struct CombinationProblem {
+  /// Alternatives per job (job order preserved). Every job must have at
+  /// least one alternative for the problem to be feasible.
+  std::vector<std::vector<AlternativeValue>> PerJob;
+  /// Measure to extremize (g in equation (1)).
+  MeasureKind Objective = MeasureKind::Time;
+  DirectionKind Direction = DirectionKind::Minimize;
+  /// Constrained measure (z in equation (1)) and its limit Z*.
+  MeasureKind Constraint = MeasureKind::Cost;
+  double Limit = 0.0;
+};
+
+/// The selected combination.
+struct CombinationChoice {
+  /// False if no selection satisfies the constraint.
+  bool Feasible = false;
+  /// Chosen alternative index per job; parallel to PerJob.
+  std::vector<size_t> Selected;
+  /// Objective measure total of the selection.
+  double ObjectiveTotal = 0.0;
+  /// Constrained measure total of the selection.
+  double ConstraintTotal = 0.0;
+};
+
+/// Interface of combination optimizers.
+class CombinationOptimizer {
+public:
+  virtual ~CombinationOptimizer();
+
+  virtual std::string_view name() const = 0;
+
+  /// Solves \p Problem; Selected/totals are only meaningful when the
+  /// returned choice is feasible.
+  virtual CombinationChoice solve(const CombinationProblem &Problem) const = 0;
+};
+
+/// Extracts the (cost, time) values of \p Alts for the optimizers.
+std::vector<std::vector<AlternativeValue>>
+toAlternativeValues(const AlternativeSet &Alts);
+
+/// Recomputes the totals of \p Selected against \p Problem; utility for
+/// tests and for validating reconstructed DP choices.
+CombinationChoice evaluateSelection(const CombinationProblem &Problem,
+                                    std::vector<size_t> Selected);
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_OPTIMIZER_H

@@ -1,0 +1,13 @@
+//===-- core/SearchAlgorithm.cpp - Slot search interface ------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SearchAlgorithm.h"
+
+using namespace ecosched;
+
+// Virtual method anchor.
+SlotSearchAlgorithm::~SlotSearchAlgorithm() = default;

@@ -1,0 +1,66 @@
+//===-- core/SearchAlgorithm.h - Slot search interface --------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common interface of the window-search algorithms (ALP, AMP, and the
+/// backfill-style baseline). A search takes the ordered list of vacant
+/// slots and a resource request and returns the first suitable window,
+/// if any.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_SEARCHALGORITHM_H
+#define ECOSCHED_CORE_SEARCHALGORITHM_H
+
+#include "sim/Job.h"
+#include "sim/SlotList.h"
+#include "sim/Window.h"
+
+#include <optional>
+#include <string_view>
+
+namespace ecosched {
+
+/// Work counters reported by a search run; used by the complexity
+/// benches that check the paper's O(m) claim (Section 3).
+struct SearchStats {
+  /// Slots taken from the ordered list and examined.
+  size_t SlotsExamined = 0;
+  /// Peak size of the working slot group.
+  size_t GroupPeak = 0;
+  /// Total comparison-ish work: group updates plus sorting effort.
+  size_t GroupOperations = 0;
+
+  SearchStats &operator+=(const SearchStats &Other) {
+    SlotsExamined += Other.SlotsExamined;
+    GroupPeak = GroupPeak > Other.GroupPeak ? GroupPeak : Other.GroupPeak;
+    GroupOperations += Other.GroupOperations;
+    return *this;
+  }
+};
+
+/// Abstract window search over an ordered slot list.
+class SlotSearchAlgorithm {
+public:
+  virtual ~SlotSearchAlgorithm();
+
+  /// Human-readable algorithm name ("ALP", "AMP", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Finds the first (earliest) window satisfying \p Request on \p List.
+  /// \param Stats optional work counters, accumulated when non-null.
+  /// \returns the window, or std::nullopt if the list cannot satisfy the
+  /// request (the job is then postponed to the next scheduling
+  /// iteration).
+  virtual std::optional<Window>
+  findWindow(const SlotList &List, const ResourceRequest &Request,
+             SearchStats *Stats = nullptr) const = 0;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_SEARCHALGORITHM_H

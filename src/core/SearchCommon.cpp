@@ -1,0 +1,25 @@
+//===-- core/SearchCommon.cpp - Shared search helpers ---------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SearchCommon.h"
+
+using namespace ecosched;
+
+Window ecosched::detail::buildWindow(
+    double StartTime, const std::vector<const Slot *> &Chosen,
+    const ResourceRequest &Req) {
+  std::vector<WindowSlot> Members;
+  Members.reserve(Chosen.size());
+  for (const Slot *S : Chosen) {
+    WindowSlot M;
+    M.Source = *S;
+    M.Runtime = S->runtimeFor(Req.Volume);
+    M.Cost = slotUsageCost(*S, Req);
+    Members.push_back(M);
+  }
+  return Window(StartTime, std::move(Members));
+}

@@ -1,0 +1,68 @@
+//===-- core/SearchCommon.h - Shared search helpers -----------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by ALP, AMP, and the backfill baseline: admissibility
+/// checks (conditions 2a/2b/2c of Section 3) and window construction.
+/// These live in ecosched::detail; tests may use them but applications
+/// should stick to the search classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_SEARCHCOMMON_H
+#define ECOSCHED_CORE_SEARCHCOMMON_H
+
+#include "sim/Job.h"
+#include "sim/Slot.h"
+#include "sim/Window.h"
+
+#include <vector>
+
+namespace ecosched {
+namespace detail {
+
+/// Condition 2a: the slot's node is fast enough.
+inline bool meetsPerformance(const Slot &S, const ResourceRequest &Req) {
+  return S.Performance >= Req.MinPerformance - TimeEpsilon;
+}
+
+/// Condition 2c: the slot's unit price is within the per-slot cap.
+inline bool meetsPriceCap(const Slot &S, const ResourceRequest &Req) {
+  return S.UnitPrice <= Req.MaxUnitPrice + TimeEpsilon;
+}
+
+/// Condition 2b at examination time: the slot is long enough to hold the
+/// task at its node's speed when the window starts at the slot's own
+/// start. (The paper prints the performance ratio inverted; see
+/// DESIGN.md, "Model conventions".)
+inline bool meetsLength(const Slot &S, const ResourceRequest &Req) {
+  return S.length() >= S.runtimeFor(Req.Volume) - TimeEpsilon;
+}
+
+/// Money charged for running a task of the request's volume on \p S.
+inline double slotUsageCost(const Slot &S, const ResourceRequest &Req) {
+  return S.UnitPrice * S.runtimeFor(Req.Volume);
+}
+
+/// True if a task launched on \p S at \p StartTime finishes within the
+/// request's deadline (always true for the default infinite deadline).
+inline bool fitsDeadline(const Slot &S, double StartTime,
+                         const ResourceRequest &Req) {
+  return StartTime + S.runtimeFor(Req.Volume) <=
+         Req.Deadline + TimeEpsilon;
+}
+
+/// Builds a Window starting at \p StartTime from \p Chosen slots; each
+/// must cover [StartTime, StartTime + runtime].
+Window buildWindow(double StartTime,
+                   const std::vector<const Slot *> &Chosen,
+                   const ResourceRequest &Req);
+
+} // namespace detail
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_SEARCHCOMMON_H

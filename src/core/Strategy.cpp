@@ -1,0 +1,95 @@
+//===-- core/Strategy.cpp - Multi-version safety strategies ---------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Strategy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ecosched;
+
+std::vector<JobStrategy>
+ecosched::buildStrategies(const IterationOutcome &Outcome,
+                          StrategyConfig Cfg) {
+  assert(Cfg.MaxVersions > 0 && "a strategy needs at least the primary");
+  std::vector<JobStrategy> Strategies;
+  Strategies.reserve(Outcome.Scheduled.size());
+
+  for (const ScheduledJob &S : Outcome.Scheduled) {
+    JobStrategy Strategy;
+    Strategy.JobId = S.JobId;
+    Strategy.BatchIndex = S.BatchIndex;
+    Strategy.Versions.push_back(S.W);
+
+    // Fallback candidates: the job's other alternatives that start no
+    // earlier than the primary (activation moves forward in time),
+    // earliest first.
+    const std::vector<Window> &Alternatives =
+        Outcome.Alternatives.PerJob[S.BatchIndex];
+    std::vector<const Window *> Candidates;
+    for (size_t A = 0, E = Alternatives.size(); A != E; ++A) {
+      if (A == S.AlternativeIndex)
+        continue;
+      if (Alternatives[A].startTime() >= S.W.startTime() - TimeEpsilon)
+        Candidates.push_back(&Alternatives[A]);
+    }
+    std::sort(Candidates.begin(), Candidates.end(),
+              [](const Window *A, const Window *B) {
+                if (A->startTime() != B->startTime())
+                  return A->startTime() < B->startTime();
+                return A->totalCost() < B->totalCost();
+              });
+    for (const Window *W : Candidates) {
+      if (Strategy.Versions.size() >= Cfg.MaxVersions)
+        break;
+      Strategy.Versions.push_back(*W);
+    }
+    Strategies.push_back(std::move(Strategy));
+  }
+  return Strategies;
+}
+
+StrategyExecutionReport
+ecosched::executeStrategies(const std::vector<JobStrategy> &Strategies,
+                            RandomGenerator &Rng,
+                            double NodeFailureProbability) {
+  assert(NodeFailureProbability >= 0.0 && NodeFailureProbability <= 1.0 &&
+         "failure probability must be in [0, 1]");
+  StrategyExecutionReport Report;
+  Report.Jobs = Strategies.size();
+
+  for (const JobStrategy &Strategy : Strategies) {
+    Report.ReservedNodeTime += Strategy.reservedNodeTime();
+
+    double Now = 0.0; // Earliest time the next launch may happen.
+    bool Done = false;
+    size_t Used = 0;
+    for (const Window &Version : Strategy.Versions) {
+      if (Version.startTime() < Now - TimeEpsilon)
+        continue; // This fallback's start already passed.
+      ++Used;
+      // The launch fails if any member node fails.
+      const double WindowFailure =
+          1.0 - std::pow(1.0 - NodeFailureProbability,
+                         static_cast<double>(Version.size()));
+      if (!Rng.bernoulli(WindowFailure)) {
+        ++Report.Completed;
+        Report.CompletionTime.add(Version.endTime());
+        Report.VersionsUsed.add(static_cast<double>(Used));
+        Report.PaidCost += Version.totalCost();
+        Done = true;
+        break;
+      }
+      // Failure detected at launch; later versions remain usable.
+      Now = Version.startTime();
+    }
+    if (!Done)
+      ++Report.Lost;
+  }
+  return Report;
+}

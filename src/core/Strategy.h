@@ -1,0 +1,103 @@
+//===-- core/Strategy.h - Multi-version safety strategies ----------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Safety scheduling strategies (Section 7, after Toporkov et al.
+/// [13, 14]): "in the general case, a set of versions of scheduling, or
+/// a strategy, is required instead of a single version". Because the
+/// alternative search yields pairwise-disjoint windows, several
+/// alternatives per job can be *reserved simultaneously*: the chosen
+/// alternative is the primary execution version and further
+/// alternatives become standby fallbacks, activated when the primary
+/// fails (node crash, revoked reservation) without running any new
+/// search.
+///
+/// The module has two parts: building a strategy out of a scheduling
+/// iteration's outcome, and executing a strategy under stochastic
+/// launch failures to measure the dependability gain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_STRATEGY_H
+#define ECOSCHED_CORE_STRATEGY_H
+
+#include "core/Metascheduler.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+
+#include <vector>
+
+namespace ecosched {
+
+/// The reserved execution versions of one job, primary first; the
+/// fallbacks are ordered by start time so activation always moves
+/// forward on the timeline.
+struct JobStrategy {
+  int JobId = -1;
+  size_t BatchIndex = 0;
+  /// Reserved windows: Versions[0] is the primary; all are pairwise
+  /// disjoint with every other job's versions.
+  std::vector<Window> Versions;
+
+  /// Total processor time reserved across all versions (the price of
+  /// safety: capacity withheld from other use).
+  double reservedNodeTime() const {
+    double Total = 0.0;
+    for (const Window &W : Versions)
+      for (const WindowSlot &M : W)
+        Total += M.Runtime;
+    return Total;
+  }
+};
+
+/// Strategy construction knobs.
+struct StrategyConfig {
+  /// Maximum versions (primary + fallbacks) reserved per job.
+  size_t MaxVersions = 3;
+};
+
+/// Builds per-job strategies from a feasible scheduling iteration: the
+/// chosen alternative is the primary; the earliest-starting remaining
+/// alternatives that begin no earlier than the primary become
+/// fallbacks. Jobs the iteration postponed get no strategy.
+std::vector<JobStrategy> buildStrategies(const IterationOutcome &Outcome,
+                                         StrategyConfig Cfg = {});
+
+/// Outcome of executing strategies under stochastic launch failures.
+struct StrategyExecutionReport {
+  size_t Jobs = 0;
+  size_t Completed = 0;
+  /// Jobs whose every version failed.
+  size_t Lost = 0;
+  /// Completion time (end of the succeeding version) per completed job.
+  RunningStats CompletionTime;
+  /// Versions consumed (1 = primary succeeded) per completed job.
+  RunningStats VersionsUsed;
+  /// Money spent on succeeding versions only.
+  double PaidCost = 0.0;
+  /// Node time reserved across all versions of all jobs.
+  double ReservedNodeTime = 0.0;
+
+  double completionRate() const {
+    return Jobs ? static_cast<double>(Completed) /
+                      static_cast<double>(Jobs)
+                : 0.0;
+  }
+};
+
+/// Simulates strategy execution: every version launch fails
+/// independently with probability 1 - (1-p)^N (any of its N member
+/// nodes failing, each with probability \p NodeFailureProbability); on
+/// failure the next reserved version whose start is not in the past is
+/// activated.
+StrategyExecutionReport
+executeStrategies(const std::vector<JobStrategy> &Strategies,
+                  RandomGenerator &Rng, double NodeFailureProbability);
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_STRATEGY_H

@@ -1,0 +1,165 @@
+//===-- core/VirtualOrganization.cpp - Iterative VO scheduling loop -------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/VirtualOrganization.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ecosched;
+
+VirtualOrganization::VirtualOrganization(ComputingDomain InDomain,
+                                         const Metascheduler &Scheduler)
+    : VirtualOrganization(std::move(InDomain), Scheduler, Config()) {}
+
+VirtualOrganization::VirtualOrganization(ComputingDomain InDomain,
+                                         const Metascheduler &Scheduler,
+                                         Config Cfg)
+    : Domain(std::move(InDomain)), Scheduler(Scheduler), Cfg(Cfg) {
+  assert(Cfg.IterationPeriod > 0.0 && "iteration period must be positive");
+  assert(Cfg.HorizonLength > 0.0 && "horizon must be positive");
+}
+
+void VirtualOrganization::submit(const Job &J) {
+  Queue.push_back({J, /*Attempts=*/0});
+}
+
+void VirtualOrganization::retireFinishedJobs() {
+  for (const RunningJob &R : Running) {
+    if (R.EndTime > Clock + TimeEpsilon)
+      continue;
+    Completed.push_back({R.JobId, R.StartTime, R.EndTime, R.Cost,
+                         R.Attempts});
+  }
+  std::erase_if(Running, [this](const RunningJob &R) {
+    return R.EndTime <= Clock + TimeEpsilon;
+  });
+}
+
+VirtualOrganization::IterationReport VirtualOrganization::runIteration() {
+  IterationReport Report;
+  Report.Now = Clock;
+  Report.QueueLength = Queue.size();
+
+  // Build the batch in queue (priority) order.
+  Batch Jobs;
+  Jobs.reserve(Queue.size());
+  for (const PendingJob &P : Queue)
+    Jobs.push_back(P.J);
+
+  if (!Jobs.empty()) {
+    const SlotList Slots =
+        Domain.vacantSlots(Clock, Clock + Cfg.HorizonLength);
+    Report.Outcome = Scheduler.runIteration(Slots, Jobs);
+
+    // Commit the selected windows as external reservations and remove
+    // the jobs from the queue.
+    std::vector<size_t> CommittedIndices;
+    for (const ScheduledJob &S : Report.Outcome.Scheduled) {
+      [[maybe_unused]] const bool Ok = Domain.reserveWindow(S.W, S.JobId);
+      assert(Ok && "scheduled window conflicts with domain occupancy");
+      RunningJob R;
+      R.JobId = S.JobId;
+      R.StartTime = S.W.startTime();
+      R.EndTime = S.W.endTime();
+      R.Cost = S.W.totalCost();
+      R.Attempts = Queue[S.BatchIndex].Attempts + 1;
+      R.Spec = Queue[S.BatchIndex].J;
+      for (const WindowSlot &M : S.W)
+        R.Nodes.push_back(M.Source.NodeId);
+      Running.push_back(std::move(R));
+      CommittedIndices.push_back(S.BatchIndex);
+      ++Report.Committed;
+    }
+    std::sort(CommittedIndices.begin(), CommittedIndices.end(),
+              std::greater<size_t>());
+    for (size_t Index : CommittedIndices)
+      Queue.erase(Queue.begin() + static_cast<long>(Index));
+  }
+
+  // Postponed jobs stay queued; account the failed attempt and drop
+  // jobs that exhausted their attempt budget.
+  for (PendingJob &P : Queue)
+    ++P.Attempts;
+  if (Cfg.MaxAttempts > 0) {
+    for (const PendingJob &P : Queue)
+      if (P.Attempts >= Cfg.MaxAttempts) {
+        Dropped.push_back(P.J.Id);
+        ++Report.Dropped;
+      }
+    std::erase_if(Queue, [this](const PendingJob &P) {
+      return P.Attempts >= Cfg.MaxAttempts;
+    });
+  }
+
+  Clock += Cfg.IterationPeriod;
+  Domain.advanceTo(Clock);
+  retireFinishedJobs();
+  return Report;
+}
+
+size_t VirtualOrganization::injectNodeFailure(int NodeId) {
+  const std::vector<int> Cancelled = Domain.failNode(NodeId, Clock);
+
+  // Requeue every affected job that is still running; reservations on
+  // the healthy nodes of a cancelled window are released as well so the
+  // job can be rescheduled as a whole.
+  size_t Requeued = 0;
+  for (const int JobId : Cancelled) {
+    const auto It =
+        std::find_if(Running.begin(), Running.end(),
+                     [JobId](const RunningJob &R) {
+                       return R.JobId == JobId;
+                     });
+    if (It == Running.end())
+      continue; // Already finished bookkeeping-wise.
+    for (const int Node : It->Nodes)
+      if (Node != NodeId && Domain.isNodeAvailable(Node))
+        Domain.cancelReservations(Node, JobId);
+    PendingJob Resubmitted;
+    Resubmitted.J = It->Spec;
+    Resubmitted.Attempts = It->Attempts;
+    Queue.push_front(std::move(Resubmitted));
+    Running.erase(It);
+    ++Requeued;
+  }
+  return Requeued;
+}
+
+void VirtualOrganization::repairNode(int NodeId) {
+  Domain.restoreNode(NodeId);
+}
+
+bool VirtualOrganization::cancelJob(int JobId) {
+  const size_t Dequeued = std::erase_if(
+      Queue, [JobId](const PendingJob &P) { return P.J.Id == JobId; });
+  if (Dequeued > 0)
+    return true;
+  const auto It = std::find_if(
+      Running.begin(), Running.end(),
+      [JobId](const RunningJob &R) { return R.JobId == JobId; });
+  if (It == Running.end())
+    return false;
+  for (const int Node : It->Nodes)
+    if (Domain.isNodeAvailable(Node))
+      Domain.cancelReservations(Node, JobId);
+  Running.erase(It);
+  return true;
+}
+
+void VirtualOrganization::setQueuedBudgetFactor(double Rho) {
+  assert(Rho > 0.0 && "budget factor must be positive");
+  for (PendingJob &P : Queue)
+    P.J.Request.BudgetFactor = Rho;
+}
+
+double VirtualOrganization::totalIncome() const {
+  double Income = 0.0;
+  for (const CompletedJob &C : Completed)
+    Income += C.Cost;
+  return Income;
+}

@@ -1,0 +1,178 @@
+//===-- sim/ComputingDomain.cpp - Non-dedicated resource domain ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ComputingDomain.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ecosched;
+
+int ComputingDomain::addNode(double Performance, double UnitPrice,
+                             std::string Name) {
+  const int Id = Pool.addNode(Performance, UnitPrice, std::move(Name));
+  BusyByNode.emplace_back();
+  Available.push_back(true);
+  return Id;
+}
+
+bool ComputingDomain::insertInterval(int NodeId, BusyInterval Interval) {
+  assert(Interval.End > Interval.Start && "empty busy interval");
+  if (!isNodeAvailable(NodeId))
+    return false;
+  if (isBusy(NodeId, Interval.Start, Interval.End))
+    return false;
+  auto &Intervals = BusyByNode[static_cast<size_t>(NodeId)];
+  auto Pos = std::upper_bound(
+      Intervals.begin(), Intervals.end(), Interval,
+      [](const BusyInterval &A, const BusyInterval &B) {
+        return A.Start < B.Start;
+      });
+  Intervals.insert(Pos, Interval);
+  return true;
+}
+
+bool ComputingDomain::addLocalTask(int NodeId, double Start, double End,
+                                   int TaskId) {
+  return insertInterval(NodeId,
+                        {Start, End, OccupancyKind::Local, TaskId});
+}
+
+bool ComputingDomain::reserve(int NodeId, double Start, double End,
+                              int JobId) {
+  return insertInterval(NodeId,
+                        {Start, End, OccupancyKind::External, JobId});
+}
+
+bool ComputingDomain::reserveWindow(const Window &W, int JobId) {
+  // Validate all member spans before mutating anything.
+  for (const WindowSlot &M : W)
+    if (isBusy(M.Source.NodeId, W.startTime(), W.startTime() + M.Runtime))
+      return false;
+  for (const WindowSlot &M : W) {
+    [[maybe_unused]] const bool Ok = reserve(
+        M.Source.NodeId, W.startTime(), W.startTime() + M.Runtime, JobId);
+    assert(Ok && "window member became busy during commit");
+  }
+  return true;
+}
+
+bool ComputingDomain::isBusy(int NodeId, double Start, double End) const {
+  assert(NodeId >= 0 &&
+         static_cast<size_t>(NodeId) < BusyByNode.size() &&
+         "invalid node id");
+  for (const BusyInterval &B : BusyByNode[static_cast<size_t>(NodeId)]) {
+    const double OverlapStart = std::max(Start, B.Start);
+    const double OverlapEnd = std::min(End, B.End);
+    if (OverlapEnd - OverlapStart > TimeEpsilon)
+      return true;
+  }
+  return false;
+}
+
+SlotList ComputingDomain::vacantSlots(double HorizonStart,
+                                      double HorizonEnd) const {
+  assert(HorizonStart < HorizonEnd && "empty scheduling horizon");
+  std::vector<Slot> Slots;
+  for (const ResourceNode &Node : Pool) {
+    if (!Available[static_cast<size_t>(Node.Id)])
+      continue;
+    double Cursor = HorizonStart;
+    for (const BusyInterval &B :
+         BusyByNode[static_cast<size_t>(Node.Id)]) {
+      if (B.End <= HorizonStart || B.Start >= HorizonEnd)
+        continue;
+      const double GapEnd = std::max(B.Start, HorizonStart);
+      if (GapEnd - Cursor > TimeEpsilon)
+        Slots.emplace_back(Node.Id, Node.Performance, Node.UnitPrice,
+                           Cursor, GapEnd);
+      Cursor = std::max(Cursor, std::min(B.End, HorizonEnd));
+    }
+    if (HorizonEnd - Cursor > TimeEpsilon)
+      Slots.emplace_back(Node.Id, Node.Performance, Node.UnitPrice, Cursor,
+                         HorizonEnd);
+  }
+  return SlotList(std::move(Slots));
+}
+
+void ComputingDomain::advanceTo(double Now) {
+  for (auto &Intervals : BusyByNode)
+    std::erase_if(Intervals, [Now](const BusyInterval &B) {
+      return B.End <= Now + TimeEpsilon;
+    });
+}
+
+const std::vector<BusyInterval> &
+ComputingDomain::occupancy(int NodeId) const {
+  assert(NodeId >= 0 &&
+         static_cast<size_t>(NodeId) < BusyByNode.size() &&
+         "invalid node id");
+  return BusyByNode[static_cast<size_t>(NodeId)];
+}
+
+void ComputingDomain::setNodePrice(int NodeId, double UnitPrice) {
+  Pool.setUnitPrice(NodeId, UnitPrice);
+}
+
+std::vector<int> ComputingDomain::failNode(int NodeId, double Now) {
+  assert(NodeId >= 0 &&
+         static_cast<size_t>(NodeId) < BusyByNode.size() &&
+         "invalid node id");
+  Available[static_cast<size_t>(NodeId)] = false;
+  std::vector<int> CancelledJobs;
+  auto &Intervals = BusyByNode[static_cast<size_t>(NodeId)];
+  for (const BusyInterval &B : Intervals)
+    if (B.End > Now + TimeEpsilon && B.Kind == OccupancyKind::External)
+      CancelledJobs.push_back(B.JobId);
+  std::erase_if(Intervals, [Now](const BusyInterval &B) {
+    return B.End > Now + TimeEpsilon;
+  });
+  return CancelledJobs;
+}
+
+size_t ComputingDomain::cancelReservations(int NodeId, int JobId) {
+  assert(NodeId >= 0 &&
+         static_cast<size_t>(NodeId) < BusyByNode.size() &&
+         "invalid node id");
+  return std::erase_if(
+      BusyByNode[static_cast<size_t>(NodeId)],
+      [JobId](const BusyInterval &B) {
+        return B.Kind == OccupancyKind::External && B.JobId == JobId;
+      });
+}
+
+void ComputingDomain::restoreNode(int NodeId) {
+  assert(NodeId >= 0 &&
+         static_cast<size_t>(NodeId) < BusyByNode.size() &&
+         "invalid node id");
+  Available[static_cast<size_t>(NodeId)] = true;
+}
+
+bool ComputingDomain::isNodeAvailable(int NodeId) const {
+  assert(NodeId >= 0 &&
+         static_cast<size_t>(NodeId) < Available.size() &&
+         "invalid node id");
+  return Available[static_cast<size_t>(NodeId)];
+}
+
+double ComputingDomain::externalLoad() const {
+  double Total = 0.0;
+  for (const auto &Intervals : BusyByNode)
+    for (const BusyInterval &B : Intervals)
+      if (B.Kind == OccupancyKind::External)
+        Total += B.End - B.Start;
+  return Total;
+}
+
+double ComputingDomain::localLoad() const {
+  double Total = 0.0;
+  for (const auto &Intervals : BusyByNode)
+    for (const BusyInterval &B : Intervals)
+      if (B.Kind == OccupancyKind::Local)
+        Total += B.End - B.Start;
+  return Total;
+}

@@ -1,0 +1,121 @@
+//===-- sim/ComputingDomain.h - Non-dedicated resource domain ------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The environment substrate behind the slot lists: computational nodes
+/// whose occupancy mixes owner-local tasks and external (VO) reservations
+/// (Section 1: "along with global flows of external users' jobs, owner's
+/// local job flows exist inside the resource domains"). Local resource
+/// managers publish the vacant spans as the ordered slot list the
+/// metascheduler consumes; committed windows become reservations that
+/// shape the next iteration's slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SIM_COMPUTINGDOMAIN_H
+#define ECOSCHED_SIM_COMPUTINGDOMAIN_H
+
+#include "sim/Resource.h"
+#include "sim/SlotList.h"
+#include "sim/Window.h"
+
+#include <string>
+#include <vector>
+
+namespace ecosched {
+
+/// Who occupies a busy interval of a node.
+enum class OccupancyKind {
+  /// Owner's local job, scheduled by the node's own manager.
+  Local,
+  /// External VO job placed by the metascheduler.
+  External,
+};
+
+/// One busy interval on one node.
+struct BusyInterval {
+  double Start = 0.0;
+  double End = 0.0;
+  OccupancyKind Kind = OccupancyKind::Local;
+  /// Id of the owning job (local task id or external job id).
+  int JobId = -1;
+};
+
+/// A resource domain: nodes plus their occupancy schedules.
+class ComputingDomain {
+public:
+  /// Adds a node; returns its id.
+  int addNode(double Performance, double UnitPrice,
+              std::string Name = std::string());
+
+  const ResourcePool &pool() const { return Pool; }
+
+  /// Schedules an owner-local task on \p NodeId.
+  /// \returns false if the interval overlaps existing occupancy.
+  bool addLocalTask(int NodeId, double Start, double End, int TaskId = -1);
+
+  /// Reserves [\p Start, \p End) on \p NodeId for external job \p JobId.
+  /// \returns false if the interval overlaps existing occupancy.
+  bool reserve(int NodeId, double Start, double End, int JobId);
+
+  /// Commits every member span of \p W as external reservations for
+  /// \p JobId. \returns false (and commits nothing) if any span is busy.
+  bool reserveWindow(const Window &W, int JobId);
+
+  /// True if any occupancy intersects [\p Start, \p End) on \p NodeId.
+  bool isBusy(int NodeId, double Start, double End) const;
+
+  /// Publishes the vacant spans of all nodes inside the scheduling
+  /// horizon [\p HorizonStart, \p HorizonEnd) as an ordered slot list.
+  SlotList vacantSlots(double HorizonStart, double HorizonEnd) const;
+
+  /// Drops occupancy that ends at or before \p Now. Models the periodic
+  /// update of local schedules between scheduling iterations.
+  void advanceTo(double Now);
+
+  /// Updates the owner's price of \p NodeId; future vacant slots carry
+  /// the new rate (committed reservations keep their agreed cost).
+  void setNodePrice(int NodeId, double UnitPrice);
+
+  /// Takes \p NodeId out of service at time \p Now: occupancy that has
+  /// not finished by \p Now is cancelled and the node publishes no
+  /// vacant slots until restoreNode().
+  /// \returns the external job ids whose reservations were cancelled
+  /// (for resubmission by the VO).
+  std::vector<int> failNode(int NodeId, double Now);
+
+  /// Puts a failed node back into service.
+  void restoreNode(int NodeId);
+
+  /// Removes every external reservation of \p JobId from \p NodeId
+  /// (e.g. when a sibling task's node failed and the job restarts).
+  /// \returns the number of reservations removed.
+  size_t cancelReservations(int NodeId, int JobId);
+
+  /// True if \p NodeId is currently in service.
+  bool isNodeAvailable(int NodeId) const;
+
+  /// Occupancy of \p NodeId, sorted by start.
+  const std::vector<BusyInterval> &occupancy(int NodeId) const;
+
+  /// Total busy time booked by external reservations.
+  double externalLoad() const;
+
+  /// Total busy time booked by local tasks.
+  double localLoad() const;
+
+private:
+  bool insertInterval(int NodeId, BusyInterval Interval);
+
+  ResourcePool Pool;
+  std::vector<std::vector<BusyInterval>> BusyByNode;
+  std::vector<bool> Available;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_COMPUTINGDOMAIN_H

@@ -1,0 +1,194 @@
+//===-- sim/GanttChart.cpp - ASCII occupancy charts -----------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/GanttChart.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace ecosched;
+
+GanttChart::GanttChart(double HorizonStart, double HorizonEnd, int Columns)
+    : HorizonStart(HorizonStart), HorizonEnd(HorizonEnd), Columns(Columns) {
+  assert(HorizonStart < HorizonEnd && "empty chart horizon");
+  assert(Columns > 0 && "chart needs at least one column");
+}
+
+size_t GanttChart::addRow(const std::string &Label) {
+  Labels.push_back(Label);
+  Cells.emplace_back(static_cast<size_t>(Columns), '.');
+  return Labels.size() - 1;
+}
+
+size_t GanttChart::columnFor(double Time) const {
+  const double Fraction =
+      (Time - HorizonStart) / (HorizonEnd - HorizonStart);
+  const double Clamped = std::clamp(Fraction, 0.0, 1.0);
+  const auto Col = static_cast<size_t>(Clamped * Columns);
+  return std::min(Col, static_cast<size_t>(Columns - 1));
+}
+
+void GanttChart::fill(size_t Row, double Start, double End, char Fill) {
+  assert(Row < Cells.size() && "invalid chart row");
+  if (End <= HorizonStart || Start >= HorizonEnd || End <= Start)
+    return;
+  const size_t FirstCol = columnFor(Start);
+  // Last painted cell: the one containing End (exclusive), i.e.
+  // ceil(offset) - 1, clamped to the chart.
+  const double Width = (HorizonEnd - HorizonStart) / Columns;
+  const double EndOffset = (End - HorizonStart) / Width;
+  long Last = static_cast<long>(std::ceil(EndOffset)) - 1;
+  Last = std::clamp(Last, static_cast<long>(FirstCol),
+                    static_cast<long>(Columns - 1));
+  for (size_t Col = FirstCol; Col <= static_cast<size_t>(Last); ++Col)
+    Cells[Row][Col] = Fill;
+}
+
+std::string GanttChart::render() const {
+  size_t LabelWidth = 0;
+  for (const std::string &Label : Labels)
+    LabelWidth = std::max(LabelWidth, Label.size());
+
+  std::string Out;
+  for (size_t Row = 0, E = Labels.size(); Row != E; ++Row) {
+    Out += Labels[Row];
+    Out.append(LabelWidth - Labels[Row].size() + 1, ' ');
+    Out += '|';
+    Out += Cells[Row];
+    Out += "|\n";
+  }
+  // Time axis: horizon start at the left edge, horizon end at the right.
+  Out.append(LabelWidth + 1, ' ');
+  char Left[32], Right[32];
+  std::snprintf(Left, sizeof(Left), "%g", HorizonStart);
+  std::snprintf(Right, sizeof(Right), "%g", HorizonEnd);
+  Out += Left;
+  const size_t Used = std::char_traits<char>::length(Left) +
+                      std::char_traits<char>::length(Right);
+  const size_t Width = static_cast<size_t>(Columns) + 2;
+  Out.append(Width > Used ? Width - Used : 1, ' ');
+  Out += Right;
+  Out += '\n';
+  return Out;
+}
+
+static std::string renderChartImpl(const ComputingDomain &Domain,
+                                   const std::vector<ChartWindow> *Windows,
+                                   double HorizonStart, double HorizonEnd,
+                                   int Columns) {
+  GanttChart Chart(HorizonStart, HorizonEnd, Columns);
+  for (const ResourceNode &Node : Domain.pool()) {
+    char Label[96];
+    std::snprintf(Label, sizeof(Label), "%s (P=%.1f, C=%.1f)",
+                  Node.Name.c_str(), Node.Performance, Node.UnitPrice);
+    const size_t Row = Chart.addRow(Label);
+    for (const BusyInterval &B : Domain.occupancy(Node.Id)) {
+      char Fill = '#';
+      if (B.Kind == OccupancyKind::External)
+        Fill = static_cast<char>('A' + (B.JobId >= 0 ? B.JobId % 26 : 25));
+      Chart.fill(Row, B.Start, B.End, Fill);
+    }
+    if (Windows)
+      for (const ChartWindow &CW : *Windows)
+        for (const WindowSlot &M : *CW.W)
+          if (M.Source.NodeId == Node.Id)
+            Chart.fill(Row, CW.W->startTime(),
+                       CW.W->startTime() + M.Runtime, CW.Fill);
+  }
+  return Chart.render();
+}
+
+std::string ecosched::renderDomainChart(const ComputingDomain &Domain,
+                                        double HorizonStart,
+                                        double HorizonEnd, int Columns) {
+  return renderChartImpl(Domain, nullptr, HorizonStart, HorizonEnd,
+                         Columns);
+}
+
+std::string ecosched::renderDomainChart(
+    const ComputingDomain &Domain, const std::vector<ChartWindow> &Windows,
+    double HorizonStart, double HorizonEnd, int Columns) {
+  return renderChartImpl(Domain, &Windows, HorizonStart, HorizonEnd,
+                         Columns);
+}
+
+SvgDocument ecosched::renderDomainSvg(
+    const ComputingDomain &Domain, const std::vector<ChartWindow> &Windows,
+    double HorizonStart, double HorizonEnd) {
+  assert(HorizonStart < HorizonEnd && "empty chart horizon");
+  const double LaneHeight = 26.0;
+  const double LaneGap = 6.0;
+  const double Left = 110.0, Right = 16.0, Top = 28.0, Bottom = 34.0;
+  const double PlotWidth = 640.0;
+  const double Height =
+      Top + Bottom +
+      static_cast<double>(Domain.pool().size()) * (LaneHeight + LaneGap);
+  SvgDocument Doc(Left + PlotWidth + Right, Height);
+
+  const auto XOf = [&](double Time) {
+    const double Fraction =
+        (Time - HorizonStart) / (HorizonEnd - HorizonStart);
+    return Left + std::clamp(Fraction, 0.0, 1.0) * PlotWidth;
+  };
+
+  // Time axis with ticks every ~1/6 of the horizon.
+  SvgStyle Axis;
+  Axis.Stroke = "#444444";
+  const double AxisY = Height - Bottom + 4.0;
+  Doc.addLine(Left, AxisY, Left + PlotWidth, AxisY, Axis);
+  for (int Tick = 0; Tick <= 6; ++Tick) {
+    const double T = HorizonStart +
+                     (HorizonEnd - HorizonStart) * Tick / 6.0;
+    char Label[32];
+    std::snprintf(Label, sizeof(Label), "%.0f", T);
+    Doc.addLine(XOf(T), AxisY, XOf(T), AxisY + 4.0, Axis);
+    Doc.addText(XOf(T), AxisY + 16.0, Label, 10.0,
+                SvgTextAnchorKind::Middle);
+  }
+
+  const std::vector<std::string> JobColors = {
+      "#3366cc", "#dc3912", "#109618", "#ff9900", "#990099", "#0099c6"};
+  for (const ResourceNode &Node : Domain.pool()) {
+    const double LaneTop =
+        Top + static_cast<double>(Node.Id) * (LaneHeight + LaneGap);
+    char Label[96];
+    std::snprintf(Label, sizeof(Label), "%s (P=%.1f, C=%.1f)",
+                  Node.Name.c_str(), Node.Performance, Node.UnitPrice);
+    Doc.addText(Left - 8.0, LaneTop + LaneHeight * 0.65, Label, 10.0,
+                SvgTextAnchorKind::End);
+
+    SvgStyle LaneBackground;
+    LaneBackground.Fill = "#f3f3f3";
+    Doc.addRect(Left, LaneTop, PlotWidth, LaneHeight, LaneBackground);
+
+    for (const BusyInterval &B : Domain.occupancy(Node.Id)) {
+      SvgStyle Fill;
+      Fill.Fill = B.Kind == OccupancyKind::Local
+                      ? "#9e9e9e"
+                      : JobColors[static_cast<size_t>(
+                            B.JobId >= 0 ? B.JobId : 0) %
+                                  JobColors.size()];
+      Doc.addRect(XOf(B.Start), LaneTop + 2.0,
+                  XOf(B.End) - XOf(B.Start), LaneHeight - 4.0, Fill);
+    }
+    for (size_t W = 0; W < Windows.size(); ++W)
+      for (const WindowSlot &M : *Windows[W].W)
+        if (M.Source.NodeId == Node.Id) {
+          const double Start = Windows[W].W->startTime();
+          SvgStyle Fill;
+          Fill.Fill = JobColors[W % JobColors.size()];
+          Fill.Stroke = "#222222";
+          Fill.Opacity = 0.85;
+          Doc.addRect(XOf(Start), LaneTop + 2.0,
+                      XOf(Start + M.Runtime) - XOf(Start),
+                      LaneHeight - 4.0, Fill);
+        }
+  }
+  return Doc;
+}

@@ -1,0 +1,83 @@
+//===-- sim/GanttChart.h - ASCII occupancy charts -------------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ASCII Gantt chart renderer used by the Fig. 2 / Fig. 3 reproductions
+/// and the examples: one row per node, characters bucketed over the
+/// horizon, with a time axis underneath.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SIM_GANTTCHART_H
+#define ECOSCHED_SIM_GANTTCHART_H
+
+#include "sim/ComputingDomain.h"
+#include "sim/Window.h"
+#include "support/Svg.h"
+
+#include <string>
+#include <vector>
+
+namespace ecosched {
+
+/// Row-oriented ASCII chart over a fixed time horizon.
+class GanttChart {
+public:
+  /// Creates a chart covering [\p HorizonStart, \p HorizonEnd) rendered
+  /// into \p Columns character cells per row.
+  GanttChart(double HorizonStart, double HorizonEnd, int Columns = 72);
+
+  /// Appends an empty row labelled \p Label; returns its index.
+  size_t addRow(const std::string &Label);
+
+  /// Paints [\p Start, \p End) of row \p Row with \p Fill. Cells already
+  /// painted with a different character are overwritten.
+  void fill(size_t Row, double Start, double End, char Fill);
+
+  /// Renders all rows plus a time axis.
+  std::string render() const;
+
+private:
+  size_t columnFor(double Time) const;
+
+  double HorizonStart;
+  double HorizonEnd;
+  int Columns;
+  std::vector<std::string> Labels;
+  std::vector<std::string> Cells;
+};
+
+/// Renders \p Domain occupancy over the horizon: local tasks are painted
+/// with '#', external reservations with the letter cycle 'A'..'Z' keyed
+/// by job id, vacancy with '.'.
+std::string renderDomainChart(const ComputingDomain &Domain,
+                              double HorizonStart, double HorizonEnd,
+                              int Columns = 72);
+
+/// An assigned window to overlay on a chart.
+struct ChartWindow {
+  const Window *W = nullptr;
+  char Fill = 'A';
+};
+
+/// Renders \p Domain with the given windows overlaid.
+std::string renderDomainChart(const ComputingDomain &Domain,
+                              const std::vector<ChartWindow> &Windows,
+                              double HorizonStart, double HorizonEnd,
+                              int Columns = 72);
+
+/// Renders \p Domain as an SVG Gantt chart (one lane per node): local
+/// tasks in grey, external reservations colored by job, overlay
+/// windows colored by their position in \p Windows. Used by the
+/// Fig. 2/3 benches to emit the figures as image files.
+SvgDocument renderDomainSvg(const ComputingDomain &Domain,
+                            const std::vector<ChartWindow> &Windows,
+                            double HorizonStart, double HorizonEnd);
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_GANTTCHART_H

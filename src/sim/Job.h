@@ -1,0 +1,86 @@
+//===-- sim/Job.h - Jobs, resource requests, batches ----------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A job is an independent parallel application whose resource request
+/// (Section 3) asks for N concurrent slots for a task of volume V, with
+/// a minimum node performance P and a maximum unit price C. Jobs of one
+/// scheduling iteration form a batch, ordered by priority.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SIM_JOB_H
+#define ECOSCHED_SIM_JOB_H
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+namespace ecosched {
+
+/// Determines the AMP job budget S (Section 3 / Section 6).
+enum class BudgetPolicyKind {
+  /// S = rho * C * N * (V / Pmin): the paper's S = C*t*N with t equal to
+  /// the reserved span (worst-case runtime at minimum performance).
+  SpanBased,
+  /// S = rho * C * N * V: t taken as the etalon volume.
+  VolumeBased,
+};
+
+/// The user's resource request for one job.
+struct ResourceRequest {
+  /// Number of concurrent slots to co-allocate (N).
+  int NodeCount = 1;
+  /// Computation volume in etalon time units: runtime on a node of
+  /// performance P is Volume / P.
+  double Volume = 1.0;
+  /// Minimum admissible node performance rate (P).
+  double MinPerformance = 1.0;
+  /// Maximum admissible price per time unit of an individual slot (C).
+  /// ALP enforces this per slot; AMP converts it into the job budget.
+  double MaxUnitPrice = 0.0;
+  /// Section 6 budget scaling factor rho in (0, 1]; 1 reproduces the
+  /// paper's S = C*t*N.
+  double BudgetFactor = 1.0;
+  /// How the AMP budget is derived from the request.
+  BudgetPolicyKind BudgetPolicy = BudgetPolicyKind::SpanBased;
+  /// Latest completion time: every task of the window must finish by
+  /// this time (deadline-constrained economic requests after [6]).
+  /// Infinity (the default) disables the constraint.
+  double Deadline = std::numeric_limits<double>::infinity();
+
+  /// Worst admissible runtime: the reservation span t of the request.
+  double maxRuntime() const {
+    assert(MinPerformance > 0.0 && "minimum performance must be positive");
+    return Volume / MinPerformance;
+  }
+
+  /// The AMP budget S for this request.
+  double budget() const {
+    const double Span =
+        BudgetPolicy == BudgetPolicyKind::SpanBased ? maxRuntime() : Volume;
+    return BudgetFactor * MaxUnitPrice * static_cast<double>(NodeCount) *
+           Span;
+  }
+};
+
+/// One job of a batch.
+struct Job {
+  /// Stable identifier within the experiment.
+  int Id = -1;
+  /// The job's resource request.
+  ResourceRequest Request;
+};
+
+/// A batch of independent jobs, ordered by decreasing priority: the
+/// alternative search serves index 0 first (Section 4's example gives
+/// Job 1 the highest priority).
+using Batch = std::vector<Job>;
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_JOB_H

@@ -1,0 +1,36 @@
+//===-- sim/JobGenerator.cpp - Section 5 job batch generator -------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/JobGenerator.h"
+
+#include <cmath>
+
+using namespace ecosched;
+
+Batch JobGenerator::generate(RandomGenerator &Rng, int FirstJobId) const {
+  const int JobCount =
+      static_cast<int>(Rng.uniformInt(Config.MinJobs, Config.MaxJobs));
+  Batch Jobs;
+  Jobs.reserve(static_cast<size_t>(JobCount));
+
+  for (int I = 0; I < JobCount; ++I) {
+    Job J;
+    J.Id = FirstJobId + I;
+    J.Request.NodeCount =
+        static_cast<int>(Rng.uniformInt(Config.MinNodes, Config.MaxNodes));
+    J.Request.Volume = Rng.uniformReal(Config.MinVolume, Config.MaxVolume);
+    J.Request.MinPerformance =
+        Rng.uniformReal(Config.MinPerformanceLo, Config.MinPerformanceHi);
+    J.Request.MaxUnitPrice =
+        Config.PriceFactor *
+        std::pow(Config.PriceBase, J.Request.MinPerformance);
+    J.Request.BudgetFactor = Config.BudgetFactor;
+    J.Request.BudgetPolicy = Config.BudgetPolicy;
+    Jobs.push_back(J);
+  }
+  return Jobs;
+}

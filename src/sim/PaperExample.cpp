@@ -1,0 +1,58 @@
+//===-- sim/PaperExample.cpp - Section 4 example environment --------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/PaperExample.h"
+
+#include <cassert>
+
+using namespace ecosched;
+
+ComputingDomain ecosched::buildPaperExampleDomain() {
+  ComputingDomain Domain;
+  // All nodes have etalon performance (Section 4 assumes a uniform set
+  // of resources, so windows are rectangular).
+  const int Cpu1 = Domain.addNode(1.0, 4.0, "cpu1");
+  const int Cpu2 = Domain.addNode(1.0, 4.0, "cpu2");
+  const int Cpu3 = Domain.addNode(1.0, 3.0, "cpu3");
+  const int Cpu4 = Domain.addNode(1.0, 6.0, "cpu4");
+  const int Cpu5 = Domain.addNode(1.0, 2.0, "cpu5");
+  const int Cpu6 = Domain.addNode(1.0, 12.0, "cpu6");
+
+  // Local tasks p1..p7 already scheduled in the system.
+  bool Ok = true;
+  Ok &= Domain.addLocalTask(Cpu1, 0.0, 150.0, /*TaskId=*/1);
+  Ok &= Domain.addLocalTask(Cpu2, 0.0, 200.0, /*TaskId=*/2);
+  Ok &= Domain.addLocalTask(Cpu3, 40.0, 350.0, /*TaskId=*/3);
+  Ok &= Domain.addLocalTask(Cpu4, 20.0, 150.0, /*TaskId=*/4);
+  Ok &= Domain.addLocalTask(Cpu2, 320.0, 420.0, /*TaskId=*/5);
+  Ok &= Domain.addLocalTask(Cpu5, 100.0, 450.0, /*TaskId=*/6);
+  Ok &= Domain.addLocalTask(Cpu6, 0.0, 250.0, /*TaskId=*/7);
+  assert(Ok && "example local tasks must not conflict");
+  (void)Ok;
+  return Domain;
+}
+
+static Job makeExampleJob(int Id, int NodeCount, double Runtime,
+                          double TotalUnitCostCap) {
+  Job J;
+  J.Id = Id;
+  J.Request.NodeCount = NodeCount;
+  J.Request.Volume = Runtime; // Etalon performance: runtime == volume.
+  J.Request.MinPerformance = 1.0;
+  J.Request.MaxUnitPrice = TotalUnitCostCap / NodeCount;
+  J.Request.BudgetFactor = 1.0;
+  J.Request.BudgetPolicy = BudgetPolicyKind::SpanBased;
+  return J;
+}
+
+Batch ecosched::buildPaperExampleBatch() {
+  Batch Jobs;
+  Jobs.push_back(makeExampleJob(1, 2, 80.0, 10.0));
+  Jobs.push_back(makeExampleJob(2, 3, 30.0, 30.0));
+  Jobs.push_back(makeExampleJob(3, 2, 50.0, 6.0));
+  return Jobs;
+}

@@ -1,0 +1,87 @@
+//===-- sim/Resource.h - Computational node model -----------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computational nodes of the distributed environment. Every node has a
+/// relative performance rate P (Section 6 calls P=1 the "etalon" node) and
+/// an owner-defined usage price per time unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SIM_RESOURCE_H
+#define ECOSCHED_SIM_RESOURCE_H
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace ecosched {
+
+/// A single computational node (CPU, cluster slice) of the environment.
+struct ResourceNode {
+  /// Stable identifier; index into the owning ResourcePool.
+  int Id = -1;
+  /// Relative performance rate P; a task of volume V runs for V / P.
+  double Performance = 1.0;
+  /// Usage cost per time unit charged by the owner.
+  double UnitPrice = 1.0;
+  /// Optional human-readable name (used by the Fig. 2 reproduction).
+  std::string Name;
+};
+
+/// Ordered collection of nodes. Node ids are dense indices so other
+/// components can key per-node data by vectors.
+class ResourcePool {
+public:
+  /// Adds a node and returns its id.
+  int addNode(double Performance, double UnitPrice,
+              std::string Name = std::string()) {
+    assert(Performance > 0.0 && "performance must be positive");
+    assert(UnitPrice >= 0.0 && "price must be non-negative");
+    ResourceNode Node;
+    Node.Id = static_cast<int>(Nodes.size());
+    Node.Performance = Performance;
+    Node.UnitPrice = UnitPrice;
+    Node.Name = !Name.empty() ? std::move(Name)
+                              : "node" + std::to_string(Node.Id);
+    Nodes.push_back(std::move(Node));
+    return Nodes.back().Id;
+  }
+
+  /// Node lookup; \p Id must be valid.
+  const ResourceNode &node(int Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes.size() &&
+           "invalid node id");
+    return Nodes[static_cast<size_t>(Id)];
+  }
+
+  /// Owner-side price update (supply-and-demand pricing adjusts node
+  /// rates between scheduling iterations; see core/DynamicPricing.h).
+  void setUnitPrice(int Id, double UnitPrice) {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes.size() &&
+           "invalid node id");
+    assert(UnitPrice >= 0.0 && "price must be non-negative");
+    Nodes[static_cast<size_t>(Id)].UnitPrice = UnitPrice;
+  }
+
+  size_t size() const { return Nodes.size(); }
+  bool empty() const { return Nodes.empty(); }
+
+  std::vector<ResourceNode>::const_iterator begin() const {
+    return Nodes.begin();
+  }
+  std::vector<ResourceNode>::const_iterator end() const {
+    return Nodes.end();
+  }
+
+private:
+  std::vector<ResourceNode> Nodes;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_RESOURCE_H

@@ -1,0 +1,77 @@
+//===-- sim/Slot.h - Vacant time slot model ------------------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A slot is a vacant time span on one computational node that can be
+/// assigned to a task of a parallel job (Section 1 of the paper). The
+/// node's performance and unit price are denormalized into the slot so
+/// the search algorithms can scan a flat list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SIM_SLOT_H
+#define ECOSCHED_SIM_SLOT_H
+
+#include <cassert>
+
+namespace ecosched {
+
+/// Comparison tolerance for times and costs throughout the library.
+/// Slot arithmetic only adds and subtracts values of comparable
+/// magnitude (hundreds), so a fixed epsilon is adequate.
+inline constexpr double TimeEpsilon = 1e-9;
+
+/// A vacant time span on one node.
+struct Slot {
+  /// Node the slot is allocated on.
+  int NodeId = -1;
+  /// Relative performance rate of that node.
+  double Performance = 1.0;
+  /// Usage cost per time unit of that node.
+  double UnitPrice = 0.0;
+  /// Start time of the vacant span.
+  double Start = 0.0;
+  /// End time of the vacant span (exclusive).
+  double End = 0.0;
+
+  Slot() = default;
+  Slot(int NodeId, double Performance, double UnitPrice, double Start,
+       double End)
+      : NodeId(NodeId), Performance(Performance), UnitPrice(UnitPrice),
+        Start(Start), End(End) {
+    assert(End >= Start && "slot ends before it starts");
+    assert(Performance > 0.0 && "performance must be positive");
+  }
+
+  /// Time span of the slot.
+  double length() const { return End - Start; }
+
+  /// Runtime of a task of etalon volume \p Volume on this slot's node.
+  double runtimeFor(double Volume) const { return Volume / Performance; }
+
+  /// True if the slot still offers at least \p Duration time units when
+  /// the task starts at \p StartTime (used by the expiration step 3 of
+  /// ALP/AMP).
+  bool coversFrom(double StartTime, double Duration) const {
+    return Start <= StartTime + TimeEpsilon &&
+           End - StartTime >= Duration - TimeEpsilon;
+  }
+};
+
+/// Ordering used by the search algorithms: non-decreasing start time,
+/// ties broken by node id for determinism.
+inline bool slotStartLess(const Slot &A, const Slot &B) {
+  if (A.Start != B.Start)
+    return A.Start < B.Start;
+  if (A.NodeId != B.NodeId)
+    return A.NodeId < B.NodeId;
+  return A.End < B.End;
+}
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_SLOT_H

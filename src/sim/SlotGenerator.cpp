@@ -1,0 +1,39 @@
+//===-- sim/SlotGenerator.cpp - Section 5 slot stream generator ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SlotGenerator.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace ecosched;
+
+SlotList SlotGenerator::generate(RandomGenerator &Rng) const {
+  const int Count = static_cast<int>(
+      Rng.uniformInt(Config.MinSlotCount, Config.MaxSlotCount));
+  std::vector<Slot> Slots;
+  Slots.reserve(static_cast<size_t>(Count));
+
+  double Start = 0.0;
+  for (int I = 0; I < Count; ++I) {
+    if (I > 0 && !Rng.bernoulli(Config.SameStartProbability))
+      Start += Rng.uniformReal(Config.MinStartGap, Config.MaxStartGap);
+
+    const double Performance =
+        Rng.uniformReal(Config.MinPerformance, Config.MaxPerformance);
+    const double MeanPrice = std::pow(Config.PriceBase, Performance);
+    const double Price =
+        Rng.uniformReal(Config.PriceNoiseLo * MeanPrice,
+                        Config.PriceNoiseHi * MeanPrice);
+    const double Length =
+        Rng.uniformReal(Config.MinLength, Config.MaxLength);
+
+    Slots.emplace_back(/*NodeId=*/I, Performance, Price, Start,
+                       Start + Length);
+  }
+  return SlotList(std::move(Slots));
+}

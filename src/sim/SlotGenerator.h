@@ -1,0 +1,71 @@
+//===-- sim/SlotGenerator.h - Section 5 slot stream generator ------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the ordered list of vacant slots used by the simulation
+/// studies. The paper found it "more convenient to generate the ordered
+/// list of available slots with preassigned set of features instead of
+/// generating the whole distributed system model" (Section 5); this class
+/// implements exactly that generator with the published parameter ranges
+/// as defaults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SIM_SLOTGENERATOR_H
+#define ECOSCHED_SIM_SLOTGENERATOR_H
+
+#include "sim/SlotList.h"
+#include "support/Random.h"
+
+namespace ecosched {
+
+/// Parameters of the Section 5 slot stream; all values are drawn from
+/// uniform distributions inside the configured intervals.
+struct SlotGeneratorConfig {
+  /// Number of slots in the ordered list: [120, 150].
+  int MinSlotCount = 120;
+  int MaxSlotCount = 150;
+  /// Length of an individual slot: [50, 300].
+  double MinLength = 50.0;
+  double MaxLength = 300.0;
+  /// Node performance range: [1, 3] ("relatively homogeneous").
+  double MinPerformance = 1.0;
+  double MaxPerformance = 3.0;
+  /// Probability that a slot shares its start time with its predecessor
+  /// (resources released in cluster domains): 0.4.
+  double SameStartProbability = 0.4;
+  /// Gap between neighboring distinct start times: [0, 10].
+  double MinStartGap = 0.0;
+  double MaxStartGap = 10.0;
+  /// Price model: price = U(NoiseLo, NoiseHi) * PriceBase^Performance.
+  /// The paper uses p = 1.7^performance with noise [0.75p, 1.25p].
+  double PriceBase = 1.7;
+  double PriceNoiseLo = 0.75;
+  double PriceNoiseHi = 1.25;
+};
+
+/// Produces ordered vacant-slot lists. Every generated slot lives on its
+/// own synthetic node (the generator models the flat list the
+/// metascheduler receives, not a persistent machine room); node ids are
+/// dense starting from 0.
+class SlotGenerator {
+public:
+  explicit SlotGenerator(SlotGeneratorConfig Config = SlotGeneratorConfig())
+      : Config(Config) {}
+
+  /// Generates one slot list, consuming randomness from \p Rng.
+  SlotList generate(RandomGenerator &Rng) const;
+
+  const SlotGeneratorConfig &config() const { return Config; }
+
+private:
+  SlotGeneratorConfig Config;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_SLOTGENERATOR_H

@@ -1,0 +1,72 @@
+//===-- sim/SlotList.cpp - Ordered list of vacant slots ------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SlotList.h"
+
+#include <algorithm>
+
+using namespace ecosched;
+
+SlotList::SlotList(std::vector<Slot> InitialSlots)
+    : Slots(std::move(InitialSlots)) {
+  std::stable_sort(Slots.begin(), Slots.end(), slotStartLess);
+}
+
+void SlotList::insert(const Slot &S) {
+  if (S.length() <= TimeEpsilon)
+    return;
+  auto Pos = std::upper_bound(Slots.begin(), Slots.end(), S, slotStartLess);
+  Slots.insert(Pos, S);
+}
+
+bool SlotList::subtract(int NodeId, double Start, double End) {
+  if (End - Start <= TimeEpsilon)
+    return true; // Nothing to reserve.
+  for (auto It = Slots.begin(), E = Slots.end(); It != E; ++It) {
+    if (It->NodeId != NodeId)
+      continue;
+    if (It->Start > Start + TimeEpsilon)
+      continue; // Slots are sorted; a later slot cannot contain Start,
+                // but keep scanning in case of equal starts on the node.
+    if (It->End < End - TimeEpsilon)
+      continue;
+    // Found the containing slot K; split it into K1 and K2.
+    Slot K = *It;
+    Slots.erase(It);
+    insert(Slot(K.NodeId, K.Performance, K.UnitPrice, K.Start, Start));
+    insert(Slot(K.NodeId, K.Performance, K.UnitPrice, End, K.End));
+    return true;
+  }
+  return false;
+}
+
+double SlotList::totalSpan() const {
+  double Total = 0.0;
+  for (const Slot &S : Slots)
+    Total += S.length();
+  return Total;
+}
+
+bool SlotList::checkInvariants() const {
+  for (size_t I = 1, E = Slots.size(); I < E; ++I)
+    if (Slots[I - 1].Start > Slots[I].Start + TimeEpsilon)
+      return false;
+  // Per-node disjointness: O(n^2) scan is fine for test-time checking.
+  for (size_t I = 0, E = Slots.size(); I < E; ++I) {
+    if (Slots[I].length() <= TimeEpsilon)
+      return false; // Zero-length slots must not be stored.
+    for (size_t J = I + 1; J < E; ++J) {
+      if (Slots[I].NodeId != Slots[J].NodeId)
+        continue;
+      const double OverlapStart = std::max(Slots[I].Start, Slots[J].Start);
+      const double OverlapEnd = std::min(Slots[I].End, Slots[J].End);
+      if (OverlapEnd - OverlapStart > TimeEpsilon)
+        return false;
+    }
+  }
+  return true;
+}

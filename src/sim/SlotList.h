@@ -1,0 +1,70 @@
+//===-- sim/SlotList.h - Ordered list of vacant slots --------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ordered list of available slots the search algorithms scan
+/// (Fig. 1(a) of the paper), together with the slot-subtraction operation
+/// of Fig. 1(b): removing a reserved span from a slot splits it into up
+/// to two remainder slots that are re-inserted in start order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SIM_SLOTLIST_H
+#define ECOSCHED_SIM_SLOTLIST_H
+
+#include "sim/Slot.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace ecosched {
+
+/// A list of vacant slots kept sorted by non-decreasing start time.
+///
+/// Slots on the same node never overlap; this invariant is established by
+/// the producers (generators / domain) and preserved by subtract().
+class SlotList {
+public:
+  SlotList() = default;
+
+  /// Builds a list from arbitrary slots; sorts them by start time.
+  explicit SlotList(std::vector<Slot> Slots);
+
+  /// Inserts \p S keeping the start-time order. Zero-length slots are
+  /// ignored (the paper: "if slots K1 and K2 have a zero time span, it
+  /// is not necessary to add them to the list").
+  void insert(const Slot &S);
+
+  /// Subtracts the reserved span [\p Start, \p End) from the slot on
+  /// \p NodeId that fully contains it. The containing slot is removed
+  /// and up to two remainder slots are inserted (Fig. 1(b)).
+  ///
+  /// \returns true if a containing slot was found and split; false if no
+  /// slot on \p NodeId contains the span (the list is left unchanged).
+  bool subtract(int NodeId, double Start, double End);
+
+  /// Total vacant time across all slots.
+  double totalSpan() const;
+
+  /// True if the list is sorted by start and slots never overlap within
+  /// a node. Intended for asserts and tests.
+  bool checkInvariants() const;
+
+  size_t size() const { return Slots.size(); }
+  bool empty() const { return Slots.empty(); }
+  const Slot &operator[](size_t I) const { return Slots[I]; }
+
+  std::vector<Slot>::const_iterator begin() const { return Slots.begin(); }
+  std::vector<Slot>::const_iterator end() const { return Slots.end(); }
+
+private:
+  std::vector<Slot> Slots;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_SLOTLIST_H

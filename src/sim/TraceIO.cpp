@@ -1,0 +1,174 @@
+//===-- sim/TraceIO.cpp - Workload trace persistence ----------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/TraceIO.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+using namespace ecosched;
+
+namespace {
+
+void setError(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+}
+
+/// RAII FILE handle.
+struct FileHandle {
+  std::FILE *F = nullptr;
+  FileHandle(const char *Path, const char *Mode)
+      : F(std::fopen(Path, Mode)) {}
+  ~FileHandle() {
+    if (F)
+      std::fclose(F);
+  }
+  FileHandle(const FileHandle &) = delete;
+  FileHandle &operator=(const FileHandle &) = delete;
+};
+
+/// Reads all lines of \p Path; false on open failure.
+bool readLines(const std::string &Path, std::vector<std::string> &Lines,
+               std::string *Error) {
+  FileHandle In(Path.c_str(), "r");
+  if (!In.F) {
+    setError(Error, "cannot open '" + Path + "' for reading");
+    return false;
+  }
+  std::string Current;
+  char Buffer[512];
+  while (std::fgets(Buffer, sizeof(Buffer), In.F)) {
+    Current += Buffer;
+    if (!Current.empty() && Current.back() == '\n') {
+      Current.pop_back();
+      Lines.push_back(Current);
+      Current.clear();
+    }
+  }
+  if (!Current.empty())
+    Lines.push_back(Current);
+  return true;
+}
+
+bool isSkippable(const std::string &Line) {
+  for (const char C : Line) {
+    if (C == '#')
+      return true;
+    if (C != ' ' && C != '\t')
+      return false;
+  }
+  return true; // Blank line.
+}
+
+} // namespace
+
+bool ecosched::saveSlotTrace(const SlotList &List, const std::string &Path,
+                             std::string *Error) {
+  FileHandle Out(Path.c_str(), "w");
+  if (!Out.F) {
+    setError(Error, "cannot open '" + Path + "' for writing");
+    return false;
+  }
+  std::fputs("# ecosched slot trace v1\n", Out.F);
+  for (const Slot &S : List)
+    std::fprintf(Out.F, "slot %d %.17g %.17g %.17g %.17g\n", S.NodeId,
+                 S.Performance, S.UnitPrice, S.Start, S.End);
+  return true;
+}
+
+std::optional<SlotList>
+ecosched::loadSlotTrace(const std::string &Path, std::string *Error) {
+  std::vector<std::string> Lines;
+  if (!readLines(Path, Lines, Error))
+    return std::nullopt;
+
+  std::vector<Slot> Slots;
+  for (size_t LineNo = 0; LineNo < Lines.size(); ++LineNo) {
+    const std::string &Line = Lines[LineNo];
+    if (isSkippable(Line))
+      continue;
+    int NodeId = 0;
+    double Performance = 0.0, Price = 0.0, Start = 0.0, End = 0.0;
+    if (std::sscanf(Line.c_str(), "slot %d %lg %lg %lg %lg", &NodeId,
+                    &Performance, &Price, &Start, &End) != 5) {
+      setError(Error, "line " + std::to_string(LineNo + 1) +
+                          ": expected 'slot <node> <perf> <price> "
+                          "<start> <end>'");
+      return std::nullopt;
+    }
+    if (Performance <= 0.0 || End < Start) {
+      setError(Error, "line " + std::to_string(LineNo + 1) +
+                          ": invalid slot parameters");
+      return std::nullopt;
+    }
+    Slots.emplace_back(NodeId, Performance, Price, Start, End);
+  }
+  return SlotList(std::move(Slots));
+}
+
+bool ecosched::saveBatchTrace(const Batch &Jobs, const std::string &Path,
+                              std::string *Error) {
+  FileHandle Out(Path.c_str(), "w");
+  if (!Out.F) {
+    setError(Error, "cannot open '" + Path + "' for writing");
+    return false;
+  }
+  std::fputs("# ecosched job trace v1\n", Out.F);
+  for (const Job &J : Jobs)
+    std::fprintf(
+        Out.F, "job %d %d %.17g %.17g %.17g %.17g %s\n", J.Id,
+        J.Request.NodeCount, J.Request.Volume, J.Request.MinPerformance,
+        J.Request.MaxUnitPrice, J.Request.BudgetFactor,
+        J.Request.BudgetPolicy == BudgetPolicyKind::SpanBased ? "span"
+                                                              : "volume");
+  return true;
+}
+
+std::optional<Batch> ecosched::loadBatchTrace(const std::string &Path,
+                                              std::string *Error) {
+  std::vector<std::string> Lines;
+  if (!readLines(Path, Lines, Error))
+    return std::nullopt;
+
+  Batch Jobs;
+  for (size_t LineNo = 0; LineNo < Lines.size(); ++LineNo) {
+    const std::string &Line = Lines[LineNo];
+    if (isSkippable(Line))
+      continue;
+    Job J;
+    char Policy[16] = {};
+    if (std::sscanf(Line.c_str(), "job %d %d %lg %lg %lg %lg %15s",
+                    &J.Id, &J.Request.NodeCount, &J.Request.Volume,
+                    &J.Request.MinPerformance, &J.Request.MaxUnitPrice,
+                    &J.Request.BudgetFactor, Policy) != 7) {
+      setError(Error, "line " + std::to_string(LineNo + 1) +
+                          ": expected 'job <id> <nodes> <volume> "
+                          "<min-perf> <max-price> <rho> <span|volume>'");
+      return std::nullopt;
+    }
+    if (std::strcmp(Policy, "span") == 0) {
+      J.Request.BudgetPolicy = BudgetPolicyKind::SpanBased;
+    } else if (std::strcmp(Policy, "volume") == 0) {
+      J.Request.BudgetPolicy = BudgetPolicyKind::VolumeBased;
+    } else {
+      setError(Error, "line " + std::to_string(LineNo + 1) +
+                          ": unknown budget policy '" +
+                          std::string(Policy) + "'");
+      return std::nullopt;
+    }
+    if (J.Request.NodeCount <= 0 || J.Request.Volume <= 0.0 ||
+        J.Request.MinPerformance <= 0.0) {
+      setError(Error, "line " + std::to_string(LineNo + 1) +
+                          ": invalid job parameters");
+      return std::nullopt;
+    }
+    Jobs.push_back(J);
+  }
+  return Jobs;
+}

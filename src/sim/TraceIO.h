@@ -1,0 +1,56 @@
+//===-- sim/TraceIO.h - Workload trace persistence ----------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain-text persistence for slot lists and job batches, so that a
+/// workload produced by the generators (or captured from a domain) can
+/// be archived, diffed, and replayed bit-exactly across machines. The
+/// format is line-oriented:
+///
+///   # ecosched slot trace v1
+///   slot <node> <performance> <unit-price> <start> <end>
+///
+///   # ecosched job trace v1
+///   job <id> <nodes> <volume> <min-perf> <max-price> <rho> <span|volume>
+///
+/// Lines starting with '#' and blank lines are ignored. All load
+/// functions report malformed input via the optional error string and
+/// never abort (library code raises no exceptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SIM_TRACEIO_H
+#define ECOSCHED_SIM_TRACEIO_H
+
+#include "sim/Job.h"
+#include "sim/SlotList.h"
+
+#include <optional>
+#include <string>
+
+namespace ecosched {
+
+/// Writes \p List to \p Path. \returns false on I/O failure, filling
+/// \p Error when provided.
+bool saveSlotTrace(const SlotList &List, const std::string &Path,
+                   std::string *Error = nullptr);
+
+/// Reads a slot trace; std::nullopt on I/O or parse failure.
+std::optional<SlotList> loadSlotTrace(const std::string &Path,
+                                      std::string *Error = nullptr);
+
+/// Writes \p Jobs to \p Path.
+bool saveBatchTrace(const Batch &Jobs, const std::string &Path,
+                    std::string *Error = nullptr);
+
+/// Reads a job batch trace; std::nullopt on I/O or parse failure.
+std::optional<Batch> loadBatchTrace(const std::string &Path,
+                                    std::string *Error = nullptr);
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_TRACEIO_H

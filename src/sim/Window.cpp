@@ -1,0 +1,58 @@
+//===-- sim/Window.cpp - Co-allocation window model -----------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Window.h"
+
+#include "sim/SlotList.h"
+
+#include <algorithm>
+
+using namespace ecosched;
+
+Window::Window(double StartTime, std::vector<WindowSlot> InMembers)
+    : Start(StartTime), Members(std::move(InMembers)) {
+  for (const WindowSlot &M : Members) {
+    assert(M.Source.coversFrom(Start, M.Runtime) &&
+           "member slot does not cover the window span");
+    MaxRuntime = std::max(MaxRuntime, M.Runtime);
+    TotalCost += M.Cost;
+    UnitPrices += M.Source.UnitPrice;
+  }
+}
+
+bool Window::usesNode(int NodeId) const {
+  for (const WindowSlot &M : Members)
+    if (M.Source.NodeId == NodeId)
+      return true;
+  return false;
+}
+
+bool Window::intersects(const Window &Other) const {
+  for (const WindowSlot &A : Members) {
+    const double AStart = Start;
+    const double AEnd = Start + A.Runtime;
+    for (const WindowSlot &B : Other.Members) {
+      if (A.Source.NodeId != B.Source.NodeId)
+        continue;
+      const double BStart = Other.Start;
+      const double BEnd = Other.Start + B.Runtime;
+      const double OverlapStart = std::max(AStart, BStart);
+      const double OverlapEnd = std::min(AEnd, BEnd);
+      if (OverlapEnd - OverlapStart > TimeEpsilon)
+        return true;
+    }
+  }
+  return false;
+}
+
+bool Window::subtractFrom(SlotList &List) const {
+  bool AllFound = true;
+  for (const WindowSlot &M : Members)
+    AllFound &=
+        List.subtract(M.Source.NodeId, Start, Start + M.Runtime);
+  return AllFound;
+}

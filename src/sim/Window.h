@@ -1,0 +1,100 @@
+//===-- sim/Window.h - Co-allocation window model -------------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A window is the set of N concurrent slots selected for one job. All
+/// tasks start simultaneously at the window start; on nodes of varying
+/// performance each task finishes at its own time, giving the "rough
+/// right edge" of Fig. 1(a). Window time is the runtime of the task on
+/// the slowest selected node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SIM_WINDOW_H
+#define ECOSCHED_SIM_WINDOW_H
+
+#include "sim/Slot.h"
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace ecosched {
+
+class SlotList;
+
+/// One member of a window: the source slot plus its derived usage.
+struct WindowSlot {
+  /// The vacant slot the task is placed on.
+  Slot Source;
+  /// Time the task occupies the node: Volume / Performance.
+  double Runtime = 0.0;
+  /// Money charged for the usage: UnitPrice * Runtime.
+  double Cost = 0.0;
+};
+
+/// The co-allocated slot set for one job.
+class Window {
+public:
+  Window() = default;
+
+  /// Builds a window starting at \p StartTime from \p Members whose
+  /// slots all cover [StartTime, StartTime + Runtime].
+  Window(double StartTime, std::vector<WindowSlot> Members);
+
+  /// Synchronous start time of all tasks.
+  double startTime() const { return Start; }
+
+  /// Runtime of the task on the slowest selected node; the paper's
+  /// t_i(s_i) resource usage time.
+  double timeSpan() const { return MaxRuntime; }
+
+  /// End of the latest-finishing task.
+  double endTime() const { return Start + MaxRuntime; }
+
+  /// Total money charged for all member slots; the paper's c_i(s_i).
+  double totalCost() const { return TotalCost; }
+
+  /// Sum of member unit prices (the "window cost per time unit" used in
+  /// the Section 4 example, where all performances are equal).
+  double unitPriceSum() const { return UnitPrices; }
+
+  /// Number of co-allocated slots.
+  size_t size() const { return Members.size(); }
+  bool empty() const { return Members.empty(); }
+
+  const WindowSlot &operator[](size_t I) const { return Members[I]; }
+  std::vector<WindowSlot>::const_iterator begin() const {
+    return Members.begin();
+  }
+  std::vector<WindowSlot>::const_iterator end() const {
+    return Members.end();
+  }
+
+  /// True if some member is placed on \p NodeId.
+  bool usesNode(int NodeId) const;
+
+  /// True if this window and \p Other reserve overlapping time on a
+  /// common node. Alternatives produced by the batch search must be
+  /// pairwise non-intersecting (Section 2).
+  bool intersects(const Window &Other) const;
+
+  /// Removes this window's reserved spans from \p List (Fig. 1(b)).
+  /// \returns true if every member span was found and subtracted.
+  bool subtractFrom(SlotList &List) const;
+
+private:
+  double Start = 0.0;
+  double MaxRuntime = 0.0;
+  double TotalCost = 0.0;
+  double UnitPrices = 0.0;
+  std::vector<WindowSlot> Members;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_WINDOW_H

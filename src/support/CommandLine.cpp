@@ -1,0 +1,155 @@
+//===-- support/CommandLine.cpp - Minimal flag parser --------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ecosched;
+
+ArgParser::ArgParser(std::string ProgramName, std::string Description)
+    : ProgramName(std::move(ProgramName)),
+      Description(std::move(Description)) {}
+
+int64_t &ArgParser::addInt(const std::string &Name, int64_t Default,
+                           const std::string &Help) {
+  assert(!findFlag(Name) && "duplicate flag");
+  IntValues.push_back(Default);
+  Flags.push_back({Name, Help, std::to_string(Default), FlagKind::Int,
+                   IntValues.size() - 1});
+  return IntValues.back();
+}
+
+double &ArgParser::addReal(const std::string &Name, double Default,
+                           const std::string &Help) {
+  assert(!findFlag(Name) && "duplicate flag");
+  RealValues.push_back(Default);
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%g", Default);
+  Flags.push_back(
+      {Name, Help, Buffer, FlagKind::Real, RealValues.size() - 1});
+  return RealValues.back();
+}
+
+bool &ArgParser::addBool(const std::string &Name, bool Default,
+                         const std::string &Help) {
+  assert(!findFlag(Name) && "duplicate flag");
+  BoolValues.push_back(Default);
+  Flags.push_back({Name, Help, Default ? "true" : "false", FlagKind::Bool,
+                   BoolValues.size() - 1});
+  return BoolValues.back();
+}
+
+std::string &ArgParser::addString(const std::string &Name,
+                                  std::string Default,
+                                  const std::string &Help) {
+  assert(!findFlag(Name) && "duplicate flag");
+  StringValues.push_back(std::move(Default));
+  Flags.push_back({Name, Help, StringValues.back(), FlagKind::String,
+                   StringValues.size() - 1});
+  return StringValues.back();
+}
+
+ArgParser::Flag *ArgParser::findFlag(const std::string &Name) {
+  for (Flag &F : Flags)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+bool ArgParser::setFlag(Flag &F, const std::string &Text) {
+  char *End = nullptr;
+  switch (F.Kind) {
+  case FlagKind::Int: {
+    const long long Value = std::strtoll(Text.c_str(), &End, 10);
+    if (Text.empty() || *End != '\0') {
+      std::fprintf(stderr, "%s: flag --%s expects an integer, got '%s'\n",
+                   ProgramName.c_str(), F.Name.c_str(), Text.c_str());
+      return false;
+    }
+    IntValues[F.Index] = Value;
+    return true;
+  }
+  case FlagKind::Real: {
+    const double Value = std::strtod(Text.c_str(), &End);
+    if (Text.empty() || *End != '\0') {
+      std::fprintf(stderr, "%s: flag --%s expects a number, got '%s'\n",
+                   ProgramName.c_str(), F.Name.c_str(), Text.c_str());
+      return false;
+    }
+    RealValues[F.Index] = Value;
+    return true;
+  }
+  case FlagKind::Bool:
+    if (Text == "true" || Text == "1" || Text.empty()) {
+      BoolValues[F.Index] = true;
+      return true;
+    }
+    if (Text == "false" || Text == "0") {
+      BoolValues[F.Index] = false;
+      return true;
+    }
+    std::fprintf(stderr, "%s: flag --%s expects true/false, got '%s'\n",
+                 ProgramName.c_str(), F.Name.c_str(), Text.c_str());
+    return false;
+  case FlagKind::String:
+    StringValues[F.Index] = Text;
+    return true;
+  }
+  return false;
+}
+
+bool ArgParser::parse(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printHelp();
+      return false;
+    }
+    if (Arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n",
+                   ProgramName.c_str(), Arg.c_str());
+      return false;
+    }
+    Arg.erase(0, 2);
+    std::string Value;
+    bool HasValue = false;
+    if (const size_t Eq = Arg.find('='); Eq != std::string::npos) {
+      Value = Arg.substr(Eq + 1);
+      Arg.resize(Eq);
+      HasValue = true;
+    }
+    Flag *F = findFlag(Arg);
+    if (!F) {
+      std::fprintf(stderr, "%s: unknown flag --%s (try --help)\n",
+                   ProgramName.c_str(), Arg.c_str());
+      return false;
+    }
+    if (!HasValue && F->Kind != FlagKind::Bool) {
+      // Allow `--flag value` in addition to `--flag=value`.
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s: flag --%s requires a value\n",
+                     ProgramName.c_str(), Arg.c_str());
+        return false;
+      }
+      Value = Argv[++I];
+    }
+    if (!setFlag(*F, Value))
+      return false;
+  }
+  return true;
+}
+
+void ArgParser::printHelp() const {
+  std::printf("%s - %s\n\nFlags:\n", ProgramName.c_str(),
+              Description.c_str());
+  for (const Flag &F : Flags)
+    std::printf("  --%-24s %s (default: %s)\n", F.Name.c_str(),
+                F.Help.c_str(), F.DefaultText.c_str());
+}

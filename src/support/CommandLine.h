@@ -1,0 +1,88 @@
+//===-- support/CommandLine.h - Minimal flag parser --------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal `--flag=value` parser for the example and bench binaries.
+/// Flags are registered with a default value and a help string; parse()
+/// overrides registered defaults and rejects unknown flags.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SUPPORT_COMMANDLINE_H
+#define ECOSCHED_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace ecosched {
+
+/// Registry of typed command-line flags.
+///
+/// Usage:
+/// \code
+///   ArgParser Args("fig4", "Reproduces Fig. 4");
+///   int64_t &Iterations = Args.addInt("iterations", 5000, "runs");
+///   if (!Args.parse(argc, argv)) return 1;
+/// \endcode
+///
+/// References returned by the add* methods remain valid for the lifetime
+/// of the parser (values live in std::deque storage).
+class ArgParser {
+public:
+  ArgParser(std::string ProgramName, std::string Description);
+
+  /// Registers an integer flag; returns a stable reference to its value.
+  int64_t &addInt(const std::string &Name, int64_t Default,
+                  const std::string &Help);
+
+  /// Registers a floating-point flag.
+  double &addReal(const std::string &Name, double Default,
+                  const std::string &Help);
+
+  /// Registers a boolean flag (`--name` or `--name=true/false`).
+  bool &addBool(const std::string &Name, bool Default,
+                const std::string &Help);
+
+  /// Registers a string flag.
+  std::string &addString(const std::string &Name, std::string Default,
+                         const std::string &Help);
+
+  /// Parses argv. On `--help` prints usage and returns false; on a
+  /// malformed or unknown flag prints a diagnostic and returns false.
+  bool parse(int Argc, const char *const *Argv);
+
+  /// Prints registered flags with defaults and help text.
+  void printHelp() const;
+
+private:
+  enum class FlagKind { Int, Real, Bool, String };
+
+  struct Flag {
+    std::string Name;
+    std::string Help;
+    std::string DefaultText;
+    FlagKind Kind;
+    size_t Index; // Index into the typed storage deque for Kind.
+  };
+
+  Flag *findFlag(const std::string &Name);
+  bool setFlag(Flag &F, const std::string &Text);
+
+  std::string ProgramName;
+  std::string Description;
+  std::vector<Flag> Flags;
+  std::deque<int64_t> IntValues;
+  std::deque<double> RealValues;
+  std::deque<bool> BoolValues;
+  std::deque<std::string> StringValues;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SUPPORT_COMMANDLINE_H

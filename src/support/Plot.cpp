@@ -1,0 +1,248 @@
+//===-- support/Plot.cpp - SVG line and bar charts ------------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Plot.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace ecosched;
+
+const std::vector<std::string> &ecosched::plotPalette() {
+  static const std::vector<std::string> Palette = {
+      "#3366cc", "#dc3912", "#109618", "#ff9900", "#990099", "#0099c6"};
+  return Palette;
+}
+
+std::vector<double> ecosched::niceTicks(double Lo, double Hi,
+                                        int TargetCount) {
+  assert(TargetCount > 1 && "need at least two ticks");
+  if (Hi <= Lo)
+    Hi = Lo + 1.0;
+  const double RawStep = (Hi - Lo) / (TargetCount - 1);
+  const double Magnitude = std::pow(10.0, std::floor(std::log10(RawStep)));
+  double Step = Magnitude;
+  for (const double Factor : {1.0, 2.0, 5.0, 10.0}) {
+    Step = Factor * Magnitude;
+    if (Step >= RawStep)
+      break;
+  }
+  std::vector<double> Ticks;
+  const double First = std::floor(Lo / Step) * Step;
+  for (double T = First; T <= Hi + Step * 0.5; T += Step)
+    Ticks.push_back(T);
+  return Ticks;
+}
+
+namespace {
+
+/// Shared canvas geometry: margins and the data rectangle.
+struct PlotFrame {
+  double Width, Height;
+  double Left = 64.0, Right = 20.0, Top = 40.0, Bottom = 52.0;
+
+  double plotLeft() const { return Left; }
+  double plotRight() const { return Width - Right; }
+  double plotTop() const { return Top; }
+  double plotBottom() const { return Height - Bottom; }
+  double plotWidth() const { return plotRight() - plotLeft(); }
+  double plotHeight() const { return plotBottom() - plotTop(); }
+};
+
+std::string formatTick(double Value) {
+  char Buffer[32];
+  if (std::fabs(Value - std::round(Value)) < 1e-9)
+    std::snprintf(Buffer, sizeof(Buffer), "%.0f", Value);
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%g", Value);
+  return Buffer;
+}
+
+void drawFrame(SvgDocument &Doc, const PlotFrame &F,
+               const std::string &Title, const std::string &XLabel,
+               const std::string &YLabel) {
+  SvgStyle Axis;
+  Axis.Stroke = "#444444";
+  Doc.addLine(F.plotLeft(), F.plotBottom(), F.plotRight(),
+              F.plotBottom(), Axis);
+  Doc.addLine(F.plotLeft(), F.plotTop(), F.plotLeft(), F.plotBottom(),
+              Axis);
+  Doc.addText(F.Width / 2.0, 24.0, Title, 15.0,
+              SvgTextAnchorKind::Middle);
+  if (!XLabel.empty())
+    Doc.addText(F.plotLeft() + F.plotWidth() / 2.0, F.Height - 12.0,
+                XLabel, 12.0, SvgTextAnchorKind::Middle);
+  if (!YLabel.empty())
+    Doc.addText(14.0, F.plotTop() - 10.0, YLabel, 12.0,
+                SvgTextAnchorKind::Start);
+}
+
+void drawYTicks(SvgDocument &Doc, const PlotFrame &F, double YLo,
+                double YHi, const std::vector<double> &Ticks) {
+  SvgStyle Grid;
+  Grid.Stroke = "#dddddd";
+  for (const double T : Ticks) {
+    if (T < YLo - 1e-9 || T > YHi + 1e-9)
+      continue;
+    const double Y =
+        F.plotBottom() - (T - YLo) / (YHi - YLo) * F.plotHeight();
+    Doc.addLine(F.plotLeft(), Y, F.plotRight(), Y, Grid);
+    Doc.addText(F.plotLeft() - 6.0, Y + 4.0, formatTick(T), 11.0,
+                SvgTextAnchorKind::End);
+  }
+}
+
+void drawLegend(SvgDocument &Doc, const PlotFrame &F,
+                const std::vector<std::pair<std::string, std::string>>
+                    &LabelsAndColors) {
+  double X = F.plotLeft() + 10.0;
+  const double Y = F.plotTop() + 14.0;
+  for (const auto &[Label, Color] : LabelsAndColors) {
+    SvgStyle Swatch;
+    Swatch.Fill = Color;
+    Doc.addRect(X, Y - 9.0, 12.0, 12.0, Swatch);
+    Doc.addText(X + 16.0, Y + 1.0, Label, 11.0);
+    X += 16.0 + 7.0 * static_cast<double>(Label.size()) + 24.0;
+  }
+}
+
+} // namespace
+
+void LineChart::addSeries(std::string Label,
+                          std::vector<std::pair<double, double>> Points,
+                          std::string Color) {
+  if (Color.empty())
+    Color = plotPalette()[AllSeries.size() % plotPalette().size()];
+  AllSeries.push_back(
+      {std::move(Label), std::move(Points), std::move(Color)});
+}
+
+SvgDocument LineChart::render(double Width, double Height) const {
+  SvgDocument Doc(Width, Height);
+  PlotFrame F;
+  F.Width = Width;
+  F.Height = Height;
+  drawFrame(Doc, F, Title, XLabel, YLabel);
+
+  double XLo = 0.0, XHi = 1.0, YLo = 0.0, YHi = 1.0;
+  bool Any = false;
+  for (const Series &S : AllSeries)
+    for (const auto &[X, Y] : S.Points) {
+      if (!Any) {
+        XLo = XHi = X;
+        YLo = YHi = Y;
+        Any = true;
+        continue;
+      }
+      XLo = std::min(XLo, X);
+      XHi = std::max(XHi, X);
+      YLo = std::min(YLo, Y);
+      YHi = std::max(YHi, Y);
+    }
+  if (XHi <= XLo)
+    XHi = XLo + 1.0;
+  YLo = std::min(YLo, 0.0); // Anchor the value axis at zero.
+  if (YHi <= YLo)
+    YHi = YLo + 1.0;
+  YHi *= 1.05;
+
+  drawYTicks(Doc, F, YLo, YHi, niceTicks(YLo, YHi));
+  for (const double T : niceTicks(XLo, XHi, 7)) {
+    if (T < XLo - 1e-9 || T > XHi + 1e-9)
+      continue;
+    const double X =
+        F.plotLeft() + (T - XLo) / (XHi - XLo) * F.plotWidth();
+    Doc.addText(X, F.plotBottom() + 16.0, formatTick(T), 11.0,
+                SvgTextAnchorKind::Middle);
+  }
+
+  std::vector<std::pair<std::string, std::string>> Legend;
+  for (const Series &S : AllSeries) {
+    std::vector<std::pair<double, double>> Mapped;
+    Mapped.reserve(S.Points.size());
+    for (const auto &[X, Y] : S.Points)
+      Mapped.push_back(
+          {F.plotLeft() + (X - XLo) / (XHi - XLo) * F.plotWidth(),
+           F.plotBottom() - (Y - YLo) / (YHi - YLo) * F.plotHeight()});
+    SvgStyle Line;
+    Line.Stroke = S.Color;
+    Line.StrokeWidth = 1.6;
+    Doc.addPolyline(Mapped, Line);
+    Legend.push_back({S.Label, S.Color});
+  }
+  drawLegend(Doc, F, Legend);
+  return Doc;
+}
+
+void GroupedBarChart::setSeries(std::vector<std::string> Names) {
+  assert(Groups.empty() && "declare series before adding groups");
+  SeriesNames = std::move(Names);
+}
+
+void GroupedBarChart::addGroup(std::string Label,
+                               std::vector<double> Values) {
+  assert(Values.size() == SeriesNames.size() &&
+         "one value per declared series");
+  Groups.push_back({std::move(Label), std::move(Values)});
+}
+
+SvgDocument GroupedBarChart::render(double Width, double Height) const {
+  SvgDocument Doc(Width, Height);
+  PlotFrame F;
+  F.Width = Width;
+  F.Height = Height;
+  drawFrame(Doc, F, Title, "", YLabel);
+
+  double YHi = 1.0;
+  for (const Group &G : Groups)
+    for (const double V : G.Values)
+      YHi = std::max(YHi, V);
+  YHi *= 1.1;
+  drawYTicks(Doc, F, 0.0, YHi, niceTicks(0.0, YHi));
+
+  const size_t GroupCount = Groups.size();
+  const size_t BarCount = SeriesNames.size();
+  if (GroupCount && BarCount) {
+    const double GroupWidth =
+        F.plotWidth() / static_cast<double>(GroupCount);
+    const double BarWidth =
+        GroupWidth * 0.7 / static_cast<double>(BarCount);
+    for (size_t G = 0; G < GroupCount; ++G) {
+      const double GroupLeft =
+          F.plotLeft() + GroupWidth * static_cast<double>(G) +
+          GroupWidth * 0.15;
+      for (size_t B = 0; B < BarCount; ++B) {
+        const double Value = Groups[G].Values[B];
+        const double BarHeight = Value / YHi * F.plotHeight();
+        SvgStyle Bar;
+        Bar.Fill = plotPalette()[B % plotPalette().size()];
+        Doc.addRect(GroupLeft + BarWidth * static_cast<double>(B),
+                    F.plotBottom() - BarHeight, BarWidth * 0.92,
+                    BarHeight, Bar);
+        // Value label above the bar.
+        char Buffer[32];
+        std::snprintf(Buffer, sizeof(Buffer), "%.1f", Value);
+        Doc.addText(GroupLeft + BarWidth * (static_cast<double>(B) + 0.5),
+                    F.plotBottom() - BarHeight - 4.0, Buffer, 10.0,
+                    SvgTextAnchorKind::Middle);
+      }
+      Doc.addText(F.plotLeft() + GroupWidth * (static_cast<double>(G) +
+                                               0.5),
+                  F.plotBottom() + 16.0, Groups[G].Label, 11.0,
+                  SvgTextAnchorKind::Middle);
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> Legend;
+  for (size_t B = 0; B < BarCount; ++B)
+    Legend.push_back(
+        {SeriesNames[B], plotPalette()[B % plotPalette().size()]});
+  drawLegend(Doc, F, Legend);
+  return Doc;
+}

@@ -1,0 +1,90 @@
+//===-- support/Plot.h - SVG line and bar charts -------------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chart builders over the SVG writer, enough to regenerate the paper's
+/// figures as images: a multi-series line chart (Fig. 5) and a grouped
+/// bar chart (Fig. 4/6), both with automatic "nice" axis ticks and a
+/// legend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SUPPORT_PLOT_H
+#define ECOSCHED_SUPPORT_PLOT_H
+
+#include "support/Svg.h"
+
+#include <string>
+#include <vector>
+
+namespace ecosched {
+
+/// Chooses a "nice" tick step (1/2/5 x 10^k) and returns the tick
+/// positions covering [\p Lo, \p Hi] with roughly \p TargetCount ticks.
+std::vector<double> niceTicks(double Lo, double Hi, int TargetCount = 5);
+
+/// Multi-series line chart.
+class LineChart {
+public:
+  LineChart(std::string Title, std::string XLabel, std::string YLabel)
+      : Title(std::move(Title)), XLabel(std::move(XLabel)),
+        YLabel(std::move(YLabel)) {}
+
+  /// Adds a series; \p Color defaults to the built-in palette.
+  void addSeries(std::string Label,
+                 std::vector<std::pair<double, double>> Points,
+                 std::string Color = std::string());
+
+  /// Renders the chart into an SVG document.
+  SvgDocument render(double Width = 720.0, double Height = 420.0) const;
+
+private:
+  struct Series {
+    std::string Label;
+    std::vector<std::pair<double, double>> Points;
+    std::string Color;
+  };
+
+  std::string Title;
+  std::string XLabel;
+  std::string YLabel;
+  std::vector<Series> AllSeries;
+};
+
+/// Grouped bar chart: one group per category, one bar per series.
+class GroupedBarChart {
+public:
+  GroupedBarChart(std::string Title, std::string YLabel)
+      : Title(std::move(Title)), YLabel(std::move(YLabel)) {}
+
+  /// Declares the bar series (their order defines the bar order inside
+  /// every group); must be called before addGroup.
+  void setSeries(std::vector<std::string> Names);
+
+  /// Adds one category with one value per declared series.
+  void addGroup(std::string Label, std::vector<double> Values);
+
+  SvgDocument render(double Width = 720.0, double Height = 420.0) const;
+
+private:
+  struct Group {
+    std::string Label;
+    std::vector<double> Values;
+  };
+
+  std::string Title;
+  std::string YLabel;
+  std::vector<std::string> SeriesNames;
+  std::vector<Group> Groups;
+};
+
+/// The default categorical palette shared by the chart builders.
+const std::vector<std::string> &plotPalette();
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SUPPORT_PLOT_H

@@ -1,0 +1,89 @@
+//===-- support/Random.cpp - Deterministic random number utilities -------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace ecosched;
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+void RandomGenerator::reseed(uint64_t Seed) {
+  SplitMix64 Expander(Seed);
+  for (uint64_t &Word : State)
+    Word = Expander.next();
+}
+
+uint64_t RandomGenerator::next() {
+  const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  const uint64_t T = State[1] << 17;
+
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+
+  return Result;
+}
+
+double RandomGenerator::nextUnit() {
+  // 53 high bits give a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double RandomGenerator::uniformReal(double Lo, double Hi) {
+  assert(Lo <= Hi && "empty real range");
+  return Lo + (Hi - Lo) * nextUnit();
+}
+
+int64_t RandomGenerator::uniformInt(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty integer range");
+  const uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t Limit = UINT64_MAX - UINT64_MAX % Span;
+  uint64_t Value = next();
+  while (Value >= Limit)
+    Value = next();
+  return Lo + static_cast<int64_t>(Value % Span);
+}
+
+bool RandomGenerator::bernoulli(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextUnit() < P;
+}
+
+int64_t RandomGenerator::poisson(double Mean) {
+  assert(Mean >= 0.0 && "Poisson mean must be non-negative");
+  if (Mean <= 0.0)
+    return 0;
+  // Knuth: multiply uniforms until the product drops below e^-Mean.
+  const double Threshold = std::exp(-Mean);
+  int64_t Count = -1;
+  double Product = 1.0;
+  do {
+    ++Count;
+    Product *= nextUnit();
+  } while (Product > Threshold);
+  return Count;
+}
+
+RandomGenerator RandomGenerator::fork() {
+  RandomGenerator Child(next());
+  // Decorrelate the child further from the parent stream.
+  Child.next();
+  return Child;
+}

@@ -1,0 +1,90 @@
+//===-- support/Statistics.cpp - Streaming statistics helpers ------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ecosched;
+
+void RunningStats::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  const double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+void RunningStats::merge(const RunningStats &Other) {
+  if (Other.N == 0)
+    return;
+  if (N == 0) {
+    *this = Other;
+    return;
+  }
+  const double NA = static_cast<double>(N);
+  const double NB = static_cast<double>(Other.N);
+  const double Delta = Other.Mean - Mean;
+  const double Combined = NA + NB;
+  Mean += Delta * NB / Combined;
+  M2 += Other.M2 + Delta * Delta * NA * NB / Combined;
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+  N += Other.N;
+}
+
+double RunningStats::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double Lo, double Hi, size_t BucketCount)
+    : Lo(Lo), Hi(Hi), Buckets(BucketCount, 0) {
+  assert(Lo < Hi && "histogram range is empty");
+  assert(BucketCount > 0 && "histogram needs at least one bucket");
+}
+
+void Histogram::add(double X) {
+  const double Width = (Hi - Lo) / static_cast<double>(Buckets.size());
+  double Offset = std::floor((X - Lo) / Width);
+  Offset = std::clamp(Offset, 0.0, static_cast<double>(Buckets.size() - 1));
+  ++Buckets[static_cast<size_t>(Offset)];
+  ++Total;
+}
+
+double Histogram::bucketLo(size_t Index) const {
+  const double Width = (Hi - Lo) / static_cast<double>(Buckets.size());
+  return Lo + Width * static_cast<double>(Index);
+}
+
+double Histogram::quantile(double Q) const {
+  if (Total == 0)
+    return 0.0;
+  Q = std::clamp(Q, 0.0, 1.0);
+  const double Target = Q * static_cast<double>(Total);
+  double Seen = 0.0;
+  for (size_t I = 0, E = Buckets.size(); I != E; ++I) {
+    const double Next = Seen + static_cast<double>(Buckets[I]);
+    if (Next >= Target && Buckets[I] > 0) {
+      const double Fraction =
+          (Target - Seen) / static_cast<double>(Buckets[I]);
+      return bucketLo(I) + Fraction * (bucketHi(I) - bucketLo(I));
+    }
+    Seen = Next;
+  }
+  return Hi;
+}

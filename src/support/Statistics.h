@@ -1,0 +1,100 @@
+//===-- support/Statistics.h - Streaming statistics helpers ------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming statistics used by the experiment harness to aggregate the
+/// per-job execution time/cost measures reported in Section 5 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SUPPORT_STATISTICS_H
+#define ECOSCHED_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace ecosched {
+
+/// Numerically stable streaming accumulator (Welford) for count, mean,
+/// variance, and extrema of a sample.
+class RunningStats {
+public:
+  /// Adds one observation.
+  void add(double X);
+
+  /// Merges another accumulator into this one (parallel-combine rule).
+  void merge(const RunningStats &Other);
+
+  /// Number of observations so far.
+  size_t count() const { return N; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return N ? Mean : 0.0; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+
+  /// Square root of variance().
+  double stddev() const;
+
+  /// Smallest observation; 0 when empty.
+  double min() const { return N ? Min : 0.0; }
+
+  /// Largest observation; 0 when empty.
+  double max() const { return N ? Max : 0.0; }
+
+  /// Sum of all observations.
+  double sum() const { return Mean * static_cast<double>(N); }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Fixed-width histogram over [Lo, Hi); out-of-range samples are clamped
+/// into the first/last bucket. Supports approximate quantiles.
+class Histogram {
+public:
+  /// Creates a histogram with \p BucketCount equal buckets covering
+  /// [\p Lo, \p Hi). Requires Lo < Hi and BucketCount > 0.
+  Histogram(double Lo, double Hi, size_t BucketCount);
+
+  /// Adds one observation.
+  void add(double X);
+
+  /// Total number of observations.
+  size_t count() const { return Total; }
+
+  /// Number of observations in bucket \p Index.
+  size_t bucketCount(size_t Index) const { return Buckets[Index]; }
+
+  /// Number of buckets.
+  size_t bucketCountTotal() const { return Buckets.size(); }
+
+  /// Inclusive lower edge of bucket \p Index.
+  double bucketLo(size_t Index) const;
+
+  /// Exclusive upper edge of bucket \p Index.
+  double bucketHi(size_t Index) const { return bucketLo(Index + 1); }
+
+  /// Approximate \p Q quantile (Q in [0, 1]), linearly interpolated
+  /// within the containing bucket; 0 when empty.
+  double quantile(double Q) const;
+
+private:
+  double Lo;
+  double Hi;
+  std::vector<size_t> Buckets;
+  size_t Total = 0;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SUPPORT_STATISTICS_H

@@ -1,0 +1,144 @@
+//===-- support/Svg.cpp - Minimal SVG document writer ---------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Svg.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace ecosched;
+
+std::string ecosched::svgEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (const char C : Text) {
+    switch (C) {
+    case '&':
+      Out += "&amp;";
+      break;
+    case '<':
+      Out += "&lt;";
+      break;
+    case '>':
+      Out += "&gt;";
+      break;
+    case '"':
+      Out += "&quot;";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+std::string formatNumber(double X) {
+  char Buffer[48];
+  std::snprintf(Buffer, sizeof(Buffer), "%.2f", X);
+  return Buffer;
+}
+
+std::string styleAttrs(const SvgStyle &Style) {
+  std::string Out = " fill=\"" + Style.Fill + "\"";
+  Out += " stroke=\"" + Style.Stroke + "\"";
+  if (Style.Stroke != "none")
+    Out += " stroke-width=\"" + formatNumber(Style.StrokeWidth) + "\"";
+  if (Style.Opacity < 1.0)
+    Out += " opacity=\"" + formatNumber(Style.Opacity) + "\"";
+  return Out;
+}
+
+} // namespace
+
+SvgDocument::SvgDocument(double Width, double Height)
+    : Width(Width), Height(Height) {
+  assert(Width > 0.0 && Height > 0.0 && "empty SVG canvas");
+  SvgStyle Background;
+  Background.Fill = "#ffffff";
+  addRect(0.0, 0.0, Width, Height, Background);
+}
+
+void SvgDocument::addRect(double X, double Y, double W, double H,
+                          const SvgStyle &Style) {
+  Elements.push_back("<rect x=\"" + formatNumber(X) + "\" y=\"" +
+                     formatNumber(Y) + "\" width=\"" + formatNumber(W) +
+                     "\" height=\"" + formatNumber(H) + "\"" +
+                     styleAttrs(Style) + "/>");
+}
+
+void SvgDocument::addLine(double X1, double Y1, double X2, double Y2,
+                          const SvgStyle &Style) {
+  Elements.push_back("<line x1=\"" + formatNumber(X1) + "\" y1=\"" +
+                     formatNumber(Y1) + "\" x2=\"" + formatNumber(X2) +
+                     "\" y2=\"" + formatNumber(Y2) + "\"" +
+                     styleAttrs(Style) + "/>");
+}
+
+void SvgDocument::addPolyline(
+    const std::vector<std::pair<double, double>> &Points,
+    const SvgStyle &Style) {
+  if (Points.empty())
+    return;
+  std::string Attr = "<polyline points=\"";
+  for (size_t I = 0; I < Points.size(); ++I) {
+    if (I)
+      Attr += ' ';
+    Attr += formatNumber(Points[I].first) + "," +
+            formatNumber(Points[I].second);
+  }
+  Attr += "\"" + styleAttrs(Style) + "/>";
+  Elements.push_back(std::move(Attr));
+}
+
+void SvgDocument::addCircle(double X, double Y, double R,
+                            const SvgStyle &Style) {
+  Elements.push_back("<circle cx=\"" + formatNumber(X) + "\" cy=\"" +
+                     formatNumber(Y) + "\" r=\"" + formatNumber(R) +
+                     "\"" + styleAttrs(Style) + "/>");
+}
+
+void SvgDocument::addText(double X, double Y, const std::string &Text,
+                          double Size, SvgTextAnchorKind Anchor,
+                          const std::string &Color) {
+  const char *AnchorName = "start";
+  if (Anchor == SvgTextAnchorKind::Middle)
+    AnchorName = "middle";
+  else if (Anchor == SvgTextAnchorKind::End)
+    AnchorName = "end";
+  Elements.push_back(
+      "<text x=\"" + formatNumber(X) + "\" y=\"" + formatNumber(Y) +
+      "\" font-family=\"sans-serif\" font-size=\"" + formatNumber(Size) +
+      "\" text-anchor=\"" + AnchorName + "\" fill=\"" + Color + "\">" +
+      svgEscape(Text) + "</text>");
+}
+
+std::string SvgDocument::str() const {
+  std::string Out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  Out += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+         formatNumber(Width) + "\" height=\"" + formatNumber(Height) +
+         "\" viewBox=\"0 0 " + formatNumber(Width) + " " +
+         formatNumber(Height) + "\">\n";
+  for (const std::string &Element : Elements) {
+    Out += Element;
+    Out += '\n';
+  }
+  Out += "</svg>\n";
+  return Out;
+}
+
+bool SvgDocument::write(const std::string &Path) const {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return false;
+  const std::string Content = str();
+  const size_t Written =
+      std::fwrite(Content.data(), 1, Content.size(), Out);
+  std::fclose(Out);
+  return Written == Content.size();
+}

@@ -1,0 +1,82 @@
+//===-- support/Svg.h - Minimal SVG document writer ----------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal SVG writer so the figure benches can emit the paper's
+/// charts as image files (`--svg=...`). Only the primitives the plot
+/// layer needs: rectangles, lines, polylines, text, with plain
+/// fill/stroke styling. Coordinates are in user units; the document
+/// writes a fixed viewBox.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SUPPORT_SVG_H
+#define ECOSCHED_SUPPORT_SVG_H
+
+#include <string>
+#include <vector>
+
+namespace ecosched {
+
+/// Paint style of an SVG element.
+struct SvgStyle {
+  /// Fill color ("#rrggbb" or "none").
+  std::string Fill = "none";
+  /// Stroke color ("#rrggbb" or "none").
+  std::string Stroke = "none";
+  double StrokeWidth = 1.0;
+  /// Fill/stroke opacity in [0, 1].
+  double Opacity = 1.0;
+};
+
+/// Horizontal anchoring of text.
+enum class SvgTextAnchorKind { Start, Middle, End };
+
+/// An SVG document assembled element by element.
+class SvgDocument {
+public:
+  /// Creates a document of the given pixel size with a white background.
+  SvgDocument(double Width, double Height);
+
+  void addRect(double X, double Y, double W, double H,
+               const SvgStyle &Style);
+
+  void addLine(double X1, double Y1, double X2, double Y2,
+               const SvgStyle &Style);
+
+  /// Polyline through the given (x, y) points.
+  void addPolyline(const std::vector<std::pair<double, double>> &Points,
+                   const SvgStyle &Style);
+
+  void addCircle(double X, double Y, double R, const SvgStyle &Style);
+
+  /// Text at (X, Y baseline); \p Size is the font size in pixels.
+  void addText(double X, double Y, const std::string &Text, double Size,
+               SvgTextAnchorKind Anchor = SvgTextAnchorKind::Start,
+               const std::string &Color = "#1a1a1a");
+
+  double width() const { return Width; }
+  double height() const { return Height; }
+
+  /// Serializes the document.
+  std::string str() const;
+
+  /// Writes the document to \p Path; false on I/O failure.
+  bool write(const std::string &Path) const;
+
+private:
+  double Width;
+  double Height;
+  std::vector<std::string> Elements;
+};
+
+/// Escapes &, <, > and quotes for use in SVG text/attributes.
+std::string svgEscape(const std::string &Text);
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SUPPORT_SVG_H

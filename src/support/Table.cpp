@@ -1,0 +1,109 @@
+//===-- support/Table.cpp - Console table and CSV writers ----------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ecosched;
+
+std::string ecosched::formatDouble(double Value, int Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Precision, Value);
+  return Buffer;
+}
+
+void TablePrinter::addColumn(std::string Header, AlignKind Align) {
+  assert(Rows.empty() && "columns must be declared before rows");
+  Headers.push_back(std::move(Header));
+  Aligns.push_back(Align);
+}
+
+void TablePrinter::beginRow() {
+  assert(!Headers.empty() && "declare columns first");
+  assert((Rows.empty() || Rows.back().size() == Headers.size()) &&
+         "previous row is incomplete");
+  Rows.emplace_back();
+}
+
+void TablePrinter::addCell(std::string Text) {
+  assert(!Rows.empty() && "beginRow() before adding cells");
+  assert(Rows.back().size() < Headers.size() && "row has too many cells");
+  Rows.back().push_back(std::move(Text));
+}
+
+void TablePrinter::addCell(long long Value) {
+  addCell(std::to_string(Value));
+}
+
+void TablePrinter::addCell(double Value, int Precision) {
+  addCell(formatDouble(Value, Precision));
+}
+
+void TablePrinter::print(std::FILE *Out) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t I = 0, E = Headers.size(); I != E; ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0, E = Row.size(); I != E; ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto PrintCell = [&](const std::string &Text, size_t Col) {
+    const int Width = static_cast<int>(Widths[Col]);
+    if (Aligns[Col] == AlignKind::Left)
+      std::fprintf(Out, "%-*s", Width, Text.c_str());
+    else
+      std::fprintf(Out, "%*s", Width, Text.c_str());
+    std::fputs(Col + 1 == Headers.size() ? "\n" : "  ", Out);
+  };
+
+  for (size_t I = 0, E = Headers.size(); I != E; ++I)
+    PrintCell(Headers[I], I);
+  for (size_t I = 0, E = Headers.size(); I != E; ++I) {
+    std::string Rule(Widths[I], '-');
+    PrintCell(Rule, I);
+  }
+  for (const auto &Row : Rows)
+    for (size_t I = 0, E = Row.size(); I != E; ++I)
+      PrintCell(Row[I], I);
+}
+
+static void writeCsvField(std::FILE *Out, const std::string &Field) {
+  const bool NeedsQuoting =
+      Field.find_first_of(",\"\n") != std::string::npos;
+  if (!NeedsQuoting) {
+    std::fputs(Field.c_str(), Out);
+    return;
+  }
+  std::fputc('"', Out);
+  for (char C : Field) {
+    if (C == '"')
+      std::fputc('"', Out);
+    std::fputc(C, Out);
+  }
+  std::fputc('"', Out);
+}
+
+bool TablePrinter::writeCsv(const std::string &Path) const {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return false;
+  auto WriteRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0, E = Row.size(); I != E; ++I) {
+      if (I)
+        std::fputc(',', Out);
+      writeCsvField(Out, Row[I]);
+    }
+    std::fputc('\n', Out);
+  };
+  WriteRow(Headers);
+  for (const auto &Row : Rows)
+    WriteRow(Row);
+  std::fclose(Out);
+  return true;
+}

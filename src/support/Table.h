@@ -1,0 +1,67 @@
+//===-- support/Table.h - Console table and CSV writers ----------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small table formatting utilities. Every bench binary reproduces one of
+/// the paper's figures/tables as console rows; TablePrinter keeps that
+/// output aligned and CSV-exportable without pulling in iostreams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SUPPORT_TABLE_H
+#define ECOSCHED_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ecosched {
+
+/// Column-aligned console table. Columns are declared once; rows are then
+/// appended as formatted cells. print() pads cells to the widest entry.
+class TablePrinter {
+public:
+  enum class AlignKind { Left, Right };
+
+  /// Declares a column with the given \p Header.
+  void addColumn(std::string Header, AlignKind Align = AlignKind::Right);
+
+  /// Starts a new row. Subsequent addCell calls fill it left to right.
+  void beginRow();
+
+  /// Appends a string cell to the current row.
+  void addCell(std::string Text);
+
+  /// Appends an integer cell.
+  void addCell(long long Value);
+
+  /// Appends a floating-point cell rendered with \p Precision digits
+  /// after the decimal point.
+  void addCell(double Value, int Precision = 2);
+
+  /// Writes the table to \p Out with a header underline.
+  void print(std::FILE *Out) const;
+
+  /// Writes the table as CSV to the file at \p Path.
+  /// \returns true on success.
+  bool writeCsv(const std::string &Path) const;
+
+  /// Number of data rows appended so far.
+  size_t rowCount() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<AlignKind> Aligns;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats \p Value like printf("%.*f") into a std::string.
+std::string formatDouble(double Value, int Precision = 2);
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SUPPORT_TABLE_H

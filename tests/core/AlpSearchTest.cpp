@@ -1,0 +1,167 @@
+//===-- tests/core/AlpSearchTest.cpp - ALP unit tests ---------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AlpSearch.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+ResourceRequest makeRequest(int Nodes, double Volume, double MinPerf,
+                            double MaxPrice) {
+  ResourceRequest Req;
+  Req.NodeCount = Nodes;
+  Req.Volume = Volume;
+  Req.MinPerformance = MinPerf;
+  Req.MaxUnitPrice = MaxPrice;
+  return Req;
+}
+
+} // namespace
+
+TEST(AlpSearchTest, SingleSlotRequest) {
+  SlotList List({Slot(0, 1.0, 2.0, 10.0, 100.0)});
+  AlpSearch Alp;
+  const auto W = Alp.findWindow(List, makeRequest(1, 50.0, 1.0, 3.0));
+  ASSERT_TRUE(W.has_value());
+  EXPECT_DOUBLE_EQ(W->startTime(), 10.0);
+  EXPECT_DOUBLE_EQ(W->timeSpan(), 50.0);
+  EXPECT_DOUBLE_EQ(W->totalCost(), 100.0);
+  EXPECT_EQ(W->size(), 1u);
+}
+
+TEST(AlpSearchTest, PriceCapExcludesExpensiveSlots) {
+  SlotList List({Slot(0, 1.0, 10.0, 0.0, 100.0),   // Too expensive.
+                 Slot(1, 1.0, 2.0, 50.0, 200.0)}); // Fits.
+  AlpSearch Alp;
+  const auto W = Alp.findWindow(List, makeRequest(1, 50.0, 1.0, 3.0));
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ((*W)[0].Source.NodeId, 1);
+  EXPECT_DOUBLE_EQ(W->startTime(), 50.0);
+}
+
+TEST(AlpSearchTest, PerformanceFilter) {
+  SlotList List({Slot(0, 1.0, 1.0, 0.0, 500.0),   // Too slow.
+                 Slot(1, 2.5, 1.0, 100.0, 500.0)}); // Fast enough.
+  AlpSearch Alp;
+  const auto W = Alp.findWindow(List, makeRequest(1, 100.0, 2.0, 5.0));
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ((*W)[0].Source.NodeId, 1);
+  EXPECT_DOUBLE_EQ(W->timeSpan(), 40.0); // 100 / 2.5.
+}
+
+TEST(AlpSearchTest, TooShortSlotSkipped) {
+  SlotList List({Slot(0, 1.0, 1.0, 0.0, 30.0),    // Shorter than 50.
+                 Slot(1, 1.0, 1.0, 10.0, 70.0)}); // Long enough.
+  AlpSearch Alp;
+  const auto W = Alp.findWindow(List, makeRequest(1, 50.0, 1.0, 2.0));
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ((*W)[0].Source.NodeId, 1);
+}
+
+TEST(AlpSearchTest, ExpirationDropsStaleGroupMembers) {
+  // Slot 0 is alive at its own start but cannot cover the runtime once
+  // the window start advances to slot 1's start; the window needs
+  // slot 1 + slot 2.
+  SlotList List({Slot(0, 1.0, 1.0, 0.0, 120.0),
+                 Slot(1, 1.0, 1.0, 100.0, 300.0),
+                 Slot(2, 1.0, 1.0, 150.0, 300.0)});
+  AlpSearch Alp;
+  const auto W = Alp.findWindow(List, makeRequest(2, 100.0, 1.0, 2.0));
+  ASSERT_TRUE(W.has_value());
+  EXPECT_DOUBLE_EQ(W->startTime(), 150.0);
+  EXPECT_TRUE(W->usesNode(1));
+  EXPECT_TRUE(W->usesNode(2));
+  EXPECT_FALSE(W->usesNode(0));
+}
+
+TEST(AlpSearchTest, MemberStillValidWhenWindowAdvancesWithinSlot) {
+  // Slot 0 has enough tail to stay in the window at slot 1's start.
+  SlotList List({Slot(0, 1.0, 1.0, 0.0, 250.0),
+                 Slot(1, 1.0, 1.0, 100.0, 300.0)});
+  AlpSearch Alp;
+  const auto W = Alp.findWindow(List, makeRequest(2, 100.0, 1.0, 2.0));
+  ASSERT_TRUE(W.has_value());
+  EXPECT_DOUBLE_EQ(W->startTime(), 100.0);
+  EXPECT_TRUE(W->usesNode(0));
+  EXPECT_TRUE(W->usesNode(1));
+}
+
+TEST(AlpSearchTest, FailsWhenNotEnoughConcurrentSlots) {
+  // Two admissible slots but they never overlap long enough.
+  SlotList List({Slot(0, 1.0, 1.0, 0.0, 100.0),
+                 Slot(1, 1.0, 1.0, 90.0, 190.0)});
+  AlpSearch Alp;
+  EXPECT_FALSE(
+      Alp.findWindow(List, makeRequest(2, 100.0, 1.0, 2.0)).has_value());
+}
+
+TEST(AlpSearchTest, EmptyListFails) {
+  SlotList List;
+  AlpSearch Alp;
+  EXPECT_FALSE(
+      Alp.findWindow(List, makeRequest(1, 10.0, 1.0, 2.0)).has_value());
+}
+
+TEST(AlpSearchTest, RoughRightEdgeOnHeterogeneousNodes) {
+  SlotList List({Slot(0, 1.0, 1.0, 0.0, 200.0),
+                 Slot(1, 2.0, 1.5, 0.0, 200.0)});
+  AlpSearch Alp;
+  const auto W = Alp.findWindow(List, makeRequest(2, 100.0, 1.0, 2.0));
+  ASSERT_TRUE(W.has_value());
+  EXPECT_DOUBLE_EQ(W->timeSpan(), 100.0); // Slowest node dominates.
+  // Member runtimes differ: 100 and 50.
+  double FastRuntime = 0.0, SlowRuntime = 0.0;
+  for (const WindowSlot &M : *W)
+    (M.Source.Performance > 1.5 ? FastRuntime : SlowRuntime) = M.Runtime;
+  EXPECT_DOUBLE_EQ(SlowRuntime, 100.0);
+  EXPECT_DOUBLE_EQ(FastRuntime, 50.0);
+  // Cost: 1*100 + 1.5*50 = 175.
+  EXPECT_DOUBLE_EQ(W->totalCost(), 175.0);
+}
+
+TEST(AlpSearchTest, ReturnsEarliestWindow) {
+  // A later, cheaper window exists; ALP must return the earliest.
+  SlotList List({Slot(0, 1.0, 2.0, 0.0, 100.0),
+                 Slot(1, 1.0, 2.0, 0.0, 100.0),
+                 Slot(2, 1.0, 1.0, 300.0, 400.0),
+                 Slot(3, 1.0, 1.0, 300.0, 400.0)});
+  AlpSearch Alp;
+  const auto W = Alp.findWindow(List, makeRequest(2, 50.0, 1.0, 3.0));
+  ASSERT_TRUE(W.has_value());
+  EXPECT_DOUBLE_EQ(W->startTime(), 0.0);
+}
+
+TEST(AlpSearchTest, StatsCountEveryExaminedSlot) {
+  SlotList List({Slot(0, 1.0, 1.0, 0.0, 100.0),
+                 Slot(1, 1.0, 1.0, 0.0, 100.0),
+                 Slot(2, 1.0, 1.0, 0.0, 100.0)});
+  AlpSearch Alp;
+  SearchStats Stats;
+  const auto W =
+      Alp.findWindow(List, makeRequest(2, 50.0, 1.0, 2.0), &Stats);
+  ASSERT_TRUE(W.has_value());
+  // Stops as soon as the window is complete: two slots examined.
+  EXPECT_EQ(Stats.SlotsExamined, 2u);
+  EXPECT_EQ(Stats.GroupPeak, 2u);
+}
+
+TEST(AlpSearchTest, StatsLinearOnFailure) {
+  std::vector<Slot> Slots;
+  for (int I = 0; I < 100; ++I)
+    Slots.emplace_back(I, 1.0, 1.0, I * 10.0, I * 10.0 + 60.0);
+  SlotList List(std::move(Slots));
+  AlpSearch Alp;
+  SearchStats Stats;
+  // Requires 10 concurrent slots: never more than ~6 alive.
+  EXPECT_FALSE(
+      Alp.findWindow(List, makeRequest(10, 50.0, 1.0, 2.0), &Stats)
+          .has_value());
+  EXPECT_EQ(Stats.SlotsExamined, 100u); // Exactly one pass.
+}

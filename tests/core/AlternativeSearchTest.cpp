@@ -1,0 +1,151 @@
+//===-- tests/core/AlternativeSearchTest.cpp - Batch search tests ---------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AlternativeSearch.h"
+
+#include "core/AlpSearch.h"
+#include "core/AmpSearch.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+Job makeJob(int Id, int Nodes, double Volume, double MaxPrice,
+            double MinPerf = 1.0) {
+  Job J;
+  J.Id = Id;
+  J.Request.NodeCount = Nodes;
+  J.Request.Volume = Volume;
+  J.Request.MinPerformance = MinPerf;
+  J.Request.MaxUnitPrice = MaxPrice;
+  return J;
+}
+
+/// Four identical etalon slots, long enough for several passes.
+SlotList makeUniformList() {
+  return SlotList({Slot(0, 1.0, 1.0, 0.0, 400.0),
+                   Slot(1, 1.0, 1.0, 0.0, 400.0),
+                   Slot(2, 1.0, 1.0, 0.0, 400.0),
+                   Slot(3, 1.0, 1.0, 0.0, 400.0)});
+}
+
+} // namespace
+
+TEST(AlternativeSearchTest, FindsMultipleAlternativesPerJob) {
+  AlpSearch Alp;
+  AlternativeSearch Search(Alp);
+  const Batch Jobs = {makeJob(1, 2, 100.0, 2.0)};
+  const AlternativeSet Alts = Search.run(makeUniformList(), Jobs);
+  ASSERT_EQ(Alts.PerJob.size(), 1u);
+  // 4 nodes x 400 time / (2 nodes x 100 time) = 8 disjoint windows.
+  EXPECT_EQ(Alts.PerJob[0].size(), 8u);
+  EXPECT_TRUE(Alts.allCovered());
+  EXPECT_EQ(Alts.total(), 8u);
+  EXPECT_DOUBLE_EQ(Alts.averagePerJob(), 8.0);
+}
+
+TEST(AlternativeSearchTest, AlternativesArePairwiseDisjoint) {
+  AlpSearch Alp;
+  AlternativeSearch Search(Alp);
+  const Batch Jobs = {makeJob(1, 2, 100.0, 2.0),
+                      makeJob(2, 1, 150.0, 2.0)};
+  const AlternativeSet Alts = Search.run(makeUniformList(), Jobs);
+
+  std::vector<const Window *> All;
+  for (const auto &PerJob : Alts.PerJob)
+    for (const Window &W : PerJob)
+      All.push_back(&W);
+  ASSERT_GE(All.size(), 2u);
+  for (size_t I = 0; I < All.size(); ++I)
+    for (size_t J = I + 1; J < All.size(); ++J)
+      EXPECT_FALSE(All[I]->intersects(*All[J]))
+          << "windows " << I << " and " << J << " overlap";
+}
+
+TEST(AlternativeSearchTest, UncoverableJobGetsNoAlternatives) {
+  AlpSearch Alp;
+  AlternativeSearch Search(Alp);
+  // Job 2 wants 5 concurrent nodes; only 4 exist.
+  const Batch Jobs = {makeJob(1, 1, 100.0, 2.0),
+                      makeJob(2, 5, 100.0, 2.0)};
+  const AlternativeSet Alts = Search.run(makeUniformList(), Jobs);
+  EXPECT_FALSE(Alts.allCovered());
+  EXPECT_FALSE(Alts.PerJob[0].empty());
+  EXPECT_TRUE(Alts.PerJob[1].empty());
+}
+
+TEST(AlternativeSearchTest, SearchContinuesPastFailingJob) {
+  AlpSearch Alp;
+  AlternativeSearch Search(Alp);
+  // First job is impossible; the second must still collect everything.
+  const Batch Jobs = {makeJob(1, 5, 100.0, 2.0),
+                      makeJob(2, 1, 100.0, 2.0)};
+  const AlternativeSet Alts = Search.run(makeUniformList(), Jobs);
+  EXPECT_TRUE(Alts.PerJob[0].empty());
+  EXPECT_EQ(Alts.PerJob[1].size(), 16u); // 4 nodes x 4 fits each.
+}
+
+TEST(AlternativeSearchTest, MaxPassesLimitsSweeps) {
+  AlpSearch Alp;
+  AlternativeSearch::Config Cfg;
+  Cfg.MaxPasses = 2;
+  AlternativeSearch Search(Alp, Cfg);
+  const Batch Jobs = {makeJob(1, 2, 100.0, 2.0)};
+  const AlternativeSet Alts = Search.run(makeUniformList(), Jobs);
+  EXPECT_EQ(Alts.PerJob[0].size(), 2u);
+}
+
+TEST(AlternativeSearchTest, MaxAlternativesPerJobCap) {
+  AlpSearch Alp;
+  AlternativeSearch::Config Cfg;
+  Cfg.MaxAlternativesPerJob = 3;
+  AlternativeSearch Search(Alp, Cfg);
+  const Batch Jobs = {makeJob(1, 2, 100.0, 2.0)};
+  const AlternativeSet Alts = Search.run(makeUniformList(), Jobs);
+  EXPECT_EQ(Alts.PerJob[0].size(), 3u);
+}
+
+TEST(AlternativeSearchTest, PriorityOrderGivesFirstJobEarliestWindow) {
+  AlpSearch Alp;
+  AlternativeSearch Search(Alp);
+  const Batch Jobs = {makeJob(1, 4, 100.0, 2.0),
+                      makeJob(2, 4, 100.0, 2.0)};
+  const AlternativeSet Alts = Search.run(makeUniformList(), Jobs);
+  ASSERT_TRUE(Alts.allCovered());
+  // Job 1 is served first on every pass, so its first alternative
+  // starts no later than job 2's first alternative.
+  EXPECT_LE(Alts.PerJob[0][0].startTime(), Alts.PerJob[1][0].startTime());
+  EXPECT_DOUBLE_EQ(Alts.PerJob[0][0].startTime(), 0.0);
+  EXPECT_DOUBLE_EQ(Alts.PerJob[1][0].startTime(), 100.0);
+}
+
+TEST(AlternativeSearchTest, AmpFindsAtLeastAsManyAsAlp) {
+  // Mixed prices: some slots exceed the per-slot cap but fit the
+  // budget, so AMP has strictly more material to work with.
+  SlotList List({Slot(0, 1.0, 3.0, 0.0, 400.0),
+                 Slot(1, 1.0, 1.0, 0.0, 400.0),
+                 Slot(2, 1.0, 1.5, 0.0, 400.0),
+                 Slot(3, 1.0, 2.5, 0.0, 400.0)});
+  const Batch Jobs = {makeJob(1, 2, 100.0, 2.0)};
+
+  AlpSearch Alp;
+  AmpSearch Amp;
+  const AlternativeSet AlpAlts = AlternativeSearch(Alp).run(List, Jobs);
+  const AlternativeSet AmpAlts = AlternativeSearch(Amp).run(List, Jobs);
+  EXPECT_GE(AmpAlts.total(), AlpAlts.total());
+  EXPECT_GT(AmpAlts.total(), 0u);
+}
+
+TEST(AlternativeSearchTest, EmptyBatch) {
+  AlpSearch Alp;
+  AlternativeSearch Search(Alp);
+  const AlternativeSet Alts = Search.run(makeUniformList(), Batch{});
+  EXPECT_EQ(Alts.total(), 0u);
+  EXPECT_FALSE(Alts.allCovered()); // Vacuously empty set is "uncovered".
+}

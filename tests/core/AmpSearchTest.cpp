@@ -1,0 +1,158 @@
+//===-- tests/core/AmpSearchTest.cpp - AMP unit tests ---------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AmpSearch.h"
+
+#include "core/AlpSearch.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+ResourceRequest makeRequest(int Nodes, double Volume, double MinPerf,
+                            double MaxPrice) {
+  ResourceRequest Req;
+  Req.NodeCount = Nodes;
+  Req.Volume = Volume;
+  Req.MinPerformance = MinPerf;
+  Req.MaxUnitPrice = MaxPrice;
+  return Req;
+}
+
+} // namespace
+
+TEST(AmpSearchTest, AcceptsIndividuallyExpensiveSlotWithinBudget) {
+  // Per-slot cap is 3; the 4-cost slot violates it but the pair costs
+  // (4+1)*50 = 250 <= budget 3*2*50 = 300. ALP fails, AMP succeeds.
+  SlotList List({Slot(0, 1.0, 4.0, 0.0, 100.0),
+                 Slot(1, 1.0, 1.0, 0.0, 100.0)});
+  const ResourceRequest Req = makeRequest(2, 50.0, 1.0, 3.0);
+
+  AlpSearch Alp;
+  EXPECT_FALSE(Alp.findWindow(List, Req).has_value());
+
+  AmpSearch Amp;
+  const auto W = Amp.findWindow(List, Req);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_DOUBLE_EQ(W->startTime(), 0.0);
+  EXPECT_DOUBLE_EQ(W->totalCost(), 250.0);
+}
+
+TEST(AmpSearchTest, RejectsWindowOverBudget) {
+  SlotList List({Slot(0, 1.0, 4.0, 0.0, 100.0),
+                 Slot(1, 1.0, 3.0, 0.0, 100.0)});
+  // Budget: 2*2*50 = 200 < (4+3)*50 = 350.
+  const ResourceRequest Req = makeRequest(2, 50.0, 1.0, 2.0);
+  AmpSearch Amp;
+  EXPECT_FALSE(Amp.findWindow(List, Req).has_value());
+}
+
+TEST(AmpSearchTest, ContinuesToLaterCheaperWindow) {
+  // The early pair busts the budget; a later pair fits.
+  SlotList List({Slot(0, 1.0, 5.0, 0.0, 100.0),
+                 Slot(1, 1.0, 5.0, 0.0, 100.0),
+                 Slot(2, 1.0, 1.0, 200.0, 300.0),
+                 Slot(3, 1.0, 1.0, 200.0, 300.0)});
+  const ResourceRequest Req = makeRequest(2, 50.0, 1.0, 2.0);
+  AmpSearch Amp;
+  const auto W = Amp.findWindow(List, Req);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_DOUBLE_EQ(W->startTime(), 200.0);
+  EXPECT_TRUE(W->usesNode(2));
+  EXPECT_TRUE(W->usesNode(3));
+}
+
+TEST(AmpSearchTest, PicksCheapestSubsetOfAliveSlots) {
+  // Four alive slots; budget only allows the two cheapest.
+  SlotList List({Slot(0, 1.0, 9.0, 0.0, 100.0),
+                 Slot(1, 1.0, 1.0, 0.0, 100.0),
+                 Slot(2, 1.0, 8.0, 0.0, 100.0),
+                 Slot(3, 1.0, 2.0, 0.0, 100.0)});
+  const ResourceRequest Req = makeRequest(2, 50.0, 1.0, 2.0);
+  AmpSearch Amp;
+  const auto W = Amp.findWindow(List, Req);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_TRUE(W->usesNode(1));
+  EXPECT_TRUE(W->usesNode(3));
+  EXPECT_DOUBLE_EQ(W->totalCost(), 150.0);
+}
+
+TEST(AmpSearchTest, ExactBudgetAccepted) {
+  SlotList List({Slot(0, 1.0, 2.0, 0.0, 100.0),
+                 Slot(1, 1.0, 2.0, 0.0, 100.0)});
+  // Budget = 2*2*50 = 200 == cost (2+2)*50.
+  const ResourceRequest Req = makeRequest(2, 50.0, 1.0, 2.0);
+  AmpSearch Amp;
+  const auto W = Amp.findWindow(List, Req);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_DOUBLE_EQ(W->totalCost(), 200.0);
+}
+
+TEST(AmpSearchTest, PerformanceConditionStillEnforced) {
+  SlotList List({Slot(0, 1.0, 0.1, 0.0, 1000.0),  // Cheap but too slow.
+                 Slot(1, 2.0, 1.0, 100.0, 1000.0)});
+  const ResourceRequest Req = makeRequest(1, 100.0, 2.0, 2.0);
+  AmpSearch Amp;
+  const auto W = Amp.findWindow(List, Req);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ((*W)[0].Source.NodeId, 1);
+}
+
+TEST(AmpSearchTest, FastNodeLowersEffectiveCost) {
+  // The fast node's unit price is over the cap, but its shorter runtime
+  // keeps the money cost inside the budget (the price/quality argument
+  // of Section 6).
+  SlotList List({Slot(0, 3.0, 4.0, 0.0, 1000.0)});
+  // Cap 2 -> budget 2*1*100 = 200; cost = 4 * 100/3 = 133.3 <= 200.
+  const ResourceRequest Req = makeRequest(1, 100.0, 1.0, 2.0);
+  AmpSearch Amp;
+  const auto W = Amp.findWindow(List, Req);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_NEAR(W->totalCost(), 400.0 / 3.0, 1e-9);
+  EXPECT_NEAR(W->timeSpan(), 100.0 / 3.0, 1e-9);
+}
+
+TEST(AmpSearchTest, BudgetFactorRhoShrinksBudget) {
+  SlotList List({Slot(0, 1.0, 2.0, 0.0, 100.0),
+                 Slot(1, 1.0, 2.0, 0.0, 100.0)});
+  ResourceRequest Req = makeRequest(2, 50.0, 1.0, 2.0);
+  AmpSearch Amp;
+  ASSERT_TRUE(Amp.findWindow(List, Req).has_value());
+  Req.BudgetFactor = 0.8; // Budget 160 < cost 200.
+  EXPECT_FALSE(Amp.findWindow(List, Req).has_value());
+}
+
+TEST(AmpSearchTest, VolumeBudgetPolicyIsLooser) {
+  SlotList List({Slot(0, 2.0, 6.0, 0.0, 100.0)});
+  // Span-based budget: 2*1*(100/2) = 100 < cost 6*50 = 300.
+  ResourceRequest Req = makeRequest(1, 100.0, 2.0, 2.0);
+  AmpSearch Amp;
+  EXPECT_FALSE(Amp.findWindow(List, Req).has_value());
+  // Volume-based budget: 2*1*100 = 200 < 300, still fails.
+  Req.BudgetPolicy = BudgetPolicyKind::VolumeBased;
+  EXPECT_FALSE(Amp.findWindow(List, Req).has_value());
+  // Raise the cap: span 150 < 300 fails, volume 300 == 300 passes.
+  Req.MaxUnitPrice = 3.0;
+  Req.BudgetPolicy = BudgetPolicyKind::SpanBased;
+  EXPECT_FALSE(Amp.findWindow(List, Req).has_value());
+  Req.BudgetPolicy = BudgetPolicyKind::VolumeBased;
+  EXPECT_TRUE(Amp.findWindow(List, Req).has_value());
+}
+
+TEST(AmpSearchTest, StatsReportWork) {
+  SlotList List({Slot(0, 1.0, 1.0, 0.0, 100.0),
+                 Slot(1, 1.0, 1.0, 0.0, 100.0),
+                 Slot(2, 1.0, 1.0, 0.0, 100.0)});
+  AmpSearch Amp;
+  SearchStats Stats;
+  ASSERT_TRUE(Amp.findWindow(List, makeRequest(2, 50.0, 1.0, 2.0), &Stats)
+                  .has_value());
+  EXPECT_EQ(Stats.SlotsExamined, 2u);
+  EXPECT_GE(Stats.GroupPeak, 2u);
+}

@@ -1,0 +1,91 @@
+//===-- tests/core/BackfillSearchTest.cpp - Baseline search tests ---------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BackfillSearch.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+ResourceRequest makeRequest(int Nodes, double Volume, double MinPerf,
+                            double MaxPrice) {
+  ResourceRequest Req;
+  Req.NodeCount = Nodes;
+  Req.Volume = Volume;
+  Req.MinPerformance = MinPerf;
+  Req.MaxUnitPrice = MaxPrice;
+  return Req;
+}
+
+} // namespace
+
+TEST(BackfillSearchTest, FindsEarliestWindow) {
+  SlotList List({Slot(0, 1.0, 1.0, 0.0, 60.0),  // Too short alone later.
+                 Slot(1, 1.0, 1.0, 40.0, 200.0),
+                 Slot(2, 1.0, 1.0, 90.0, 200.0)});
+  BackfillSearch Backfill;
+  const auto W = Backfill.findWindow(List, makeRequest(2, 50.0, 1.0, 2.0));
+  ASSERT_TRUE(W.has_value());
+  // At t=90 both slot 1 and 2 cover 50 time units.
+  EXPECT_DOUBLE_EQ(W->startTime(), 90.0);
+}
+
+TEST(BackfillSearchTest, PerSlotCapMode) {
+  SlotList List({Slot(0, 1.0, 9.0, 0.0, 100.0),
+                 Slot(1, 1.0, 1.0, 0.0, 100.0)});
+  BackfillSearch Backfill(PriceRuleKind::PerSlotCap);
+  EXPECT_FALSE(
+      Backfill.findWindow(List, makeRequest(2, 50.0, 1.0, 2.0))
+          .has_value());
+}
+
+TEST(BackfillSearchTest, JobBudgetMode) {
+  SlotList List({Slot(0, 1.0, 3.0, 0.0, 100.0),
+                 Slot(1, 1.0, 1.0, 0.0, 100.0)});
+  // Budget 2*2*50 = 200 >= (3+1)*50 = 200.
+  BackfillSearch Backfill(PriceRuleKind::JobBudget);
+  const auto W =
+      Backfill.findWindow(List, makeRequest(2, 50.0, 1.0, 2.0));
+  ASSERT_TRUE(W.has_value());
+  EXPECT_DOUBLE_EQ(W->totalCost(), 200.0);
+}
+
+TEST(BackfillSearchTest, PicksCheapestAliveSubset) {
+  SlotList List({Slot(0, 1.0, 5.0, 0.0, 100.0),
+                 Slot(1, 1.0, 1.0, 0.0, 100.0),
+                 Slot(2, 1.0, 2.0, 0.0, 100.0)});
+  BackfillSearch Backfill(PriceRuleKind::PerSlotCap);
+  const auto W =
+      Backfill.findWindow(List, makeRequest(2, 50.0, 1.0, 6.0));
+  ASSERT_TRUE(W.has_value());
+  EXPECT_TRUE(W->usesNode(1));
+  EXPECT_TRUE(W->usesNode(2));
+}
+
+TEST(BackfillSearchTest, FailsWhenInfeasible) {
+  SlotList List({Slot(0, 1.0, 1.0, 0.0, 40.0)});
+  BackfillSearch Backfill;
+  EXPECT_FALSE(
+      Backfill.findWindow(List, makeRequest(1, 50.0, 1.0, 2.0))
+          .has_value());
+}
+
+TEST(BackfillSearchTest, QuadraticExaminationOnFailure) {
+  std::vector<Slot> Slots;
+  for (int I = 0; I < 50; ++I)
+    Slots.emplace_back(I, 1.0, 1.0, I * 1.0, I * 1.0 + 60.0);
+  SlotList List(std::move(Slots));
+  BackfillSearch Backfill;
+  SearchStats Stats;
+  EXPECT_FALSE(
+      Backfill.findWindow(List, makeRequest(51, 50.0, 1.0, 2.0), &Stats)
+          .has_value());
+  // Every anchor rescans the full list: ~m + m^2 examinations.
+  EXPECT_GE(Stats.SlotsExamined, 50u * 50u);
+}

@@ -1,0 +1,99 @@
+//===-- tests/core/BatchOrderingTest.cpp - Ordering policy tests ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchOrdering.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+Job makeJob(int Id, int Nodes, double Volume) {
+  Job J;
+  J.Id = Id;
+  J.Request.NodeCount = Nodes;
+  J.Request.Volume = Volume;
+  J.Request.MinPerformance = 1.0;
+  J.Request.MaxUnitPrice = 2.0;
+  return J;
+}
+
+/// ids: 1 (2 nodes, 100), 2 (5 nodes, 60), 3 (1 node, 150),
+///      4 (2 nodes, 40).
+Batch makeBatch() {
+  return {makeJob(1, 2, 100.0), makeJob(2, 5, 60.0), makeJob(3, 1, 150.0),
+          makeJob(4, 2, 40.0)};
+}
+
+std::vector<int> idsOf(const Batch &Jobs) {
+  std::vector<int> Ids;
+  for (const Job &J : Jobs)
+    Ids.push_back(J.Id);
+  return Ids;
+}
+
+} // namespace
+
+TEST(BatchOrderingTest, SubmissionOrderIsIdentity) {
+  const Batch Ordered =
+      orderBatch(makeBatch(), OrderingPolicyKind::SubmissionOrder);
+  EXPECT_EQ(idsOf(Ordered), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(BatchOrderingTest, WidestFirst) {
+  const Batch Ordered =
+      orderBatch(makeBatch(), OrderingPolicyKind::WidestFirst);
+  // Node counts: 5, then the 2-node jobs in submission order, then 1.
+  EXPECT_EQ(idsOf(Ordered), (std::vector<int>{2, 1, 4, 3}));
+}
+
+TEST(BatchOrderingTest, NarrowestFirst) {
+  const Batch Ordered =
+      orderBatch(makeBatch(), OrderingPolicyKind::NarrowestFirst);
+  EXPECT_EQ(idsOf(Ordered), (std::vector<int>{3, 1, 4, 2}));
+}
+
+TEST(BatchOrderingTest, LargestWorkFirst) {
+  // Work: 200, 300, 150, 80.
+  const Batch Ordered =
+      orderBatch(makeBatch(), OrderingPolicyKind::LargestWorkFirst);
+  EXPECT_EQ(idsOf(Ordered), (std::vector<int>{2, 1, 3, 4}));
+}
+
+TEST(BatchOrderingTest, SmallestWorkFirst) {
+  const Batch Ordered =
+      orderBatch(makeBatch(), OrderingPolicyKind::SmallestWorkFirst);
+  EXPECT_EQ(idsOf(Ordered), (std::vector<int>{4, 3, 1, 2}));
+}
+
+TEST(BatchOrderingTest, StableOnTies) {
+  Batch Tied = {makeJob(7, 2, 50.0), makeJob(8, 2, 50.0),
+                makeJob(9, 2, 50.0)};
+  for (const OrderingPolicyKind Policy :
+       {OrderingPolicyKind::WidestFirst, OrderingPolicyKind::NarrowestFirst,
+        OrderingPolicyKind::LargestWorkFirst,
+        OrderingPolicyKind::SmallestWorkFirst}) {
+    const Batch Ordered = orderBatch(Tied, Policy);
+    EXPECT_EQ(idsOf(Ordered), (std::vector<int>{7, 8, 9}))
+        << orderingPolicyName(Policy);
+  }
+}
+
+TEST(BatchOrderingTest, EmptyBatch) {
+  EXPECT_TRUE(
+      orderBatch({}, OrderingPolicyKind::WidestFirst).empty());
+}
+
+TEST(BatchOrderingTest, PolicyNames) {
+  EXPECT_EQ(orderingPolicyName(OrderingPolicyKind::SubmissionOrder),
+            "submission");
+  EXPECT_EQ(orderingPolicyName(OrderingPolicyKind::WidestFirst),
+            "widest-first");
+  EXPECT_EQ(orderingPolicyName(OrderingPolicyKind::SmallestWorkFirst),
+            "smallest-work-first");
+}

@@ -1,0 +1,180 @@
+//===-- tests/core/BicriteriaOptimizerTest.cpp - Criteria vector ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BicriteriaOptimizer.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+/// job 0: (cost 10, time 50) / (cost 30, time 20)
+/// job 1: (cost 5, time 40) / (cost 25, time 10)
+BicriteriaProblem makeProblem(double Budget, double Quota,
+                              double CostWeight) {
+  BicriteriaProblem P;
+  P.PerJob = {{{10.0, 50.0}, {30.0, 20.0}},
+              {{5.0, 40.0}, {25.0, 10.0}}};
+  P.Budget = Budget;
+  P.TimeQuota = Quota;
+  P.CostWeight = CostWeight;
+  return P;
+}
+
+} // namespace
+
+TEST(BicriteriaDpTest, PureCostWeightMatchesCostMinimization) {
+  // Generous limits: pure cost weight picks the cheapest combination.
+  const BicriteriaProblem P = makeProblem(1000.0, 1000.0, 1.0);
+  const BicriteriaChoice C = BicriteriaDpOptimizer().solve(P);
+  ASSERT_TRUE(C.Feasible);
+  EXPECT_DOUBLE_EQ(C.Cost, 15.0);
+  EXPECT_DOUBLE_EQ(C.Time, 90.0);
+}
+
+TEST(BicriteriaDpTest, PureTimeWeightMatchesTimeMinimization) {
+  const BicriteriaProblem P = makeProblem(1000.0, 1000.0, 0.0);
+  const BicriteriaChoice C = BicriteriaDpOptimizer().solve(P);
+  ASSERT_TRUE(C.Feasible);
+  EXPECT_DOUBLE_EQ(C.Time, 30.0);
+  EXPECT_DOUBLE_EQ(C.Cost, 55.0);
+}
+
+TEST(BicriteriaDpTest, BothLimitsEnforcedSimultaneously) {
+  // Budget forbids (1,1) [cost 55]; quota forbids (0,0) [time 90]:
+  // only the mixed selections (cost 35, time 60) remain.
+  const BicriteriaProblem P = makeProblem(40.0, 70.0, 0.5);
+  const BicriteriaChoice C = BicriteriaDpOptimizer().solve(P);
+  ASSERT_TRUE(C.Feasible);
+  EXPECT_DOUBLE_EQ(C.Cost, 35.0);
+  EXPECT_DOUBLE_EQ(C.Time, 60.0);
+  EXPECT_DOUBLE_EQ(C.budgetSlack(P), 5.0);  // D = B* - C.
+  EXPECT_DOUBLE_EQ(C.quotaSlack(P), 10.0);  // I = T* - T.
+}
+
+TEST(BicriteriaDpTest, InfeasibleWhenLimitsCannotBothHold) {
+  // No selection has cost <= 20 and time <= 50.
+  const BicriteriaProblem P = makeProblem(20.0, 50.0, 0.5);
+  EXPECT_FALSE(BicriteriaDpOptimizer().solve(P).Feasible);
+}
+
+TEST(BicriteriaDpTest, DegenerateInputsInfeasible) {
+  BicriteriaProblem Empty;
+  Empty.Budget = Empty.TimeQuota = 100.0;
+  EXPECT_FALSE(BicriteriaDpOptimizer().solve(Empty).Feasible);
+
+  BicriteriaProblem NoAlts = makeProblem(100.0, 100.0, 0.5);
+  NoAlts.PerJob.push_back({});
+  EXPECT_FALSE(BicriteriaDpOptimizer().solve(NoAlts).Feasible);
+
+  BicriteriaProblem Negative = makeProblem(-1.0, 100.0, 0.5);
+  EXPECT_FALSE(BicriteriaDpOptimizer().solve(Negative).Feasible);
+}
+
+TEST(BicriteriaDpTest, ExactBoundaryRecoveredByFloorPass) {
+  // Limits equal to the mixed selection's exact totals.
+  const BicriteriaProblem P = makeProblem(35.0, 60.0, 0.5);
+  const BicriteriaChoice C = BicriteriaDpOptimizer().solve(P);
+  ASSERT_TRUE(C.Feasible);
+  EXPECT_DOUBLE_EQ(C.Cost, 35.0);
+  EXPECT_DOUBLE_EQ(C.Time, 60.0);
+}
+
+TEST(ParetoFrontTest, EnumeratesNonDominatedSelections) {
+  // Unconstrained: selections are (15,90), (35,60)x2, (55,30); the
+  // front is (15,90), (35,60), (55,30).
+  const BicriteriaProblem P = makeProblem(1000.0, 1000.0, 0.5);
+  const auto Front = enumerateParetoFront(P);
+  ASSERT_EQ(Front.size(), 3u);
+  EXPECT_DOUBLE_EQ(Front[0].Cost, 15.0);
+  EXPECT_DOUBLE_EQ(Front[0].Time, 90.0);
+  EXPECT_DOUBLE_EQ(Front[1].Cost, 35.0);
+  EXPECT_DOUBLE_EQ(Front[1].Time, 60.0);
+  EXPECT_DOUBLE_EQ(Front[2].Cost, 55.0);
+  EXPECT_DOUBLE_EQ(Front[2].Time, 30.0);
+}
+
+TEST(ParetoFrontTest, LimitsClipTheFront) {
+  const BicriteriaProblem P = makeProblem(40.0, 70.0, 0.5);
+  const auto Front = enumerateParetoFront(P);
+  ASSERT_EQ(Front.size(), 1u);
+  EXPECT_DOUBLE_EQ(Front[0].Cost, 35.0);
+  EXPECT_DOUBLE_EQ(Front[0].Time, 60.0);
+}
+
+TEST(ParetoFrontTest, EmptyWhenInfeasible) {
+  EXPECT_TRUE(enumerateParetoFront(makeProblem(20.0, 50.0, 0.5)).empty());
+}
+
+/// Property: for random instances, every scalarization optimum found by
+/// the 2D DP is (a) within both limits and (b) not dominated by any
+/// exact Pareto point by more than the grid tolerance.
+class BicriteriaPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(BicriteriaPropertyTest, DpTracksExactFront) {
+  RandomGenerator Rng(GetParam());
+  BicriteriaProblem P;
+  const int Jobs = static_cast<int>(Rng.uniformInt(2, 4));
+  for (int I = 0; I < Jobs; ++I) {
+    std::vector<AlternativeValue> Alts;
+    const int Count = static_cast<int>(Rng.uniformInt(2, 5));
+    for (int A = 0; A < Count; ++A)
+      Alts.push_back({Rng.uniformReal(10.0, 300.0),
+                      Rng.uniformReal(20.0, 120.0)});
+    P.PerJob.push_back(std::move(Alts));
+  }
+  P.Budget = Rng.uniformReal(200.0, 900.0);
+  P.TimeQuota = Rng.uniformReal(100.0, 400.0);
+
+  const auto Front = enumerateParetoFront(P);
+  BicriteriaDpOptimizer Dp(256, 256);
+  for (const double Weight : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    P.CostWeight = Weight;
+    const BicriteriaChoice C = Dp.solve(P);
+    if (Front.empty()) {
+      EXPECT_FALSE(C.Feasible);
+      continue;
+    }
+    if (!C.Feasible)
+      continue; // Grid may reject borderline instances.
+    EXPECT_LE(C.Cost, P.Budget + 1e-9);
+    EXPECT_LE(C.Time, P.TimeQuota + 1e-9);
+    // The DP score cannot beat the best scalarized front point.
+    double BestScore = 1e18;
+    for (const ParetoPoint &Point : Front)
+      BestScore = std::min(BestScore, Weight * Point.Cost +
+                                          (1.0 - Weight) * Point.Time);
+    const double Score = Weight * C.Cost + (1.0 - Weight) * C.Time;
+    EXPECT_GE(Score, BestScore - 1e-9);
+    // Rigorous upper bound: any front point with at least n grid cells
+    // of slack in both dimensions stays feasible under ceil rounding,
+    // so the DP must score at least as well as the best such point.
+    const double CostCell = P.Budget / 256.0;
+    const double TimeCell = P.TimeQuota / 256.0;
+    const double SlackNeededC =
+        CostCell * static_cast<double>(P.PerJob.size()) + 1e-9;
+    const double SlackNeededT =
+        TimeCell * static_cast<double>(P.PerJob.size()) + 1e-9;
+    double BestGuaranteed = 1e18;
+    for (const ParetoPoint &Point : Front)
+      if (P.Budget - Point.Cost >= SlackNeededC &&
+          P.TimeQuota - Point.Time >= SlackNeededT)
+        BestGuaranteed =
+            std::min(BestGuaranteed, Weight * Point.Cost +
+                                         (1.0 - Weight) * Point.Time);
+    if (BestGuaranteed < 1e17) {
+      EXPECT_LE(Score, BestGuaranteed + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BicriteriaPropertyTest,
+                         ::testing::Range<uint64_t>(1, 17));

@@ -1,0 +1,153 @@
+//===-- tests/core/DeadlineTest.cpp - Deadline-constrained requests -------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AlpSearch.h"
+#include "core/AmpSearch.h"
+#include "core/BackfillSearch.h"
+#include "core/BatchSearch.h"
+#include "sim/JobGenerator.h"
+#include "sim/SlotGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+ResourceRequest makeRequest(int Nodes, double Volume, double Deadline) {
+  ResourceRequest Req;
+  Req.NodeCount = Nodes;
+  Req.Volume = Volume;
+  Req.MinPerformance = 1.0;
+  Req.MaxUnitPrice = 2.0;
+  Req.Deadline = Deadline;
+  return Req;
+}
+
+/// Two early short slots and two late long ones.
+SlotList makeList() {
+  return SlotList({Slot(0, 1.0, 1.0, 0.0, 60.0),
+                   Slot(1, 1.0, 1.0, 0.0, 60.0),
+                   Slot(2, 1.0, 1.0, 100.0, 400.0),
+                   Slot(3, 1.0, 1.0, 100.0, 400.0)});
+}
+
+} // namespace
+
+TEST(DeadlineTest, InfiniteDeadlineChangesNothing) {
+  AmpSearch Amp;
+  const auto W = Amp.findWindow(makeList(), makeRequest(2, 100.0, 1e18));
+  ASSERT_TRUE(W.has_value());
+  EXPECT_DOUBLE_EQ(W->startTime(), 100.0);
+}
+
+TEST(DeadlineTest, TightDeadlineRejectsLateWindows) {
+  AmpSearch Amp;
+  // Only the late slots are long enough for volume 100, but they end
+  // past the deadline 150.
+  EXPECT_FALSE(
+      Amp.findWindow(makeList(), makeRequest(2, 100.0, 150.0))
+          .has_value());
+  // Deadline 200 admits [100, 200).
+  const auto W = Amp.findWindow(makeList(), makeRequest(2, 100.0, 200.0));
+  ASSERT_TRUE(W.has_value());
+  EXPECT_LE(W->endTime(), 200.0 + 1e-9);
+}
+
+TEST(DeadlineTest, ShortJobFitsEarlySlotsBeforeDeadline) {
+  AlpSearch Alp;
+  const auto W = Alp.findWindow(makeList(), makeRequest(2, 50.0, 60.0));
+  ASSERT_TRUE(W.has_value());
+  EXPECT_DOUBLE_EQ(W->startTime(), 0.0);
+  EXPECT_LE(W->endTime(), 60.0 + 1e-9);
+}
+
+TEST(DeadlineTest, DeadlineEnablesEarlyScanExit) {
+  std::vector<Slot> Slots;
+  for (int I = 0; I < 100; ++I)
+    Slots.emplace_back(I, 1.0, 1.0, I * 10.0, I * 10.0 + 200.0);
+  const SlotList List(std::move(Slots));
+  AlpSearch Alp;
+  SearchStats Stats;
+  // Deadline 50: only slots starting before 50 can ever qualify.
+  EXPECT_FALSE(
+      Alp.findWindow(List, makeRequest(60, 40.0, 50.0), &Stats)
+          .has_value());
+  EXPECT_LE(Stats.SlotsExamined, 6u);
+}
+
+TEST(DeadlineTest, ExpirationAccountsForDeadline) {
+  // Slot 0 is alive at t=0 and could cover the runtime, but the window
+  // start is pushed to t=40 by slot 1's arrival, where slot 0's task
+  // would finish at 140 > deadline 120; a third slot is needed.
+  SlotList List({Slot(0, 1.0, 1.0, 0.0, 400.0),
+                 Slot(1, 1.0, 1.0, 40.0, 400.0),
+                 Slot(2, 1.0, 1.0, 40.0, 400.0)});
+  AmpSearch Amp;
+  ResourceRequest Req = makeRequest(2, 100.0, 120.0);
+  EXPECT_FALSE(Amp.findWindow(List, Req).has_value());
+  // At deadline 140 the pair (0, 1) works at t=40... but so does the
+  // earlier check: t=40 + 100 = 140 <= 140.
+  Req.Deadline = 140.0;
+  const auto W = Amp.findWindow(List, Req);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_DOUBLE_EQ(W->startTime(), 40.0);
+}
+
+TEST(DeadlineTest, OnePassBatchRespectsPerJobDeadlines) {
+  Batch Jobs;
+  Job A;
+  A.Id = 1;
+  A.Request = makeRequest(2, 50.0, 60.0); // Must run in the early slots.
+  Job B;
+  B.Id = 2;
+  B.Request = makeRequest(2, 100.0, 1e18); // Unconstrained.
+  Jobs.push_back(A);
+  Jobs.push_back(B);
+
+  OnePassBatchScheduler Scheduler;
+  const BatchAssignment Assignment = Scheduler.assign(makeList(), Jobs);
+  ASSERT_EQ(Assignment.placedCount(), 2u);
+  EXPECT_LE(Assignment.PerJob[0]->endTime(), 60.0 + 1e-9);
+  EXPECT_GT(Assignment.PerJob[1]->endTime(), 60.0);
+}
+
+/// Property: with random deadlines, every found window finishes in
+/// time, and ALP/AMP still agree with the exhaustive oracle.
+class DeadlinePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeadlinePropertyTest, WindowsFinishByDeadlineAndMatchOracle) {
+  RandomGenerator Rng(GetParam());
+  const SlotList List = SlotGenerator().generate(Rng);
+  Batch Jobs = JobGenerator().generate(Rng);
+  for (Job &J : Jobs)
+    J.Request.Deadline = Rng.uniformReal(80.0, 400.0);
+
+  AlpSearch Alp;
+  AmpSearch Amp;
+  BackfillSearch AlpOracle(PriceRuleKind::PerSlotCap);
+  BackfillSearch AmpOracle(PriceRuleKind::JobBudget);
+  for (const Job &J : Jobs) {
+    const auto A = Alp.findWindow(List, J.Request);
+    const auto AO = AlpOracle.findWindow(List, J.Request);
+    ASSERT_EQ(A.has_value(), AO.has_value());
+    if (A) {
+      EXPECT_LE(A->endTime(), J.Request.Deadline + 1e-9);
+      EXPECT_NEAR(A->startTime(), AO->startTime(), 1e-9);
+    }
+    const auto M = Amp.findWindow(List, J.Request);
+    const auto MO = AmpOracle.findWindow(List, J.Request);
+    ASSERT_EQ(M.has_value(), MO.has_value());
+    if (M) {
+      EXPECT_LE(M->endTime(), J.Request.Deadline + 1e-9);
+      EXPECT_NEAR(M->startTime(), MO->startTime(), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeadlinePropertyTest,
+                         ::testing::Range<uint64_t>(1, 17));

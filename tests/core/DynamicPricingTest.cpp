@@ -1,0 +1,124 @@
+//===-- tests/core/DynamicPricingTest.cpp - Pricing engine tests ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DynamicPricing.h"
+
+#include "core/AmpSearch.h"
+#include "core/DpOptimizer.h"
+#include "core/VirtualOrganization.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+/// One busy node (full window) and one idle node, both priced 2.0.
+ComputingDomain makeTwoNodeDomain() {
+  ComputingDomain D;
+  const int Busy = D.addNode(1.0, 2.0, "busy");
+  D.addNode(1.0, 2.0, "idle");
+  EXPECT_TRUE(D.addLocalTask(Busy, 0.0, 100.0));
+  return D;
+}
+
+} // namespace
+
+TEST(DynamicPricingTest, NodeUtilization) {
+  const ComputingDomain D = makeTwoNodeDomain();
+  EXPECT_DOUBLE_EQ(PricingEngine::nodeUtilization(D, 0, 0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(PricingEngine::nodeUtilization(D, 0, 0.0, 200.0), 0.5);
+  EXPECT_DOUBLE_EQ(PricingEngine::nodeUtilization(D, 1, 0.0, 100.0), 0.0);
+  // Clipped to the window.
+  EXPECT_DOUBLE_EQ(PricingEngine::nodeUtilization(D, 0, 50.0, 150.0),
+                   0.5);
+}
+
+TEST(DynamicPricingTest, BusyNodesGetMoreExpensiveIdleCheaper) {
+  ComputingDomain D = makeTwoNodeDomain();
+  PricingEngine::Config Cfg;
+  Cfg.TargetUtilization = 0.5;
+  Cfg.Sensitivity = 0.4;
+  PricingEngine Engine(Cfg);
+  Engine.captureBasePrices(D);
+
+  const std::vector<double> Utilization = Engine.update(D, 0.0, 100.0);
+  ASSERT_EQ(Utilization.size(), 2u);
+  EXPECT_DOUBLE_EQ(Utilization[0], 1.0);
+  EXPECT_DOUBLE_EQ(Utilization[1], 0.0);
+  // Busy: 2.0 * (1 + 0.4*(1.0-0.5)) = 2.4; idle: 2.0 * (1 - 0.2) = 1.6.
+  EXPECT_DOUBLE_EQ(D.pool().node(0).UnitPrice, 2.4);
+  EXPECT_DOUBLE_EQ(D.pool().node(1).UnitPrice, 1.6);
+}
+
+TEST(DynamicPricingTest, PricesClampedToBaseFactors) {
+  ComputingDomain D = makeTwoNodeDomain();
+  PricingEngine::Config Cfg;
+  Cfg.TargetUtilization = 0.5;
+  Cfg.Sensitivity = 1.0;
+  Cfg.MinFactor = 0.5;
+  Cfg.MaxFactor = 2.0;
+  PricingEngine Engine(Cfg);
+  Engine.captureBasePrices(D);
+
+  // Repeated updates push towards the clamps, never beyond.
+  for (int I = 0; I < 20; ++I)
+    Engine.update(D, 0.0, 100.0);
+  EXPECT_DOUBLE_EQ(D.pool().node(0).UnitPrice, 2.0 * 2.0);
+  EXPECT_DOUBLE_EQ(D.pool().node(1).UnitPrice, 2.0 * 0.5);
+}
+
+TEST(DynamicPricingTest, AtTargetUtilizationPricesHold) {
+  ComputingDomain D;
+  const int N = D.addNode(1.0, 3.0);
+  ASSERT_TRUE(D.addLocalTask(N, 0.0, 60.0));
+  PricingEngine::Config Cfg;
+  Cfg.TargetUtilization = 0.6;
+  PricingEngine Engine(Cfg);
+  Engine.captureBasePrices(D);
+  Engine.update(D, 0.0, 100.0); // Utilization exactly 0.6.
+  EXPECT_DOUBLE_EQ(D.pool().node(N).UnitPrice, 3.0);
+}
+
+TEST(DynamicPricingTest, NewSlotsCarryUpdatedPrices) {
+  ComputingDomain D = makeTwoNodeDomain();
+  PricingEngine Engine;
+  Engine.captureBasePrices(D);
+  Engine.update(D, 0.0, 100.0);
+  const SlotList Slots = D.vacantSlots(100.0, 200.0);
+  for (const Slot &S : Slots)
+    EXPECT_DOUBLE_EQ(S.UnitPrice, D.pool().node(S.NodeId).UnitPrice);
+}
+
+TEST(DynamicPricingTest, IntegratesWithVirtualOrganization) {
+  // Idle VO iterations let the pricing engine discount every node via
+  // the mutable-domain hook.
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler(Amp, Dp);
+  ComputingDomain D;
+  D.addNode(1.0, 4.0);
+  D.addNode(2.0, 6.0);
+  VirtualOrganization Vo(std::move(D), Scheduler);
+  PricingEngine Engine;
+  Engine.captureBasePrices(Vo.domain());
+
+  for (int I = 0; I < 3; ++I) {
+    const double Start = Vo.now();
+    Vo.runIteration();
+    Engine.update(Vo.mutableDomain(), Start, Vo.now());
+  }
+  EXPECT_LT(Vo.domain().pool().node(0).UnitPrice, 4.0);
+  EXPECT_LT(Vo.domain().pool().node(1).UnitPrice, 6.0);
+}
+
+TEST(DynamicPricingTest, ExternalReservationsCountAsDemand) {
+  ComputingDomain D;
+  const int N = D.addNode(1.0, 2.0);
+  ASSERT_TRUE(D.reserve(N, 0.0, 80.0, /*JobId=*/1));
+  EXPECT_DOUBLE_EQ(PricingEngine::nodeUtilization(D, N, 0.0, 100.0), 0.8);
+}

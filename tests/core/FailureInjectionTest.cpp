@@ -1,0 +1,181 @@
+//===-- tests/core/FailureInjectionTest.cpp - Node failure handling -------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AmpSearch.h"
+#include "core/DpOptimizer.h"
+#include "core/VirtualOrganization.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+Job makeJob(int Id, int Nodes, double Volume, double MaxPrice) {
+  Job J;
+  J.Id = Id;
+  J.Request.NodeCount = Nodes;
+  J.Request.Volume = Volume;
+  J.Request.MinPerformance = 1.0;
+  J.Request.MaxUnitPrice = MaxPrice;
+  return J;
+}
+
+} // namespace
+
+TEST(DomainFailureTest, FailedNodePublishesNoSlots) {
+  ComputingDomain D;
+  const int A = D.addNode(1.0, 1.0);
+  const int B = D.addNode(1.0, 1.0);
+  D.failNode(A, 0.0);
+  const SlotList Slots = D.vacantSlots(0.0, 100.0);
+  ASSERT_EQ(Slots.size(), 1u);
+  EXPECT_EQ(Slots[0].NodeId, B);
+  EXPECT_FALSE(D.isNodeAvailable(A));
+  EXPECT_TRUE(D.isNodeAvailable(B));
+}
+
+TEST(DomainFailureTest, FailureCancelsUnfinishedOccupancy) {
+  ComputingDomain D;
+  const int N = D.addNode(1.0, 1.0);
+  ASSERT_TRUE(D.addLocalTask(N, 0.0, 50.0));      // Finished by t=100.
+  ASSERT_TRUE(D.reserve(N, 60.0, 150.0, /*JobId=*/7)); // Running at 100.
+  ASSERT_TRUE(D.reserve(N, 200.0, 250.0, /*JobId=*/8)); // Future.
+
+  const std::vector<int> Cancelled = D.failNode(N, 100.0);
+  ASSERT_EQ(Cancelled.size(), 2u);
+  EXPECT_EQ(Cancelled[0], 7);
+  EXPECT_EQ(Cancelled[1], 8);
+  // Only the finished local task remains on the books.
+  ASSERT_EQ(D.occupancy(N).size(), 1u);
+  EXPECT_EQ(D.occupancy(N)[0].Kind, OccupancyKind::Local);
+}
+
+TEST(DomainFailureTest, ReservationRejectedWhileFailed) {
+  ComputingDomain D;
+  const int N = D.addNode(1.0, 1.0);
+  D.failNode(N, 0.0);
+  EXPECT_FALSE(D.reserve(N, 10.0, 20.0, 1));
+  EXPECT_FALSE(D.addLocalTask(N, 10.0, 20.0));
+  D.restoreNode(N);
+  EXPECT_TRUE(D.reserve(N, 10.0, 20.0, 1));
+}
+
+TEST(DomainFailureTest, CancelReservationsRemovesOnlyThatJob) {
+  ComputingDomain D;
+  const int N = D.addNode(1.0, 1.0);
+  ASSERT_TRUE(D.reserve(N, 0.0, 50.0, 1));
+  ASSERT_TRUE(D.reserve(N, 60.0, 100.0, 2));
+  ASSERT_TRUE(D.addLocalTask(N, 110.0, 150.0));
+  EXPECT_EQ(D.cancelReservations(N, 1), 1u);
+  ASSERT_EQ(D.occupancy(N).size(), 2u);
+  EXPECT_EQ(D.occupancy(N)[0].JobId, 2);
+  EXPECT_EQ(D.cancelReservations(N, 99), 0u);
+}
+
+namespace {
+
+struct VoFixture {
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler;
+  VoFixture() : Scheduler(Amp, Dp) {}
+};
+
+ComputingDomain makeDomain() {
+  ComputingDomain D;
+  D.addNode(1.0, 1.0, "n0");
+  D.addNode(2.0, 1.5, "n1");
+  D.addNode(2.0, 1.5, "n2");
+  return D;
+}
+
+} // namespace
+
+TEST(VoFailureTest, FailureRequeuesRunningJob) {
+  VoFixture F;
+  VirtualOrganization::Config Cfg;
+  Cfg.IterationPeriod = 20.0; // Short: the job is still running.
+  Cfg.HorizonLength = 600.0;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler, Cfg);
+
+  Vo.submit(makeJob(1, 2, 100.0, 2.0));
+  ASSERT_EQ(Vo.runIteration().Committed, 1u);
+  ASSERT_EQ(Vo.queueLength(), 0u);
+  ASSERT_GT(Vo.domain().externalLoad(), 0.0);
+
+  // Fail one of the nodes the window occupies; the job must be pulled
+  // back into the queue and every sibling reservation released.
+  int FailedNode = -1;
+  for (const ResourceNode &Node : Vo.domain().pool())
+    for (const BusyInterval &B : Vo.domain().occupancy(Node.Id))
+      if (B.Kind == OccupancyKind::External)
+        FailedNode = Node.Id;
+  ASSERT_GE(FailedNode, 0);
+  EXPECT_EQ(Vo.injectNodeFailure(FailedNode), 1u);
+  EXPECT_EQ(Vo.queueLength(), 1u);
+  EXPECT_DOUBLE_EQ(Vo.domain().externalLoad(), 0.0);
+  EXPECT_TRUE(Vo.completed().empty());
+
+  // The next iterations reschedule the job on the healthy nodes.
+  size_t Committed = 0;
+  for (int I = 0; I < 10 && Committed == 0; ++I)
+    Committed = Vo.runIteration().Committed;
+  EXPECT_EQ(Committed, 1u);
+}
+
+TEST(VoFailureTest, FailureOfIdleNodeRequeuesNothing) {
+  VoFixture F;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler);
+  EXPECT_EQ(Vo.injectNodeFailure(0), 0u);
+  EXPECT_EQ(Vo.queueLength(), 0u);
+}
+
+TEST(VoFailureTest, RepairedNodeSchedulesAgain) {
+  VoFixture F;
+  ComputingDomain D;
+  D.addNode(1.0, 1.0, "only");
+  VirtualOrganization::Config Cfg;
+  Cfg.IterationPeriod = 50.0;
+  Cfg.HorizonLength = 600.0;
+  VirtualOrganization Vo(std::move(D), F.Scheduler, Cfg);
+
+  Vo.injectNodeFailure(0);
+  Vo.submit(makeJob(1, 1, 100.0, 2.0));
+  EXPECT_EQ(Vo.runIteration().Committed, 0u); // No slots published.
+  EXPECT_EQ(Vo.queueLength(), 1u);
+
+  Vo.repairNode(0);
+  EXPECT_EQ(Vo.runIteration().Committed, 1u);
+  EXPECT_EQ(Vo.queueLength(), 0u);
+}
+
+TEST(VoFailureTest, ResubmittedJobKeepsAttemptCount) {
+  VoFixture F;
+  VirtualOrganization::Config Cfg;
+  Cfg.IterationPeriod = 20.0;
+  Cfg.HorizonLength = 600.0;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler, Cfg);
+
+  Vo.submit(makeJob(1, 3, 100.0, 2.0)); // Uses every node.
+  ASSERT_EQ(Vo.runIteration().Committed, 1u);
+  ASSERT_EQ(Vo.injectNodeFailure(0), 1u);
+
+  // Reschedule on the two healthy nodes; the completed record counts
+  // both placement attempts.
+  for (int I = 0; I < 20 && Vo.completed().empty(); ++I)
+    Vo.runIteration();
+  // The job wants 3 nodes but only 2 remain: it can never run again.
+  EXPECT_TRUE(Vo.completed().empty());
+  EXPECT_EQ(Vo.queueLength(), 1u);
+
+  Vo.repairNode(0);
+  for (int I = 0; I < 20 && Vo.completed().empty(); ++I)
+    Vo.runIteration();
+  ASSERT_EQ(Vo.completed().size(), 1u);
+  EXPECT_GE(Vo.completed()[0].Attempts, 2);
+}

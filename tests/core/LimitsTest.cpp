@@ -1,0 +1,95 @@
+//===-- tests/core/LimitsTest.cpp - T*/B* limit tests ---------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Limits.h"
+
+#include "core/BruteForceOptimizer.h"
+#include "core/DpOptimizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+TEST(TimeQuotaTest, FormulaTwoFloorsEachTerm) {
+  // Job with alternatives of times {50, 70, 95} (l = 3):
+  // floor(50/3) + floor(70/3) + floor(95/3) = 16 + 23 + 31 = 70.
+  std::vector<std::vector<AlternativeValue>> PerJob = {
+      {{1.0, 50.0}, {1.0, 70.0}, {1.0, 95.0}}};
+  EXPECT_DOUBLE_EQ(computeTimeQuota(PerJob), 70.0);
+}
+
+TEST(TimeQuotaTest, SumsOverJobs) {
+  // Second job: single alternative time 59.5 -> floor(59.5) = 59.
+  std::vector<std::vector<AlternativeValue>> PerJob = {
+      {{1.0, 50.0}, {1.0, 70.0}, {1.0, 95.0}}, {{1.0, 59.5}}};
+  EXPECT_DOUBLE_EQ(computeTimeQuota(PerJob), 70.0 + 59.0);
+}
+
+TEST(TimeQuotaTest, EmptyJobContributesNothing) {
+  std::vector<std::vector<AlternativeValue>> PerJob = {{}, {{1.0, 30.0}}};
+  EXPECT_DOUBLE_EQ(computeTimeQuota(PerJob), 30.0);
+}
+
+TEST(TimeQuotaTest, FloorCanMakeQuotaInfeasible) {
+  // A single alternative with fractional time: T* = floor(t) < t, so
+  // not even the only combination fits. This is the Section 5 effect
+  // that reduces the number of counted experiments.
+  std::vector<std::vector<AlternativeValue>> PerJob = {{{1.0, 59.5}}};
+  const double Quota = computeTimeQuota(PerJob);
+  EXPECT_LT(Quota, 59.5);
+  BruteForceOptimizer Exact;
+  EXPECT_LT(computeVoBudget(PerJob, Quota, Exact), 0.0);
+}
+
+TEST(VoBudgetTest, MaximizesOwnerIncomeUnderQuota) {
+  // job 0: (cost 10, time 50) / (cost 30, time 20)
+  // job 1: (cost 5, time 40) / (cost 25, time 10)
+  std::vector<std::vector<AlternativeValue>> PerJob = {
+      {{10.0, 50.0}, {30.0, 20.0}}, {{5.0, 40.0}, {25.0, 10.0}}};
+  BruteForceOptimizer Exact;
+  // Quota 60: max income 55 (both expensive picks, time 30 <= 60).
+  EXPECT_DOUBLE_EQ(computeVoBudget(PerJob, 60.0, Exact), 55.0);
+  // Quota 30: only (1,1) fits (time 30); income 55.
+  EXPECT_DOUBLE_EQ(computeVoBudget(PerJob, 30.0, Exact), 55.0);
+  // Quota 25: nothing fits.
+  EXPECT_LT(computeVoBudget(PerJob, 25.0, Exact), 0.0);
+}
+
+TEST(VoBudgetTest, DpAndBruteForceAgree) {
+  std::vector<std::vector<AlternativeValue>> PerJob = {
+      {{10.0, 50.0}, {30.0, 20.0}, {18.0, 35.0}},
+      {{5.0, 40.0}, {25.0, 10.0}},
+      {{7.0, 22.0}, {9.0, 18.0}}};
+  BruteForceOptimizer Exact;
+  DpOptimizer Dp(8192);
+  const double Quota = 80.0;
+  const double Want = computeVoBudget(PerJob, Quota, Exact);
+  const double Got = computeVoBudget(PerJob, Quota, Dp);
+  ASSERT_GE(Want, 0.0);
+  // DP may be marginally conservative due to the grid, never higher.
+  EXPECT_LE(Got, Want + 1e-9);
+  EXPECT_NEAR(Got, Want, 0.5);
+}
+
+TEST(VoBudgetTest, BudgetFeasibleForSchedulingTask) {
+  // The combination achieving B* also satisfies C(s) <= B*, so the
+  // time-minimization task with limit B* is always feasible.
+  std::vector<std::vector<AlternativeValue>> PerJob = {
+      {{10.0, 50.0}, {30.0, 20.0}}, {{5.0, 40.0}, {25.0, 10.0}}};
+  BruteForceOptimizer Exact;
+  const double Quota = computeTimeQuota(PerJob);
+  const double Budget = computeVoBudget(PerJob, Quota, Exact);
+  ASSERT_GE(Budget, 0.0);
+
+  CombinationProblem TimeMin;
+  TimeMin.PerJob = PerJob;
+  TimeMin.Objective = MeasureKind::Time;
+  TimeMin.Direction = DirectionKind::Minimize;
+  TimeMin.Constraint = MeasureKind::Cost;
+  TimeMin.Limit = Budget;
+  EXPECT_TRUE(Exact.solve(TimeMin).Feasible);
+}

@@ -1,0 +1,169 @@
+//===-- tests/core/MetaschedulerTest.cpp - Scheduler iteration tests ------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Metascheduler.h"
+
+#include "core/AmpSearch.h"
+#include "core/DpOptimizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+Job makeJob(int Id, int Nodes, double Volume, double MaxPrice) {
+  Job J;
+  J.Id = Id;
+  J.Request.NodeCount = Nodes;
+  J.Request.Volume = Volume;
+  J.Request.MinPerformance = 1.0;
+  J.Request.MaxUnitPrice = MaxPrice;
+  return J;
+}
+
+/// Heterogeneous node speeds so alternative times vary; with equal
+/// times the floor in formula (2) makes T* smaller than the fastest
+/// combination and every iteration is quota-infeasible (a faithful
+/// reproduction quirk, exercised in LimitsTest).
+SlotList makeNodeList() {
+  return SlotList({Slot(0, 1.0, 1.0, 0.0, 400.0),
+                   Slot(1, 2.0, 1.5, 0.0, 400.0),
+                   Slot(2, 2.0, 1.5, 0.0, 400.0)});
+}
+
+} // namespace
+
+TEST(MetaschedulerTest, SchedulesWholeBatch) {
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler(Amp, Dp);
+  const Batch Jobs = {makeJob(1, 2, 100.0, 2.0),
+                      makeJob(2, 1, 100.0, 2.0)};
+  const IterationOutcome Out =
+      Scheduler.runIteration(makeNodeList(), Jobs);
+
+  ASSERT_TRUE(Out.Choice.Feasible);
+  ASSERT_EQ(Out.Scheduled.size(), 2u);
+  EXPECT_TRUE(Out.Postponed.empty());
+  EXPECT_GT(Out.TimeQuota, 0.0);
+  EXPECT_GT(Out.VoBudget, 0.0);
+  // Chosen windows must not collide.
+  EXPECT_FALSE(Out.Scheduled[0].W.intersects(Out.Scheduled[1].W));
+}
+
+TEST(MetaschedulerTest, ChoiceRespectsBudgetForTimeTask) {
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler::Config Cfg;
+  Cfg.Task = OptimizationTaskKind::MinimizeTime;
+  Metascheduler Scheduler(Amp, Dp, Cfg);
+  const Batch Jobs = {makeJob(1, 1, 100.0, 2.0),
+                      makeJob(2, 1, 80.0, 2.0)};
+  const IterationOutcome Out =
+      Scheduler.runIteration(makeNodeList(), Jobs);
+  ASSERT_TRUE(Out.Choice.Feasible);
+  EXPECT_LE(Out.Choice.ConstraintTotal, Out.VoBudget + 1e-9);
+}
+
+TEST(MetaschedulerTest, ChoiceRespectsQuotaForCostTask) {
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler::Config Cfg;
+  Cfg.Task = OptimizationTaskKind::MinimizeCost;
+  Metascheduler Scheduler(Amp, Dp, Cfg);
+  const Batch Jobs = {makeJob(1, 1, 100.0, 2.0),
+                      makeJob(2, 1, 80.0, 2.0)};
+  const IterationOutcome Out =
+      Scheduler.runIteration(makeNodeList(), Jobs);
+  ASSERT_TRUE(Out.Choice.Feasible);
+  EXPECT_LE(Out.Choice.ConstraintTotal, Out.TimeQuota + 1e-9);
+}
+
+TEST(MetaschedulerTest, PartialBatchSchedulesCoverableJobs) {
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler::Config Cfg;
+  Cfg.AllowPartialBatch = true;
+  Metascheduler Scheduler(Amp, Dp, Cfg);
+  const Batch Jobs = {makeJob(1, 1, 100.0, 2.0),
+                      makeJob(2, 9, 100.0, 2.0)}; // Impossible: 9 nodes.
+  const IterationOutcome Out =
+      Scheduler.runIteration(makeNodeList(), Jobs);
+  ASSERT_EQ(Out.Scheduled.size(), 1u);
+  EXPECT_EQ(Out.Scheduled[0].JobId, 1);
+  ASSERT_EQ(Out.Postponed.size(), 1u);
+  EXPECT_EQ(Out.Postponed[0], 2);
+}
+
+TEST(MetaschedulerTest, StrictModePostponesEverythingOnGap) {
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler::Config Cfg;
+  Cfg.AllowPartialBatch = false;
+  Metascheduler Scheduler(Amp, Dp, Cfg);
+  const Batch Jobs = {makeJob(1, 1, 100.0, 2.0),
+                      makeJob(2, 9, 100.0, 2.0)};
+  const IterationOutcome Out =
+      Scheduler.runIteration(makeNodeList(), Jobs);
+  EXPECT_TRUE(Out.Scheduled.empty());
+  EXPECT_EQ(Out.Postponed.size(), 2u);
+}
+
+TEST(MetaschedulerTest, FlooredQuotaPostponesUniformBatch) {
+  // On uniform (etalon) nodes every alternative of a job shares one
+  // execution time, so the floored formula (2) truncates T* below the
+  // fastest combination and the batch is postponed; the exact-mean
+  // policy schedules it.
+  const SlotList Uniform({Slot(0, 1.0, 1.0, 0.0, 400.0),
+                          Slot(1, 1.0, 1.0, 0.0, 400.0),
+                          Slot(2, 1.0, 1.0, 0.0, 400.0)});
+  const Batch Jobs = {makeJob(1, 1, 100.5, 2.0),
+                      makeJob(2, 1, 80.5, 2.0)};
+  AmpSearch Amp;
+  DpOptimizer Dp;
+
+  Metascheduler::Config Floored;
+  Floored.Quota = QuotaPolicyKind::FlooredTerms;
+  const IterationOutcome A =
+      Metascheduler(Amp, Dp, Floored).runIteration(Uniform, Jobs);
+  EXPECT_TRUE(A.Scheduled.empty());
+  EXPECT_EQ(A.Postponed.size(), 2u);
+
+  Metascheduler::Config Exact;
+  Exact.Quota = QuotaPolicyKind::ExactMean;
+  const IterationOutcome B =
+      Metascheduler(Amp, Dp, Exact).runIteration(Uniform, Jobs);
+  EXPECT_EQ(B.Scheduled.size(), 2u);
+}
+
+TEST(MetaschedulerTest, EmptySlotListPostponesAll) {
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler(Amp, Dp);
+  const Batch Jobs = {makeJob(1, 1, 100.0, 2.0)};
+  const IterationOutcome Out = Scheduler.runIteration(SlotList(), Jobs);
+  EXPECT_TRUE(Out.Scheduled.empty());
+  EXPECT_EQ(Out.Postponed.size(), 1u);
+}
+
+TEST(MetaschedulerTest, ScheduledEntriesReferenceChosenAlternative) {
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler(Amp, Dp);
+  const Batch Jobs = {makeJob(1, 2, 100.0, 2.0)};
+  const IterationOutcome Out =
+      Scheduler.runIteration(makeNodeList(), Jobs);
+  ASSERT_EQ(Out.Scheduled.size(), 1u);
+  const ScheduledJob &S = Out.Scheduled[0];
+  ASSERT_LT(S.AlternativeIndex,
+            Out.Alternatives.PerJob[S.BatchIndex].size());
+  const Window &Chosen =
+      Out.Alternatives.PerJob[S.BatchIndex][S.AlternativeIndex];
+  EXPECT_DOUBLE_EQ(S.W.startTime(), Chosen.startTime());
+  EXPECT_DOUBLE_EQ(S.W.totalCost(), Chosen.totalCost());
+}

@@ -1,0 +1,201 @@
+//===-- tests/core/OptimizerTest.cpp - Combination optimizer tests --------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BruteForceOptimizer.h"
+#include "core/DpOptimizer.h"
+#include "core/GreedyOptimizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+/// Two jobs, two alternatives each:
+///   job 0: (cost 10, time 50) or (cost 30, time 20)
+///   job 1: (cost 5, time 40) or (cost 25, time 10)
+CombinationProblem makeTwoJobProblem() {
+  CombinationProblem P;
+  P.PerJob = {{{10.0, 50.0}, {30.0, 20.0}},
+              {{5.0, 40.0}, {25.0, 10.0}}};
+  return P;
+}
+
+} // namespace
+
+class OptimizerTest
+    : public ::testing::TestWithParam<const CombinationOptimizer *> {};
+
+static const DpOptimizer Dp(4096);
+static const BruteForceOptimizer BruteForce;
+static const GreedyOptimizer Greedy;
+
+TEST_P(OptimizerTest, MinTimeUnderBudget) {
+  const CombinationOptimizer &Opt = *GetParam();
+  CombinationProblem P = makeTwoJobProblem();
+  P.Objective = MeasureKind::Time;
+  P.Direction = DirectionKind::Minimize;
+  P.Constraint = MeasureKind::Cost;
+  P.Limit = 40.0; // Affords (30,20)+(5,40) or (10,50)+(25,10).
+  const CombinationChoice C = Opt.solve(P);
+  ASSERT_TRUE(C.Feasible);
+  EXPECT_LE(C.ConstraintTotal, 40.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(C.ObjectiveTotal, 60.0); // Both options give 60.
+}
+
+TEST_P(OptimizerTest, GenerousBudgetReachesUnconstrainedOptimum) {
+  const CombinationOptimizer &Opt = *GetParam();
+  CombinationProblem P = makeTwoJobProblem();
+  P.Objective = MeasureKind::Time;
+  P.Direction = DirectionKind::Minimize;
+  P.Constraint = MeasureKind::Cost;
+  P.Limit = 1000.0;
+  const CombinationChoice C = Opt.solve(P);
+  ASSERT_TRUE(C.Feasible);
+  EXPECT_DOUBLE_EQ(C.ObjectiveTotal, 30.0); // 20 + 10.
+  EXPECT_DOUBLE_EQ(C.ConstraintTotal, 55.0);
+  EXPECT_EQ(C.Selected, (std::vector<size_t>{1, 1}));
+}
+
+TEST_P(OptimizerTest, MinCostUnderTimeQuota) {
+  const CombinationOptimizer &Opt = *GetParam();
+  CombinationProblem P = makeTwoJobProblem();
+  P.Objective = MeasureKind::Cost;
+  P.Direction = DirectionKind::Minimize;
+  P.Constraint = MeasureKind::Time;
+  P.Limit = 60.0; // (50+10)=60 ok at cost 35; (20+40)=60 ok at cost 35.
+  const CombinationChoice C = Opt.solve(P);
+  ASSERT_TRUE(C.Feasible);
+  EXPECT_LE(C.ConstraintTotal, 60.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(C.ObjectiveTotal, 35.0);
+}
+
+TEST_P(OptimizerTest, InfeasibleLimit) {
+  const CombinationOptimizer &Opt = *GetParam();
+  CombinationProblem P = makeTwoJobProblem();
+  P.Objective = MeasureKind::Time;
+  P.Direction = DirectionKind::Minimize;
+  P.Constraint = MeasureKind::Cost;
+  P.Limit = 10.0; // Cheapest combination costs 15.
+  EXPECT_FALSE(Opt.solve(P).Feasible);
+}
+
+TEST_P(OptimizerTest, EmptyProblemInfeasible) {
+  const CombinationOptimizer &Opt = *GetParam();
+  CombinationProblem P;
+  P.Limit = 100.0;
+  EXPECT_FALSE(Opt.solve(P).Feasible);
+}
+
+TEST_P(OptimizerTest, JobWithoutAlternativesInfeasible) {
+  const CombinationOptimizer &Opt = *GetParam();
+  CombinationProblem P = makeTwoJobProblem();
+  P.PerJob.push_back({});
+  P.Limit = 1000.0;
+  EXPECT_FALSE(Opt.solve(P).Feasible);
+}
+
+TEST_P(OptimizerTest, SingleAlternativePerJobIsForced) {
+  const CombinationOptimizer &Opt = *GetParam();
+  CombinationProblem P;
+  P.PerJob = {{{10.0, 50.0}}, {{5.0, 40.0}}};
+  P.Objective = MeasureKind::Time;
+  P.Direction = DirectionKind::Minimize;
+  P.Constraint = MeasureKind::Cost;
+  P.Limit = 15.0;
+  const CombinationChoice C = Opt.solve(P);
+  ASSERT_TRUE(C.Feasible);
+  EXPECT_EQ(C.Selected, (std::vector<size_t>{0, 0}));
+  EXPECT_DOUBLE_EQ(C.ObjectiveTotal, 90.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizers, OptimizerTest,
+                         ::testing::Values(&Dp, &BruteForce, &Greedy),
+                         [](const auto &Info) {
+                           return std::string(Info.param->name() == "dp"
+                                                  ? "Dp"
+                                              : Info.param->name() ==
+                                                      "brute-force"
+                                                  ? "BruteForce"
+                                                  : "Greedy");
+                         });
+
+TEST(DpOptimizerTest, MaximizeIncomeForVoBudget) {
+  CombinationProblem P = makeTwoJobProblem();
+  P.Objective = MeasureKind::Cost;
+  P.Direction = DirectionKind::Maximize;
+  P.Constraint = MeasureKind::Time;
+  P.Limit = 60.0;
+  const CombinationChoice C = DpOptimizer(4096).solve(P);
+  ASSERT_TRUE(C.Feasible);
+  // Under time 60 the combinations are (0,0)? 50+40=90 no; (0,1) 60 ok
+  // cost 35; (1,0) 60 ok cost 35; (1,1) 30 ok cost 55. Max income 55.
+  EXPECT_DOUBLE_EQ(C.ObjectiveTotal, 55.0);
+}
+
+TEST(DpOptimizerTest, CoarseGridStaysFeasible) {
+  // Even with very few bins the (ceil-rounded) DP must never return a
+  // constraint-violating selection.
+  CombinationProblem P = makeTwoJobProblem();
+  P.Objective = MeasureKind::Time;
+  P.Direction = DirectionKind::Minimize;
+  P.Constraint = MeasureKind::Cost;
+  P.Limit = 40.0;
+  for (size_t Bins : {1u, 2u, 3u, 7u, 16u}) {
+    const CombinationChoice C = DpOptimizer(Bins).solve(P);
+    if (C.Feasible) {
+      EXPECT_LE(C.ConstraintTotal, P.Limit + 1e-9) << "bins=" << Bins;
+    }
+  }
+}
+
+TEST(DpOptimizerTest, ZeroLimitRequiresZeroWeight) {
+  CombinationProblem P;
+  P.PerJob = {{{0.0, 5.0}, {2.0, 1.0}}};
+  P.Objective = MeasureKind::Time;
+  P.Direction = DirectionKind::Minimize;
+  P.Constraint = MeasureKind::Cost;
+  P.Limit = 0.0;
+  const CombinationChoice C = DpOptimizer(64).solve(P);
+  ASSERT_TRUE(C.Feasible);
+  EXPECT_EQ(C.Selected, (std::vector<size_t>{0}));
+}
+
+TEST(DpOptimizerTest, NegativeLimitInfeasible) {
+  CombinationProblem P = makeTwoJobProblem();
+  P.Limit = -5.0;
+  EXPECT_FALSE(DpOptimizer(64).solve(P).Feasible);
+}
+
+TEST(EvaluateSelectionTest, ComputesTotalsAndFeasibility) {
+  CombinationProblem P = makeTwoJobProblem();
+  P.Objective = MeasureKind::Time;
+  P.Constraint = MeasureKind::Cost;
+  P.Limit = 35.0;
+  const CombinationChoice C = evaluateSelection(P, {0, 1});
+  EXPECT_TRUE(C.Feasible);
+  EXPECT_DOUBLE_EQ(C.ObjectiveTotal, 60.0);
+  EXPECT_DOUBLE_EQ(C.ConstraintTotal, 35.0);
+  const CombinationChoice D = evaluateSelection(P, {1, 1});
+  EXPECT_FALSE(D.Feasible); // Cost 55 > 35.
+}
+
+TEST(GreedyOptimizerTest, SuboptimalButFeasibleExists) {
+  // Greedy can be beaten but must stay feasible; on this instance the
+  // ratio rule actually finds the optimum.
+  CombinationProblem P;
+  P.PerJob = {{{1.0, 100.0}, {10.0, 10.0}},
+              {{1.0, 100.0}, {10.0, 10.0}}};
+  P.Objective = MeasureKind::Time;
+  P.Direction = DirectionKind::Minimize;
+  P.Constraint = MeasureKind::Cost;
+  P.Limit = 20.0;
+  const CombinationChoice C = Greedy.solve(P);
+  ASSERT_TRUE(C.Feasible);
+  EXPECT_LE(C.ConstraintTotal, 20.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(C.ObjectiveTotal, 20.0);
+}

@@ -1,0 +1,182 @@
+//===-- tests/core/StrategyTest.cpp - Safety strategy tests ---------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Strategy.h"
+
+#include "core/AmpSearch.h"
+#include "core/DpOptimizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+Job makeJob(int Id, int Nodes, double Volume, double MaxPrice) {
+  Job J;
+  J.Id = Id;
+  J.Request.NodeCount = Nodes;
+  J.Request.Volume = Volume;
+  J.Request.MinPerformance = 1.0;
+  J.Request.MaxUnitPrice = MaxPrice;
+  return J;
+}
+
+/// A scheduled iteration over heterogeneous nodes that produces several
+/// alternatives per job.
+IterationOutcome makeOutcome(const Batch &Jobs) {
+  const SlotList List({Slot(0, 1.0, 1.0, 0.0, 600.0),
+                       Slot(1, 2.0, 1.5, 0.0, 600.0),
+                       Slot(2, 2.0, 1.5, 0.0, 600.0)});
+  static AmpSearch Amp;
+  static DpOptimizer Dp;
+  Metascheduler Scheduler(Amp, Dp);
+  return Scheduler.runIteration(List, Jobs);
+}
+
+} // namespace
+
+TEST(StrategyBuildTest, PrimaryIsChosenAlternative) {
+  const Batch Jobs = {makeJob(1, 1, 100.0, 2.0)};
+  const IterationOutcome Outcome = makeOutcome(Jobs);
+  ASSERT_EQ(Outcome.Scheduled.size(), 1u);
+
+  const auto Strategies = buildStrategies(Outcome);
+  ASSERT_EQ(Strategies.size(), 1u);
+  const JobStrategy &S = Strategies[0];
+  EXPECT_EQ(S.JobId, 1);
+  ASSERT_FALSE(S.Versions.empty());
+  EXPECT_DOUBLE_EQ(S.Versions[0].startTime(),
+                   Outcome.Scheduled[0].W.startTime());
+  EXPECT_DOUBLE_EQ(S.Versions[0].totalCost(),
+                   Outcome.Scheduled[0].W.totalCost());
+}
+
+TEST(StrategyBuildTest, FallbacksAreOrderedAndNotEarlier) {
+  const Batch Jobs = {makeJob(1, 1, 100.0, 2.0)};
+  const auto Strategies =
+      buildStrategies(makeOutcome(Jobs), {/*MaxVersions=*/4});
+  ASSERT_EQ(Strategies.size(), 1u);
+  const JobStrategy &S = Strategies[0];
+  EXPECT_GT(S.Versions.size(), 1u);
+  EXPECT_LE(S.Versions.size(), 4u);
+  for (size_t V = 1; V < S.Versions.size(); ++V) {
+    EXPECT_GE(S.Versions[V].startTime(),
+              S.Versions[0].startTime() - 1e-9);
+    if (V >= 2) {
+      EXPECT_GE(S.Versions[V].startTime(),
+                S.Versions[V - 1].startTime() - 1e-9);
+    }
+  }
+}
+
+TEST(StrategyBuildTest, MaxVersionsOneKeepsOnlyPrimary) {
+  const Batch Jobs = {makeJob(1, 1, 100.0, 2.0)};
+  const auto Strategies =
+      buildStrategies(makeOutcome(Jobs), {/*MaxVersions=*/1});
+  ASSERT_EQ(Strategies.size(), 1u);
+  EXPECT_EQ(Strategies[0].Versions.size(), 1u);
+}
+
+TEST(StrategyBuildTest, VersionsAreDisjointAcrossJobs) {
+  const Batch Jobs = {makeJob(1, 1, 100.0, 2.0),
+                      makeJob(2, 1, 80.0, 2.0)};
+  const auto Strategies = buildStrategies(makeOutcome(Jobs), {3});
+  ASSERT_EQ(Strategies.size(), 2u);
+  for (const Window &A : Strategies[0].Versions)
+    for (const Window &B : Strategies[1].Versions)
+      EXPECT_FALSE(A.intersects(B));
+}
+
+TEST(StrategyBuildTest, ReservedNodeTimeSumsVersions) {
+  JobStrategy S;
+  std::vector<WindowSlot> Members;
+  WindowSlot M;
+  M.Source = Slot(0, 1.0, 1.0, 0.0, 100.0);
+  M.Runtime = 50.0;
+  M.Cost = 50.0;
+  Members.push_back(M);
+  S.Versions.emplace_back(0.0, Members);
+  S.Versions.emplace_back(50.0, std::vector<WindowSlot>{[] {
+                            WindowSlot N;
+                            N.Source = Slot(0, 1.0, 1.0, 0.0, 200.0);
+                            N.Runtime = 30.0;
+                            N.Cost = 30.0;
+                            return N;
+                          }()});
+  EXPECT_DOUBLE_EQ(S.reservedNodeTime(), 80.0);
+}
+
+TEST(StrategyExecuteTest, NoFailuresUsePrimaryOnly) {
+  const Batch Jobs = {makeJob(1, 1, 100.0, 2.0),
+                      makeJob(2, 1, 80.0, 2.0)};
+  const auto Strategies = buildStrategies(makeOutcome(Jobs), {3});
+  RandomGenerator Rng(5);
+  const StrategyExecutionReport Report =
+      executeStrategies(Strategies, Rng, /*NodeFailureProbability=*/0.0);
+  EXPECT_EQ(Report.Jobs, 2u);
+  EXPECT_EQ(Report.Completed, 2u);
+  EXPECT_EQ(Report.Lost, 0u);
+  EXPECT_DOUBLE_EQ(Report.VersionsUsed.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(Report.completionRate(), 1.0);
+  EXPECT_GT(Report.PaidCost, 0.0);
+}
+
+TEST(StrategyExecuteTest, CertainFailureLosesEverything) {
+  const Batch Jobs = {makeJob(1, 1, 100.0, 2.0)};
+  const auto Strategies = buildStrategies(makeOutcome(Jobs), {3});
+  RandomGenerator Rng(5);
+  const StrategyExecutionReport Report =
+      executeStrategies(Strategies, Rng, /*NodeFailureProbability=*/1.0);
+  EXPECT_EQ(Report.Completed, 0u);
+  EXPECT_EQ(Report.Lost, 1u);
+  EXPECT_DOUBLE_EQ(Report.completionRate(), 0.0);
+  EXPECT_DOUBLE_EQ(Report.PaidCost, 0.0);
+}
+
+TEST(StrategyExecuteTest, FallbacksRaiseCompletionRate) {
+  const Batch Jobs = {makeJob(1, 1, 100.0, 2.0),
+                      makeJob(2, 1, 80.0, 2.0)};
+  const IterationOutcome Outcome = makeOutcome(Jobs);
+  const auto Single = buildStrategies(Outcome, {1});
+  const auto Multi = buildStrategies(Outcome, {4});
+
+  // Monte-Carlo over many runs at a moderate failure rate.
+  size_t SingleCompleted = 0, MultiCompleted = 0, Total = 0;
+  RandomGenerator Rng(11);
+  for (int Round = 0; Round < 2000; ++Round) {
+    const auto A = executeStrategies(Single, Rng, 0.3);
+    const auto B = executeStrategies(Multi, Rng, 0.3);
+    SingleCompleted += A.Completed;
+    MultiCompleted += B.Completed;
+    Total += A.Jobs;
+  }
+  // Single-version: ~70% completion; 4 versions: much closer to 1.
+  EXPECT_GT(MultiCompleted, SingleCompleted);
+  EXPECT_GT(static_cast<double>(MultiCompleted) /
+                static_cast<double>(Total),
+            0.9);
+}
+
+TEST(StrategyExecuteTest, ReservedTimeGrowsWithVersions) {
+  const Batch Jobs = {makeJob(1, 1, 100.0, 2.0)};
+  const IterationOutcome Outcome = makeOutcome(Jobs);
+  RandomGenerator Rng(3);
+  const auto One =
+      executeStrategies(buildStrategies(Outcome, {1}), Rng, 0.0);
+  const auto Three =
+      executeStrategies(buildStrategies(Outcome, {3}), Rng, 0.0);
+  EXPECT_GT(Three.ReservedNodeTime, One.ReservedNodeTime);
+}
+
+TEST(StrategyExecuteTest, EmptyStrategyListIsTrivial) {
+  RandomGenerator Rng(1);
+  const StrategyExecutionReport Report =
+      executeStrategies({}, Rng, 0.5);
+  EXPECT_EQ(Report.Jobs, 0u);
+  EXPECT_DOUBLE_EQ(Report.completionRate(), 0.0);
+}

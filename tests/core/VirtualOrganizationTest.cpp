@@ -1,0 +1,203 @@
+//===-- tests/core/VirtualOrganizationTest.cpp - VO loop tests ------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/VirtualOrganization.h"
+
+#include "core/AmpSearch.h"
+#include "core/DpOptimizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+Job makeJob(int Id, int Nodes, double Volume, double MaxPrice) {
+  Job J;
+  J.Id = Id;
+  J.Request.NodeCount = Nodes;
+  J.Request.Volume = Volume;
+  J.Request.MinPerformance = 1.0;
+  J.Request.MaxUnitPrice = MaxPrice;
+  return J;
+}
+
+ComputingDomain makeDomain() {
+  ComputingDomain D;
+  D.addNode(1.0, 1.0, "n0");
+  D.addNode(2.0, 1.5, "n1");
+  D.addNode(2.0, 1.5, "n2");
+  return D;
+}
+
+struct VoFixture {
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler;
+  VoFixture() : Scheduler(Amp, Dp) {}
+};
+
+} // namespace
+
+TEST(VirtualOrganizationTest, SchedulesAndCompletesJobs) {
+  VoFixture F;
+  VirtualOrganization::Config Cfg;
+  Cfg.IterationPeriod = 200.0;
+  Cfg.HorizonLength = 600.0;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler, Cfg);
+
+  Vo.submit(makeJob(1, 1, 100.0, 2.0));
+  Vo.submit(makeJob(2, 1, 80.0, 2.0));
+
+  const auto Report = Vo.runIteration();
+  EXPECT_EQ(Report.QueueLength, 2u);
+  EXPECT_EQ(Report.Committed, 2u);
+  EXPECT_EQ(Vo.queueLength(), 0u);
+  EXPECT_DOUBLE_EQ(Vo.now(), 200.0);
+
+  // Keep iterating with an empty queue until the jobs finish.
+  for (int I = 0; I < 5; ++I)
+    Vo.runIteration();
+  EXPECT_EQ(Vo.completed().size(), 2u);
+  EXPECT_GT(Vo.totalIncome(), 0.0);
+}
+
+TEST(VirtualOrganizationTest, CommittedReservationsAppearInDomain) {
+  VoFixture F;
+  VirtualOrganization::Config Cfg;
+  // Short period: the reservation is still live after the iteration's
+  // clock advance (advanceTo drops fully elapsed occupancy).
+  Cfg.IterationPeriod = 20.0;
+  Cfg.HorizonLength = 600.0;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler, Cfg);
+  Vo.submit(makeJob(1, 2, 100.0, 2.0));
+  const auto Report = Vo.runIteration();
+  ASSERT_EQ(Report.Committed, 1u);
+  EXPECT_GT(Vo.domain().externalLoad(), 0.0);
+}
+
+TEST(VirtualOrganizationTest, ImpossibleJobStaysQueued) {
+  VoFixture F;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler);
+  Vo.submit(makeJob(1, 9, 100.0, 2.0)); // 9 nodes never available.
+  const auto Report = Vo.runIteration();
+  EXPECT_EQ(Report.Committed, 0u);
+  EXPECT_EQ(Vo.queueLength(), 1u);
+}
+
+TEST(VirtualOrganizationTest, MaxAttemptsDropsHopelessJobs) {
+  VoFixture F;
+  VirtualOrganization::Config Cfg;
+  Cfg.MaxAttempts = 3;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler, Cfg);
+  Vo.submit(makeJob(1, 9, 100.0, 2.0));
+  size_t DroppedAt = 0;
+  for (size_t I = 1; I <= 5; ++I) {
+    const auto Report = Vo.runIteration();
+    if (Report.Dropped > 0) {
+      DroppedAt = I;
+      break;
+    }
+  }
+  EXPECT_EQ(DroppedAt, 3u);
+  EXPECT_EQ(Vo.queueLength(), 0u);
+  ASSERT_EQ(Vo.dropped().size(), 1u);
+  EXPECT_EQ(Vo.dropped()[0], 1);
+}
+
+TEST(VirtualOrganizationTest, LaterSubmissionsScheduleAroundEarlier) {
+  VoFixture F;
+  VirtualOrganization::Config Cfg;
+  // Short iteration period: the first job's reservations are still live
+  // when the second batch is scheduled.
+  Cfg.IterationPeriod = 50.0;
+  Cfg.HorizonLength = 600.0;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler, Cfg);
+  Vo.submit(makeJob(1, 3, 150.0, 2.0)); // Occupies all nodes a while.
+  ASSERT_EQ(Vo.runIteration().Committed, 1u);
+
+  Vo.submit(makeJob(2, 3, 100.0, 2.0));
+  const auto Report = Vo.runIteration();
+  ASSERT_EQ(Report.Committed, 1u);
+  // The second window must not overlap the first job's reservations:
+  // reserveWindow() would have rejected the commit otherwise, and the
+  // domain accounts both loads.
+  const double Load = Vo.domain().externalLoad();
+  EXPECT_GT(Load, 0.0);
+  EXPECT_EQ(Vo.queueLength(), 0u);
+}
+
+TEST(VirtualOrganizationTest, QueuedBudgetFactorHook) {
+  VoFixture F;
+  // A single expensive-but-fast node: with the default budget the job
+  // fits; with a tight factor it cannot be placed.
+  ComputingDomain D;
+  D.addNode(2.0, 3.5, "fast"); // Cost = 3.5 * 100/2 = 175.
+  VirtualOrganization Vo(std::move(D), F.Scheduler);
+
+  Job J = makeJob(1, 1, 100.0, 2.0); // Budget = rho * 2 * 100 = 200rho.
+  Vo.submit(J);
+  Vo.setQueuedBudgetFactor(0.5); // Budget 100 < 175: unplaceable.
+  EXPECT_EQ(Vo.runIteration().Committed, 0u);
+  EXPECT_EQ(Vo.queueLength(), 1u);
+
+  Vo.setQueuedBudgetFactor(1.0); // Budget 200 >= 175: fits now.
+  EXPECT_EQ(Vo.runIteration().Committed, 1u);
+}
+
+TEST(VirtualOrganizationTest, CancelQueuedJob) {
+  VoFixture F;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler);
+  Vo.submit(makeJob(1, 9, 100.0, 2.0)); // Unplaceable: stays queued.
+  Vo.runIteration();
+  ASSERT_EQ(Vo.queueLength(), 1u);
+  EXPECT_TRUE(Vo.cancelJob(1));
+  EXPECT_EQ(Vo.queueLength(), 0u);
+  EXPECT_FALSE(Vo.cancelJob(1)); // Already gone.
+}
+
+TEST(VirtualOrganizationTest, CancelRunningJobReleasesReservations) {
+  VoFixture F;
+  VirtualOrganization::Config Cfg;
+  Cfg.IterationPeriod = 20.0; // Reservation still live afterwards.
+  Cfg.HorizonLength = 600.0;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler, Cfg);
+  Vo.submit(makeJob(1, 2, 100.0, 2.0));
+  ASSERT_EQ(Vo.runIteration().Committed, 1u);
+  ASSERT_GT(Vo.domain().externalLoad(), 0.0);
+
+  EXPECT_TRUE(Vo.cancelJob(1));
+  EXPECT_DOUBLE_EQ(Vo.domain().externalLoad(), 0.0);
+  // The job never completes and owes nothing.
+  for (int I = 0; I < 5; ++I)
+    Vo.runIteration();
+  EXPECT_TRUE(Vo.completed().empty());
+  EXPECT_DOUBLE_EQ(Vo.totalIncome(), 0.0);
+}
+
+TEST(VirtualOrganizationTest, CancelUnknownJobReturnsFalse) {
+  VoFixture F;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler);
+  EXPECT_FALSE(Vo.cancelJob(12345));
+}
+
+TEST(VirtualOrganizationTest, CompletedJobRecordsAttempts) {
+  VoFixture F;
+  VirtualOrganization::Config Cfg;
+  Cfg.IterationPeriod = 500.0;
+  Cfg.HorizonLength = 600.0;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler, Cfg);
+  Vo.submit(makeJob(1, 1, 100.0, 2.0));
+  for (int I = 0; I < 3 && Vo.completed().empty(); ++I)
+    Vo.runIteration();
+  ASSERT_EQ(Vo.completed().size(), 1u);
+  const CompletedJob &C = Vo.completed()[0];
+  EXPECT_EQ(C.JobId, 1);
+  EXPECT_EQ(C.Attempts, 1);
+  EXPECT_GT(C.EndTime, C.StartTime);
+  EXPECT_GT(C.Cost, 0.0);
+}

@@ -1,0 +1,183 @@
+//===-- tests/integration/ExperimentTest.cpp - Paired study smoke ---------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Trimmed runs of the Section 5 paired study: the qualitative shape of
+/// the paper's results must already show at a few hundred iterations —
+/// AMP finds several times more alternatives, yields lower job times
+/// under time minimization, at higher cost.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiment.h"
+
+#include "sim/SlotGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+ExperimentResult runTrimmed(OptimizationTaskKind Task, uint64_t Seed,
+                            int64_t Iterations = 300) {
+  ExperimentConfig Cfg;
+  Cfg.Iterations = Iterations;
+  Cfg.Seed = Seed;
+  Cfg.Task = Task;
+  Cfg.SeriesCapacity = 50;
+  return PairedExperiment(Cfg).run();
+}
+
+} // namespace
+
+TEST(ExperimentTest, CountsSomeIterations) {
+  const ExperimentResult R =
+      runTrimmed(OptimizationTaskKind::MinimizeTime, 1);
+  EXPECT_EQ(R.TotalIterations, 300u);
+  EXPECT_GT(R.CountedIterations, 10u);
+  EXPECT_LT(R.CountedIterations, 300u); // Some iterations must drop.
+  // Slot/batch sizes stay in the published ranges.
+  EXPECT_GE(R.SlotsAll.min(), 120.0);
+  EXPECT_LE(R.SlotsAll.max(), 150.0);
+  EXPECT_GE(R.JobsAll.min(), 3.0);
+  EXPECT_LE(R.JobsAll.max(), 7.0);
+}
+
+TEST(ExperimentTest, AmpFindsSeveralTimesMoreAlternatives) {
+  const ExperimentResult R =
+      runTrimmed(OptimizationTaskKind::MinimizeTime, 2);
+  ASSERT_GT(R.CountedIterations, 0u);
+  // Paper: 7.39 vs 34.28 per job (~4.6x). Require a clear factor.
+  EXPECT_GT(R.Amp.AlternativesPerJob.mean(),
+            2.0 * R.Alp.AlternativesPerJob.mean());
+}
+
+TEST(ExperimentTest, TimeMinimizationShape) {
+  const ExperimentResult R =
+      runTrimmed(OptimizationTaskKind::MinimizeTime, 3, 400);
+  ASSERT_GT(R.CountedIterations, 20u);
+  // Fig. 4(a): AMP's average job execution time is clearly lower.
+  EXPECT_LT(R.Amp.JobTime.mean(), R.Alp.JobTime.mean());
+  // Fig. 4(b): AMP pays more on average.
+  EXPECT_GT(R.Amp.JobCost.mean(), R.Alp.JobCost.mean());
+}
+
+TEST(ExperimentTest, CostMinimizationShape) {
+  const ExperimentResult R =
+      runTrimmed(OptimizationTaskKind::MinimizeCost, 4, 400);
+  ASSERT_GT(R.CountedIterations, 20u);
+  // Fig. 6(b): AMP is still faster under cost minimization.
+  EXPECT_LT(R.Amp.JobTime.mean(), R.Alp.JobTime.mean());
+  // Fig. 6(a): ALP's cost advantage is small; allow anything from a tie
+  // to a clear ALP win, but AMP must not be cheaper by a wide margin.
+  EXPECT_GT(R.Amp.JobCost.mean(), 0.9 * R.Alp.JobCost.mean());
+}
+
+TEST(ExperimentTest, DeterministicForFixedSeed) {
+  const ExperimentResult A =
+      runTrimmed(OptimizationTaskKind::MinimizeTime, 7, 100);
+  const ExperimentResult B =
+      runTrimmed(OptimizationTaskKind::MinimizeTime, 7, 100);
+  EXPECT_EQ(A.CountedIterations, B.CountedIterations);
+  EXPECT_DOUBLE_EQ(A.Alp.JobTime.mean(), B.Alp.JobTime.mean());
+  EXPECT_DOUBLE_EQ(A.Amp.JobCost.mean(), B.Amp.JobCost.mean());
+  EXPECT_EQ(A.Amp.JobTimeSeries, B.Amp.JobTimeSeries);
+}
+
+TEST(ExperimentTest, DifferentSeedsDiffer) {
+  const ExperimentResult A =
+      runTrimmed(OptimizationTaskKind::MinimizeTime, 7, 100);
+  const ExperimentResult B =
+      runTrimmed(OptimizationTaskKind::MinimizeTime, 8, 100);
+  EXPECT_NE(A.Alp.JobTime.mean(), B.Alp.JobTime.mean());
+}
+
+TEST(ExperimentTest, SeriesCaptureRespectsCapacity) {
+  const ExperimentResult R =
+      runTrimmed(OptimizationTaskKind::MinimizeTime, 9, 200);
+  EXPECT_LE(R.Alp.JobTimeSeries.size(), 50u);
+  EXPECT_EQ(R.Alp.JobTimeSeries.size(), R.Alp.JobCostSeries.size());
+  EXPECT_EQ(R.Alp.JobTimeSeries.size(),
+            std::min<size_t>(50u, R.CountedIterations));
+}
+
+TEST(ExperimentTest, FailureAccountingAddsUp) {
+  const ExperimentResult R =
+      runTrimmed(OptimizationTaskKind::MinimizeTime, 10, 200);
+  // Every uncounted iteration failed in at least one method.
+  const size_t Uncounted = R.TotalIterations - R.CountedIterations;
+  EXPECT_LE(Uncounted, R.Alp.CoverageFailures + R.Alp.QuotaInfeasible +
+                           R.Amp.CoverageFailures +
+                           R.Amp.QuotaInfeasible);
+  // Per-method failures never exceed the total.
+  EXPECT_LE(R.Alp.CoverageFailures + R.Alp.QuotaInfeasible,
+            R.TotalIterations);
+}
+
+TEST(ExperimentTest, SlotSourceHookOverridesGenerator) {
+  ExperimentConfig Cfg;
+  Cfg.Iterations = 30;
+  Cfg.Seed = 12;
+  size_t Calls = 0;
+  Cfg.SlotSource = [&Calls](RandomGenerator &Rng) {
+    ++Calls;
+    SlotGeneratorConfig Small;
+    Small.MinSlotCount = Small.MaxSlotCount = 60;
+    return SlotGenerator(Small).generate(Rng);
+  };
+  const ExperimentResult R = PairedExperiment(Cfg).run();
+  EXPECT_EQ(Calls, 30u);
+  EXPECT_DOUBLE_EQ(R.SlotsAll.mean(), 60.0);
+}
+
+TEST(ExperimentTest, ThreadCountDoesNotChangeResults) {
+  ExperimentConfig Sequential;
+  Sequential.Iterations = 120;
+  Sequential.Seed = 31;
+  Sequential.SeriesCapacity = 30;
+  ExperimentConfig Parallel = Sequential;
+  Parallel.Threads = 4;
+  const ExperimentResult A = PairedExperiment(Sequential).run();
+  const ExperimentResult B = PairedExperiment(Parallel).run();
+  EXPECT_EQ(A.TotalIterations, B.TotalIterations);
+  EXPECT_EQ(A.CountedIterations, B.CountedIterations);
+  EXPECT_DOUBLE_EQ(A.Alp.JobTime.mean(), B.Alp.JobTime.mean());
+  EXPECT_DOUBLE_EQ(A.Alp.JobCost.mean(), B.Alp.JobCost.mean());
+  EXPECT_DOUBLE_EQ(A.Amp.JobTime.mean(), B.Amp.JobTime.mean());
+  EXPECT_DOUBLE_EQ(A.Amp.AlternativesPerJob.mean(),
+                   B.Amp.AlternativesPerJob.mean());
+  EXPECT_EQ(A.Amp.JobTimeSeries, B.Amp.JobTimeSeries);
+  EXPECT_EQ(A.Alp.CoverageFailures, B.Alp.CoverageFailures);
+}
+
+TEST(ExperimentTest, ThreadedEarlyStopMatchesSequential) {
+  ExperimentConfig Sequential;
+  Sequential.Iterations = 500;
+  Sequential.Seed = 33;
+  Sequential.StopAfterCounted = 25;
+  Sequential.SeriesCapacity = 25;
+  ExperimentConfig Parallel = Sequential;
+  Parallel.Threads = 3;
+  const ExperimentResult A = PairedExperiment(Sequential).run();
+  const ExperimentResult B = PairedExperiment(Parallel).run();
+  EXPECT_EQ(A.TotalIterations, B.TotalIterations);
+  EXPECT_EQ(A.CountedIterations, B.CountedIterations);
+  EXPECT_EQ(A.Amp.JobTimeSeries, B.Amp.JobTimeSeries);
+  EXPECT_DOUBLE_EQ(A.Alp.JobCost.mean(), B.Alp.JobCost.mean());
+}
+
+TEST(ExperimentTest, ExactMeanQuotaCountsMoreIterations) {
+  ExperimentConfig Floored;
+  Floored.Iterations = 200;
+  Floored.Seed = 11;
+  ExperimentConfig Exact = Floored;
+  Exact.Quota = QuotaPolicyKind::ExactMean;
+  const ExperimentResult A = PairedExperiment(Floored).run();
+  const ExperimentResult B = PairedExperiment(Exact).run();
+  // Relaxing the floor can only help feasibility.
+  EXPECT_GE(B.CountedIterations, A.CountedIterations);
+}

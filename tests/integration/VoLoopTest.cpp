@@ -1,0 +1,152 @@
+//===-- tests/integration/VoLoopTest.cpp - Multi-iteration VO loop --------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Long-running VO simulation: randomized domains, owner-local load,
+/// and a stream of external jobs across many scheduling iterations.
+/// Checks global accounting invariants and that committed reservations
+/// never collide with local tasks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AmpSearch.h"
+#include "core/DpOptimizer.h"
+#include "core/VirtualOrganization.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ecosched;
+
+namespace {
+
+/// Builds a random domain whose nodes carry some owner-local load over
+/// the first stretch of the timeline.
+ComputingDomain makeRandomDomain(RandomGenerator &Rng, int Nodes) {
+  ComputingDomain D;
+  for (int I = 0; I < Nodes; ++I) {
+    const double Perf = Rng.uniformReal(1.0, 3.0);
+    const double Price =
+        Rng.uniformReal(0.75, 1.25) * std::pow(1.7, Perf);
+    const int Id = D.addNode(Perf, Price);
+    // A few local tasks in the early timeline; the advancing cursor
+    // guarantees they never overlap.
+    double Cursor = Rng.uniformReal(0.0, 100.0);
+    for (int T = 0; T < 3; ++T) {
+      const double Len = Rng.uniformReal(20.0, 120.0);
+      EXPECT_TRUE(D.addLocalTask(Id, Cursor, Cursor + Len));
+      Cursor += Len + Rng.uniformReal(10.0, 150.0);
+    }
+  }
+  return D;
+}
+
+Job makeRandomJob(RandomGenerator &Rng, int Id) {
+  Job J;
+  J.Id = Id;
+  J.Request.NodeCount = static_cast<int>(Rng.uniformInt(1, 4));
+  J.Request.Volume = Rng.uniformReal(50.0, 150.0);
+  J.Request.MinPerformance = Rng.uniformReal(1.0, 2.0);
+  J.Request.MaxUnitPrice =
+      1.25 * std::pow(1.7, J.Request.MinPerformance);
+  return J;
+}
+
+} // namespace
+
+class VoLoopTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VoLoopTest, LongRunKeepsGlobalInvariants) {
+  RandomGenerator Rng(GetParam());
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler(Amp, Dp);
+
+  ComputingDomain Domain = makeRandomDomain(Rng, 10);
+  VirtualOrganization::Config Cfg;
+  Cfg.IterationPeriod = 150.0;
+  Cfg.HorizonLength = 700.0;
+  Cfg.MaxAttempts = 6;
+  VirtualOrganization Vo(std::move(Domain), Scheduler, Cfg);
+
+  int NextJobId = 0;
+  size_t Submitted = 0;
+  size_t Committed = 0;
+  size_t Dropped = 0;
+  for (int Iter = 0; Iter < 20; ++Iter) {
+    const int Arrivals = static_cast<int>(Rng.uniformInt(0, 4));
+    for (int A = 0; A < Arrivals; ++A) {
+      Vo.submit(makeRandomJob(Rng, NextJobId++));
+      ++Submitted;
+    }
+    const auto Report = Vo.runIteration();
+    Committed += Report.Committed;
+    Dropped += Report.Dropped;
+    // The clock advances by exactly one period per iteration.
+    EXPECT_DOUBLE_EQ(Vo.now(), 150.0 * (Iter + 1));
+  }
+
+  // Conservation: every submitted job is running, done, queued, or
+  // dropped.
+  const size_t Running =
+      Committed - Vo.completed().size() -
+      0; // Completed jobs were committed earlier.
+  EXPECT_EQ(Submitted, Committed + Dropped + Vo.queueLength());
+  EXPECT_LE(Vo.completed().size(), Committed);
+  EXPECT_EQ(Dropped, Vo.dropped().size());
+  (void)Running;
+
+  // Completed jobs carry consistent accounting.
+  for (const CompletedJob &C : Vo.completed()) {
+    EXPECT_GT(C.EndTime, C.StartTime);
+    EXPECT_GT(C.Cost, 0.0);
+    EXPECT_GE(C.Attempts, 1);
+    EXPECT_LE(C.Attempts, Cfg.MaxAttempts);
+  }
+  EXPECT_GT(Vo.totalIncome(), 0.0);
+}
+
+TEST_P(VoLoopTest, ReservationsNeverCollideWithLocalTasks) {
+  RandomGenerator Rng(GetParam() + 500);
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler(Amp, Dp);
+
+  // Keep an untouched copy of the initial local schedule for checking.
+  ComputingDomain Pristine = makeRandomDomain(Rng, 8);
+  std::vector<std::vector<BusyInterval>> LocalTasks;
+  for (const ResourceNode &Node : Pristine.pool())
+    LocalTasks.push_back(Pristine.occupancy(Node.Id));
+
+  VirtualOrganization Vo(std::move(Pristine), Scheduler);
+
+  int NextJobId = 0;
+  std::vector<std::pair<int, Window>> CommittedWindows;
+  for (int Iter = 0; Iter < 10; ++Iter) {
+    for (int A = 0; A < 2; ++A)
+      Vo.submit(makeRandomJob(Rng, NextJobId++));
+    const auto Report = Vo.runIteration();
+    for (const ScheduledJob &S : Report.Outcome.Scheduled)
+      CommittedWindows.push_back({S.JobId, S.W});
+  }
+
+  for (const auto &[JobId, W] : CommittedWindows)
+    for (const WindowSlot &M : W)
+      for (const BusyInterval &B :
+           LocalTasks[static_cast<size_t>(M.Source.NodeId)]) {
+        const double OverlapStart = std::max(W.startTime(), B.Start);
+        const double OverlapEnd =
+            std::min(W.startTime() + M.Runtime, B.End);
+        EXPECT_LE(OverlapEnd - OverlapStart, 1e-9)
+            << "job " << JobId << " overlaps a local task on node "
+            << M.Source.NodeId;
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VoLoopTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));

@@ -1,0 +1,195 @@
+//===-- tests/property/ModelFuzzTest.cpp - Reference-model fuzzing --------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Randomized operation sequences checked against independent naive
+/// reference models:
+///  * SlotList insert/subtract vs a point-sampled coverage oracle;
+///  * ComputingDomain occupancy/vacancy vs a boolean timeline;
+///  * RunningStats vs two-pass recomputation over the raw sample.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/ComputingDomain.h"
+#include "sim/SlotList.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace ecosched;
+
+namespace {
+
+/// True if any stored slot of \p List covers time \p T on \p NodeId.
+bool listCovers(const SlotList &List, int NodeId, double T) {
+  for (const Slot &S : List)
+    if (S.NodeId == NodeId && S.Start <= T && T < S.End)
+      return true;
+  return false;
+}
+
+} // namespace
+
+class ModelFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModelFuzzTest, SlotListMatchesCoverageOracle) {
+  RandomGenerator Rng(GetParam());
+  constexpr int Nodes = 4;
+  constexpr double Horizon = 1000.0;
+
+  // Reference model: per-node vacancy as a set of half-open intervals,
+  // maintained with brute-force splitting.
+  std::vector<std::vector<std::pair<double, double>>> Reference(Nodes);
+  SlotList List;
+
+  // Seed both models with disjoint per-node slots.
+  for (int Node = 0; Node < Nodes; ++Node) {
+    double Cursor = Rng.uniformReal(0.0, 50.0);
+    while (Cursor < Horizon - 60.0) {
+      const double Len = Rng.uniformReal(30.0, 150.0);
+      const double End = std::min(Cursor + Len, Horizon);
+      List.insert(Slot(Node, 1.0, 1.0, Cursor, End));
+      Reference[static_cast<size_t>(Node)].push_back({Cursor, End});
+      Cursor = End + Rng.uniformReal(5.0, 60.0);
+    }
+  }
+  ASSERT_TRUE(List.checkInvariants());
+
+  // Random subtraction attempts; mirror successful ones in the model.
+  for (int Op = 0; Op < 200; ++Op) {
+    const int Node = static_cast<int>(Rng.uniformInt(0, Nodes - 1));
+    const double Start = Rng.uniformReal(0.0, Horizon);
+    const double End = Start + Rng.uniformReal(1.0, 80.0);
+
+    auto &Intervals = Reference[static_cast<size_t>(Node)];
+    bool ModelContained = false;
+    for (auto &I : Intervals)
+      if (I.first <= Start + 1e-9 && End <= I.second + 1e-9) {
+        ModelContained = true;
+        const std::pair<double, double> Old = I;
+        // Split the containing interval; drop empty pieces.
+        I = {Old.first, Start};
+        if (End < Old.second - 1e-9)
+          Intervals.push_back({End, Old.second});
+        break;
+      }
+    std::erase_if(Intervals, [](const std::pair<double, double> &I) {
+      return I.second - I.first <= 1e-9;
+    });
+
+    const bool ListContained = List.subtract(Node, Start, End);
+    ASSERT_EQ(ListContained, ModelContained)
+        << "op " << Op << " node " << Node << " [" << Start << ", "
+        << End << ")";
+    ASSERT_TRUE(List.checkInvariants());
+  }
+
+  // Compare total vacancy and point-sampled coverage.
+  double ModelSpan = 0.0;
+  for (const auto &Intervals : Reference)
+    for (const auto &I : Intervals)
+      ModelSpan += I.second - I.first;
+  EXPECT_NEAR(List.totalSpan(), ModelSpan, 1e-6);
+
+  for (int Sample = 0; Sample < 500; ++Sample) {
+    const int Node = static_cast<int>(Rng.uniformInt(0, Nodes - 1));
+    const double T = Rng.uniformReal(0.0, Horizon);
+    bool ModelCovered = false;
+    for (const auto &I : Reference[static_cast<size_t>(Node)])
+      ModelCovered |= I.first <= T && T < I.second;
+    ASSERT_EQ(listCovers(List, Node, T), ModelCovered)
+        << "node " << Node << " t=" << T;
+  }
+}
+
+TEST_P(ModelFuzzTest, DomainVacancyMatchesBooleanTimeline) {
+  RandomGenerator Rng(GetParam() + 100);
+  constexpr double Horizon = 500.0;
+  constexpr int Ticks = 500; // 1 time unit per tick.
+
+  ComputingDomain Domain;
+  const int Nodes = static_cast<int>(Rng.uniformInt(2, 5));
+  std::vector<std::vector<bool>> Busy(
+      static_cast<size_t>(Nodes),
+      std::vector<bool>(static_cast<size_t>(Ticks), false));
+  for (int N = 0; N < Nodes; ++N)
+    Domain.addNode(Rng.uniformReal(1.0, 3.0), Rng.uniformReal(1.0, 5.0));
+
+  // Random occupancy on integer boundaries (so tick sampling is exact).
+  for (int Op = 0; Op < 60; ++Op) {
+    const int Node = static_cast<int>(Rng.uniformInt(0, Nodes - 1));
+    const double Start =
+        static_cast<double>(Rng.uniformInt(0, Ticks - 2));
+    const double End = Start + static_cast<double>(Rng.uniformInt(
+                                   1, Ticks - static_cast<int64_t>(Start) -
+                                          1));
+    const bool External = Rng.bernoulli(0.5);
+    const bool Accepted =
+        External ? Domain.reserve(Node, Start, End, Op)
+                 : Domain.addLocalTask(Node, Start, End, Op);
+
+    auto &Track = Busy[static_cast<size_t>(Node)];
+    bool Overlaps = false;
+    for (int T = static_cast<int>(Start); T < static_cast<int>(End); ++T)
+      Overlaps |= Track[static_cast<size_t>(T)];
+    ASSERT_EQ(Accepted, !Overlaps) << "op " << Op;
+    if (Accepted)
+      for (int T = static_cast<int>(Start); T < static_cast<int>(End);
+           ++T)
+        Track[static_cast<size_t>(T)] = true;
+  }
+
+  // The published vacancy must be the exact complement of the timeline.
+  const SlotList Slots = Domain.vacantSlots(0.0, Horizon);
+  EXPECT_TRUE(Slots.checkInvariants());
+  for (int N = 0; N < Nodes; ++N) {
+    const auto &Track = Busy[static_cast<size_t>(N)];
+    for (int T = 0; T < Ticks; ++T) {
+      const bool Vacant = listCovers(Slots, N, T + 0.5);
+      ASSERT_NE(Vacant, Track[static_cast<size_t>(T)])
+          << "node " << N << " tick " << T;
+    }
+  }
+}
+
+TEST_P(ModelFuzzTest, RunningStatsMatchesTwoPassComputation) {
+  RandomGenerator Rng(GetParam() + 200);
+  std::vector<double> Sample;
+  RunningStats Stats;
+  const int N = static_cast<int>(Rng.uniformInt(2, 500));
+  for (int I = 0; I < N; ++I) {
+    const double X = Rng.uniformReal(-1000.0, 1000.0);
+    Sample.push_back(X);
+    Stats.add(X);
+  }
+
+  double Sum = 0.0;
+  double Min = Sample[0], Max = Sample[0];
+  for (const double X : Sample) {
+    Sum += X;
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  const double Mean = Sum / N;
+  double Var = 0.0;
+  for (const double X : Sample)
+    Var += (X - Mean) * (X - Mean);
+  Var /= N - 1;
+
+  EXPECT_EQ(Stats.count(), static_cast<size_t>(N));
+  EXPECT_NEAR(Stats.mean(), Mean, 1e-9);
+  EXPECT_NEAR(Stats.variance(), Var, 1e-6);
+  EXPECT_DOUBLE_EQ(Stats.min(), Min);
+  EXPECT_DOUBLE_EQ(Stats.max(), Max);
+  EXPECT_NEAR(Stats.sum(), Sum, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelFuzzTest,
+                         ::testing::Range<uint64_t>(1, 21));

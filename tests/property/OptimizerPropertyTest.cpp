@@ -1,0 +1,185 @@
+//===-- tests/property/OptimizerPropertyTest.cpp - DP vs oracle -----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property tests of the combination optimizers on random instances:
+/// the discretized backward-run DP must agree in feasibility with the
+/// exact enumeration, never violate the constraint, and approach the
+/// exact optimum as the grid refines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BruteForceOptimizer.h"
+#include "core/DpOptimizer.h"
+#include "core/GreedyOptimizer.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+CombinationProblem makeRandomProblem(RandomGenerator &Rng) {
+  CombinationProblem P;
+  const int Jobs = static_cast<int>(Rng.uniformInt(1, 5));
+  double MinWeightSum = 0.0;
+  for (int I = 0; I < Jobs; ++I) {
+    std::vector<AlternativeValue> Alts;
+    const int Count = static_cast<int>(Rng.uniformInt(1, 6));
+    double MinWeight = 1e18;
+    for (int A = 0; A < Count; ++A) {
+      AlternativeValue V;
+      V.Cost = Rng.uniformReal(5.0, 400.0);
+      V.Time = Rng.uniformReal(20.0, 150.0);
+      Alts.push_back(V);
+      MinWeight = std::min(MinWeight, V.Cost);
+    }
+    MinWeightSum += MinWeight;
+    P.PerJob.push_back(std::move(Alts));
+  }
+  P.Objective = MeasureKind::Time;
+  P.Direction = DirectionKind::Minimize;
+  P.Constraint = MeasureKind::Cost;
+  // Mix feasible, tight, and infeasible limits.
+  P.Limit = MinWeightSum * Rng.uniformReal(0.7, 2.0);
+  return P;
+}
+
+} // namespace
+
+class OptimizerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizerPropertyTest, DpAgreesWithExactOracle) {
+  RandomGenerator Rng(GetParam());
+  BruteForceOptimizer Exact;
+  DpOptimizer Dp(8192);
+  for (int Round = 0; Round < 20; ++Round) {
+    const CombinationProblem P = makeRandomProblem(Rng);
+    const CombinationChoice Want = Exact.solve(P);
+    const CombinationChoice Got = Dp.solve(P);
+
+    if (!Want.Feasible) {
+      // Exact infeasible => DP infeasible (its grid only tightens).
+      EXPECT_FALSE(Got.Feasible);
+      continue;
+    }
+    // Ceil-rounding distorts each job's weight by less than one cell,
+    // so a selection whose true slack exceeds n cells stays feasible on
+    // the grid.
+    const double Cell = P.Limit > 0.0 ? P.Limit / 8192.0 : 1.0;
+    const double SlackNeeded =
+        Cell * static_cast<double>(P.PerJob.size()) + 1e-9;
+    const double Slack = P.Limit - Want.ConstraintTotal;
+    if (!Got.Feasible) {
+      // Only borderline instances may be rejected.
+      EXPECT_LE(Slack, SlackNeeded);
+      continue;
+    }
+    // Feasible DP choices satisfy the true constraint...
+    EXPECT_LE(Got.ConstraintTotal, P.Limit + 1e-9);
+    // ...and cannot beat the exact optimum.
+    EXPECT_GE(Got.ObjectiveTotal, Want.ObjectiveTotal - 1e-9);
+    // With enough slack the exact optimum is itself grid-feasible, so
+    // the DP must match it exactly.
+    if (Slack >= SlackNeeded) {
+      EXPECT_NEAR(Got.ObjectiveTotal, Want.ObjectiveTotal, 1e-6);
+    }
+  }
+}
+
+TEST_P(OptimizerPropertyTest, GreedyIsFeasibleNeverBetterThanExact) {
+  RandomGenerator Rng(GetParam() + 1000);
+  BruteForceOptimizer Exact;
+  GreedyOptimizer Greedy;
+  for (int Round = 0; Round < 20; ++Round) {
+    const CombinationProblem P = makeRandomProblem(Rng);
+    const CombinationChoice Want = Exact.solve(P);
+    const CombinationChoice Got = Greedy.solve(P);
+    EXPECT_EQ(Want.Feasible, Got.Feasible);
+    if (!Got.Feasible)
+      continue;
+    EXPECT_LE(Got.ConstraintTotal, P.Limit + 1e-9);
+    EXPECT_GE(Got.ObjectiveTotal, Want.ObjectiveTotal - 1e-9);
+  }
+}
+
+TEST_P(OptimizerPropertyTest, MaximizationMirrorsMinimization) {
+  RandomGenerator Rng(GetParam() + 2000);
+  BruteForceOptimizer Exact;
+  DpOptimizer Dp(8192);
+  for (int Round = 0; Round < 10; ++Round) {
+    CombinationProblem P = makeRandomProblem(Rng);
+    P.Objective = MeasureKind::Cost;
+    P.Direction = DirectionKind::Maximize;
+    P.Constraint = MeasureKind::Time;
+    P.Limit = Rng.uniformReal(100.0, 600.0);
+    const CombinationChoice Want = Exact.solve(P);
+    const CombinationChoice Got = Dp.solve(P);
+    if (!Want.Feasible) {
+      EXPECT_FALSE(Got.Feasible);
+      continue;
+    }
+    if (!Got.Feasible)
+      continue; // Borderline grid rejection, as above.
+    EXPECT_LE(Got.ConstraintTotal, P.Limit + 1e-9);
+    EXPECT_LE(Got.ObjectiveTotal, Want.ObjectiveTotal + 1e-9);
+    const double Cell = P.Limit > 0.0 ? P.Limit / 8192.0 : 1.0;
+    const double SlackNeeded =
+        Cell * static_cast<double>(P.PerJob.size()) + 1e-9;
+    if (P.Limit - Want.ConstraintTotal >= SlackNeeded) {
+      EXPECT_NEAR(Got.ObjectiveTotal, Want.ObjectiveTotal, 1e-6);
+    }
+  }
+}
+
+TEST_P(OptimizerPropertyTest, AnyResolutionRespectsConstraintAndOracle) {
+  RandomGenerator Rng(GetParam() + 3000);
+  BruteForceOptimizer Exact;
+  for (int Round = 0; Round < 5; ++Round) {
+    const CombinationProblem P = makeRandomProblem(Rng);
+    const CombinationChoice Want = Exact.solve(P);
+    for (size_t Bins : {64u, 256u, 4096u, 16384u}) {
+      const CombinationChoice Got = DpOptimizer(Bins).solve(P);
+      if (!Got.Feasible)
+        continue;
+      ASSERT_TRUE(Want.Feasible);
+      EXPECT_LE(Got.ConstraintTotal, P.Limit + 1e-9);
+      EXPECT_GE(Got.ObjectiveTotal, Want.ObjectiveTotal - 1e-9);
+    }
+  }
+}
+
+TEST_P(OptimizerPropertyTest, ExactBoundaryOptimaAreFound) {
+  // Construct instances whose optimum sits exactly at the limit; the
+  // floor-rounded second DP pass must recover them (its validated
+  // reconstruction is provably the true optimum).
+  RandomGenerator Rng(GetParam() + 4000);
+  BruteForceOptimizer Exact;
+  DpOptimizer Dp(4096);
+  for (int Round = 0; Round < 10; ++Round) {
+    CombinationProblem P = makeRandomProblem(Rng);
+    // Pin the limit to one concrete selection's exact weight.
+    std::vector<size_t> Pick;
+    double Weight = 0.0;
+    for (const auto &Alts : P.PerJob) {
+      const size_t A =
+          static_cast<size_t>(Rng.uniformInt(0, Alts.size() - 1));
+      Pick.push_back(A);
+      Weight += Alts[A].get(P.Constraint);
+    }
+    P.Limit = Weight;
+    const CombinationChoice Want = Exact.solve(P);
+    ASSERT_TRUE(Want.Feasible); // Pick itself is feasible.
+    const CombinationChoice Got = Dp.solve(P);
+    ASSERT_TRUE(Got.Feasible);
+    EXPECT_LE(Got.ConstraintTotal, P.Limit + 1e-9);
+    EXPECT_GE(Got.ObjectiveTotal, Want.ObjectiveTotal - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerPropertyTest,
+                         ::testing::Range<uint64_t>(1, 17));

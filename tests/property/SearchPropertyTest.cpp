@@ -1,0 +1,166 @@
+//===-- tests/property/SearchPropertyTest.cpp - Search invariants ---------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property tests over randomized instances: every window returned by
+/// ALP/AMP must satisfy the resource request; ALP and AMP must agree
+/// with the exhaustive O(m^2) backfill oracle on the earliest window
+/// start; AMP must dominate ALP (Section 6: "any window which could be
+/// found with ALP can also be found by AMP").
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlpSearch.h"
+#include "core/AmpSearch.h"
+#include "core/BackfillSearch.h"
+#include "sim/JobGenerator.h"
+#include "sim/SlotGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace ecosched;
+
+namespace {
+
+/// Checks every structural requirement a window must satisfy for a
+/// request, independent of which algorithm produced it.
+void expectWindowSatisfiesRequest(const Window &W,
+                                  const ResourceRequest &Req,
+                                  bool EnforcePerSlotCap) {
+  ASSERT_EQ(W.size(), static_cast<size_t>(Req.NodeCount));
+  std::set<int> Nodes;
+  double Cost = 0.0;
+  for (const WindowSlot &M : W) {
+    // Distinct nodes (follows from per-node slot disjointness).
+    EXPECT_TRUE(Nodes.insert(M.Source.NodeId).second);
+    // Condition 2a.
+    EXPECT_GE(M.Source.Performance, Req.MinPerformance - 1e-9);
+    // Runtime consistency and slot coverage (condition 2b).
+    EXPECT_NEAR(M.Runtime, Req.Volume / M.Source.Performance, 1e-9);
+    EXPECT_LE(M.Source.Start, W.startTime() + 1e-9);
+    EXPECT_GE(M.Source.End, W.startTime() + M.Runtime - 1e-9);
+    // Condition 2c (ALP only).
+    if (EnforcePerSlotCap) {
+      EXPECT_LE(M.Source.UnitPrice, Req.MaxUnitPrice + 1e-9);
+    }
+    EXPECT_NEAR(M.Cost, M.Source.UnitPrice * M.Runtime, 1e-9);
+    Cost += M.Cost;
+  }
+  EXPECT_NEAR(W.totalCost(), Cost, 1e-6);
+  if (!EnforcePerSlotCap) {
+    EXPECT_LE(W.totalCost(), Req.budget() + 1e-6);
+  }
+}
+
+} // namespace
+
+class SearchPropertyTest : public ::testing::TestWithParam<uint64_t> {
+protected:
+  void SetUp() override {
+    RandomGenerator Rng(GetParam());
+    List = SlotGenerator().generate(Rng);
+    Jobs = JobGenerator().generate(Rng);
+  }
+
+  SlotList List;
+  Batch Jobs;
+};
+
+TEST_P(SearchPropertyTest, AlpWindowsSatisfyRequests) {
+  AlpSearch Alp;
+  for (const Job &J : Jobs) {
+    const auto W = Alp.findWindow(List, J.Request);
+    if (!W)
+      continue;
+    expectWindowSatisfiesRequest(*W, J.Request,
+                                 /*EnforcePerSlotCap=*/true);
+  }
+}
+
+TEST_P(SearchPropertyTest, AmpWindowsSatisfyRequests) {
+  AmpSearch Amp;
+  for (const Job &J : Jobs) {
+    const auto W = Amp.findWindow(List, J.Request);
+    if (!W)
+      continue;
+    expectWindowSatisfiesRequest(*W, J.Request,
+                                 /*EnforcePerSlotCap=*/false);
+  }
+}
+
+TEST_P(SearchPropertyTest, AlpMatchesExhaustiveOracleStart) {
+  AlpSearch Alp;
+  BackfillSearch Oracle(PriceRuleKind::PerSlotCap);
+  for (const Job &J : Jobs) {
+    const auto Fast = Alp.findWindow(List, J.Request);
+    const auto Slow = Oracle.findWindow(List, J.Request);
+    ASSERT_EQ(Fast.has_value(), Slow.has_value());
+    if (Fast) {
+      EXPECT_NEAR(Fast->startTime(), Slow->startTime(), 1e-9);
+    }
+  }
+}
+
+TEST_P(SearchPropertyTest, AmpMatchesExhaustiveOracleStart) {
+  AmpSearch Amp;
+  BackfillSearch Oracle(PriceRuleKind::JobBudget);
+  for (const Job &J : Jobs) {
+    const auto Fast = Amp.findWindow(List, J.Request);
+    const auto Slow = Oracle.findWindow(List, J.Request);
+    ASSERT_EQ(Fast.has_value(), Slow.has_value());
+    if (Fast) {
+      EXPECT_NEAR(Fast->startTime(), Slow->startTime(), 1e-9);
+    }
+  }
+}
+
+TEST_P(SearchPropertyTest, AmpDominatesAlp) {
+  AlpSearch Alp;
+  AmpSearch Amp;
+  for (const Job &J : Jobs) {
+    const auto AlpW = Alp.findWindow(List, J.Request);
+    if (!AlpW)
+      continue;
+    // Any ALP window is AMP-admissible: a full-cap window costs at most
+    // C per slot-time, i.e. within S = C*t*N. AMP must therefore find a
+    // window, and no later than ALP's.
+    const auto AmpW = Amp.findWindow(List, J.Request);
+    ASSERT_TRUE(AmpW.has_value());
+    EXPECT_LE(AmpW->startTime(), AlpW->startTime() + 1e-9);
+  }
+}
+
+TEST_P(SearchPropertyTest, SearchIsLinearInExaminedSlots) {
+  AlpSearch Alp;
+  AmpSearch Amp;
+  for (const Job &J : Jobs) {
+    SearchStats AlpStats, AmpStats;
+    (void)Alp.findWindow(List, J.Request, &AlpStats);
+    (void)Amp.findWindow(List, J.Request, &AmpStats);
+    // One forward pass: never more examinations than slots.
+    EXPECT_LE(AlpStats.SlotsExamined, List.size());
+    EXPECT_LE(AmpStats.SlotsExamined, List.size());
+  }
+}
+
+TEST_P(SearchPropertyTest, ResultIsIndependentOfStatsCollection) {
+  AmpSearch Amp;
+  for (const Job &J : Jobs) {
+    SearchStats Stats;
+    const auto A = Amp.findWindow(List, J.Request);
+    const auto B = Amp.findWindow(List, J.Request, &Stats);
+    ASSERT_EQ(A.has_value(), B.has_value());
+    if (A) {
+      EXPECT_DOUBLE_EQ(A->startTime(), B->startTime());
+      EXPECT_DOUBLE_EQ(A->totalCost(), B->totalCost());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SearchPropertyTest,
+                         ::testing::Range<uint64_t>(1, 33));

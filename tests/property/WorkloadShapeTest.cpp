@@ -1,0 +1,150 @@
+//===-- tests/property/WorkloadShapeTest.cpp - Shape sweeps ---------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The search invariants must hold far from the paper's workload: this
+/// suite sweeps generator *shapes* (dense/sparse lists, homogeneous and
+/// extreme heterogeneity, clustered starts, long and short slots) and
+/// re-checks the core properties — oracle agreement, AMP dominance,
+/// disjoint alternatives — on every shape x seed combination.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlpSearch.h"
+#include "core/AlternativeSearch.h"
+#include "core/AmpSearch.h"
+#include "core/BackfillSearch.h"
+#include "sim/JobGenerator.h"
+#include "sim/SlotGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+using namespace ecosched;
+
+namespace {
+
+struct WorkloadShape {
+  const char *Name;
+  SlotGeneratorConfig Slots;
+  JobGeneratorConfig Jobs;
+};
+
+WorkloadShape makeShape(const char *Name) {
+  WorkloadShape Shape;
+  Shape.Name = Name;
+  if (std::string(Name) == "sparse") {
+    Shape.Slots.MinSlotCount = 20;
+    Shape.Slots.MaxSlotCount = 30;
+    Shape.Slots.MaxStartGap = 40.0;
+  } else if (std::string(Name) == "dense") {
+    Shape.Slots.MinSlotCount = 300;
+    Shape.Slots.MaxSlotCount = 350;
+    Shape.Slots.SameStartProbability = 0.7;
+    Shape.Slots.MaxStartGap = 3.0;
+  } else if (std::string(Name) == "homogeneous") {
+    Shape.Slots.MinPerformance = Shape.Slots.MaxPerformance = 1.0;
+    Shape.Jobs.MinPerformanceLo = Shape.Jobs.MinPerformanceHi = 1.0;
+  } else if (std::string(Name) == "extreme-heterogeneity") {
+    Shape.Slots.MinPerformance = 0.5;
+    Shape.Slots.MaxPerformance = 8.0;
+    Shape.Jobs.MinPerformanceLo = 0.5;
+    Shape.Jobs.MinPerformanceHi = 4.0;
+  } else if (std::string(Name) == "short-slots") {
+    Shape.Slots.MinLength = 20.0;
+    Shape.Slots.MaxLength = 60.0;
+    Shape.Jobs.MinVolume = 10.0;
+    Shape.Jobs.MaxVolume = 50.0;
+  } else if (std::string(Name) == "wide-jobs") {
+    Shape.Jobs.MinNodes = 5;
+    Shape.Jobs.MaxNodes = 12;
+  }
+  return Shape;
+}
+
+} // namespace
+
+class WorkloadShapeTest
+    : public ::testing::TestWithParam<std::tuple<const char *, uint64_t>> {
+protected:
+  void SetUp() override {
+    const WorkloadShape Shape = makeShape(std::get<0>(GetParam()));
+    RandomGenerator Rng(std::get<1>(GetParam()));
+    List = SlotGenerator(Shape.Slots).generate(Rng);
+    Jobs = JobGenerator(Shape.Jobs).generate(Rng);
+  }
+
+  SlotList List;
+  Batch Jobs;
+};
+
+TEST_P(WorkloadShapeTest, SearchesMatchOracleOnEveryShape) {
+  AlpSearch Alp;
+  AmpSearch Amp;
+  BackfillSearch AlpOracle(PriceRuleKind::PerSlotCap);
+  BackfillSearch AmpOracle(PriceRuleKind::JobBudget);
+  for (const Job &J : Jobs) {
+    const auto A = Alp.findWindow(List, J.Request);
+    const auto AO = AlpOracle.findWindow(List, J.Request);
+    ASSERT_EQ(A.has_value(), AO.has_value());
+    if (A) {
+      EXPECT_NEAR(A->startTime(), AO->startTime(), 1e-9);
+    }
+    const auto M = Amp.findWindow(List, J.Request);
+    const auto MO = AmpOracle.findWindow(List, J.Request);
+    ASSERT_EQ(M.has_value(), MO.has_value());
+    if (M) {
+      EXPECT_NEAR(M->startTime(), MO->startTime(), 1e-9);
+    }
+    // AMP dominance holds on every shape.
+    if (A) {
+      ASSERT_TRUE(M.has_value());
+      EXPECT_LE(M->startTime(), A->startTime() + 1e-9);
+    }
+  }
+}
+
+TEST_P(WorkloadShapeTest, AlternativesStayDisjointOnEveryShape) {
+  AmpSearch Amp;
+  const AlternativeSet Alts = AlternativeSearch(Amp).run(List, Jobs);
+  std::vector<const Window *> All;
+  for (const auto &PerJob : Alts.PerJob)
+    for (const Window &W : PerJob)
+      All.push_back(&W);
+  for (size_t I = 0; I < All.size(); ++I)
+    for (size_t J = I + 1; J < All.size(); ++J)
+      ASSERT_FALSE(All[I]->intersects(*All[J]));
+}
+
+TEST_P(WorkloadShapeTest, SubtractionInvariantsHoldOnEveryShape) {
+  AmpSearch Amp;
+  SlotList Work = List;
+  for (const Job &J : Jobs) {
+    const auto W = Amp.findWindow(Work, J.Request);
+    if (!W)
+      continue;
+    ASSERT_TRUE(W->subtractFrom(Work));
+    ASSERT_TRUE(Work.checkInvariants());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WorkloadShapeTest,
+    ::testing::Combine(
+        ::testing::Values("sparse", "dense", "homogeneous",
+                          "extreme-heterogeneity", "short-slots",
+                          "wide-jobs"),
+        ::testing::Range<uint64_t>(1, 7)),
+    [](const auto &Info) {
+      std::string Name = std::string(std::get<0>(Info.param)) + "_seed" +
+                         std::to_string(std::get<1>(Info.param));
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });

@@ -1,0 +1,108 @@
+//===-- tests/sim/GanttChartTest.cpp - ASCII chart unit tests -------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/GanttChart.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+TEST(GanttChartTest, FillMarksExpectedCells) {
+  GanttChart Chart(0.0, 100.0, 10); // 10 units per cell.
+  const size_t Row = Chart.addRow("n0");
+  Chart.fill(Row, 20.0, 50.0, '#');
+  const std::string Out = Chart.render();
+  // Cells 2..4 are painted; cell 5 (t=50, exclusive end) is not.
+  EXPECT_NE(Out.find("n0 |..###.....|"), std::string::npos);
+}
+
+TEST(GanttChartTest, SubCellSpanStillVisible) {
+  GanttChart Chart(0.0, 100.0, 10);
+  const size_t Row = Chart.addRow("n0");
+  Chart.fill(Row, 42.0, 44.0, 'X');
+  const std::string Out = Chart.render();
+  EXPECT_NE(Out.find("X"), std::string::npos);
+}
+
+TEST(GanttChartTest, OutOfHorizonSpansClipped) {
+  GanttChart Chart(100.0, 200.0, 10);
+  const size_t Row = Chart.addRow("n0");
+  Chart.fill(Row, 0.0, 50.0, 'A');   // Fully before: invisible.
+  Chart.fill(Row, 250.0, 300.0, 'B'); // Fully after: invisible.
+  Chart.fill(Row, 150.0, 400.0, 'C'); // Clipped to [150,200).
+  const std::string Out = Chart.render();
+  EXPECT_EQ(Out.find('A'), std::string::npos);
+  EXPECT_EQ(Out.find('B'), std::string::npos);
+  EXPECT_NE(Out.find(".....CCCCC"), std::string::npos);
+}
+
+TEST(GanttChartTest, RendersAllRowsAndAxis) {
+  GanttChart Chart(0.0, 600.0, 20);
+  Chart.addRow("cpu1");
+  Chart.addRow("cpu2-long-name");
+  const std::string Out = Chart.render();
+  EXPECT_NE(Out.find("cpu1"), std::string::npos);
+  EXPECT_NE(Out.find("cpu2-long-name"), std::string::npos);
+  EXPECT_NE(Out.find("0"), std::string::npos);
+  EXPECT_NE(Out.find("600"), std::string::npos);
+}
+
+TEST(GanttChartTest, DomainChartShowsLocalAndExternal) {
+  ComputingDomain D;
+  const int N = D.addNode(1.0, 2.0, "cpuX");
+  ASSERT_TRUE(D.addLocalTask(N, 0.0, 300.0));
+  ASSERT_TRUE(D.reserve(N, 300.0, 600.0, /*JobId=*/1));
+  const std::string Out = renderDomainChart(D, 0.0, 600.0, 24);
+  EXPECT_NE(Out.find("cpuX"), std::string::npos);
+  EXPECT_NE(Out.find('#'), std::string::npos); // Local occupancy.
+  EXPECT_NE(Out.find('B'), std::string::npos); // Job 1 -> 'A' + 1.
+}
+
+TEST(GanttChartTest, SvgChartContainsLanesAndOccupancy) {
+  ComputingDomain D;
+  const int A = D.addNode(1.0, 2.0, "alpha");
+  D.addNode(2.0, 3.0, "beta");
+  ASSERT_TRUE(D.addLocalTask(A, 0.0, 200.0));
+  ASSERT_TRUE(D.reserve(A, 250.0, 400.0, /*JobId=*/2));
+  const SvgDocument Doc = renderDomainSvg(D, {}, 0.0, 600.0);
+  const std::string Out = Doc.str();
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  EXPECT_NE(Out.find("beta"), std::string::npos);
+  EXPECT_NE(Out.find("#9e9e9e"), std::string::npos); // Local grey.
+  EXPECT_NE(Out.find("</svg>"), std::string::npos);
+}
+
+TEST(GanttChartTest, SvgWindowOverlayRendered) {
+  ComputingDomain D;
+  const int N = D.addNode(1.0, 2.0, "n");
+  std::vector<WindowSlot> Members;
+  WindowSlot M;
+  M.Source = Slot(N, 1.0, 2.0, 0.0, 600.0);
+  M.Runtime = 100.0;
+  M.Cost = 200.0;
+  Members.push_back(M);
+  const Window W(50.0, std::move(Members));
+  const std::vector<ChartWindow> Overlay = {{&W, 'A'}};
+  const std::string Out =
+      renderDomainSvg(D, Overlay, 0.0, 600.0).str();
+  EXPECT_NE(Out.find("stroke=\"#222222\""), std::string::npos);
+}
+
+TEST(GanttChartTest, WindowOverlayUsesRequestedFill) {
+  ComputingDomain D;
+  const int N = D.addNode(1.0, 2.0, "cpuX");
+  std::vector<WindowSlot> Members;
+  WindowSlot M;
+  M.Source = Slot(N, 1.0, 2.0, 0.0, 600.0);
+  M.Runtime = 200.0;
+  M.Cost = 400.0;
+  Members.push_back(M);
+  const Window W(100.0, std::move(Members));
+  const std::vector<ChartWindow> Overlay = {{&W, 'W'}};
+  const std::string Out = renderDomainChart(D, Overlay, 0.0, 600.0, 24);
+  EXPECT_NE(Out.find('W'), std::string::npos);
+}

@@ -1,0 +1,172 @@
+//===-- tests/sim/GeneratorTest.cpp - Section 5 generator tests -----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/JobGenerator.h"
+#include "sim/SlotGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ecosched;
+
+/// Seed sweep: the published parameter ranges must hold for any stream.
+class SlotGeneratorSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SlotGeneratorSeedTest, RespectsPublishedRanges) {
+  RandomGenerator Rng(GetParam());
+  SlotGenerator Gen;
+  const SlotList List = Gen.generate(Rng);
+
+  EXPECT_GE(List.size(), 120u);
+  EXPECT_LE(List.size(), 150u);
+  EXPECT_TRUE(List.checkInvariants());
+
+  for (const Slot &S : List) {
+    EXPECT_GE(S.length(), 50.0);
+    EXPECT_LE(S.length(), 300.0);
+    EXPECT_GE(S.Performance, 1.0);
+    EXPECT_LE(S.Performance, 3.0);
+    const double MeanPrice = std::pow(1.7, S.Performance);
+    EXPECT_GE(S.UnitPrice, 0.75 * MeanPrice - 1e-9);
+    EXPECT_LE(S.UnitPrice, 1.25 * MeanPrice + 1e-9);
+  }
+}
+
+TEST_P(SlotGeneratorSeedTest, StartGapsBounded) {
+  RandomGenerator Rng(GetParam());
+  SlotGenerator Gen;
+  const SlotList List = Gen.generate(Rng);
+  for (size_t I = 1; I < List.size(); ++I) {
+    const double Gap = List[I].Start - List[I - 1].Start;
+    EXPECT_GE(Gap, 0.0);
+    EXPECT_LE(Gap, 10.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlotGeneratorSeedTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u,
+                                           0xdeadbeefu, 0x5eedu));
+
+TEST(SlotGeneratorTest, DeterministicPerSeed) {
+  SlotGenerator Gen;
+  RandomGenerator A(77), B(77);
+  const SlotList ListA = Gen.generate(A);
+  const SlotList ListB = Gen.generate(B);
+  ASSERT_EQ(ListA.size(), ListB.size());
+  for (size_t I = 0; I < ListA.size(); ++I) {
+    EXPECT_DOUBLE_EQ(ListA[I].Start, ListB[I].Start);
+    EXPECT_DOUBLE_EQ(ListA[I].End, ListB[I].End);
+    EXPECT_DOUBLE_EQ(ListA[I].Performance, ListB[I].Performance);
+    EXPECT_DOUBLE_EQ(ListA[I].UnitPrice, ListB[I].UnitPrice);
+  }
+}
+
+TEST(SlotGeneratorTest, SameStartFractionNearConfigured) {
+  // Across many lists, ~40% of adjacent slots should share a start.
+  SlotGenerator Gen;
+  RandomGenerator Rng(101);
+  size_t Shared = 0, Pairs = 0;
+  for (int Round = 0; Round < 50; ++Round) {
+    const SlotList List = Gen.generate(Rng);
+    for (size_t I = 1; I < List.size(); ++I) {
+      ++Pairs;
+      Shared += List[I].Start == List[I - 1].Start;
+    }
+  }
+  const double Fraction =
+      static_cast<double>(Shared) / static_cast<double>(Pairs);
+  EXPECT_NEAR(Fraction, 0.4, 0.03);
+}
+
+TEST(SlotGeneratorTest, DistinctNodeIds) {
+  RandomGenerator Rng(5);
+  const SlotList List = SlotGenerator().generate(Rng);
+  for (size_t I = 0; I < List.size(); ++I)
+    for (size_t J = I + 1; J < List.size(); ++J)
+      ASSERT_NE(List[I].NodeId, List[J].NodeId);
+}
+
+TEST(SlotGeneratorTest, CustomConfigRespected) {
+  SlotGeneratorConfig Cfg;
+  Cfg.MinSlotCount = 10;
+  Cfg.MaxSlotCount = 10;
+  Cfg.MinLength = 5.0;
+  Cfg.MaxLength = 6.0;
+  Cfg.MinPerformance = 2.0;
+  Cfg.MaxPerformance = 2.0;
+  RandomGenerator Rng(7);
+  const SlotList List = SlotGenerator(Cfg).generate(Rng);
+  ASSERT_EQ(List.size(), 10u);
+  for (const Slot &S : List) {
+    EXPECT_GE(S.length(), 5.0);
+    EXPECT_LE(S.length(), 6.0);
+    EXPECT_DOUBLE_EQ(S.Performance, 2.0);
+  }
+}
+
+/// Seed sweep over the job batch generator.
+class JobGeneratorSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JobGeneratorSeedTest, RespectsPublishedRanges) {
+  RandomGenerator Rng(GetParam());
+  JobGenerator Gen;
+  const Batch Jobs = Gen.generate(Rng);
+
+  EXPECT_GE(Jobs.size(), 3u);
+  EXPECT_LE(Jobs.size(), 7u);
+  for (const Job &J : Jobs) {
+    EXPECT_GE(J.Request.NodeCount, 1);
+    EXPECT_LE(J.Request.NodeCount, 6);
+    EXPECT_GE(J.Request.Volume, 50.0);
+    EXPECT_LE(J.Request.Volume, 150.0);
+    EXPECT_GE(J.Request.MinPerformance, 1.0);
+    EXPECT_LE(J.Request.MinPerformance, 2.0);
+    // Derived price cap: 1.1 * 1.7^MinPerformance (calibrated default).
+    EXPECT_NEAR(J.Request.MaxUnitPrice,
+                1.1 * std::pow(1.7, J.Request.MinPerformance), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JobGeneratorSeedTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u));
+
+TEST(JobGeneratorTest, AssignsSequentialIds) {
+  RandomGenerator Rng(9);
+  const Batch Jobs = JobGenerator().generate(Rng, /*FirstJobId=*/100);
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    EXPECT_EQ(Jobs[I].Id, 100 + static_cast<int>(I));
+}
+
+TEST(JobGeneratorTest, BudgetKnobsPropagate) {
+  JobGeneratorConfig Cfg;
+  Cfg.BudgetFactor = 0.8;
+  Cfg.BudgetPolicy = BudgetPolicyKind::VolumeBased;
+  RandomGenerator Rng(11);
+  const Batch Jobs = JobGenerator(Cfg).generate(Rng);
+  for (const Job &J : Jobs) {
+    EXPECT_DOUBLE_EQ(J.Request.BudgetFactor, 0.8);
+    EXPECT_EQ(J.Request.BudgetPolicy, BudgetPolicyKind::VolumeBased);
+  }
+}
+
+TEST(RequestBudgetTest, PolicyFormulas) {
+  ResourceRequest Req;
+  Req.NodeCount = 3;
+  Req.Volume = 100.0;
+  Req.MinPerformance = 2.0;
+  Req.MaxUnitPrice = 4.0;
+  Req.BudgetFactor = 1.0;
+  Req.BudgetPolicy = BudgetPolicyKind::SpanBased;
+  // Span-based: 4 * 3 * (100/2) = 600.
+  EXPECT_DOUBLE_EQ(Req.budget(), 600.0);
+  Req.BudgetPolicy = BudgetPolicyKind::VolumeBased;
+  // Volume-based: 4 * 3 * 100 = 1200.
+  EXPECT_DOUBLE_EQ(Req.budget(), 1200.0);
+  Req.BudgetFactor = 0.5;
+  EXPECT_DOUBLE_EQ(Req.budget(), 600.0);
+}

@@ -1,0 +1,84 @@
+//===-- tests/sim/PaperExampleTest.cpp - Section 4 fixture tests ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/PaperExample.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+TEST(PaperExampleTest, SixNodesWithStatedPrices) {
+  const ComputingDomain D = buildPaperExampleDomain();
+  ASSERT_EQ(D.pool().size(), 6u);
+  const double ExpectedPrices[] = {4.0, 4.0, 3.0, 6.0, 2.0, 12.0};
+  for (int I = 0; I < 6; ++I) {
+    EXPECT_DOUBLE_EQ(D.pool().node(I).UnitPrice, ExpectedPrices[I]);
+    EXPECT_DOUBLE_EQ(D.pool().node(I).Performance, 1.0);
+  }
+  EXPECT_EQ(D.pool().node(5).Name, "cpu6");
+}
+
+TEST(PaperExampleTest, SevenLocalTasks) {
+  const ComputingDomain D = buildPaperExampleDomain();
+  size_t Tasks = 0;
+  for (const ResourceNode &Node : D.pool())
+    Tasks += D.occupancy(Node.Id).size();
+  EXPECT_EQ(Tasks, 7u);
+}
+
+TEST(PaperExampleTest, TenVacantSlotsAsInFig2a) {
+  const ComputingDomain D = buildPaperExampleDomain();
+  const SlotList Slots = D.vacantSlots(PaperExampleHorizonStart,
+                                       PaperExampleHorizonEnd);
+  ASSERT_EQ(Slots.size(), 10u);
+  EXPECT_TRUE(Slots.checkInvariants());
+
+  // Expected spans, sorted by start (node, start, end).
+  struct Expected {
+    int Node;
+    double Start;
+    double End;
+  };
+  // Ties on start time are ordered by node id (slotStartLess).
+  const Expected Spans[] = {
+      {2, 0.0, 40.0},    {3, 0.0, 20.0},    {4, 0.0, 100.0},
+      {0, 150.0, 600.0}, {3, 150.0, 600.0}, {1, 200.0, 320.0},
+      {5, 250.0, 600.0}, {2, 350.0, 600.0}, {1, 420.0, 600.0},
+      {4, 450.0, 600.0},
+  };
+  for (size_t I = 0; I < 10; ++I) {
+    SCOPED_TRACE(I);
+    EXPECT_EQ(Slots[I].NodeId, Spans[I].Node);
+    EXPECT_DOUBLE_EQ(Slots[I].Start, Spans[I].Start);
+    EXPECT_DOUBLE_EQ(Slots[I].End, Spans[I].End);
+  }
+}
+
+TEST(PaperExampleTest, BatchMatchesSection4Requirements) {
+  const Batch Jobs = buildPaperExampleBatch();
+  ASSERT_EQ(Jobs.size(), 3u);
+
+  EXPECT_EQ(Jobs[0].Request.NodeCount, 2);
+  EXPECT_DOUBLE_EQ(Jobs[0].Request.Volume, 80.0);
+  EXPECT_DOUBLE_EQ(Jobs[0].Request.MaxUnitPrice, 5.0); // 10 / 2.
+
+  EXPECT_EQ(Jobs[1].Request.NodeCount, 3);
+  EXPECT_DOUBLE_EQ(Jobs[1].Request.Volume, 30.0);
+  EXPECT_DOUBLE_EQ(Jobs[1].Request.MaxUnitPrice, 10.0); // 30 / 3.
+
+  EXPECT_EQ(Jobs[2].Request.NodeCount, 2);
+  EXPECT_DOUBLE_EQ(Jobs[2].Request.Volume, 50.0);
+  EXPECT_DOUBLE_EQ(Jobs[2].Request.MaxUnitPrice, 3.0); // 6 / 2.
+}
+
+TEST(PaperExampleTest, BudgetsMatchTotalWindowCostCaps) {
+  const Batch Jobs = buildPaperExampleBatch();
+  // S = C*t*N with uniform performance: total cap per time * runtime.
+  EXPECT_DOUBLE_EQ(Jobs[0].Request.budget(), 10.0 * 80.0);
+  EXPECT_DOUBLE_EQ(Jobs[1].Request.budget(), 30.0 * 30.0);
+  EXPECT_DOUBLE_EQ(Jobs[2].Request.budget(), 6.0 * 50.0);
+}

@@ -1,0 +1,145 @@
+//===-- tests/sim/SlotListTest.cpp - Slot list and subtraction tests ------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SlotList.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+Slot makeSlot(int Node, double Start, double End) {
+  return Slot(Node, /*Performance=*/1.0, /*UnitPrice=*/1.0, Start, End);
+}
+
+} // namespace
+
+TEST(SlotListTest, ConstructorSortsByStart) {
+  SlotList List({makeSlot(0, 50.0, 100.0), makeSlot(1, 0.0, 30.0),
+                 makeSlot(2, 20.0, 80.0)});
+  ASSERT_EQ(List.size(), 3u);
+  EXPECT_DOUBLE_EQ(List[0].Start, 0.0);
+  EXPECT_DOUBLE_EQ(List[1].Start, 20.0);
+  EXPECT_DOUBLE_EQ(List[2].Start, 50.0);
+  EXPECT_TRUE(List.checkInvariants());
+}
+
+TEST(SlotListTest, InsertKeepsOrder) {
+  SlotList List({makeSlot(0, 0.0, 10.0), makeSlot(1, 100.0, 110.0)});
+  List.insert(makeSlot(2, 50.0, 60.0));
+  ASSERT_EQ(List.size(), 3u);
+  EXPECT_EQ(List[1].NodeId, 2);
+  EXPECT_TRUE(List.checkInvariants());
+}
+
+TEST(SlotListTest, InsertIgnoresZeroLength) {
+  SlotList List;
+  List.insert(makeSlot(0, 5.0, 5.0));
+  EXPECT_TRUE(List.empty());
+}
+
+TEST(SlotListTest, SubtractMiddleSplitsInTwo) {
+  SlotList List({makeSlot(0, 0.0, 100.0)});
+  ASSERT_TRUE(List.subtract(0, 40.0, 60.0));
+  ASSERT_EQ(List.size(), 2u);
+  EXPECT_DOUBLE_EQ(List[0].Start, 0.0);
+  EXPECT_DOUBLE_EQ(List[0].End, 40.0);
+  EXPECT_DOUBLE_EQ(List[1].Start, 60.0);
+  EXPECT_DOUBLE_EQ(List[1].End, 100.0);
+  EXPECT_TRUE(List.checkInvariants());
+}
+
+TEST(SlotListTest, SubtractPrefixLeavesTail) {
+  SlotList List({makeSlot(0, 0.0, 100.0)});
+  ASSERT_TRUE(List.subtract(0, 0.0, 30.0));
+  ASSERT_EQ(List.size(), 1u);
+  EXPECT_DOUBLE_EQ(List[0].Start, 30.0);
+  EXPECT_DOUBLE_EQ(List[0].End, 100.0);
+}
+
+TEST(SlotListTest, SubtractSuffixLeavesHead) {
+  SlotList List({makeSlot(0, 0.0, 100.0)});
+  ASSERT_TRUE(List.subtract(0, 70.0, 100.0));
+  ASSERT_EQ(List.size(), 1u);
+  EXPECT_DOUBLE_EQ(List[0].Start, 0.0);
+  EXPECT_DOUBLE_EQ(List[0].End, 70.0);
+}
+
+TEST(SlotListTest, SubtractWholeSlotRemovesIt) {
+  SlotList List({makeSlot(0, 0.0, 100.0), makeSlot(1, 0.0, 50.0)});
+  ASSERT_TRUE(List.subtract(0, 0.0, 100.0));
+  ASSERT_EQ(List.size(), 1u);
+  EXPECT_EQ(List[0].NodeId, 1);
+}
+
+TEST(SlotListTest, SubtractPicksCorrectNode) {
+  SlotList List({makeSlot(0, 0.0, 100.0), makeSlot(1, 0.0, 100.0)});
+  ASSERT_TRUE(List.subtract(1, 10.0, 20.0));
+  ASSERT_EQ(List.size(), 3u);
+  // Node 0's slot is untouched.
+  double Node0Span = 0.0;
+  for (const Slot &S : List)
+    if (S.NodeId == 0)
+      Node0Span += S.length();
+  EXPECT_DOUBLE_EQ(Node0Span, 100.0);
+}
+
+TEST(SlotListTest, SubtractFailsWhenNotContained) {
+  SlotList List({makeSlot(0, 20.0, 100.0)});
+  EXPECT_FALSE(List.subtract(0, 10.0, 30.0));  // Starts before the slot.
+  EXPECT_FALSE(List.subtract(0, 90.0, 110.0)); // Ends after the slot.
+  EXPECT_FALSE(List.subtract(1, 30.0, 40.0));  // Wrong node.
+  EXPECT_EQ(List.size(), 1u);
+}
+
+TEST(SlotListTest, SubtractAcrossTwoSlotsOfSameNodeFails) {
+  // [0,40) and [60,100) on the same node: a span bridging the hole is
+  // not contained in either slot.
+  SlotList List({makeSlot(0, 0.0, 40.0), makeSlot(0, 60.0, 100.0)});
+  EXPECT_FALSE(List.subtract(0, 30.0, 70.0));
+  EXPECT_EQ(List.size(), 2u);
+}
+
+TEST(SlotListTest, SubtractEmptySpanIsNoop) {
+  SlotList List({makeSlot(0, 0.0, 100.0)});
+  EXPECT_TRUE(List.subtract(0, 50.0, 50.0));
+  EXPECT_EQ(List.size(), 1u);
+  EXPECT_DOUBLE_EQ(List.totalSpan(), 100.0);
+}
+
+TEST(SlotListTest, SubtractConservesMeasure) {
+  SlotList List({makeSlot(0, 0.0, 100.0), makeSlot(1, 10.0, 210.0)});
+  const double Before = List.totalSpan();
+  ASSERT_TRUE(List.subtract(1, 50.0, 90.0));
+  EXPECT_NEAR(List.totalSpan(), Before - 40.0, 1e-9);
+  EXPECT_TRUE(List.checkInvariants());
+}
+
+TEST(SlotListTest, SubtractWithEqualStartsOnNode) {
+  // Two slots share a start time; subtraction must pick the one that
+  // actually contains the span.
+  SlotList List({makeSlot(0, 0.0, 20.0), makeSlot(1, 0.0, 200.0)});
+  ASSERT_TRUE(List.subtract(1, 150.0, 200.0));
+  EXPECT_TRUE(List.checkInvariants());
+  double Node1Span = 0.0;
+  for (const Slot &S : List)
+    if (S.NodeId == 1)
+      Node1Span += S.length();
+  EXPECT_DOUBLE_EQ(Node1Span, 150.0);
+}
+
+TEST(SlotListTest, TotalSpanSums) {
+  SlotList List({makeSlot(0, 0.0, 10.0), makeSlot(1, 5.0, 25.0)});
+  EXPECT_DOUBLE_EQ(List.totalSpan(), 30.0);
+}
+
+TEST(SlotListTest, InvariantsDetectOverlap) {
+  // Bypass subtract: construct a list with overlapping same-node slots.
+  SlotList List({makeSlot(0, 0.0, 50.0), makeSlot(0, 25.0, 60.0)});
+  EXPECT_FALSE(List.checkInvariants());
+}

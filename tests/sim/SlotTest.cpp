@@ -1,0 +1,57 @@
+//===-- tests/sim/SlotTest.cpp - Slot model unit tests --------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Slot.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+TEST(SlotTest, LengthAndRuntime) {
+  Slot S(/*NodeId=*/0, /*Performance=*/2.0, /*UnitPrice=*/3.0,
+         /*Start=*/10.0, /*End=*/110.0);
+  EXPECT_DOUBLE_EQ(S.length(), 100.0);
+  // A task of volume 80 runs for 40 on a performance-2 node.
+  EXPECT_DOUBLE_EQ(S.runtimeFor(80.0), 40.0);
+}
+
+TEST(SlotTest, EtalonNodeRuntimeEqualsVolume) {
+  Slot S(0, 1.0, 1.0, 0.0, 100.0);
+  EXPECT_DOUBLE_EQ(S.runtimeFor(65.0), 65.0);
+}
+
+TEST(SlotTest, CoversFromInside) {
+  Slot S(0, 1.0, 1.0, 100.0, 200.0);
+  EXPECT_TRUE(S.coversFrom(100.0, 100.0)); // Exactly fits.
+  EXPECT_TRUE(S.coversFrom(150.0, 50.0));  // Tail fits.
+  EXPECT_TRUE(S.coversFrom(120.0, 30.0));  // Interior.
+}
+
+TEST(SlotTest, CoversFromRejectsOutside) {
+  Slot S(0, 1.0, 1.0, 100.0, 200.0);
+  EXPECT_FALSE(S.coversFrom(99.0, 10.0));   // Starts before the slot.
+  EXPECT_FALSE(S.coversFrom(150.0, 51.0));  // Overruns the end.
+  EXPECT_FALSE(S.coversFrom(200.0, 1.0));   // Starts at the end.
+}
+
+TEST(SlotTest, CoversFromToleratesEpsilon) {
+  Slot S(0, 1.0, 1.0, 100.0, 200.0);
+  EXPECT_TRUE(S.coversFrom(100.0 - 1e-12, 100.0));
+  EXPECT_TRUE(S.coversFrom(100.0, 100.0 + 1e-12));
+}
+
+TEST(SlotStartLessTest, OrdersByStartThenNodeThenEnd) {
+  Slot A(0, 1.0, 1.0, 10.0, 20.0);
+  Slot B(1, 1.0, 1.0, 15.0, 20.0);
+  Slot C(0, 1.0, 1.0, 15.0, 25.0);
+  Slot D(0, 1.0, 1.0, 15.0, 30.0);
+  EXPECT_TRUE(slotStartLess(A, B));  // Earlier start.
+  EXPECT_FALSE(slotStartLess(B, A));
+  EXPECT_TRUE(slotStartLess(C, B));  // Same start: node 0 < node 1.
+  EXPECT_TRUE(slotStartLess(C, D));  // Same start+node: shorter end.
+  EXPECT_FALSE(slotStartLess(C, C)); // Irreflexive.
+}

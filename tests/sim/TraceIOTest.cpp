@@ -1,0 +1,156 @@
+//===-- tests/sim/TraceIOTest.cpp - Trace persistence tests ---------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/TraceIO.h"
+
+#include "sim/JobGenerator.h"
+#include "sim/SlotGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+using namespace ecosched;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+void writeFile(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path);
+  Out << Content;
+}
+
+} // namespace
+
+TEST(TraceIOTest, SlotRoundTripIsBitExact) {
+  RandomGenerator Rng(21);
+  const SlotList Original = SlotGenerator().generate(Rng);
+  const std::string Path = tempPath("slots.trace");
+  std::string Error;
+  ASSERT_TRUE(saveSlotTrace(Original, Path, &Error)) << Error;
+
+  const auto Loaded = loadSlotTrace(Path, &Error);
+  ASSERT_TRUE(Loaded.has_value()) << Error;
+  ASSERT_EQ(Loaded->size(), Original.size());
+  for (size_t I = 0; I < Original.size(); ++I) {
+    EXPECT_EQ((*Loaded)[I].NodeId, Original[I].NodeId);
+    EXPECT_EQ((*Loaded)[I].Performance, Original[I].Performance);
+    EXPECT_EQ((*Loaded)[I].UnitPrice, Original[I].UnitPrice);
+    EXPECT_EQ((*Loaded)[I].Start, Original[I].Start);
+    EXPECT_EQ((*Loaded)[I].End, Original[I].End);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, BatchRoundTripIsBitExact) {
+  RandomGenerator Rng(22);
+  JobGeneratorConfig Cfg;
+  Cfg.BudgetFactor = 0.8;
+  Cfg.BudgetPolicy = BudgetPolicyKind::VolumeBased;
+  const Batch Original = JobGenerator(Cfg).generate(Rng, 100);
+  const std::string Path = tempPath("jobs.trace");
+  std::string Error;
+  ASSERT_TRUE(saveBatchTrace(Original, Path, &Error)) << Error;
+
+  const auto Loaded = loadBatchTrace(Path, &Error);
+  ASSERT_TRUE(Loaded.has_value()) << Error;
+  ASSERT_EQ(Loaded->size(), Original.size());
+  for (size_t I = 0; I < Original.size(); ++I) {
+    EXPECT_EQ((*Loaded)[I].Id, Original[I].Id);
+    EXPECT_EQ((*Loaded)[I].Request.NodeCount,
+              Original[I].Request.NodeCount);
+    EXPECT_EQ((*Loaded)[I].Request.Volume, Original[I].Request.Volume);
+    EXPECT_EQ((*Loaded)[I].Request.MinPerformance,
+              Original[I].Request.MinPerformance);
+    EXPECT_EQ((*Loaded)[I].Request.MaxUnitPrice,
+              Original[I].Request.MaxUnitPrice);
+    EXPECT_EQ((*Loaded)[I].Request.BudgetFactor,
+              Original[I].Request.BudgetFactor);
+    EXPECT_EQ((*Loaded)[I].Request.BudgetPolicy,
+              Original[I].Request.BudgetPolicy);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, LoadedListIsSortedEvenIfFileIsNot) {
+  const std::string Path = tempPath("unsorted.trace");
+  writeFile(Path, "slot 0 1 2 100 200\n"
+                  "slot 1 1 2 0 50\n");
+  const auto Loaded = loadSlotTrace(Path);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_TRUE(Loaded->checkInvariants());
+  EXPECT_DOUBLE_EQ((*Loaded)[0].Start, 0.0);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, CommentsAndBlanksIgnored) {
+  const std::string Path = tempPath("comments.trace");
+  writeFile(Path, "# header\n"
+                  "\n"
+                  "  \t \n"
+                  "slot 3 1.5 2.5 10 60\n"
+                  "# trailing comment\n");
+  const auto Loaded = loadSlotTrace(Path);
+  ASSERT_TRUE(Loaded.has_value());
+  ASSERT_EQ(Loaded->size(), 1u);
+  EXPECT_EQ((*Loaded)[0].NodeId, 3);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, MissingFileReportsError) {
+  std::string Error;
+  EXPECT_FALSE(loadSlotTrace("/no/such/file.trace", &Error).has_value());
+  EXPECT_NE(Error.find("cannot open"), std::string::npos);
+  EXPECT_FALSE(loadBatchTrace("/no/such/file.trace", &Error).has_value());
+}
+
+TEST(TraceIOTest, MalformedSlotLineReportsLineNumber) {
+  const std::string Path = tempPath("bad_slot.trace");
+  writeFile(Path, "slot 0 1 2 0 100\n"
+                  "slot nonsense\n");
+  std::string Error;
+  EXPECT_FALSE(loadSlotTrace(Path, &Error).has_value());
+  EXPECT_NE(Error.find("line 2"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, InvalidSlotParametersRejected) {
+  const std::string Path = tempPath("bad_params.trace");
+  writeFile(Path, "slot 0 -1 2 0 100\n"); // Negative performance.
+  std::string Error;
+  EXPECT_FALSE(loadSlotTrace(Path, &Error).has_value());
+  writeFile(Path, "slot 0 1 2 100 50\n"); // End before start.
+  EXPECT_FALSE(loadSlotTrace(Path, &Error).has_value());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, UnknownBudgetPolicyRejected) {
+  const std::string Path = tempPath("bad_policy.trace");
+  writeFile(Path, "job 1 2 100 1 3 1 elastic\n");
+  std::string Error;
+  EXPECT_FALSE(loadBatchTrace(Path, &Error).has_value());
+  EXPECT_NE(Error.find("elastic"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, InvalidJobParametersRejected) {
+  const std::string Path = tempPath("bad_job.trace");
+  writeFile(Path, "job 1 0 100 1 3 1 span\n"); // Zero nodes.
+  std::string Error;
+  EXPECT_FALSE(loadBatchTrace(Path, &Error).has_value());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, SaveFailsOnBadPath) {
+  std::string Error;
+  EXPECT_FALSE(saveSlotTrace(SlotList(), "/no/such/dir/x.trace", &Error));
+  EXPECT_FALSE(saveBatchTrace(Batch{}, "/no/such/dir/x.trace", &Error));
+}

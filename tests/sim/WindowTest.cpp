@@ -1,0 +1,120 @@
+//===-- tests/sim/WindowTest.cpp - Window model unit tests ----------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Window.h"
+
+#include "sim/SlotList.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+WindowSlot makeMember(int Node, double Perf, double Price, double Start,
+                      double End, double Volume) {
+  WindowSlot M;
+  M.Source = Slot(Node, Perf, Price, Start, End);
+  M.Runtime = Volume / Perf;
+  M.Cost = Price * M.Runtime;
+  return M;
+}
+
+/// Two-member window with heterogeneous nodes: volume 60 on perf 1 and
+/// perf 2 nodes starting at t=100.
+Window makeHeterogeneousWindow() {
+  std::vector<WindowSlot> Members;
+  Members.push_back(makeMember(0, 1.0, 2.0, 100.0, 200.0, 60.0));
+  Members.push_back(makeMember(1, 2.0, 5.0, 90.0, 150.0, 60.0));
+  return Window(100.0, std::move(Members));
+}
+
+} // namespace
+
+TEST(WindowTest, RoughRightEdge) {
+  const Window W = makeHeterogeneousWindow();
+  EXPECT_DOUBLE_EQ(W.startTime(), 100.0);
+  // Slowest member (perf 1) runs for 60; the fast one for 30.
+  EXPECT_DOUBLE_EQ(W.timeSpan(), 60.0);
+  EXPECT_DOUBLE_EQ(W.endTime(), 160.0);
+  EXPECT_DOUBLE_EQ(W[0].Runtime, 60.0);
+  EXPECT_DOUBLE_EQ(W[1].Runtime, 30.0);
+}
+
+TEST(WindowTest, CostAggregation) {
+  const Window W = makeHeterogeneousWindow();
+  // Costs: 2*60 + 5*30 = 270; unit price sum 7.
+  EXPECT_DOUBLE_EQ(W.totalCost(), 270.0);
+  EXPECT_DOUBLE_EQ(W.unitPriceSum(), 7.0);
+  EXPECT_EQ(W.size(), 2u);
+}
+
+TEST(WindowTest, UsesNode) {
+  const Window W = makeHeterogeneousWindow();
+  EXPECT_TRUE(W.usesNode(0));
+  EXPECT_TRUE(W.usesNode(1));
+  EXPECT_FALSE(W.usesNode(2));
+}
+
+TEST(WindowTest, IntersectsSameNodeOverlap) {
+  const Window A = makeHeterogeneousWindow(); // Node 0 busy [100,160).
+  std::vector<WindowSlot> Members;
+  Members.push_back(makeMember(0, 1.0, 2.0, 100.0, 200.0, 20.0));
+  const Window B(140.0, std::move(Members)); // Node 0 busy [140,160).
+  EXPECT_TRUE(A.intersects(B));
+  EXPECT_TRUE(B.intersects(A));
+}
+
+TEST(WindowTest, NoIntersectionWhenTimeDisjoint) {
+  const Window A = makeHeterogeneousWindow(); // Node 0 busy [100,160).
+  std::vector<WindowSlot> Members;
+  Members.push_back(makeMember(0, 1.0, 2.0, 100.0, 200.0, 20.0));
+  const Window B(160.0, std::move(Members)); // Node 0 busy [160,180).
+  EXPECT_FALSE(A.intersects(B));
+}
+
+TEST(WindowTest, NoIntersectionAcrossNodes) {
+  const Window A = makeHeterogeneousWindow();
+  std::vector<WindowSlot> Members;
+  Members.push_back(makeMember(7, 1.0, 2.0, 100.0, 200.0, 50.0));
+  const Window B(100.0, std::move(Members));
+  EXPECT_FALSE(A.intersects(B));
+}
+
+TEST(WindowTest, PartialOverlapOnlyWithSlowMember) {
+  // B overlaps [100,160) on node 0 but is disjoint from the fast
+  // member's [100,130) usage on node 1.
+  const Window A = makeHeterogeneousWindow();
+  std::vector<WindowSlot> Members;
+  Members.push_back(makeMember(1, 2.0, 5.0, 90.0, 150.0, 20.0));
+  const Window B(135.0, std::move(Members)); // Node 1 busy [135,145).
+  EXPECT_FALSE(A.intersects(B)); // Node 1 usage of A ends at 130.
+}
+
+TEST(WindowTest, SubtractFromRemovesUsedSpans) {
+  SlotList List({Slot(0, 1.0, 2.0, 100.0, 200.0),
+                 Slot(1, 2.0, 5.0, 90.0, 150.0)});
+  const double Before = List.totalSpan();
+  const Window W = makeHeterogeneousWindow();
+  ASSERT_TRUE(W.subtractFrom(List));
+  // Node 0 loses 60 time units, node 1 loses 30.
+  EXPECT_NEAR(List.totalSpan(), Before - 90.0, 1e-9);
+  EXPECT_TRUE(List.checkInvariants());
+}
+
+TEST(WindowTest, SubtractFromFailsWhenSpanMissing) {
+  SlotList List({Slot(0, 1.0, 2.0, 100.0, 200.0)}); // Node 1 missing.
+  const Window W = makeHeterogeneousWindow();
+  EXPECT_FALSE(W.subtractFrom(List));
+}
+
+TEST(WindowTest, EmptyWindow) {
+  Window W;
+  EXPECT_TRUE(W.empty());
+  EXPECT_DOUBLE_EQ(W.timeSpan(), 0.0);
+  EXPECT_DOUBLE_EQ(W.totalCost(), 0.0);
+}

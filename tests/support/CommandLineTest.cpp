@@ -1,0 +1,127 @@
+//===-- tests/support/CommandLineTest.cpp - Flag parser unit tests --------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace ecosched;
+
+namespace {
+
+bool parseArgs(ArgParser &Parser, std::vector<const char *> Argv) {
+  Argv.insert(Argv.begin(), "prog");
+  return Parser.parse(static_cast<int>(Argv.size()), Argv.data());
+}
+
+} // namespace
+
+TEST(ArgParserTest, DefaultsSurviveEmptyCommandLine) {
+  ArgParser P("t", "test");
+  int64_t &I = P.addInt("iters", 100, "iterations");
+  double &R = P.addReal("rho", 0.8, "factor");
+  bool &B = P.addBool("verbose", false, "chatty");
+  std::string &S = P.addString("out", "table", "format");
+  EXPECT_TRUE(parseArgs(P, {}));
+  EXPECT_EQ(I, 100);
+  EXPECT_DOUBLE_EQ(R, 0.8);
+  EXPECT_FALSE(B);
+  EXPECT_EQ(S, "table");
+}
+
+TEST(ArgParserTest, EqualsSyntax) {
+  ArgParser P("t", "test");
+  int64_t &I = P.addInt("iters", 100, "iterations");
+  double &R = P.addReal("rho", 0.8, "factor");
+  EXPECT_TRUE(parseArgs(P, {"--iters=25000", "--rho=0.5"}));
+  EXPECT_EQ(I, 25000);
+  EXPECT_DOUBLE_EQ(R, 0.5);
+}
+
+TEST(ArgParserTest, SpaceSeparatedValue) {
+  ArgParser P("t", "test");
+  int64_t &I = P.addInt("iters", 100, "iterations");
+  std::string &S = P.addString("out", "table", "format");
+  EXPECT_TRUE(parseArgs(P, {"--iters", "7", "--out", "csv"}));
+  EXPECT_EQ(I, 7);
+  EXPECT_EQ(S, "csv");
+}
+
+TEST(ArgParserTest, BoolForms) {
+  ArgParser P("t", "test");
+  bool &A = P.addBool("a", false, "flag a");
+  bool &B = P.addBool("b", true, "flag b");
+  bool &C = P.addBool("c", false, "flag c");
+  EXPECT_TRUE(parseArgs(P, {"--a", "--b=false", "--c=1"}));
+  EXPECT_TRUE(A);
+  EXPECT_FALSE(B);
+  EXPECT_TRUE(C);
+}
+
+TEST(ArgParserTest, NegativeNumbers) {
+  ArgParser P("t", "test");
+  int64_t &I = P.addInt("delta", 0, "offset");
+  double &R = P.addReal("x", 0.0, "coord");
+  EXPECT_TRUE(parseArgs(P, {"--delta=-5", "--x=-2.5"}));
+  EXPECT_EQ(I, -5);
+  EXPECT_DOUBLE_EQ(R, -2.5);
+}
+
+TEST(ArgParserTest, RejectsUnknownFlag) {
+  ArgParser P("t", "test");
+  P.addInt("iters", 100, "iterations");
+  EXPECT_FALSE(parseArgs(P, {"--bogus=1"}));
+}
+
+TEST(ArgParserTest, RejectsMalformedInt) {
+  ArgParser P("t", "test");
+  P.addInt("iters", 100, "iterations");
+  EXPECT_FALSE(parseArgs(P, {"--iters=ten"}));
+  EXPECT_FALSE(parseArgs(P, {"--iters=12x"}));
+}
+
+TEST(ArgParserTest, RejectsMalformedReal) {
+  ArgParser P("t", "test");
+  P.addReal("rho", 0.8, "factor");
+  EXPECT_FALSE(parseArgs(P, {"--rho=abc"}));
+}
+
+TEST(ArgParserTest, RejectsMalformedBool) {
+  ArgParser P("t", "test");
+  P.addBool("v", false, "verbose");
+  EXPECT_FALSE(parseArgs(P, {"--v=maybe"}));
+}
+
+TEST(ArgParserTest, RejectsMissingValue) {
+  ArgParser P("t", "test");
+  P.addInt("iters", 100, "iterations");
+  EXPECT_FALSE(parseArgs(P, {"--iters"}));
+}
+
+TEST(ArgParserTest, RejectsPositional) {
+  ArgParser P("t", "test");
+  EXPECT_FALSE(parseArgs(P, {"stray"}));
+}
+
+TEST(ArgParserTest, HelpReturnsFalse) {
+  ArgParser P("t", "test");
+  P.addInt("iters", 100, "iterations");
+  EXPECT_FALSE(parseArgs(P, {"--help"}));
+}
+
+TEST(ArgParserTest, ManyFlagsKeepStableReferences) {
+  ArgParser P("t", "test");
+  std::vector<int64_t *> Refs;
+  for (int I = 0; I < 32; ++I)
+    Refs.push_back(&P.addInt("f" + std::to_string(I), I, "flag"));
+  EXPECT_TRUE(parseArgs(P, {"--f31=99"}));
+  for (int I = 0; I < 31; ++I)
+    EXPECT_EQ(*Refs[static_cast<size_t>(I)], I);
+  EXPECT_EQ(*Refs[31], 99);
+}

@@ -1,0 +1,178 @@
+//===-- tests/support/RandomTest.cpp - RNG unit tests ---------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace ecosched;
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  int Matches = 0;
+  for (int I = 0; I < 64; ++I)
+    Matches += A.next() == B.next();
+  EXPECT_LT(Matches, 2);
+}
+
+TEST(RandomGeneratorTest, SameSeedSameStream) {
+  RandomGenerator A(7), B(7);
+  for (int I = 0; I < 1000; ++I)
+    ASSERT_EQ(A.next(), B.next());
+}
+
+TEST(RandomGeneratorTest, ReseedRestartsStream) {
+  RandomGenerator A(7);
+  std::vector<uint64_t> First;
+  for (int I = 0; I < 16; ++I)
+    First.push_back(A.next());
+  A.reseed(7);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(A.next(), First[static_cast<size_t>(I)]);
+}
+
+TEST(RandomGeneratorTest, NextUnitInHalfOpenUnitInterval) {
+  RandomGenerator Rng(11);
+  for (int I = 0; I < 10000; ++I) {
+    const double X = Rng.nextUnit();
+    ASSERT_GE(X, 0.0);
+    ASSERT_LT(X, 1.0);
+  }
+}
+
+TEST(RandomGeneratorTest, NextUnitMeanNearHalf) {
+  RandomGenerator Rng(13);
+  double Sum = 0.0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Sum += Rng.nextUnit();
+  EXPECT_NEAR(Sum / N, 0.5, 0.01);
+}
+
+TEST(RandomGeneratorTest, UniformIntCoversSmallRange) {
+  RandomGenerator Rng(17);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    const int64_t V = Rng.uniformInt(3, 7);
+    ASSERT_GE(V, 3);
+    ASSERT_LE(V, 7);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(RandomGeneratorTest, UniformIntSingletonRange) {
+  RandomGenerator Rng(19);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Rng.uniformInt(-4, -4), -4);
+}
+
+TEST(RandomGeneratorTest, UniformIntHandlesNegativeRanges) {
+  RandomGenerator Rng(23);
+  for (int I = 0; I < 1000; ++I) {
+    const int64_t V = Rng.uniformInt(-10, 10);
+    ASSERT_GE(V, -10);
+    ASSERT_LE(V, 10);
+  }
+}
+
+TEST(RandomGeneratorTest, BernoulliExtremes) {
+  RandomGenerator Rng(29);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(Rng.bernoulli(0.0));
+    EXPECT_TRUE(Rng.bernoulli(1.0));
+    EXPECT_FALSE(Rng.bernoulli(-0.5));
+    EXPECT_TRUE(Rng.bernoulli(1.5));
+  }
+}
+
+TEST(RandomGeneratorTest, BernoulliFrequency) {
+  RandomGenerator Rng(31);
+  int Hits = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Hits += Rng.bernoulli(0.4);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.4, 0.01);
+}
+
+TEST(RandomGeneratorTest, ForkProducesIndependentStream) {
+  RandomGenerator Parent(37);
+  RandomGenerator Child = Parent.fork();
+  int Matches = 0;
+  for (int I = 0; I < 64; ++I)
+    Matches += Parent.next() == Child.next();
+  EXPECT_LT(Matches, 2);
+}
+
+TEST(RandomGeneratorTest, ForkIsDeterministic) {
+  RandomGenerator A(41), B(41);
+  RandomGenerator ChildA = A.fork();
+  RandomGenerator ChildB = B.fork();
+  for (int I = 0; I < 64; ++I)
+    EXPECT_EQ(ChildA.next(), ChildB.next());
+}
+
+TEST(RandomGeneratorTest, PoissonZeroMean) {
+  RandomGenerator Rng(53);
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(Rng.poisson(0.0), 0);
+}
+
+TEST(RandomGeneratorTest, PoissonMeanAndVarianceMatch) {
+  RandomGenerator Rng(59);
+  RunningStats Stats;
+  const double Mean = 4.0;
+  for (int I = 0; I < 50000; ++I)
+    Stats.add(static_cast<double>(Rng.poisson(Mean)));
+  // Poisson: mean == variance == lambda.
+  EXPECT_NEAR(Stats.mean(), Mean, 0.05);
+  EXPECT_NEAR(Stats.variance(), Mean, 0.15);
+  EXPECT_GE(Stats.min(), 0.0);
+}
+
+/// Parameterized sweep: uniformReal stays inside many different ranges.
+class UniformRealRangeTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(UniformRealRangeTest, StaysInRange) {
+  const auto [Lo, Hi] = GetParam();
+  RandomGenerator Rng(43);
+  for (int I = 0; I < 5000; ++I) {
+    const double X = Rng.uniformReal(Lo, Hi);
+    ASSERT_GE(X, Lo);
+    ASSERT_LE(X, Hi);
+  }
+}
+
+TEST_P(UniformRealRangeTest, MeanNearMidpoint) {
+  const auto [Lo, Hi] = GetParam();
+  if (Hi - Lo <= 0.0)
+    GTEST_SKIP() << "degenerate range";
+  RandomGenerator Rng(47);
+  double Sum = 0.0;
+  const int N = 50000;
+  for (int I = 0; I < N; ++I)
+    Sum += Rng.uniformReal(Lo, Hi);
+  EXPECT_NEAR(Sum / N, (Lo + Hi) / 2.0, (Hi - Lo) * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, UniformRealRangeTest,
+    ::testing::Values(std::pair{0.0, 1.0}, std::pair{50.0, 300.0},
+                      std::pair{-5.0, 5.0}, std::pair{1.0, 3.0},
+                      std::pair{0.75, 1.25}, std::pair{2.0, 2.0}));

@@ -1,0 +1,131 @@
+//===-- tests/support/StatisticsTest.cpp - Statistics unit tests ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace ecosched;
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 0.0);
+  EXPECT_DOUBLE_EQ(S.max(), 0.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleObservation) {
+  RunningStats S;
+  S.add(4.5);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 4.5);
+  EXPECT_DOUBLE_EQ(S.max(), 4.5);
+}
+
+TEST(RunningStatsTest, KnownSample) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population var 4,
+  // sample (unbiased) var 32/7.
+  RunningStats S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_NEAR(S.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats S;
+  for (double X : {-3.0, -1.0, 1.0, 3.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), -3.0);
+  EXPECT_DOUBLE_EQ(S.max(), 3.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RandomGenerator Rng(5);
+  RunningStats Whole, Left, Right;
+  for (int I = 0; I < 1000; ++I) {
+    const double X = Rng.uniformReal(-10.0, 10.0);
+    Whole.add(X);
+    (I < 400 ? Left : Right).add(X);
+  }
+  Left.merge(Right);
+  EXPECT_EQ(Left.count(), Whole.count());
+  EXPECT_NEAR(Left.mean(), Whole.mean(), 1e-12);
+  EXPECT_NEAR(Left.variance(), Whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(Left.min(), Whole.min());
+  EXPECT_DOUBLE_EQ(Left.max(), Whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats A, B;
+  A.add(1.0);
+  A.add(3.0);
+  RunningStats ACopy = A;
+  A.merge(B); // Empty right side: no change.
+  EXPECT_EQ(A.count(), 2u);
+  EXPECT_DOUBLE_EQ(A.mean(), 2.0);
+  B.merge(ACopy); // Empty left side: adopt the right.
+  EXPECT_EQ(B.count(), 2u);
+  EXPECT_DOUBLE_EQ(B.mean(), 2.0);
+}
+
+TEST(HistogramTest, BucketPlacement) {
+  Histogram H(0.0, 10.0, 5);
+  H.add(0.0);  // Bucket 0.
+  H.add(1.99); // Bucket 0.
+  H.add(2.0);  // Bucket 1.
+  H.add(9.99); // Bucket 4.
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(4), 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClamped) {
+  Histogram H(0.0, 10.0, 5);
+  H.add(-100.0);
+  H.add(100.0);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(4), 1u);
+}
+
+TEST(HistogramTest, BucketEdges) {
+  Histogram H(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(H.bucketLo(0), 10.0);
+  EXPECT_DOUBLE_EQ(H.bucketHi(0), 12.5);
+  EXPECT_DOUBLE_EQ(H.bucketLo(3), 17.5);
+  EXPECT_DOUBLE_EQ(H.bucketHi(3), 20.0);
+}
+
+TEST(HistogramTest, QuantileOnUniformData) {
+  Histogram H(0.0, 1.0, 100);
+  RandomGenerator Rng(9);
+  for (int I = 0; I < 100000; ++I)
+    H.add(Rng.nextUnit());
+  EXPECT_NEAR(H.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(H.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(H.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(HistogramTest, QuantileEmptyIsZero) {
+  Histogram H(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 0.0);
+}

@@ -1,0 +1,136 @@
+//===-- tests/support/SvgTest.cpp - SVG writer and plot tests -------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Plot.h"
+#include "support/Svg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace ecosched;
+
+TEST(SvgEscapeTest, EscapesMarkupCharacters) {
+  EXPECT_EQ(svgEscape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+  EXPECT_EQ(svgEscape("plain text"), "plain text");
+}
+
+TEST(SvgDocumentTest, EmitsWellFormedSkeleton) {
+  SvgDocument Doc(320.0, 200.0);
+  const std::string Out = Doc.str();
+  EXPECT_NE(Out.find("<?xml"), std::string::npos);
+  EXPECT_NE(Out.find("<svg xmlns"), std::string::npos);
+  EXPECT_NE(Out.find("viewBox=\"0 0 320.00 200.00\""),
+            std::string::npos);
+  EXPECT_NE(Out.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgDocumentTest, ElementsAppearInOutput) {
+  SvgDocument Doc(100.0, 100.0);
+  SvgStyle Fill;
+  Fill.Fill = "#ff0000";
+  Doc.addRect(10.0, 20.0, 30.0, 40.0, Fill);
+  SvgStyle Stroke;
+  Stroke.Stroke = "#00ff00";
+  Doc.addLine(0.0, 0.0, 50.0, 50.0, Stroke);
+  Doc.addPolyline({{0.0, 0.0}, {10.0, 5.0}, {20.0, 2.0}}, Stroke);
+  Doc.addCircle(5.0, 5.0, 2.0, Fill);
+  Doc.addText(50.0, 50.0, "hello <&>", 12.0,
+              SvgTextAnchorKind::Middle);
+
+  const std::string Out = Doc.str();
+  EXPECT_NE(Out.find("<rect x=\"10.00\" y=\"20.00\""), std::string::npos);
+  EXPECT_NE(Out.find("fill=\"#ff0000\""), std::string::npos);
+  EXPECT_NE(Out.find("<line"), std::string::npos);
+  EXPECT_NE(Out.find("<polyline points=\"0.00,0.00 10.00,5.00"),
+            std::string::npos);
+  EXPECT_NE(Out.find("<circle"), std::string::npos);
+  EXPECT_NE(Out.find("hello &lt;&amp;&gt;"), std::string::npos);
+  EXPECT_NE(Out.find("text-anchor=\"middle\""), std::string::npos);
+}
+
+TEST(SvgDocumentTest, EmptyPolylineIgnored) {
+  SvgDocument Doc(100.0, 100.0);
+  const size_t Before = Doc.str().size();
+  Doc.addPolyline({}, SvgStyle());
+  EXPECT_EQ(Doc.str().size(), Before);
+}
+
+TEST(SvgDocumentTest, WritesToFile) {
+  SvgDocument Doc(100.0, 100.0);
+  Doc.addText(10.0, 10.0, "file test", 10.0);
+  const std::string Path = ::testing::TempDir() + "/ecosched_test.svg";
+  ASSERT_TRUE(Doc.write(Path));
+  std::ifstream In(Path);
+  std::stringstream Ss;
+  Ss << In.rdbuf();
+  EXPECT_EQ(Ss.str(), Doc.str());
+  std::remove(Path.c_str());
+  EXPECT_FALSE(Doc.write("/no/such/dir/x.svg"));
+}
+
+TEST(NiceTicksTest, CoversRangeWithRoundSteps) {
+  const std::vector<double> Ticks = niceTicks(0.0, 100.0, 5);
+  ASSERT_GE(Ticks.size(), 3u);
+  EXPECT_LE(Ticks.front(), 0.0 + 1e-9);
+  EXPECT_GE(Ticks.back(), 100.0 - 1e-9);
+  // Steps are uniform and "nice" (multiples of 1/2/5 x 10^k).
+  const double Step = Ticks[1] - Ticks[0];
+  for (size_t I = 2; I < Ticks.size(); ++I)
+    EXPECT_NEAR(Ticks[I] - Ticks[I - 1], Step, 1e-9);
+  const double Mantissa =
+      Step / std::pow(10.0, std::floor(std::log10(Step)));
+  EXPECT_TRUE(std::fabs(Mantissa - 1.0) < 1e-9 ||
+              std::fabs(Mantissa - 2.0) < 1e-9 ||
+              std::fabs(Mantissa - 5.0) < 1e-9 ||
+              std::fabs(Mantissa - 10.0) < 1e-9);
+}
+
+TEST(NiceTicksTest, DegenerateRange) {
+  const std::vector<double> Ticks = niceTicks(5.0, 5.0);
+  EXPECT_GE(Ticks.size(), 2u); // Expanded to a unit range.
+}
+
+TEST(LineChartTest, RendersSeriesAndLegend) {
+  LineChart Chart("Example chart", "experiment", "time");
+  Chart.addSeries("ALP", {{1.0, 60.0}, {2.0, 58.0}, {3.0, 62.0}});
+  Chart.addSeries("AMP", {{1.0, 40.0}, {2.0, 41.0}, {3.0, 39.0}});
+  const std::string Out = Chart.render().str();
+  EXPECT_NE(Out.find("Example chart"), std::string::npos);
+  EXPECT_NE(Out.find("ALP"), std::string::npos);
+  EXPECT_NE(Out.find("AMP"), std::string::npos);
+  // Two polylines, one per series.
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Out.find("<polyline", Pos)) != std::string::npos) {
+    ++Count;
+    Pos += 9;
+  }
+  EXPECT_EQ(Count, 2u);
+}
+
+TEST(GroupedBarChartTest, RendersBarsPerGroupAndSeries) {
+  GroupedBarChart Chart("Fig 4", "value");
+  Chart.setSeries({"ALP", "AMP"});
+  Chart.addGroup("time", {59.85, 39.01});
+  Chart.addGroup("cost", {313.56, 369.69});
+  const std::string Out = Chart.render().str();
+  EXPECT_NE(Out.find("Fig 4"), std::string::npos);
+  EXPECT_NE(Out.find("time"), std::string::npos);
+  EXPECT_NE(Out.find("cost"), std::string::npos);
+  EXPECT_NE(Out.find("39.0"), std::string::npos); // Value label.
+  // Background + legend swatches (2) + bars (4) + grid... count rects
+  // conservatively: at least 7.
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Out.find("<rect", Pos)) != std::string::npos) {
+    ++Count;
+    Pos += 5;
+  }
+  EXPECT_GE(Count, 7u);
+}

@@ -1,0 +1,103 @@
+//===-- tests/support/TableTest.cpp - Table writer unit tests -------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace ecosched;
+
+namespace {
+
+/// Captures TablePrinter::print output through a temporary file.
+std::string printToString(const TablePrinter &T) {
+  std::FILE *Tmp = std::tmpfile();
+  EXPECT_NE(Tmp, nullptr);
+  T.print(Tmp);
+  std::rewind(Tmp);
+  std::string Out;
+  char Buffer[256];
+  while (std::fgets(Buffer, sizeof(Buffer), Tmp))
+    Out += Buffer;
+  std::fclose(Tmp);
+  return Out;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream Ss;
+  Ss << In.rdbuf();
+  return Ss.str();
+}
+
+} // namespace
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(3.14159, 0), "3");
+  EXPECT_EQ(formatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter T;
+  T.addColumn("name", TablePrinter::AlignKind::Left);
+  T.addColumn("value");
+  T.beginRow();
+  T.addCell(std::string("alpha"));
+  T.addCell(static_cast<long long>(5));
+  T.beginRow();
+  T.addCell(std::string("b"));
+  T.addCell(static_cast<long long>(1234));
+  const std::string Out = printToString(T);
+  EXPECT_NE(Out.find("name   value"), std::string::npos);
+  EXPECT_NE(Out.find("alpha      5"), std::string::npos);
+  EXPECT_NE(Out.find("b       1234"), std::string::npos);
+}
+
+TEST(TablePrinterTest, DoubleCellsUsePrecision) {
+  TablePrinter T;
+  T.addColumn("x");
+  T.beginRow();
+  T.addCell(2.5, 3);
+  const std::string Out = printToString(T);
+  EXPECT_NE(Out.find("2.500"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowCount) {
+  TablePrinter T;
+  T.addColumn("x");
+  EXPECT_EQ(T.rowCount(), 0u);
+  T.beginRow();
+  T.addCell(std::string("1"));
+  EXPECT_EQ(T.rowCount(), 1u);
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecialCharacters) {
+  TablePrinter T;
+  T.addColumn("a");
+  T.addColumn("b");
+  T.beginRow();
+  T.addCell(std::string("plain"));
+  T.addCell(std::string("has,comma and \"quote\""));
+  const std::string Path =
+      ::testing::TempDir() + "/ecosched_table_test.csv";
+  ASSERT_TRUE(T.writeCsv(Path));
+  const std::string Content = readFile(Path);
+  EXPECT_EQ(Content,
+            "a,b\nplain,\"has,comma and \"\"quote\"\"\"\n");
+  std::remove(Path.c_str());
+}
+
+TEST(TablePrinterTest, CsvFailsOnBadPath) {
+  TablePrinter T;
+  T.addColumn("a");
+  EXPECT_FALSE(T.writeCsv("/nonexistent-dir/impossible.csv"));
+}
