@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# check.sh - build every correctness preset and run the test suite under it.
+#
+# Usage: scripts/check.sh [--preset NAME]... [--with-tsan] [--jobs N]
+#
+#   --preset NAME   Run only the named preset(s) (release, asan-ubsan, tsan).
+#                   May be repeated. Default: release and asan-ubsan.
+#   --with-tsan     Append the tsan preset to the default set. The code is
+#                   single-threaded today, so tsan is opt-in until a
+#                   concurrent subsystem lands.
+#   --jobs N        Parallelism for builds and ctest (default: nproc).
+#
+# Exits non-zero on the first failing configure, build, or test run.
+# See docs/STATIC_ANALYSIS.md for the preset definitions.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+PRESETS=()
+WITH_TSAN=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --preset)
+      [[ $# -ge 2 ]] || { echo "error: --preset needs an argument" >&2; exit 2; }
+      PRESETS+=("$2"); shift 2 ;;
+    --with-tsan)
+      WITH_TSAN=1; shift ;;
+    --jobs)
+      [[ $# -ge 2 ]] || { echo "error: --jobs needs an argument" >&2; exit 2; }
+      JOBS="$2"; shift 2 ;;
+    -h|--help)
+      sed -n '2,15p' "$0"; exit 0 ;;
+    *)
+      echo "error: unknown argument '$1' (see --help)" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ${#PRESETS[@]} -eq 0 ]]; then
+  PRESETS=(release asan-ubsan)
+  [[ $WITH_TSAN -eq 1 ]] && PRESETS+=(tsan)
+fi
+
+for preset in "${PRESETS[@]}"; do
+  echo "==== [$preset] configure ===="
+  cmake --preset "$preset"
+  echo "==== [$preset] build ===="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "==== [$preset] ctest ===="
+  ctest --preset "$preset" -j "$JOBS"
+  echo "==== [$preset] OK ===="
+done
+
+echo "check.sh: all presets passed: ${PRESETS[*]}"

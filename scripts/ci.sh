@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# ci.sh - the full correctness gate, intended as the single entry point
+# for CI runners (and for developers before pushing).
+#
+# Stages, in order (each must pass):
+#   1. release preset: configure, build (-Werror), full ctest suite
+#   2. asan-ubsan preset: configure, build, full ctest suite under
+#      AddressSanitizer + UndefinedBehaviorSanitizer
+#   3. clang-tidy over src/ tests/ bench/ examples/ (zero findings);
+#      SKIPPED with a notice when no clang-tidy binary is installed
+#   4. clang-format verification of every tracked C++ file against the
+#      repo .clang-format; SKIPPED when clang-format is not installed
+#
+# Usage: scripts/ci.sh [--jobs N] [--skip-sanitizers]
+#
+# See docs/STATIC_ANALYSIS.md for what each stage enforces and why.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SKIP_SAN=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs)
+      [[ $# -ge 2 ]] || { echo "error: --jobs needs an argument" >&2; exit 2; }
+      JOBS="$2"; shift 2 ;;
+    --skip-sanitizers)
+      SKIP_SAN=1; shift ;;
+    -h|--help)
+      sed -n '2,16p' "$0"; exit 0 ;;
+    *)
+      echo "error: unknown argument '$1' (see --help)" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== ci stage 1/4: release build + tests ==="
+scripts/check.sh --preset release --jobs "$JOBS"
+
+if [[ $SKIP_SAN -eq 0 ]]; then
+  echo "=== ci stage 2/4: asan-ubsan build + tests ==="
+  scripts/check.sh --preset asan-ubsan --jobs "$JOBS"
+else
+  echo "=== ci stage 2/4: SKIPPED (--skip-sanitizers) ==="
+fi
+
+echo "=== ci stage 3/4: clang-tidy ==="
+scripts/run_clang_tidy.sh --jobs "$JOBS"
+
+echo "=== ci stage 4/4: clang-format ==="
+FORMAT="${CLANG_FORMAT:-}"
+if [[ -z "$FORMAT" ]]; then
+  for candidate in clang-format clang-format-21 clang-format-20 \
+                   clang-format-19 clang-format-18 clang-format-17 \
+                   clang-format-16 clang-format-15; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      FORMAT="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$FORMAT" ]]; then
+  echo "clang-format: SKIPPED - no binary found (set CLANG_FORMAT or" \
+       "install clang-format >= 15)"
+else
+  mapfile -t CXX_FILES < <(git ls-files '*.cpp' '*.h')
+  "$FORMAT" --dry-run --Werror "${CXX_FILES[@]}"
+  echo "clang-format: clean (${#CXX_FILES[@]} files)"
+fi
+
+echo "ci.sh: all stages passed"

@@ -16,13 +16,16 @@ using namespace ecosched;
 std::optional<Window>
 AlpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
                       SearchStats *Stats) const {
-  assert(Request.NodeCount > 0 && "request must ask for at least one slot");
+  ECOSCHED_CHECK(Request.NodeCount > 0,
+                 "request must ask for at least one slot, got {}",
+                 Request.NodeCount);
+  ECOSCHED_DVALIDATE(List.validate());
   const size_t Needed = static_cast<size_t>(Request.NodeCount);
   std::vector<const Slot *> Group;
   SearchStats Local;
 
   for (const Slot &S : List) {
-    if (S.Start >= Request.Deadline - TimeEpsilon)
+    if (approxGe(S.Start, Request.Deadline))
       break; // Sorted list: no later slot can meet the deadline.
     ++Local.SlotsExamined;
     if (!detail::meetsPerformance(S, Request))

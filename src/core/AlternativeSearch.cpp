@@ -7,7 +7,7 @@
 
 #include "core/AlternativeSearch.h"
 
-#include <cassert>
+#include "support/Check.h"
 
 using namespace ecosched;
 
@@ -29,8 +29,12 @@ AlternativeSet AlternativeSearch::run(SlotList List, const Batch &Jobs,
         continue;
       // Exclude the window's spans so later alternatives (for this or
       // any other job) cannot reuse the processor time.
-      [[maybe_unused]] const bool Subtracted = W->subtractFrom(List);
-      assert(Subtracted && "search returned a window outside the list");
+      const bool Subtracted = W->subtractFrom(List);
+      ECOSCHED_CHECK(Subtracted,
+                     "search returned a window outside the list for job {} "
+                     "starting at {}",
+                     Jobs[I].Id, W->startTime());
+      ECOSCHED_DVALIDATE(List.validate());
       Result.PerJob[I].push_back(std::move(*W));
       PlacedAny = true;
     }

@@ -16,7 +16,10 @@ using namespace ecosched;
 std::optional<Window>
 AmpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
                       SearchStats *Stats) const {
-  assert(Request.NodeCount > 0 && "request must ask for at least one slot");
+  ECOSCHED_CHECK(Request.NodeCount > 0,
+                 "request must ask for at least one slot, got {}",
+                 Request.NodeCount);
+  ECOSCHED_DVALIDATE(List.validate());
   const size_t Needed = static_cast<size_t>(Request.NodeCount);
   const double Budget = Request.budget();
   std::vector<const Slot *> Group;
@@ -24,7 +27,7 @@ AmpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
   SearchStats Local;
 
   for (const Slot &S : List) {
-    if (S.Start >= Request.Deadline - TimeEpsilon)
+    if (approxGe(S.Start, Request.Deadline))
       break; // Sorted list: no later slot can meet the deadline.
     ++Local.SlotsExamined;
     // Steps 1/3: accumulate slots under conditions 2a and 2b only; the
@@ -49,8 +52,9 @@ AmpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
       continue;
 
     // Step 2: sort the alive slots by their usage cost and test whether
-    // the N cheapest fit the job budget.
-    Cheapest = Group;
+    // the N cheapest fit the job budget. Cheapest reuses its capacity
+    // across iterations, so the copy is pointer-sized writes only.
+    Cheapest.assign(Group.begin(), Group.end());
     std::partial_sort(Cheapest.begin(),
                       Cheapest.begin() + static_cast<long>(Needed),
                       Cheapest.end(), [&](const Slot *A, const Slot *B) {
@@ -58,6 +62,8 @@ AmpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
                             detail::slotUsageCost(*A, Request);
                         const double CostB =
                             detail::slotUsageCost(*B, Request);
+                        // Exact comparison: comparator must stay a
+                        // strict weak ordering.
                         if (CostA != CostB)
                           return CostA < CostB;
                         return A->NodeId < B->NodeId;
@@ -68,7 +74,7 @@ AmpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
     double Total = 0.0;
     for (const Slot *C : Cheapest)
       Total += detail::slotUsageCost(*C, Request);
-    if (Total <= Budget + TimeEpsilon) {
+    if (approxLe(Total, Budget)) {
       if (Stats)
         *Stats += Local;
       return detail::buildWindow(WindowStart, Cheapest, Request);

@@ -17,7 +17,10 @@ std::optional<Window>
 BackfillSearch::findWindow(const SlotList &List,
                            const ResourceRequest &Request,
                            SearchStats *Stats) const {
-  assert(Request.NodeCount > 0 && "request must ask for at least one slot");
+  ECOSCHED_CHECK(Request.NodeCount > 0,
+                 "request must ask for at least one slot, got {}",
+                 Request.NodeCount);
+  ECOSCHED_DVALIDATE(List.validate());
   const size_t Needed = static_cast<size_t>(Request.NodeCount);
   const double Budget = Request.budget();
   SearchStats Local;
@@ -27,7 +30,7 @@ BackfillSearch::findWindow(const SlotList &List,
   // alive slots only increases at slot starts. Anchors are examined in
   // start order, so the first feasible anchor gives the earliest window.
   for (const Slot &Anchor : List) {
-    if (Anchor.Start >= Request.Deadline - TimeEpsilon)
+    if (approxGe(Anchor.Start, Request.Deadline))
       break; // Sorted list: later anchors cannot meet the deadline.
     ++Local.SlotsExamined;
     if (!detail::meetsPerformance(Anchor, Request))
@@ -67,6 +70,8 @@ BackfillSearch::findWindow(const SlotList &List,
                             detail::slotUsageCost(*A, Request);
                         const double CostB =
                             detail::slotUsageCost(*B, Request);
+                        // Exact comparison: comparator must stay a
+                        // strict weak ordering.
                         if (CostA != CostB)
                           return CostA < CostB;
                         return A->NodeId < B->NodeId;
@@ -77,7 +82,7 @@ BackfillSearch::findWindow(const SlotList &List,
       double Total = 0.0;
       for (const Slot *S : Alive)
         Total += detail::slotUsageCost(*S, Request);
-      if (Total > Budget + TimeEpsilon)
+      if (approxGt(Total, Budget))
         continue;
     }
     if (Stats)

@@ -31,6 +31,7 @@ bool scanSlotStartLess(const ScanSlot &A, const ScanSlot &B) {
 
 BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
                                               const Batch &Jobs) const {
+  ECOSCHED_DVALIDATE(List.validate());
   BatchAssignment Result;
   Result.PerJob.resize(Jobs.size());
 
@@ -47,7 +48,11 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
   std::unordered_set<uint64_t> Consumed;
   size_t Unplaced = Jobs.size();
 
+  // Scratch buffers hoisted out of the scan so commits reuse capacity
+  // instead of allocating per window.
   std::vector<const ScanSlot *> Candidates;
+  std::vector<const Slot *> Members;
+  std::vector<uint64_t> Serials;
   for (size_t Idx = 0; Idx < Queue.size() && Unplaced > 0; ++Idx) {
     const ScanSlot Cur = Queue[Idx]; // Copy: Queue may reallocate below.
     ++Result.Stats.SlotsExamined;
@@ -95,6 +100,8 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
           Candidates.end(), [&](const ScanSlot *A, const ScanSlot *B) {
             const double CostA = detail::slotUsageCost(A->S, Req);
             const double CostB = detail::slotUsageCost(B->S, Req);
+            // Exact comparison: comparator must stay a strict weak
+            // ordering.
             if (CostA != CostB)
               return CostA < CostB;
             return A->Serial < B->Serial;
@@ -105,13 +112,13 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
         double Total = 0.0;
         for (const ScanSlot *C : Candidates)
           Total += detail::slotUsageCost(C->S, Req);
-        if (Total > Req.budget() + TimeEpsilon)
+        if (approxGt(Total, Req.budget()))
           continue;
       }
 
       // Commit the window: evict members everywhere, requeue tails.
-      std::vector<const Slot *> Members;
-      std::vector<uint64_t> Serials;
+      Members.clear();
+      Serials.clear();
       for (const ScanSlot *C : Candidates) {
         Members.push_back(&C->S);
         Serials.push_back(C->Serial);
@@ -121,7 +128,7 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
 
       for (const WindowSlot &M : *Result.PerJob[J]) {
         const double TailStart = Anchor + M.Runtime;
-        if (M.Source.End - TailStart > TimeEpsilon) {
+        if (approxGt(M.Source.End - TailStart, 0.0)) {
           ScanSlot Tail;
           Tail.S = M.Source;
           Tail.S.Start = TailStart;

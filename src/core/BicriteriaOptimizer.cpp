@@ -7,8 +7,9 @@
 
 #include "core/BicriteriaOptimizer.h"
 
+#include "support/Check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -119,9 +120,11 @@ std::vector<size_t> solve2d(const BicriteriaProblem &P, size_t CostBins,
 
 BicriteriaChoice
 BicriteriaDpOptimizer::solve(const BicriteriaProblem &P) const {
-  assert(CostBins > 0 && TimeBins > 0 && "empty DP grid");
-  assert(P.CostWeight >= 0.0 && P.CostWeight <= 1.0 &&
-         "scalarization weight outside [0, 1]");
+  ECOSCHED_CHECK(CostBins > 0 && TimeBins > 0,
+                 "empty DP grid: {} cost bins x {} time bins", CostBins,
+                 TimeBins);
+  ECOSCHED_CHECK(P.CostWeight >= 0.0 && P.CostWeight <= 1.0,
+                 "scalarization weight outside [0, 1]: {}", P.CostWeight);
   BicriteriaChoice Infeasible;
   if (P.PerJob.empty())
     return Infeasible;
@@ -136,7 +139,10 @@ BicriteriaDpOptimizer::solve(const BicriteriaProblem &P) const {
       solve2d(P, CostBins, TimeBins, RoundingKind::Up);
   if (!Up.empty()) {
     Best = evaluate(P, Up);
-    assert(Best.Feasible && "ceil-rounded 2D DP violated a limit");
+    ECOSCHED_CHECK(Best.Feasible,
+                   "ceil-rounded 2D DP violated a limit: cost {} vs budget "
+                   "{}, time {} vs quota {}",
+                   Best.Cost, P.Budget, Best.Time, P.TimeQuota);
   }
   const std::vector<size_t> Down =
       solve2d(P, CostBins, TimeBins, RoundingKind::Down);

@@ -7,7 +7,6 @@
 
 #include "core/BruteForceOptimizer.h"
 
-#include <cassert>
 #include <limits>
 #include <vector>
 

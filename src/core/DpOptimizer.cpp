@@ -7,7 +7,8 @@
 
 #include "core/DpOptimizer.h"
 
-#include <cassert>
+#include "support/Check.h"
+
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -18,6 +19,28 @@ namespace {
 
 /// Sentinel for unreachable DP states.
 constexpr double Unreachable = std::numeric_limits<double>::infinity();
+
+/// Structural check on one DP row: f_i(Z) is monotone in the remaining
+/// budget Z — spending headroom can never worsen the optimum. Violations
+/// mean the recurrence read a stale or corrupted cell. Invoked per row
+/// under ECOSCHED_DVALIDATE; comparisons are exact because both cells
+/// are produced by the same recurrence over identical candidate sets
+/// plus a monotone tail, and infinities must compare correctly.
+void validateRowMonotone(const std::vector<double> &Row, bool Minimize,
+                         size_t JobIndex) {
+  for (size_t Z = 1, E = Row.size(); Z < E; ++Z) {
+    if (Minimize)
+      ECOSCHED_CHECK(Row[Z] <= Row[Z - 1],
+                     "DP row {} not non-increasing at cell {}: f({}) = {} > "
+                     "f({}) = {}",
+                     JobIndex, Z, Z, Row[Z], Z - 1, Row[Z - 1]);
+    else
+      ECOSCHED_CHECK(Row[Z] >= Row[Z - 1],
+                     "DP row {} not non-decreasing at cell {}: f({}) = {} < "
+                     "f({}) = {}",
+                     JobIndex, Z, Z, Row[Z], Z - 1, Row[Z - 1]);
+  }
+}
 
 enum class RoundingKind { Up, Down };
 
@@ -85,6 +108,7 @@ std::vector<size_t> solveRounded(const CombinationProblem &P, size_t Bins,
       Current[Z] = Found ? Best : (Minimize ? Unreachable : -Unreachable);
       ChoiceTable[I][Z] = BestAlt;
     }
+    ECOSCHED_DVALIDATE(validateRowMonotone(Current, Minimize, I));
     std::swap(Current, Next);
   }
 
@@ -106,7 +130,8 @@ std::vector<size_t> solveRounded(const CombinationProblem &P, size_t Bins,
 } // namespace
 
 CombinationChoice DpOptimizer::solve(const CombinationProblem &P) const {
-  assert(Bins > 0 && "DP needs at least one constraint cell");
+  ECOSCHED_CHECK(Bins > 0, "DP needs at least one constraint cell, got {}",
+                 Bins);
   CombinationChoice Infeasible;
   if (P.PerJob.empty())
     return Infeasible;
@@ -123,8 +148,10 @@ CombinationChoice DpOptimizer::solve(const CombinationProblem &P) const {
   const std::vector<size_t> Up = solveRounded(P, Bins, RoundingKind::Up);
   if (!Up.empty()) {
     Best = evaluateSelection(P, Up);
-    assert(Best.Feasible &&
-           "ceil-rounded DP produced a constraint-violating selection");
+    ECOSCHED_CHECK(Best.Feasible,
+                   "ceil-rounded DP produced a constraint-violating "
+                   "selection: total {} exceeds limit {}",
+                   Best.ConstraintTotal, P.Limit);
   }
 
   // Pass 2 (round down): the floor grid admits every exactly-feasible

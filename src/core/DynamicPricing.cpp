@@ -8,7 +8,7 @@
 #include "core/DynamicPricing.h"
 
 #include <algorithm>
-#include <cassert>
+#include "support/Check.h"
 
 using namespace ecosched;
 
@@ -22,7 +22,9 @@ void PricingEngine::captureBasePrices(const ComputingDomain &Domain) {
 double PricingEngine::nodeUtilization(const ComputingDomain &Domain,
                                       int NodeId, double WindowStart,
                                       double WindowEnd) {
-  assert(WindowStart < WindowEnd && "empty utilization window");
+  ECOSCHED_CHECK(WindowStart < WindowEnd,
+                 "empty utilization window [{}, {}) on node {}",
+                 WindowStart, WindowEnd, NodeId);
   double Busy = 0.0;
   for (const BusyInterval &B : Domain.occupancy(NodeId)) {
     const double OverlapStart = std::max(B.Start, WindowStart);
@@ -36,8 +38,11 @@ double PricingEngine::nodeUtilization(const ComputingDomain &Domain,
 std::vector<double> PricingEngine::update(ComputingDomain &Domain,
                                           double WindowStart,
                                           double WindowEnd) {
-  assert(BasePrices.size() == Domain.pool().size() &&
-         "captureBasePrices() before update(), and after adding nodes");
+  ECOSCHED_CHECK(BasePrices.size() == Domain.pool().size(),
+                 "captured {} base prices for {} nodes: call "
+                 "captureBasePrices() before update(), and after adding "
+                 "nodes",
+                 BasePrices.size(), Domain.pool().size());
   std::vector<double> Utilizations;
   Utilizations.reserve(Domain.pool().size());
   for (const ResourceNode &Node : Domain.pool()) {

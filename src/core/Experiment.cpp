@@ -13,7 +13,6 @@
 #include "core/Limits.h"
 
 #include <atomic>
-#include <cassert>
 #include <thread>
 
 using namespace ecosched;

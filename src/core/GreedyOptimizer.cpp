@@ -7,7 +7,6 @@
 
 #include "core/GreedyOptimizer.h"
 
-#include <cassert>
 #include <vector>
 
 using namespace ecosched;

@@ -9,7 +9,6 @@
 
 #include "core/Limits.h"
 
-#include <cassert>
 
 using namespace ecosched;
 

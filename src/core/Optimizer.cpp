@@ -7,7 +7,7 @@
 
 #include "core/Optimizer.h"
 
-#include <cassert>
+#include "support/Check.h"
 
 using namespace ecosched;
 
@@ -31,17 +31,20 @@ ecosched::toAlternativeValues(const AlternativeSet &Alts) {
 CombinationChoice
 ecosched::evaluateSelection(const CombinationProblem &Problem,
                             std::vector<size_t> Selected) {
-  assert(Selected.size() == Problem.PerJob.size() &&
-         "selection does not match the job count");
+  ECOSCHED_CHECK(Selected.size() == Problem.PerJob.size(),
+                 "selection holds {} choices for {} jobs", Selected.size(),
+                 Problem.PerJob.size());
   CombinationChoice Choice;
   Choice.Selected = std::move(Selected);
   for (size_t I = 0, E = Choice.Selected.size(); I != E; ++I) {
-    assert(Choice.Selected[I] < Problem.PerJob[I].size() &&
-           "selected alternative out of range");
+    ECOSCHED_CHECK(Choice.Selected[I] < Problem.PerJob[I].size(),
+                   "job {}: selected alternative {} out of range (job has "
+                   "{} alternatives)",
+                   I, Choice.Selected[I], Problem.PerJob[I].size());
     const AlternativeValue &V = Problem.PerJob[I][Choice.Selected[I]];
     Choice.ObjectiveTotal += V.get(Problem.Objective);
     Choice.ConstraintTotal += V.get(Problem.Constraint);
   }
-  Choice.Feasible = Choice.ConstraintTotal <= Problem.Limit + 1e-9;
+  Choice.Feasible = approxLe(Choice.ConstraintTotal, Problem.Limit);
   return Choice;
 }

@@ -9,9 +9,10 @@
 
 using namespace ecosched;
 
-Window ecosched::detail::buildWindow(
-    double StartTime, const std::vector<const Slot *> &Chosen,
-    const ResourceRequest &Req) {
+Window ecosched::detail::buildWindow(double StartTime,
+                                     std::span<const Slot *const> Chosen,
+                                     const ResourceRequest &Req) {
+  ECOSCHED_CHECK(!Chosen.empty(), "cannot build a window from zero slots");
   std::vector<WindowSlot> Members;
   Members.reserve(Chosen.size());
   for (const Slot *S : Chosen) {
@@ -21,5 +22,7 @@ Window ecosched::detail::buildWindow(
     M.Cost = slotUsageCost(*S, Req);
     Members.push_back(M);
   }
-  return Window(StartTime, std::move(Members));
+  Window Result(StartTime, std::move(Members));
+  ECOSCHED_DVALIDATE(Result.validate(static_cast<size_t>(Req.NodeCount)));
+  return Result;
 }

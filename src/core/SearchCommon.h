@@ -20,19 +20,19 @@
 #include "sim/Slot.h"
 #include "sim/Window.h"
 
-#include <vector>
+#include <span>
 
 namespace ecosched {
 namespace detail {
 
 /// Condition 2a: the slot's node is fast enough.
 inline bool meetsPerformance(const Slot &S, const ResourceRequest &Req) {
-  return S.Performance >= Req.MinPerformance - TimeEpsilon;
+  return approxGe(S.Performance, Req.MinPerformance);
 }
 
 /// Condition 2c: the slot's unit price is within the per-slot cap.
 inline bool meetsPriceCap(const Slot &S, const ResourceRequest &Req) {
-  return S.UnitPrice <= Req.MaxUnitPrice + TimeEpsilon;
+  return approxLe(S.UnitPrice, Req.MaxUnitPrice);
 }
 
 /// Condition 2b at examination time: the slot is long enough to hold the
@@ -40,7 +40,7 @@ inline bool meetsPriceCap(const Slot &S, const ResourceRequest &Req) {
 /// start. (The paper prints the performance ratio inverted; see
 /// DESIGN.md, "Model conventions".)
 inline bool meetsLength(const Slot &S, const ResourceRequest &Req) {
-  return S.length() >= S.runtimeFor(Req.Volume) - TimeEpsilon;
+  return approxGe(S.length(), S.runtimeFor(Req.Volume));
 }
 
 /// Money charged for running a task of the request's volume on \p S.
@@ -52,14 +52,14 @@ inline double slotUsageCost(const Slot &S, const ResourceRequest &Req) {
 /// request's deadline (always true for the default infinite deadline).
 inline bool fitsDeadline(const Slot &S, double StartTime,
                          const ResourceRequest &Req) {
-  return StartTime + S.runtimeFor(Req.Volume) <=
-         Req.Deadline + TimeEpsilon;
+  return approxLe(StartTime + S.runtimeFor(Req.Volume), Req.Deadline);
 }
 
 /// Builds a Window starting at \p StartTime from \p Chosen slots; each
-/// must cover [StartTime, StartTime + runtime].
-Window buildWindow(double StartTime,
-                   const std::vector<const Slot *> &Chosen,
+/// must cover [StartTime, StartTime + runtime]. Takes a view so callers
+/// can pass any contiguous pointer buffer without materializing a
+/// vector.
+Window buildWindow(double StartTime, std::span<const Slot *const> Chosen,
                    const ResourceRequest &Req);
 
 } // namespace detail

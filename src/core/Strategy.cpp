@@ -8,7 +8,7 @@
 #include "core/Strategy.h"
 
 #include <algorithm>
-#include <cassert>
+#include "support/Check.h"
 #include <cmath>
 
 using namespace ecosched;
@@ -16,7 +16,9 @@ using namespace ecosched;
 std::vector<JobStrategy>
 ecosched::buildStrategies(const IterationOutcome &Outcome,
                           StrategyConfig Cfg) {
-  assert(Cfg.MaxVersions > 0 && "a strategy needs at least the primary");
+  ECOSCHED_CHECK(Cfg.MaxVersions > 0,
+                 "a strategy needs at least the primary version, got {}",
+                 Cfg.MaxVersions);
   std::vector<JobStrategy> Strategies;
   Strategies.reserve(Outcome.Scheduled.size());
 
@@ -58,8 +60,10 @@ StrategyExecutionReport
 ecosched::executeStrategies(const std::vector<JobStrategy> &Strategies,
                             RandomGenerator &Rng,
                             double NodeFailureProbability) {
-  assert(NodeFailureProbability >= 0.0 && NodeFailureProbability <= 1.0 &&
-         "failure probability must be in [0, 1]");
+  ECOSCHED_CHECK(NodeFailureProbability >= 0.0 &&
+                     NodeFailureProbability <= 1.0,
+                 "failure probability must be in [0, 1], got {}",
+                 NodeFailureProbability);
   StrategyExecutionReport Report;
   Report.Jobs = Strategies.size();
 

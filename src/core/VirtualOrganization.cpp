@@ -8,7 +8,7 @@
 #include "core/VirtualOrganization.h"
 
 #include <algorithm>
-#include <cassert>
+#include "support/Check.h"
 
 using namespace ecosched;
 
@@ -20,8 +20,11 @@ VirtualOrganization::VirtualOrganization(ComputingDomain InDomain,
                                          const Metascheduler &Scheduler,
                                          Config Cfg)
     : Domain(std::move(InDomain)), Scheduler(Scheduler), Cfg(Cfg) {
-  assert(Cfg.IterationPeriod > 0.0 && "iteration period must be positive");
-  assert(Cfg.HorizonLength > 0.0 && "horizon must be positive");
+  ECOSCHED_CHECK(Cfg.IterationPeriod > 0.0,
+                 "iteration period must be positive, got {}",
+                 Cfg.IterationPeriod);
+  ECOSCHED_CHECK(Cfg.HorizonLength > 0.0,
+                 "horizon must be positive, got {}", Cfg.HorizonLength);
 }
 
 void VirtualOrganization::submit(const Job &J) {
@@ -60,8 +63,11 @@ VirtualOrganization::IterationReport VirtualOrganization::runIteration() {
     // the jobs from the queue.
     std::vector<size_t> CommittedIndices;
     for (const ScheduledJob &S : Report.Outcome.Scheduled) {
-      [[maybe_unused]] const bool Ok = Domain.reserveWindow(S.W, S.JobId);
-      assert(Ok && "scheduled window conflicts with domain occupancy");
+      const bool Ok = Domain.reserveWindow(S.W, S.JobId);
+      ECOSCHED_CHECK(Ok,
+                     "scheduled window for job {} starting at {} conflicts "
+                     "with domain occupancy",
+                     S.JobId, S.W.startTime());
       RunningJob R;
       R.JobId = S.JobId;
       R.StartTime = S.W.startTime();
@@ -152,7 +158,7 @@ bool VirtualOrganization::cancelJob(int JobId) {
 }
 
 void VirtualOrganization::setQueuedBudgetFactor(double Rho) {
-  assert(Rho > 0.0 && "budget factor must be positive");
+  ECOSCHED_CHECK(Rho > 0.0, "budget factor must be positive, got {}", Rho);
   for (PendingJob &P : Queue)
     P.J.Request.BudgetFactor = Rho;
 }

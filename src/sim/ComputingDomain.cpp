@@ -8,7 +8,6 @@
 #include "sim/ComputingDomain.h"
 
 #include <algorithm>
-#include <cassert>
 
 using namespace ecosched;
 
@@ -21,7 +20,9 @@ int ComputingDomain::addNode(double Performance, double UnitPrice,
 }
 
 bool ComputingDomain::insertInterval(int NodeId, BusyInterval Interval) {
-  assert(Interval.End > Interval.Start && "empty busy interval");
+  ECOSCHED_CHECK(Interval.End > Interval.Start,
+                 "empty busy interval [{}, {}) on node {}", Interval.Start,
+                 Interval.End, NodeId);
   if (!isNodeAvailable(NodeId))
     return false;
   if (isBusy(NodeId, Interval.Start, Interval.End))
@@ -54,21 +55,25 @@ bool ComputingDomain::reserveWindow(const Window &W, int JobId) {
     if (isBusy(M.Source.NodeId, W.startTime(), W.startTime() + M.Runtime))
       return false;
   for (const WindowSlot &M : W) {
-    [[maybe_unused]] const bool Ok = reserve(
+    const bool Ok = reserve(
         M.Source.NodeId, W.startTime(), W.startTime() + M.Runtime, JobId);
-    assert(Ok && "window member became busy during commit");
+    ECOSCHED_CHECK(Ok,
+                   "window member on node {} became busy during commit of "
+                   "job {}",
+                   M.Source.NodeId, JobId);
   }
   return true;
 }
 
 bool ComputingDomain::isBusy(int NodeId, double Start, double End) const {
-  assert(NodeId >= 0 &&
-         static_cast<size_t>(NodeId) < BusyByNode.size() &&
-         "invalid node id");
+  ECOSCHED_CHECK(NodeId >= 0 &&
+                     static_cast<size_t>(NodeId) < BusyByNode.size(),
+                 "invalid node id {} for a domain of {} nodes", NodeId,
+                 BusyByNode.size());
   for (const BusyInterval &B : BusyByNode[static_cast<size_t>(NodeId)]) {
     const double OverlapStart = std::max(Start, B.Start);
     const double OverlapEnd = std::min(End, B.End);
-    if (OverlapEnd - OverlapStart > TimeEpsilon)
+    if (approxGt(OverlapEnd - OverlapStart, 0.0))
       return true;
   }
   return false;
@@ -76,7 +81,9 @@ bool ComputingDomain::isBusy(int NodeId, double Start, double End) const {
 
 SlotList ComputingDomain::vacantSlots(double HorizonStart,
                                       double HorizonEnd) const {
-  assert(HorizonStart < HorizonEnd && "empty scheduling horizon");
+  ECOSCHED_CHECK(HorizonStart < HorizonEnd,
+                 "empty scheduling horizon [{}, {})", HorizonStart,
+                 HorizonEnd);
   std::vector<Slot> Slots;
   for (const ResourceNode &Node : Pool) {
     if (!Available[static_cast<size_t>(Node.Id)])
@@ -87,12 +94,12 @@ SlotList ComputingDomain::vacantSlots(double HorizonStart,
       if (B.End <= HorizonStart || B.Start >= HorizonEnd)
         continue;
       const double GapEnd = std::max(B.Start, HorizonStart);
-      if (GapEnd - Cursor > TimeEpsilon)
+      if (approxGt(GapEnd, Cursor))
         Slots.emplace_back(Node.Id, Node.Performance, Node.UnitPrice,
                            Cursor, GapEnd);
       Cursor = std::max(Cursor, std::min(B.End, HorizonEnd));
     }
-    if (HorizonEnd - Cursor > TimeEpsilon)
+    if (approxGt(HorizonEnd, Cursor))
       Slots.emplace_back(Node.Id, Node.Performance, Node.UnitPrice, Cursor,
                          HorizonEnd);
   }
@@ -102,15 +109,16 @@ SlotList ComputingDomain::vacantSlots(double HorizonStart,
 void ComputingDomain::advanceTo(double Now) {
   for (auto &Intervals : BusyByNode)
     std::erase_if(Intervals, [Now](const BusyInterval &B) {
-      return B.End <= Now + TimeEpsilon;
+      return approxLe(B.End, Now);
     });
 }
 
 const std::vector<BusyInterval> &
 ComputingDomain::occupancy(int NodeId) const {
-  assert(NodeId >= 0 &&
-         static_cast<size_t>(NodeId) < BusyByNode.size() &&
-         "invalid node id");
+  ECOSCHED_CHECK(NodeId >= 0 &&
+                     static_cast<size_t>(NodeId) < BusyByNode.size(),
+                 "invalid node id {} for a domain of {} nodes", NodeId,
+                 BusyByNode.size());
   return BusyByNode[static_cast<size_t>(NodeId)];
 }
 
@@ -119,25 +127,27 @@ void ComputingDomain::setNodePrice(int NodeId, double UnitPrice) {
 }
 
 std::vector<int> ComputingDomain::failNode(int NodeId, double Now) {
-  assert(NodeId >= 0 &&
-         static_cast<size_t>(NodeId) < BusyByNode.size() &&
-         "invalid node id");
+  ECOSCHED_CHECK(NodeId >= 0 &&
+                     static_cast<size_t>(NodeId) < BusyByNode.size(),
+                 "invalid node id {} for a domain of {} nodes", NodeId,
+                 BusyByNode.size());
   Available[static_cast<size_t>(NodeId)] = false;
   std::vector<int> CancelledJobs;
   auto &Intervals = BusyByNode[static_cast<size_t>(NodeId)];
   for (const BusyInterval &B : Intervals)
-    if (B.End > Now + TimeEpsilon && B.Kind == OccupancyKind::External)
+    if (approxGt(B.End, Now) && B.Kind == OccupancyKind::External)
       CancelledJobs.push_back(B.JobId);
   std::erase_if(Intervals, [Now](const BusyInterval &B) {
-    return B.End > Now + TimeEpsilon;
+    return approxGt(B.End, Now);
   });
   return CancelledJobs;
 }
 
 size_t ComputingDomain::cancelReservations(int NodeId, int JobId) {
-  assert(NodeId >= 0 &&
-         static_cast<size_t>(NodeId) < BusyByNode.size() &&
-         "invalid node id");
+  ECOSCHED_CHECK(NodeId >= 0 &&
+                     static_cast<size_t>(NodeId) < BusyByNode.size(),
+                 "invalid node id {} for a domain of {} nodes", NodeId,
+                 BusyByNode.size());
   return std::erase_if(
       BusyByNode[static_cast<size_t>(NodeId)],
       [JobId](const BusyInterval &B) {
@@ -146,16 +156,18 @@ size_t ComputingDomain::cancelReservations(int NodeId, int JobId) {
 }
 
 void ComputingDomain::restoreNode(int NodeId) {
-  assert(NodeId >= 0 &&
-         static_cast<size_t>(NodeId) < BusyByNode.size() &&
-         "invalid node id");
+  ECOSCHED_CHECK(NodeId >= 0 &&
+                     static_cast<size_t>(NodeId) < BusyByNode.size(),
+                 "invalid node id {} for a domain of {} nodes", NodeId,
+                 BusyByNode.size());
   Available[static_cast<size_t>(NodeId)] = true;
 }
 
 bool ComputingDomain::isNodeAvailable(int NodeId) const {
-  assert(NodeId >= 0 &&
-         static_cast<size_t>(NodeId) < Available.size() &&
-         "invalid node id");
+  ECOSCHED_CHECK(NodeId >= 0 &&
+                     static_cast<size_t>(NodeId) < Available.size(),
+                 "invalid node id {} for a domain of {} nodes", NodeId,
+                 Available.size());
   return Available[static_cast<size_t>(NodeId)];
 }
 

@@ -8,7 +8,6 @@
 #include "sim/GanttChart.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 
@@ -16,8 +15,10 @@ using namespace ecosched;
 
 GanttChart::GanttChart(double HorizonStart, double HorizonEnd, int Columns)
     : HorizonStart(HorizonStart), HorizonEnd(HorizonEnd), Columns(Columns) {
-  assert(HorizonStart < HorizonEnd && "empty chart horizon");
-  assert(Columns > 0 && "chart needs at least one column");
+  ECOSCHED_CHECK(HorizonStart < HorizonEnd,
+                 "empty chart horizon [{}, {})", HorizonStart, HorizonEnd);
+  ECOSCHED_CHECK(Columns > 0, "chart needs at least one column, got {}",
+                 Columns);
 }
 
 size_t GanttChart::addRow(const std::string &Label) {
@@ -35,7 +36,8 @@ size_t GanttChart::columnFor(double Time) const {
 }
 
 void GanttChart::fill(size_t Row, double Start, double End, char Fill) {
-  assert(Row < Cells.size() && "invalid chart row");
+  ECOSCHED_CHECK(Row < Cells.size(),
+                 "invalid chart row {} of {}", Row, Cells.size());
   if (End <= HorizonStart || Start >= HorizonEnd || End <= Start)
     return;
   const size_t FirstCol = columnFor(Start);
@@ -121,7 +123,8 @@ std::string ecosched::renderDomainChart(
 SvgDocument ecosched::renderDomainSvg(
     const ComputingDomain &Domain, const std::vector<ChartWindow> &Windows,
     double HorizonStart, double HorizonEnd) {
-  assert(HorizonStart < HorizonEnd && "empty chart horizon");
+  ECOSCHED_CHECK(HorizonStart < HorizonEnd,
+                 "empty chart horizon [{}, {})", HorizonStart, HorizonEnd);
   const double LaneHeight = 26.0;
   const double LaneGap = 6.0;
   const double Left = 110.0, Right = 16.0, Top = 28.0, Bottom = 34.0;

@@ -16,7 +16,8 @@
 #ifndef ECOSCHED_SIM_JOB_H
 #define ECOSCHED_SIM_JOB_H
 
-#include <cassert>
+#include "support/Check.h"
+
 #include <limits>
 #include <vector>
 
@@ -55,7 +56,9 @@ struct ResourceRequest {
 
   /// Worst admissible runtime: the reservation span t of the request.
   double maxRuntime() const {
-    assert(MinPerformance > 0.0 && "minimum performance must be positive");
+    ECOSCHED_CHECK(MinPerformance > 0.0,
+                   "minimum performance must be positive, got {}",
+                   MinPerformance);
     return Volume / MinPerformance;
   }
 

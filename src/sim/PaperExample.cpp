@@ -7,7 +7,6 @@
 
 #include "sim/PaperExample.h"
 
-#include <cassert>
 
 using namespace ecosched;
 
@@ -31,8 +30,7 @@ ComputingDomain ecosched::buildPaperExampleDomain() {
   Ok &= Domain.addLocalTask(Cpu2, 320.0, 420.0, /*TaskId=*/5);
   Ok &= Domain.addLocalTask(Cpu5, 100.0, 450.0, /*TaskId=*/6);
   Ok &= Domain.addLocalTask(Cpu6, 0.0, 250.0, /*TaskId=*/7);
-  assert(Ok && "example local tasks must not conflict");
-  (void)Ok;
+  ECOSCHED_CHECK(Ok, "example local tasks must not conflict");
   return Domain;
 }
 

@@ -15,7 +15,8 @@
 #ifndef ECOSCHED_SIM_RESOURCE_H
 #define ECOSCHED_SIM_RESOURCE_H
 
-#include <cassert>
+#include "support/Check.h"
+
 #include <string>
 #include <vector>
 
@@ -40,8 +41,10 @@ public:
   /// Adds a node and returns its id.
   int addNode(double Performance, double UnitPrice,
               std::string Name = std::string()) {
-    assert(Performance > 0.0 && "performance must be positive");
-    assert(UnitPrice >= 0.0 && "price must be non-negative");
+    ECOSCHED_CHECK(Performance > 0.0,
+                   "performance must be positive, got {}", Performance);
+    ECOSCHED_CHECK(UnitPrice >= 0.0, "price must be non-negative, got {}",
+                   UnitPrice);
     ResourceNode Node;
     Node.Id = static_cast<int>(Nodes.size());
     Node.Performance = Performance;
@@ -54,17 +57,20 @@ public:
 
   /// Node lookup; \p Id must be valid.
   const ResourceNode &node(int Id) const {
-    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes.size() &&
-           "invalid node id");
+    ECOSCHED_CHECK(Id >= 0 && static_cast<size_t>(Id) < Nodes.size(),
+                   "invalid node id {} for a pool of {} nodes", Id,
+                   Nodes.size());
     return Nodes[static_cast<size_t>(Id)];
   }
 
   /// Owner-side price update (supply-and-demand pricing adjusts node
   /// rates between scheduling iterations; see core/DynamicPricing.h).
   void setUnitPrice(int Id, double UnitPrice) {
-    assert(Id >= 0 && static_cast<size_t>(Id) < Nodes.size() &&
-           "invalid node id");
-    assert(UnitPrice >= 0.0 && "price must be non-negative");
+    ECOSCHED_CHECK(Id >= 0 && static_cast<size_t>(Id) < Nodes.size(),
+                   "invalid node id {} for a pool of {} nodes", Id,
+                   Nodes.size());
+    ECOSCHED_CHECK(UnitPrice >= 0.0, "price must be non-negative, got {}",
+                   UnitPrice);
     Nodes[static_cast<size_t>(Id)].UnitPrice = UnitPrice;
   }
 

@@ -16,7 +16,9 @@
 #ifndef ECOSCHED_SIM_SLOT_H
 #define ECOSCHED_SIM_SLOT_H
 
-#include <cassert>
+#include "support/Check.h"
+
+#include <cmath>
 
 namespace ecosched {
 
@@ -24,6 +26,42 @@ namespace ecosched {
 /// Slot arithmetic only adds and subtracts values of comparable
 /// magnitude (hundreds), so a fixed epsilon is adequate.
 inline constexpr double TimeEpsilon = 1e-9;
+
+/// \name Tolerant comparisons
+/// Every time/cost comparison in the library goes through these helpers
+/// so the tolerance convention is stated once: two values within
+/// TimeEpsilon of each other are the same instant / the same price.
+/// Exact `<`/`==` on doubles remains correct — and required — inside
+/// strict-weak-ordering comparators, where an epsilon would break
+/// transitivity.
+/// @{
+
+/// True if \p A and \p B are within \p Eps of each other.
+inline bool approxEq(double A, double B, double Eps = TimeEpsilon) {
+  return std::fabs(A - B) <= Eps;
+}
+
+/// True if \p A <= \p B up to tolerance (A is not meaningfully greater).
+inline bool approxLe(double A, double B, double Eps = TimeEpsilon) {
+  return A <= B + Eps;
+}
+
+/// True if \p A >= \p B up to tolerance (A is not meaningfully smaller).
+inline bool approxGe(double A, double B, double Eps = TimeEpsilon) {
+  return A >= B - Eps;
+}
+
+/// True if \p A is meaningfully less than \p B (by more than \p Eps).
+inline bool approxLt(double A, double B, double Eps = TimeEpsilon) {
+  return A < B - Eps;
+}
+
+/// True if \p A is meaningfully greater than \p B (by more than \p Eps).
+inline bool approxGt(double A, double B, double Eps = TimeEpsilon) {
+  return A > B + Eps;
+}
+
+/// @}
 
 /// A vacant time span on one node.
 struct Slot {
@@ -43,8 +81,11 @@ struct Slot {
        double End)
       : NodeId(NodeId), Performance(Performance), UnitPrice(UnitPrice),
         Start(Start), End(End) {
-    assert(End >= Start && "slot ends before it starts");
-    assert(Performance > 0.0 && "performance must be positive");
+    ECOSCHED_CHECK(End >= Start, "slot on node {} ends before it starts: [{}, {})",
+                   NodeId, Start, End);
+    ECOSCHED_CHECK(Performance > 0.0,
+                   "node {} performance must be positive, got {}", NodeId,
+                   Performance);
   }
 
   /// Time span of the slot.
@@ -57,13 +98,14 @@ struct Slot {
   /// the task starts at \p StartTime (used by the expiration step 3 of
   /// ALP/AMP).
   bool coversFrom(double StartTime, double Duration) const {
-    return Start <= StartTime + TimeEpsilon &&
-           End - StartTime >= Duration - TimeEpsilon;
+    return approxLe(Start, StartTime) &&
+           approxGe(End - StartTime, Duration);
   }
 };
 
 /// Ordering used by the search algorithms: non-decreasing start time,
-/// ties broken by node id for determinism.
+/// ties broken by node id for determinism. Comparisons are exact on
+/// purpose: a tolerant comparator is not a strict weak ordering.
 inline bool slotStartLess(const Slot &A, const Slot &B) {
   if (A.Start != B.Start)
     return A.Start < B.Start;

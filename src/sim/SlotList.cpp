@@ -17,22 +17,25 @@ SlotList::SlotList(std::vector<Slot> InitialSlots)
 }
 
 void SlotList::insert(const Slot &S) {
-  if (S.length() <= TimeEpsilon)
+  if (approxLe(S.length(), 0.0))
     return;
   auto Pos = std::upper_bound(Slots.begin(), Slots.end(), S, slotStartLess);
   Slots.insert(Pos, S);
 }
 
 bool SlotList::subtract(int NodeId, double Start, double End) {
-  if (End - Start <= TimeEpsilon)
+  ECOSCHED_CHECK(End >= Start,
+                 "reserved span on node {} ends before it starts: [{}, {})",
+                 NodeId, Start, End);
+  if (approxLe(End - Start, 0.0))
     return true; // Nothing to reserve.
   for (auto It = Slots.begin(), E = Slots.end(); It != E; ++It) {
     if (It->NodeId != NodeId)
       continue;
-    if (It->Start > Start + TimeEpsilon)
+    if (approxGt(It->Start, Start))
       continue; // Slots are sorted; a later slot cannot contain Start,
                 // but keep scanning in case of equal starts on the node.
-    if (It->End < End - TimeEpsilon)
+    if (approxLt(It->End, End))
       continue;
     // Found the containing slot K; split it into K1 and K2.
     Slot K = *It;
@@ -53,20 +56,45 @@ double SlotList::totalSpan() const {
 
 bool SlotList::checkInvariants() const {
   for (size_t I = 1, E = Slots.size(); I < E; ++I)
-    if (Slots[I - 1].Start > Slots[I].Start + TimeEpsilon)
+    if (approxGt(Slots[I - 1].Start, Slots[I].Start))
       return false;
   // Per-node disjointness: O(n^2) scan is fine for test-time checking.
   for (size_t I = 0, E = Slots.size(); I < E; ++I) {
-    if (Slots[I].length() <= TimeEpsilon)
+    if (approxLe(Slots[I].length(), 0.0))
       return false; // Zero-length slots must not be stored.
     for (size_t J = I + 1; J < E; ++J) {
       if (Slots[I].NodeId != Slots[J].NodeId)
         continue;
       const double OverlapStart = std::max(Slots[I].Start, Slots[J].Start);
       const double OverlapEnd = std::min(Slots[I].End, Slots[J].End);
-      if (OverlapEnd - OverlapStart > TimeEpsilon)
+      if (approxGt(OverlapEnd - OverlapStart, 0.0))
         return false;
     }
   }
   return true;
+}
+
+void SlotList::validate() const {
+  for (size_t I = 1, E = Slots.size(); I < E; ++I)
+    ECOSCHED_CHECK(!approxGt(Slots[I - 1].Start, Slots[I].Start),
+                   "slot list out of order at index {}: start {} precedes "
+                   "start {}",
+                   I, Slots[I].Start, Slots[I - 1].Start);
+  for (size_t I = 0, E = Slots.size(); I < E; ++I) {
+    const Slot &A = Slots[I];
+    ECOSCHED_CHECK(approxGt(A.length(), 0.0),
+                   "zero-length slot stored at index {} on node {}: [{}, {})",
+                   I, A.NodeId, A.Start, A.End);
+    for (size_t J = I + 1; J < E; ++J) {
+      const Slot &B = Slots[J];
+      if (A.NodeId != B.NodeId)
+        continue;
+      const double OverlapStart = std::max(A.Start, B.Start);
+      const double OverlapEnd = std::min(A.End, B.End);
+      ECOSCHED_CHECK(!approxGt(OverlapEnd - OverlapStart, 0.0),
+                     "slots {} and {} overlap on node {}: [{}, {}) vs "
+                     "[{}, {})",
+                     I, J, A.NodeId, A.Start, A.End, B.Start, B.End);
+    }
+  }
 }

@@ -54,6 +54,13 @@ public:
   /// a node. Intended for asserts and tests.
   bool checkInvariants() const;
 
+  /// Structural validator: re-checks the sorted order, the absence of
+  /// zero-length slots, and per-node disjointness, aborting with a
+  /// diagnostic that names the offending slots on the first violation.
+  /// The search algorithms invoke it at stage boundaries under
+  /// ECOSCHED_DCHECK; it is O(n^2) and intended for debug builds.
+  void validate() const;
+
   size_t size() const { return Slots.size(); }
   bool empty() const { return Slots.empty(); }
   const Slot &operator[](size_t I) const { return Slots[I]; }

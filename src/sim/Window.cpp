@@ -16,8 +16,11 @@ using namespace ecosched;
 Window::Window(double StartTime, std::vector<WindowSlot> InMembers)
     : Start(StartTime), Members(std::move(InMembers)) {
   for (const WindowSlot &M : Members) {
-    assert(M.Source.coversFrom(Start, M.Runtime) &&
-           "member slot does not cover the window span");
+    ECOSCHED_CHECK(M.Source.coversFrom(Start, M.Runtime),
+                   "member slot on node {} [{}, {}) does not cover the "
+                   "window span [{}, {})",
+                   M.Source.NodeId, M.Source.Start, M.Source.End, Start,
+                   Start + M.Runtime);
     MaxRuntime = std::max(MaxRuntime, M.Runtime);
     TotalCost += M.Cost;
     UnitPrices += M.Source.UnitPrice;
@@ -55,4 +58,44 @@ bool Window::subtractFrom(SlotList &List) const {
     AllFound &=
         List.subtract(M.Source.NodeId, Start, Start + M.Runtime);
   return AllFound;
+}
+
+void Window::validate() const {
+  double RecomputedMax = 0.0;
+  double RecomputedCost = 0.0;
+  double RecomputedPrices = 0.0;
+  for (size_t I = 0, E = Members.size(); I != E; ++I) {
+    const WindowSlot &M = Members[I];
+    ECOSCHED_CHECK(M.Runtime > 0.0,
+                   "member {} on node {} has non-positive runtime {}", I,
+                   M.Source.NodeId, M.Runtime);
+    ECOSCHED_CHECK(M.Source.coversFrom(Start, M.Runtime),
+                   "member {} on node {} [{}, {}) does not cover the window "
+                   "span [{}, {})",
+                   I, M.Source.NodeId, M.Source.Start, M.Source.End, Start,
+                   Start + M.Runtime);
+    ECOSCHED_CHECK(approxEq(M.Cost, M.Source.UnitPrice * M.Runtime),
+                   "member {} cost {} disagrees with UnitPrice {} * "
+                   "Runtime {}",
+                   I, M.Cost, M.Source.UnitPrice, M.Runtime);
+    RecomputedMax = std::max(RecomputedMax, M.Runtime);
+    RecomputedCost += M.Cost;
+    RecomputedPrices += M.Source.UnitPrice;
+  }
+  ECOSCHED_CHECK(approxEq(MaxRuntime, RecomputedMax),
+                 "cached time span {} disagrees with recomputed {}",
+                 MaxRuntime, RecomputedMax);
+  ECOSCHED_CHECK(approxEq(TotalCost, RecomputedCost),
+                 "cached total cost {} disagrees with member sum {}",
+                 TotalCost, RecomputedCost);
+  ECOSCHED_CHECK(approxEq(UnitPrices, RecomputedPrices),
+                 "cached unit-price sum {} disagrees with member sum {}",
+                 UnitPrices, RecomputedPrices);
+}
+
+void Window::validate(size_t ExpectedSlots) const {
+  ECOSCHED_CHECK(Members.size() == ExpectedSlots,
+                 "window holds {} slots but the request asked for {}",
+                 Members.size(), ExpectedSlots);
+  validate();
 }

@@ -19,7 +19,6 @@
 
 #include "sim/Slot.h"
 
-#include <cassert>
 #include <cstddef>
 #include <vector>
 
@@ -86,6 +85,18 @@ public:
   /// Removes this window's reserved spans from \p List (Fig. 1(b)).
   /// \returns true if every member span was found and subtracted.
   bool subtractFrom(SlotList &List) const;
+
+  /// Structural validator: every member covers [start, start + runtime],
+  /// per-member cost equals UnitPrice * Runtime, and the cached
+  /// aggregates (time span, total cost, unit-price sum) match a fresh
+  /// recomputation. Aborts with a diagnostic naming the offending
+  /// member. Invoked at search/optimizer stage boundaries under
+  /// ECOSCHED_DCHECK.
+  void validate() const;
+
+  /// Validator variant that additionally checks the window answers a
+  /// request for \p ExpectedSlots concurrent slots.
+  void validate(size_t ExpectedSlots) const;
 
 private:
   double Start = 0.0;

@@ -1,0 +1,54 @@
+//===-- support/Check.cpp - Runtime contract checks -----------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ecosched;
+
+std::string
+support::formatCheckMessage(const char *Fmt,
+                            std::initializer_list<std::string> Values) {
+  std::string Out;
+  const std::string Format = Fmt;
+  Out.reserve(Format.size());
+  auto Value = Values.begin();
+  size_t Pos = 0;
+  while (Pos < Format.size()) {
+    const size_t Marker = Format.find("{}", Pos);
+    if (Marker == std::string::npos || Value == Values.end())
+      break;
+    Out.append(Format, Pos, Marker - Pos);
+    Out += *Value++;
+    Pos = Marker + 2;
+  }
+  Out.append(Format, Pos, std::string::npos);
+  // Surplus values have no marker to land in; append them so the report
+  // never silently drops an operand.
+  if (Value != Values.end()) {
+    Out += " [extra:";
+    for (; Value != Values.end(); ++Value) {
+      Out += ' ';
+      Out += *Value;
+    }
+    Out += ']';
+  }
+  return Out;
+}
+
+void support::checkFailed(const char *File, long Line, const char *Expr,
+                          const std::string &Message) {
+  std::fprintf(stderr,
+               "ECOSCHED_CHECK failed at %s:%ld\n"
+               "  expression: %s\n"
+               "  message:    %s\n",
+               File, Line, Expr, Message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}

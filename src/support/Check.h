@@ -1,0 +1,120 @@
+//===-- support/Check.h - Runtime contract checks ------------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Contract-check macros that replace raw `assert`: on failure they
+/// print the failing expression, the source location, and a message with
+/// formatted operand values before aborting, so a corrupted schedule
+/// diagnoses itself instead of silently propagating.
+///
+/// `ECOSCHED_CHECK(Cond, Fmt, Vals...)` is always on, in every build
+/// type; use it for cheap preconditions and postconditions.
+/// `ECOSCHED_DCHECK` has the same shape but compiles to a no-op when
+/// `ECOSCHED_ENABLE_DCHECKS` is 0 (defaulted from NDEBUG); use it for
+/// expensive structural validation at stage boundaries.
+///
+/// The message is a literal format string where each `{}` is replaced by
+/// the next value argument, e.g.:
+///
+///   ECOSCHED_CHECK(End >= Start, "slot ends before it starts: [{}, {})",
+///                  Start, End);
+///
+/// Doubles are printed with enough digits to round-trip, so epsilon-level
+/// disagreements are visible in the failure report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SUPPORT_CHECK_H
+#define ECOSCHED_SUPPORT_CHECK_H
+
+#include <sstream>
+#include <string>
+
+namespace ecosched {
+namespace support {
+
+/// Prints the failure report to stderr and aborts. Never returns.
+[[noreturn]] void checkFailed(const char *File, long Line, const char *Expr,
+                              const std::string &Message);
+
+/// Renders one operand for the failure message. Doubles round-trip
+/// (max_digits10); everything else uses its ostream inserter.
+template <typename T> std::string renderValue(const T &Value) {
+  std::ostringstream OS;
+  OS.precision(17);
+  OS << Value;
+  return OS.str();
+}
+
+inline std::string renderValue(bool Value) {
+  return Value ? "true" : "false";
+}
+
+/// Substitutes each "{}" in \p Fmt with the next rendered value.
+/// Surplus values are appended; surplus "{}" markers are left verbatim.
+std::string formatCheckMessage(const char *Fmt,
+                               std::initializer_list<std::string> Values);
+
+template <typename... Ts>
+std::string formatMessage(const char *Fmt, const Ts &...Values) {
+  return formatCheckMessage(Fmt, {renderValue(Values)...});
+}
+
+inline std::string formatMessage(const char *Fmt) { return Fmt; }
+
+} // namespace support
+} // namespace ecosched
+
+/// Always-on contract check. \p Cond is evaluated exactly once; the
+/// message arguments are only evaluated on failure.
+#define ECOSCHED_CHECK(Cond, ...)                                             \
+  do {                                                                        \
+    if (!(Cond))                                                              \
+      ::ecosched::support::checkFailed(                                       \
+          __FILE__, __LINE__, #Cond,                                          \
+          ::ecosched::support::formatMessage(__VA_ARGS__));                   \
+  } while (false)
+
+/// Debug-mode checks default to on because every build type of this
+/// project keeps assertions enabled (see the top-level CMakeLists.txt);
+/// define ECOSCHED_ENABLE_DCHECKS=0 to strip them from a hot build.
+#ifndef ECOSCHED_ENABLE_DCHECKS
+#ifdef NDEBUG
+#define ECOSCHED_ENABLE_DCHECKS 0
+#else
+#define ECOSCHED_ENABLE_DCHECKS 1
+#endif
+#endif
+
+#if ECOSCHED_ENABLE_DCHECKS
+#define ECOSCHED_DCHECK(Cond, ...) ECOSCHED_CHECK(Cond, __VA_ARGS__)
+/// Runs a structural validator statement (e.g. `List.validate()`) only
+/// when debug checks are enabled; the validator itself aborts with a
+/// diagnostic on failure.
+#define ECOSCHED_DVALIDATE(...)                                               \
+  do {                                                                        \
+    __VA_ARGS__;                                                              \
+  } while (false)
+#else
+// Keeps every operand referenced (no unused-variable warnings) without
+// evaluating any of them.
+#define ECOSCHED_DCHECK(Cond, ...)                                            \
+  do {                                                                        \
+    if (false) {                                                              \
+      (void)(Cond);                                                           \
+      (void)::ecosched::support::formatMessage(__VA_ARGS__);                  \
+    }                                                                         \
+  } while (false)
+#define ECOSCHED_DVALIDATE(...)                                               \
+  do {                                                                        \
+    if (false) {                                                              \
+      __VA_ARGS__;                                                            \
+    }                                                                         \
+  } while (false)
+#endif
+
+#endif // ECOSCHED_SUPPORT_CHECK_H

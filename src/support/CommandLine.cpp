@@ -7,7 +7,8 @@
 
 #include "support/CommandLine.h"
 
-#include <cassert>
+#include "support/Check.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -19,7 +20,7 @@ ArgParser::ArgParser(std::string ProgramName, std::string Description)
 
 int64_t &ArgParser::addInt(const std::string &Name, int64_t Default,
                            const std::string &Help) {
-  assert(!findFlag(Name) && "duplicate flag");
+  ECOSCHED_CHECK(!findFlag(Name), "duplicate flag --{}", Name);
   IntValues.push_back(Default);
   Flags.push_back({Name, Help, std::to_string(Default), FlagKind::Int,
                    IntValues.size() - 1});
@@ -28,7 +29,7 @@ int64_t &ArgParser::addInt(const std::string &Name, int64_t Default,
 
 double &ArgParser::addReal(const std::string &Name, double Default,
                            const std::string &Help) {
-  assert(!findFlag(Name) && "duplicate flag");
+  ECOSCHED_CHECK(!findFlag(Name), "duplicate flag --{}", Name);
   RealValues.push_back(Default);
   char Buffer[32];
   std::snprintf(Buffer, sizeof(Buffer), "%g", Default);
@@ -39,7 +40,7 @@ double &ArgParser::addReal(const std::string &Name, double Default,
 
 bool &ArgParser::addBool(const std::string &Name, bool Default,
                          const std::string &Help) {
-  assert(!findFlag(Name) && "duplicate flag");
+  ECOSCHED_CHECK(!findFlag(Name), "duplicate flag --{}", Name);
   BoolValues.push_back(Default);
   Flags.push_back({Name, Help, Default ? "true" : "false", FlagKind::Bool,
                    BoolValues.size() - 1});
@@ -49,7 +50,7 @@ bool &ArgParser::addBool(const std::string &Name, bool Default,
 std::string &ArgParser::addString(const std::string &Name,
                                   std::string Default,
                                   const std::string &Help) {
-  assert(!findFlag(Name) && "duplicate flag");
+  ECOSCHED_CHECK(!findFlag(Name), "duplicate flag --{}", Name);
   StringValues.push_back(std::move(Default));
   Flags.push_back({Name, Help, StringValues.back(), FlagKind::String,
                    StringValues.size() - 1});

@@ -7,8 +7,9 @@
 
 #include "support/Plot.h"
 
+#include "support/Check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 
@@ -22,7 +23,8 @@ const std::vector<std::string> &ecosched::plotPalette() {
 
 std::vector<double> ecosched::niceTicks(double Lo, double Hi,
                                         int TargetCount) {
-  assert(TargetCount > 1 && "need at least two ticks");
+  ECOSCHED_CHECK(TargetCount > 1, "need at least two ticks, got {}",
+                 TargetCount);
   if (Hi <= Lo)
     Hi = Lo + 1.0;
   const double RawStep = (Hi - Lo) / (TargetCount - 1);
@@ -181,14 +183,17 @@ SvgDocument LineChart::render(double Width, double Height) const {
 }
 
 void GroupedBarChart::setSeries(std::vector<std::string> Names) {
-  assert(Groups.empty() && "declare series before adding groups");
+  ECOSCHED_CHECK(Groups.empty(),
+                 "declare series before adding groups ({} groups present)",
+                 Groups.size());
   SeriesNames = std::move(Names);
 }
 
 void GroupedBarChart::addGroup(std::string Label,
                                std::vector<double> Values) {
-  assert(Values.size() == SeriesNames.size() &&
-         "one value per declared series");
+  ECOSCHED_CHECK(Values.size() == SeriesNames.size(),
+                 "one value per declared series: {} values for {} series",
+                 Values.size(), SeriesNames.size());
   Groups.push_back({std::move(Label), std::move(Values)});
 }
 

@@ -7,6 +7,8 @@
 
 #include "support/Random.h"
 
+#include "support/Check.h"
+
 #include <cmath>
 
 using namespace ecosched;
@@ -41,12 +43,12 @@ double RandomGenerator::nextUnit() {
 }
 
 double RandomGenerator::uniformReal(double Lo, double Hi) {
-  assert(Lo <= Hi && "empty real range");
+  ECOSCHED_CHECK(Lo <= Hi, "empty real range [{}, {}]", Lo, Hi);
   return Lo + (Hi - Lo) * nextUnit();
 }
 
 int64_t RandomGenerator::uniformInt(int64_t Lo, int64_t Hi) {
-  assert(Lo <= Hi && "empty integer range");
+  ECOSCHED_CHECK(Lo <= Hi, "empty integer range [{}, {}]", Lo, Hi);
   const uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
   if (Span == 0) // Full 64-bit range.
     return static_cast<int64_t>(next());
@@ -67,7 +69,8 @@ bool RandomGenerator::bernoulli(double P) {
 }
 
 int64_t RandomGenerator::poisson(double Mean) {
-  assert(Mean >= 0.0 && "Poisson mean must be non-negative");
+  ECOSCHED_CHECK(Mean >= 0.0,
+                 "Poisson mean must be non-negative, got {}", Mean);
   if (Mean <= 0.0)
     return 0;
   // Knuth: multiply uniforms until the product drops below e^-Mean.

@@ -19,7 +19,6 @@
 #ifndef ECOSCHED_SUPPORT_RANDOM_H
 #define ECOSCHED_SUPPORT_RANDOM_H
 
-#include <cassert>
 #include <cstdint>
 
 namespace ecosched {

@@ -7,8 +7,9 @@
 
 #include "support/Statistics.h"
 
+#include "support/Check.h"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 using namespace ecosched;
@@ -54,8 +55,9 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 Histogram::Histogram(double Lo, double Hi, size_t BucketCount)
     : Lo(Lo), Hi(Hi), Buckets(BucketCount, 0) {
-  assert(Lo < Hi && "histogram range is empty");
-  assert(BucketCount > 0 && "histogram needs at least one bucket");
+  ECOSCHED_CHECK(Lo < Hi, "histogram range [{}, {}) is empty", Lo, Hi);
+  ECOSCHED_CHECK(BucketCount > 0,
+                 "histogram needs at least one bucket");
 }
 
 void Histogram::add(double X) {

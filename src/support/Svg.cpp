@@ -7,7 +7,8 @@
 
 #include "support/Svg.h"
 
-#include <cassert>
+#include "support/Check.h"
+
 #include <cstdio>
 
 using namespace ecosched;
@@ -58,7 +59,8 @@ std::string styleAttrs(const SvgStyle &Style) {
 
 SvgDocument::SvgDocument(double Width, double Height)
     : Width(Width), Height(Height) {
-  assert(Width > 0.0 && Height > 0.0 && "empty SVG canvas");
+  ECOSCHED_CHECK(Width > 0.0 && Height > 0.0,
+                 "empty SVG canvas: {} x {}", Width, Height);
   SvgStyle Background;
   Background.Fill = "#ffffff";
   addRect(0.0, 0.0, Width, Height, Background);

@@ -7,8 +7,9 @@
 
 #include "support/Table.h"
 
+#include "support/Check.h"
+
 #include <algorithm>
-#include <cassert>
 
 using namespace ecosched;
 
@@ -19,21 +20,26 @@ std::string ecosched::formatDouble(double Value, int Precision) {
 }
 
 void TablePrinter::addColumn(std::string Header, AlignKind Align) {
-  assert(Rows.empty() && "columns must be declared before rows");
+  ECOSCHED_CHECK(Rows.empty(),
+                 "columns must be declared before rows ({} rows present)",
+                 Rows.size());
   Headers.push_back(std::move(Header));
   Aligns.push_back(Align);
 }
 
 void TablePrinter::beginRow() {
-  assert(!Headers.empty() && "declare columns first");
-  assert((Rows.empty() || Rows.back().size() == Headers.size()) &&
-         "previous row is incomplete");
+  ECOSCHED_CHECK(!Headers.empty(), "declare columns first");
+  ECOSCHED_CHECK(Rows.empty() || Rows.back().size() == Headers.size(),
+                 "previous row is incomplete: {} cells for {} columns",
+                 Rows.empty() ? 0 : Rows.back().size(), Headers.size());
   Rows.emplace_back();
 }
 
 void TablePrinter::addCell(std::string Text) {
-  assert(!Rows.empty() && "beginRow() before adding cells");
-  assert(Rows.back().size() < Headers.size() && "row has too many cells");
+  ECOSCHED_CHECK(!Rows.empty(), "beginRow() before adding cells");
+  ECOSCHED_CHECK(Rows.back().size() < Headers.size(),
+                 "row has too many cells: {} for {} columns",
+                 Rows.back().size() + 1, Headers.size());
   Rows.back().push_back(std::move(Text));
 }
 

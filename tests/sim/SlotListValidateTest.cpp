@@ -1,0 +1,120 @@
+//===-- tests/sim/SlotListValidateTest.cpp - Structural validators --------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+//
+// Exercises SlotList::validate() and Window::validate() on deliberately
+// corrupted structures: the validators must abort with a diagnostic that
+// names the offending slots, and must stay silent on healthy inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SlotList.h"
+#include "sim/Window.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ecosched;
+
+SlotList healthyList() {
+  return SlotList({Slot(0, 1.0, 2.0, 0.0, 10.0),
+                   Slot(1, 2.0, 3.0, 1.0, 8.0),
+                   Slot(0, 1.0, 2.0, 12.0, 20.0)});
+}
+
+TEST(SlotListValidate, HealthyListPasses) {
+  healthyList().validate();
+  SUCCEED();
+}
+
+TEST(SlotListValidate, EmptyListPasses) {
+  SlotList().validate();
+  SUCCEED();
+}
+
+TEST(SlotListValidateDeathTest, DetectsOverlapOnOneNode) {
+  // The constructor sorts but does not police per-node disjointness;
+  // that invariant is owed by the producers, which is exactly what
+  // validate() double-checks at stage boundaries.
+  const SlotList Corrupt({Slot(0, 1.0, 2.0, 0.0, 10.0),
+                          Slot(0, 1.0, 2.0, 5.0, 15.0)});
+  EXPECT_DEATH(Corrupt.validate(), "overlap on node 0");
+}
+
+TEST(SlotListValidateDeathTest, DetectsZeroLengthSlot) {
+  // insert() filters zero-length slots; the bulk constructor does not.
+  const SlotList Corrupt({Slot(2, 1.0, 2.0, 5.0, 5.0)});
+  EXPECT_DEATH(Corrupt.validate(), "zero-length slot");
+}
+
+TEST(SlotListValidate, TouchingSlotsAreNotOverlap) {
+  const SlotList Touching({Slot(0, 1.0, 2.0, 0.0, 5.0),
+                           Slot(0, 1.0, 2.0, 5.0, 10.0)});
+  Touching.validate();
+  SUCCEED();
+}
+
+TEST(SlotListValidate, SubtractPreservesValidity) {
+  SlotList List = healthyList();
+  ASSERT_TRUE(List.subtract(0, 2.0, 4.0));
+  List.validate();
+  SUCCEED();
+}
+
+Window healthyWindow() {
+  std::vector<WindowSlot> Members;
+  // Two members covering [1, 1 + runtime) with consistent costs.
+  Members.push_back({Slot(0, 1.0, 2.0, 0.0, 10.0), /*Runtime=*/4.0,
+                     /*Cost=*/8.0});
+  Members.push_back({Slot(1, 2.0, 3.0, 1.0, 8.0), /*Runtime=*/2.0,
+                     /*Cost=*/6.0});
+  return Window(1.0, std::move(Members));
+}
+
+TEST(WindowValidate, HealthyWindowPasses) {
+  healthyWindow().validate();
+  healthyWindow().validate(/*ExpectedSlots=*/2);
+  SUCCEED();
+}
+
+TEST(WindowValidateDeathTest, DetectsCostInconsistentWithPriceAndRuntime) {
+  std::vector<WindowSlot> Members;
+  // UnitPrice 2.0 * Runtime 4.0 = 8.0, but the cached cost claims 9.5.
+  Members.push_back({Slot(0, 1.0, 2.0, 0.0, 10.0), /*Runtime=*/4.0,
+                     /*Cost=*/9.5});
+  const Window W(1.0, std::move(Members));
+  EXPECT_DEATH(W.validate(), "disagrees with UnitPrice");
+}
+
+TEST(WindowValidateDeathTest, DetectsSlotCountMismatch) {
+  EXPECT_DEATH(healthyWindow().validate(/*ExpectedSlots=*/3),
+               "holds 2 slots but the request asked for 3");
+}
+
+TEST(WindowValidateDeathTest, ConstructorRejectsNonCoveringMember) {
+  // Coverage violations abort in the constructor itself, before a
+  // corrupted window can circulate.
+  std::vector<WindowSlot> Members;
+  Members.push_back({Slot(0, 1.0, 2.0, 0.0, 3.0), /*Runtime=*/4.0,
+                     /*Cost=*/8.0});
+  EXPECT_DEATH(Window(1.0, std::move(Members)),
+               "does not cover the window span");
+}
+
+TEST(ApproxHelpers, ToleranceSemantics) {
+  EXPECT_TRUE(approxEq(1.0, 1.0 + TimeEpsilon / 2));
+  EXPECT_FALSE(approxEq(1.0, 1.0 + 3 * TimeEpsilon));
+  EXPECT_TRUE(approxLe(1.0 + TimeEpsilon / 2, 1.0));
+  EXPECT_FALSE(approxLe(1.0 + 3 * TimeEpsilon, 1.0));
+  EXPECT_TRUE(approxGe(1.0 - TimeEpsilon / 2, 1.0));
+  EXPECT_TRUE(approxLt(1.0, 1.0 + 3 * TimeEpsilon));
+  EXPECT_FALSE(approxLt(1.0, 1.0 + TimeEpsilon / 2));
+  EXPECT_TRUE(approxGt(1.0 + 3 * TimeEpsilon, 1.0));
+  EXPECT_FALSE(approxGt(1.0 + TimeEpsilon / 2, 1.0));
+}
+
+} // namespace

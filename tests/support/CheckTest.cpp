@@ -1,0 +1,100 @@
+//===-- tests/support/CheckTest.cpp - Contract-check macros ---------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+//
+// Death tests for ECOSCHED_CHECK / ECOSCHED_DCHECK: the failure report
+// must carry the failing expression, the source location, and the
+// formatted operand values - that diagnostic quality is the reason the
+// macros exist, so it is pinned here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Check.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using ecosched::support::formatCheckMessage;
+using ecosched::support::formatMessage;
+
+TEST(FormatCheckMessage, SubstitutesMarkersInOrder) {
+  EXPECT_EQ(formatCheckMessage("a={} b={}", {"1", "2"}), "a=1 b=2");
+}
+
+TEST(FormatCheckMessage, NoMarkersNoValues) {
+  EXPECT_EQ(formatCheckMessage("plain message", {}), "plain message");
+}
+
+TEST(FormatCheckMessage, SurplusMarkersStayVerbatim) {
+  EXPECT_EQ(formatCheckMessage("a={} b={}", {"1"}), "a=1 b={}");
+}
+
+TEST(FormatCheckMessage, SurplusValuesAreAppended) {
+  EXPECT_EQ(formatCheckMessage("a={}", {"1", "2", "3"}),
+            "a=1 [extra: 2 3]");
+}
+
+TEST(FormatMessage, RendersMixedOperandTypes) {
+  EXPECT_EQ(formatMessage("n={} s={} b={}", 42, "abc", true),
+            "n=42 s=abc b=true");
+}
+
+TEST(FormatMessage, DoublesRoundTrip) {
+  // 17 significant digits: 0.1 must expose its binary representation
+  // instead of being prettified, so epsilon-level disagreements between
+  // two printed operands remain visible.
+  EXPECT_EQ(formatMessage("x={}", 0.1), "x=0.10000000000000001");
+  EXPECT_EQ(formatMessage("x={}", 1.0), "x=1");
+}
+
+TEST(CheckDeathTest, PassingCheckIsSilent) {
+  ECOSCHED_CHECK(1 + 1 == 2, "arithmetic broke");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailureReportCarriesExpression) {
+  const int Lhs = 3, Rhs = 2;
+  EXPECT_DEATH(ECOSCHED_CHECK(Lhs < Rhs, "unused"),
+               "expression: Lhs < Rhs");
+}
+
+TEST(CheckDeathTest, FailureReportCarriesLocation) {
+  EXPECT_DEATH(ECOSCHED_CHECK(false, "location test"), "CheckTest\\.cpp");
+}
+
+TEST(CheckDeathTest, FailureReportCarriesFormattedOperands) {
+  const double Budget = 10.5;
+  const double Total = 12.25;
+  EXPECT_DEATH(ECOSCHED_CHECK(Total <= Budget,
+                              "total {} exceeds budget {}", Total, Budget),
+               "message:    total 12.25 exceeds budget 10.5");
+}
+
+TEST(CheckDeathTest, ConditionEvaluatedExactlyOnce) {
+  int Calls = 0;
+  const auto Bump = [&Calls] {
+    ++Calls;
+    return true;
+  };
+  ECOSCHED_CHECK(Bump(), "side effect must run once");
+  EXPECT_EQ(Calls, 1);
+}
+
+#if ECOSCHED_ENABLE_DCHECKS
+TEST(CheckDeathTest, DcheckFiresWhenEnabled) {
+  EXPECT_DEATH(ECOSCHED_DCHECK(false, "dcheck message {}", 7),
+               "dcheck message 7");
+}
+#else
+TEST(CheckDeathTest, DcheckCompiledOutWhenDisabled) {
+  int Calls = 0;
+  ECOSCHED_DCHECK((++Calls, false), "never evaluated");
+  EXPECT_EQ(Calls, 0);
+}
+#endif
+
+} // namespace
