@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_adaptive_rho"
+  "../bench/ablation_adaptive_rho.pdb"
+  "CMakeFiles/ablation_adaptive_rho.dir/ablation_adaptive_rho.cpp.o"
+  "CMakeFiles/ablation_adaptive_rho.dir/ablation_adaptive_rho.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_batch_once"
+  "../bench/ablation_batch_once.pdb"
+  "CMakeFiles/ablation_batch_once.dir/ablation_batch_once.cpp.o"
+  "CMakeFiles/ablation_batch_once.dir/ablation_batch_once.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_once.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

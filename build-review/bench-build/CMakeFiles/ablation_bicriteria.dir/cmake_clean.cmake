@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_bicriteria"
+  "../bench/ablation_bicriteria.pdb"
+  "CMakeFiles/ablation_bicriteria.dir/ablation_bicriteria.cpp.o"
+  "CMakeFiles/ablation_bicriteria.dir/ablation_bicriteria.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bicriteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

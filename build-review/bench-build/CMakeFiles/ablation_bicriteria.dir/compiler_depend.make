@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_bicriteria.
+# This may be replaced when dependencies are built.

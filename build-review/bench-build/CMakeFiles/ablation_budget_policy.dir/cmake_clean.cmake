@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_budget_policy"
+  "../bench/ablation_budget_policy.pdb"
+  "CMakeFiles/ablation_budget_policy.dir/ablation_budget_policy.cpp.o"
+  "CMakeFiles/ablation_budget_policy.dir/ablation_budget_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_budget_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

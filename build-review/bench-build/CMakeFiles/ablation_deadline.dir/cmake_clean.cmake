@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_deadline"
+  "../bench/ablation_deadline.pdb"
+  "CMakeFiles/ablation_deadline.dir/ablation_deadline.cpp.o"
+  "CMakeFiles/ablation_deadline.dir/ablation_deadline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_domain_workload"
+  "../bench/ablation_domain_workload.pdb"
+  "CMakeFiles/ablation_domain_workload.dir/ablation_domain_workload.cpp.o"
+  "CMakeFiles/ablation_domain_workload.dir/ablation_domain_workload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_domain_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_domain_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_optimizer"
+  "../bench/ablation_optimizer.pdb"
+  "CMakeFiles/ablation_optimizer.dir/ablation_optimizer.cpp.o"
+  "CMakeFiles/ablation_optimizer.dir/ablation_optimizer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ordering"
+  "../bench/ablation_ordering.pdb"
+  "CMakeFiles/ablation_ordering.dir/ablation_ordering.cpp.o"
+  "CMakeFiles/ablation_ordering.dir/ablation_ordering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_price_factor"
+  "../bench/ablation_price_factor.pdb"
+  "CMakeFiles/ablation_price_factor.dir/ablation_price_factor.cpp.o"
+  "CMakeFiles/ablation_price_factor.dir/ablation_price_factor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_price_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

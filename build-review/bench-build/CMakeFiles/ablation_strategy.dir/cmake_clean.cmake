@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_strategy"
+  "../bench/ablation_strategy.pdb"
+  "CMakeFiles/ablation_strategy.dir/ablation_strategy.cpp.o"
+  "CMakeFiles/ablation_strategy.dir/ablation_strategy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_amp_example"
+  "../bench/fig2_amp_example.pdb"
+  "CMakeFiles/fig2_amp_example.dir/fig2_amp_example.cpp.o"
+  "CMakeFiles/fig2_amp_example.dir/fig2_amp_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_amp_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_alternatives_chart"
+  "../bench/fig3_alternatives_chart.pdb"
+  "CMakeFiles/fig3_alternatives_chart.dir/fig3_alternatives_chart.cpp.o"
+  "CMakeFiles/fig3_alternatives_chart.dir/fig3_alternatives_chart.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_alternatives_chart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_time_minimization"
+  "../bench/fig4_time_minimization.pdb"
+  "CMakeFiles/fig4_time_minimization.dir/fig4_time_minimization.cpp.o"
+  "CMakeFiles/fig4_time_minimization.dir/fig4_time_minimization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_time_minimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

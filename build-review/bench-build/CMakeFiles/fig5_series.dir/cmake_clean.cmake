@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_series"
+  "../bench/fig5_series.pdb"
+  "CMakeFiles/fig5_series.dir/fig5_series.cpp.o"
+  "CMakeFiles/fig5_series.dir/fig5_series.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

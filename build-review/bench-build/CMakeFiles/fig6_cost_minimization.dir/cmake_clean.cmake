@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_cost_minimization"
+  "../bench/fig6_cost_minimization.pdb"
+  "CMakeFiles/fig6_cost_minimization.dir/fig6_cost_minimization.cpp.o"
+  "CMakeFiles/fig6_cost_minimization.dir/fig6_cost_minimization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cost_minimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/repro_summary"
+  "../bench/repro_summary.pdb"
+  "CMakeFiles/repro_summary.dir/repro_summary.cpp.o"
+  "CMakeFiles/repro_summary.dir/repro_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

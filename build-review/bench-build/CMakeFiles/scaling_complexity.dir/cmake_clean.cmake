@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_complexity"
+  "../bench/scaling_complexity.pdb"
+  "CMakeFiles/scaling_complexity.dir/scaling_complexity.cpp.o"
+  "CMakeFiles/scaling_complexity.dir/scaling_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

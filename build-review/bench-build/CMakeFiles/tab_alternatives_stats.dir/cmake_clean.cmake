@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_alternatives_stats"
+  "../bench/tab_alternatives_stats.pdb"
+  "CMakeFiles/tab_alternatives_stats.dir/tab_alternatives_stats.cpp.o"
+  "CMakeFiles/tab_alternatives_stats.dir/tab_alternatives_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_alternatives_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/vo_longrun"
+  "../bench/vo_longrun.pdb"
+  "CMakeFiles/vo_longrun.dir/vo_longrun.cpp.o"
+  "CMakeFiles/vo_longrun.dir/vo_longrun.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vo_longrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vo_longrun.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-review/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-review/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_paper "/root/repo/build-review/examples/paper_example")
+set_tests_properties(example_paper PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vo "/root/repo/build-review/examples/vo_simulation" "--iterations=6")
+set_tests_properties(example_vo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tradeoff "/root/repo/build-review/examples/tradeoff_explorer" "--iterations=60")
+set_tests_properties(example_tradeoff PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_failure "/root/repo/build-review/examples/failure_recovery" "--iterations=8")
+set_tests_properties(example_failure PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_replay "/root/repo/build-review/examples/trace_replay" "--seed=5")
+set_tests_properties(example_trace_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_generate "/root/repo/build-review/examples/scheduler_cli" "--mode=generate" "--slots=ctest_slots.trace" "--jobs=ctest_jobs.trace")
+set_tests_properties(example_cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_schedule "/root/repo/build-review/examples/scheduler_cli" "--mode=schedule" "--slots=ctest_slots.trace" "--jobs=ctest_jobs.trace")
+set_tests_properties(example_cli_schedule PROPERTIES  DEPENDS "example_cli_generate" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

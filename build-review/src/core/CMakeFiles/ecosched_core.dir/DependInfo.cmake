@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AlpSearch.cpp" "src/core/CMakeFiles/ecosched_core.dir/AlpSearch.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/AlpSearch.cpp.o.d"
+  "/root/repo/src/core/AlternativeSearch.cpp" "src/core/CMakeFiles/ecosched_core.dir/AlternativeSearch.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/AlternativeSearch.cpp.o.d"
+  "/root/repo/src/core/AmpSearch.cpp" "src/core/CMakeFiles/ecosched_core.dir/AmpSearch.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/AmpSearch.cpp.o.d"
+  "/root/repo/src/core/BackfillSearch.cpp" "src/core/CMakeFiles/ecosched_core.dir/BackfillSearch.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/BackfillSearch.cpp.o.d"
+  "/root/repo/src/core/BatchOrdering.cpp" "src/core/CMakeFiles/ecosched_core.dir/BatchOrdering.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/BatchOrdering.cpp.o.d"
+  "/root/repo/src/core/BatchSearch.cpp" "src/core/CMakeFiles/ecosched_core.dir/BatchSearch.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/BatchSearch.cpp.o.d"
+  "/root/repo/src/core/BicriteriaOptimizer.cpp" "src/core/CMakeFiles/ecosched_core.dir/BicriteriaOptimizer.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/BicriteriaOptimizer.cpp.o.d"
+  "/root/repo/src/core/BruteForceOptimizer.cpp" "src/core/CMakeFiles/ecosched_core.dir/BruteForceOptimizer.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/BruteForceOptimizer.cpp.o.d"
+  "/root/repo/src/core/DpOptimizer.cpp" "src/core/CMakeFiles/ecosched_core.dir/DpOptimizer.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/DpOptimizer.cpp.o.d"
+  "/root/repo/src/core/DynamicPricing.cpp" "src/core/CMakeFiles/ecosched_core.dir/DynamicPricing.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/DynamicPricing.cpp.o.d"
+  "/root/repo/src/core/Experiment.cpp" "src/core/CMakeFiles/ecosched_core.dir/Experiment.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/Experiment.cpp.o.d"
+  "/root/repo/src/core/GreedyOptimizer.cpp" "src/core/CMakeFiles/ecosched_core.dir/GreedyOptimizer.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/GreedyOptimizer.cpp.o.d"
+  "/root/repo/src/core/Limits.cpp" "src/core/CMakeFiles/ecosched_core.dir/Limits.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/Limits.cpp.o.d"
+  "/root/repo/src/core/Metascheduler.cpp" "src/core/CMakeFiles/ecosched_core.dir/Metascheduler.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/Metascheduler.cpp.o.d"
+  "/root/repo/src/core/Optimizer.cpp" "src/core/CMakeFiles/ecosched_core.dir/Optimizer.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/Optimizer.cpp.o.d"
+  "/root/repo/src/core/SearchAlgorithm.cpp" "src/core/CMakeFiles/ecosched_core.dir/SearchAlgorithm.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/SearchAlgorithm.cpp.o.d"
+  "/root/repo/src/core/SearchCommon.cpp" "src/core/CMakeFiles/ecosched_core.dir/SearchCommon.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/SearchCommon.cpp.o.d"
+  "/root/repo/src/core/Strategy.cpp" "src/core/CMakeFiles/ecosched_core.dir/Strategy.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/Strategy.cpp.o.d"
+  "/root/repo/src/core/VirtualOrganization.cpp" "src/core/CMakeFiles/ecosched_core.dir/VirtualOrganization.cpp.o" "gcc" "src/core/CMakeFiles/ecosched_core.dir/VirtualOrganization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/ecosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/ecosched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ComputingDomain.cpp" "src/sim/CMakeFiles/ecosched_sim.dir/ComputingDomain.cpp.o" "gcc" "src/sim/CMakeFiles/ecosched_sim.dir/ComputingDomain.cpp.o.d"
+  "/root/repo/src/sim/GanttChart.cpp" "src/sim/CMakeFiles/ecosched_sim.dir/GanttChart.cpp.o" "gcc" "src/sim/CMakeFiles/ecosched_sim.dir/GanttChart.cpp.o.d"
+  "/root/repo/src/sim/JobGenerator.cpp" "src/sim/CMakeFiles/ecosched_sim.dir/JobGenerator.cpp.o" "gcc" "src/sim/CMakeFiles/ecosched_sim.dir/JobGenerator.cpp.o.d"
+  "/root/repo/src/sim/PaperExample.cpp" "src/sim/CMakeFiles/ecosched_sim.dir/PaperExample.cpp.o" "gcc" "src/sim/CMakeFiles/ecosched_sim.dir/PaperExample.cpp.o.d"
+  "/root/repo/src/sim/SlotGenerator.cpp" "src/sim/CMakeFiles/ecosched_sim.dir/SlotGenerator.cpp.o" "gcc" "src/sim/CMakeFiles/ecosched_sim.dir/SlotGenerator.cpp.o.d"
+  "/root/repo/src/sim/SlotList.cpp" "src/sim/CMakeFiles/ecosched_sim.dir/SlotList.cpp.o" "gcc" "src/sim/CMakeFiles/ecosched_sim.dir/SlotList.cpp.o.d"
+  "/root/repo/src/sim/TraceIO.cpp" "src/sim/CMakeFiles/ecosched_sim.dir/TraceIO.cpp.o" "gcc" "src/sim/CMakeFiles/ecosched_sim.dir/TraceIO.cpp.o.d"
+  "/root/repo/src/sim/Window.cpp" "src/sim/CMakeFiles/ecosched_sim.dir/Window.cpp.o" "gcc" "src/sim/CMakeFiles/ecosched_sim.dir/Window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/ecosched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecosched_sim.dir/ComputingDomain.cpp.o"
+  "CMakeFiles/ecosched_sim.dir/ComputingDomain.cpp.o.d"
+  "CMakeFiles/ecosched_sim.dir/GanttChart.cpp.o"
+  "CMakeFiles/ecosched_sim.dir/GanttChart.cpp.o.d"
+  "CMakeFiles/ecosched_sim.dir/JobGenerator.cpp.o"
+  "CMakeFiles/ecosched_sim.dir/JobGenerator.cpp.o.d"
+  "CMakeFiles/ecosched_sim.dir/PaperExample.cpp.o"
+  "CMakeFiles/ecosched_sim.dir/PaperExample.cpp.o.d"
+  "CMakeFiles/ecosched_sim.dir/SlotGenerator.cpp.o"
+  "CMakeFiles/ecosched_sim.dir/SlotGenerator.cpp.o.d"
+  "CMakeFiles/ecosched_sim.dir/SlotList.cpp.o"
+  "CMakeFiles/ecosched_sim.dir/SlotList.cpp.o.d"
+  "CMakeFiles/ecosched_sim.dir/TraceIO.cpp.o"
+  "CMakeFiles/ecosched_sim.dir/TraceIO.cpp.o.d"
+  "CMakeFiles/ecosched_sim.dir/Window.cpp.o"
+  "CMakeFiles/ecosched_sim.dir/Window.cpp.o.d"
+  "libecosched_sim.a"
+  "libecosched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecosched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

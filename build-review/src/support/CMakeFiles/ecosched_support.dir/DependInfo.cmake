@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Check.cpp" "src/support/CMakeFiles/ecosched_support.dir/Check.cpp.o" "gcc" "src/support/CMakeFiles/ecosched_support.dir/Check.cpp.o.d"
+  "/root/repo/src/support/CommandLine.cpp" "src/support/CMakeFiles/ecosched_support.dir/CommandLine.cpp.o" "gcc" "src/support/CMakeFiles/ecosched_support.dir/CommandLine.cpp.o.d"
+  "/root/repo/src/support/Plot.cpp" "src/support/CMakeFiles/ecosched_support.dir/Plot.cpp.o" "gcc" "src/support/CMakeFiles/ecosched_support.dir/Plot.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/support/CMakeFiles/ecosched_support.dir/Random.cpp.o" "gcc" "src/support/CMakeFiles/ecosched_support.dir/Random.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/support/CMakeFiles/ecosched_support.dir/Statistics.cpp.o" "gcc" "src/support/CMakeFiles/ecosched_support.dir/Statistics.cpp.o.d"
+  "/root/repo/src/support/Svg.cpp" "src/support/CMakeFiles/ecosched_support.dir/Svg.cpp.o" "gcc" "src/support/CMakeFiles/ecosched_support.dir/Svg.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/support/CMakeFiles/ecosched_support.dir/Table.cpp.o" "gcc" "src/support/CMakeFiles/ecosched_support.dir/Table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

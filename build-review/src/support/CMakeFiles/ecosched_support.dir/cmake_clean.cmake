@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecosched_support.dir/Check.cpp.o"
+  "CMakeFiles/ecosched_support.dir/Check.cpp.o.d"
+  "CMakeFiles/ecosched_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/ecosched_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/ecosched_support.dir/Plot.cpp.o"
+  "CMakeFiles/ecosched_support.dir/Plot.cpp.o.d"
+  "CMakeFiles/ecosched_support.dir/Random.cpp.o"
+  "CMakeFiles/ecosched_support.dir/Random.cpp.o.d"
+  "CMakeFiles/ecosched_support.dir/Statistics.cpp.o"
+  "CMakeFiles/ecosched_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/ecosched_support.dir/Svg.cpp.o"
+  "CMakeFiles/ecosched_support.dir/Svg.cpp.o.d"
+  "CMakeFiles/ecosched_support.dir/Table.cpp.o"
+  "CMakeFiles/ecosched_support.dir/Table.cpp.o.d"
+  "libecosched_support.a"
+  "libecosched_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecosched_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

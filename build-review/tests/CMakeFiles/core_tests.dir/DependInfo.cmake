@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/AlpSearchTest.cpp" "tests/CMakeFiles/core_tests.dir/core/AlpSearchTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/AlpSearchTest.cpp.o.d"
+  "/root/repo/tests/core/AlternativeSearchTest.cpp" "tests/CMakeFiles/core_tests.dir/core/AlternativeSearchTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/AlternativeSearchTest.cpp.o.d"
+  "/root/repo/tests/core/AmpSearchTest.cpp" "tests/CMakeFiles/core_tests.dir/core/AmpSearchTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/AmpSearchTest.cpp.o.d"
+  "/root/repo/tests/core/BackfillSearchTest.cpp" "tests/CMakeFiles/core_tests.dir/core/BackfillSearchTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/BackfillSearchTest.cpp.o.d"
+  "/root/repo/tests/core/BatchOrderingTest.cpp" "tests/CMakeFiles/core_tests.dir/core/BatchOrderingTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/BatchOrderingTest.cpp.o.d"
+  "/root/repo/tests/core/BatchSearchTest.cpp" "tests/CMakeFiles/core_tests.dir/core/BatchSearchTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/BatchSearchTest.cpp.o.d"
+  "/root/repo/tests/core/BicriteriaOptimizerTest.cpp" "tests/CMakeFiles/core_tests.dir/core/BicriteriaOptimizerTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/BicriteriaOptimizerTest.cpp.o.d"
+  "/root/repo/tests/core/DeadlineTest.cpp" "tests/CMakeFiles/core_tests.dir/core/DeadlineTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/DeadlineTest.cpp.o.d"
+  "/root/repo/tests/core/DynamicPricingTest.cpp" "tests/CMakeFiles/core_tests.dir/core/DynamicPricingTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/DynamicPricingTest.cpp.o.d"
+  "/root/repo/tests/core/FailureInjectionTest.cpp" "tests/CMakeFiles/core_tests.dir/core/FailureInjectionTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/FailureInjectionTest.cpp.o.d"
+  "/root/repo/tests/core/LimitsTest.cpp" "tests/CMakeFiles/core_tests.dir/core/LimitsTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/LimitsTest.cpp.o.d"
+  "/root/repo/tests/core/MetaschedulerTest.cpp" "tests/CMakeFiles/core_tests.dir/core/MetaschedulerTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/MetaschedulerTest.cpp.o.d"
+  "/root/repo/tests/core/OptimizerTest.cpp" "tests/CMakeFiles/core_tests.dir/core/OptimizerTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/OptimizerTest.cpp.o.d"
+  "/root/repo/tests/core/StrategyTest.cpp" "tests/CMakeFiles/core_tests.dir/core/StrategyTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/StrategyTest.cpp.o.d"
+  "/root/repo/tests/core/VirtualOrganizationTest.cpp" "tests/CMakeFiles/core_tests.dir/core/VirtualOrganizationTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/VirtualOrganizationTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ecosched_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ecosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/ecosched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

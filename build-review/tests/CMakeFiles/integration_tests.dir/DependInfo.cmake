@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/ExperimentTest.cpp" "tests/CMakeFiles/integration_tests.dir/integration/ExperimentTest.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/ExperimentTest.cpp.o.d"
+  "/root/repo/tests/integration/PaperPipelineTest.cpp" "tests/CMakeFiles/integration_tests.dir/integration/PaperPipelineTest.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/PaperPipelineTest.cpp.o.d"
+  "/root/repo/tests/integration/VoLoopTest.cpp" "tests/CMakeFiles/integration_tests.dir/integration/VoLoopTest.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/VoLoopTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ecosched_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ecosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/ecosched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/BatchSearchPropertyTest.cpp" "tests/CMakeFiles/property_tests.dir/property/BatchSearchPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/property_tests.dir/property/BatchSearchPropertyTest.cpp.o.d"
+  "/root/repo/tests/property/ModelFuzzTest.cpp" "tests/CMakeFiles/property_tests.dir/property/ModelFuzzTest.cpp.o" "gcc" "tests/CMakeFiles/property_tests.dir/property/ModelFuzzTest.cpp.o.d"
+  "/root/repo/tests/property/OptimizerPropertyTest.cpp" "tests/CMakeFiles/property_tests.dir/property/OptimizerPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/property_tests.dir/property/OptimizerPropertyTest.cpp.o.d"
+  "/root/repo/tests/property/SearchPropertyTest.cpp" "tests/CMakeFiles/property_tests.dir/property/SearchPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/property_tests.dir/property/SearchPropertyTest.cpp.o.d"
+  "/root/repo/tests/property/SubtractionPropertyTest.cpp" "tests/CMakeFiles/property_tests.dir/property/SubtractionPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/property_tests.dir/property/SubtractionPropertyTest.cpp.o.d"
+  "/root/repo/tests/property/WorkloadShapeTest.cpp" "tests/CMakeFiles/property_tests.dir/property/WorkloadShapeTest.cpp.o" "gcc" "tests/CMakeFiles/property_tests.dir/property/WorkloadShapeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ecosched_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ecosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/ecosched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

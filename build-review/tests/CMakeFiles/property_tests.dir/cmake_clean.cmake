@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_tests.dir/property/BatchSearchPropertyTest.cpp.o"
+  "CMakeFiles/property_tests.dir/property/BatchSearchPropertyTest.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/ModelFuzzTest.cpp.o"
+  "CMakeFiles/property_tests.dir/property/ModelFuzzTest.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/OptimizerPropertyTest.cpp.o"
+  "CMakeFiles/property_tests.dir/property/OptimizerPropertyTest.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/SearchPropertyTest.cpp.o"
+  "CMakeFiles/property_tests.dir/property/SearchPropertyTest.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/SubtractionPropertyTest.cpp.o"
+  "CMakeFiles/property_tests.dir/property/SubtractionPropertyTest.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/WorkloadShapeTest.cpp.o"
+  "CMakeFiles/property_tests.dir/property/WorkloadShapeTest.cpp.o.d"
+  "property_tests"
+  "property_tests.pdb"
+  "property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

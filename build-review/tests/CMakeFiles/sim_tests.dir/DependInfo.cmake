@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/ComputingDomainTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/ComputingDomainTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/ComputingDomainTest.cpp.o.d"
+  "/root/repo/tests/sim/GanttChartTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/GanttChartTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/GanttChartTest.cpp.o.d"
+  "/root/repo/tests/sim/GeneratorTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/GeneratorTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/GeneratorTest.cpp.o.d"
+  "/root/repo/tests/sim/PaperExampleTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/PaperExampleTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/PaperExampleTest.cpp.o.d"
+  "/root/repo/tests/sim/SlotListTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/SlotListTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/SlotListTest.cpp.o.d"
+  "/root/repo/tests/sim/SlotListValidateTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/SlotListValidateTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/SlotListValidateTest.cpp.o.d"
+  "/root/repo/tests/sim/SlotTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/SlotTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/SlotTest.cpp.o.d"
+  "/root/repo/tests/sim/TraceIOTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/TraceIOTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/TraceIOTest.cpp.o.d"
+  "/root/repo/tests/sim/WindowTest.cpp" "tests/CMakeFiles/sim_tests.dir/sim/WindowTest.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/WindowTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ecosched_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ecosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/ecosched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

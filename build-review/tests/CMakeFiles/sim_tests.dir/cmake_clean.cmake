@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/ComputingDomainTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/ComputingDomainTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/GanttChartTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/GanttChartTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/GeneratorTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/GeneratorTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/PaperExampleTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/PaperExampleTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/SlotListTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/SlotListTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/SlotListValidateTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/SlotListValidateTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/SlotTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/SlotTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/TraceIOTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/TraceIOTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/WindowTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/WindowTest.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

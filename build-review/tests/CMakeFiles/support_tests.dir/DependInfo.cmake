@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/CheckTest.cpp" "tests/CMakeFiles/support_tests.dir/support/CheckTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/CheckTest.cpp.o.d"
+  "/root/repo/tests/support/CommandLineTest.cpp" "tests/CMakeFiles/support_tests.dir/support/CommandLineTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/CommandLineTest.cpp.o.d"
+  "/root/repo/tests/support/RandomTest.cpp" "tests/CMakeFiles/support_tests.dir/support/RandomTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/RandomTest.cpp.o.d"
+  "/root/repo/tests/support/StatisticsTest.cpp" "tests/CMakeFiles/support_tests.dir/support/StatisticsTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/StatisticsTest.cpp.o.d"
+  "/root/repo/tests/support/SvgTest.cpp" "tests/CMakeFiles/support_tests.dir/support/SvgTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/SvgTest.cpp.o.d"
+  "/root/repo/tests/support/TableTest.cpp" "tests/CMakeFiles/support_tests.dir/support/TableTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/TableTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ecosched_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/ecosched_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/ecosched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

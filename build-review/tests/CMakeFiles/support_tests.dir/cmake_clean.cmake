@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/support/CheckTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/CheckTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/CommandLineTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/CommandLineTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/RandomTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/RandomTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/StatisticsTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/StatisticsTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/SvgTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/SvgTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/TableTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/TableTest.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+  "support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
