@@ -28,8 +28,15 @@ inline void printRunHeader(const ExperimentResult &R) {
               "every job and the limits admitted a combination)\n",
               R.TotalIterations, R.CountedIterations);
   std::printf("avg slots per iteration %.2f, avg jobs per counted "
-              "iteration %.2f\n\n",
-              R.SlotsAll.mean(), R.JobsCounted.mean());
+              "iteration %.2f; %zu worker thread%s\n",
+              R.SlotsAll.mean(), R.JobsCounted.mean(), R.ThreadsUsed,
+              R.ThreadsUsed == 1 ? "" : "s");
+  if (R.SurplusIterations != 0)
+    std::printf("early stop discarded %zu surplus iteration%s computed "
+                "past the counted target\n",
+                R.SurplusIterations,
+                R.SurplusIterations == 1 ? "" : "s");
+  std::printf("\n");
 }
 
 /// One row of a measured-vs-paper comparison.

@@ -34,9 +34,7 @@ int main(int Argc, char **Argv) {
   const double &PriceFactor = Args.addReal(
       "price-factor", 1.1,
       "request price cap factor: C = factor * 1.7^Pmin");
-  const int64_t &Threads = Args.addInt(
-      "threads", 0, "worker threads (0 = all cores); results are "
-                    "identical for any value");
+  const int64_t &Threads = Args.addThreads();
   const int64_t &Every =
       Args.addInt("print-every", 10, "print every N-th experiment row");
   const std::string &Csv =

@@ -23,6 +23,7 @@
 #include "sim/SlotGenerator.h"
 #include "support/CommandLine.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <cmath>
 #include <cstdio>
@@ -73,11 +74,15 @@ int main(int Argc, char **Argv) {
   const int64_t &Iterations = Args.addInt(
       "iterations", 1500, "simulated iterations for the statistics");
   const int64_t &Seed = Args.addInt("seed", 2011, "RNG seed");
+  const int64_t &Threads = Args.addThreads();
   if (!Args.parse(Argc, Argv))
     return 1;
 
   std::printf("Reproduction summary: Toporkov et al., PaCT 2011\n");
-  std::printf("================================================\n\n");
+  std::printf("================================================\n");
+  std::printf("worker threads: %zu\n\n",
+              ThreadPool::resolveThreadCount(
+                  static_cast<size_t>(Threads)));
 
   ClaimChecker Checker;
   AlpSearch Alp;
@@ -145,6 +150,7 @@ int main(int Argc, char **Argv) {
   ExperimentConfig TimeCfg;
   TimeCfg.Iterations = Iterations;
   TimeCfg.Seed = static_cast<uint64_t>(Seed);
+  TimeCfg.Threads = static_cast<size_t>(Threads);
   TimeCfg.Task = OptimizationTaskKind::MinimizeTime;
   TimeCfg.SeriesCapacity = 100;
   const ExperimentResult TimeRun = PairedExperiment(TimeCfg).run();

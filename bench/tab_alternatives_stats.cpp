@@ -31,9 +31,7 @@ int main(int Argc, char **Argv) {
   const double &PriceFactor = Args.addReal(
       "price-factor", 1.1,
       "request price cap factor: C = factor * 1.7^Pmin");
-  const int64_t &Threads = Args.addInt(
-      "threads", 0, "worker threads (0 = all cores); results are "
-                    "identical for any value");
+  const int64_t &Threads = Args.addThreads();
   if (!Args.parse(Argc, Argv))
     return 1;
 
@@ -51,7 +49,7 @@ int main(int Argc, char **Argv) {
     Cfg.Iterations = Iterations;
     Cfg.Seed = static_cast<uint64_t>(Seed);
     Cfg.Jobs.PriceFactor = PriceFactor;
-  Cfg.Threads = static_cast<size_t>(Threads);
+    Cfg.Threads = static_cast<size_t>(Threads);
     Cfg.Task = CostTask ? OptimizationTaskKind::MinimizeCost
                         : OptimizationTaskKind::MinimizeTime;
     const ExperimentResult R = PairedExperiment(Cfg).run();

@@ -3,12 +3,16 @@
 # for CI runners (and for developers before pushing).
 #
 # Stages, in order (each must pass):
-#   1. release preset: configure, build (-Werror), full ctest suite
-#   2. asan-ubsan preset: configure, build, full ctest suite under
+#   1. repo hygiene: no tracked file may match the .gitignore rules
+#      (guards against committed build trees recurring)
+#   2. release preset: configure, build (-Werror), full ctest suite
+#   3. asan-ubsan preset: configure, build, full ctest suite under
 #      AddressSanitizer + UndefinedBehaviorSanitizer
-#   3. clang-tidy over src/ tests/ bench/ examples/ (zero findings);
+#   4. tsan preset: configure, build, and the concurrency-relevant
+#      tests (ThreadPool + Experiment) under ThreadSanitizer
+#   5. clang-tidy over src/ tests/ bench/ examples/ (zero findings);
 #      SKIPPED with a notice when no clang-tidy binary is installed
-#   4. clang-format verification of every tracked C++ file against the
+#   6. clang-format verification of every tracked C++ file against the
 #      repo .clang-format; SKIPPED when clang-format is not installed
 #
 # Usage: scripts/ci.sh [--jobs N] [--skip-sanitizers]
@@ -36,20 +40,33 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-echo "=== ci stage 1/4: release build + tests ==="
+echo "=== ci stage 1/6: repo hygiene (tracked files vs ignore rules) ==="
+TRACKED_IGNORED="$(git ls-files --cached -i --exclude-standard)"
+if [[ -n "$TRACKED_IGNORED" ]]; then
+  echo "error: tracked files match the repo ignore rules:" >&2
+  echo "$TRACKED_IGNORED" | head -20 >&2
+  echo "(git rm -r --cached <path> to untrack them)" >&2
+  exit 1
+fi
+echo "repo hygiene: clean"
+
+echo "=== ci stage 2/6: release build + tests ==="
 scripts/check.sh --preset release --jobs "$JOBS"
 
 if [[ $SKIP_SAN -eq 0 ]]; then
-  echo "=== ci stage 2/4: asan-ubsan build + tests ==="
+  echo "=== ci stage 3/6: asan-ubsan build + tests ==="
   scripts/check.sh --preset asan-ubsan --jobs "$JOBS"
+  echo "=== ci stage 4/6: tsan build + concurrency tests ==="
+  scripts/check.sh --preset tsan --jobs "$JOBS"
 else
-  echo "=== ci stage 2/4: SKIPPED (--skip-sanitizers) ==="
+  echo "=== ci stage 3/6: SKIPPED (--skip-sanitizers) ==="
+  echo "=== ci stage 4/6: SKIPPED (--skip-sanitizers) ==="
 fi
 
-echo "=== ci stage 3/4: clang-tidy ==="
+echo "=== ci stage 5/6: clang-tidy ==="
 scripts/run_clang_tidy.sh --jobs "$JOBS"
 
-echo "=== ci stage 4/4: clang-format ==="
+echo "=== ci stage 6/6: clang-format ==="
 FORMAT="${CLANG_FORMAT:-}"
 if [[ -z "$FORMAT" ]]; then
   for candidate in clang-format clang-format-21 clang-format-20 \

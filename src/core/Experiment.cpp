@@ -12,8 +12,7 @@
 #include "core/DpOptimizer.h"
 #include "core/Limits.h"
 
-#include <atomic>
-#include <thread>
+#include "support/ThreadPool.h"
 
 using namespace ecosched;
 
@@ -130,10 +129,8 @@ ExperimentResult PairedExperiment::run() const {
   const SlotGenerator Slots(Cfg.Slots);
   const JobGenerator Jobs(Cfg.Jobs);
 
-  const size_t Threads =
-      Cfg.Threads != 0
-          ? Cfg.Threads
-          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  const size_t Threads = ThreadPool::resolveThreadCount(Cfg.Threads);
+  Result.ThreadsUsed = Threads;
 
   const auto RunIteration = [&](RandomGenerator Rng) {
     // Thread-local algorithm/optimizer instances (all stateless, but
@@ -180,42 +177,37 @@ ExperimentResult PairedExperiment::run() const {
     return Result;
   }
 
-  // Parallel path: process fixed-size chunks of pre-forked iterations,
-  // folding each chunk in order on this thread. Early stop
+  // Parallel path: process fixed-size blocks of pre-forked iterations
+  // on one pool shared by the whole series (no thread churn per block),
+  // folding each block in order on this thread. Early stop
   // (StopAfterCounted) takes effect at iteration granularity inside the
-  // chunk, so results match the sequential path exactly; at most one
-  // chunk of surplus iterations is computed and discarded.
-  const int64_t ChunkSize = static_cast<int64_t>(Threads) * 8;
-  for (int64_t ChunkStart = 0;
-       ChunkStart < Cfg.Iterations && !Done();
-       ChunkStart += ChunkSize) {
-    const int64_t ChunkEnd =
-        std::min(ChunkStart + ChunkSize, Cfg.Iterations);
-    const size_t Count = static_cast<size_t>(ChunkEnd - ChunkStart);
+  // block, so results match the sequential path exactly; at most one
+  // block of surplus iterations is computed and discarded, reported as
+  // SurplusIterations.
+  ThreadPool Pool(Threads);
+  const int64_t BlockSize = static_cast<int64_t>(Threads) * 8;
+  for (int64_t BlockStart = 0;
+       BlockStart < Cfg.Iterations && !Done();
+       BlockStart += BlockSize) {
+    const int64_t BlockEnd =
+        std::min(BlockStart + BlockSize, Cfg.Iterations);
+    const size_t Count = static_cast<size_t>(BlockEnd - BlockStart);
 
     std::vector<RandomGenerator> Rngs;
     Rngs.reserve(Count);
     for (size_t I = 0; I < Count; ++I)
       Rngs.push_back(Master.fork());
 
-    std::vector<IterationRecord> Records(Count);
-    std::atomic<size_t> Next{0};
-    std::vector<std::thread> Workers;
-    const size_t WorkerCount = std::min(Threads, Count);
-    Workers.reserve(WorkerCount);
-    for (size_t W = 0; W < WorkerCount; ++W)
-      Workers.emplace_back([&] {
-        for (size_t I = Next.fetch_add(1); I < Count;
-             I = Next.fetch_add(1))
-          Records[I] = RunIteration(Rngs[I]);
-      });
-    for (std::thread &Worker : Workers)
-      Worker.join();
+    const std::vector<IterationRecord> Records =
+        Pool.parallelMap<IterationRecord>(
+            Count, 1, [&](size_t I) { return RunIteration(Rngs[I]); });
 
-    for (const IterationRecord &Record : Records) {
-      if (Done())
+    for (size_t I = 0; I < Count; ++I) {
+      if (Done()) {
+        Result.SurplusIterations += Count - I;
         break;
-      Fold(Record);
+      }
+      Fold(Records[I]);
     }
   }
   return Result;

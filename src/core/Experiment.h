@@ -51,13 +51,17 @@ struct ExperimentConfig {
   /// Optional replacement for the Section 5 slot generator: when set,
   /// every iteration draws its vacant-slot list from this source
   /// instead (e.g. a ComputingDomain with owner-local load, see
-  /// bench/ablation_domain_workload).
+  /// bench/ablation_domain_workload). Iterations run concurrently when
+  /// the resolved thread count exceeds 1, so the callable must be
+  /// safe to invoke from several threads at once.
   std::function<SlotList(RandomGenerator &)> SlotSource;
-  /// Worker threads for the iteration loop; 0 uses the hardware
-  /// concurrency. Results are bitwise identical for any thread count:
-  /// every iteration owns a pre-forked RNG and the aggregation folds
-  /// iteration records in order on the calling thread.
-  size_t Threads = 1;
+  /// Worker threads for the iteration loop, resolved through
+  /// ThreadPool::resolveThreadCount: 0 (the default) uses the hardware
+  /// concurrency, any other value is taken verbatim. Results are
+  /// bitwise identical for any thread count: every iteration owns a
+  /// pre-forked RNG and the aggregation folds iteration records in
+  /// order on the calling thread (see docs/CONCURRENCY.md).
+  size_t Threads = 0;
 };
 
 /// Aggregates for one search method (ALP or AMP).
@@ -83,6 +87,13 @@ struct ExperimentResult {
   /// Iterations where both methods covered the batch and both limit
   /// systems were feasible.
   size_t CountedIterations = 0;
+  /// Iterations the parallel path computed but discarded because the
+  /// StopAfterCounted early stop fired mid-chunk; they contribute to no
+  /// aggregate (at most one chunk of surplus work, 0 when sequential).
+  size_t SurplusIterations = 0;
+  /// Resolved worker-thread count the series ran with (>= 1); benches
+  /// log it in their run headers.
+  size_t ThreadsUsed = 1;
   /// Slot list size per iteration, over all / over counted iterations.
   RunningStats SlotsAll;
   RunningStats SlotsCounted;

@@ -57,6 +57,12 @@ std::string &ArgParser::addString(const std::string &Name,
   return StringValues.back();
 }
 
+int64_t &ArgParser::addThreads() {
+  return addInt("threads", 0,
+                "worker threads (0 = all hardware cores); results are "
+                "identical for any value");
+}
+
 ArgParser::Flag *ArgParser::findFlag(const std::string &Name) {
   for (Flag &F : Flags)
     if (F.Name == Name)

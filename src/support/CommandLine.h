@@ -53,6 +53,12 @@ public:
   std::string &addString(const std::string &Name, std::string Default,
                          const std::string &Help);
 
+  /// Registers the standard `--threads` flag shared by the long-running
+  /// drivers (default 0 = all hardware cores, resolved through
+  /// ThreadPool::resolveThreadCount; results are identical for any
+  /// value — see docs/CONCURRENCY.md).
+  int64_t &addThreads();
+
   /// Parses argv. On `--help` prints usage and returns false; on a
   /// malformed or unknown flag prints a diagnostic and returns false.
   bool parse(int Argc, const char *const *Argv);

@@ -14,6 +14,17 @@
 
 using namespace ecosched;
 
+void RunningStats::addToSum(double X) {
+  // Neumaier's variant of Kahan summation: the compensation picks up
+  // the low-order bits of whichever operand is smaller in magnitude.
+  const double T = Sum + X;
+  if (std::abs(Sum) >= std::abs(X))
+    SumComp += (Sum - T) + X;
+  else
+    SumComp += (X - T) + Sum;
+  Sum = T;
+}
+
 void RunningStats::add(double X) {
   if (N == 0) {
     Min = Max = X;
@@ -25,6 +36,7 @@ void RunningStats::add(double X) {
   const double Delta = X - Mean;
   Mean += Delta / static_cast<double>(N);
   M2 += Delta * (X - Mean);
+  addToSum(X);
 }
 
 void RunningStats::merge(const RunningStats &Other) {
@@ -43,6 +55,8 @@ void RunningStats::merge(const RunningStats &Other) {
   Min = std::min(Min, Other.Min);
   Max = std::max(Max, Other.Max);
   N += Other.N;
+  addToSum(Other.Sum);
+  addToSum(Other.SumComp);
 }
 
 double RunningStats::variance() const {

@@ -47,15 +47,23 @@ public:
   /// Largest observation; 0 when empty.
   double max() const { return N ? Max : 0.0; }
 
-  /// Sum of all observations.
-  double sum() const { return Mean * static_cast<double>(N); }
+  /// Sum of all observations, carried explicitly with Neumaier
+  /// compensation rather than reconstructed as mean() * count(): the
+  /// reconstruction compounds Welford rounding error over long series
+  /// (the paper's runs are 25000 iterations).
+  double sum() const { return Sum + SumComp; }
 
 private:
+  void addToSum(double X);
+
   size_t N = 0;
   double Mean = 0.0;
   double M2 = 0.0;
   double Min = 0.0;
   double Max = 0.0;
+  double Sum = 0.0;
+  /// Neumaier compensation term for Sum (accumulated low-order bits).
+  double SumComp = 0.0;
 };
 
 /// Fixed-width histogram over [Lo, Hi); out-of-range samples are clamped

@@ -1,0 +1,169 @@
+//===-- support/ThreadPool.cpp - Shared worker-thread pool ----------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "support/Check.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace ecosched;
+
+namespace {
+
+/// The pool whose worker is currently executing this thread, if any.
+/// Used to run same-pool nested submissions inline instead of
+/// deadlocking on the pool's own (busy) workers.
+thread_local const ThreadPool *CurrentPool = nullptr;
+
+} // namespace
+
+struct ThreadPool::Call {
+  /// Next unclaimed index; advanced by Chunk per claim.
+  std::atomic<size_t> Next{0};
+  size_t Last = 0;
+  size_t Chunk = 1;
+  size_t Total = 0;
+  const std::function<void(size_t)> *Body = nullptr;
+  /// Indices retired (executed or skipped after a failure). The call is
+  /// complete when Done == Total.
+  std::atomic<size_t> Done{0};
+  /// Set on the first exception; stops later chunks from running.
+  std::atomic<bool> Failed{false};
+  std::mutex Mutex;
+  std::condition_variable AllDone;
+  std::exception_ptr Error; // Guarded by Mutex.
+};
+
+ThreadPool::ThreadPool(size_t ThreadCount)
+    : Count(resolveThreadCount(ThreadCount)) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> Lock(QueueMutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+size_t ThreadPool::resolveThreadCount(size_t Requested) {
+  // Catches sign-converted negatives from `--threads=-1` style input
+  // long before an 18-quintillion-worker spawn loop would.
+  ECOSCHED_CHECK(Requested <= 4096,
+                 "implausible thread count {} (max 4096)", Requested);
+  if (Requested != 0)
+    return Requested;
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::runCall(Call &C) {
+  for (size_t Begin = C.Next.fetch_add(C.Chunk, std::memory_order_relaxed);
+       Begin < C.Last;
+       Begin = C.Next.fetch_add(C.Chunk, std::memory_order_relaxed)) {
+    const size_t End = std::min(Begin + C.Chunk, C.Last);
+    if (!C.Failed.load(std::memory_order_acquire)) {
+      try {
+        for (size_t I = Begin; I != End; ++I)
+          (*C.Body)(I);
+      } catch (...) {
+        C.Failed.store(true, std::memory_order_release);
+        const std::lock_guard<std::mutex> Lock(C.Mutex);
+        if (!C.Error)
+          C.Error = std::current_exception();
+      }
+    }
+    // Retire the chunk even on failure/skip so the caller's wait always
+    // terminates. acq_rel: the write releases this worker's results and
+    // the final read below acquires everyone else's.
+    const size_t Retired = End - Begin;
+    if (C.Done.fetch_add(Retired, std::memory_order_acq_rel) + Retired ==
+        C.Total) {
+      // Lock so the notify cannot slip between the caller's predicate
+      // check and its wait.
+      const std::lock_guard<std::mutex> Lock(C.Mutex);
+      C.AllDone.notify_all();
+    }
+  }
+}
+
+void ThreadPool::startWorkersLocked() {
+  if (Started)
+    return;
+  Started = true;
+  Workers.reserve(Count - 1);
+  for (size_t I = 0; I + 1 < Count; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+void ThreadPool::workerLoop() {
+  CurrentPool = this;
+  for (;;) {
+    std::shared_ptr<Call> C;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      WorkAvailable.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Stopping)
+        return;
+      C = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    runCall(*C);
+  }
+}
+
+void ThreadPool::parallelFor(size_t First, size_t Last, size_t Chunk,
+                             const std::function<void(size_t)> &Body) {
+  ECOSCHED_CHECK(Chunk > 0, "parallelFor chunk must be positive");
+  if (First >= Last)
+    return;
+
+  const size_t Total = Last - First;
+  const size_t Chunks = (Total + Chunk - 1) / Chunk;
+  // Inline paths: a single-thread pool, a range one chunk can cover, or
+  // a nested submission from one of this pool's own workers (whose
+  // siblings are busy with the outer range; helping inline is the only
+  // deadlock-free option that keeps the pool at its thread budget).
+  if (Count == 1 || Chunks == 1 || CurrentPool == this) {
+    for (size_t I = First; I != Last; ++I)
+      Body(I);
+    return;
+  }
+
+  auto C = std::make_shared<Call>();
+  C->Next.store(First, std::memory_order_relaxed);
+  C->Last = Last;
+  C->Chunk = Chunk;
+  C->Total = Total;
+  C->Body = &Body;
+
+  // One helper token per worker that could claim a chunk; surplus
+  // tokens (and tokens drained after completion) find the cursor
+  // exhausted and return immediately.
+  const size_t Helpers = std::min(Count - 1, Chunks - 1);
+  {
+    const std::lock_guard<std::mutex> Lock(QueueMutex);
+    startWorkersLocked();
+    for (size_t I = 0; I < Helpers; ++I)
+      Queue.push_back(C);
+  }
+  if (Helpers == 1)
+    WorkAvailable.notify_one();
+  else
+    WorkAvailable.notify_all();
+
+  runCall(*C);
+
+  std::unique_lock<std::mutex> Lock(C->Mutex);
+  C->AllDone.wait(Lock, [&C] {
+    return C->Done.load(std::memory_order_acquire) == C->Total;
+  });
+  if (C->Error)
+    std::rethrow_exception(C->Error);
+}

@@ -16,6 +16,8 @@
 
 #include "sim/SlotGenerator.h"
 
+#include <atomic>
+
 #include <gtest/gtest.h>
 
 using namespace ecosched;
@@ -122,7 +124,9 @@ TEST(ExperimentTest, SlotSourceHookOverridesGenerator) {
   ExperimentConfig Cfg;
   Cfg.Iterations = 30;
   Cfg.Seed = 12;
-  size_t Calls = 0;
+  // Iterations run concurrently by default (Threads = 0), so the
+  // SlotSource callable must be thread-safe.
+  std::atomic<size_t> Calls{0};
   Cfg.SlotSource = [&Calls](RandomGenerator &Rng) {
     ++Calls;
     SlotGeneratorConfig Small;
@@ -130,7 +134,7 @@ TEST(ExperimentTest, SlotSourceHookOverridesGenerator) {
     return SlotGenerator(Small).generate(Rng);
   };
   const ExperimentResult R = PairedExperiment(Cfg).run();
-  EXPECT_EQ(Calls, 30u);
+  EXPECT_EQ(Calls.load(), 30u);
   EXPECT_DOUBLE_EQ(R.SlotsAll.mean(), 60.0);
 }
 
@@ -168,6 +172,69 @@ TEST(ExperimentTest, ThreadedEarlyStopMatchesSequential) {
   EXPECT_EQ(A.CountedIterations, B.CountedIterations);
   EXPECT_EQ(A.Amp.JobTimeSeries, B.Amp.JobTimeSeries);
   EXPECT_DOUBLE_EQ(A.Alp.JobCost.mean(), B.Alp.JobCost.mean());
+}
+
+namespace {
+
+/// Bitwise comparison of one method's aggregates: the determinism
+/// contract promises identical results for any thread count, so plain
+/// operator== on doubles (no tolerance) is the right check.
+void expectMethodBitwiseEqual(const MethodAggregate &A,
+                              const MethodAggregate &B) {
+  EXPECT_EQ(A.JobTime.count(), B.JobTime.count());
+  EXPECT_EQ(A.JobTime.mean(), B.JobTime.mean());
+  EXPECT_EQ(A.JobTime.variance(), B.JobTime.variance());
+  EXPECT_EQ(A.JobTime.sum(), B.JobTime.sum());
+  EXPECT_EQ(A.JobTime.min(), B.JobTime.min());
+  EXPECT_EQ(A.JobTime.max(), B.JobTime.max());
+  EXPECT_EQ(A.JobCost.mean(), B.JobCost.mean());
+  EXPECT_EQ(A.JobCost.sum(), B.JobCost.sum());
+  EXPECT_EQ(A.AlternativesPerJob.mean(), B.AlternativesPerJob.mean());
+  EXPECT_EQ(A.CoverageFailures, B.CoverageFailures);
+  EXPECT_EQ(A.QuotaInfeasible, B.QuotaInfeasible);
+  EXPECT_EQ(A.JobTimeSeries, B.JobTimeSeries);
+  EXPECT_EQ(A.JobCostSeries, B.JobCostSeries);
+}
+
+} // namespace
+
+TEST(ExperimentTest, BitwiseIdenticalAcrossThreadCounts) {
+  ExperimentConfig Baseline;
+  Baseline.Iterations = 150;
+  Baseline.Seed = 21;
+  Baseline.SeriesCapacity = 40;
+  Baseline.Threads = 1;
+  const ExperimentResult A = PairedExperiment(Baseline).run();
+  EXPECT_EQ(A.ThreadsUsed, 1u);
+  EXPECT_EQ(A.SurplusIterations, 0u);
+  for (const size_t Threads : {size_t{2}, size_t{8}}) {
+    ExperimentConfig Cfg = Baseline;
+    Cfg.Threads = Threads;
+    const ExperimentResult B = PairedExperiment(Cfg).run();
+    EXPECT_EQ(B.ThreadsUsed, Threads);
+    EXPECT_EQ(A.TotalIterations, B.TotalIterations);
+    EXPECT_EQ(A.CountedIterations, B.CountedIterations);
+    EXPECT_EQ(A.SlotsAll.mean(), B.SlotsAll.mean());
+    EXPECT_EQ(A.SlotsCounted.mean(), B.SlotsCounted.mean());
+    EXPECT_EQ(A.JobsAll.mean(), B.JobsAll.mean());
+    EXPECT_EQ(A.JobsCounted.mean(), B.JobsCounted.mean());
+    expectMethodBitwiseEqual(A.Alp, B.Alp);
+    expectMethodBitwiseEqual(A.Amp, B.Amp);
+  }
+}
+
+TEST(ExperimentTest, SurplusIterationsAccountsDiscardedWork) {
+  ExperimentConfig Cfg;
+  Cfg.Iterations = 500;
+  Cfg.Seed = 33;
+  Cfg.StopAfterCounted = 10;
+  Cfg.Threads = 4;
+  const ExperimentResult R = PairedExperiment(Cfg).run();
+  // Folded and surplus iterations together cover exactly the computed
+  // blocks; the parallel path discards at most one block (Threads * 8).
+  EXPECT_EQ(R.CountedIterations, 10u);
+  EXPECT_LT(R.SurplusIterations, 32u);
+  EXPECT_EQ((R.TotalIterations + R.SurplusIterations) % 32, 0u);
 }
 
 TEST(ExperimentTest, ExactMeanQuotaCountsMoreIterations) {

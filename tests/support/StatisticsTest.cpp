@@ -87,6 +87,43 @@ TEST(RunningStatsTest, MergeWithEmptySides) {
   EXPECT_DOUBLE_EQ(B.mean(), 2.0);
 }
 
+TEST(RunningStatsTest, SumIsCompensatedNotReconstructed) {
+  // A mean-times-count reconstruction loses the small addends next to a
+  // large one; the Neumaier-carried sum keeps them. 1e16 has ulp 2, so
+  // each naive += 1.0 would round away entirely, while 1e16 + 100 is
+  // exactly representable.
+  RunningStats S;
+  S.add(1.0e16);
+  for (int I = 0; I < 100; ++I)
+    S.add(1.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 1.0e16 + 100.0);
+}
+
+TEST(RunningStatsTest, SumExactOverLongSeries) {
+  // Welford's mean drifts by a few ulp over long series; the explicit
+  // sum must match exact integer accumulation bit for bit.
+  RunningStats S;
+  double Exact = 0.0;
+  for (int I = 1; I <= 25000; ++I) {
+    const double X = static_cast<double>(I % 97) + 0.5;
+    S.add(X);
+    Exact += X; // Exact: every partial sum is an integer + k/2 < 2^53.
+  }
+  EXPECT_EQ(S.sum(), Exact);
+}
+
+TEST(RunningStatsTest, MergePreservesCompensatedSum) {
+  RunningStats Left, Right;
+  Left.add(1.0e16);
+  for (int I = 0; I < 50; ++I)
+    Left.add(1.0);
+  for (int I = 0; I < 50; ++I)
+    Right.add(1.0);
+  Left.merge(Right);
+  EXPECT_EQ(Left.count(), 101u);
+  EXPECT_DOUBLE_EQ(Left.sum(), 1.0e16 + 100.0);
+}
+
 TEST(HistogramTest, BucketPlacement) {
   Histogram H(0.0, 10.0, 5);
   H.add(0.0);  // Bucket 0.

@@ -1,0 +1,136 @@
+//===-- tests/support/ThreadPoolTest.cpp - Pool primitive tests -----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Contract tests for the shared ThreadPool (docs/CONCURRENCY.md):
+/// every index runs exactly once, results land at their own index,
+/// exceptions surface on the caller, nested submissions cannot
+/// deadlock, and a pool stays usable after a failed call.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_GE(ThreadPool::resolveThreadCount(0), 1u);
+  EXPECT_EQ(ThreadPool::resolveThreadCount(1), 1u);
+  EXPECT_EQ(ThreadPool::resolveThreadCount(5), 5u);
+  EXPECT_EQ(ThreadPool(3).threadCount(), 3u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool Pool(4);
+  std::atomic<size_t> Calls{0};
+  Pool.parallelFor(0, 0, 1, [&](size_t) { ++Calls; });
+  Pool.parallelFor(7, 7, 3, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls.load(), 0u);
+}
+
+TEST(ThreadPoolTest, SingleItemRunsOnce) {
+  ThreadPool Pool(4);
+  std::atomic<size_t> Calls{0};
+  size_t SeenIndex = ~size_t{0};
+  Pool.parallelFor(41, 42, 1, [&](size_t I) {
+    ++Calls;
+    SeenIndex = I;
+  });
+  EXPECT_EQ(Calls.load(), 1u);
+  EXPECT_EQ(SeenIndex, 41u);
+}
+
+TEST(ThreadPoolTest, EveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  constexpr size_t Count = 1000;
+  std::vector<std::atomic<int>> Hits(Count);
+  Pool.parallelFor(0, Count, 7, [&](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I < Count; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolTest, ParallelMapKeepsResultOrder) {
+  ThreadPool Pool(8);
+  const std::vector<size_t> Out = Pool.parallelMap<size_t>(
+      257, 3, [](size_t I) { return I * I; });
+  ASSERT_EQ(Out.size(), 257u);
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], I * I);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool Pool(1);
+  std::vector<size_t> Order;
+  // With one thread no workers exist; the range runs on the caller in
+  // ascending order.
+  Pool.parallelFor(0, 5, 2, [&](size_t I) { Order.push_back(I); });
+  EXPECT_EQ(Order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ChunkLargerThanRange) {
+  ThreadPool Pool(4);
+  std::atomic<size_t> Sum{0};
+  Pool.parallelFor(0, 10, 64, [&](size_t I) { Sum += I; });
+  EXPECT_EQ(Sum.load(), 45u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(0, 100, 1,
+                                [](size_t I) {
+                                  if (I == 37)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolUsableAfterException) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(0, 50, 1,
+                                [](size_t) {
+                                  throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  std::atomic<size_t> Calls{0};
+  Pool.parallelFor(0, 50, 1, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls.load(), 50u);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionCompletes) {
+  ThreadPool Pool(4);
+  constexpr size_t Outer = 8;
+  constexpr size_t Inner = 16;
+  std::vector<std::vector<size_t>> Results(Outer);
+  // A body submitting to its own pool must not deadlock even though
+  // every sibling worker is busy with the outer range; the nested range
+  // runs inline on the submitting thread.
+  Pool.parallelFor(0, Outer, 1, [&](size_t O) {
+    Results[O] = Pool.parallelMap<size_t>(
+        Inner, 4, [O](size_t I) { return O * 100 + I; });
+  });
+  for (size_t O = 0; O < Outer; ++O) {
+    ASSERT_EQ(Results[O].size(), Inner);
+    for (size_t I = 0; I < Inner; ++I)
+      EXPECT_EQ(Results[O][I], O * 100 + I);
+  }
+}
+
+TEST(ThreadPoolTest, ReusedAcrossManyCalls) {
+  // The pool persists across calls (the Experiment loop issues one call
+  // per iteration block); exercise the reuse path under load.
+  ThreadPool Pool(4);
+  std::atomic<size_t> Total{0};
+  for (int Round = 0; Round < 50; ++Round)
+    Pool.parallelFor(0, 40, 1, [&](size_t) { ++Total; });
+  EXPECT_EQ(Total.load(), 2000u);
+}
