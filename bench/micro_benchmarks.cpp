@@ -20,8 +20,10 @@
 #include "core/BatchSearch.h"
 #include "core/BicriteriaOptimizer.h"
 #include "core/DpOptimizer.h"
+#include "core/SlotFilter.h"
 #include "sim/JobGenerator.h"
 #include "sim/SlotGenerator.h"
+#include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
 
@@ -108,6 +110,71 @@ void BM_AlternativeSearchSweep(benchmark::State &State) {
   }
 }
 
+/// Shared workload for the sweep-acceleration benches: the Section 5
+/// shape scaled to production size (BENCH_3.json tracks these numbers;
+/// see docs/PERFORMANCE.md).
+constexpr int SweepSlots = 4096;
+constexpr int SweepJobs = 32;
+constexpr size_t SweepPasses = 10;
+
+Batch makeSweepBatch() {
+  JobGeneratorConfig Cfg;
+  Cfg.MinJobs = SweepJobs;
+  Cfg.MaxJobs = SweepJobs;
+  RandomGenerator Rng(23);
+  return JobGenerator(Cfg).generate(Rng);
+}
+
+/// The textbook serial sweep (no filter, no pool): the reference the
+/// threaded bench's speedup target is measured against.
+void BM_AlternativeSearchSerialBaseline(benchmark::State &State) {
+  const SlotList List = makeList(SweepSlots, 23);
+  const Batch Jobs = makeSweepBatch();
+  AlpSearch Alp;
+  AlternativeSearch::Config Cfg;
+  Cfg.MaxPasses = SweepPasses;
+  Cfg.UseFilter = false;
+  const AlternativeSearch Search(Alp, Cfg);
+  for (auto _ : State) {
+    const AlternativeSet Alts = Search.run(List, Jobs);
+    benchmark::DoNotOptimize(Alts.total());
+  }
+}
+
+/// The accelerated sweep (admissibility index + speculative sharding)
+/// on the same workload; the argument is the pool size.
+void BM_AlternativeSearchThreaded(benchmark::State &State) {
+  const SlotList List = makeList(SweepSlots, 23);
+  const Batch Jobs = makeSweepBatch();
+  AlpSearch Alp;
+  ThreadPool Pool(static_cast<size_t>(State.range(0)));
+  AlternativeSearch::Config Cfg;
+  Cfg.MaxPasses = SweepPasses;
+  Cfg.Pool = &Pool;
+  const AlternativeSearch Search(Alp, Cfg);
+  for (auto _ : State) {
+    const AlternativeSet Alts = Search.run(List, Jobs);
+    benchmark::DoNotOptimize(Alts.total());
+  }
+}
+
+/// From-scratch construction of the per-job admissible views: the
+/// once-per-sweep cost the incremental maintenance amortizes away.
+void BM_SlotFilterRebuild(benchmark::State &State) {
+  const SlotList List = makeList(static_cast<int>(State.range(0)), 29);
+  JobGeneratorConfig JobsCfg;
+  JobsCfg.MinJobs = 8;
+  JobsCfg.MaxJobs = 8;
+  RandomGenerator Rng(29);
+  const Batch Jobs = JobGenerator(JobsCfg).generate(Rng);
+  AmpSearch Amp;
+  for (auto _ : State) {
+    SlotFilter Filter(List, Jobs, Amp);
+    benchmark::DoNotOptimize(Filter.jobCount());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
 void BM_DpOptimizer(benchmark::State &State) {
   RandomGenerator Rng(13);
   CombinationProblem P;
@@ -170,6 +237,16 @@ BENCHMARK(BM_BackfillSearchWorstCase)
     ->Complexity(benchmark::oNSquared);
 BENCHMARK(BM_SlotSubtraction)->RangeMultiplier(4)->Range(128, 2048);
 BENCHMARK(BM_AlternativeSearchSweep);
+BENCHMARK(BM_AlternativeSearchSerialBaseline)->UseRealTime();
+BENCHMARK(BM_AlternativeSearchThreaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->UseRealTime();
+BENCHMARK(BM_SlotFilterRebuild)
+    ->RangeMultiplier(4)
+    ->Range(128, 8192)
+    ->Complexity(benchmark::oN);
 BENCHMARK(BM_DpOptimizer)->RangeMultiplier(4)->Range(256, 16384);
 BENCHMARK(BM_OnePassBatchScheduler)
     ->RangeMultiplier(4)

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# bench_baseline.sh - build the release micro-benchmarks and capture a
+# JSON baseline for regression tracking.
+#
+# Usage: scripts/bench_baseline.sh [--out FILE] [--filter REGEX]
+#                                  [--repetitions N] [--jobs N]
+#
+#   --out FILE        Output JSON path
+#                     (default: bench/baselines/BENCH_3.json).
+#   --filter REGEX    google-benchmark name filter (default: all).
+#   --repetitions N   Repetitions per benchmark; with N > 1 only the
+#                     mean/median/stddev aggregates are reported
+#                     (default: 1).
+#   --jobs N          Build parallelism (default: nproc).
+#
+# The captured file is the input to scripts/bench_compare.py; the
+# committed baselines under bench/baselines/ are refreshed with this
+# script whenever a PR intentionally shifts performance
+# (docs/PERFORMANCE.md describes the workflow).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="bench/baselines/BENCH_3.json"
+FILTER="."
+REPS=1
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out)
+      [[ $# -ge 2 ]] || { echo "error: --out needs an argument" >&2; exit 2; }
+      OUT="$2"; shift 2 ;;
+    --filter)
+      [[ $# -ge 2 ]] || { echo "error: --filter needs an argument" >&2; exit 2; }
+      FILTER="$2"; shift 2 ;;
+    --repetitions)
+      [[ $# -ge 2 ]] || { echo "error: --repetitions needs an argument" >&2; exit 2; }
+      REPS="$2"; shift 2 ;;
+    --jobs)
+      [[ $# -ge 2 ]] || { echo "error: --jobs needs an argument" >&2; exit 2; }
+      JOBS="$2"; shift 2 ;;
+    -h|--help)
+      sed -n '2,19p' "$0"; exit 0 ;;
+    *)
+      echo "error: unknown argument '$1' (see --help)" >&2; exit 2 ;;
+  esac
+done
+
+echo "== configure + build (release) =="
+cmake --preset release
+cmake --build build/release -j "$JOBS" --target micro_benchmarks
+
+EXTRA_ARGS=()
+if [[ "$REPS" -gt 1 ]]; then
+  EXTRA_ARGS+=("--benchmark_repetitions=$REPS"
+               "--benchmark_report_aggregates_only=true")
+fi
+
+mkdir -p "$(dirname "$OUT")"
+echo "== run micro_benchmarks (filter: $FILTER) =="
+build/release/bench/micro_benchmarks \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  "${EXTRA_ARGS[@]}"
+
+echo "bench_baseline.sh: baseline written to $OUT"

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and flag regressions.
+
+Usage: scripts/bench_compare.py BASELINE CURRENT [--threshold FRAC]
+                                [--filter REGEX]
+
+Compares per-benchmark real_time between a committed baseline (captured
+with scripts/bench_baseline.sh) and a fresh run. A benchmark regresses
+when its real_time grows by more than --threshold (default 0.25, i.e.
+25%); any regression makes the script exit 1. Benchmarks present in
+only one file are reported but never fail the comparison, so adding or
+retiring benchmarks does not require regenerating the baseline in the
+same commit.
+
+Wall-clock microbenchmarks on shared machines are noisy; the threshold
+is deliberately generous, and docs/PERFORMANCE.md describes when to
+refresh the committed baseline instead of chasing noise.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Aggregate entry preferred when a run used --benchmark_repetitions.
+_PREFERRED_AGGREGATE = "median"
+
+
+def load_times(path, name_filter):
+    """Returns {benchmark name: real_time in ns} for one JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    unit_to_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    times = {}
+    aggregates = set()
+    for entry in data.get("benchmarks", []):
+        run_name = entry.get("run_name", entry["name"])
+        if name_filter and not re.search(name_filter, run_name):
+            continue
+        run_type = entry.get("run_type", "iteration")
+        if run_type == "aggregate":
+            if entry.get("aggregate_name") != _PREFERRED_AGGREGATE:
+                continue
+            aggregates.add(run_name)
+        elif run_name in aggregates:
+            continue  # Aggregate already seen; ignore raw repetitions.
+        scale = unit_to_ns.get(entry.get("time_unit", "ns"), 1.0)
+        times[run_name] = entry["real_time"] * scale
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare google-benchmark JSON files.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed real_time growth fraction "
+                             "(default: 0.25)")
+    parser.add_argument("--filter", default="",
+                        help="regex restricting compared benchmark names")
+    args = parser.parse_args()
+
+    base = load_times(args.baseline, args.filter)
+    curr = load_times(args.current, args.filter)
+
+    common = sorted(set(base) & set(curr))
+    if not common:
+        print("bench_compare: no common benchmarks to compare",
+              file=sys.stderr)
+        return 1
+
+    regressions = []
+    width = max(len(name) for name in common)
+    print(f"{'benchmark':<{width}}  {'base':>12}  {'current':>12}  delta")
+    for name in common:
+        delta = (curr[name] - base[name]) / base[name]
+        marker = ""
+        if delta > args.threshold:
+            marker = "  REGRESSION"
+            regressions.append(name)
+        print(f"{name:<{width}}  {base[name]:>10.0f}ns  "
+              f"{curr[name]:>10.0f}ns  {delta:+7.1%}{marker}")
+
+    for name in sorted(set(base) - set(curr)):
+        print(f"note: only in baseline: {name}")
+    for name in sorted(set(curr) - set(base)):
+        print(f"note: only in current run: {name}")
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK ({len(common)} benchmarks within "
+          f"{args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

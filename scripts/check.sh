@@ -11,9 +11,10 @@
 #   --jobs N        Parallelism for builds and ctest (default: nproc).
 #
 # The tsan preset builds everything but runs only the concurrency-
-# relevant tests (ThreadPool* and Experiment*): the rest of the suite is
-# single-threaded and already covered by the other presets, and tsan's
-# ~10x slowdown makes a full run pure cost.
+# relevant tests (ThreadPool*, Experiment*, AlternativeSearchParallel*,
+# and SlotFilter*): the rest of the suite is single-threaded and already
+# covered by the other presets, and tsan's ~10x slowdown makes a full
+# run pure cost.
 #
 # Exits non-zero on the first failing configure, build, or test run.
 # See docs/STATIC_ANALYSIS.md for the preset definitions.
@@ -56,7 +57,8 @@ for preset in "${PRESETS[@]}"; do
   echo "==== [$preset] ctest ===="
   if [[ "$preset" == tsan ]]; then
     # Concurrency-relevant tests only; see the header comment.
-    ctest --preset "$preset" -j "$JOBS" -R '^(ThreadPool|Experiment)'
+    ctest --preset "$preset" -j "$JOBS" \
+      -R '^(ThreadPool|Experiment|AlternativeSearchParallel|SlotFilter)'
   else
     ctest --preset "$preset" -j "$JOBS"
   fi

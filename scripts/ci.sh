@@ -6,13 +6,17 @@
 #   1. repo hygiene: no tracked file may match the .gitignore rules
 #      (guards against committed build trees recurring)
 #   2. release preset: configure, build (-Werror), full ctest suite
-#   3. asan-ubsan preset: configure, build, full ctest suite under
+#   3. bench smoke: one short repetition of bench/micro_benchmarks with
+#      JSON output to a temp file, validated as well-formed benchmark
+#      JSON (guards the bench-baseline workflow, docs/PERFORMANCE.md)
+#   4. asan-ubsan preset: configure, build, full ctest suite under
 #      AddressSanitizer + UndefinedBehaviorSanitizer
-#   4. tsan preset: configure, build, and the concurrency-relevant
-#      tests (ThreadPool + Experiment) under ThreadSanitizer
-#   5. clang-tidy over src/ tests/ bench/ examples/ (zero findings);
+#   5. tsan preset: configure, build, and the concurrency-relevant
+#      tests (ThreadPool, Experiment, AlternativeSearchParallel,
+#      SlotFilter) under ThreadSanitizer
+#   6. clang-tidy over src/ tests/ bench/ examples/ (zero findings);
 #      SKIPPED with a notice when no clang-tidy binary is installed
-#   6. clang-format verification of every tracked C++ file against the
+#   7. clang-format verification of every tracked C++ file against the
 #      repo .clang-format; SKIPPED when clang-format is not installed
 #
 # Usage: scripts/ci.sh [--jobs N] [--skip-sanitizers]
@@ -34,13 +38,13 @@ while [[ $# -gt 0 ]]; do
     --skip-sanitizers)
       SKIP_SAN=1; shift ;;
     -h|--help)
-      sed -n '2,16p' "$0"; exit 0 ;;
+      sed -n '2,20p' "$0"; exit 0 ;;
     *)
       echo "error: unknown argument '$1' (see --help)" >&2; exit 2 ;;
   esac
 done
 
-echo "=== ci stage 1/6: repo hygiene (tracked files vs ignore rules) ==="
+echo "=== ci stage 1/7: repo hygiene (tracked files vs ignore rules) ==="
 TRACKED_IGNORED="$(git ls-files --cached -i --exclude-standard)"
 if [[ -n "$TRACKED_IGNORED" ]]; then
   echo "error: tracked files match the repo ignore rules:" >&2
@@ -50,23 +54,39 @@ if [[ -n "$TRACKED_IGNORED" ]]; then
 fi
 echo "repo hygiene: clean"
 
-echo "=== ci stage 2/6: release build + tests ==="
+echo "=== ci stage 2/7: release build + tests ==="
 scripts/check.sh --preset release --jobs "$JOBS"
 
+echo "=== ci stage 3/7: bench smoke (micro_benchmarks JSON output) ==="
+BENCH_JSON="$(mktemp --suffix=.json)"
+trap 'rm -f "$BENCH_JSON"' EXIT
+build/release/bench/micro_benchmarks \
+  --benchmark_out="$BENCH_JSON" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.01 > /dev/null
+python3 - "$BENCH_JSON" <<'PYEOF'
+import json, sys
+with open(sys.argv[1], encoding="utf-8") as handle:
+    data = json.load(handle)
+names = [entry["name"] for entry in data["benchmarks"]]
+assert names, "bench smoke produced no benchmark entries"
+print(f"bench smoke: {len(names)} benchmark entries, JSON well-formed")
+PYEOF
+
 if [[ $SKIP_SAN -eq 0 ]]; then
-  echo "=== ci stage 3/6: asan-ubsan build + tests ==="
+  echo "=== ci stage 4/7: asan-ubsan build + tests ==="
   scripts/check.sh --preset asan-ubsan --jobs "$JOBS"
-  echo "=== ci stage 4/6: tsan build + concurrency tests ==="
+  echo "=== ci stage 5/7: tsan build + concurrency tests ==="
   scripts/check.sh --preset tsan --jobs "$JOBS"
 else
-  echo "=== ci stage 3/6: SKIPPED (--skip-sanitizers) ==="
-  echo "=== ci stage 4/6: SKIPPED (--skip-sanitizers) ==="
+  echo "=== ci stage 4/7: SKIPPED (--skip-sanitizers) ==="
+  echo "=== ci stage 5/7: SKIPPED (--skip-sanitizers) ==="
 fi
 
-echo "=== ci stage 5/6: clang-tidy ==="
+echo "=== ci stage 6/7: clang-tidy ==="
 scripts/run_clang_tidy.sh --jobs "$JOBS"
 
-echo "=== ci stage 6/6: clang-format ==="
+echo "=== ci stage 7/7: clang-format ==="
 FORMAT="${CLANG_FORMAT:-}"
 if [[ -z "$FORMAT" ]]; then
   for candidate in clang-format clang-format-21 clang-format-20 \

@@ -13,13 +13,26 @@
 
 using namespace ecosched;
 
-std::optional<Window>
-AlpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
-                      SearchStats *Stats) const {
+namespace {
+
+/// The ALP forward scan. With \p PreFiltered the list is a SlotFilter
+/// view whose slots already pass the request-static predicates
+/// (performance, price cap, length, own-start deadline), so only the
+/// dynamic group logic runs per slot.
+template <bool PreFiltered>
+std::optional<Window> alpScan(const SlotList &List,
+                              const ResourceRequest &Request,
+                              SearchStats *Stats) {
   ECOSCHED_CHECK(Request.NodeCount > 0,
                  "request must ask for at least one slot, got {}",
                  Request.NodeCount);
-  ECOSCHED_DVALIDATE(List.validate());
+  if constexpr (!PreFiltered) {
+    // A SlotFilter view is validated when built, and its damage
+    // maintenance is an exactness-property-tested local splice;
+    // re-validating the view on every search would make the sweep
+    // quadratic in the list size again (docs/PERFORMANCE.md).
+    ECOSCHED_DVALIDATE(List.validate());
+  }
   const size_t Needed = static_cast<size_t>(Request.NodeCount);
   std::vector<const Slot *> Group;
   SearchStats Local;
@@ -28,14 +41,16 @@ AlpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
     if (approxGe(S.Start, Request.Deadline))
       break; // Sorted list: no later slot can meet the deadline.
     ++Local.SlotsExamined;
-    if (!detail::meetsPerformance(S, Request))
-      continue;
-    if (!detail::meetsPriceCap(S, Request))
-      continue;
-    if (!detail::meetsLength(S, Request))
-      continue;
-    if (!detail::fitsDeadline(S, S.Start, Request))
-      continue;
+    if constexpr (!PreFiltered) {
+      if (!detail::meetsPerformance(S, Request))
+        continue;
+      if (!detail::meetsPriceCap(S, Request))
+        continue;
+      if (!detail::meetsLength(S, Request))
+        continue;
+      if (!detail::fitsDeadline(S, S.Start, Request))
+        continue;
+    }
 
     // Step 3: the window start advances to the newest slot's start; drop
     // group members whose remaining length is no longer sufficient (or,
@@ -58,4 +73,26 @@ AlpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
   if (Stats)
     *Stats += Local;
   return std::nullopt;
+}
+
+} // namespace
+
+std::optional<Window>
+AlpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
+                      SearchStats *Stats) const {
+  return alpScan<false>(List, Request, Stats);
+}
+
+std::optional<Window>
+AlpSearch::findWindowFiltered(const SlotList &Filtered,
+                              const ResourceRequest &Request,
+                              SearchStats *Stats) const {
+  return alpScan<true>(Filtered, Request, Stats);
+}
+
+bool AlpSearch::admits(const Slot &S, const ResourceRequest &Request) const {
+  return detail::meetsPerformance(S, Request) &&
+         detail::meetsPriceCap(S, Request) &&
+         detail::meetsLength(S, Request) &&
+         detail::fitsDeadline(S, S.Start, Request);
 }

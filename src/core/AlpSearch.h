@@ -32,6 +32,21 @@ public:
   std::optional<Window>
   findWindow(const SlotList &List, const ResourceRequest &Request,
              SearchStats *Stats = nullptr) const override;
+
+  /// Conditions 2a/2b/2c plus the own-start deadline check, all
+  /// request-static and shrink-monotone.
+  bool admits(const Slot &S, const ResourceRequest &Request) const override;
+
+  /// Scan that skips the static predicate re-checks on a SlotFilter view.
+  std::optional<Window>
+  findWindowFiltered(const SlotList &Filtered,
+                     const ResourceRequest &Request,
+                     SearchStats *Stats = nullptr) const override;
+
+  /// ALP's output is a pure function of the per-start alive-slot sets,
+  /// so member-intact speculative windows survive list damage
+  /// (docs/PERFORMANCE.md).
+  bool supportsSpeculativeReuse() const override { return true; }
 };
 
 } // namespace ecosched

@@ -7,12 +7,25 @@
 
 #include "core/AlternativeSearch.h"
 
+#include "core/SlotFilter.h"
 #include "support/Check.h"
+#include "support/ThreadPool.h"
 
 using namespace ecosched;
 
-AlternativeSet AlternativeSearch::run(SlotList List, const Batch &Jobs,
-                                      SearchStats *Stats) const {
+namespace {
+
+/// One job's result from the parallel speculation phase.
+struct Speculation {
+  std::optional<Window> W;
+  SearchStats Stats;
+};
+
+} // namespace
+
+AlternativeSet AlternativeSearch::runUnfiltered(SlotList List,
+                                                const Batch &Jobs,
+                                                SearchStats *Stats) const {
   AlternativeSet Result;
   Result.PerJob.resize(Jobs.size());
 
@@ -38,6 +51,99 @@ AlternativeSet AlternativeSearch::run(SlotList List, const Batch &Jobs,
       Result.PerJob[I].push_back(std::move(*W));
       PlacedAny = true;
     }
+    if (!PlacedAny)
+      break;
+  }
+  return Result;
+}
+
+AlternativeSet AlternativeSearch::run(SlotList List, const Batch &Jobs,
+                                      SearchStats *Stats) const {
+  if (!Cfg.UseFilter)
+    return runUnfiltered(std::move(List), Jobs, Stats);
+
+  AlternativeSet Result;
+  Result.PerJob.resize(Jobs.size());
+  ECOSCHED_DVALIDATE(List.validate());
+  SlotFilter Filter(List, Jobs, Algo);
+  const bool Sharded = Cfg.Pool && Algo.supportsSpeculativeReuse();
+
+  const auto Capped = [&](size_t I) {
+    return Cfg.MaxAlternativesPerJob != 0 &&
+           Result.PerJob[I].size() >= Cfg.MaxAlternativesPerJob;
+  };
+  // Commits a found window: damages the master list and every view, and
+  // records the alternative. Identical for the serial and sharded paths
+  // — ordering is the only difference between them, and the sharded
+  // path commits in the serial path's job order. The master list is
+  // re-validated once per pass rather than per commit: subtraction is a
+  // local splice, and per-commit O(n^2) validation is what made the
+  // textbook sweep quadratic in the list size (docs/PERFORMANCE.md).
+  const auto Commit = [&](size_t I, Window W) {
+    const bool Subtracted = W.subtractFrom(List);
+    ECOSCHED_CHECK(Subtracted,
+                   "search returned a window outside the list for job {} "
+                   "starting at {}",
+                   Jobs[I].Id, W.startTime());
+    Filter.applyDamage(W);
+    Result.PerJob[I].push_back(std::move(W));
+  };
+
+  for (size_t Pass = 0; Cfg.MaxPasses == 0 || Pass < Cfg.MaxPasses;
+       ++Pass) {
+    bool PlacedAny = false;
+    if (Sharded) {
+      // Phase A: search every uncapped job against its pass-start view,
+      // in parallel. Read-only — no damage is applied, the views are
+      // disjoint per job, and Result is only read — so no locks are
+      // needed and the windows found do not depend on the pool size.
+      std::vector<Speculation> Specs = Cfg.Pool->parallelMap<Speculation>(
+          Jobs.size(), 1, [&](size_t I) {
+            Speculation S;
+            if (!Capped(I))
+              S.W = Algo.findWindowFiltered(Filter.view(I),
+                                            Jobs[I].Request, &S.Stats);
+            return S;
+          });
+      // Phase B: commit sequentially in job order. A speculative window
+      // whose member slots all survived the earlier commits of this
+      // pass is exactly what a fresh search would return (member-intact
+      // reuse, docs/PERFORMANCE.md); otherwise recompute serially on
+      // the damaged view. A speculative miss needs no recheck: damage
+      // only shrinks the views, so a search that failed on the
+      // pass-start view fails on the damaged one too.
+      for (size_t I = 0, E = Jobs.size(); I != E; ++I) {
+        if (Capped(I))
+          continue;
+        Speculation &S = Specs[I];
+        if (Stats)
+          *Stats += S.Stats;
+        if (S.W && !Filter.windowIntact(I, *S.W)) {
+          SearchStats Recompute;
+          ++Recompute.SpeculationRecomputes;
+          S.W = Algo.findWindowFiltered(Filter.view(I), Jobs[I].Request,
+                                        &Recompute);
+          if (Stats)
+            *Stats += Recompute;
+        }
+        if (!S.W)
+          continue;
+        Commit(I, std::move(*S.W));
+        PlacedAny = true;
+      }
+    } else {
+      for (size_t I = 0, E = Jobs.size(); I != E; ++I) {
+        if (Capped(I))
+          continue;
+        std::optional<Window> W =
+            Algo.findWindowFiltered(Filter.view(I), Jobs[I].Request, Stats);
+        if (!W)
+          continue;
+        Commit(I, std::move(*W));
+        PlacedAny = true;
+      }
+    }
+    ECOSCHED_DVALIDATE(List.validate());
     if (!PlacedAny)
       break;
   }

@@ -13,6 +13,18 @@
 /// intersect in processor time; sweeps repeat until no job can be
 /// placed on the remaining slots.
 ///
+/// Two orthogonal accelerations over the textbook loop, both
+/// result-preserving (docs/PERFORMANCE.md):
+///  * SlotFilter precomputes each job's admissible slot view and keeps
+///    it exact incrementally, so every search scans only slots that can
+///    actually join a window for that job.
+///  * With a ThreadPool configured, each pass speculatively searches
+///    all jobs in parallel against the pass-start views, then commits
+///    sequentially in job order; a speculative window invalidated by an
+///    earlier commit is recomputed serially. The resulting
+///    AlternativeSet is bitwise-identical to the serial sweep for any
+///    thread count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ECOSCHED_CORE_ALTERNATIVESEARCH_H
@@ -23,6 +35,8 @@
 #include <vector>
 
 namespace ecosched {
+
+class ThreadPool;
 
 /// All alternatives found for one batch; PerJob is parallel to the
 /// batch's job order.
@@ -64,6 +78,17 @@ public:
     size_t MaxPasses = 0;
     /// Optional cap on alternatives per job; 0 means unlimited.
     size_t MaxAlternativesPerJob = 0;
+    /// Optional shared pool for the speculative sharded sweep. The
+    /// sweep stays deterministic: the result is identical for any pool
+    /// size, including a pool of 1. Algorithms that do not support
+    /// speculative reuse (supportsSpeculativeReuse() == false) fall
+    /// back to the serial filtered sweep; the pool is then unused.
+    ThreadPool *Pool = nullptr;
+    /// When false, disables the SlotFilter admissibility index *and*
+    /// the sharded sweep, running the textbook serial loop over the
+    /// full list. Reference path for differential tests and the bench
+    /// baseline; production callers leave it on.
+    bool UseFilter = true;
   };
 
   explicit AlternativeSearch(const SlotSearchAlgorithm &Algo)
@@ -72,11 +97,17 @@ public:
       : Algo(Algo), Cfg(Cfg) {}
 
   /// Collects alternatives for \p Jobs on a copy of \p List.
-  /// \param Stats optional accumulated search work counters.
+  /// \param Stats optional accumulated search work counters. Counters
+  /// depend on the configured path (the filter shrinks SlotsExamined;
+  /// speculation adds recompute work) but not on the pool size.
   AlternativeSet run(SlotList List, const Batch &Jobs,
                      SearchStats *Stats = nullptr) const;
 
 private:
+  /// The textbook loop: full-list scans, no speculation (UseFilter off).
+  AlternativeSet runUnfiltered(SlotList List, const Batch &Jobs,
+                               SearchStats *Stats) const;
+
   const SlotSearchAlgorithm &Algo;
   Config Cfg = {};
 };

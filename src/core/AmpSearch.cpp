@@ -13,13 +13,27 @@
 
 using namespace ecosched;
 
-std::optional<Window>
-AmpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
-                      SearchStats *Stats) const {
+namespace {
+
+/// The AMP forward scan. With \p PreFiltered the list is a SlotFilter
+/// view whose slots already pass the request-static predicates
+/// (performance, length, own-start deadline; the per-slot price cap is
+/// deliberately not part of AMP's admissibility), so only the dynamic
+/// group and budget logic runs per slot.
+template <bool PreFiltered>
+std::optional<Window> ampScan(const SlotList &List,
+                              const ResourceRequest &Request,
+                              SearchStats *Stats) {
   ECOSCHED_CHECK(Request.NodeCount > 0,
                  "request must ask for at least one slot, got {}",
                  Request.NodeCount);
-  ECOSCHED_DVALIDATE(List.validate());
+  if constexpr (!PreFiltered) {
+    // A SlotFilter view is validated when built, and its damage
+    // maintenance is an exactness-property-tested local splice;
+    // re-validating the view on every search would make the sweep
+    // quadratic in the list size again (docs/PERFORMANCE.md).
+    ECOSCHED_DVALIDATE(List.validate());
+  }
   const size_t Needed = static_cast<size_t>(Request.NodeCount);
   const double Budget = Request.budget();
   std::vector<const Slot *> Group;
@@ -32,12 +46,14 @@ AmpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
     ++Local.SlotsExamined;
     // Steps 1/3: accumulate slots under conditions 2a and 2b only; the
     // per-slot price condition 2c is deliberately dropped.
-    if (!detail::meetsPerformance(S, Request))
-      continue;
-    if (!detail::meetsLength(S, Request))
-      continue;
-    if (!detail::fitsDeadline(S, S.Start, Request))
-      continue;
+    if constexpr (!PreFiltered) {
+      if (!detail::meetsPerformance(S, Request))
+        continue;
+      if (!detail::meetsLength(S, Request))
+        continue;
+      if (!detail::fitsDeadline(S, S.Start, Request))
+        continue;
+    }
 
     const double WindowStart = S.Start;
     std::erase_if(Group, [&](const Slot *G) {
@@ -83,4 +99,25 @@ AmpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
   if (Stats)
     *Stats += Local;
   return std::nullopt;
+}
+
+} // namespace
+
+std::optional<Window>
+AmpSearch::findWindow(const SlotList &List, const ResourceRequest &Request,
+                      SearchStats *Stats) const {
+  return ampScan<false>(List, Request, Stats);
+}
+
+std::optional<Window>
+AmpSearch::findWindowFiltered(const SlotList &Filtered,
+                              const ResourceRequest &Request,
+                              SearchStats *Stats) const {
+  return ampScan<true>(Filtered, Request, Stats);
+}
+
+bool AmpSearch::admits(const Slot &S, const ResourceRequest &Request) const {
+  return detail::meetsPerformance(S, Request) &&
+         detail::meetsLength(S, Request) &&
+         detail::fitsDeadline(S, S.Start, Request);
 }

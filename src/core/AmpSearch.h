@@ -32,6 +32,21 @@ public:
   std::optional<Window>
   findWindow(const SlotList &List, const ResourceRequest &Request,
              SearchStats *Stats = nullptr) const override;
+
+  /// Conditions 2a/2b plus the own-start deadline check; the per-slot
+  /// price cap 2c is deliberately not part of AMP's admissibility.
+  bool admits(const Slot &S, const ResourceRequest &Request) const override;
+
+  /// Scan that skips the static predicate re-checks on a SlotFilter view.
+  std::optional<Window>
+  findWindowFiltered(const SlotList &Filtered,
+                     const ResourceRequest &Request,
+                     SearchStats *Stats = nullptr) const override;
+
+  /// AMP's output is a pure function of the per-start alive-slot sets
+  /// and their (damage-invariant) usage costs, so member-intact
+  /// speculative windows survive list damage (docs/PERFORMANCE.md).
+  bool supportsSpeculativeReuse() const override { return true; }
 };
 
 } // namespace ecosched

@@ -93,3 +93,11 @@ BackfillSearch::findWindow(const SlotList &List,
     *Stats += Local;
   return std::nullopt;
 }
+
+bool BackfillSearch::admits(const Slot &S,
+                            const ResourceRequest &Request) const {
+  if (!detail::meetsPerformance(S, Request))
+    return false;
+  return PriceRule != PriceRuleKind::PerSlotCap ||
+         detail::meetsPriceCap(S, Request);
+}

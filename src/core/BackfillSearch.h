@@ -51,6 +51,13 @@ public:
   findWindow(const SlotList &List, const ResourceRequest &Request,
              SearchStats *Stats = nullptr) const override;
 
+  /// Performance (and, under the per-slot rule, price) only: a slot
+  /// failing either can neither anchor a window nor join one. Length
+  /// and deadline stay dynamic — a too-short slot's release point is
+  /// still a valid anchor for *other* slots, so filtering it out would
+  /// change results.
+  bool admits(const Slot &S, const ResourceRequest &Request) const override;
+
 private:
   PriceRuleKind PriceRule;
 };

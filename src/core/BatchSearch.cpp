@@ -10,7 +10,6 @@
 #include "core/SearchCommon.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 using namespace ecosched;
 
@@ -45,7 +44,10 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
   std::sort(Queue.begin(), Queue.end(), scanSlotStartLess);
 
   std::vector<std::vector<ScanSlot>> Groups(Jobs.size());
-  std::unordered_set<uint64_t> Consumed;
+  // Serials are dense (0..NextSerial), so a flat byte per serial beats
+  // a hash set: O(1) with no hashing, and the commit sweep touches
+  // contiguous memory. Grown in step with NextSerial as tails requeue.
+  std::vector<char> Consumed(Queue.size(), 0);
   size_t Unplaced = Jobs.size();
 
   // Scratch buffers hoisted out of the scan so commits reuse capacity
@@ -61,7 +63,7 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
     for (size_t J = 0, E = Jobs.size(); J != E; ++J) {
       if (Result.PerJob[J])
         continue;
-      if (Consumed.count(Cur.Serial))
+      if (Consumed[Cur.Serial])
         break; // A higher-priority job took this slot at this anchor.
       const ResourceRequest &Req = Jobs[J].Request;
       if (!detail::meetsPerformance(Cur.S, Req))
@@ -133,6 +135,7 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
           Tail.S = M.Source;
           Tail.S.Start = TailStart;
           Tail.Serial = NextSerial++;
+          Consumed.push_back(0);
           // Tails start after the current anchor; keep the unscanned
           // region sorted so the scan encounters them in order.
           const auto Pos = std::upper_bound(
@@ -142,12 +145,18 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
         }
       }
       for (const uint64_t Serial : Serials)
-        Consumed.insert(Serial);
-      for (auto &OtherGroup : Groups)
+        Consumed[Serial] = 1;
+      // The placed job's own group is dead weight from here on; drop it
+      // so the eviction sweeps below and in later commits skip it.
+      Group.clear();
+      for (auto &OtherGroup : Groups) {
+        if (OtherGroup.empty())
+          continue; // Most groups are empty or already placed: no sweep.
         std::erase_if(OtherGroup, [&](const ScanSlot &G) {
-          return Consumed.count(G.Serial) != 0;
+          return Consumed[G.Serial] != 0;
         });
-      if (Consumed.count(Cur.Serial))
+      }
+      if (Consumed[Cur.Serial])
         break; // The anchor slot itself was taken.
     }
   }

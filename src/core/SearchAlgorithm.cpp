@@ -11,3 +11,16 @@ using namespace ecosched;
 
 // Virtual method anchor.
 SlotSearchAlgorithm::~SlotSearchAlgorithm() = default;
+
+bool SlotSearchAlgorithm::admits(const Slot &, const ResourceRequest &) const {
+  return true;
+}
+
+std::optional<Window>
+SlotSearchAlgorithm::findWindowFiltered(const SlotList &Filtered,
+                                        const ResourceRequest &Request,
+                                        SearchStats *Stats) const {
+  // A filtered list is a valid slot list; re-running the static
+  // predicate checks on it is redundant but never wrong.
+  return findWindow(Filtered, Request, Stats);
+}

@@ -34,11 +34,15 @@ struct SearchStats {
   size_t GroupPeak = 0;
   /// Total comparison-ish work: group updates plus sorting effort.
   size_t GroupOperations = 0;
+  /// Speculative windows discarded and recomputed serially by the
+  /// sharded alternative sweep (docs/PERFORMANCE.md).
+  size_t SpeculationRecomputes = 0;
 
   SearchStats &operator+=(const SearchStats &Other) {
     SlotsExamined += Other.SlotsExamined;
     GroupPeak = GroupPeak > Other.GroupPeak ? GroupPeak : Other.GroupPeak;
     GroupOperations += Other.GroupOperations;
+    SpeculationRecomputes += Other.SpeculationRecomputes;
     return *this;
   }
 };
@@ -59,6 +63,39 @@ public:
   virtual std::optional<Window>
   findWindow(const SlotList &List, const ResourceRequest &Request,
              SearchStats *Stats = nullptr) const = 0;
+
+  /// The request-static admissibility predicate: true unless \p S can
+  /// never contribute to a window this algorithm returns for
+  /// \p Request, regardless of the rest of the list. SlotFilter uses it
+  /// to precompute per-job slot views (docs/PERFORMANCE.md).
+  ///
+  /// Contract: the predicate must be monotone under slot shrinking — if
+  /// a slot is inadmissible, every sub-span of it (same node,
+  /// performance, and price) is inadmissible too. All of the Section 3
+  /// conditions (2a performance, 2b length, 2c price) and the
+  /// own-start deadline check satisfy this. The base implementation
+  /// admits everything.
+  virtual bool admits(const Slot &S, const ResourceRequest &Request) const;
+
+  /// findWindow over a \p Filtered list that contains only slots passing
+  /// admits(): implementations may skip their request-static predicate
+  /// checks. Must return exactly the window findWindow would return on
+  /// any list whose admissible subsequence equals \p Filtered. The base
+  /// implementation forwards to findWindow, which is always correct.
+  virtual std::optional<Window>
+  findWindowFiltered(const SlotList &Filtered,
+                     const ResourceRequest &Request,
+                     SearchStats *Stats = nullptr) const;
+
+  /// True if a window this algorithm found on a list L0 may be reused
+  /// on a damaged sublist L1 (every L1 slot is a verbatim or shrunk L0
+  /// slot) whenever all of the window's member slots are still present
+  /// verbatim in L1 — i.e. findWindow(L1) is guaranteed to return the
+  /// same window. ALP and AMP satisfy this because their output is a
+  /// pure function of the per-start alive-slot sets
+  /// (docs/PERFORMANCE.md gives the argument). The speculative sharded
+  /// sweep falls back to a serial sweep when false.
+  virtual bool supportsSpeculativeReuse() const { return false; }
 };
 
 } // namespace ecosched

@@ -1,0 +1,52 @@
+//===-- core/SlotFilter.cpp - Per-job admissible slot views ---------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SlotFilter.h"
+
+using namespace ecosched;
+
+SlotFilter::SlotFilter(const SlotList &Master, const Batch &Jobs,
+                       const SlotSearchAlgorithm &Algo)
+    : Algo(Algo) {
+  Requests.reserve(Jobs.size());
+  Views.reserve(Jobs.size());
+  for (const Job &J : Jobs) {
+    Requests.push_back(J.Request);
+    Views.push_back(filteredCopy(Master, J.Request, Algo));
+  }
+}
+
+void SlotFilter::applyDamage(const Window &W) {
+  const double Start = W.startTime();
+  for (size_t J = 0, E = Views.size(); J != E; ++J) {
+    const ResourceRequest &Request = Requests[J];
+    const auto Keep = [&](const Slot &Piece) {
+      return Algo.admits(Piece, Request);
+    };
+    for (const WindowSlot &M : W)
+      // A false return means this view never held the member slot
+      // (inadmissible for job J), so there is nothing to update.
+      Views[J].subtractExact(M.Source, Start, Start + M.Runtime, Keep);
+  }
+}
+
+bool SlotFilter::windowIntact(size_t J, const Window &W) const {
+  for (const WindowSlot &M : W)
+    if (!Views[J].containsExact(M.Source))
+      return false;
+  return true;
+}
+
+SlotList SlotFilter::filteredCopy(const SlotList &List,
+                                  const ResourceRequest &Request,
+                                  const SlotSearchAlgorithm &Algo) {
+  std::vector<Slot> Kept;
+  for (const Slot &S : List)
+    if (Algo.admits(S, Request))
+      Kept.push_back(S);
+  return SlotList(std::move(Kept));
+}

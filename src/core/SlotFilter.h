@@ -1,0 +1,83 @@
+//===-- core/SlotFilter.h - Per-job admissible slot views ----------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-job admissibility index for the alternative sweep. For every job
+/// of a batch the filter precomputes the subsequence of the master slot
+/// list that passes the search algorithm's request-static predicates
+/// (SlotSearchAlgorithm::admits) — performance, price cap, minimal
+/// length, and the own-start deadline check, depending on the
+/// algorithm. The sweep then scans only that view, and the filter keeps
+/// every view exact *incrementally* as committed windows damage the
+/// master list: each subtraction splices the affected slot in place of
+/// a full rescan, dropping remainder pieces that became inadmissible.
+///
+/// The view invariant (docs/PERFORMANCE.md): after any damage sequence,
+/// view(J) is bitwise-equal to filteredCopy(Master, Jobs[J].Request) of
+/// the equally-damaged master list. This holds because admits() is
+/// monotone under slot shrinking and applyDamage() mirrors the master's
+/// subtraction arithmetic on verbatim slot copies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_SLOTFILTER_H
+#define ECOSCHED_CORE_SLOTFILTER_H
+
+#include "core/SearchAlgorithm.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace ecosched {
+
+/// Precomputed per-job admissible slot views, maintained incrementally
+/// under window damage.
+class SlotFilter {
+public:
+  /// Builds one view per job of \p Jobs from \p Master. O(jobs * slots)
+  /// once per sweep; every later update is a splice. \p Master must be
+  /// structurally valid (the sweep validates it at entry; a view is a
+  /// verbatim subsequence, so sortedness and disjointness inherit).
+  SlotFilter(const SlotList &Master, const Batch &Jobs,
+             const SlotSearchAlgorithm &Algo);
+
+  /// The admissible subsequence of the (damaged) master list for job
+  /// \p J. Slots are verbatim copies, in master order.
+  const SlotList &view(size_t J) const { return Views[J]; }
+
+  size_t jobCount() const { return Views.size(); }
+
+  /// Propagates a committed window's damage into every view: for each
+  /// member span, the containing view slot (when present) is split
+  /// exactly as the master split it, and remainder pieces re-enter a
+  /// view only if still admissible for that job. Views that never held
+  /// the member slot (it was inadmissible) need no update — by
+  /// monotonicity its remainders are inadmissible too.
+  void applyDamage(const Window &W);
+
+  /// True if every member slot of \p W is still present verbatim in
+  /// view \p J. When it is, a window speculatively found for job \p J
+  /// on an earlier snapshot is still exactly what a fresh search would
+  /// return (the member-intact reuse argument, docs/PERFORMANCE.md).
+  bool windowIntact(size_t J, const Window &W) const;
+
+  /// The admissible subsequence of \p List for \p Request as a fresh
+  /// list. Rebuild oracle for the incremental maintenance (tests) and
+  /// the filtered serial path's one-off construction.
+  static SlotList filteredCopy(const SlotList &List,
+                               const ResourceRequest &Request,
+                               const SlotSearchAlgorithm &Algo);
+
+private:
+  const SlotSearchAlgorithm &Algo;
+  std::vector<ResourceRequest> Requests;
+  std::vector<SlotList> Views;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_SLOTFILTER_H

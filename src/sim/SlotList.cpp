@@ -47,6 +47,44 @@ bool SlotList::subtract(int NodeId, double Start, double End) {
   return false;
 }
 
+bool SlotList::subtractExact(const Slot &Container, double Start,
+                             double End) {
+  return subtractExact(Container, Start, End,
+                       [](const Slot &) { return true; });
+}
+
+bool SlotList::subtractExact(const Slot &Container, double Start, double End,
+                             const std::function<bool(const Slot &)> &Keep) {
+  ECOSCHED_CHECK(End >= Start,
+                 "reserved span on node {} ends before it starts: [{}, {})",
+                 Container.NodeId, Start, End);
+  if (approxLe(End - Start, 0.0))
+    return true; // Nothing to reserve.
+  const auto It =
+      std::lower_bound(Slots.begin(), Slots.end(), Container, slotStartLess);
+  // Per-node disjointness makes the (Start, NodeId, End) key unique, so
+  // an equal-key slot is the container or it is absent.
+  if (It == Slots.end() || It->NodeId != Container.NodeId ||
+      It->Start != Container.Start || It->End != Container.End)
+    return false;
+  const Slot K = *It;
+  Slots.erase(It);
+  const Slot Head(K.NodeId, K.Performance, K.UnitPrice, K.Start, Start);
+  if (!approxLe(Head.length(), 0.0) && Keep(Head))
+    insert(Head);
+  const Slot Tail(K.NodeId, K.Performance, K.UnitPrice, End, K.End);
+  if (!approxLe(Tail.length(), 0.0) && Keep(Tail))
+    insert(Tail);
+  return true;
+}
+
+bool SlotList::containsExact(const Slot &S) const {
+  const auto It =
+      std::lower_bound(Slots.begin(), Slots.end(), S, slotStartLess);
+  return It != Slots.end() && It->NodeId == S.NodeId &&
+         It->Start == S.Start && It->End == S.End;
+}
+
 double SlotList::totalSpan() const {
   double Total = 0.0;
   for (const Slot &S : Slots)

@@ -19,6 +19,7 @@
 #include "sim/Slot.h"
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 namespace ecosched {
@@ -46,6 +47,26 @@ public:
   /// \returns true if a containing slot was found and split; false if no
   /// slot on \p NodeId contains the span (the list is left unchanged).
   bool subtract(int NodeId, double Start, double End);
+
+  /// Binary-search variant of subtract() for callers that know the
+  /// exact containing slot (window members carry their source slot):
+  /// if a slot equal to \p Container is stored, splits it around
+  /// [\p Start, \p End) exactly like subtract() and returns true;
+  /// otherwise returns false without modifying the list, and the
+  /// caller falls back to the linear subtract(). O(log n) lookup plus
+  /// the vector splice instead of a front-to-back scan.
+  bool subtractExact(const Slot &Container, double Start, double End);
+
+  /// subtractExact() with a remainder filter: each nonzero remainder
+  /// piece is inserted only if \p Keep returns true. SlotFilter uses
+  /// this to keep per-job admissible views exact under damage — a
+  /// remainder too short for the job must not re-enter its view.
+  bool subtractExact(const Slot &Container, double Start, double End,
+                     const std::function<bool(const Slot &)> &Keep);
+
+  /// True if a slot equal to \p S (node, span) is stored. Binary
+  /// search; used by the speculative sweep's window-intact check.
+  bool containsExact(const Slot &S) const;
 
   /// Total vacant time across all slots.
   double totalSpan() const;

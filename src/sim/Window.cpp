@@ -54,9 +54,16 @@ bool Window::intersects(const Window &Other) const {
 
 bool Window::subtractFrom(SlotList &List) const {
   bool AllFound = true;
-  for (const WindowSlot &M : Members)
-    AllFound &=
-        List.subtract(M.Source.NodeId, Start, Start + M.Runtime);
+  for (const WindowSlot &M : Members) {
+    const double End = Start + M.Runtime;
+    // Fast path: the member's source slot is usually still in the list
+    // verbatim (it was copied out of it when the window was built), and
+    // per-node disjointness makes it the unique container of the span —
+    // a binary search replaces the front-to-back scan. Fall back to the
+    // linear scan when the source has since been split by other damage.
+    if (!List.subtractExact(M.Source, Start, End))
+      AllFound &= List.subtract(M.Source.NodeId, Start, End);
+  }
   return AllFound;
 }
 

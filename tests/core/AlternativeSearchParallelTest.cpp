@@ -1,0 +1,273 @@
+//===-- tests/core/AlternativeSearchParallelTest.cpp - Sharded sweep ------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Determinism and exactness checks for the accelerated alternative
+/// sweep (docs/PERFORMANCE.md): the sharded speculate/commit path must
+/// be bitwise-identical to the textbook serial loop for every pool
+/// size, and SlotFilter's incrementally maintained views must stay
+/// bitwise-equal to from-scratch rebuilds under arbitrary damage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlternativeSearch.h"
+
+#include "core/AlpSearch.h"
+#include "core/AmpSearch.h"
+#include "core/BackfillSearch.h"
+#include "core/SlotFilter.h"
+#include "sim/JobGenerator.h"
+#include "sim/SlotGenerator.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+SlotList makeList(uint64_t Seed, int SlotCount = 0) {
+  SlotGeneratorConfig Cfg;
+  if (SlotCount > 0) {
+    Cfg.MinSlotCount = SlotCount;
+    Cfg.MaxSlotCount = SlotCount;
+  }
+  RandomGenerator Rng(Seed);
+  return SlotGenerator(Cfg).generate(Rng);
+}
+
+Batch makeBatch(uint64_t Seed, int JobCount = 0) {
+  JobGeneratorConfig Cfg;
+  if (JobCount > 0) {
+    Cfg.MinJobs = JobCount;
+    Cfg.MaxJobs = JobCount;
+  }
+  RandomGenerator Rng(Seed ^ 0xa5a5a5a5u);
+  return JobGenerator(Cfg).generate(Rng);
+}
+
+/// Exact (not approximate) equality: the determinism contract promises
+/// bitwise-identical results, so every double is compared with ==.
+void expectSameWindows(const AlternativeSet &Expected,
+                       const AlternativeSet &Actual,
+                       const std::string &Label) {
+  ASSERT_EQ(Expected.PerJob.size(), Actual.PerJob.size()) << Label;
+  for (size_t J = 0; J < Expected.PerJob.size(); ++J) {
+    ASSERT_EQ(Expected.PerJob[J].size(), Actual.PerJob[J].size())
+        << Label << ": job " << J;
+    for (size_t A = 0; A < Expected.PerJob[J].size(); ++A) {
+      const Window &E = Expected.PerJob[J][A];
+      const Window &G = Actual.PerJob[J][A];
+      SCOPED_TRACE(Label + ": job " + std::to_string(J) + " alt " +
+                   std::to_string(A));
+      ASSERT_EQ(E.size(), G.size());
+      EXPECT_EQ(E.startTime(), G.startTime());
+      EXPECT_EQ(E.totalCost(), G.totalCost());
+      for (size_t M = 0; M < E.size(); ++M) {
+        EXPECT_EQ(E[M].Source.NodeId, G[M].Source.NodeId);
+        EXPECT_EQ(E[M].Source.Performance, G[M].Source.Performance);
+        EXPECT_EQ(E[M].Source.UnitPrice, G[M].Source.UnitPrice);
+        EXPECT_EQ(E[M].Source.Start, G[M].Source.Start);
+        EXPECT_EQ(E[M].Source.End, G[M].Source.End);
+        EXPECT_EQ(E[M].Runtime, G[M].Runtime);
+        EXPECT_EQ(E[M].Cost, G[M].Cost);
+      }
+    }
+  }
+}
+
+void expectSameLists(const SlotList &Expected, const SlotList &Actual,
+                     const std::string &Label) {
+  ASSERT_EQ(Expected.size(), Actual.size()) << Label;
+  for (size_t I = 0; I < Expected.size(); ++I) {
+    SCOPED_TRACE(Label + ": slot " + std::to_string(I));
+    EXPECT_EQ(Expected[I].NodeId, Actual[I].NodeId);
+    EXPECT_EQ(Expected[I].Performance, Actual[I].Performance);
+    EXPECT_EQ(Expected[I].UnitPrice, Actual[I].UnitPrice);
+    EXPECT_EQ(Expected[I].Start, Actual[I].Start);
+    EXPECT_EQ(Expected[I].End, Actual[I].End);
+  }
+}
+
+} // namespace
+
+TEST(AlternativeSearchParallelTest, ShardedMatchesSerialBitwise) {
+  AlpSearch Alp;
+  AmpSearch Amp;
+  const SlotSearchAlgorithm *Algos[] = {&Alp, &Amp};
+  for (const SlotSearchAlgorithm *Algo : Algos) {
+    for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+      const SlotList List = makeList(Seed);
+      const Batch Jobs = makeBatch(Seed);
+
+      AlternativeSearch::Config Legacy;
+      Legacy.UseFilter = false;
+      const AlternativeSet Reference =
+          AlternativeSearch(*Algo, Legacy).run(List, Jobs);
+
+      const AlternativeSet Filtered =
+          AlternativeSearch(*Algo).run(List, Jobs);
+      expectSameWindows(Reference, Filtered,
+                        std::string(Algo->name()) + " filtered seed " +
+                            std::to_string(Seed));
+
+      for (const size_t Threads : {1u, 2u, 8u}) {
+        ThreadPool Pool(Threads);
+        AlternativeSearch::Config Cfg;
+        Cfg.Pool = &Pool;
+        const AlternativeSet Sharded =
+            AlternativeSearch(*Algo, Cfg).run(List, Jobs);
+        expectSameWindows(Reference, Sharded,
+                          std::string(Algo->name()) + " threads " +
+                              std::to_string(Threads) + " seed " +
+                              std::to_string(Seed));
+      }
+    }
+  }
+}
+
+TEST(AlternativeSearchParallelTest, StatsIndependentOfPoolSize) {
+  AlpSearch Alp;
+  const SlotList List = makeList(11);
+  const Batch Jobs = makeBatch(11, 6);
+
+  SearchStats Baseline;
+  {
+    ThreadPool Pool(1);
+    AlternativeSearch::Config Cfg;
+    Cfg.Pool = &Pool;
+    AlternativeSearch(Alp, Cfg).run(List, Jobs, &Baseline);
+  }
+  for (const size_t Threads : {2u, 8u}) {
+    ThreadPool Pool(Threads);
+    AlternativeSearch::Config Cfg;
+    Cfg.Pool = &Pool;
+    SearchStats Stats;
+    AlternativeSearch(Alp, Cfg).run(List, Jobs, &Stats);
+    EXPECT_EQ(Baseline.SlotsExamined, Stats.SlotsExamined)
+        << Threads << " threads";
+    EXPECT_EQ(Baseline.GroupPeak, Stats.GroupPeak) << Threads;
+    EXPECT_EQ(Baseline.GroupOperations, Stats.GroupOperations) << Threads;
+    EXPECT_EQ(Baseline.SpeculationRecomputes, Stats.SpeculationRecomputes)
+        << Threads;
+  }
+}
+
+TEST(AlternativeSearchParallelTest, CapsRespectedWithPool) {
+  AlpSearch Alp;
+  const SlotList List = makeList(3);
+  const Batch Jobs = makeBatch(3, 5);
+  for (const size_t MaxPasses : {0u, 2u}) {
+    for (const size_t MaxPerJob : {0u, 1u, 3u}) {
+      AlternativeSearch::Config Serial;
+      Serial.MaxPasses = MaxPasses;
+      Serial.MaxAlternativesPerJob = MaxPerJob;
+      Serial.UseFilter = false;
+      const AlternativeSet Reference =
+          AlternativeSearch(Alp, Serial).run(List, Jobs);
+
+      ThreadPool Pool(8);
+      AlternativeSearch::Config Cfg;
+      Cfg.MaxPasses = MaxPasses;
+      Cfg.MaxAlternativesPerJob = MaxPerJob;
+      Cfg.Pool = &Pool;
+      const AlternativeSet Sharded =
+          AlternativeSearch(Alp, Cfg).run(List, Jobs);
+      expectSameWindows(Reference, Sharded,
+                        "passes " + std::to_string(MaxPasses) + " cap " +
+                            std::to_string(MaxPerJob));
+    }
+  }
+}
+
+TEST(AlternativeSearchParallelTest, BackfillWithPoolFallsBackSerially) {
+  // Backfill does not support speculative reuse, so a configured pool
+  // must be ignored; results still match the unfiltered loop, which
+  // also exercises its performance/price-only admits() filter.
+  BackfillSearch Backfill;
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    const SlotList List = makeList(Seed);
+    const Batch Jobs = makeBatch(Seed);
+
+    AlternativeSearch::Config Legacy;
+    Legacy.UseFilter = false;
+    const AlternativeSet Reference =
+        AlternativeSearch(Backfill, Legacy).run(List, Jobs);
+
+    ThreadPool Pool(8);
+    AlternativeSearch::Config Cfg;
+    Cfg.Pool = &Pool;
+    const AlternativeSet Sharded =
+        AlternativeSearch(Backfill, Cfg).run(List, Jobs);
+    expectSameWindows(Reference, Sharded,
+                      "backfill seed " + std::to_string(Seed));
+  }
+}
+
+TEST(SlotFilterTest, ViewsEqualFilteredCopiesOnConstruction) {
+  AlpSearch Alp;
+  const SlotList List = makeList(7);
+  const Batch Jobs = makeBatch(7, 4);
+  SlotFilter Filter(List, Jobs, Alp);
+  ASSERT_EQ(Filter.jobCount(), Jobs.size());
+  for (size_t J = 0; J < Jobs.size(); ++J)
+    expectSameLists(
+        SlotFilter::filteredCopy(List, Jobs[J].Request, Alp),
+        Filter.view(J), "job " + std::to_string(J));
+}
+
+TEST(SlotFilterTest, IncrementalDamageMatchesRebuild) {
+  // Property: after any sequence of committed windows, each
+  // incrementally maintained view is bitwise-equal to filtering the
+  // equally damaged master list from scratch.
+  AlpSearch Alp;
+  AmpSearch Amp;
+  const SlotSearchAlgorithm *Algos[] = {&Alp, &Amp};
+  for (const SlotSearchAlgorithm *Algo : Algos) {
+    for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+      SlotList Master = makeList(Seed);
+      const Batch Jobs = makeBatch(Seed, 5);
+      SlotFilter Filter(Master, Jobs, *Algo);
+
+      // Damage the master with windows found for jobs in round-robin
+      // order, mirroring the sweep's commit sequence.
+      for (size_t Step = 0; Step < 12; ++Step) {
+        const size_t J = Step % Jobs.size();
+        std::optional<Window> W =
+            Algo->findWindow(Master, Jobs[J].Request);
+        if (!W)
+          continue;
+        ASSERT_TRUE(W->subtractFrom(Master));
+        Filter.applyDamage(*W);
+        for (size_t K = 0; K < Jobs.size(); ++K)
+          expectSameLists(
+              SlotFilter::filteredCopy(Master, Jobs[K].Request, *Algo),
+              Filter.view(K),
+              std::string(Algo->name()) + " seed " +
+                  std::to_string(Seed) + " step " + std::to_string(Step) +
+                  " view " + std::to_string(K));
+      }
+    }
+  }
+}
+
+TEST(SlotFilterTest, WindowIntactDetectsDamage) {
+  AlpSearch Alp;
+  const SlotList List = makeList(2);
+  const Batch Jobs = makeBatch(2, 3);
+  SlotFilter Filter(List, Jobs, Alp);
+
+  std::optional<Window> W =
+      Alp.findWindowFiltered(Filter.view(0), Jobs[0].Request);
+  ASSERT_TRUE(W.has_value());
+  // Every member came out of view 0, so the window is intact there.
+  EXPECT_TRUE(Filter.windowIntact(0, *W));
+  // Committing the window removes (or shrinks) every member slot, so
+  // the verbatim copies are gone from the finding job's view.
+  Filter.applyDamage(*W);
+  EXPECT_FALSE(Filter.windowIntact(0, *W));
+}
