@@ -20,7 +20,7 @@
 #include "core/AmpSearch.h"
 #include "core/DpOptimizer.h"
 #include "core/DynamicPricing.h"
-#include "core/VirtualOrganization.h"
+#include "engine/VirtualOrganization.h"
 #include "support/CommandLine.h"
 #include "support/Random.h"
 #include "support/Statistics.h"

@@ -21,6 +21,7 @@
 #include "core/BicriteriaOptimizer.h"
 #include "core/DpOptimizer.h"
 #include "core/SlotFilter.h"
+#include "engine/MultiVoDriver.h"
 #include "sim/JobGenerator.h"
 #include "sim/SlotGenerator.h"
 #include "support/ThreadPool.h"
@@ -175,6 +176,51 @@ void BM_SlotFilterRebuild(benchmark::State &State) {
   State.SetComplexityN(State.range(0));
 }
 
+/// One engine iteration of an 8-tenant multi-VO fleet; the argument is
+/// the pool size. Measures the fan-out overhead of the concurrent
+/// driver against its own serial execution (Arg(1) runs inline).
+void BM_MultiVoDriver(benchmark::State &State) {
+  constexpr size_t Tenants = 8;
+  constexpr size_t Rounds = 10;
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler(Amp, Dp);
+  ThreadPool Pool(static_cast<size_t>(State.range(0)));
+  const auto Arrivals = [](size_t VoIndex, size_t Iteration,
+                           RandomGenerator &Rng) {
+    Batch B;
+    const int64_t Count = Rng.uniformInt(1, 3);
+    for (int64_t K = 0; K < Count; ++K) {
+      Job J;
+      J.Id = static_cast<int>(VoIndex * 100000 + Iteration * 100 + K);
+      J.Request.NodeCount = static_cast<int>(Rng.uniformInt(1, 3));
+      J.Request.Volume = Rng.uniformReal(50.0, 150.0);
+      J.Request.MinPerformance = 1.0;
+      J.Request.MaxUnitPrice = 2.5;
+      B.push_back(J);
+    }
+    return B;
+  };
+  for (auto _ : State) {
+    State.PauseTiming();
+    MultiVoDriver::Config Cfg;
+    Cfg.Pool = &Pool;
+    MultiVoDriver Driver(Cfg);
+    for (size_t T = 0; T < Tenants; ++T) {
+      ComputingDomain D;
+      for (int Node = 0; Node < 6; ++Node)
+        D.addNode(1.0 + 0.25 * Node, 1.0 + 0.2 * Node);
+      VirtualOrganization::Config VoCfg;
+      VoCfg.IterationPeriod = 100.0;
+      VoCfg.HorizonLength = 500.0;
+      Driver.addTenant(std::move(D), Scheduler, VoCfg, 1000 + T);
+    }
+    State.ResumeTiming();
+    Driver.run(Rounds, Arrivals);
+    benchmark::DoNotOptimize(Driver.totalCompleted());
+  }
+}
+
 void BM_DpOptimizer(benchmark::State &State) {
   RandomGenerator Rng(13);
   CombinationProblem P;
@@ -247,6 +293,7 @@ BENCHMARK(BM_SlotFilterRebuild)
     ->RangeMultiplier(4)
     ->Range(128, 8192)
     ->Complexity(benchmark::oN);
+BENCHMARK(BM_MultiVoDriver)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
 BENCHMARK(BM_DpOptimizer)->RangeMultiplier(4)->Range(256, 16384);
 BENCHMARK(BM_OnePassBatchScheduler)
     ->RangeMultiplier(4)

@@ -11,16 +11,20 @@
 /// distributed environment dynamics, namely ... possible failures of
 /// computational nodes". A VO schedules a stream of parallel jobs while
 /// nodes fail and recover; cancelled jobs are transparently requeued
-/// and rescheduled on the surviving nodes.
+/// and rescheduled on the surviving nodes. Users also change their
+/// minds: queued or already-placed jobs are occasionally cancelled,
+/// exercising the ledger's release path (reservations must vanish
+/// without a trace, even before they start).
 ///
 /// Run: build/examples/failure_recovery [--seed=S] [--iterations=N]
 ///                                      [--mtbf-iterations=K]
+///                                      [--cancel-rate=P]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/AmpSearch.h"
 #include "core/DpOptimizer.h"
-#include "core/VirtualOrganization.h"
+#include "engine/VirtualOrganization.h"
 #include "support/CommandLine.h"
 #include "support/Random.h"
 #include "support/Table.h"
@@ -53,6 +57,9 @@ int main(int Argc, char **Argv) {
   const int64_t &Seed = Args.addInt("seed", 13, "RNG seed");
   const int64_t &MtbfIterations = Args.addInt(
       "mtbf-iterations", 3, "mean iterations between node failures");
+  const double &CancelRate = Args.addReal(
+      "cancel-rate", 0.2, "per-iteration probability of a user "
+                          "cancelling a recent job");
   if (!Args.parse(Argc, Argv))
     return 1;
 
@@ -80,16 +87,29 @@ int main(int Argc, char **Argv) {
   Table.addColumn("queued");
   Table.addColumn("placed");
   Table.addColumn("requeued");
+  Table.addColumn("cancelled");
   Table.addColumn("nodes up");
 
   std::vector<int> Failed;
   int NextJobId = 0;
   size_t TotalRequeued = 0;
+  size_t TotalCancelled = 0;
   for (int64_t Iter = 0; Iter < Iterations; ++Iter) {
     // Job arrivals.
     const int Arrivals = static_cast<int>(Rng.uniformInt(1, 4));
     for (int A = 0; A < Arrivals; ++A)
       Vo.submit(makeJob(Rng, NextJobId++));
+
+    // User cancellations: a recently submitted job may be withdrawn
+    // whether it is still queued, already placed, or long finished
+    // (the last returns false and charges nothing).
+    size_t Cancelled = 0;
+    if (NextJobId > 0 && Rng.bernoulli(CancelRate)) {
+      const int Victim =
+          static_cast<int>(Rng.uniformInt(0, NextJobId - 1));
+      Cancelled = Vo.cancelJob(Victim) ? 1 : 0;
+      TotalCancelled += Cancelled;
+    }
 
     // Fault injection: occasionally fail a healthy node; failed nodes
     // are repaired two iterations later.
@@ -122,14 +142,16 @@ int main(int Argc, char **Argv) {
     Table.addCell(static_cast<long long>(Report.QueueLength));
     Table.addCell(static_cast<long long>(Report.Committed));
     Table.addCell(static_cast<long long>(Requeued));
+    Table.addCell(static_cast<long long>(Cancelled));
     Table.addCell(static_cast<long long>(NodesUp));
   }
   Table.print(stdout);
 
   std::printf("\nsubmitted %d jobs, completed %zu, requeued by failures "
-              "%zu, still queued %zu, dropped %zu\n",
+              "%zu, cancelled by users %zu, still queued %zu, dropped "
+              "%zu\n",
               NextJobId, Vo.completed().size(), TotalRequeued,
-              Vo.queueLength(), Vo.dropped().size());
+              TotalCancelled, Vo.queueLength(), Vo.dropped().size());
   std::printf("every failed job was resubmitted automatically; no work "
               "was billed for cancelled reservations (owner income "
               "%.1f covers completed jobs only).\n",

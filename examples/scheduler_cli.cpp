@@ -14,6 +14,8 @@
 ///   scheduler_cli --mode=generate --slots=s.trace --jobs=j.trace
 ///   scheduler_cli --mode=schedule --slots=s.trace --jobs=j.trace
 ///                 --search=amp --task=time [--rho=0.8] [--csv=out.csv]
+///   scheduler_cli --mode=simulate --slots=s.trace --jobs=j.trace
+///                 [--iterations=N]
 ///   scheduler_cli --mode=inspect --slots=s.trace --jobs=j.trace
 ///
 //===----------------------------------------------------------------------===//
@@ -22,13 +24,16 @@
 #include "core/AmpSearch.h"
 #include "core/DpOptimizer.h"
 #include "core/Metascheduler.h"
+#include "engine/VirtualOrganization.h"
 #include "sim/JobGenerator.h"
 #include "sim/SlotGenerator.h"
 #include "sim/TraceIO.h"
 #include "support/CommandLine.h"
 #include "support/Table.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 
 using namespace ecosched;
 
@@ -171,13 +176,86 @@ int scheduleMode(const SlotList &Slots, Batch Jobs,
   return 0;
 }
 
+/// Rebuilds a ComputingDomain whose initial vacancy matches the slot
+/// trace: one node per distinct NodeId (performance/price taken from
+/// its slots), with owner-local tasks filling every span the trace does
+/// not declare vacant.
+ComputingDomain domainFromSlots(const SlotList &Slots) {
+  std::map<int, std::vector<Slot>> ByNode;
+  double TraceEnd = 0.0;
+  for (const Slot &S : Slots) {
+    ByNode[S.NodeId].push_back(S);
+    TraceEnd = std::max(TraceEnd, S.End);
+  }
+
+  ComputingDomain D;
+  for (auto &[TraceNode, NodeSlots] : ByNode) {
+    const int Node = D.addNode(NodeSlots.front().Performance,
+                               NodeSlots.front().UnitPrice,
+                               "trace n" + std::to_string(TraceNode));
+    std::sort(NodeSlots.begin(), NodeSlots.end(),
+              [](const Slot &A, const Slot &B) { return A.Start < B.Start; });
+    // Complement of the vacant spans becomes owner-local occupancy.
+    double Cursor = 0.0;
+    for (const Slot &S : NodeSlots) {
+      if (S.Start > Cursor)
+        D.addLocalTask(Node, Cursor, S.Start);
+      Cursor = std::max(Cursor, S.End);
+    }
+    if (Cursor < TraceEnd)
+      D.addLocalTask(Node, Cursor, TraceEnd);
+  }
+  return D;
+}
+
+/// Runs the archived jobs through the iterative VO engine loop over the
+/// reconstructed domain instead of a single batch call.
+int simulateMode(const SlotList &Slots, const Batch &Jobs, double Rho,
+                 int64_t Iterations) {
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler(Amp, Dp);
+
+  VirtualOrganization::Config Cfg;
+  Cfg.IterationPeriod = 100.0;
+  Cfg.HorizonLength = 600.0;
+  Cfg.MaxAttempts = static_cast<int>(Iterations);
+  VirtualOrganization Vo(domainFromSlots(Slots), Scheduler, Cfg);
+  for (const Job &J : Jobs)
+    Vo.submit(J);
+  Vo.setQueuedBudgetFactor(Rho);
+
+  TablePrinter Table;
+  Table.addColumn("iter");
+  Table.addColumn("t");
+  Table.addColumn("queued");
+  Table.addColumn("placed");
+  Table.addColumn("dropped");
+  for (int64_t Iter = 0; Iter < Iterations; ++Iter) {
+    const auto Report = Vo.runIteration();
+    Table.beginRow();
+    Table.addCell(static_cast<long long>(Iter));
+    Table.addCell(Report.Now, 0);
+    Table.addCell(static_cast<long long>(Report.QueueLength));
+    Table.addCell(static_cast<long long>(Report.Committed));
+    Table.addCell(static_cast<long long>(Report.Dropped));
+  }
+  Table.print(stdout);
+  std::printf("\nsimulated %lld iterations: completed %zu of %zu jobs, "
+              "still queued %zu, dropped %zu, owner income %.2f\n",
+              static_cast<long long>(Iterations), Vo.completed().size(),
+              Jobs.size(), Vo.queueLength(), Vo.dropped().size(),
+              Vo.totalIncome());
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   ArgParser Args("scheduler_cli",
                  "generate, inspect, and schedule workload traces");
   const std::string &Mode = Args.addString(
-      "mode", "schedule", "generate | inspect | schedule");
+      "mode", "schedule", "generate | inspect | schedule | simulate");
   const std::string &SlotPath =
       Args.addString("slots", "/tmp/ecosched_slots.trace", "slot trace");
   const std::string &JobPath =
@@ -191,6 +269,8 @@ int main(int Argc, char **Argv) {
       Args.addReal("rho", 1.0, "AMP budget factor (Section 6)");
   const std::string &CsvPath =
       Args.addString("csv", "", "optional CSV schedule output");
+  const int64_t &Iterations =
+      Args.addInt("iterations", 8, "simulate-mode VO iterations");
   if (!Args.parse(Argc, Argv))
     return 1;
 
@@ -215,6 +295,8 @@ int main(int Argc, char **Argv) {
     return inspectMode(*Slots, *Jobs);
   if (Mode == "schedule")
     return scheduleMode(*Slots, *Jobs, Search, Task, Rho, CsvPath);
+  if (Mode == "simulate")
+    return simulateMode(*Slots, *Jobs, Rho, Iterations);
   std::fprintf(stderr, "unknown mode '%s'\n", Mode.c_str());
   return 1;
 }

@@ -6,7 +6,7 @@
 #                                  [--repetitions N] [--jobs N]
 #
 #   --out FILE        Output JSON path
-#                     (default: bench/baselines/BENCH_3.json).
+#                     (default: bench/baselines/BENCH_4.json).
 #   --filter REGEX    google-benchmark name filter (default: all).
 #   --repetitions N   Repetitions per benchmark; with N > 1 only the
 #                     mean/median/stddev aggregates are reported
@@ -22,7 +22,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="bench/baselines/BENCH_3.json"
+OUT="bench/baselines/BENCH_4.json"
 FILTER="."
 REPS=1
 JOBS="$(nproc 2>/dev/null || echo 4)"

@@ -13,7 +13,7 @@
 #      AddressSanitizer + UndefinedBehaviorSanitizer
 #   5. tsan preset: configure, build, and the concurrency-relevant
 #      tests (ThreadPool, Experiment, AlternativeSearchParallel,
-#      SlotFilter) under ThreadSanitizer
+#      SlotFilter, MultiVoDriver) under ThreadSanitizer
 #   6. clang-tidy over src/ tests/ bench/ examples/ (zero findings);
 #      SKIPPED with a notice when no clang-tidy binary is installed
 #   7. clang-format verification of every tracked C++ file against the

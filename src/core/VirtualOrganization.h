@@ -1,4 +1,4 @@
-//===-- core/VirtualOrganization.h - Iterative VO scheduling loop --*- C++ -*-=//
+//===-- core/VirtualOrganization.h - Forwarding header -------------*- C++ -*-=//
 //
 // Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
 // Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
@@ -6,135 +6,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The iterative VO loop of Section 1: job batch scheduling runs
-/// "iteratively on periodically updated local schedules". External jobs
-/// queue up; each iteration publishes the domain's vacant slots over a
-/// look-ahead horizon, schedules the queue as a batch, commits the
-/// chosen windows as reservations, postpones the rest, and advances the
-/// clock to the next iteration.
+/// Compatibility forwarding header: the VO driver moved to the engine
+/// layer (see docs/ARCHITECTURE.md). Include engine/VirtualOrganization.h
+/// in new code.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ECOSCHED_CORE_VIRTUALORGANIZATION_H
 #define ECOSCHED_CORE_VIRTUALORGANIZATION_H
 
-#include "core/Metascheduler.h"
-#include "sim/ComputingDomain.h"
-
-#include <deque>
-
-namespace ecosched {
-
-/// A job finished (its reservation elapsed) inside the VO.
-struct CompletedJob {
-  int JobId = -1;
-  double StartTime = 0.0;
-  double EndTime = 0.0;
-  double Cost = 0.0;
-  /// Scheduling iterations the job waited before being placed.
-  int Attempts = 0;
-};
-
-/// VO driver state: domain + queue + clock.
-class VirtualOrganization {
-public:
-  struct Config {
-    /// Time between scheduling iterations (local schedules refresh).
-    double IterationPeriod = 200.0;
-    /// Look-ahead horizon published to the metascheduler.
-    double HorizonLength = 800.0;
-    /// Drop a job after this many failed attempts; 0 keeps it queued
-    /// forever.
-    int MaxAttempts = 0;
-  };
-
-  /// Report of one VO iteration.
-  struct IterationReport {
-    double Now = 0.0;
-    size_t QueueLength = 0;
-    IterationOutcome Outcome;
-    size_t Committed = 0;
-    size_t Dropped = 0;
-  };
-
-  /// \p Scheduler must outlive the VO.
-  VirtualOrganization(ComputingDomain Domain,
-                      const Metascheduler &Scheduler);
-  VirtualOrganization(ComputingDomain Domain,
-                      const Metascheduler &Scheduler, Config Cfg);
-
-  /// Enqueues an external job for the next iteration.
-  void submit(const Job &J);
-
-  /// Injects a node failure at the current clock: the node stops
-  /// publishing slots, its unfinished reservations are cancelled, and
-  /// the affected external jobs are resubmitted at the front of the
-  /// queue (Section 7 motivates guaranteed execution under "possible
-  /// failures of computational nodes").
-  /// \returns the number of jobs cancelled and requeued.
-  size_t injectNodeFailure(int NodeId);
-
-  /// Returns a failed node to service.
-  void repairNode(int NodeId);
-
-  /// VO-policy hook (Section 6: rho may vary "depending on the time of
-  /// day, resource load level"): sets the AMP budget factor of every
-  /// queued job before the next iteration.
-  void setQueuedBudgetFactor(double Rho);
-
-  /// User-initiated cancellation: removes the job from the queue, or
-  /// releases its reservations if it is already placed but has not
-  /// finished. Completed jobs are unaffected (their cost is owed).
-  /// Returns true if a queued or running job was cancelled.
-  bool cancelJob(int JobId);
-
-  /// Runs one scheduling iteration at the current clock, commits the
-  /// selected windows, and advances the clock by the iteration period.
-  IterationReport runIteration();
-
-  double now() const { return Clock; }
-  size_t queueLength() const { return Queue.size(); }
-  const ComputingDomain &domain() const { return Domain; }
-
-  /// Owner-side access between iterations (price updates, extra local
-  /// tasks). Mutations must keep reservations intact.
-  ComputingDomain &mutableDomain() { return Domain; }
-  const std::vector<CompletedJob> &completed() const { return Completed; }
-  const std::vector<int> &dropped() const { return Dropped; }
-
-  /// Total owner income from completed external jobs.
-  double totalIncome() const;
-
-private:
-  struct RunningJob {
-    int JobId = -1;
-    double StartTime = 0.0;
-    double EndTime = 0.0;
-    double Cost = 0.0;
-    int Attempts = 0;
-    /// Kept for resubmission after a node failure.
-    Job Spec;
-    /// Nodes the reservation occupies (failure impact lookup).
-    std::vector<int> Nodes;
-  };
-
-  struct PendingJob {
-    Job J;
-    int Attempts = 0;
-  };
-
-  void retireFinishedJobs();
-
-  ComputingDomain Domain;
-  const Metascheduler &Scheduler;
-  Config Cfg;
-  double Clock = 0.0;
-  std::deque<PendingJob> Queue;
-  std::vector<RunningJob> Running;
-  std::vector<CompletedJob> Completed;
-  std::vector<int> Dropped;
-};
-
-} // namespace ecosched
+#include "engine/VirtualOrganization.h"
 
 #endif // ECOSCHED_CORE_VIRTUALORGANIZATION_H

@@ -1,0 +1,65 @@
+//===-- engine/JobQueue.cpp - VO admission queue --------------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/JobQueue.h"
+
+#include "support/Check.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace ecosched;
+
+Batch JobQueue::batch() const {
+  Batch Jobs;
+  Jobs.reserve(Queue.size());
+  for (const PendingJob &P : Queue)
+    Jobs.push_back(P.Spec);
+  return Jobs;
+}
+
+void JobQueue::removeScheduled(const std::vector<size_t> &BatchIndices) {
+  // Erase back to front so earlier indices stay valid.
+  std::vector<size_t> Sorted = BatchIndices;
+  std::sort(Sorted.begin(), Sorted.end(), std::greater<size_t>());
+  for (size_t Index : Sorted) {
+    ECOSCHED_CHECK(Index < Queue.size(),
+                   "scheduled batch index {} out of range for a queue of "
+                   "{} jobs",
+                   Index, Queue.size());
+    Queue.erase(Queue.begin() + static_cast<long>(Index));
+  }
+}
+
+size_t JobQueue::chargeAttempt() {
+  for (PendingJob &P : Queue)
+    ++P.Attempts;
+  if (MaxAttempts <= 0)
+    return 0;
+  size_t Dropped = 0;
+  for (const PendingJob &P : Queue)
+    if (P.Attempts >= MaxAttempts) {
+      DroppedIds.push_back(P.Spec.Id);
+      ++Dropped;
+    }
+  std::erase_if(Queue, [this](const PendingJob &P) {
+    return P.Attempts >= MaxAttempts;
+  });
+  return Dropped;
+}
+
+void JobQueue::setBudgetFactor(double Rho) {
+  ECOSCHED_CHECK(Rho > 0.0, "budget factor must be positive, got {}", Rho);
+  for (PendingJob &P : Queue)
+    P.Spec.Request.BudgetFactor = Rho;
+}
+
+bool JobQueue::cancel(int JobId) {
+  return std::erase_if(Queue, [JobId](const PendingJob &P) {
+           return P.Spec.Id == JobId;
+         }) > 0;
+}

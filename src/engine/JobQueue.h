@@ -1,0 +1,89 @@
+//===-- engine/JobQueue.h - VO admission queue ---------------------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The external-job queue of the VO loop: admission, priority order,
+/// per-job attempt accounting with a MaxAttempts drop policy, the
+/// Section 6 budget-factor hook, and user cancellation. The queue knows
+/// nothing about slots or reservations — it hands the metascheduler a
+/// priority-ordered batch and takes back which batch indices were
+/// placed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_ENGINE_JOBQUEUE_H
+#define ECOSCHED_ENGINE_JOBQUEUE_H
+
+#include "sim/Job.h"
+
+#include <deque>
+#include <vector>
+
+namespace ecosched {
+
+/// FIFO-with-priority admission queue with attempt accounting.
+class JobQueue {
+public:
+  struct PendingJob {
+    Job Spec;
+    /// Failed scheduling iterations so far.
+    int Attempts = 0;
+  };
+
+  /// \p MaxAttempts drops a job after that many failed iterations;
+  /// 0 keeps postponed jobs queued forever.
+  explicit JobQueue(int MaxAttempts = 0) : MaxAttempts(MaxAttempts) {}
+
+  /// Admits an external job at the back of the queue.
+  void submit(const Job &J) { Queue.push_back({J, /*Attempts=*/0}); }
+
+  /// Re-admits a failure-cancelled job at the front (it already waited
+  /// its turn) with its attempt count preserved.
+  void resubmitFront(const Job &J, int Attempts) {
+    Queue.push_front({J, Attempts});
+  }
+
+  size_t size() const { return Queue.size(); }
+  bool empty() const { return Queue.empty(); }
+  const PendingJob &at(size_t I) const { return Queue[I]; }
+
+  /// The queued jobs in priority (queue) order as a scheduling batch;
+  /// batch index I corresponds to queue position I until the next
+  /// mutation.
+  Batch batch() const;
+
+  /// Removes the entries scheduled this iteration, identified by their
+  /// batch indices (any order). Must be called before chargeAttempt().
+  void removeScheduled(const std::vector<size_t> &BatchIndices);
+
+  /// Charges one failed attempt to every still-queued job and drops the
+  /// ones that exhausted MaxAttempts, recording their ids in dropped().
+  /// \returns the number of jobs dropped by this call.
+  size_t chargeAttempt();
+
+  /// VO-policy hook (Section 6): sets the AMP budget factor of every
+  /// queued job before the next iteration. \p Rho must be positive.
+  void setBudgetFactor(double Rho);
+
+  /// Removes every queued entry with \p JobId.
+  /// \returns true if at least one entry was removed.
+  bool cancel(int JobId);
+
+  /// Ids of jobs dropped by the MaxAttempts policy, in drop order.
+  const std::vector<int> &dropped() const { return DroppedIds; }
+
+  int maxAttempts() const { return MaxAttempts; }
+
+private:
+  int MaxAttempts;
+  std::deque<PendingJob> Queue;
+  std::vector<int> DroppedIds;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_ENGINE_JOBQUEUE_H

@@ -1,0 +1,112 @@
+//===-- engine/MultiVoDriver.h - Concurrent multi-VO driver --------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs N independent virtual organizations side by side — the paper's
+/// distributed-computing setting has many VOs scheduling over disjoint
+/// domains at once. Each tenant owns its ComputingDomain, its
+/// VirtualOrganization facade, and a forked RandomGenerator stream, so
+/// tenants share no mutable state and one iteration of all tenants is
+/// embarrassingly parallel.
+///
+/// Determinism contract (see docs/CONCURRENCY.md): per-tenant results
+/// are bitwise identical for every thread-pool size, including the
+/// serial fallback. ThreadPool::parallelMap writes tenant I's report
+/// to slot I of a pre-sized vector and the driver folds aggregates in
+/// VO-index order on the calling thread; each tenant draws only from
+/// its own RNG stream. The arrival callback therefore must not touch
+/// shared mutable state — it receives the tenant's own RNG and may be
+/// invoked from any worker thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_ENGINE_MULTIVODRIVER_H
+#define ECOSCHED_ENGINE_MULTIVODRIVER_H
+
+#include "engine/VirtualOrganization.h"
+#include "support/Random.h"
+#include "support/ThreadPool.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace ecosched {
+
+/// Concurrent driver over independent VO instances.
+class MultiVoDriver {
+public:
+  struct Config {
+    /// Pool for the per-iteration tenant fan-out; nullptr (or a pool of
+    /// size 1) runs tenants serially in VO-index order.
+    ThreadPool *Pool = nullptr;
+  };
+
+  /// Produces the external jobs arriving at tenant \p VoIndex for its
+  /// iteration \p Iteration. \p Rng is the tenant's private stream;
+  /// drawing only from it keeps the run deterministic. Called from
+  /// worker threads — must not touch shared mutable state.
+  using ArrivalFn =
+      std::function<Batch(size_t VoIndex, size_t Iteration,
+                          RandomGenerator &Rng)>;
+
+  /// One tenant's slice of a driver iteration.
+  struct TenantIteration {
+    size_t Arrivals = 0;
+    VirtualOrganization::IterationReport Report;
+  };
+
+  MultiVoDriver() = default;
+  explicit MultiVoDriver(Config Cfg) : Cfg(Cfg) {}
+
+  /// Registers a tenant VO owning \p Domain, scheduled by \p Scheduler
+  /// (which must outlive the driver), configured by \p VoCfg, with an
+  /// independent RNG stream expanded from \p Seed.
+  /// \returns the tenant's VO index.
+  size_t addTenant(ComputingDomain Domain, const Metascheduler &Scheduler,
+                   VirtualOrganization::Config VoCfg, uint64_t Seed);
+
+  /// Runs one iteration of every tenant — arrivals, scheduling, clock
+  /// advance — concurrently when a pool is configured. \p Arrivals may
+  /// be empty (no new jobs). \returns per-tenant results in VO-index
+  /// order regardless of execution order.
+  std::vector<TenantIteration> runIteration(const ArrivalFn &Arrivals);
+
+  /// Convenience loop: \p Iterations rounds of runIteration.
+  /// \returns the last round's per-tenant results.
+  std::vector<TenantIteration> run(size_t Iterations,
+                                   const ArrivalFn &Arrivals);
+
+  size_t tenantCount() const { return Tenants.size(); }
+  const VirtualOrganization &tenant(size_t I) const { return *Tenants[I].Vo; }
+  VirtualOrganization &tenant(size_t I) { return *Tenants[I].Vo; }
+
+  /// Aggregates folded in VO-index order on the calling thread.
+  double totalIncome() const;
+  size_t totalCompleted() const;
+  size_t totalDropped() const;
+
+private:
+  /// A VO plus its private arrival stream. The VO is heap-allocated
+  /// because it holds a reference member and must stay put while the
+  /// tenant vector grows.
+  struct Tenant {
+    std::unique_ptr<VirtualOrganization> Vo;
+    RandomGenerator Rng;
+    size_t Iteration = 0;
+  };
+
+  TenantIteration stepTenant(size_t I, const ArrivalFn &Arrivals);
+
+  Config Cfg;
+  std::vector<Tenant> Tenants;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_ENGINE_MULTIVODRIVER_H

@@ -1,0 +1,108 @@
+//===-- engine/ReservationLedger.cpp - Reservation bookkeeping ------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ReservationLedger.h"
+
+#include "support/Check.h"
+
+#include <algorithm>
+
+using namespace ecosched;
+
+void ReservationLedger::commit(ComputingDomain &D, const ScheduledJob &S,
+                               const Job &Spec, int Attempts) {
+  const bool Ok = D.reserveWindow(S.W, S.JobId);
+  ECOSCHED_CHECK(Ok,
+                 "scheduled window for job {} starting at {} conflicts "
+                 "with domain occupancy",
+                 S.JobId, S.W.startTime());
+  RunningJob R;
+  R.JobId = S.JobId;
+  R.StartTime = S.W.startTime();
+  R.EndTime = S.W.endTime();
+  R.Cost = S.W.totalCost();
+  R.Attempts = Attempts;
+  R.Spec = Spec;
+  for (const WindowSlot &M : S.W)
+    R.Nodes.push_back(M.Source.NodeId);
+  Running.push_back(std::move(R));
+}
+
+void ReservationLedger::retireFinished(double Now) {
+  for (const RunningJob &R : Running) {
+    if (R.EndTime > Now + TimeEpsilon)
+      continue;
+    Completed.push_back({R.JobId, R.StartTime, R.EndTime, R.Cost,
+                         R.Attempts});
+  }
+  std::erase_if(Running, [Now](const RunningJob &R) {
+    return R.EndTime <= Now + TimeEpsilon;
+  });
+}
+
+bool ReservationLedger::release(ComputingDomain &D, int JobId) {
+  const auto It = std::find_if(
+      Running.begin(), Running.end(),
+      [JobId](const RunningJob &R) { return R.JobId == JobId; });
+  if (It == Running.end())
+    return false;
+  D.releaseExternalJob(JobId);
+  // A reservation that has not started (or only partially elapsed) must
+  // vanish completely; leftovers on failed nodes were wiped at failure
+  // time, so the in-service count is exact.
+  ECOSCHED_CHECK(D.externalReservationCount(JobId) == 0,
+                 "released job {} still holds reservations in the domain",
+                 JobId);
+  Running.erase(It);
+  return true;
+}
+
+std::vector<ReservationLedger::RequeuedJob>
+ReservationLedger::cancelOnNode(ComputingDomain &D, int NodeId, double Now) {
+  const size_t RunningBefore = Running.size();
+  const std::vector<int> Cancelled = D.failNode(NodeId, Now);
+
+  // Requeue every affected job that is still running; reservations on
+  // the healthy nodes of a cancelled window are released as well so the
+  // job can be rescheduled as a whole.
+  std::vector<RequeuedJob> Requeued;
+  for (const int JobId : Cancelled) {
+    const auto It = std::find_if(
+        Running.begin(), Running.end(),
+        [JobId](const RunningJob &R) { return R.JobId == JobId; });
+    if (It == Running.end())
+      continue; // Already finished bookkeeping-wise.
+    D.releaseExternalJob(JobId);
+    ECOSCHED_CHECK(D.externalReservationCount(JobId) == 0,
+                   "failure-cancelled job {} still holds reservations on "
+                   "in-service nodes",
+                   JobId);
+    Requeued.push_back({It->Spec, It->Attempts});
+    Running.erase(It);
+  }
+  // A failed node without reservations must leave the ledger untouched;
+  // in general the running set shrinks by exactly the requeued jobs.
+  ECOSCHED_CHECK(Running.size() + Requeued.size() == RunningBefore,
+                 "failure of node {} requeued {} jobs but the running set "
+                 "shrank from {} to {}",
+                 NodeId, Requeued.size(), RunningBefore, Running.size());
+  return Requeued;
+}
+
+bool ReservationLedger::isRunning(int JobId) const {
+  return std::any_of(Running.begin(), Running.end(),
+                     [JobId](const RunningJob &R) {
+                       return R.JobId == JobId;
+                     });
+}
+
+double ReservationLedger::totalIncome() const {
+  double Income = 0.0;
+  for (const CompletedJob &C : Completed)
+    Income += C.Cost;
+  return Income;
+}

@@ -1,0 +1,117 @@
+//===-- engine/ReservationLedger.h - Reservation bookkeeping -------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reservation ledger of the VO loop: committing selected windows
+/// into the domain as external reservations, retiring elapsed
+/// reservations into the completed-job record, releasing reservations
+/// on user cancellation, and pulling affected jobs back when a node
+/// fails (Section 7's "possible failures of computational nodes").
+/// This bookkeeping was historically smeared across the monolithic
+/// VirtualOrganization and ad-hoc ComputingDomain loops; the ledger
+/// owns it in one place and checks its consistency invariants at every
+/// mutation.
+///
+/// Ledger invariants (ECOSCHED_CHECK-backed):
+///  - commit: the window must not conflict with domain occupancy (it
+///    was found on this iteration's vacant slots).
+///  - release / failure cancellation: afterwards the domain holds no
+///    external reservation of the job on any in-service node — even
+///    when the reservation had not started yet, or when the failed
+///    node held no reservations at all.
+///  - failure cancellation: the running set shrinks by exactly the
+///    number of requeued jobs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_ENGINE_RESERVATIONLEDGER_H
+#define ECOSCHED_ENGINE_RESERVATIONLEDGER_H
+
+#include "core/Metascheduler.h"
+#include "sim/ComputingDomain.h"
+
+#include <vector>
+
+namespace ecosched {
+
+/// A job finished (its reservation elapsed) inside the VO.
+struct CompletedJob {
+  int JobId = -1;
+  double StartTime = 0.0;
+  double EndTime = 0.0;
+  double Cost = 0.0;
+  /// Scheduling iterations the job waited before being placed.
+  int Attempts = 0;
+};
+
+/// Commit / release / completion accounting over a ComputingDomain.
+/// The ledger records running reservations; the domain that holds the
+/// occupancy is passed into every mutating call so the owning facade
+/// keeps sole ownership of it.
+class ReservationLedger {
+public:
+  /// One committed-but-unfinished reservation.
+  struct RunningJob {
+    int JobId = -1;
+    double StartTime = 0.0;
+    double EndTime = 0.0;
+    double Cost = 0.0;
+    int Attempts = 0;
+    /// Kept for resubmission after a node failure.
+    Job Spec;
+    /// Nodes the reservation occupies (failure impact lookup).
+    std::vector<int> Nodes;
+  };
+
+  /// A job pulled back by a node failure, ready for resubmission.
+  struct RequeuedJob {
+    Job Spec;
+    int Attempts = 0;
+  };
+
+  /// Commits \p S's window into \p D as external reservations and opens
+  /// a running entry carrying \p Spec (for failure resubmission) and
+  /// the placement \p Attempts count. Aborts if the window conflicts
+  /// with existing occupancy: the metascheduler derived it from this
+  /// iteration's vacant slots, so a conflict is a logic error.
+  void commit(ComputingDomain &D, const ScheduledJob &S, const Job &Spec,
+              int Attempts);
+
+  /// Moves every running entry that finished by \p Now into
+  /// completed(), preserving commit order.
+  void retireFinished(double Now);
+
+  /// Releases a running job's reservations (user cancellation). Safe at
+  /// any point of the reservation's life, including before it starts.
+  /// \returns true if a running entry was found and released.
+  bool release(ComputingDomain &D, int JobId);
+
+  /// Takes \p NodeId out of service in \p D at time \p Now, releases
+  /// the surviving sibling reservations of every affected running job,
+  /// and returns the affected jobs in cancellation order for the queue
+  /// to resubmit. Failing a node that holds no reservations is a no-op
+  /// on the ledger.
+  std::vector<RequeuedJob> cancelOnNode(ComputingDomain &D, int NodeId,
+                                        double Now);
+
+  const std::vector<CompletedJob> &completed() const { return Completed; }
+  size_t runningCount() const { return Running.size(); }
+
+  /// True if \p JobId has a committed, unfinished reservation.
+  bool isRunning(int JobId) const;
+
+  /// Total owner income from completed external jobs.
+  double totalIncome() const;
+
+private:
+  std::vector<RunningJob> Running;
+  std::vector<CompletedJob> Completed;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_ENGINE_RESERVATIONLEDGER_H

@@ -1,0 +1,21 @@
+//===-- engine/SimClock.cpp - Iteration cadence and horizon math ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/SimClock.h"
+
+#include "support/Check.h"
+
+using namespace ecosched;
+
+SimClock::SimClock(double IterationPeriod, double HorizonLength)
+    : IterationPeriod(IterationPeriod), HorizonLength(HorizonLength) {
+  ECOSCHED_CHECK(IterationPeriod > 0.0,
+                 "iteration period must be positive, got {}",
+                 IterationPeriod);
+  ECOSCHED_CHECK(HorizonLength > 0.0, "horizon must be positive, got {}",
+                 HorizonLength);
+}

@@ -1,0 +1,63 @@
+//===-- engine/SimClock.h - Iteration cadence and horizon math -----*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The time axis of the iterative VO loop (Section 1: scheduling runs
+/// "iteratively on periodically updated local schedules"). One object
+/// owns the iteration cadence — the current simulation time, the fixed
+/// period between scheduling iterations, and the look-ahead horizon
+/// published to the metascheduler — so the queue and ledger layers
+/// never do their own clock arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_ENGINE_SIMCLOCK_H
+#define ECOSCHED_ENGINE_SIMCLOCK_H
+
+#include <cstddef>
+
+namespace ecosched {
+
+/// Iteration cadence of a VO: current time, period, and horizon.
+class SimClock {
+public:
+  /// \p IterationPeriod and \p HorizonLength must be positive.
+  SimClock(double IterationPeriod, double HorizonLength);
+
+  /// Current simulation time (start of the pending iteration).
+  double now() const { return Clock; }
+
+  /// Time between scheduling iterations.
+  double period() const { return IterationPeriod; }
+
+  /// Length of the look-ahead horizon.
+  double horizonLength() const { return HorizonLength; }
+
+  /// End of the slot-publication horizon for the pending iteration.
+  double horizonEnd() const { return Clock + HorizonLength; }
+
+  /// Number of completed iterations.
+  size_t iteration() const { return Iterations; }
+
+  /// Advances to the next iteration boundary. The clock accumulates
+  /// period by period (not Iterations * Period) so the facade stays
+  /// bitwise-identical to the historical monolithic loop.
+  void advance() {
+    Clock += IterationPeriod;
+    ++Iterations;
+  }
+
+private:
+  double IterationPeriod;
+  double HorizonLength;
+  double Clock = 0.0;
+  size_t Iterations = 0;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_ENGINE_SIMCLOCK_H

@@ -1,0 +1,80 @@
+//===-- engine/VirtualOrganization.cpp - Layered VO facade ----------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/VirtualOrganization.h"
+
+using namespace ecosched;
+
+VirtualOrganization::VirtualOrganization(ComputingDomain InDomain,
+                                         const Metascheduler &Scheduler)
+    : VirtualOrganization(std::move(InDomain), Scheduler, Config()) {}
+
+VirtualOrganization::VirtualOrganization(ComputingDomain InDomain,
+                                         const Metascheduler &Scheduler,
+                                         Config Cfg)
+    : Domain(std::move(InDomain)), Scheduler(Scheduler), Cfg(Cfg),
+      Clock(Cfg.IterationPeriod, Cfg.HorizonLength),
+      Queue(Cfg.MaxAttempts) {}
+
+void VirtualOrganization::submit(const Job &J) { Queue.submit(J); }
+
+VirtualOrganization::IterationReport VirtualOrganization::runIteration() {
+  IterationReport Report;
+  Report.Now = Clock.now();
+  Report.QueueLength = Queue.size();
+
+  // Build the batch in queue (priority) order.
+  const Batch Jobs = Queue.batch();
+  if (!Jobs.empty()) {
+    const SlotList Slots = Domain.vacantSlots(Clock.now(),
+                                              Clock.horizonEnd());
+    Report.Outcome = Scheduler.runIteration(Slots, Jobs);
+
+    // Commit the selected windows as external reservations and remove
+    // the jobs from the queue.
+    std::vector<size_t> CommittedIndices;
+    CommittedIndices.reserve(Report.Outcome.Scheduled.size());
+    for (const ScheduledJob &S : Report.Outcome.Scheduled) {
+      const JobQueue::PendingJob &P = Queue.at(S.BatchIndex);
+      Ledger.commit(Domain, S, P.Spec, P.Attempts + 1);
+      CommittedIndices.push_back(S.BatchIndex);
+      ++Report.Committed;
+    }
+    Queue.removeScheduled(CommittedIndices);
+  }
+
+  // Postponed jobs stay queued; the queue accounts the failed attempt
+  // and drops jobs that exhausted their attempt budget.
+  Report.Dropped = Queue.chargeAttempt();
+
+  Clock.advance();
+  Domain.advanceTo(Clock.now());
+  Ledger.retireFinished(Clock.now());
+  return Report;
+}
+
+size_t VirtualOrganization::injectNodeFailure(int NodeId) {
+  const std::vector<ReservationLedger::RequeuedJob> Requeued =
+      Ledger.cancelOnNode(Domain, NodeId, Clock.now());
+  for (const ReservationLedger::RequeuedJob &R : Requeued)
+    Queue.resubmitFront(R.Spec, R.Attempts);
+  return Requeued.size();
+}
+
+void VirtualOrganization::repairNode(int NodeId) {
+  Domain.restoreNode(NodeId);
+}
+
+bool VirtualOrganization::cancelJob(int JobId) {
+  if (Queue.cancel(JobId))
+    return true;
+  return Ledger.release(Domain, JobId);
+}
+
+void VirtualOrganization::setQueuedBudgetFactor(double Rho) {
+  Queue.setBudgetFactor(Rho);
+}

@@ -1,0 +1,121 @@
+//===-- engine/VirtualOrganization.h - Layered VO facade -----------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The iterative VO loop of Section 1 as a thin facade over the engine
+/// layers: the SimClock owns the iteration cadence and horizon math,
+/// the JobQueue owns admission / attempts / budget policy, and the
+/// ReservationLedger owns commit / release / completion accounting
+/// against the ComputingDomain. Each iteration publishes the domain's
+/// vacant slots over the look-ahead horizon, schedules the queue as a
+/// batch, commits the chosen windows as reservations, postpones the
+/// rest, and advances the clock — behaviorally identical to the
+/// historical monolithic driver, but with every concern in its own
+/// layer so drivers like MultiVoDriver can run many VOs concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_ENGINE_VIRTUALORGANIZATION_H
+#define ECOSCHED_ENGINE_VIRTUALORGANIZATION_H
+
+#include "core/Metascheduler.h"
+#include "engine/JobQueue.h"
+#include "engine/ReservationLedger.h"
+#include "engine/SimClock.h"
+#include "sim/ComputingDomain.h"
+
+namespace ecosched {
+
+/// VO driver facade: domain + clock + queue + ledger.
+class VirtualOrganization {
+public:
+  struct Config {
+    /// Time between scheduling iterations (local schedules refresh).
+    double IterationPeriod = 200.0;
+    /// Look-ahead horizon published to the metascheduler.
+    double HorizonLength = 800.0;
+    /// Drop a job after this many failed attempts; 0 keeps it queued
+    /// forever.
+    int MaxAttempts = 0;
+  };
+
+  /// Report of one VO iteration.
+  struct IterationReport {
+    double Now = 0.0;
+    size_t QueueLength = 0;
+    IterationOutcome Outcome;
+    size_t Committed = 0;
+    size_t Dropped = 0;
+  };
+
+  /// \p Scheduler must outlive the VO.
+  VirtualOrganization(ComputingDomain Domain,
+                      const Metascheduler &Scheduler);
+  VirtualOrganization(ComputingDomain Domain,
+                      const Metascheduler &Scheduler, Config Cfg);
+
+  /// Enqueues an external job for the next iteration.
+  void submit(const Job &J);
+
+  /// Injects a node failure at the current clock: the node stops
+  /// publishing slots, its unfinished reservations are cancelled, and
+  /// the affected external jobs are resubmitted at the front of the
+  /// queue (Section 7 motivates guaranteed execution under "possible
+  /// failures of computational nodes").
+  /// \returns the number of jobs cancelled and requeued.
+  size_t injectNodeFailure(int NodeId);
+
+  /// Returns a failed node to service.
+  void repairNode(int NodeId);
+
+  /// VO-policy hook (Section 6: rho may vary "depending on the time of
+  /// day, resource load level"): sets the AMP budget factor of every
+  /// queued job before the next iteration.
+  void setQueuedBudgetFactor(double Rho);
+
+  /// User-initiated cancellation: removes the job from the queue, or
+  /// releases its reservations if it is already placed but has not
+  /// finished. Completed jobs are unaffected (their cost is owed).
+  /// Returns true if a queued or running job was cancelled.
+  bool cancelJob(int JobId);
+
+  /// Runs one scheduling iteration at the current clock, commits the
+  /// selected windows, and advances the clock by the iteration period.
+  IterationReport runIteration();
+
+  double now() const { return Clock.now(); }
+  size_t queueLength() const { return Queue.size(); }
+  const ComputingDomain &domain() const { return Domain; }
+
+  /// Owner-side access between iterations (price updates, extra local
+  /// tasks). Mutations must keep reservations intact.
+  ComputingDomain &mutableDomain() { return Domain; }
+  const std::vector<CompletedJob> &completed() const {
+    return Ledger.completed();
+  }
+  const std::vector<int> &dropped() const { return Queue.dropped(); }
+
+  /// Total owner income from completed external jobs.
+  double totalIncome() const { return Ledger.totalIncome(); }
+
+  /// Read access to the engine layers (introspection, tests, drivers).
+  const SimClock &clock() const { return Clock; }
+  const JobQueue &queue() const { return Queue; }
+  const ReservationLedger &ledger() const { return Ledger; }
+
+private:
+  ComputingDomain Domain;
+  const Metascheduler &Scheduler;
+  Config Cfg;
+  SimClock Clock;
+  JobQueue Queue;
+  ReservationLedger Ledger;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_ENGINE_VIRTUALORGANIZATION_H

@@ -155,6 +155,29 @@ size_t ComputingDomain::cancelReservations(int NodeId, int JobId) {
       });
 }
 
+size_t ComputingDomain::releaseExternalJob(int JobId) {
+  size_t Removed = 0;
+  for (size_t Node = 0, E = BusyByNode.size(); Node != E; ++Node) {
+    if (!Available[Node])
+      continue;
+    Removed += std::erase_if(BusyByNode[Node], [JobId](const BusyInterval &B) {
+      return B.Kind == OccupancyKind::External && B.JobId == JobId;
+    });
+  }
+  return Removed;
+}
+
+size_t ComputingDomain::externalReservationCount(int JobId) const {
+  size_t Count = 0;
+  for (size_t Node = 0, E = BusyByNode.size(); Node != E; ++Node) {
+    if (!Available[Node])
+      continue;
+    for (const BusyInterval &B : BusyByNode[Node])
+      Count += B.Kind == OccupancyKind::External && B.JobId == JobId;
+  }
+  return Count;
+}
+
 void ComputingDomain::restoreNode(int NodeId) {
   ECOSCHED_CHECK(NodeId >= 0 &&
                      static_cast<size_t>(NodeId) < BusyByNode.size(),

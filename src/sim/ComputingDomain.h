@@ -96,6 +96,18 @@ public:
   /// \returns the number of reservations removed.
   size_t cancelReservations(int NodeId, int JobId);
 
+  /// Removes every external reservation of \p JobId from every node
+  /// currently in service (a failed node's unfinished occupancy was
+  /// already wiped when it failed). The single release primitive the
+  /// engine's ReservationLedger drives for cancellations and failure
+  /// recovery. \returns the number of reservations removed.
+  size_t releaseExternalJob(int JobId);
+
+  /// Number of external reservations of \p JobId across the nodes
+  /// currently in service. Backs the ledger's release invariants:
+  /// after releaseExternalJob() the count is zero.
+  size_t externalReservationCount(int JobId) const;
+
   /// True if \p NodeId is currently in service.
   bool isNodeAvailable(int NodeId) const;
 

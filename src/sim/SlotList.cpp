@@ -54,7 +54,7 @@ bool SlotList::subtractExact(const Slot &Container, double Start,
 }
 
 bool SlotList::subtractExact(const Slot &Container, double Start, double End,
-                             const std::function<bool(const Slot &)> &Keep) {
+                             FunctionRef<bool(const Slot &)> Keep) {
   ECOSCHED_CHECK(End >= Start,
                  "reserved span on node {} ends before it starts: [{}, {})",
                  Container.NodeId, Start, End);

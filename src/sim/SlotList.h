@@ -17,9 +17,9 @@
 #define ECOSCHED_SIM_SLOTLIST_H
 
 #include "sim/Slot.h"
+#include "support/FunctionRef.h"
 
 #include <cstddef>
-#include <functional>
 #include <vector>
 
 namespace ecosched {
@@ -60,9 +60,12 @@ public:
   /// subtractExact() with a remainder filter: each nonzero remainder
   /// piece is inserted only if \p Keep returns true. SlotFilter uses
   /// this to keep per-job admissible views exact under damage — a
-  /// remainder too short for the job must not re-enter its view.
+  /// remainder too short for the job must not re-enter its view. The
+  /// filter is taken as a non-allocating FunctionRef because this call
+  /// sits on the window-damage hot path (once per member span of every
+  /// committed window, across every per-job view).
   bool subtractExact(const Slot &Container, double Start, double End,
-                     const std::function<bool(const Slot &)> &Keep);
+                     FunctionRef<bool(const Slot &)> Keep);
 
   /// True if a slot equal to \p S (node, span) is stored. Binary
   /// search; used by the speculative sweep's window-intact check.

@@ -1,0 +1,64 @@
+//===-- support/FunctionRef.h - Non-owning callable reference ------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A non-owning, non-allocating reference to a callable, in the style
+/// of LLVM's function_ref: two words (an opaque pointer to the callable
+/// plus a trampoline), trivially copyable, and valid only while the
+/// referenced callable is alive. Unlike std::function it never
+/// heap-allocates and never copies the captured state, which is what
+/// callback parameters on hot paths need — the canonical user is
+/// SlotList::subtractExact's remainder filter, invoked once per member
+/// span of every committed window.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SUPPORT_FUNCTIONREF_H
+#define ECOSCHED_SUPPORT_FUNCTIONREF_H
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace ecosched {
+
+template <typename Fn> class FunctionRef;
+
+template <typename Ret, typename... Params>
+class FunctionRef<Ret(Params...)> {
+public:
+  /// Binds to any callable invocable as Ret(Params...). The referenced
+  /// callable must outlive every call through this reference; binding a
+  /// temporary lambda at a call site is fine (it lives until the end of
+  /// the full expression), storing the FunctionRef beyond that is not.
+  template <typename Callable,
+            std::enable_if_t<!std::is_same_v<std::remove_cvref_t<Callable>,
+                                             FunctionRef>,
+                             int> = 0,
+            std::enable_if_t<
+                std::is_invocable_r_v<Ret, Callable &, Params...>, int> = 0>
+  FunctionRef(Callable &&C) // NOLINT(google-explicit-constructor)
+      : Callback(callbackFn<std::remove_reference_t<Callable>>),
+        Target(reinterpret_cast<intptr_t>(&C)) {}
+
+  Ret operator()(Params... Ps) const {
+    return Callback(Target, std::forward<Params>(Ps)...);
+  }
+
+private:
+  template <typename Callable>
+  static Ret callbackFn(intptr_t T, Params... Ps) {
+    return (*reinterpret_cast<Callable *>(T))(std::forward<Params>(Ps)...);
+  }
+
+  Ret (*Callback)(intptr_t, Params...) = nullptr;
+  intptr_t Target = 0;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SUPPORT_FUNCTIONREF_H

@@ -1,0 +1,112 @@
+//===-- tests/engine/JobQueueTest.cpp - VO admission queue tests ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/JobQueue.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+Job makeJob(int Id, double Volume = 100.0) {
+  Job J;
+  J.Id = Id;
+  J.Request.NodeCount = 1;
+  J.Request.Volume = Volume;
+  J.Request.MinPerformance = 1.0;
+  J.Request.MaxUnitPrice = 2.0;
+  return J;
+}
+
+} // namespace
+
+TEST(JobQueueTest, BatchPreservesSubmissionOrder) {
+  JobQueue Q;
+  Q.submit(makeJob(3));
+  Q.submit(makeJob(1));
+  Q.submit(makeJob(2));
+  const Batch Jobs = Q.batch();
+  ASSERT_EQ(Jobs.size(), 3u);
+  EXPECT_EQ(Jobs[0].Id, 3);
+  EXPECT_EQ(Jobs[1].Id, 1);
+  EXPECT_EQ(Jobs[2].Id, 2);
+}
+
+TEST(JobQueueTest, ResubmitFrontJumpsTheLine) {
+  JobQueue Q;
+  Q.submit(makeJob(1));
+  Q.submit(makeJob(2));
+  Q.resubmitFront(makeJob(9), /*Attempts=*/4);
+  ASSERT_EQ(Q.size(), 3u);
+  EXPECT_EQ(Q.at(0).Spec.Id, 9);
+  EXPECT_EQ(Q.at(0).Attempts, 4);
+  EXPECT_EQ(Q.at(1).Spec.Id, 1);
+}
+
+TEST(JobQueueTest, RemoveScheduledHandlesUnsortedIndices) {
+  JobQueue Q;
+  for (int Id = 0; Id < 5; ++Id)
+    Q.submit(makeJob(Id));
+  // Remove positions 0, 2, 4 in scrambled order; erase must go back to
+  // front so earlier indices stay valid.
+  Q.removeScheduled({2, 4, 0});
+  ASSERT_EQ(Q.size(), 2u);
+  EXPECT_EQ(Q.at(0).Spec.Id, 1);
+  EXPECT_EQ(Q.at(1).Spec.Id, 3);
+}
+
+TEST(JobQueueTest, ChargeAttemptIncrementsEveryQueuedJob) {
+  JobQueue Q; // MaxAttempts = 0: never drops.
+  Q.submit(makeJob(1));
+  Q.submit(makeJob(2));
+  EXPECT_EQ(Q.chargeAttempt(), 0u);
+  EXPECT_EQ(Q.chargeAttempt(), 0u);
+  EXPECT_EQ(Q.at(0).Attempts, 2);
+  EXPECT_EQ(Q.at(1).Attempts, 2);
+  EXPECT_TRUE(Q.dropped().empty());
+}
+
+TEST(JobQueueTest, MaxAttemptsDropsInQueueOrder) {
+  JobQueue Q(/*MaxAttempts=*/2);
+  Q.submit(makeJob(7));
+  Q.submit(makeJob(8));
+  EXPECT_EQ(Q.chargeAttempt(), 0u); // Attempts 1 < 2.
+  EXPECT_EQ(Q.chargeAttempt(), 2u); // Attempts 2 >= 2: both dropped.
+  EXPECT_TRUE(Q.empty());
+  ASSERT_EQ(Q.dropped().size(), 2u);
+  EXPECT_EQ(Q.dropped()[0], 7);
+  EXPECT_EQ(Q.dropped()[1], 8);
+}
+
+TEST(JobQueueTest, ResubmittedAttemptsCountTowardMaxAttempts) {
+  JobQueue Q(/*MaxAttempts=*/3);
+  Q.resubmitFront(makeJob(1), /*Attempts=*/2); // One strike left.
+  EXPECT_EQ(Q.chargeAttempt(), 1u);
+  EXPECT_TRUE(Q.empty());
+}
+
+TEST(JobQueueTest, SetBudgetFactorTouchesEveryQueuedJob) {
+  JobQueue Q;
+  Q.submit(makeJob(1));
+  Q.submit(makeJob(2));
+  Q.setBudgetFactor(0.75);
+  EXPECT_DOUBLE_EQ(Q.at(0).Spec.Request.BudgetFactor, 0.75);
+  EXPECT_DOUBLE_EQ(Q.at(1).Spec.Request.BudgetFactor, 0.75);
+  const Batch Jobs = Q.batch();
+  EXPECT_DOUBLE_EQ(Jobs[0].Request.BudgetFactor, 0.75);
+}
+
+TEST(JobQueueTest, CancelRemovesMatchingEntries) {
+  JobQueue Q;
+  Q.submit(makeJob(1));
+  Q.submit(makeJob(2));
+  EXPECT_TRUE(Q.cancel(1));
+  EXPECT_EQ(Q.size(), 1u);
+  EXPECT_EQ(Q.at(0).Spec.Id, 2);
+  EXPECT_FALSE(Q.cancel(1)); // Already gone.
+}

@@ -1,0 +1,153 @@
+//===-- tests/engine/ReservationLedgerTest.cpp - Ledger round-trips -------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ReservationLedger.h"
+
+#include "core/AmpSearch.h"
+#include "core/DpOptimizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+Job makeJob(int Id, int Nodes, double Volume, double MaxPrice) {
+  Job J;
+  J.Id = Id;
+  J.Request.NodeCount = Nodes;
+  J.Request.Volume = Volume;
+  J.Request.MinPerformance = 1.0;
+  J.Request.MaxUnitPrice = MaxPrice;
+  return J;
+}
+
+ComputingDomain makeDomain() {
+  ComputingDomain D;
+  D.addNode(1.0, 1.0, "n0");
+  D.addNode(2.0, 1.5, "n1");
+  D.addNode(2.0, 1.5, "n2");
+  return D;
+}
+
+/// Schedules \p J over the domain's current vacancy and returns the
+/// metascheduler's placement, so ledger tests commit real windows.
+struct LedgerFixture {
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler;
+  ComputingDomain Domain = makeDomain();
+  ReservationLedger Ledger;
+
+  LedgerFixture() : Scheduler(Amp, Dp) {}
+
+  ScheduledJob schedule(const Job &J) {
+    const SlotList Slots = Domain.vacantSlots(0.0, 600.0);
+    IterationOutcome Outcome = Scheduler.runIteration(Slots, {J});
+    EXPECT_EQ(Outcome.Scheduled.size(), 1u);
+    return Outcome.Scheduled.at(0);
+  }
+};
+
+} // namespace
+
+TEST(ReservationLedgerTest, CommitOpensRunningEntry) {
+  LedgerFixture F;
+  const Job J = makeJob(1, 2, 100.0, 2.0);
+  const ScheduledJob S = F.schedule(J);
+  F.Ledger.commit(F.Domain, S, J, /*Attempts=*/1);
+  EXPECT_EQ(F.Ledger.runningCount(), 1u);
+  EXPECT_TRUE(F.Ledger.isRunning(1));
+  EXPECT_GT(F.Domain.externalLoad(), 0.0);
+  EXPECT_TRUE(F.Ledger.completed().empty());
+  EXPECT_DOUBLE_EQ(F.Ledger.totalIncome(), 0.0);
+}
+
+TEST(ReservationLedgerTest, RetireFinishedRecordsWindowAccounting) {
+  LedgerFixture F;
+  const Job J = makeJob(1, 1, 100.0, 2.0);
+  const ScheduledJob S = F.schedule(J);
+  F.Ledger.commit(F.Domain, S, J, /*Attempts=*/3);
+
+  // Before the window elapses nothing retires.
+  F.Ledger.retireFinished(S.W.endTime() - 1.0);
+  EXPECT_EQ(F.Ledger.runningCount(), 1u);
+  EXPECT_TRUE(F.Ledger.completed().empty());
+
+  F.Ledger.retireFinished(S.W.endTime());
+  EXPECT_EQ(F.Ledger.runningCount(), 0u);
+  ASSERT_EQ(F.Ledger.completed().size(), 1u);
+  const CompletedJob &C = F.Ledger.completed()[0];
+  EXPECT_EQ(C.JobId, 1);
+  EXPECT_DOUBLE_EQ(C.StartTime, S.W.startTime());
+  EXPECT_DOUBLE_EQ(C.EndTime, S.W.endTime());
+  EXPECT_DOUBLE_EQ(C.Cost, S.W.totalCost());
+  EXPECT_EQ(C.Attempts, 3);
+  EXPECT_DOUBLE_EQ(F.Ledger.totalIncome(), S.W.totalCost());
+}
+
+TEST(ReservationLedgerTest, ReleaseRoundTripClearsDomain) {
+  LedgerFixture F;
+  const Job J = makeJob(1, 2, 100.0, 2.0);
+  const ScheduledJob S = F.schedule(J);
+  F.Ledger.commit(F.Domain, S, J, 1);
+  ASSERT_GT(F.Domain.externalLoad(), 0.0);
+
+  EXPECT_TRUE(F.Ledger.release(F.Domain, 1));
+  EXPECT_EQ(F.Ledger.runningCount(), 0u);
+  EXPECT_FALSE(F.Ledger.isRunning(1));
+  EXPECT_DOUBLE_EQ(F.Domain.externalLoad(), 0.0);
+  EXPECT_EQ(F.Domain.externalReservationCount(1), 0u);
+
+  EXPECT_FALSE(F.Ledger.release(F.Domain, 1)); // Already gone.
+}
+
+TEST(ReservationLedgerTest, ReleaseUnknownJobReturnsFalse) {
+  LedgerFixture F;
+  EXPECT_FALSE(F.Ledger.release(F.Domain, 12345));
+}
+
+TEST(ReservationLedgerTest, CancelOnNodeRequeuesWholeWindow) {
+  LedgerFixture F;
+  const Job J = makeJob(1, 3, 100.0, 2.0); // Uses every node.
+  const ScheduledJob S = F.schedule(J);
+  F.Ledger.commit(F.Domain, S, J, /*Attempts=*/2);
+
+  const auto Requeued = F.Ledger.cancelOnNode(F.Domain, /*NodeId=*/0,
+                                              /*Now=*/0.0);
+  ASSERT_EQ(Requeued.size(), 1u);
+  EXPECT_EQ(Requeued[0].Spec.Id, 1);
+  EXPECT_EQ(Requeued[0].Attempts, 2); // Attempt count survives requeue.
+  EXPECT_EQ(F.Ledger.runningCount(), 0u);
+  // The surviving siblings on healthy nodes are released too, so the
+  // job can be rescheduled as a whole.
+  EXPECT_DOUBLE_EQ(F.Domain.externalLoad(), 0.0);
+  EXPECT_EQ(F.Domain.externalReservationCount(1), 0u);
+}
+
+TEST(ReservationLedgerTest, CancelOnNodeWithoutReservationsIsLedgerNoOp) {
+  LedgerFixture F;
+  const Job J = makeJob(1, 1, 100.0, 2.0);
+  const ScheduledJob S = F.schedule(J);
+  F.Ledger.commit(F.Domain, S, J, 1);
+  const double LoadBefore = F.Domain.externalLoad();
+
+  // Fail a node the window does not use: the node goes out of service
+  // but the ledger and the committed reservation are untouched.
+  int FreeNode = -1;
+  for (int Node = 0; Node < 3; ++Node)
+    if (!S.W.usesNode(Node))
+      FreeNode = Node;
+  ASSERT_GE(FreeNode, 0);
+
+  const auto Requeued = F.Ledger.cancelOnNode(F.Domain, FreeNode, 0.0);
+  EXPECT_TRUE(Requeued.empty());
+  EXPECT_EQ(F.Ledger.runningCount(), 1u);
+  EXPECT_TRUE(F.Ledger.isRunning(1));
+  EXPECT_FALSE(F.Domain.isNodeAvailable(FreeNode));
+  EXPECT_DOUBLE_EQ(F.Domain.externalLoad(), LoadBefore);
+}

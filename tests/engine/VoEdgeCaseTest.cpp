@@ -1,0 +1,141 @@
+//===-- tests/engine/VoEdgeCaseTest.cpp - Cancellation edge cases ---------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regression tests for the VO cancellation edge cases backed by the
+/// ReservationLedger invariants: cancelling a job whose committed
+/// reservation has not started yet, and failing a node that holds no
+/// reservations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/VirtualOrganization.h"
+
+#include "core/AmpSearch.h"
+#include "core/DpOptimizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+Job makeJob(int Id, int Nodes, double Volume, double MaxPrice) {
+  Job J;
+  J.Id = Id;
+  J.Request.NodeCount = Nodes;
+  J.Request.Volume = Volume;
+  J.Request.MinPerformance = 1.0;
+  J.Request.MaxUnitPrice = MaxPrice;
+  return J;
+}
+
+ComputingDomain makeDomain() {
+  ComputingDomain D;
+  D.addNode(1.0, 1.0, "n0");
+  D.addNode(2.0, 1.5, "n1");
+  D.addNode(2.0, 1.5, "n2");
+  return D;
+}
+
+struct VoFixture {
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler;
+  VoFixture() : Scheduler(Amp, Dp) {}
+};
+
+} // namespace
+
+TEST(VoEdgeCaseTest, CancelJobWhoseReservationHasNotStarted) {
+  VoFixture F;
+  VirtualOrganization::Config Cfg;
+  Cfg.IterationPeriod = 10.0; // Reservations far outlive one period.
+  Cfg.HorizonLength = 600.0;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler, Cfg);
+
+  // Job 1 occupies all nodes for a long stretch; job 2, scheduled one
+  // iteration later, can only be placed after job 1 ends — its
+  // reservation start lies in the future.
+  Vo.submit(makeJob(1, 3, 200.0, 2.0));
+  ASSERT_EQ(Vo.runIteration().Committed, 1u);
+  const double LoadAfterFirst = Vo.domain().externalLoad();
+
+  Vo.submit(makeJob(2, 3, 100.0, 2.0));
+  ASSERT_EQ(Vo.runIteration().Committed, 1u);
+  ASSERT_TRUE(Vo.ledger().isRunning(2));
+  ASSERT_GT(Vo.domain().externalLoad(), LoadAfterFirst);
+
+  // Cancelling the not-yet-started job must remove every one of its
+  // reservations (the ledger CHECKs the domain is clean afterwards)
+  // and leave job 1 untouched.
+  EXPECT_TRUE(Vo.cancelJob(2));
+  EXPECT_FALSE(Vo.ledger().isRunning(2));
+  EXPECT_TRUE(Vo.ledger().isRunning(1));
+  EXPECT_EQ(Vo.domain().externalReservationCount(2), 0u);
+
+  // Job 2 never completes and owes nothing; job 1 finishes normally.
+  for (int I = 0; I < 40 && Vo.completed().empty(); ++I)
+    Vo.runIteration();
+  ASSERT_EQ(Vo.completed().size(), 1u);
+  EXPECT_EQ(Vo.completed()[0].JobId, 1);
+}
+
+TEST(VoEdgeCaseTest, CancelJobScheduledThisIteration) {
+  VoFixture F;
+  VirtualOrganization::Config Cfg;
+  Cfg.IterationPeriod = 20.0;
+  Cfg.HorizonLength = 600.0;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler, Cfg);
+  Vo.submit(makeJob(1, 2, 100.0, 2.0));
+  ASSERT_EQ(Vo.runIteration().Committed, 1u);
+
+  // Immediately after the committing iteration the job is running, not
+  // queued: cancellation must go through the ledger release path.
+  EXPECT_EQ(Vo.queueLength(), 0u);
+  EXPECT_TRUE(Vo.cancelJob(1));
+  EXPECT_DOUBLE_EQ(Vo.domain().externalLoad(), 0.0);
+  EXPECT_FALSE(Vo.cancelJob(1));
+}
+
+TEST(VoEdgeCaseTest, FailNodeHoldingNoReservations) {
+  VoFixture F;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler);
+
+  // No jobs anywhere: the failure takes the node out of service but
+  // cancels nothing (the ledger CHECKs its running set is unchanged).
+  EXPECT_EQ(Vo.injectNodeFailure(1), 0u);
+  EXPECT_FALSE(Vo.domain().isNodeAvailable(1));
+  EXPECT_EQ(Vo.queueLength(), 0u);
+  EXPECT_EQ(Vo.ledger().runningCount(), 0u);
+
+  Vo.repairNode(1);
+  EXPECT_TRUE(Vo.domain().isNodeAvailable(1));
+}
+
+TEST(VoEdgeCaseTest, FailNodeUnusedByRunningJob) {
+  VoFixture F;
+  VirtualOrganization::Config Cfg;
+  Cfg.IterationPeriod = 20.0;
+  Cfg.HorizonLength = 600.0;
+  VirtualOrganization Vo(makeDomain(), F.Scheduler, Cfg);
+  Vo.submit(makeJob(1, 1, 100.0, 2.0));
+  ASSERT_EQ(Vo.runIteration().Committed, 1u);
+
+  // Find a node the single committed window does not occupy.
+  int FreeNode = -1;
+  for (int Node = 0; Node < 3; ++Node)
+    if (Vo.domain().occupancy(Node).empty())
+      FreeNode = Node;
+  ASSERT_GE(FreeNode, 0);
+
+  const double LoadBefore = Vo.domain().externalLoad();
+  EXPECT_EQ(Vo.injectNodeFailure(FreeNode), 0u);
+  EXPECT_EQ(Vo.queueLength(), 0u);
+  EXPECT_TRUE(Vo.ledger().isRunning(1));
+  EXPECT_DOUBLE_EQ(Vo.domain().externalLoad(), LoadBefore);
+}
