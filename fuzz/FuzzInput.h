@@ -1,0 +1,88 @@
+//===-- fuzz/FuzzInput.h - Byte-stream decoder for fuzz targets ----*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal FuzzedDataProvider-style decoder: turns the fuzzer's raw
+/// byte string into bounded integers and finite doubles so the harness
+/// can build structurally valid (but adversarially shaped) slots, jobs,
+/// and operation sequences. Exhausted input yields zeros, so every byte
+/// string decodes to *some* test case and the fuzzer is never rejected
+/// at the decode stage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_FUZZ_FUZZINPUT_H
+#define ECOSCHED_FUZZ_FUZZINPUT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ecosched {
+namespace fuzz {
+
+class FuzzInput {
+public:
+  FuzzInput(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  size_t remaining() const { return Size - Pos; }
+  bool empty() const { return Pos >= Size; }
+
+  uint8_t takeByte() { return empty() ? 0 : Data[Pos++]; }
+
+  bool takeBool() { return (takeByte() & 1) != 0; }
+
+  uint32_t takeU32() {
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V = (V << 8) | takeByte();
+    return V;
+  }
+
+  /// Uniform-ish integer in [Lo, Hi]; Lo when the range is degenerate.
+  int takeIntInRange(int Lo, int Hi) {
+    if (Hi <= Lo)
+      return Lo;
+    const uint32_t Span = static_cast<uint32_t>(Hi - Lo) + 1;
+    return Lo + static_cast<int>(takeU32() % Span);
+  }
+
+  /// Finite double in [Lo, Hi] with 2^-32 granularity — never NaN/inf,
+  /// so contract-checked constructors (Slot, Window) accept it and any
+  /// failure the harness sees is the library's, not the decoder's.
+  double takeDoubleInRange(double Lo, double Hi) {
+    const double Fraction =
+        static_cast<double>(takeU32()) / 4294967295.0; // 2^32 - 1
+    return Lo + (Hi - Lo) * Fraction;
+  }
+
+  /// Double snapped to a multiple of \p Step within [Lo, Hi]. The slot
+  /// fuzzers quantize boundaries far above TimeEpsilon so tolerant
+  /// comparisons behave exactly and the differential oracle is crisp.
+  double takeQuantized(double Lo, double Hi, double Step) {
+    const int Steps = static_cast<int>((Hi - Lo) / Step);
+    return Lo + Step * takeIntInRange(0, Steps);
+  }
+
+  /// The rest of the input as text (for the trace-format fuzzer).
+  std::string takeRemainingString() {
+    std::string S(reinterpret_cast<const char *>(Data + Pos),
+                  Size - Pos);
+    Pos = Size;
+    return S;
+  }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+};
+
+} // namespace fuzz
+} // namespace ecosched
+
+#endif // ECOSCHED_FUZZ_FUZZINPUT_H

@@ -1,0 +1,170 @@
+//===-- fuzz/SlotListDiffFuzzer.cpp - Differential SlotList algebra -------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+//
+// Differential fuzzer for the slot-subtraction algebra (Fig. 1(b) of the
+// paper, the PR-3 incremental-damage property): a fuzzer-derived slot
+// set takes a fuzzer-derived sequence of span subtractions three ways —
+//
+//   * incrementally through SlotList::subtractExact (the O(log n) hot
+//     path, optionally with the remainder-Keep filter SlotFilter uses),
+//   * incrementally through the linear SlotList::subtract scan,
+//   * against a from-scratch reference that recomputes the remainder
+//     pieces independently and rebuilds the list via the sorting
+//     constructor,
+//
+// and all three must agree bit for bit after every operation. Slot
+// boundaries are quantized to a 0.25 grid (exact in binary, far above
+// TimeEpsilon) so tolerant comparisons cannot blur the oracle. Misses
+// (a container not in the list) must return false and leave the list
+// untouched.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FuzzInput.h"
+#include "sim/SlotList.h"
+#include "support/Check.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+using namespace ecosched;
+using fuzz::FuzzInput;
+
+namespace {
+
+constexpr double Grid = 0.25;
+
+/// Decodes a per-node-disjoint slot set: per node a forward cursor
+/// advances by a positive gap and a positive length, so disjointness and
+/// positive lengths hold by construction.
+std::vector<Slot> decodeSlots(FuzzInput &In) {
+  std::vector<Slot> Slots;
+  const int Nodes = In.takeIntInRange(1, 4);
+  for (int Node = 0; Node < Nodes; ++Node) {
+    const int Count = In.takeIntInRange(0, 4);
+    const double Performance = In.takeQuantized(0.5, 4.0, Grid);
+    const double Price = In.takeQuantized(0.0, 10.0, Grid);
+    double Cursor = In.takeQuantized(0.0, 10.0, Grid);
+    for (int I = 0; I < Count; ++I) {
+      const double Start = Cursor + In.takeQuantized(Grid, 5.0, Grid);
+      const double End = Start + In.takeQuantized(Grid, 10.0, Grid);
+      Slots.emplace_back(Node, Performance, Price, Start, End);
+      Cursor = End;
+    }
+  }
+  std::sort(Slots.begin(), Slots.end(), slotStartLess);
+  return Slots;
+}
+
+/// Asserts \p List holds exactly \p Expected (sorted), field for field.
+void checkEqual(const SlotList &List, const std::vector<Slot> &Expected,
+                const char *Which) {
+  ECOSCHED_CHECK(List.size() == Expected.size(),
+                 "{} list diverged from reference: {} slots vs {}", Which,
+                 List.size(), Expected.size());
+  for (size_t I = 0; I < Expected.size(); ++I) {
+    const Slot &A = List[I], &B = Expected[I];
+    ECOSCHED_CHECK(A.NodeId == B.NodeId && A.Start == B.Start &&
+                       A.End == B.End && A.Performance == B.Performance &&
+                       A.UnitPrice == B.UnitPrice,
+                   "{} list slot {} diverged: node {} [{}, {}) vs node {} "
+                   "[{}, {})",
+                   Which, I, A.NodeId, A.Start, A.End, B.NodeId, B.Start,
+                   B.End);
+  }
+  ECOSCHED_CHECK(List.checkInvariants(),
+                 "{} list lost its structural invariants", Which);
+}
+
+} // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  FuzzInput In(Data, Size);
+
+  std::vector<Slot> Truth = decodeSlots(In);
+  SlotList Incremental{Truth};
+  SlotList Linear{Truth};
+
+  const bool UseKeepFilter = In.takeBool();
+  const double MinKeepLen = In.takeQuantized(Grid, 2.0, Grid);
+  const auto Keep = [&](const Slot &Piece) {
+    return Piece.length() >= MinKeepLen;
+  };
+
+  for (int Op = 0; Op < 24 && !In.empty() && !Truth.empty(); ++Op) {
+    const size_t Index =
+        static_cast<size_t>(In.takeIntInRange(0, int(Truth.size()) - 1));
+    const Slot Container = Truth[Index];
+    const int Steps = std::max(1, int(Container.length() / Grid));
+    const int StartStep = In.takeIntInRange(0, Steps);
+    const int EndStep = In.takeIntInRange(StartStep, Steps);
+    const double SpanStart = Container.Start + Grid * StartStep;
+    const double SpanEnd = Container.Start + Grid * EndStep;
+
+    // Miss probes need a non-degenerate span: subtractExact answers true
+    // for an empty span before it ever looks the container up.
+    if (In.takeByte() % 5 == 0 && SpanEnd - SpanStart > TimeEpsilon) {
+      // A container shifted off the 0.25 grid can never be stored, so
+      // subtractExact must refuse and change nothing.
+      const Slot Ghost(Container.NodeId, Container.Performance,
+                       Container.UnitPrice, Container.Start + Grid / 2,
+                       Container.End + Grid / 2);
+      const bool Hit =
+          Incremental.subtractExact(Ghost, SpanStart, SpanEnd);
+      ECOSCHED_CHECK(!Hit, "subtractExact split a container not in the "
+                           "list: node {} [{}, {})",
+                     Ghost.NodeId, Ghost.Start, Ghost.End);
+      checkEqual(Incremental, Truth, "incremental(miss)");
+      continue;
+    }
+
+    const bool DidSubtract =
+        UseKeepFilter
+            ? Incremental.subtractExact(Container, SpanStart, SpanEnd, Keep)
+            : Incremental.subtractExact(Container, SpanStart, SpanEnd);
+    ECOSCHED_CHECK(DidSubtract,
+                   "subtractExact missed its own container: node {} "
+                   "[{}, {}) span [{}, {})",
+                   Container.NodeId, Container.Start, Container.End,
+                   SpanStart, SpanEnd);
+
+    if (SpanEnd - SpanStart > TimeEpsilon) {
+      // From-scratch reference: recompute the remainder pieces
+      // independently and re-sort. Grid arithmetic is exact, so the
+      // pieces must match the incremental path bit for bit.
+      Truth.erase(Truth.begin() + static_cast<long>(Index));
+      const Slot Head(Container.NodeId, Container.Performance,
+                      Container.UnitPrice, Container.Start, SpanStart);
+      const Slot Tail(Container.NodeId, Container.Performance,
+                      Container.UnitPrice, SpanEnd, Container.End);
+      for (const Slot &Piece : {Head, Tail})
+        if (Piece.length() > TimeEpsilon &&
+            (!UseKeepFilter || Keep(Piece)))
+          Truth.push_back(Piece);
+      std::sort(Truth.begin(), Truth.end(), slotStartLess);
+
+      if (!UseKeepFilter) {
+        // The linear scan variant must agree with the exact variant.
+        const bool LinearHit =
+            Linear.subtract(Container.NodeId, SpanStart, SpanEnd);
+        ECOSCHED_CHECK(LinearHit,
+                       "linear subtract disagreed with subtractExact on "
+                       "node {} span [{}, {})",
+                       Container.NodeId, SpanStart, SpanEnd);
+      }
+    }
+
+    // Rebuild-from-scratch oracle: the sorting constructor over the
+    // reference remainder set is the "recompute everything" answer.
+    checkEqual(Incremental, Truth, "incremental");
+    checkEqual(SlotList{Truth}, Truth, "rebuilt");
+    if (!UseKeepFilter)
+      checkEqual(Linear, Truth, "linear");
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+//===-- fuzz/TraceIOFuzzer.cpp - Trace parse / round-trip fuzzer ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+//
+// Feeds arbitrary bytes to the TraceIO text parsers and enforces two
+// properties:
+//
+//  1. No abort on any input: the parsers must reject malformed traces
+//     via the error string, never by tripping a library contract check
+//     (the original parser accepted "nan"/"inf" fields and aborted in
+//     the Slot constructor — the first crash this harness found).
+//  2. Accepted inputs round-trip exactly: parse -> write -> parse
+//     reproduces the identical slot list / batch bit for bit, the
+//     guarantee the trace-replay workflow depends on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/TraceIO.h"
+#include "support/Check.h"
+
+#include <cstdint>
+#include <string>
+
+using namespace ecosched;
+
+namespace {
+
+void checkSlotRoundTrip(const std::string &Text) {
+  std::string Error;
+  const std::optional<SlotList> First = parseSlotTrace(Text, &Error);
+  if (!First)
+    return; // Rejected inputs only need to be rejected gracefully.
+  const std::string Written = writeSlotTrace(*First);
+  const std::optional<SlotList> Second = parseSlotTrace(Written, &Error);
+  ECOSCHED_CHECK(Second.has_value(),
+                 "written slot trace failed to re-parse: {}", Error);
+  ECOSCHED_CHECK(First->size() == Second->size(),
+                 "slot round-trip changed size: {} vs {}", First->size(),
+                 Second->size());
+  for (size_t I = 0; I < First->size(); ++I) {
+    const Slot &A = (*First)[I], &B = (*Second)[I];
+    // Bitwise equality: %.17g round-trips doubles exactly.
+    ECOSCHED_CHECK(A.NodeId == B.NodeId && A.Performance == B.Performance &&
+                       A.UnitPrice == B.UnitPrice && A.Start == B.Start &&
+                       A.End == B.End,
+                   "slot {} changed across round-trip: [{}, {}) vs [{}, {})",
+                   I, A.Start, A.End, B.Start, B.End);
+  }
+}
+
+void checkBatchRoundTrip(const std::string &Text) {
+  std::string Error;
+  const std::optional<Batch> First = parseBatchTrace(Text, &Error);
+  if (!First)
+    return;
+  const std::string Written = writeBatchTrace(*First);
+  const std::optional<Batch> Second = parseBatchTrace(Written, &Error);
+  ECOSCHED_CHECK(Second.has_value(),
+                 "written job trace failed to re-parse: {}", Error);
+  ECOSCHED_CHECK(First->size() == Second->size(),
+                 "batch round-trip changed size: {} vs {}", First->size(),
+                 Second->size());
+  for (size_t I = 0; I < First->size(); ++I) {
+    const Job &A = (*First)[I], &B = (*Second)[I];
+    ECOSCHED_CHECK(
+        A.Id == B.Id && A.Request.NodeCount == B.Request.NodeCount &&
+            A.Request.Volume == B.Request.Volume &&
+            A.Request.MinPerformance == B.Request.MinPerformance &&
+            A.Request.MaxUnitPrice == B.Request.MaxUnitPrice &&
+            A.Request.BudgetFactor == B.Request.BudgetFactor &&
+            A.Request.BudgetPolicy == B.Request.BudgetPolicy,
+        "job {} changed across round-trip", I);
+  }
+}
+
+} // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  const std::string Text(reinterpret_cast<const char *>(Data), Size);
+  checkSlotRoundTrip(Text);
+  checkBatchRoundTrip(Text);
+  return 0;
+}

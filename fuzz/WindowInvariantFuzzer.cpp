@@ -1,0 +1,197 @@
+//===-- fuzz/WindowInvariantFuzzer.cpp - ALP/AMP window invariants --------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+//
+// Decodes fuzzer bytes into a valid (but adversarially shaped) slot list
+// and job batch, runs the ALP and AMP searches, and asserts the paper's
+// admissibility invariants on every window either algorithm returns:
+//
+//   * exactly N member slots, on pairwise distinct nodes, each covering
+//     [start, start + runtime) (Section 3 step 1);
+//   * member performance >= P and, for ALP, the per-slot price cap
+//     C(s_k) <= C (conditions 2a/2c);
+//   * for AMP, total window cost within the job budget S = rho*C*t*N
+//     (Section 3 / Section 6);
+//   * a finite deadline bounds the window end.
+//
+// On top of single windows, the multi-pass AlternativeSearch must yield
+// pairwise non-intersecting alternatives (Section 2) and its SlotFilter
+// fast path must reproduce the textbook unfiltered sweep bit for bit
+// (the PR-3 result-preservation contract).
+//
+//===----------------------------------------------------------------------===//
+
+#include "FuzzInput.h"
+#include "core/AlpSearch.h"
+#include "core/AlternativeSearch.h"
+#include "core/AmpSearch.h"
+#include "support/Check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+using namespace ecosched;
+using fuzz::FuzzInput;
+
+namespace {
+
+constexpr double Grid = 0.25;
+
+std::vector<Slot> decodeSlots(FuzzInput &In) {
+  std::vector<Slot> Slots;
+  const int Nodes = In.takeIntInRange(1, 5);
+  for (int Node = 0; Node < Nodes; ++Node) {
+    const int Count = In.takeIntInRange(0, 4);
+    const double Performance = In.takeQuantized(Grid, 3.0, Grid);
+    const double Price = In.takeQuantized(0.0, 8.0, Grid);
+    double Cursor = In.takeQuantized(0.0, 6.0, Grid);
+    for (int I = 0; I < Count; ++I) {
+      const double Start = Cursor + In.takeQuantized(Grid, 4.0, Grid);
+      const double End = Start + In.takeQuantized(Grid, 12.0, Grid);
+      Slots.emplace_back(Node, Performance, Price, Start, End);
+      Cursor = End;
+    }
+  }
+  return Slots;
+}
+
+ResourceRequest decodeRequest(FuzzInput &In) {
+  ResourceRequest R;
+  R.NodeCount = In.takeIntInRange(1, 4);
+  R.Volume = In.takeQuantized(Grid, 8.0, Grid);
+  R.MinPerformance = In.takeQuantized(Grid, 2.0, Grid);
+  R.MaxUnitPrice = In.takeQuantized(0.0, 8.0, Grid);
+  R.BudgetFactor = 0.5 + 0.25 * In.takeIntInRange(0, 2); // {0.5, 0.75, 1}
+  R.BudgetPolicy = In.takeBool() ? BudgetPolicyKind::SpanBased
+                                 : BudgetPolicyKind::VolumeBased;
+  if (In.takeBool())
+    R.Deadline = In.takeQuantized(1.0, 40.0, Grid);
+  return R;
+}
+
+/// The Section 3 admissibility invariants for one returned window.
+void checkWindow(const Window &W, const ResourceRequest &R, bool PerSlotCap,
+                 const char *Algo) {
+  W.validate(static_cast<size_t>(R.NodeCount));
+  for (size_t I = 0; I < W.size(); ++I) {
+    const WindowSlot &M = W[I];
+    for (size_t J = I + 1; J < W.size(); ++J)
+      ECOSCHED_CHECK(M.Source.NodeId != W[J].Source.NodeId,
+                     "{} window members {} and {} share node {}", Algo, I,
+                     J, M.Source.NodeId);
+    ECOSCHED_CHECK(M.Source.coversFrom(W.startTime(), M.Runtime),
+                   "{} member {} does not cover its own task: slot "
+                   "[{}, {}) vs start {} runtime {}",
+                   Algo, I, M.Source.Start, M.Source.End, W.startTime(),
+                   M.Runtime);
+    ECOSCHED_CHECK(approxGe(M.Source.Performance, R.MinPerformance),
+                   "{} member {} below the performance floor: {} < {}",
+                   Algo, I, M.Source.Performance, R.MinPerformance);
+    ECOSCHED_CHECK(approxEq(M.Runtime, R.Volume / M.Source.Performance),
+                   "{} member {} runtime {} is not volume/performance {}",
+                   Algo, I, M.Runtime, R.Volume / M.Source.Performance);
+    if (PerSlotCap)
+      ECOSCHED_CHECK(approxLe(M.Source.UnitPrice, R.MaxUnitPrice),
+                     "{} member {} breaks the per-slot cap: {} > {}", Algo,
+                     I, M.Source.UnitPrice, R.MaxUnitPrice);
+  }
+  if (!PerSlotCap)
+    ECOSCHED_CHECK(approxLe(W.totalCost(), R.budget()),
+                   "{} window cost {} exceeds the job budget {}", Algo,
+                   W.totalCost(), R.budget());
+  if (std::isfinite(R.Deadline))
+    ECOSCHED_CHECK(approxLe(W.endTime(), R.Deadline),
+                   "{} window ends at {} past the deadline {}", Algo,
+                   W.endTime(), R.Deadline);
+}
+
+/// Bitwise window equality, for the filtered-vs-unfiltered differential.
+bool sameWindow(const Window &A, const Window &B) {
+  if (A.startTime() != B.startTime() || A.timeSpan() != B.timeSpan() ||
+      A.totalCost() != B.totalCost() || A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I) {
+    const WindowSlot &MA = A[I], &MB = B[I];
+    if (MA.Source.NodeId != MB.Source.NodeId ||
+        MA.Source.Start != MB.Source.Start ||
+        MA.Source.End != MB.Source.End || MA.Runtime != MB.Runtime ||
+        MA.Cost != MB.Cost)
+      return false;
+  }
+  return true;
+}
+
+void checkAlternatives(const SlotSearchAlgorithm &Algo, const SlotList &List,
+                       const Batch &Jobs, bool PerSlotCap) {
+  AlternativeSearch::Config Filtered;
+  Filtered.MaxPasses = 3;
+  Filtered.MaxAlternativesPerJob = 3;
+  AlternativeSearch::Config Unfiltered = Filtered;
+  Unfiltered.UseFilter = false;
+
+  const AlternativeSet Fast =
+      AlternativeSearch(Algo, Filtered).run(List, Jobs);
+  const AlternativeSet Reference =
+      AlternativeSearch(Algo, Unfiltered).run(List, Jobs);
+
+  ECOSCHED_CHECK(Fast.PerJob.size() == Reference.PerJob.size(),
+                 "filtered sweep changed the batch shape: {} vs {}",
+                 Fast.PerJob.size(), Reference.PerJob.size());
+  std::vector<const Window *> All;
+  for (size_t J = 0; J < Fast.PerJob.size(); ++J) {
+    ECOSCHED_CHECK(Fast.PerJob[J].size() == Reference.PerJob[J].size(),
+                   "filtered sweep found {} alternatives for job {}, the "
+                   "textbook sweep {}",
+                   Fast.PerJob[J].size(), J, Reference.PerJob[J].size());
+    for (size_t A = 0; A < Fast.PerJob[J].size(); ++A) {
+      ECOSCHED_CHECK(sameWindow(Fast.PerJob[J][A], Reference.PerJob[J][A]),
+                     "filtered sweep diverged on job {} alternative {}", J,
+                     A);
+      checkWindow(Fast.PerJob[J][A], Jobs[J].Request, PerSlotCap,
+                  "alternative");
+      All.push_back(&Fast.PerJob[J][A]);
+    }
+  }
+  // Section 2: every pair of alternatives across the whole batch is
+  // carved from disjoint processor time.
+  for (size_t I = 0; I < All.size(); ++I)
+    for (size_t J = I + 1; J < All.size(); ++J)
+      ECOSCHED_CHECK(!All[I]->intersects(*All[J]),
+                     "alternatives {} and {} intersect in processor time",
+                     I, J);
+}
+
+} // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  FuzzInput In(Data, Size);
+
+  const SlotList List{decodeSlots(In)};
+  Batch Jobs;
+  const int JobCount = In.takeIntInRange(1, 3);
+  for (int I = 0; I < JobCount; ++I) {
+    Job J;
+    J.Id = I;
+    J.Request = decodeRequest(In);
+    Jobs.push_back(J);
+  }
+
+  const AlpSearch Alp;
+  const AmpSearch Amp;
+  for (const Job &J : Jobs) {
+    if (const auto W = Alp.findWindow(List, J.Request))
+      checkWindow(*W, J.Request, /*PerSlotCap=*/true, "ALP");
+    if (const auto W = Amp.findWindow(List, J.Request))
+      checkWindow(*W, J.Request, /*PerSlotCap=*/false, "AMP");
+  }
+
+  checkAlternatives(Alp, List, Jobs, /*PerSlotCap=*/true);
+  checkAlternatives(Amp, List, Jobs, /*PerSlotCap=*/false);
+  return 0;
+}

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Aggregate gcov-format counters into a per-layer line-coverage report.
+
+Driven by scripts/coverage.sh after a `coverage` preset build + ctest
+run. Walks every .gcda under --build, extracts per-line execution
+counts, folds them per source file (a line is covered when any TU
+executed it), groups files by layer (src/support, src/sim, src/core,
+src/engine), and enforces --floor on each --floor-layer.
+
+Tool selection, in order:
+  1. gcovr, when installed (its JSON report already merges TUs);
+  2. `gcov --json-format --stdout` (any GCC toolchain; set GCOV=... to
+     pin a specific binary, e.g. a versioned gcov matching the compiler).
+Exits 2 when neither tool exists: a coverage run that cannot measure
+anything must not pass the gate.
+"""
+
+import argparse
+import collections
+import glob
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+
+def layer_of(path):
+    """Maps a repo-relative source path to its reporting bucket."""
+    parts = path.split("/")
+    if len(parts) >= 2 and parts[0] == "src":
+        return f"src/{parts[1]}"
+    return parts[0] if parts else "?"
+
+
+def normalize(path, source_root):
+    """Repo-relative path with '/' separators, or None for files outside
+    the repo (system headers, gtest, ...)."""
+    absolute = os.path.realpath(
+        path if os.path.isabs(path) else os.path.join(source_root, path))
+    root = os.path.realpath(source_root) + os.sep
+    if not absolute.startswith(root):
+        return None
+    return absolute[len(root):].replace(os.sep, "/")
+
+
+def collect_with_gcov(gcov, build_dir, source_root):
+    """Returns {file: {line: covered_bool}} via gcov's JSON output."""
+    coverage = collections.defaultdict(dict)
+    gcda = sorted(glob.glob(os.path.join(build_dir, "**", "*.gcda"),
+                            recursive=True))
+    if not gcda:
+        sys.stderr.write(
+            "coverage_report: no .gcda counters under the build dir; "
+            "run ctest on an ECOSCHED_COVERAGE build first\n")
+        sys.exit(2)
+    for counter in gcda:
+        # Absolute path: gcov runs with cwd next to the counter (so the
+        # .gcno is found), which would break a build-relative path.
+        counter = os.path.abspath(counter)
+        proc = subprocess.run(
+            [gcov, "--json-format", "--stdout", counter],
+            cwd=os.path.dirname(counter), capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(f"coverage_report: {gcov} failed on "
+                             f"{counter}:\n{proc.stderr}")
+            sys.exit(2)
+        # One JSON document per line (gcov emits one per .gcno).
+        for doc in proc.stdout.splitlines():
+            doc = doc.strip()
+            if not doc:
+                continue
+            data = json.loads(doc)
+            for entry in data.get("files", []):
+                rel = normalize(entry["file"], source_root)
+                if rel is None:
+                    continue
+                lines = coverage[rel]
+                for line in entry.get("lines", []):
+                    number = line["line_number"]
+                    lines[number] = lines.get(number, False) or \
+                        line.get("count", 0) > 0
+    return coverage
+
+
+def collect_with_gcovr(gcovr, build_dir, source_root):
+    """Returns {file: {line: covered_bool}} via a gcovr JSON report."""
+    proc = subprocess.run(
+        [gcovr, "--root", source_root, "--json", "--output", "-",
+         build_dir],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(f"coverage_report: gcovr failed:\n{proc.stderr}")
+        sys.exit(2)
+    coverage = collections.defaultdict(dict)
+    for entry in json.loads(proc.stdout).get("files", []):
+        rel = normalize(entry["file"], source_root)
+        if rel is None:
+            continue
+        lines = coverage[rel]
+        for line in entry.get("lines", []):
+            number = line["line_number"]
+            lines[number] = lines.get(number, False) or \
+                line.get("count", 0) > 0
+    return coverage
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Per-layer line-coverage report over gcov counters.")
+    parser.add_argument("--build", required=True,
+                        help="build directory holding the .gcda counters")
+    parser.add_argument("--source-root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--floor", type=float, default=75.0,
+                        help="minimum line coverage percent for each "
+                             "--floor-layer (default: 75)")
+    parser.add_argument("--floor-layer", action="append", default=[],
+                        help="layer the floor applies to (repeatable), "
+                             "e.g. src/core")
+    args = parser.parse_args()
+
+    gcovr = shutil.which("gcovr")
+    if gcovr:
+        coverage = collect_with_gcovr(gcovr, args.build, args.source_root)
+        tool = "gcovr"
+    else:
+        gcov = os.environ.get("GCOV") or shutil.which("gcov")
+        if not gcov:
+            sys.stderr.write(
+                "coverage_report: neither gcovr nor gcov found; install "
+                "one (or set GCOV=/path/to/gcov) — the coverage gate "
+                "must not silently pass\n")
+            sys.exit(2)
+        coverage = collect_with_gcov(gcov, args.build, args.source_root)
+        tool = gcov
+
+    per_layer = collections.defaultdict(lambda: [0, 0])  # [covered, total]
+    for path, lines in coverage.items():
+        bucket = per_layer[layer_of(path)]
+        bucket[0] += sum(1 for covered in lines.values() if covered)
+        bucket[1] += len(lines)
+
+    print(f"line coverage by layer (tool: {tool})")
+    width = max(len(layer) for layer in per_layer) if per_layer else 8
+    failures = []
+    total_covered = total_lines = 0
+    for layer in sorted(per_layer):
+        covered, total = per_layer[layer]
+        total_covered += covered
+        total_lines += total
+        pct = 100.0 * covered / total if total else 0.0
+        floored = layer in args.floor_layer
+        marker = ""
+        if floored and pct < args.floor:
+            marker = f"  BELOW FLOOR ({args.floor:.0f}%)"
+            failures.append(layer)
+        elif floored:
+            marker = f"  (floor {args.floor:.0f}%)"
+        print(f"  {layer:<{width}}  {covered:>6}/{total:<6}  {pct:6.2f}%"
+              f"{marker}")
+    if total_lines:
+        print(f"  {'total':<{width}}  {total_covered:>6}/{total_lines:<6}  "
+              f"{100.0 * total_covered / total_lines:6.2f}%")
+
+    missing = [layer for layer in args.floor_layer if layer not in per_layer]
+    if missing:
+        sys.stderr.write("coverage_report: no coverage data at all for "
+                         f"floored layer(s): {', '.join(missing)}\n")
+        return 1
+    if failures:
+        sys.stderr.write(f"coverage_report: {len(failures)} layer(s) below "
+                         f"the {args.floor:.0f}% floor: "
+                         f"{', '.join(failures)}\n")
+        return 1
+    print("coverage_report: floor satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

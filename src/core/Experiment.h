@@ -54,6 +54,9 @@ struct ExperimentConfig {
   /// bench/ablation_domain_workload). Iterations run concurrently when
   /// the resolved thread count exceeds 1, so the callable must be
   /// safe to invoke from several threads at once.
+  // archlint-allow(std-function): owning storage held across run();
+  // a non-owning FunctionRef would dangle once the configuring scope
+  // returns.
   std::function<SlotList(RandomGenerator &)> SlotSource;
   /// Worker threads for the iteration loop, resolved through
   /// ThreadPool::resolveThreadCount: 0 (the default) uses the hardware

@@ -6,15 +6,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Compatibility forwarding header: the VO driver moved to the engine
-/// layer (see docs/ARCHITECTURE.md). Include engine/VirtualOrganization.h
-/// in new code.
+/// DEPRECATED compatibility forwarding header: the VO driver moved to
+/// the engine layer in PR 4 (see docs/ARCHITECTURE.md). Include
+/// engine/VirtualOrganization.h instead; every in-repo user has been
+/// migrated, and this forwarder exists only for out-of-tree code. It is
+/// archlint's sole sanctioned upward edge and will be removed once
+/// downstream consumers have had a release to migrate.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ECOSCHED_CORE_VIRTUALORGANIZATION_H
 #define ECOSCHED_CORE_VIRTUALORGANIZATION_H
 
+// archlint-allow(layer-dag): legacy forwarder, kept one release for
+// out-of-tree includers of the pre-PR-4 path.
 #include "engine/VirtualOrganization.h"
 
 #endif // ECOSCHED_CORE_VIRTUALORGANIZATION_H

@@ -51,9 +51,11 @@ public:
   /// iteration \p Iteration. \p Rng is the tenant's private stream;
   /// drawing only from it keeps the run deterministic. Called from
   /// worker threads — must not touch shared mutable state.
-  using ArrivalFn =
-      std::function<Batch(size_t VoIndex, size_t Iteration,
-                          RandomGenerator &Rng)>;
+  // archlint-allow(std-function): owning storage — the driver keeps the
+  // arrival source across iterations, so a non-owning FunctionRef would
+  // dangle.
+  using ArrivalFn = std::function<Batch(size_t VoIndex, size_t Iteration,
+                                        RandomGenerator &Rng)>;
 
   /// One tenant's slice of a driver iteration.
   struct TenantIteration {

@@ -37,11 +37,16 @@ bool SlotList::subtract(int NodeId, double Start, double End) {
                 // but keep scanning in case of equal starts on the node.
     if (approxLt(It->End, End))
       continue;
-    // Found the containing slot K; split it into K1 and K2.
+    // Found the containing slot K; split it into K1 and K2. The span may
+    // overshoot K's bounds by up to TimeEpsilon (tolerant containment
+    // above), so test each piece's length before constructing the Slot —
+    // the constructor rejects End < Start even by one ulp.
     Slot K = *It;
     Slots.erase(It);
-    insert(Slot(K.NodeId, K.Performance, K.UnitPrice, K.Start, Start));
-    insert(Slot(K.NodeId, K.Performance, K.UnitPrice, End, K.End));
+    if (approxGt(Start - K.Start, 0.0))
+      insert(Slot(K.NodeId, K.Performance, K.UnitPrice, K.Start, Start));
+    if (approxGt(K.End - End, 0.0))
+      insert(Slot(K.NodeId, K.Performance, K.UnitPrice, End, K.End));
     return true;
   }
   return false;
@@ -69,12 +74,21 @@ bool SlotList::subtractExact(const Slot &Container, double Start, double End,
     return false;
   const Slot K = *It;
   Slots.erase(It);
-  const Slot Head(K.NodeId, K.Performance, K.UnitPrice, K.Start, Start);
-  if (!approxLe(Head.length(), 0.0) && Keep(Head))
-    insert(Head);
-  const Slot Tail(K.NodeId, K.Performance, K.UnitPrice, End, K.End);
-  if (!approxLe(Tail.length(), 0.0) && Keep(Tail))
-    insert(Tail);
+  // Windows whose runtime is not representable exactly may end within
+  // TimeEpsilon past K.End (coversFrom accepts that tolerantly), which
+  // would make the Tail piece negative-length; the Slot constructor
+  // aborts on that, so test the length before constructing. Found by
+  // fuzz/WindowInvariantFuzzer.cpp.
+  if (approxGt(Start - K.Start, 0.0)) {
+    const Slot Head(K.NodeId, K.Performance, K.UnitPrice, K.Start, Start);
+    if (Keep(Head))
+      insert(Head);
+  }
+  if (approxGt(K.End - End, 0.0)) {
+    const Slot Tail(K.NodeId, K.Performance, K.UnitPrice, End, K.End);
+    if (Keep(Tail))
+      insert(Tail);
+  }
   return true;
 }
 

@@ -7,6 +7,7 @@
 
 #include "sim/TraceIO.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -33,27 +34,49 @@ struct FileHandle {
   FileHandle &operator=(const FileHandle &) = delete;
 };
 
-/// Reads all lines of \p Path; false on open failure.
-bool readLines(const std::string &Path, std::vector<std::string> &Lines,
-               std::string *Error) {
+/// Reads the whole of \p Path; false on open failure.
+bool readFile(const std::string &Path, std::string &Text,
+              std::string *Error) {
   FileHandle In(Path.c_str(), "r");
   if (!In.F) {
     setError(Error, "cannot open '" + Path + "' for reading");
     return false;
   }
+  char Buffer[4096];
+  size_t Count = 0;
+  while ((Count = std::fread(Buffer, 1, sizeof(Buffer), In.F)) > 0)
+    Text.append(Buffer, Count);
+  return true;
+}
+
+/// Writes \p Text to \p Path; false on open failure.
+bool writeFile(const std::string &Text, const std::string &Path,
+               std::string *Error) {
+  FileHandle Out(Path.c_str(), "w");
+  if (!Out.F) {
+    setError(Error, "cannot open '" + Path + "' for writing");
+    return false;
+  }
+  std::fwrite(Text.data(), 1, Text.size(), Out.F);
+  return true;
+}
+
+/// Splits \p Text on '\n'; the trailing fragment counts even without a
+/// final newline.
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
   std::string Current;
-  char Buffer[512];
-  while (std::fgets(Buffer, sizeof(Buffer), In.F)) {
-    Current += Buffer;
-    if (!Current.empty() && Current.back() == '\n') {
-      Current.pop_back();
+  for (const char C : Text) {
+    if (C == '\n') {
       Lines.push_back(Current);
       Current.clear();
+    } else {
+      Current += C;
     }
   }
   if (!Current.empty())
     Lines.push_back(Current);
-  return true;
+  return Lines;
 }
 
 bool isSkippable(const std::string &Line) {
@@ -66,28 +89,43 @@ bool isSkippable(const std::string &Line) {
   return true; // Blank line.
 }
 
-} // namespace
-
-bool ecosched::saveSlotTrace(const SlotList &List, const std::string &Path,
-                             std::string *Error) {
-  FileHandle Out(Path.c_str(), "w");
-  if (!Out.F) {
-    setError(Error, "cannot open '" + Path + "' for writing");
-    return false;
-  }
-  std::fputs("# ecosched slot trace v1\n", Out.F);
-  for (const Slot &S : List)
-    std::fprintf(Out.F, "slot %d %.17g %.17g %.17g %.17g\n", S.NodeId,
-                 S.Performance, S.UnitPrice, S.Start, S.End);
+/// True when every listed value is finite. The trace format transports
+/// doubles through %lg, which happily parses "nan" and "inf"; letting
+/// those through would trip the Slot constructor's contract checks —
+/// an abort — instead of a parse error (found by fuzz/TraceIOFuzzer).
+bool allFinite(std::initializer_list<double> Values) {
+  for (const double V : Values)
+    if (!std::isfinite(V))
+      return false;
   return true;
 }
 
-std::optional<SlotList>
-ecosched::loadSlotTrace(const std::string &Path, std::string *Error) {
-  std::vector<std::string> Lines;
-  if (!readLines(Path, Lines, Error))
-    return std::nullopt;
+std::string lineError(size_t LineNo, const std::string &Message) {
+  return "line " + std::to_string(LineNo + 1) + ": " + Message;
+}
 
+/// Appends printf-formatted text to \p Out.
+template <typename... Ts>
+void appendFormat(std::string &Out, const char *Fmt, Ts... Values) {
+  char Buffer[256];
+  const int Count = std::snprintf(Buffer, sizeof(Buffer), Fmt, Values...);
+  if (Count > 0)
+    Out.append(Buffer, static_cast<size_t>(Count));
+}
+
+} // namespace
+
+std::string ecosched::writeSlotTrace(const SlotList &List) {
+  std::string Out = "# ecosched slot trace v1\n";
+  for (const Slot &S : List)
+    appendFormat(Out, "slot %d %.17g %.17g %.17g %.17g\n", S.NodeId,
+                 S.Performance, S.UnitPrice, S.Start, S.End);
+  return Out;
+}
+
+std::optional<SlotList> ecosched::parseSlotTrace(const std::string &Text,
+                                                std::string *Error) {
+  const std::vector<std::string> Lines = splitLines(Text);
   std::vector<Slot> Slots;
   for (size_t LineNo = 0; LineNo < Lines.size(); ++LineNo) {
     const std::string &Line = Lines[LineNo];
@@ -97,14 +135,16 @@ ecosched::loadSlotTrace(const std::string &Path, std::string *Error) {
     double Performance = 0.0, Price = 0.0, Start = 0.0, End = 0.0;
     if (std::sscanf(Line.c_str(), "slot %d %lg %lg %lg %lg", &NodeId,
                     &Performance, &Price, &Start, &End) != 5) {
-      setError(Error, "line " + std::to_string(LineNo + 1) +
-                          ": expected 'slot <node> <perf> <price> "
-                          "<start> <end>'");
+      setError(Error, lineError(LineNo, "expected 'slot <node> <perf> "
+                                        "<price> <start> <end>'"));
+      return std::nullopt;
+    }
+    if (!allFinite({Performance, Price, Start, End})) {
+      setError(Error, lineError(LineNo, "non-finite slot parameter"));
       return std::nullopt;
     }
     if (Performance <= 0.0 || End < Start) {
-      setError(Error, "line " + std::to_string(LineNo + 1) +
-                          ": invalid slot parameters");
+      setError(Error, lineError(LineNo, "invalid slot parameters"));
       return std::nullopt;
     }
     Slots.emplace_back(NodeId, Performance, Price, Start, End);
@@ -112,30 +152,21 @@ ecosched::loadSlotTrace(const std::string &Path, std::string *Error) {
   return SlotList(std::move(Slots));
 }
 
-bool ecosched::saveBatchTrace(const Batch &Jobs, const std::string &Path,
-                              std::string *Error) {
-  FileHandle Out(Path.c_str(), "w");
-  if (!Out.F) {
-    setError(Error, "cannot open '" + Path + "' for writing");
-    return false;
-  }
-  std::fputs("# ecosched job trace v1\n", Out.F);
+std::string ecosched::writeBatchTrace(const Batch &Jobs) {
+  std::string Out = "# ecosched job trace v1\n";
   for (const Job &J : Jobs)
-    std::fprintf(
-        Out.F, "job %d %d %.17g %.17g %.17g %.17g %s\n", J.Id,
+    appendFormat(
+        Out, "job %d %d %.17g %.17g %.17g %.17g %s\n", J.Id,
         J.Request.NodeCount, J.Request.Volume, J.Request.MinPerformance,
         J.Request.MaxUnitPrice, J.Request.BudgetFactor,
         J.Request.BudgetPolicy == BudgetPolicyKind::SpanBased ? "span"
                                                               : "volume");
-  return true;
+  return Out;
 }
 
-std::optional<Batch> ecosched::loadBatchTrace(const std::string &Path,
+std::optional<Batch> ecosched::parseBatchTrace(const std::string &Text,
                                               std::string *Error) {
-  std::vector<std::string> Lines;
-  if (!readLines(Path, Lines, Error))
-    return std::nullopt;
-
+  const std::vector<std::string> Lines = splitLines(Text);
   Batch Jobs;
   for (size_t LineNo = 0; LineNo < Lines.size(); ++LineNo) {
     const std::string &Line = Lines[LineNo];
@@ -147,9 +178,10 @@ std::optional<Batch> ecosched::loadBatchTrace(const std::string &Path,
                     &J.Id, &J.Request.NodeCount, &J.Request.Volume,
                     &J.Request.MinPerformance, &J.Request.MaxUnitPrice,
                     &J.Request.BudgetFactor, Policy) != 7) {
-      setError(Error, "line " + std::to_string(LineNo + 1) +
-                          ": expected 'job <id> <nodes> <volume> "
-                          "<min-perf> <max-price> <rho> <span|volume>'");
+      setError(Error,
+               lineError(LineNo, "expected 'job <id> <nodes> <volume> "
+                                 "<min-perf> <max-price> <rho> "
+                                 "<span|volume>'"));
       return std::nullopt;
     }
     if (std::strcmp(Policy, "span") == 0) {
@@ -157,18 +189,47 @@ std::optional<Batch> ecosched::loadBatchTrace(const std::string &Path,
     } else if (std::strcmp(Policy, "volume") == 0) {
       J.Request.BudgetPolicy = BudgetPolicyKind::VolumeBased;
     } else {
-      setError(Error, "line " + std::to_string(LineNo + 1) +
-                          ": unknown budget policy '" +
-                          std::string(Policy) + "'");
+      setError(Error, lineError(LineNo, "unknown budget policy '" +
+                                            std::string(Policy) + "'"));
+      return std::nullopt;
+    }
+    if (!allFinite({J.Request.Volume, J.Request.MinPerformance,
+                    J.Request.MaxUnitPrice, J.Request.BudgetFactor})) {
+      setError(Error, lineError(LineNo, "non-finite job parameter"));
       return std::nullopt;
     }
     if (J.Request.NodeCount <= 0 || J.Request.Volume <= 0.0 ||
         J.Request.MinPerformance <= 0.0) {
-      setError(Error, "line " + std::to_string(LineNo + 1) +
-                          ": invalid job parameters");
+      setError(Error, lineError(LineNo, "invalid job parameters"));
       return std::nullopt;
     }
     Jobs.push_back(J);
   }
   return Jobs;
+}
+
+bool ecosched::saveSlotTrace(const SlotList &List, const std::string &Path,
+                             std::string *Error) {
+  return writeFile(writeSlotTrace(List), Path, Error);
+}
+
+std::optional<SlotList>
+ecosched::loadSlotTrace(const std::string &Path, std::string *Error) {
+  std::string Text;
+  if (!readFile(Path, Text, Error))
+    return std::nullopt;
+  return parseSlotTrace(Text, Error);
+}
+
+bool ecosched::saveBatchTrace(const Batch &Jobs, const std::string &Path,
+                              std::string *Error) {
+  return writeFile(writeBatchTrace(Jobs), Path, Error);
+}
+
+std::optional<Batch> ecosched::loadBatchTrace(const std::string &Path,
+                                              std::string *Error) {
+  std::string Text;
+  if (!readFile(Path, Text, Error))
+    return std::nullopt;
+  return parseBatchTrace(Text, Error);
 }

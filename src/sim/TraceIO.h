@@ -17,9 +17,13 @@
 ///   # ecosched job trace v1
 ///   job <id> <nodes> <volume> <min-perf> <max-price> <rho> <span|volume>
 ///
-/// Lines starting with '#' and blank lines are ignored. All load
-/// functions report malformed input via the optional error string and
-/// never abort (library code raises no exceptions).
+/// Lines starting with '#' and blank lines are ignored. All load and
+/// parse functions report malformed input via the optional error string
+/// and never abort (library code raises no exceptions) — including on
+/// non-finite numeric fields ("nan"/"inf"), which are rejected at parse
+/// time so adversarial traces can never reach the Slot constructor's
+/// contract checks. The in-memory parse/write pair is the file pair's
+/// backing and the surface the fuzz harnesses drive (fuzz/).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +37,21 @@
 #include <string>
 
 namespace ecosched {
+
+/// Renders \p List in the slot-trace text format.
+std::string writeSlotTrace(const SlotList &List);
+
+/// Parses slot-trace text; std::nullopt on any malformed, out-of-domain,
+/// or non-finite field.
+std::optional<SlotList> parseSlotTrace(const std::string &Text,
+                                       std::string *Error = nullptr);
+
+/// Renders \p Jobs in the job-trace text format.
+std::string writeBatchTrace(const Batch &Jobs);
+
+/// Parses job-trace text; std::nullopt on malformed input.
+std::optional<Batch> parseBatchTrace(const std::string &Text,
+                                     std::string *Error = nullptr);
 
 /// Writes \p List to \p Path. \returns false on I/O failure, filling
 /// \p Error when provided.

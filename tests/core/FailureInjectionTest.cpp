@@ -7,7 +7,7 @@
 
 #include "core/AmpSearch.h"
 #include "core/DpOptimizer.h"
-#include "core/VirtualOrganization.h"
+#include "engine/VirtualOrganization.h"
 
 #include <gtest/gtest.h>
 

@@ -5,7 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/VirtualOrganization.h"
+#include "engine/VirtualOrganization.h"
 
 #include "core/AmpSearch.h"
 #include "core/DpOptimizer.h"

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Smoke test for scripts/bench_compare.py (registered in ctest).
+
+Drives the comparator with synthetic before/after google-benchmark JSON
+pairs and asserts its exit code and report for the three behaviors the
+bench-regression workflow (docs/PERFORMANCE.md) depends on:
+
+  1. pass       - growth within the threshold exits 0;
+  2. regression - growth beyond the threshold exits 1 and names the
+                  offender;
+  3. one-sided  - benchmarks present in only one file are reported as
+                  notes but never fail the comparison.
+
+Usage: bench_compare_smoke.py /path/to/bench_compare.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def bench_json(times_ns):
+    """Minimal google-benchmark JSON with the given {name: real_time}."""
+    return {
+        "benchmarks": [
+            {"name": name, "run_name": name, "run_type": "iteration",
+             "real_time": value, "time_unit": "ns"}
+            for name, value in sorted(times_ns.items())
+        ]
+    }
+
+
+def run_case(compare, tmp, label, baseline, current, extra_args=()):
+    base_path = os.path.join(tmp, f"{label}_base.json")
+    curr_path = os.path.join(tmp, f"{label}_curr.json")
+    with open(base_path, "w", encoding="utf-8") as handle:
+        json.dump(bench_json(baseline), handle)
+    with open(curr_path, "w", encoding="utf-8") as handle:
+        json.dump(bench_json(current), handle)
+    proc = subprocess.run(
+        [sys.executable, compare, base_path, curr_path, *extra_args],
+        capture_output=True, text=True)
+    return proc
+
+
+def expect(condition, message, proc):
+    if not condition:
+        sys.stderr.write(f"bench_compare_smoke FAILED: {message}\n"
+                         f"--- stdout ---\n{proc.stdout}"
+                         f"--- stderr ---\n{proc.stderr}")
+        sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+    compare = sys.argv[1]
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        # Case 1: within the default 25% threshold -> pass.
+        proc = run_case(compare, tmp, "pass",
+                        {"BM_Search": 1000.0, "BM_Subtract": 400.0},
+                        {"BM_Search": 1100.0, "BM_Subtract": 380.0})
+        expect(proc.returncode == 0, "in-threshold pair must exit 0", proc)
+        expect("OK" in proc.stdout, "pass case must report OK", proc)
+
+        # Case 2: 2x growth -> regression, exit 1, offender named.
+        proc = run_case(compare, tmp, "regress",
+                        {"BM_Search": 1000.0, "BM_Subtract": 400.0},
+                        {"BM_Search": 2000.0, "BM_Subtract": 380.0})
+        expect(proc.returncode == 1, "regression must exit 1", proc)
+        expect("REGRESSION" in proc.stdout,
+               "regression case must flag the row", proc)
+        expect("BM_Search" in proc.stderr,
+               "regression summary must name the offender", proc)
+
+        # Case 3: one-sided benchmarks are notes, never failures.
+        proc = run_case(compare, tmp, "onesided",
+                        {"BM_Common": 1000.0, "BM_Retired": 500.0},
+                        {"BM_Common": 1010.0, "BM_Added": 700.0})
+        expect(proc.returncode == 0,
+               "one-sided presence must not fail the comparison", proc)
+        expect("only in baseline: BM_Retired" in proc.stdout,
+               "retired benchmark must be noted", proc)
+        expect("only in current run: BM_Added" in proc.stdout,
+               "added benchmark must be noted", proc)
+
+        # Case 3b: a custom --threshold is honored.
+        proc = run_case(compare, tmp, "threshold",
+                        {"BM_Search": 1000.0}, {"BM_Search": 1100.0},
+                        extra_args=("--threshold", "0.05"))
+        expect(proc.returncode == 1,
+               "10% growth must fail a 5% threshold", proc)
+
+    print("bench_compare_smoke: all cases passed")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -133,6 +133,33 @@ TEST(SlotListTest, SubtractWithEqualStartsOnNode) {
   EXPECT_DOUBLE_EQ(Node1Span, 150.0);
 }
 
+TEST(SlotListTest, SubtractToleratesSubEpsilonOvershoot) {
+  // A window whose runtime is not exactly representable can end within
+  // TimeEpsilon past the container's end; coversFrom accepts that span
+  // tolerantly, so subtraction must too instead of building a
+  // negative-length tail piece. Regression test for a crash found by
+  // fuzz/WindowInvariantFuzzer.cpp.
+  const double Overshoot = 10.0 + TimeEpsilon / 2.0;
+  SlotList List({makeSlot(0, 0.0, 10.0)});
+  ASSERT_TRUE(List.subtract(0, 2.0, Overshoot));
+  EXPECT_TRUE(List.checkInvariants());
+  EXPECT_DOUBLE_EQ(List.totalSpan(), 2.0);
+
+  SlotList Exact({makeSlot(0, 0.0, 10.0)});
+  const Slot Container = *Exact.begin();
+  ASSERT_TRUE(Exact.subtractExact(Container, 2.0, Overshoot));
+  EXPECT_TRUE(Exact.checkInvariants());
+  EXPECT_DOUBLE_EQ(Exact.totalSpan(), 2.0);
+
+  // Symmetric case: a span starting within TimeEpsilon before the slot.
+  SlotList HeadSide({makeSlot(0, 5.0, 15.0)});
+  const Slot HeadContainer = *HeadSide.begin();
+  ASSERT_TRUE(
+      HeadSide.subtractExact(HeadContainer, 5.0 - TimeEpsilon / 2.0, 9.0));
+  EXPECT_TRUE(HeadSide.checkInvariants());
+  EXPECT_DOUBLE_EQ(HeadSide.totalSpan(), 6.0);
+}
+
 TEST(SlotListTest, TotalSpanSums) {
   SlotList List({makeSlot(0, 0.0, 10.0), makeSlot(1, 5.0, 25.0)});
   EXPECT_DOUBLE_EQ(List.totalSpan(), 30.0);

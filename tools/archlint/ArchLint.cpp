@@ -1,0 +1,469 @@
+//===-- tools/archlint/ArchLint.cpp - Project architecture linter ---------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ArchLint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+using namespace ecosched::archlint;
+
+namespace {
+
+bool startsWith(const std::string &S, const std::string &Prefix) {
+  return S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+bool endsWith(const std::string &S, const std::string &Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) != 0 || C == '_';
+}
+
+std::string trimLeft(const std::string &S) {
+  size_t I = 0;
+  while (I < S.size() && (S[I] == ' ' || S[I] == '\t'))
+    ++I;
+  return S.substr(I);
+}
+
+/// True for lines that are (almost certainly) pure comment: the rules
+/// below must not fire on prose that merely mentions a banned token.
+/// Block-comment interiors follow the project style of a leading '*' or
+/// '///' so a prefix test is sufficient in practice.
+bool isCommentLine(const std::string &Line) {
+  const std::string T = trimLeft(Line);
+  return startsWith(T, "//") || startsWith(T, "*") || startsWith(T, "/*");
+}
+
+/// Finds \p Token in \p Line at a position not preceded by an
+/// identifier character, so `time(` does not match `runtime(` and
+/// `assert(` does not match `static_assert(`. Returns npos if absent.
+size_t findToken(const std::string &Line, const std::string &Token) {
+  size_t Pos = 0;
+  while ((Pos = Line.find(Token, Pos)) != std::string::npos) {
+    if (Pos == 0 || !isIdentChar(Line[Pos - 1]))
+      return Pos;
+    Pos += Token.size();
+  }
+  return std::string::npos;
+}
+
+bool isCommentLine(const std::string &Line);
+
+/// True when line \p Index (0-based) carries an `archlint-allow(<rule>)`
+/// marker for \p Rule, or the contiguous comment block directly above it
+/// does — suppressions are documented rationales, which usually take
+/// more than one comment line.
+bool isSuppressed(const std::vector<std::string> &Lines, size_t Index,
+                  const std::string &Rule) {
+  const std::string Marker = "archlint-allow(" + Rule + ")";
+  if (Lines[Index].find(Marker) != std::string::npos)
+    return true;
+  for (size_t I = Index; I > 0 && isCommentLine(Lines[I - 1]); --I)
+    if (Lines[I - 1].find(Marker) != std::string::npos)
+      return true;
+  return false;
+}
+
+/// Splits "src/core/AlpSearch.h" into {"src", "core", "AlpSearch.h"}.
+std::vector<std::string> pathComponents(const std::string &Path) {
+  std::vector<std::string> Parts;
+  std::string Current;
+  for (const char C : Path) {
+    if (C == '/') {
+      if (!Current.empty())
+        Parts.push_back(Current);
+      Current.clear();
+    } else {
+      Current += C;
+    }
+  }
+  if (!Current.empty())
+    Parts.push_back(Current);
+  return Parts;
+}
+
+/// The strict layer DAG: each src/ layer may include itself and the
+/// layers listed here (its transitive dependencies). Absent keys (tests,
+/// bench, examples) may include anything.
+const std::map<std::string, std::vector<std::string>> &layerAllows() {
+  static const std::map<std::string, std::vector<std::string>> Allows = {
+      {"support", {"support"}},
+      {"sim", {"sim", "support"}},
+      {"core", {"core", "sim", "support"}},
+      {"engine", {"engine", "core", "sim", "support"}},
+  };
+  return Allows;
+}
+
+/// Extracts the target of an `#include "..."` directive, or "" when the
+/// line is not a quoted include.
+std::string quotedIncludeTarget(const std::string &Line) {
+  const std::string T = trimLeft(Line);
+  if (!startsWith(T, "#"))
+    return "";
+  const std::string AfterHash = trimLeft(T.substr(1));
+  if (!startsWith(AfterHash, "include"))
+    return "";
+  const size_t Open = AfterHash.find('"');
+  if (Open == std::string::npos)
+    return "";
+  const size_t Close = AfterHash.find('"', Open + 1);
+  if (Close == std::string::npos)
+    return "";
+  return AfterHash.substr(Open + 1, Close - Open - 1);
+}
+
+/// Canonical include guard for a header: ECOSCHED_ + the uppercased
+/// path components after the top-level directory (the src/ prefix
+/// itself is dropped; bench/ and examples/ keep their directory name),
+/// non-alphanumerics removed, + _H. src/core/AlpSearch.h ->
+/// ECOSCHED_CORE_ALPSEARCH_H; bench/ExperimentReport.h ->
+/// ECOSCHED_BENCH_EXPERIMENTREPORT_H.
+std::string canonicalGuard(const std::string &Path) {
+  std::vector<std::string> Parts = pathComponents(Path);
+  size_t First = 0;
+  if (!Parts.empty() && Parts[0] == "src")
+    First = 1;
+  std::string Guard = "ECOSCHED";
+  for (size_t I = First; I < Parts.size(); ++I) {
+    std::string Component = Parts[I];
+    if (I + 1 == Parts.size() && endsWith(Component, ".h"))
+      Component = Component.substr(0, Component.size() - 2);
+    Guard += '_';
+    for (const char C : Component)
+      if (std::isalnum(static_cast<unsigned char>(C)))
+        Guard += static_cast<char>(
+            std::toupper(static_cast<unsigned char>(C)));
+  }
+  return Guard + "_H";
+}
+
+struct BannedToken {
+  const char *Token;
+  const char *Rule;
+  const char *Message;
+};
+
+/// Banned tokens in all of src/. Boundary-matched (see findToken).
+constexpr std::array<BannedToken, 5> SrcWideBans = {{
+    {"assert(", "raw-assert",
+     "raw assert() in library code; use ECOSCHED_CHECK (src/support/Check.h)"},
+    {"std::cout", "banned-io",
+     "std::cout in library code; report through return values or stderr"},
+    {"rand(", "nondeterminism",
+     "rand() in library code; draw from support/Random.h RandomGenerator"},
+    {"srand(", "nondeterminism",
+     "srand() in library code; seed a support/Random.h RandomGenerator"},
+    {"time(", "nondeterminism",
+     "time() in library code; simulated time comes from engine/SimClock"},
+}};
+
+void lintOneFile(const SourceFile &F, std::vector<Finding> &Out) {
+  const std::vector<std::string> Parts = pathComponents(F.Path);
+  if (Parts.empty())
+    return;
+  const bool InSrc = Parts[0] == "src";
+  const std::string Layer = (InSrc && Parts.size() >= 3) ? Parts[1] : "";
+  const bool IsHeader = endsWith(F.Path, ".h");
+  const bool GuardedTree =
+      InSrc || Parts[0] == "bench" || Parts[0] == "examples";
+
+  const auto &Allows = layerAllows();
+  const auto AllowIt = Allows.find(Layer);
+
+  bool SawIfndef = false, SawDefine = false, IfndefFlagged = false;
+  const std::string Guard = canonicalGuard(F.Path);
+
+  for (size_t I = 0; I < F.Lines.size(); ++I) {
+    const std::string &Line = F.Lines[I];
+    const size_t LineNo = I + 1;
+
+    // pragma-once: the repo convention is canonical include guards.
+    if (trimLeft(Line).rfind("#pragma once", 0) == 0 &&
+        !isSuppressed(F.Lines, I, "pragma-once"))
+      Out.push_back({F.Path, LineNo, "pragma-once",
+                     "#pragma once; use the canonical include guard " +
+                         Guard});
+
+    // layer-dag: quoted includes from a src/ layer must stay within the
+    // layer's allowed dependency set.
+    const std::string Target = quotedIncludeTarget(Line);
+    if (!Target.empty() && AllowIt != Allows.end()) {
+      const std::vector<std::string> TargetParts = pathComponents(Target);
+      if (!TargetParts.empty() && Allows.count(TargetParts[0]) != 0) {
+        const std::vector<std::string> &Allowed = AllowIt->second;
+        if (std::find(Allowed.begin(), Allowed.end(), TargetParts[0]) ==
+                Allowed.end() &&
+            !isSuppressed(F.Lines, I, "layer-dag"))
+          Out.push_back(
+              {F.Path, LineNo, "layer-dag",
+               "layer '" + Layer + "' must not include '" + Target +
+                   "' (allowed: engine -> core -> sim -> support)"});
+      }
+    }
+
+    if (isCommentLine(Line))
+      continue;
+
+    // Banned tokens in library code.
+    if (InSrc) {
+      for (const BannedToken &Ban : SrcWideBans)
+        if (findToken(Line, Ban.Token) != std::string::npos &&
+            !isSuppressed(F.Lines, I, Ban.Rule))
+          Out.push_back({F.Path, LineNo, Ban.Rule, Ban.Message});
+      if ((Layer == "core" || Layer == "engine") &&
+          Line.find("std::function") != std::string::npos &&
+          !isSuppressed(F.Lines, I, "std-function"))
+        Out.push_back(
+            {F.Path, LineNo, "std-function",
+             "std::function in a hot layer; pass support/FunctionRef.h "
+             "FunctionRef for non-owning callback parameters (owning "
+             "storage may carry an archlint-allow entry)"});
+    }
+
+    // header-guard bookkeeping.
+    if (IsHeader && GuardedTree) {
+      const std::string T = trimLeft(Line);
+      if (!SawIfndef && startsWith(T, "#ifndef")) {
+        SawIfndef = true;
+        if (trimLeft(T.substr(7)) != Guard &&
+            !isSuppressed(F.Lines, I, "header-guard")) {
+          IfndefFlagged = true;
+          Out.push_back({F.Path, LineNo, "header-guard",
+                         "include guard '" + trimLeft(T.substr(7)) +
+                             "' does not match the canonical " + Guard});
+        }
+      } else if (SawIfndef && !SawDefine && startsWith(T, "#define")) {
+        SawDefine = true;
+        // A wrong #ifndef was already reported; flagging the matching
+        // #define again would double-count the same defect.
+        if (!IfndefFlagged && trimLeft(T.substr(7)) != Guard &&
+            !isSuppressed(F.Lines, I, "header-guard"))
+          Out.push_back({F.Path, LineNo, "header-guard",
+                         "guard #define '" + trimLeft(T.substr(7)) +
+                             "' does not match the canonical " + Guard});
+      }
+    }
+  }
+
+  if (IsHeader && GuardedTree && (!SawIfndef || !SawDefine) &&
+      !isSuppressed(F.Lines, 0, "header-guard"))
+    Out.push_back({F.Path, 0, "header-guard",
+                   "missing #ifndef/#define include guard " + Guard});
+}
+
+/// test-registration: every tests/**/*.cpp must be named (path relative
+/// to tests/) in some CMakeLists.txt under tests/.
+void lintTestRegistration(const std::vector<SourceFile> &Files,
+                          std::vector<Finding> &Out) {
+  std::string Registrations;
+  for (const SourceFile &F : Files) {
+    if (!startsWith(F.Path, "tests/") || !endsWith(F.Path, "CMakeLists.txt"))
+      continue;
+    for (const std::string &Line : F.Lines) {
+      Registrations += Line;
+      Registrations += '\n';
+    }
+  }
+  for (const SourceFile &F : Files) {
+    if (!startsWith(F.Path, "tests/") || !endsWith(F.Path, ".cpp"))
+      continue;
+    const std::string Relative = F.Path.substr(std::string("tests/").size());
+    if (Registrations.find(Relative) == std::string::npos &&
+        !isSuppressed(F.Lines, 0, "test-registration"))
+      Out.push_back({F.Path, 0, "test-registration",
+                     "not registered in any tests/ CMakeLists.txt; the "
+                     "file never builds or runs"});
+  }
+}
+
+} // namespace
+
+std::vector<Finding>
+ecosched::archlint::lintFiles(const std::vector<SourceFile> &Files) {
+  std::vector<Finding> Out;
+  for (const SourceFile &F : Files)
+    if (endsWith(F.Path, ".h") || endsWith(F.Path, ".cpp"))
+      lintOneFile(F, Out);
+  lintTestRegistration(Files, Out);
+  std::sort(Out.begin(), Out.end(), [](const Finding &A, const Finding &B) {
+    if (A.Path != B.Path)
+      return A.Path < B.Path;
+    if (A.Line != B.Line)
+      return A.Line < B.Line;
+    return A.Rule < B.Rule;
+  });
+  return Out;
+}
+
+std::string ecosched::archlint::formatFinding(const Finding &F) {
+  std::ostringstream OS;
+  OS << F.Path << ':' << F.Line << ": [" << F.Rule << "] " << F.Message;
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Self test
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct SelfTestCase {
+  const char *Name;
+  std::vector<SourceFile> Files;
+  /// Expected findings as rule names, order-insensitive.
+  std::vector<std::string> ExpectedRules;
+};
+
+SourceFile makeFile(const char *Path,
+                    std::initializer_list<const char *> Lines) {
+  SourceFile F;
+  F.Path = Path;
+  for (const char *L : Lines)
+    F.Lines.emplace_back(L);
+  return F;
+}
+
+std::vector<SelfTestCase> selfTestCases() {
+  std::vector<SelfTestCase> Cases;
+
+  Cases.push_back({"upward include sim -> core is flagged",
+                   {makeFile("src/sim/Bad.cpp",
+                             {"#include \"core/Optimizer.h\""})},
+                   {"layer-dag"}});
+  Cases.push_back({"upward include core -> engine is flagged",
+                   {makeFile("src/core/Bad.cpp",
+                             {"#include \"engine/SimClock.h\""})},
+                   {"layer-dag"}});
+  Cases.push_back({"downward include engine -> support is allowed",
+                   {makeFile("src/engine/Ok.cpp",
+                             {"#include \"support/Check.h\""})},
+                   {}});
+  Cases.push_back({"suppressed upward include is allowed",
+                   {makeFile("src/core/Fwd.h",
+                             {"#ifndef ECOSCHED_CORE_FWD_H",
+                              "#define ECOSCHED_CORE_FWD_H",
+                              "// archlint-allow(layer-dag): forwarder",
+                              "#include \"engine/SimClock.h\"", "#endif"})},
+                   {}});
+  Cases.push_back({"tests may include any layer",
+                   {makeFile("tests/x/T.cpp",
+                             {"#include \"engine/SimClock.h\""}),
+                    makeFile("tests/CMakeLists.txt", {"x/T.cpp"})},
+                   {}});
+
+  Cases.push_back({"raw assert is flagged, static_assert is not",
+                   {makeFile("src/sim/A.cpp",
+                             {"assert(X);", "static_assert(true);"})},
+                   {"raw-assert"}});
+  Cases.push_back({"banned tokens in comments are ignored",
+                   {makeFile("src/sim/B.cpp",
+                             {"// assert( and std::cout and rand( here"})},
+                   {}});
+  Cases.push_back({"std::cout and rand and time are flagged",
+                   {makeFile("src/sim/C.cpp",
+                             {"std::cout << 1;", "int X = rand();",
+                              "long T = time(nullptr);"})},
+                   {"banned-io", "nondeterminism", "nondeterminism"}});
+  Cases.push_back({"runtime( does not match the time( ban",
+                   {makeFile("src/sim/D.cpp",
+                             {"double R = S.runtimeFor(V);",
+                              "double Q = startTime();"})},
+                   {}});
+  Cases.push_back({"std::function flagged in core, allowed in sim",
+                   {makeFile("src/core/E.cpp", {"std::function<void()> F;"}),
+                    makeFile("src/sim/F.cpp", {"std::function<void()> F;"})},
+                   {"std-function"}});
+  Cases.push_back({"std::function with an allow entry passes",
+                   {makeFile("src/core/G.cpp",
+                             {"// archlint-allow(std-function): owning",
+                              "std::function<void()> F;"})},
+                   {}});
+  Cases.push_back({"allow marker anywhere in the comment block above",
+                   {makeFile("src/core/G2.cpp",
+                             {"// archlint-allow(std-function): owning",
+                              "// storage, documented rationale spans",
+                              "// several comment lines.",
+                              "std::function<void()> F;"})},
+                   {}});
+  Cases.push_back({"allow marker does not leak past non-comment lines",
+                   {makeFile("src/core/G3.cpp",
+                             {"// archlint-allow(std-function): owning",
+                              "std::function<void()> F;", "int X;",
+                              "std::function<void()> G;"})},
+                   {"std-function"}});
+
+  Cases.push_back({"wrong include guard is flagged",
+                   {makeFile("src/sim/H.h",
+                             {"#ifndef WRONG_H", "#define WRONG_H",
+                              "#endif"})},
+                   {"header-guard"}});
+  Cases.push_back({"missing include guard is flagged",
+                   {makeFile("src/sim/I.h", {"int X;"})},
+                   {"header-guard"}});
+  Cases.push_back({"pragma once is flagged",
+                   {makeFile("src/sim/J.h", {"#pragma once", "int X;"})},
+                   {"header-guard", "pragma-once"}});
+  Cases.push_back({"canonical guard passes",
+                   {makeFile("src/sim/K.h",
+                             {"#ifndef ECOSCHED_SIM_K_H",
+                              "#define ECOSCHED_SIM_K_H", "#endif"})},
+                   {}});
+  Cases.push_back({"bench header keeps its directory in the guard",
+                   {makeFile("bench/L.h",
+                             {"#ifndef ECOSCHED_BENCH_L_H",
+                              "#define ECOSCHED_BENCH_L_H", "#endif"})},
+                   {}});
+
+  Cases.push_back({"unregistered test file is flagged",
+                   {makeFile("tests/x/Orphan.cpp", {"int X;"}),
+                    makeFile("tests/CMakeLists.txt", {"x/Other.cpp"})},
+                   {"test-registration"}});
+  Cases.push_back({"registered test file passes",
+                   {makeFile("tests/x/T.cpp", {"int X;"}),
+                    makeFile("tests/CMakeLists.txt",
+                             {"ecosched_add_test(x_tests", "  x/T.cpp", ")"})},
+                   {}});
+
+  return Cases;
+}
+
+} // namespace
+
+int ecosched::archlint::runSelfTest() {
+  int Failures = 0;
+  for (const SelfTestCase &Case : selfTestCases()) {
+    std::vector<Finding> Findings = lintFiles(Case.Files);
+    std::vector<std::string> Got;
+    Got.reserve(Findings.size());
+    for (const Finding &F : Findings)
+      Got.push_back(F.Rule);
+    std::vector<std::string> Want = Case.ExpectedRules;
+    std::sort(Got.begin(), Got.end());
+    std::sort(Want.begin(), Want.end());
+    if (Got != Want) {
+      ++Failures;
+      std::cerr << "self-test FAILED: " << Case.Name << "\n  expected:";
+      for (const std::string &R : Want)
+        std::cerr << ' ' << R;
+      std::cerr << "\n  got:";
+      for (const Finding &F : Findings)
+        std::cerr << "\n    " << formatFinding(F);
+      std::cerr << '\n';
+    }
+  }
+  return Failures;
+}

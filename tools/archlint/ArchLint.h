@@ -1,0 +1,82 @@
+//===-- tools/archlint/ArchLint.h - Project architecture linter ----*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A zero-dependency linter for the project's own architecture rules —
+/// the checks clang-tidy cannot express and that must run on machines
+/// without LLVM (docs/STATIC_ANALYSIS.md):
+///
+///   layer-dag          src/ includes must follow the strict layering
+///                      engine -> core -> sim -> support (no upward or
+///                      skip-a-layer-backwards edges).
+///   raw-assert         library code uses ECOSCHED_CHECK, never assert().
+///   banned-io          no std::cout in src/ (library code reports through
+///                      return values; diagnostics go to stderr).
+///   nondeterminism     no rand()/srand()/time() in src/ (RandomGenerator
+///                      and SimClock are the only entropy/clock sources).
+///   std-function       no std::function in src/core or src/engine where
+///                      FunctionRef applies; owning-storage sites carry an
+///                      inline allow entry.
+///   header-guard       every header uses the canonical
+///                      ECOSCHED_<DIR>_<NAME>_H include guard.
+///   pragma-once        #pragma once is banned (guards are the convention).
+///   test-registration  every tests/**/*.cpp is listed in a CMakeLists.txt
+///                      under tests/, so no test file silently rots.
+///
+/// A finding on line L is suppressed when line L or L-1 contains
+/// `archlint-allow(<rule>)` — intentional exceptions are documented at
+/// the site they occur (e.g. the legacy core/VirtualOrganization.h
+/// forwarder carries `archlint-allow(layer-dag)`).
+///
+/// The engine operates on in-memory sources so the `--self-test` mode
+/// can exercise every rule on synthetic positive and negative cases
+/// without touching the filesystem.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_TOOLS_ARCHLINT_H
+#define ECOSCHED_TOOLS_ARCHLINT_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ecosched {
+namespace archlint {
+
+/// One source file, path relative to the repository root with '/'
+/// separators (e.g. "src/core/AlpSearch.h").
+struct SourceFile {
+  std::string Path;
+  std::vector<std::string> Lines;
+};
+
+/// One rule violation.
+struct Finding {
+  std::string Path;
+  size_t Line = 0; // 1-based; 0 for whole-file findings.
+  std::string Rule;
+  std::string Message;
+};
+
+/// Runs every rule over \p Files and returns the findings sorted by
+/// (path, line). \p Files must contain the CMakeLists.txt files under
+/// tests/ for the test-registration rule to see the registrations.
+std::vector<Finding> lintFiles(const std::vector<SourceFile> &Files);
+
+/// Renders a finding as "path:line: [rule] message".
+std::string formatFinding(const Finding &F);
+
+/// Built-in synthetic-case suite covering each rule's positive and
+/// negative direction. \returns the number of failed cases (0 = pass)
+/// and prints one line per failure to stderr.
+int runSelfTest();
+
+} // namespace archlint
+} // namespace ecosched
+
+#endif // ECOSCHED_TOOLS_ARCHLINT_H

@@ -1,0 +1,145 @@
+//===-- tools/archlint/Main.cpp - archlint CLI driver ---------------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+//
+// Walks src/ tests/ bench/ examples/ under --root, feeds every C++ file
+// (plus the tests/ CMakeLists.txt registrations) to the rule engine, and
+// exits non-zero on any finding. `--self-test` runs the built-in
+// synthetic rule suite instead; the negative ctest fixture under
+// testdata/ proves the binary really fails on a layering violation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ArchLint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace ecosched::archlint;
+namespace fs = std::filesystem;
+
+namespace {
+
+const char *const Usage =
+    "usage: archlint [--root DIR] [--self-test]\n"
+    "\n"
+    "Lints the EcoSched source tree (src/ tests/ bench/ examples/ under\n"
+    "--root, default '.') against the project architecture rules; see\n"
+    "docs/STATIC_ANALYSIS.md for the rule catalog. Exits 1 on findings.\n"
+    "--self-test runs the built-in synthetic rule suite instead.\n";
+
+/// Reads \p Path into a SourceFile with \p StorePath as its reported
+/// (root-relative) path. \returns false on I/O failure.
+bool readSource(const fs::path &Path, const std::string &StorePath,
+                std::vector<SourceFile> &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  SourceFile F;
+  F.Path = StorePath;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    F.Lines.push_back(Line);
+  }
+  Out.push_back(std::move(F));
+  return true;
+}
+
+/// Collects the lintable files under \p Root: C++ sources in the four
+/// scanned trees plus CMakeLists.txt under tests/ (for the
+/// test-registration rule). Paths are stored '/'-separated relative to
+/// the root so rule decisions and output are machine-independent.
+bool collectFiles(const fs::path &Root, std::vector<SourceFile> &Out) {
+  const char *const ScannedDirs[] = {"src", "tests", "bench", "examples"};
+  bool AnyDir = false;
+  for (const char *Dir : ScannedDirs) {
+    const fs::path Top = Root / Dir;
+    if (!fs::is_directory(Top))
+      continue;
+    AnyDir = true;
+    for (const auto &Entry : fs::recursive_directory_iterator(Top)) {
+      if (!Entry.is_regular_file())
+        continue;
+      const std::string Ext = Entry.path().extension().string();
+      const std::string Name = Entry.path().filename().string();
+      const bool Lintable = Ext == ".h" || Ext == ".cpp" ||
+                            (std::string(Dir) == "tests" &&
+                             Name == "CMakeLists.txt");
+      if (!Lintable)
+        continue;
+      const std::string Relative =
+          fs::relative(Entry.path(), Root).generic_string();
+      if (!readSource(Entry.path(), Relative, Out)) {
+        std::cerr << "archlint: cannot read " << Entry.path() << '\n';
+        return false;
+      }
+    }
+  }
+  if (!AnyDir) {
+    std::cerr << "archlint: no scannable directory (src/ tests/ bench/ "
+                 "examples/) under '"
+              << Root.string() << "'\n";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Root = ".";
+  bool SelfTest = false;
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--root" && I + 1 < Argc) {
+      Root = Argv[++I];
+    } else if (Arg == "--self-test") {
+      SelfTest = true;
+    } else if (Arg == "-h" || Arg == "--help") {
+      std::cout << Usage;
+      return 0;
+    } else {
+      std::cerr << "archlint: unknown argument '" << Arg << "'\n" << Usage;
+      return 2;
+    }
+  }
+
+  if (SelfTest) {
+    const int Failures = runSelfTest();
+    if (Failures != 0) {
+      std::cerr << "archlint --self-test: " << Failures << " case(s) FAILED\n";
+      return 1;
+    }
+    std::cout << "archlint --self-test: all cases passed\n";
+    return 0;
+  }
+
+  std::vector<SourceFile> Files;
+  if (!collectFiles(Root, Files))
+    return 2;
+  // Deterministic file order regardless of directory iteration order.
+  std::sort(Files.begin(), Files.end(),
+            [](const SourceFile &A, const SourceFile &B) {
+              return A.Path < B.Path;
+            });
+
+  const std::vector<Finding> Findings = lintFiles(Files);
+  for (const Finding &F : Findings)
+    std::cerr << formatFinding(F) << '\n';
+  if (!Findings.empty()) {
+    std::cerr << "archlint: " << Findings.size() << " finding(s) in "
+              << Files.size() << " files\n";
+    return 1;
+  }
+  std::cout << "archlint: clean (" << Files.size() << " files)\n";
+  return 0;
+}

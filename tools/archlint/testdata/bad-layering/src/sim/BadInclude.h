@@ -1,0 +1,9 @@
+// Negative fixture for the ArchLintNegativeLayering ctest entry: a sim/
+// header reaching up into core/ must be rejected by the layer-dag rule.
+// This tree is never compiled; archlint is pointed at it with --root.
+#ifndef ECOSCHED_SIM_BADINCLUDE_H
+#define ECOSCHED_SIM_BADINCLUDE_H
+
+#include "core/Optimizer.h"
+
+#endif // ECOSCHED_SIM_BADINCLUDE_H
