@@ -1,0 +1,271 @@
+//===-- fuzz/VoIterationFuzzer.cpp - VO engine lifecycle fuzzing ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+//
+// Decodes fuzzer bytes into a small computing domain plus a random
+// operation sequence against the engine's VirtualOrganization facade —
+// submits, iterations, user cancellations, node failures and repairs,
+// budget-factor changes, owner-local tasks, and price updates — and
+// asserts, after every operation:
+//
+//   * the ledger income identity: totalIncome() equals the sequential
+//     fold of the completed-job costs, bitwise (docs/CONCURRENCY.md's
+//     fold-in-iteration-order contract);
+//   * completed work is append-only (a cancellation or failure must
+//     never reach into history);
+//   * the clock never runs backwards and advances by exactly the
+//     iteration period per iteration;
+//   * failure/repair actually toggles node availability.
+//
+// The whole sequence is then replayed on a fresh VO and both full
+// traces are compared bitwise — the engine must be a pure function of
+// the operation sequence (replay-twice determinism), or no fuzzer
+// finding could ever be reproduced from its input alone.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FuzzInput.h"
+#include "core/AmpSearch.h"
+#include "core/DpOptimizer.h"
+#include "engine/VirtualOrganization.h"
+#include "support/Check.h"
+
+#include <cstdint>
+#include <vector>
+
+using namespace ecosched;
+using fuzz::FuzzInput;
+
+namespace {
+
+constexpr double Grid = 0.25;
+
+/// One decoded operation. Every field is fixed at decode time so the
+/// replay run sees the identical sequence.
+struct Op {
+  enum Kind {
+    Submit,
+    RunIteration,
+    CancelJob,
+    FailNode,
+    RepairNode,
+    SetRho,
+    AddLocalTask,
+    SetPrice,
+    KindCount,
+  };
+  Kind K = Submit;
+  ResourceRequest Request; // Submit
+  int Node = 0;            // FailNode / RepairNode / AddLocalTask / SetPrice
+  int TargetJob = 0;       // CancelJob
+  double Rho = 1.0;        // SetRho
+  double Start = 0.0;      // AddLocalTask (offset from now)
+  double Length = 1.0;     // AddLocalTask
+  double Price = 1.0;      // SetPrice
+};
+
+struct Scenario {
+  std::vector<double> NodePerformance;
+  std::vector<double> NodePrice;
+  VirtualOrganization::Config Cfg;
+  std::vector<Op> Ops;
+};
+
+Scenario decodeScenario(FuzzInput &In) {
+  Scenario S;
+  const int Nodes = In.takeIntInRange(1, 4);
+  for (int Node = 0; Node < Nodes; ++Node) {
+    S.NodePerformance.push_back(In.takeQuantized(Grid, 4.0, Grid));
+    S.NodePrice.push_back(In.takeQuantized(Grid, 3.0, Grid));
+  }
+  S.Cfg.IterationPeriod = In.takeQuantized(25.0, 200.0, 25.0);
+  S.Cfg.HorizonLength = In.takeQuantized(100.0, 800.0, 25.0);
+  S.Cfg.MaxAttempts = In.takeIntInRange(0, 3);
+
+  int NextJobId = 0;
+  while (!In.empty() && S.Ops.size() < 24) {
+    Op O;
+    O.K = static_cast<Op::Kind>(In.takeIntInRange(0, Op::KindCount - 1));
+    switch (O.K) {
+    case Op::Submit:
+      O.Request.NodeCount = In.takeIntInRange(1, 3);
+      O.Request.Volume = In.takeQuantized(10.0, 150.0, 2.5);
+      O.Request.MinPerformance = In.takeQuantized(Grid, 2.0, Grid);
+      O.Request.MaxUnitPrice = In.takeQuantized(Grid, 3.0, Grid);
+      O.Request.BudgetFactor = 0.5 + 0.25 * In.takeIntInRange(0, 2);
+      O.Request.BudgetPolicy = In.takeBool() ? BudgetPolicyKind::SpanBased
+                                             : BudgetPolicyKind::VolumeBased;
+      ++NextJobId;
+      break;
+    case Op::RunIteration:
+      break;
+    case Op::CancelJob:
+      // Deliberately may target a job that never existed, was dropped,
+      // or already completed; cancelJob must absorb all of those.
+      O.TargetJob = In.takeIntInRange(0, NextJobId);
+      break;
+    case Op::FailNode:
+    case Op::RepairNode:
+      // Repeated failures and repairs of the same node are legal.
+      O.Node = In.takeIntInRange(0, Nodes - 1);
+      break;
+    case Op::SetRho:
+      O.Rho = 0.5 + 0.25 * In.takeIntInRange(0, 2);
+      break;
+    case Op::AddLocalTask:
+      O.Node = In.takeIntInRange(0, Nodes - 1);
+      O.Start = In.takeQuantized(0.0, 400.0, 25.0);
+      O.Length = In.takeQuantized(25.0, 200.0, 25.0);
+      break;
+    case Op::SetPrice:
+      O.Node = In.takeIntInRange(0, Nodes - 1);
+      O.Price = In.takeQuantized(0.0, 3.0, Grid);
+      break;
+    case Op::KindCount:
+      break;
+    }
+    S.Ops.push_back(O);
+  }
+  return S;
+}
+
+/// The ledger income identity, checked bitwise: totalIncome() promises
+/// the sequential in-order fold of completed costs, and the completed
+/// stream itself must be append-only.
+void checkLedgerInvariants(const VirtualOrganization &V,
+                           size_t &CompletedSoFar) {
+  const std::vector<CompletedJob> &Done = V.completed();
+  ECOSCHED_CHECK(Done.size() >= CompletedSoFar,
+                 "completed history shrank from {} to {}", CompletedSoFar,
+                 Done.size());
+  CompletedSoFar = Done.size();
+  double Fold = 0.0;
+  for (const CompletedJob &C : Done)
+    Fold += C.Cost;
+  ECOSCHED_CHECK(Fold == V.totalIncome(),
+                 "income {} is not the in-order fold {} of {} completed "
+                 "jobs",
+                 V.totalIncome(), Fold, Done.size());
+}
+
+/// Runs the scenario on a fresh VO and flattens everything observable
+/// into one number stream for the bitwise replay comparison.
+std::vector<double> runScenario(const Scenario &S) {
+  const AmpSearch Amp;
+  const DpOptimizer Dp;
+  const Metascheduler Scheduler(Amp, Dp);
+
+  ComputingDomain Domain;
+  for (size_t Node = 0; Node < S.NodePerformance.size(); ++Node)
+    Domain.addNode(S.NodePerformance[Node], S.NodePrice[Node]);
+  VirtualOrganization V(std::move(Domain), Scheduler, S.Cfg);
+
+  std::vector<double> Trace;
+  size_t CompletedSoFar = 0;
+  int NextJobId = 0;
+  for (const Op &O : S.Ops) {
+    const double Before = V.now();
+    switch (O.K) {
+    case Op::Submit: {
+      const size_t QueuedBefore = V.queueLength();
+      Job J;
+      J.Id = NextJobId++;
+      J.Request = O.Request;
+      V.submit(J);
+      ECOSCHED_CHECK(V.queueLength() == QueuedBefore + 1,
+                     "submit of job {} left the queue at {} (was {})",
+                     J.Id, V.queueLength(), QueuedBefore);
+      break;
+    }
+    case Op::RunIteration: {
+      const VirtualOrganization::IterationReport R = V.runIteration();
+      ECOSCHED_CHECK(V.now() == Before + S.Cfg.IterationPeriod,
+                     "iteration advanced the clock from {} to {}, period "
+                     "{}",
+                     Before, V.now(), S.Cfg.IterationPeriod);
+      Trace.push_back(R.Now);
+      Trace.push_back(static_cast<double>(R.QueueLength));
+      Trace.push_back(static_cast<double>(R.Committed));
+      Trace.push_back(static_cast<double>(R.Dropped));
+      Trace.push_back(static_cast<double>(R.Outcome.Scheduled.size()));
+      for (const ScheduledJob &P : R.Outcome.Scheduled) {
+        Trace.push_back(static_cast<double>(P.JobId));
+        Trace.push_back(P.W.startTime());
+        Trace.push_back(P.W.endTime());
+        Trace.push_back(P.W.totalCost());
+      }
+      break;
+    }
+    case Op::CancelJob:
+      Trace.push_back(V.cancelJob(O.TargetJob) ? 1.0 : 0.0);
+      break;
+    case Op::FailNode:
+      Trace.push_back(
+          static_cast<double>(V.injectNodeFailure(O.Node)));
+      ECOSCHED_CHECK(!V.domain().isNodeAvailable(O.Node),
+                     "node {} still available after failure injection",
+                     O.Node);
+      break;
+    case Op::RepairNode:
+      V.repairNode(O.Node);
+      ECOSCHED_CHECK(V.domain().isNodeAvailable(O.Node),
+                     "node {} still failed after repair", O.Node);
+      break;
+    case Op::SetRho:
+      V.setQueuedBudgetFactor(O.Rho);
+      break;
+    case Op::AddLocalTask:
+      Trace.push_back(V.mutableDomain().addLocalTask(
+                          O.Node, Before + O.Start,
+                          Before + O.Start + O.Length)
+                          ? 1.0
+                          : 0.0);
+      break;
+    case Op::SetPrice:
+      V.mutableDomain().setNodePrice(O.Node, O.Price);
+      break;
+    case Op::KindCount:
+      break;
+    }
+    ECOSCHED_CHECK(V.now() >= Before, "clock ran backwards: {} -> {}",
+                   Before, V.now());
+    checkLedgerInvariants(V, CompletedSoFar);
+    Trace.push_back(V.totalIncome());
+    Trace.push_back(static_cast<double>(V.queueLength()));
+  }
+
+  // Final state: the full completion history and drop list.
+  for (const CompletedJob &C : V.completed()) {
+    Trace.push_back(static_cast<double>(C.JobId));
+    Trace.push_back(C.StartTime);
+    Trace.push_back(C.EndTime);
+    Trace.push_back(C.Cost);
+    Trace.push_back(static_cast<double>(C.Attempts));
+  }
+  for (const int JobId : V.dropped())
+    Trace.push_back(static_cast<double>(JobId));
+  return Trace;
+}
+
+} // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  FuzzInput In(Data, Size);
+  const Scenario S = decodeScenario(In);
+
+  const std::vector<double> First = runScenario(S);
+  const std::vector<double> Second = runScenario(S);
+  // Replay-twice determinism, bitwise: the engine's behavior must be a
+  // pure function of the operation sequence.
+  ECOSCHED_CHECK(First.size() == Second.size(),
+                 "replay produced {} trace entries, first run {}",
+                 Second.size(), First.size());
+  for (size_t I = 0; I < First.size(); ++I)
+    ECOSCHED_CHECK(First[I] == Second[I],
+                   "replay diverged at trace entry {}: {} vs {}", I,
+                   First[I], Second[I]);
+  return 0;
+}

@@ -8,25 +8,30 @@
 #   2. release preset: configure, build (-Werror), full ctest suite
 #   3. archlint: the self-hosted architecture linter (tools/archlint)
 #      over src/ tests/ bench/ examples/ — layer DAG, banned patterns,
-#      header guards, test registration. NEVER self-skips: it is built
-#      by stage 2 from this repo with the same toolchain as everything
-#      else, so there is no missing-binary excuse.
+#      header guards, test registration, and the detlint determinism
+#      rule family over the result-affecting layers. NEVER self-skips:
+#      it is built by stage 2 from this repo with the same toolchain as
+#      everything else, so there is no missing-binary excuse.
 #   4. bench smoke: one short repetition of bench/micro_benchmarks with
 #      JSON output to a temp file, validated as well-formed benchmark
 #      JSON (guards the bench-baseline workflow, docs/PERFORMANCE.md)
-#   5. asan-ubsan preset: configure, build, full ctest suite under
+#   5. schedule-fuzz stress: the concurrency-relevant tests of the
+#      release build replayed under ECOSCHED_SCHEDULE_FUZZ adversarial
+#      schedules for several shuffle seeds (docs/CONCURRENCY.md). NEVER
+#      self-skips: it reuses the stage 2 build and needs no extra tools.
+#   6. asan-ubsan preset: configure, build, full ctest suite under
 #      AddressSanitizer + UndefinedBehaviorSanitizer
-#   6. tsan preset: configure, build, and the concurrency-relevant
+#   7. tsan preset: configure, build, and the concurrency-relevant
 #      tests (ThreadPool, Experiment, AlternativeSearchParallel,
 #      SlotFilter, MultiVoDriver) under ThreadSanitizer
-#   7. fuzz smoke: build the fuzz preset (ASan+UBSan) and run the three
+#   8. fuzz smoke: build the fuzz preset (ASan+UBSan) and run the four
 #      harnesses over their committed corpora plus a bounded number of
 #      generated inputs (-runs=5000). Uses libFuzzer under clang and
 #      the deterministic standalone driver under any other compiler, so
 #      it runs on every toolchain. Skipped only by --skip-sanitizers.
-#   8. clang-tidy over src/ tests/ bench/ examples/ (zero findings);
+#   9. clang-tidy over src/ tests/ bench/ examples/ (zero findings);
 #      SKIPPED with a notice when no clang-tidy binary is installed
-#   9. clang-format verification of every tracked C++ file against the
+#  10. clang-format verification of every tracked C++ file against the
 #      repo .clang-format; SKIPPED when clang-format is not installed
 #
 # Usage: scripts/ci.sh [--jobs N] [--skip-sanitizers]
@@ -48,13 +53,13 @@ while [[ $# -gt 0 ]]; do
     --skip-sanitizers)
       SKIP_SAN=1; shift ;;
     -h|--help)
-      sed -n '2,30p' "$0"; exit 0 ;;
+      sed -n '2,39p' "$0"; exit 0 ;;
     *)
       echo "error: unknown argument '$1' (see --help)" >&2; exit 2 ;;
   esac
 done
 
-echo "=== ci stage 1/9: repo hygiene (tracked files vs ignore rules) ==="
+echo "=== ci stage 1/10: repo hygiene (tracked files vs ignore rules) ==="
 TRACKED_IGNORED="$(git ls-files --cached -i --exclude-standard)"
 if [[ -n "$TRACKED_IGNORED" ]]; then
   echo "error: tracked files match the repo ignore rules:" >&2
@@ -64,16 +69,16 @@ if [[ -n "$TRACKED_IGNORED" ]]; then
 fi
 echo "repo hygiene: clean"
 
-echo "=== ci stage 2/9: release build + tests ==="
+echo "=== ci stage 2/10: release build + tests ==="
 scripts/check.sh --preset release --jobs "$JOBS"
 
-echo "=== ci stage 3/9: archlint (architecture rules, no self-skip) ==="
+echo "=== ci stage 3/10: archlint (architecture + detlint, no self-skip) ==="
 # Stage 2 just built this binary; a missing binary is a build failure,
 # never a reason to skip the lint.
 build/release/tools/archlint/archlint --self-test
 build/release/tools/archlint/archlint --root .
 
-echo "=== ci stage 4/9: bench smoke (micro_benchmarks JSON output) ==="
+echo "=== ci stage 4/10: bench smoke (micro_benchmarks JSON output) ==="
 BENCH_JSON="$(mktemp --suffix=.json)"
 trap 'rm -f "$BENCH_JSON"' EXIT
 build/release/bench/micro_benchmarks \
@@ -89,12 +94,24 @@ assert names, "bench smoke produced no benchmark entries"
 print(f"bench smoke: {len(names)} benchmark entries, JSON well-formed")
 PYEOF
 
+echo "=== ci stage 5/10: schedule-fuzz stress (adversarial schedules) ==="
+# The determinism gate's dynamic half: the whole concurrency-relevant
+# test set must stay bitwise-deterministic when every pool claims
+# chunks in shuffled orders with injected yields. Reuses the stage 2
+# build — this stage never self-skips.
+for SHUFFLE_SEED in 1 7 42; do
+  echo "--- schedule-fuzz stress: seed $SHUFFLE_SEED ---"
+  ECOSCHED_SCHEDULE_FUZZ="$SHUFFLE_SEED" ctest --preset release -j "$JOBS" \
+    -R '^(ThreadPool|Experiment|AlternativeSearchParallel|SlotFilter|MultiVoDriver)' \
+    --output-on-failure
+done
+
 if [[ $SKIP_SAN -eq 0 ]]; then
-  echo "=== ci stage 5/9: asan-ubsan build + tests ==="
+  echo "=== ci stage 6/10: asan-ubsan build + tests ==="
   scripts/check.sh --preset asan-ubsan --jobs "$JOBS"
-  echo "=== ci stage 6/9: tsan build + concurrency tests ==="
+  echo "=== ci stage 7/10: tsan build + concurrency tests ==="
   scripts/check.sh --preset tsan --jobs "$JOBS"
-  echo "=== ci stage 7/9: fuzz smoke (3 harnesses, corpora + -runs=5000) ==="
+  echo "=== ci stage 8/10: fuzz smoke (4 harnesses, corpora + -runs=5000) ==="
   cmake --preset fuzz > /dev/null
   cmake --build --preset fuzz -j "$JOBS" > /dev/null
   export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
@@ -103,16 +120,17 @@ if [[ $SKIP_SAN -eq 0 ]]; then
   build/fuzz/fuzz/fuzz_slotlist_diff fuzz/corpus/slotlist_diff -runs=5000
   build/fuzz/fuzz/fuzz_window_invariants fuzz/corpus/window_invariants \
     -runs=5000
+  build/fuzz/fuzz/fuzz_vo_iteration fuzz/corpus/vo_iteration -runs=5000
 else
-  echo "=== ci stage 5/9: SKIPPED (--skip-sanitizers) ==="
-  echo "=== ci stage 6/9: SKIPPED (--skip-sanitizers) ==="
-  echo "=== ci stage 7/9: SKIPPED (--skip-sanitizers) ==="
+  echo "=== ci stage 6/10: SKIPPED (--skip-sanitizers) ==="
+  echo "=== ci stage 7/10: SKIPPED (--skip-sanitizers) ==="
+  echo "=== ci stage 8/10: SKIPPED (--skip-sanitizers) ==="
 fi
 
-echo "=== ci stage 8/9: clang-tidy ==="
+echo "=== ci stage 9/10: clang-tidy ==="
 scripts/run_clang_tidy.sh --jobs "$JOBS"
 
-echo "=== ci stage 9/9: clang-format ==="
+echo "=== ci stage 10/10: clang-format ==="
 FORMAT="${CLANG_FORMAT:-}"
 if [[ -z "$FORMAT" ]]; then
   for candidate in clang-format clang-format-21 clang-format-20 \

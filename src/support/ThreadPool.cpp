@@ -8,9 +8,12 @@
 #include "support/ThreadPool.h"
 
 #include "support/Check.h"
+#include "support/Random.h"
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <utility>
 
 using namespace ecosched;
 
@@ -24,11 +27,18 @@ thread_local const ThreadPool *CurrentPool = nullptr;
 } // namespace
 
 struct ThreadPool::Call {
-  /// Next unclaimed index; advanced by Chunk per claim.
+  /// Next unclaimed index; advanced by Chunk per claim. Under
+  /// ScheduleFuzz it is instead the next ordinal into ShuffledOrder,
+  /// advanced by one per claim.
   std::atomic<size_t> Next{0};
   size_t Last = 0;
   size_t Chunk = 1;
   size_t Total = 0;
+  /// Shuffled chunk-begin order (ScheduleFuzz); empty in the default
+  /// FIFO-claim mode.
+  std::vector<size_t> ShuffledOrder;
+  /// Seed of the stateless per-chunk yield decision (ScheduleFuzz).
+  uint64_t YieldSeed = 0;
   const std::function<void(size_t)> *Body = nullptr;
   /// Indices retired (executed or skipped after a failure). The call is
   /// complete when Done == Total.
@@ -41,7 +51,20 @@ struct ThreadPool::Call {
 };
 
 ThreadPool::ThreadPool(size_t ThreadCount)
-    : Count(resolveThreadCount(ThreadCount)) {}
+    : ThreadPool(ThreadCount, scheduleFuzzFromEnv()) {}
+
+ThreadPool::ThreadPool(size_t ThreadCount, ScheduleFuzz Fuzz)
+    : Count(resolveThreadCount(ThreadCount)), Fuzz(Fuzz) {}
+
+ThreadPool::ScheduleFuzz ThreadPool::scheduleFuzzFromEnv() {
+  ScheduleFuzz F;
+  const char *Env = std::getenv("ECOSCHED_SCHEDULE_FUZZ");
+  if (Env == nullptr || *Env == '\0')
+    return F;
+  F.Enabled = true;
+  F.Seed = std::strtoull(Env, nullptr, 10);
+  return F;
+}
 
 ThreadPool::~ThreadPool() {
   {
@@ -64,9 +87,26 @@ size_t ThreadPool::resolveThreadCount(size_t Requested) {
 }
 
 void ThreadPool::runCall(Call &C) {
-  for (size_t Begin = C.Next.fetch_add(C.Chunk, std::memory_order_relaxed);
-       Begin < C.Last;
-       Begin = C.Next.fetch_add(C.Chunk, std::memory_order_relaxed)) {
+  for (;;) {
+    size_t Begin;
+    if (C.ShuffledOrder.empty()) {
+      Begin = C.Next.fetch_add(C.Chunk, std::memory_order_relaxed);
+      if (Begin >= C.Last)
+        return;
+    } else {
+      // ScheduleFuzz: claim the next ordinal of the shuffled order and
+      // maybe yield first, so neighbouring chunks land on different
+      // workers in different interleavings. The yield decision is a
+      // stateless mix of the call's yield stream and the chunk identity
+      // — no shared RNG state, so claiming stays race-free.
+      const size_t Ordinal = C.Next.fetch_add(1, std::memory_order_relaxed);
+      if (Ordinal >= C.ShuffledOrder.size())
+        return;
+      Begin = C.ShuffledOrder[Ordinal];
+      SplitMix64 Coin(C.YieldSeed ^ (Begin * 0x9e3779b97f4a7c15ULL));
+      if (Coin.next() % 2 == 0)
+        std::this_thread::yield();
+    }
     const size_t End = std::min(Begin + C.Chunk, C.Last);
     if (!C.Failed.load(std::memory_order_acquire)) {
       try {
@@ -137,11 +177,28 @@ void ThreadPool::parallelFor(size_t First, size_t Last, size_t Chunk,
   }
 
   auto C = std::make_shared<Call>();
-  C->Next.store(First, std::memory_order_relaxed);
   C->Last = Last;
   C->Chunk = Chunk;
   C->Total = Total;
   C->Body = &Body;
+  if (Fuzz.Enabled) {
+    // Adversarial schedule: Fisher-Yates-shuffle the chunk-begin order
+    // with a per-call sub-stream, so every call (and every seed) walks
+    // the range in a different order. Next becomes an ordinal cursor.
+    C->ShuffledOrder.resize(Chunks);
+    for (size_t K = 0; K < Chunks; ++K)
+      C->ShuffledOrder[K] = First + K * Chunk;
+    SplitMix64 Rng(Fuzz.Seed ^
+                   (FuzzCallIndex.fetch_add(1, std::memory_order_relaxed) *
+                        0xbf58476d1ce4e5b9ULL +
+                    0x94d049bb133111ebULL));
+    C->YieldSeed = Rng.next();
+    for (size_t K = Chunks; K > 1; --K)
+      std::swap(C->ShuffledOrder[K - 1], C->ShuffledOrder[Rng.next() % K]);
+    C->Next.store(0, std::memory_order_relaxed);
+  } else {
+    C->Next.store(First, std::memory_order_relaxed);
+  }
 
   // One helper token per worker that could claim a chunk; surplus
   // tokens (and tokens drained after completion) find the cursor

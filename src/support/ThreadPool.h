@@ -25,13 +25,23 @@
 ///  - Nested parallelFor calls on the same pool run inline on the
 ///    submitting worker (no deadlock, no extra parallelism).
 ///
+/// Adversarial scheduling (ScheduleFuzz): the determinism analysis gate
+/// stresses the contract by claiming chunks in a seeded shuffled order
+/// and injecting pseudo-random yields between claims. Only execution
+/// *order and timing* change — coverage, result slots, and exception
+/// capture are untouched, so every bitwise-determinism test must still
+/// pass with fuzzing on. Enabled per pool via the ScheduleFuzz config
+/// or globally via the ECOSCHED_SCHEDULE_FUZZ=<seed> environment knob.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ECOSCHED_SUPPORT_THREADPOOL_H
 #define ECOSCHED_SUPPORT_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -47,10 +57,28 @@ namespace ecosched {
 /// starts workers and runs everything inline.
 class ThreadPool {
 public:
+  /// Adversarial scheduling knob for the determinism gate: pooled calls
+  /// claim chunks in a seeded shuffled order and inject deterministic
+  /// pseudo-random yields, exercising schedules the FIFO claim order
+  /// never produces. Results must be bitwise-unchanged (the pool's
+  /// determinism contract does not depend on claim order); tests assert
+  /// exactly that.
+  struct ScheduleFuzz {
+    bool Enabled = false;
+    /// Seed of the shuffle/yield streams; every parallel call derives
+    /// its own sub-stream so repeated calls see distinct schedules.
+    uint64_t Seed = 0;
+  };
+
   /// Creates a pool that will use \p ThreadCount threads (0 resolves to
   /// the hardware concurrency). Workers are not started until the first
-  /// parallel call that can use them.
+  /// parallel call that can use them. Adversarial scheduling follows
+  /// the ECOSCHED_SCHEDULE_FUZZ environment knob (scheduleFuzzFromEnv).
   explicit ThreadPool(size_t ThreadCount = 0);
+
+  /// Creates a pool with an explicit adversarial-scheduling mode,
+  /// ignoring the environment knob.
+  ThreadPool(size_t ThreadCount, ScheduleFuzz Fuzz);
 
   /// Joins all workers. Must not run concurrently with a parallel call.
   ~ThreadPool();
@@ -67,6 +95,15 @@ public:
   /// verbatim. The single helper behind ExperimentConfig::Threads and
   /// every bench `--threads` flag.
   static size_t resolveThreadCount(size_t Requested);
+
+  /// Reads the ECOSCHED_SCHEDULE_FUZZ environment knob: unset or empty
+  /// disables fuzzing; any other value enables it with the decimal seed
+  /// it parses to (unparseable text seeds 0). Lets CI replay the whole
+  /// suite under adversarial schedules without touching call sites.
+  static ScheduleFuzz scheduleFuzzFromEnv();
+
+  /// The adversarial-scheduling mode this pool runs under.
+  const ScheduleFuzz &scheduleFuzz() const { return Fuzz; }
 
   /// Runs \p Body(I) for every I in [\p First, \p Last). Work is
   /// claimed in chunks of \p Chunk indices via an atomic cursor; the
@@ -99,6 +136,10 @@ private:
   static void runCall(Call &C);
 
   size_t Count;
+  ScheduleFuzz Fuzz;
+  /// Per-call shuffle sub-stream selector; atomic because independent
+  /// threads may issue parallel calls on one pool.
+  std::atomic<uint64_t> FuzzCallIndex{0};
   std::mutex QueueMutex;
   std::condition_variable WorkAvailable;
   std::deque<std::shared_ptr<Call>> Queue;

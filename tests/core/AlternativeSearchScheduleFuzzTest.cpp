@@ -1,0 +1,136 @@
+//===-- tests/core/AlternativeSearchScheduleFuzzTest.cpp - Fuzzed sweep ---===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The determinism gate's adversarial-schedule stress for the sharded
+/// alternative sweep: the speculate/commit path must stay bitwise-equal
+/// to the textbook serial loop when the pool claims chunks in shuffled
+/// orders with injected yields, across {1, 2, 8} threads and at least 8
+/// distinct shuffle seeds. A result that depends on claim order would
+/// be a latent nondeterminism bug the FIFO-order tests cannot see.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AlternativeSearch.h"
+
+#include "core/AlpSearch.h"
+#include "core/AmpSearch.h"
+#include "sim/JobGenerator.h"
+#include "sim/SlotGenerator.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace ecosched;
+
+namespace {
+
+constexpr uint64_t ShuffleSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34};
+
+SlotList makeList(uint64_t Seed) {
+  RandomGenerator Rng(Seed);
+  return SlotGenerator(SlotGeneratorConfig{}).generate(Rng);
+}
+
+Batch makeBatch(uint64_t Seed) {
+  RandomGenerator Rng(Seed ^ 0xa5a5a5a5u);
+  return JobGenerator(JobGeneratorConfig{}).generate(Rng);
+}
+
+/// Exact equality on purpose: the contract is bitwise determinism, so
+/// every double is compared with ==.
+void expectSameWindows(const AlternativeSet &Expected,
+                       const AlternativeSet &Actual,
+                       const std::string &Label) {
+  ASSERT_EQ(Expected.PerJob.size(), Actual.PerJob.size()) << Label;
+  for (size_t J = 0; J < Expected.PerJob.size(); ++J) {
+    ASSERT_EQ(Expected.PerJob[J].size(), Actual.PerJob[J].size())
+        << Label << ": job " << J;
+    for (size_t A = 0; A < Expected.PerJob[J].size(); ++A) {
+      const Window &E = Expected.PerJob[J][A];
+      const Window &G = Actual.PerJob[J][A];
+      SCOPED_TRACE(Label + ": job " + std::to_string(J) + " alt " +
+                   std::to_string(A));
+      ASSERT_EQ(E.size(), G.size());
+      ASSERT_EQ(E.startTime(), G.startTime());
+      ASSERT_EQ(E.totalCost(), G.totalCost());
+      for (size_t M = 0; M < E.size(); ++M) {
+        ASSERT_EQ(E[M].Source.NodeId, G[M].Source.NodeId);
+        ASSERT_EQ(E[M].Source.Performance, G[M].Source.Performance);
+        ASSERT_EQ(E[M].Source.UnitPrice, G[M].Source.UnitPrice);
+        ASSERT_EQ(E[M].Source.Start, G[M].Source.Start);
+        ASSERT_EQ(E[M].Source.End, G[M].Source.End);
+        ASSERT_EQ(E[M].Runtime, G[M].Runtime);
+        ASSERT_EQ(E[M].Cost, G[M].Cost);
+      }
+    }
+  }
+}
+
+} // namespace
+
+TEST(AlternativeSearchParallelFuzzTest, ShardedMatchesSerialUnderShuffle) {
+  AlpSearch Alp;
+  AmpSearch Amp;
+  const SlotSearchAlgorithm *Algos[] = {&Alp, &Amp};
+  for (const SlotSearchAlgorithm *Algo : Algos) {
+    for (const uint64_t Scenario : {4u, 9u}) {
+      const SlotList List = makeList(Scenario);
+      const Batch Jobs = makeBatch(Scenario);
+
+      AlternativeSearch::Config Legacy;
+      Legacy.UseFilter = false;
+      const AlternativeSet Reference =
+          AlternativeSearch(*Algo, Legacy).run(List, Jobs);
+
+      for (const size_t Threads : {1u, 2u, 8u}) {
+        for (const uint64_t Seed : ShuffleSeeds) {
+          ThreadPool Pool(Threads,
+                          ThreadPool::ScheduleFuzz{/*Enabled=*/true, Seed});
+          AlternativeSearch::Config Cfg;
+          Cfg.Pool = &Pool;
+          const AlternativeSet Sharded =
+              AlternativeSearch(*Algo, Cfg).run(List, Jobs);
+          expectSameWindows(Reference, Sharded,
+                            std::string(Algo->name()) + " scenario " +
+                                std::to_string(Scenario) + " threads " +
+                                std::to_string(Threads) + " shuffle seed " +
+                                std::to_string(Seed));
+        }
+      }
+    }
+  }
+}
+
+TEST(AlternativeSearchParallelFuzzTest, StatsIndependentOfSchedule) {
+  // Aggregated SearchStats fold deterministically too; a schedule-
+  // dependent count would betray order-sensitive accounting even when
+  // the windows happen to match.
+  AlpSearch Alp;
+  const SlotList List = makeList(11);
+  const Batch Jobs = makeBatch(11);
+
+  SearchStats Baseline;
+  {
+    ThreadPool Pool(1);
+    AlternativeSearch::Config Cfg;
+    Cfg.Pool = &Pool;
+    AlternativeSearch(Alp, Cfg).run(List, Jobs, &Baseline);
+  }
+  for (const uint64_t Seed : ShuffleSeeds) {
+    SCOPED_TRACE("shuffle seed " + std::to_string(Seed));
+    ThreadPool Pool(8, ThreadPool::ScheduleFuzz{/*Enabled=*/true, Seed});
+    AlternativeSearch::Config Cfg;
+    Cfg.Pool = &Pool;
+    SearchStats Stats;
+    AlternativeSearch(Alp, Cfg).run(List, Jobs, &Stats);
+    EXPECT_EQ(Baseline.SlotsExamined, Stats.SlotsExamined);
+    EXPECT_EQ(Baseline.GroupPeak, Stats.GroupPeak);
+    EXPECT_EQ(Baseline.GroupOperations, Stats.GroupOperations);
+    EXPECT_EQ(Baseline.SpeculationRecomputes, Stats.SpeculationRecomputes);
+  }
+}

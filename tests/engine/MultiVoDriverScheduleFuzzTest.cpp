@@ -1,0 +1,159 @@
+//===-- tests/engine/MultiVoDriverScheduleFuzzTest.cpp - Fuzzed driver ----===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The determinism gate's adversarial-schedule stress for the
+/// concurrent multi-VO driver: per-tenant reports, completed-job
+/// streams, and incomes must stay bitwise-identical to the serial
+/// baseline when the pool runs tenants under shuffled claim orders with
+/// injected yields, across {2, 8} threads and at least 8 distinct
+/// shuffle seeds. Exact floating-point comparison on purpose — "close
+/// enough" would hide cross-tenant result mixups.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/MultiVoDriver.h"
+
+#include "core/AmpSearch.h"
+#include "core/DpOptimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace ecosched;
+
+namespace {
+
+constexpr size_t TenantCount = 4;
+constexpr size_t Rounds = 8;
+constexpr uint64_t ShuffleSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34};
+
+ComputingDomain makeTenantDomain(size_t VoIndex) {
+  // Deliberately different per tenant so a cross-tenant mixup cannot
+  // cancel out.
+  ComputingDomain D;
+  const int Nodes = 2 + static_cast<int>(VoIndex % 3);
+  for (int Node = 0; Node < Nodes; ++Node)
+    D.addNode(1.0 + 0.5 * Node, 1.0 + 0.25 * Node);
+  return D;
+}
+
+Batch makeArrivals(size_t VoIndex, size_t Iteration, RandomGenerator &Rng) {
+  Batch B;
+  const int64_t Count = Rng.uniformInt(0, 2);
+  for (int64_t K = 0; K < Count; ++K) {
+    Job J;
+    J.Id = static_cast<int>(VoIndex * 1000 + Iteration * 10 + K);
+    J.Request.NodeCount = static_cast<int>(Rng.uniformInt(1, 2));
+    J.Request.Volume = Rng.uniformReal(40.0, 120.0);
+    J.Request.MinPerformance = 1.0;
+    J.Request.MaxUnitPrice = Rng.uniformReal(1.5, 2.5);
+    B.push_back(J);
+  }
+  return B;
+}
+
+/// Everything a run produces, per tenant, for exact comparison.
+struct RunTrace {
+  std::vector<std::vector<MultiVoDriver::TenantIteration>> PerRound;
+  std::vector<std::vector<CompletedJob>> Completed;
+  std::vector<double> Income;
+};
+
+/// Runs the fixed scenario; \p Threads == 0 means no pool (serial).
+RunTrace runScenario(size_t Threads, ThreadPool::ScheduleFuzz Fuzz) {
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler(Amp, Dp);
+
+  ThreadPool Pool(Threads == 0 ? 1 : Threads, Fuzz);
+  MultiVoDriver::Config Cfg;
+  Cfg.Pool = Threads == 0 ? nullptr : &Pool;
+  MultiVoDriver Driver(Cfg);
+
+  VirtualOrganization::Config VoCfg;
+  VoCfg.IterationPeriod = 100.0;
+  VoCfg.HorizonLength = 500.0;
+  for (size_t I = 0; I < TenantCount; ++I)
+    Driver.addTenant(makeTenantDomain(I), Scheduler, VoCfg,
+                     /*Seed=*/1000 + I);
+
+  RunTrace Trace;
+  for (size_t Round = 0; Round < Rounds; ++Round)
+    Trace.PerRound.push_back(Driver.runIteration(makeArrivals));
+  for (size_t I = 0; I < TenantCount; ++I) {
+    Trace.Completed.push_back(Driver.tenant(I).completed());
+    Trace.Income.push_back(Driver.tenant(I).totalIncome());
+  }
+  return Trace;
+}
+
+void expectSameTrace(const RunTrace &A, const RunTrace &B) {
+  ASSERT_EQ(A.PerRound.size(), B.PerRound.size());
+  for (size_t Round = 0; Round < A.PerRound.size(); ++Round) {
+    ASSERT_EQ(A.PerRound[Round].size(), B.PerRound[Round].size());
+    for (size_t I = 0; I < A.PerRound[Round].size(); ++I) {
+      const MultiVoDriver::TenantIteration &X = A.PerRound[Round][I];
+      const MultiVoDriver::TenantIteration &Y = B.PerRound[Round][I];
+      ASSERT_EQ(X.Arrivals, Y.Arrivals);
+      ASSERT_EQ(X.Report.Now, Y.Report.Now);
+      ASSERT_EQ(X.Report.QueueLength, Y.Report.QueueLength);
+      ASSERT_EQ(X.Report.Committed, Y.Report.Committed);
+      ASSERT_EQ(X.Report.Dropped, Y.Report.Dropped);
+      ASSERT_EQ(X.Report.Outcome.Scheduled.size(),
+                Y.Report.Outcome.Scheduled.size());
+      for (size_t S = 0; S < X.Report.Outcome.Scheduled.size(); ++S) {
+        const ScheduledJob &P = X.Report.Outcome.Scheduled[S];
+        const ScheduledJob &Q = Y.Report.Outcome.Scheduled[S];
+        ASSERT_EQ(P.JobId, Q.JobId);
+        ASSERT_EQ(P.BatchIndex, Q.BatchIndex);
+        ASSERT_EQ(P.AlternativeIndex, Q.AlternativeIndex);
+        ASSERT_EQ(P.W.startTime(), Q.W.startTime());
+        ASSERT_EQ(P.W.endTime(), Q.W.endTime());
+        ASSERT_EQ(P.W.totalCost(), Q.W.totalCost());
+      }
+    }
+  }
+  ASSERT_EQ(A.Completed.size(), B.Completed.size());
+  for (size_t I = 0; I < A.Completed.size(); ++I) {
+    ASSERT_EQ(A.Completed[I].size(), B.Completed[I].size());
+    for (size_t C = 0; C < A.Completed[I].size(); ++C) {
+      ASSERT_EQ(A.Completed[I][C].JobId, B.Completed[I][C].JobId);
+      ASSERT_EQ(A.Completed[I][C].StartTime, B.Completed[I][C].StartTime);
+      ASSERT_EQ(A.Completed[I][C].EndTime, B.Completed[I][C].EndTime);
+      ASSERT_EQ(A.Completed[I][C].Cost, B.Completed[I][C].Cost);
+      ASSERT_EQ(A.Completed[I][C].Attempts, B.Completed[I][C].Attempts);
+    }
+    ASSERT_EQ(A.Income[I], B.Income[I]);
+  }
+}
+
+} // namespace
+
+TEST(MultiVoDriverScheduleFuzzTest, TraceIdenticalUnderShuffledSchedules) {
+  // Serial no-pool baseline; the adversarial pooled runs must reproduce
+  // it bitwise under every (threads, shuffle seed) combination.
+  const RunTrace Baseline =
+      runScenario(/*Threads=*/0, ThreadPool::ScheduleFuzz{});
+  for (const size_t Threads : {2u, 8u}) {
+    for (const uint64_t Seed : ShuffleSeeds) {
+      SCOPED_TRACE("Threads=" + std::to_string(Threads) + " shuffle seed " +
+                   std::to_string(Seed));
+      expectSameTrace(Baseline,
+                      runScenario(Threads, ThreadPool::ScheduleFuzz{
+                                               /*Enabled=*/true, Seed}));
+    }
+  }
+}
+
+TEST(MultiVoDriverScheduleFuzzTest, RepeatedFuzzedRunsAgree) {
+  // Same pool size and seed twice: the adversarial mode itself must be
+  // reproducible, or a stress failure could never be replayed.
+  const ThreadPool::ScheduleFuzz Fuzz{/*Enabled=*/true, 42};
+  expectSameTrace(runScenario(8, Fuzz), runScenario(8, Fuzz));
+}

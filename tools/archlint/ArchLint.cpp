@@ -171,6 +171,103 @@ constexpr std::array<BannedToken, 5> SrcWideBans = {{
      "time() in library code; simulated time comes from engine/SimClock"},
 }};
 
+/// True for the layers under the detlint determinism contract: the code
+/// whose behavior feeds scheduling results. Everything here must be
+/// bitwise-reproducible for any thread count, so iteration-order,
+/// pointer-order, and wall-clock hazards are banned at the token level
+/// (docs/CONCURRENCY.md).
+bool isDetLayer(const std::string &Layer) {
+  return Layer == "core" || Layer == "engine" || Layer == "support";
+}
+
+/// The detlint token bans (result-affecting layers only).
+constexpr std::array<BannedToken, 9> DetBans = {{
+    {"std::unordered_map", "det-unordered-container",
+     "std::unordered_map iterates in hash order; use std::map or a "
+     "sorted vector so results never depend on hashing"},
+    {"std::unordered_set", "det-unordered-container",
+     "std::unordered_set iterates in hash order; use std::set or a "
+     "sorted vector so results never depend on hashing"},
+    {"<unordered_map>", "det-unordered-container",
+     "<unordered_map> include in a determinism-contract layer; use an "
+     "ordered container"},
+    {"<unordered_set>", "det-unordered-container",
+     "<unordered_set> include in a determinism-contract layer; use an "
+     "ordered container"},
+    {"std::this_thread::get_id", "det-thread-id",
+     "thread identity in result-affecting code makes behavior depend on "
+     "scheduling; key work by index, not by thread"},
+    {"<chrono>", "det-wall-clock",
+     "<chrono> include in a determinism-contract layer; simulated time "
+     "comes from engine/SimClock, never the wall clock"},
+    {"std::chrono", "det-wall-clock",
+     "wall-clock time in result-affecting code; simulated time comes "
+     "from engine/SimClock"},
+    {"std::random_device", "det-random-device",
+     "std::random_device is non-reproducible entropy; seed a "
+     "support/Random.h RandomGenerator instead"},
+    {"volatile", "det-volatile",
+     "volatile is not a synchronization primitive and hides "
+     "scheduling-dependent behavior; use std::atomic or a mutex"},
+}};
+
+/// Ordered associative containers whose *key* must not be a pointer:
+/// iterating a pointer-keyed container walks allocation addresses, which
+/// vary run to run. Value-position pointers are fine.
+constexpr std::array<const char *, 4> PointerKeyContainers = {
+    "std::map<", "std::set<", "std::multimap<", "std::multiset<"};
+
+/// Comparator/hash templates whose argument must not be a pointer type.
+constexpr std::array<const char *, 2> PointerKeyFunctors = {"std::less<",
+                                                            "std::hash<"};
+
+/// True when the first template argument starting right after
+/// \p AnglePos (the position of '<') names a pointer type, e.g.
+/// `std::map<const Window *, int>`. Line-local by design, like every
+/// other token rule here.
+bool firstTemplateArgIsPointer(const std::string &Line, size_t AnglePos) {
+  int Depth = 1;
+  for (size_t I = AnglePos + 1; I < Line.size(); ++I) {
+    const char C = Line[I];
+    if (C == '<') {
+      ++Depth;
+    } else if (C == '>') {
+      if (--Depth == 0)
+        return false;
+    } else if (C == ',' && Depth == 1) {
+      return false;
+    } else if (C == '*' && Depth == 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Runs the det-pointer-key scan on one line: any ordered associative
+/// container or ordering/hash functor instantiated with a pointer-typed
+/// first template argument.
+bool hasPointerKey(const std::string &Line) {
+  for (const char *Token : PointerKeyContainers) {
+    const std::string T(Token);
+    const size_t Pos = findToken(Line, T);
+    if (Pos != std::string::npos &&
+        firstTemplateArgIsPointer(Line, Pos + T.size() - 1))
+      return true;
+  }
+  for (const char *Token : PointerKeyFunctors) {
+    const std::string T(Token);
+    const size_t Pos = findToken(Line, T);
+    if (Pos != std::string::npos &&
+        firstTemplateArgIsPointer(Line, Pos + T.size() - 1))
+      return true;
+  }
+  return false;
+}
+
+/// The deleted pre-PR-4 forwarding header; reintroducing it (or
+/// including it) regresses the layering cleanup.
+const char *const LegacyForwarderPath = "src/core/VirtualOrganization.h";
+
 void lintOneFile(const SourceFile &F, std::vector<Finding> &Out) {
   const std::vector<std::string> Parts = pathComponents(F.Path);
   if (Parts.empty())
@@ -187,6 +284,15 @@ void lintOneFile(const SourceFile &F, std::vector<Finding> &Out) {
   bool SawIfndef = false, SawDefine = false, IfndefFlagged = false;
   const std::string Guard = canonicalGuard(F.Path);
 
+  // no-legacy-forwarder: the deprecated core/VirtualOrganization.h
+  // forwarder was deleted after its one-release grace period; the path
+  // itself must not come back.
+  if (F.Path == LegacyForwarderPath &&
+      !isSuppressed(F.Lines, 0, "no-legacy-forwarder"))
+    Out.push_back({F.Path, 0, "no-legacy-forwarder",
+                   "the deprecated forwarding header was removed; the VO "
+                   "facade lives at src/engine/VirtualOrganization.h"});
+
   for (size_t I = 0; I < F.Lines.size(); ++I) {
     const std::string &Line = F.Lines[I];
     const size_t LineNo = I + 1;
@@ -201,6 +307,11 @@ void lintOneFile(const SourceFile &F, std::vector<Finding> &Out) {
     // layer-dag: quoted includes from a src/ layer must stay within the
     // layer's allowed dependency set.
     const std::string Target = quotedIncludeTarget(Line);
+    if (Target == "core/VirtualOrganization.h" &&
+        !isSuppressed(F.Lines, I, "no-legacy-forwarder"))
+      Out.push_back({F.Path, LineNo, "no-legacy-forwarder",
+                     "core/VirtualOrganization.h was removed; include "
+                     "engine/VirtualOrganization.h"});
     if (!Target.empty() && AllowIt != Allows.end()) {
       const std::vector<std::string> TargetParts = pathComponents(Target);
       if (!TargetParts.empty() && Allows.count(TargetParts[0]) != 0) {
@@ -232,6 +343,21 @@ void lintOneFile(const SourceFile &F, std::vector<Finding> &Out) {
              "std::function in a hot layer; pass support/FunctionRef.h "
              "FunctionRef for non-owning callback parameters (owning "
              "storage may carry an archlint-allow entry)"});
+      // detlint: the determinism rule family over the result-affecting
+      // layers (docs/STATIC_ANALYSIS.md).
+      if (isDetLayer(Layer)) {
+        for (const BannedToken &Ban : DetBans)
+          if (findToken(Line, Ban.Token) != std::string::npos &&
+              !isSuppressed(F.Lines, I, Ban.Rule))
+            Out.push_back({F.Path, LineNo, Ban.Rule, Ban.Message});
+        if (hasPointerKey(Line) &&
+            !isSuppressed(F.Lines, I, "det-pointer-key"))
+          Out.push_back(
+              {F.Path, LineNo, "det-pointer-key",
+               "pointer-typed ordering/hash key: iteration walks "
+               "allocation addresses, which vary run to run; key by a "
+               "stable id or index instead"});
+      }
     }
 
     // header-guard bookkeeping.
@@ -426,6 +552,76 @@ std::vector<SelfTestCase> selfTestCases() {
                    {makeFile("bench/L.h",
                              {"#ifndef ECOSCHED_BENCH_L_H",
                               "#define ECOSCHED_BENCH_L_H", "#endif"})},
+                   {}});
+
+  Cases.push_back({"unordered container flagged in core, allowed in sim",
+                   {makeFile("src/core/N1.cpp",
+                             {"std::unordered_map<int, int> M;"}),
+                    makeFile("src/sim/N1.cpp",
+                             {"std::unordered_set<int> S;"})},
+                   {"det-unordered-container"}});
+  Cases.push_back({"unordered include flagged in engine",
+                   {makeFile("src/engine/N2.cpp",
+                             {"#include <unordered_set>"})},
+                   {"det-unordered-container"}});
+  Cases.push_back({"suppressed unordered container with rationale passes",
+                   {makeFile("src/core/N3.cpp",
+                             {"// archlint-allow(det-unordered-container):",
+                              "// scratch set, drained before any fold.",
+                              "std::unordered_set<int> Scratch;"})},
+                   {}});
+  Cases.push_back({"pointer-keyed map and set are flagged in core",
+                   {makeFile("src/core/N4.cpp",
+                             {"std::map<const Window *, int> ByPtr;",
+                              "std::set<Slot *> Seen;"})},
+                   {"det-pointer-key", "det-pointer-key"}});
+  Cases.push_back({"pointer in value position is allowed",
+                   {makeFile("src/core/N5.cpp",
+                             {"std::map<int, const Window *> ById;",
+                              "std::set<std::pair<int, int>> Keys;"})},
+                   {}});
+  Cases.push_back({"pointer-typed std::less and std::hash are flagged",
+                   {makeFile("src/engine/N6.cpp",
+                             {"std::less<Slot *> Cmp;",
+                              "std::hash<const Job *> H;"})},
+                   {"det-pointer-key", "det-pointer-key"}});
+  Cases.push_back({"thread id and random_device are flagged in support",
+                   {makeFile("src/support/N7.cpp",
+                             {"auto Id = std::this_thread::get_id();",
+                              "std::random_device Dev;"})},
+                   {"det-thread-id", "det-random-device"}});
+  Cases.push_back({"chrono include and clock use are flagged in core",
+                   {makeFile("src/core/N8.cpp",
+                             {"#include <chrono>",
+                              "auto T = std::chrono::steady_clock::now();"})},
+                   {"det-wall-clock", "det-wall-clock"}});
+  Cases.push_back({"volatile flagged in engine, ignored in comments",
+                   {makeFile("src/engine/N9.cpp",
+                             {"volatile int Spin = 0;",
+                              "// volatile in prose stays silent"})},
+                   {"det-volatile"}});
+  Cases.push_back({"det rules do not fire outside the det layers",
+                   {makeFile("src/sim/N10.cpp",
+                             {"#include <chrono>", "volatile int X;",
+                              "std::map<int *, int> M;"}),
+                    makeFile("tests/x/N10.cpp",
+                             {"std::unordered_map<int, int> M;"}),
+                    makeFile("tests/CMakeLists.txt", {"x/N10.cpp"})},
+                   {}});
+
+  Cases.push_back({"reintroduced legacy forwarder path is flagged",
+                   {makeFile("src/core/VirtualOrganization.h",
+                             {"#ifndef ECOSCHED_CORE_VIRTUALORGANIZATION_H",
+                              "#define ECOSCHED_CORE_VIRTUALORGANIZATION_H",
+                              "#endif"})},
+                   {"no-legacy-forwarder"}});
+  Cases.push_back({"include of the legacy forwarder is flagged",
+                   {makeFile("src/engine/O1.cpp",
+                             {"#include \"core/VirtualOrganization.h\""})},
+                   {"no-legacy-forwarder"}});
+  Cases.push_back({"engine facade include passes the forwarder rule",
+                   {makeFile("src/engine/O2.cpp",
+                             {"#include \"engine/VirtualOrganization.h\""})},
                    {}});
 
   Cases.push_back({"unregistered test file is flagged",

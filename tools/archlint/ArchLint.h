@@ -27,10 +27,33 @@
 ///   test-registration  every tests/**/*.cpp is listed in a CMakeLists.txt
 ///                      under tests/, so no test file silently rots.
 ///
+/// The detlint rule family guards the bitwise-determinism contract of
+/// the result-affecting layers (src/core, src/engine, src/support —
+/// docs/CONCURRENCY.md): results must be identical for any thread-pool
+/// size, so iteration-order, pointer-order, and wall-clock hazards are
+/// banned at the token level:
+///
+///   det-unordered-container  no std::unordered_map/std::unordered_set
+///                            (hash-order iteration).
+///   det-pointer-key          no pointer-typed keys in ordered
+///                            containers or std::less/std::hash
+///                            (address-order iteration).
+///   det-thread-id            no std::this_thread::get_id (behavior
+///                            keyed on scheduling).
+///   det-wall-clock           no <chrono>/std::chrono (SimClock is the
+///                            only time source).
+///   det-random-device        no std::random_device (RandomGenerator is
+///                            the only entropy source).
+///   det-volatile             no volatile (not a synchronization
+///                            primitive; hides scheduling dependence).
+///   no-legacy-forwarder      the deleted core/VirtualOrganization.h
+///                            forwarder must not be reintroduced or
+///                            included.
+///
 /// A finding on line L is suppressed when line L or L-1 contains
 /// `archlint-allow(<rule>)` — intentional exceptions are documented at
-/// the site they occur (e.g. the legacy core/VirtualOrganization.h
-/// forwarder carries `archlint-allow(layer-dag)`).
+/// the site they occur (e.g. owning std::function members carry
+/// `archlint-allow(std-function)` with a rationale).
 ///
 /// The engine operates on in-memory sources so the `--self-test` mode
 /// can exercise every rule on synthetic positive and negative cases

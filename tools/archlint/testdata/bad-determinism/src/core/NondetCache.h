@@ -1,0 +1,23 @@
+//===-- NondetCache.h - archlint negative fixture -----------------*- C++ -*-=//
+//
+// Deliberately violates the detlint determinism rules: an unordered
+// container and a pointer-keyed map in a result-affecting layer. The
+// ArchLintNegativeDeterminism ctest lints this tree and is marked
+// WILL_FAIL — if the linter ever stops flagging these hazards, CI fails.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_NONDETCACHE_H
+#define ECOSCHED_CORE_NONDETCACHE_H
+
+#include <map>
+#include <unordered_map>
+
+struct Window;
+
+struct NondetCache {
+  std::unordered_map<int, double> ByHashOrder;
+  std::map<const Window *, double> ByAddressOrder;
+};
+
+#endif // ECOSCHED_CORE_NONDETCACHE_H
