@@ -28,6 +28,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 using namespace ecosched;
 
 namespace {
@@ -100,6 +103,84 @@ void BM_SlotSubtraction(benchmark::State &State) {
   }
 }
 
+/// A span past every slot on an existing node: a guaranteed containment
+/// miss that forces the linear scan to walk the whole list (no start
+/// ever exceeds the probe's, so the sortedness break never fires) while
+/// the interval index answers from two binary searches.
+double pastAllSlots(const SlotList &List) {
+  double MaxEnd = 0.0;
+  for (const Slot &S : List)
+    MaxEnd = std::max(MaxEnd, S.End);
+  return MaxEnd + 1.0;
+}
+
+/// 64 containment hits spread evenly across the list, each splicing a
+/// half-slot span out of a fresh copy. Copies carry the index, so each
+/// iteration pays the index memcpy plus 64 indexed probes and O(n)
+/// vector splices — the copy-then-damage pattern of the engine's
+/// snapshot flows. The Miss variants isolate the probe complexity
+/// itself.
+void BM_SlotListProbeSubtract(benchmark::State &State) {
+  SlotList Master = makeList(static_cast<int>(State.range(0)), 7);
+  Master.subtract(Master[0].NodeId, pastAllSlots(Master),
+                  pastAllSlots(Master) + 1.0); // Builds the index; no hit.
+  std::vector<Slot> Probes;
+  const size_t Stride = std::max<size_t>(1, Master.size() / 64);
+  for (size_t I = 0; I < Master.size() && Probes.size() < 64; I += Stride)
+    Probes.push_back(Master[I]);
+  for (auto _ : State) {
+    SlotList Work = Master;
+    for (const Slot &S : Probes) {
+      const double Mid = (S.Start + S.End) / 2.0;
+      benchmark::DoNotOptimize(Work.subtract(S.NodeId, S.Start, Mid));
+    }
+    benchmark::DoNotOptimize(Work.size());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+/// The same 64 hit probes through the retained linear scan, for the
+/// before/after comparison (capped earlier: each probe walks to its
+/// container front to back).
+void BM_SlotListProbeSubtractLinear(benchmark::State &State) {
+  const SlotList Master = makeList(static_cast<int>(State.range(0)), 7);
+  std::vector<Slot> Probes;
+  const size_t Stride = std::max<size_t>(1, Master.size() / 64);
+  for (size_t I = 0; I < Master.size() && Probes.size() < 64; I += Stride)
+    Probes.push_back(Master[I]);
+  for (auto _ : State) {
+    SlotList Work = Master;
+    for (const Slot &S : Probes) {
+      const double Mid = (S.Start + S.End) / 2.0;
+      benchmark::DoNotOptimize(Work.subtractLinear(S.NodeId, S.Start, Mid));
+    }
+    benchmark::DoNotOptimize(Work.size());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+/// Pure probe scaling, no mutation: a guaranteed miss answered by the
+/// interval index in O(log n).
+void BM_SlotListProbeMiss(benchmark::State &State) {
+  SlotList List = makeList(static_cast<int>(State.range(0)), 7);
+  const double Miss = pastAllSlots(List);
+  const int Node = List[0].NodeId;
+  List.subtract(Node, Miss, Miss + 1.0); // Builds the index; no hit.
+  for (auto _ : State)
+    benchmark::DoNotOptimize(List.subtract(Node, Miss, Miss + 1.0));
+  State.SetComplexityN(State.range(0));
+}
+
+/// The same guaranteed miss through the linear scan: a full O(n) walk.
+void BM_SlotListProbeMissLinear(benchmark::State &State) {
+  SlotList List = makeList(static_cast<int>(State.range(0)), 7);
+  const double Miss = pastAllSlots(List);
+  const int Node = List[0].NodeId;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(List.subtractLinear(Node, Miss, Miss + 1.0));
+  State.SetComplexityN(State.range(0));
+}
+
 void BM_AlternativeSearchSweep(benchmark::State &State) {
   RandomGenerator Rng(11);
   const SlotList List = makeList(135, 11);
@@ -159,6 +240,20 @@ void BM_AlternativeSearchThreaded(benchmark::State &State) {
   }
 }
 
+/// The unsatisfiable worst-case scan with a finite deadline: the
+/// binary-searched scan horizon (SlotList::scanEndBefore) bounds the
+/// work to a fixed prefix, so the cost stays flat as the list grows —
+/// compare against BM_AlpSearchWorstCase's O(n).
+void BM_AlpSearchDeadlineBounded(benchmark::State &State) {
+  const SlotList List = makeList(static_cast<int>(State.range(0)), 42);
+  ResourceRequest Req = makeRequest(100000); // Unsatisfiable: full scan.
+  Req.Deadline = List[std::min<size_t>(List.size() - 1, 512)].Start;
+  AlpSearch Alp;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Alp.findWindow(List, Req));
+  State.SetComplexityN(State.range(0));
+}
+
 /// From-scratch construction of the per-job admissible views: the
 /// once-per-sweep cost the incremental maintenance amortizes away.
 void BM_SlotFilterRebuild(benchmark::State &State) {
@@ -168,6 +263,28 @@ void BM_SlotFilterRebuild(benchmark::State &State) {
   JobsCfg.MaxJobs = 8;
   RandomGenerator Rng(29);
   const Batch Jobs = JobGenerator(JobsCfg).generate(Rng);
+  AmpSearch Amp;
+  for (auto _ : State) {
+    SlotFilter Filter(List, Jobs, Amp);
+    benchmark::DoNotOptimize(Filter.jobCount());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+/// View construction when every job has a finite deadline: the
+/// scan-horizon cutoff lets filteredCopy() test only the reachable
+/// prefix, so the build cost tracks the horizon, not the master size.
+void BM_SlotFilterRebuildDeadline(benchmark::State &State) {
+  const SlotList List = makeList(static_cast<int>(State.range(0)), 29);
+  JobGeneratorConfig JobsCfg;
+  JobsCfg.MinJobs = 8;
+  JobsCfg.MaxJobs = 8;
+  RandomGenerator Rng(29);
+  Batch Jobs = JobGenerator(JobsCfg).generate(Rng);
+  const double Horizon =
+      List[std::min<size_t>(List.size() - 1, 1024)].Start;
+  for (Job &J : Jobs)
+    J.Request.Deadline = Horizon;
   AmpSearch Amp;
   for (auto _ : State) {
     SlotFilter Filter(List, Jobs, Amp);
@@ -282,6 +399,23 @@ BENCHMARK(BM_BackfillSearchWorstCase)
     ->Range(128, 2048)
     ->Complexity(benchmark::oNSquared);
 BENCHMARK(BM_SlotSubtraction)->RangeMultiplier(4)->Range(128, 2048);
+BENCHMARK(BM_SlotListProbeSubtract)
+    ->RangeMultiplier(4)
+    ->Range(1024, 131072);
+BENCHMARK(BM_SlotListProbeSubtractLinear)
+    ->RangeMultiplier(4)
+    ->Range(1024, 16384);
+BENCHMARK(BM_SlotListProbeMiss)
+    ->RangeMultiplier(4)
+    ->Range(1024, 131072)
+    ->Complexity(benchmark::oLogN);
+BENCHMARK(BM_SlotListProbeMissLinear)
+    ->RangeMultiplier(4)
+    ->Range(1024, 16384)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_AlpSearchDeadlineBounded)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536);
 BENCHMARK(BM_AlternativeSearchSweep);
 BENCHMARK(BM_AlternativeSearchSerialBaseline)->UseRealTime();
 BENCHMARK(BM_AlternativeSearchThreaded)
@@ -293,6 +427,9 @@ BENCHMARK(BM_SlotFilterRebuild)
     ->RangeMultiplier(4)
     ->Range(128, 8192)
     ->Complexity(benchmark::oN);
+BENCHMARK(BM_SlotFilterRebuildDeadline)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536);
 BENCHMARK(BM_MultiVoDriver)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
 BENCHMARK(BM_DpOptimizer)->RangeMultiplier(4)->Range(256, 16384);
 BENCHMARK(BM_OnePassBatchScheduler)

@@ -7,16 +7,20 @@
 //
 // Differential fuzzer for the slot-subtraction algebra (Fig. 1(b) of the
 // paper, the PR-3 incremental-damage property): a fuzzer-derived slot
-// set takes a fuzzer-derived sequence of span subtractions three ways —
+// set takes a fuzzer-derived sequence of span subtractions four ways —
 //
 //   * incrementally through SlotList::subtractExact (the O(log n) hot
 //     path, optionally with the remainder-Keep filter SlotFilter uses),
-//   * incrementally through the linear SlotList::subtract scan,
+//   * incrementally through SlotList::subtract, which probes the
+//     per-node interval index (bitwise-transparency contract),
+//   * incrementally through SlotList::subtractLinear, the retained
+//     front-to-back scan that serves as the index's oracle,
 //   * against a from-scratch reference that recomputes the remainder
 //     pieces independently and rebuilds the list via the sorting
 //     constructor,
 //
-// and all three must agree bit for bit after every operation. Slot
+// and all four must agree bit for bit after every operation, and the
+// interval index must stay consistent with its slot vector. Slot
 // boundaries are quantized to a 0.25 grid (exact in binary, far above
 // TimeEpsilon) so tolerant comparisons cannot blur the oracle. Misses
 // (a container not in the list) must return false and leave the list
@@ -79,6 +83,9 @@ void checkEqual(const SlotList &List, const std::vector<Slot> &Expected,
   }
   ECOSCHED_CHECK(List.checkInvariants(),
                  "{} list lost its structural invariants", Which);
+  ECOSCHED_CHECK(List.checkIndexConsistency(),
+                 "{} list's interval index diverged from its slot vector",
+                 Which);
 }
 
 } // namespace
@@ -88,7 +95,12 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
 
   std::vector<Slot> Truth = decodeSlots(In);
   SlotList Incremental{Truth};
+  SlotList Indexed{Truth};
   SlotList Linear{Truth};
+  // Fuzz lists sit far below SlotList::IndexBuildThreshold, where
+  // subtract() would take the linear cutoff; force the index so the
+  // differential genuinely exercises the indexed probe.
+  Indexed.buildIndexNow();
 
   const bool UseKeepFilter = In.takeBool();
   const double MinKeepLen = In.takeQuantized(Grid, 2.0, Grid);
@@ -120,6 +132,28 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
                            "list: node {} [{}, {})",
                      Ghost.NodeId, Ghost.Start, Ghost.End);
       checkEqual(Incremental, Truth, "incremental(miss)");
+
+      // The half-grid-shifted span pokes past the container's end, and
+      // per-node disjointness rules out any other container: the
+      // indexed probe and the linear oracle must both miss and leave
+      // their lists untouched. (Skipped under the Keep filter, where
+      // these two lists deliberately stop tracking the reference.)
+      if (!UseKeepFilter) {
+        const bool IndexedHit = Indexed.subtract(
+            Container.NodeId, Container.Start + Grid / 2,
+            Container.End + Grid / 2);
+        const bool LinearHit = Linear.subtractLinear(
+            Container.NodeId, Container.Start + Grid / 2,
+            Container.End + Grid / 2);
+        ECOSCHED_CHECK(!IndexedHit && !LinearHit,
+                       "uncontained span [{}, {}) on node {} was "
+                       "subtracted (indexed {}, linear {})",
+                       Container.Start + Grid / 2,
+                       Container.End + Grid / 2, Container.NodeId,
+                       IndexedHit, LinearHit);
+        checkEqual(Indexed, Truth, "indexed(miss)");
+        checkEqual(Linear, Truth, "linear(miss)");
+      }
       continue;
     }
 
@@ -149,13 +183,17 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
       std::sort(Truth.begin(), Truth.end(), slotStartLess);
 
       if (!UseKeepFilter) {
-        // The linear scan variant must agree with the exact variant.
+        // The index-probing and linear-scan variants must both agree
+        // with the exact variant.
+        const bool IndexedHit =
+            Indexed.subtract(Container.NodeId, SpanStart, SpanEnd);
         const bool LinearHit =
-            Linear.subtract(Container.NodeId, SpanStart, SpanEnd);
-        ECOSCHED_CHECK(LinearHit,
-                       "linear subtract disagreed with subtractExact on "
-                       "node {} span [{}, {})",
-                       Container.NodeId, SpanStart, SpanEnd);
+            Linear.subtractLinear(Container.NodeId, SpanStart, SpanEnd);
+        ECOSCHED_CHECK(IndexedHit && LinearHit,
+                       "subtract disagreed with subtractExact on node {} "
+                       "span [{}, {}): indexed {}, linear {}",
+                       Container.NodeId, SpanStart, SpanEnd, IndexedHit,
+                       LinearHit);
       }
     }
 
@@ -163,8 +201,10 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
     // reference remainder set is the "recompute everything" answer.
     checkEqual(Incremental, Truth, "incremental");
     checkEqual(SlotList{Truth}, Truth, "rebuilt");
-    if (!UseKeepFilter)
+    if (!UseKeepFilter) {
+      checkEqual(Indexed, Truth, "indexed");
       checkEqual(Linear, Truth, "linear");
+    }
   }
   return 0;
 }

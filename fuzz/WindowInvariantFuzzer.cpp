@@ -22,6 +22,12 @@
 // fast path must reproduce the textbook unfiltered sweep bit for bit
 // (the PR-3 result-preservation contract).
 //
+// Finally, every found alternative's damage is replayed two ways — via
+// Window::subtractFrom, whose fallback probes the per-node interval
+// index, and via a mirror whose fallback is the retained linear scan
+// (SlotList::subtractLinear) — and the two damaged lists must stay
+// bitwise equal after every window (the index-transparency contract).
+//
 //===----------------------------------------------------------------------===//
 
 #include "FuzzInput.h"
@@ -127,6 +133,57 @@ bool sameWindow(const Window &A, const Window &B) {
   return true;
 }
 
+/// Asserts two independently damaged lists agree bit for bit.
+void checkSameLists(const SlotList &A, const SlotList &B) {
+  ECOSCHED_CHECK(A.size() == B.size(),
+                 "indexed and linear damage paths diverged: {} slots vs {}",
+                 A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    ECOSCHED_CHECK(A[I].NodeId == B[I].NodeId && A[I].Start == B[I].Start &&
+                       A[I].End == B[I].End,
+                   "slot {} diverged between the indexed and linear damage "
+                   "paths: node {} [{}, {}) vs node {} [{}, {})",
+                   I, A[I].NodeId, A[I].Start, A[I].End, B[I].NodeId,
+                   B[I].Start, B[I].End);
+}
+
+/// Replays every alternative's damage against fresh copies of \p List
+/// two ways: Window::subtractFrom (exact splice, then the indexed
+/// probe) versus a mirror whose fallback is the linear oracle scan.
+/// Later windows find their member sources split by earlier ones, so
+/// the fallback paths are genuinely exercised.
+void checkDamageDifferential(const SlotList &List,
+                             const AlternativeSet &Alts) {
+  SlotList IndexedList = List;
+  SlotList LinearList = List;
+  // Fuzz lists sit far below SlotList::IndexBuildThreshold, where the
+  // subtractFrom fallback would take the linear cutoff; force the
+  // index so the replay exercises the indexed probe and the index
+  // maintenance of the subtractExact fast path alike.
+  IndexedList.buildIndexNow();
+  for (const std::vector<Window> &PerJob : Alts.PerJob) {
+    for (const Window &W : PerJob) {
+      const bool IndexedFound = W.subtractFrom(IndexedList);
+      bool LinearFound = true;
+      for (const WindowSlot &M : W) {
+        const double End = W.startTime() + M.Runtime;
+        if (!LinearList.subtractExact(M.Source, W.startTime(), End))
+          LinearFound &= LinearList.subtractLinear(M.Source.NodeId,
+                                                   W.startTime(), End);
+      }
+      ECOSCHED_CHECK(IndexedFound == LinearFound,
+                     "indexed damage found {} but the linear mirror "
+                     "found {} for the window starting at {}",
+                     IndexedFound, LinearFound, W.startTime());
+      checkSameLists(IndexedList, LinearList);
+      ECOSCHED_CHECK(IndexedList.checkIndexConsistency(),
+                     "interval index diverged after subtracting the "
+                     "window starting at {}",
+                     W.startTime());
+    }
+  }
+}
+
 void checkAlternatives(const SlotSearchAlgorithm &Algo, const SlotList &List,
                        const Batch &Jobs, bool PerSlotCap) {
   AlternativeSearch::Config Filtered;
@@ -165,6 +222,8 @@ void checkAlternatives(const SlotSearchAlgorithm &Algo, const SlotList &List,
       ECOSCHED_CHECK(!All[I]->intersects(*All[J]),
                      "alternatives {} and {} intersect in processor time",
                      I, J);
+
+  checkDamageDifferential(List, Fast);
 }
 
 } // namespace

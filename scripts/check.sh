@@ -12,9 +12,9 @@
 #
 # The tsan preset builds everything but runs only the concurrency-
 # relevant tests (ThreadPool*, Experiment*, AlternativeSearchParallel*,
-# SlotFilter*, and MultiVoDriver*): the rest of the suite is
-# single-threaded and already covered by the other presets, and tsan's
-# ~10x slowdown makes a full run pure cost.
+# SlotFilter*, SlotIntervalIndex*, and MultiVoDriver*): the rest of
+# the suite is single-threaded and already covered by the other
+# presets, and tsan's ~10x slowdown makes a full run pure cost.
 #
 # Exits non-zero on the first failing configure, build, or test run.
 # See docs/STATIC_ANALYSIS.md for the preset definitions.
@@ -58,7 +58,7 @@ for preset in "${PRESETS[@]}"; do
   if [[ "$preset" == tsan ]]; then
     # Concurrency-relevant tests only; see the header comment.
     ctest --preset "$preset" -j "$JOBS" \
-      -R '^(ThreadPool|Experiment|AlternativeSearchParallel|SlotFilter|MultiVoDriver)'
+      -R '^(ThreadPool|Experiment|AlternativeSearchParallel|SlotFilter|SlotIntervalIndex|MultiVoDriver)'
   else
     ctest --preset "$preset" -j "$JOBS"
   fi

@@ -23,7 +23,8 @@
 #      AddressSanitizer + UndefinedBehaviorSanitizer
 #   7. tsan preset: configure, build, and the concurrency-relevant
 #      tests (ThreadPool, Experiment, AlternativeSearchParallel,
-#      SlotFilter, MultiVoDriver) under ThreadSanitizer
+#      SlotFilter, SlotIntervalIndex, MultiVoDriver) under
+#      ThreadSanitizer
 #   8. fuzz smoke: build the fuzz preset (ASan+UBSan) and run the four
 #      harnesses over their committed corpora plus a bounded number of
 #      generated inputs (-runs=5000). Uses libFuzzer under clang and
@@ -91,6 +92,8 @@ with open(sys.argv[1], encoding="utf-8") as handle:
     data = json.load(handle)
 names = [entry["name"] for entry in data["benchmarks"]]
 assert names, "bench smoke produced no benchmark entries"
+probes = [name for name in names if name.startswith("BM_SlotListProbe")]
+assert probes, "slot-list probe benches missing from the bench binary"
 print(f"bench smoke: {len(names)} benchmark entries, JSON well-formed")
 PYEOF
 
@@ -102,7 +105,7 @@ echo "=== ci stage 5/10: schedule-fuzz stress (adversarial schedules) ==="
 for SHUFFLE_SEED in 1 7 42; do
   echo "--- schedule-fuzz stress: seed $SHUFFLE_SEED ---"
   ECOSCHED_SCHEDULE_FUZZ="$SHUFFLE_SEED" ctest --preset release -j "$JOBS" \
-    -R '^(ThreadPool|Experiment|AlternativeSearchParallel|SlotFilter|MultiVoDriver)' \
+    -R '^(ThreadPool|Experiment|AlternativeSearchParallel|SlotFilter|SlotIntervalIndex|MultiVoDriver)' \
     --output-on-failure
 done
 

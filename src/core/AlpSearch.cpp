@@ -37,9 +37,13 @@ std::optional<Window> alpScan(const SlotList &List,
   std::vector<const Slot *> Group;
   SearchStats Local;
 
-  for (const Slot &S : List) {
-    if (approxGe(S.Start, Request.Deadline))
-      break; // Sorted list: no later slot can meet the deadline.
+  // Deadline horizon via binary search: scanEndBefore() is exactly
+  // where the per-slot "start meets the deadline" break used to fire,
+  // so the examined set (and the window, if any) is unchanged while
+  // the scan becomes O(log n + examined).
+  const auto ScanEnd = List.scanEndBefore(Request.Deadline);
+  for (auto ScanIt = List.begin(); ScanIt != ScanEnd; ++ScanIt) {
+    const Slot &S = *ScanIt;
     ++Local.SlotsExamined;
     if constexpr (!PreFiltered) {
       if (!detail::meetsPerformance(S, Request))

@@ -40,9 +40,13 @@ std::optional<Window> ampScan(const SlotList &List,
   std::vector<const Slot *> Cheapest;
   SearchStats Local;
 
-  for (const Slot &S : List) {
-    if (approxGe(S.Start, Request.Deadline))
-      break; // Sorted list: no later slot can meet the deadline.
+  // Deadline horizon via binary search: scanEndBefore() is exactly
+  // where the per-slot "start meets the deadline" break used to fire,
+  // so the examined set (and the window, if any) is unchanged while
+  // the scan becomes O(log n + examined).
+  const auto ScanEnd = List.scanEndBefore(Request.Deadline);
+  for (auto ScanIt = List.begin(); ScanIt != ScanEnd; ++ScanIt) {
+    const Slot &S = *ScanIt;
     ++Local.SlotsExamined;
     // Steps 1/3: accumulate slots under conditions 2a and 2b only; the
     // per-slot price condition 2c is deliberately dropped.

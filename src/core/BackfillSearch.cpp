@@ -29,9 +29,12 @@ BackfillSearch::findWindow(const SlotList &List,
   // The earliest feasible start is always a release point: the count of
   // alive slots only increases at slot starts. Anchors are examined in
   // start order, so the first feasible anchor gives the earliest window.
-  for (const Slot &Anchor : List) {
-    if (approxGe(Anchor.Start, Request.Deadline))
-      break; // Sorted list: later anchors cannot meet the deadline.
+  // The deadline horizon is binary-searched (scanEndBefore() sits
+  // exactly where the per-anchor deadline break used to fire); the
+  // inner rescans stay the deliberate O(m) of the baseline.
+  const auto AnchorEnd = List.scanEndBefore(Request.Deadline);
+  for (auto AnchorIt = List.begin(); AnchorIt != AnchorEnd; ++AnchorIt) {
+    const Slot &Anchor = *AnchorIt;
     ++Local.SlotsExamined;
     if (!detail::meetsPerformance(Anchor, Request))
       continue;

@@ -9,6 +9,20 @@
 
 using namespace ecosched;
 
+namespace {
+
+/// True if a deadline-bounded scan can reach \p S at all: the search
+/// loops stop at SlotList::scanEndBefore(Deadline), so slots past that
+/// horizon can never influence a window and need not enter a view.
+/// Views and filteredCopy() apply the same cutoff, and applyDamage()'s
+/// Keep filter repeats it on remainder pieces, so the view invariant
+/// (view == filteredCopy of the equally damaged master) is preserved.
+bool inScanHorizon(const Slot &S, const ResourceRequest &Request) {
+  return approxLt(S.Start, Request.Deadline);
+}
+
+} // namespace
+
 SlotFilter::SlotFilter(const SlotList &Master, const Batch &Jobs,
                        const SlotSearchAlgorithm &Algo)
     : Algo(Algo) {
@@ -25,7 +39,7 @@ void SlotFilter::applyDamage(const Window &W) {
   for (size_t J = 0, E = Views.size(); J != E; ++J) {
     const ResourceRequest &Request = Requests[J];
     const auto Keep = [&](const Slot &Piece) {
-      return Algo.admits(Piece, Request);
+      return inScanHorizon(Piece, Request) && Algo.admits(Piece, Request);
     };
     for (const WindowSlot &M : W)
       // A false return means this view never held the member slot
@@ -45,8 +59,11 @@ SlotList SlotFilter::filteredCopy(const SlotList &List,
                                   const ResourceRequest &Request,
                                   const SlotSearchAlgorithm &Algo) {
   std::vector<Slot> Kept;
-  for (const Slot &S : List)
-    if (Algo.admits(S, Request))
-      Kept.push_back(S);
+  // O(log n + k) with a finite deadline: only the prefix a
+  // deadline-bounded scan can reach is tested for admissibility.
+  const auto E = List.scanEndBefore(Request.Deadline);
+  for (auto It = List.begin(); It != E; ++It)
+    if (Algo.admits(*It, Request))
+      Kept.push_back(*It);
   return SlotList(std::move(Kept));
 }

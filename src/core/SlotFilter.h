@@ -16,11 +16,18 @@
 /// master list: each subtraction splices the affected slot in place of
 /// a full rescan, dropping remainder pieces that became inadmissible.
 ///
+/// Views are additionally bounded by the job's scan horizon: slots at
+/// or past the deadline's scanEndBefore() cutoff can never be examined
+/// by the deadline-bounded search loops, so they are excluded up front
+/// — with a finite deadline a view build is O(log n + k) in the master
+/// size.
+///
 /// The view invariant (docs/PERFORMANCE.md): after any damage sequence,
 /// view(J) is bitwise-equal to filteredCopy(Master, Jobs[J].Request) of
 /// the equally-damaged master list. This holds because admits() is
-/// monotone under slot shrinking and applyDamage() mirrors the master's
-/// subtraction arithmetic on verbatim slot copies.
+/// monotone under slot shrinking, the scan-horizon cutoff only ever
+/// drops slots a search cannot reach, and applyDamage() mirrors the
+/// master's subtraction arithmetic on verbatim slot copies.
 ///
 //===----------------------------------------------------------------------===//
 

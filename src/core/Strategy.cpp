@@ -37,7 +37,7 @@ ecosched::buildStrategies(const IterationOutcome &Outcome,
     for (size_t A = 0, E = Alternatives.size(); A != E; ++A) {
       if (A == S.AlternativeIndex)
         continue;
-      if (Alternatives[A].startTime() >= S.W.startTime() - TimeEpsilon)
+      if (approxGe(Alternatives[A].startTime(), S.W.startTime()))
         Candidates.push_back(&Alternatives[A]);
     }
     std::sort(Candidates.begin(), Candidates.end(),
@@ -74,7 +74,7 @@ ecosched::executeStrategies(const std::vector<JobStrategy> &Strategies,
     bool Done = false;
     size_t Used = 0;
     for (const Window &Version : Strategy.Versions) {
-      if (Version.startTime() < Now - TimeEpsilon)
+      if (approxLt(Version.startTime(), Now))
         continue; // This fallback's start already passed.
       ++Used;
       // The launch fails if any member node fails.

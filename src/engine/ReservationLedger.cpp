@@ -34,13 +34,13 @@ void ReservationLedger::commit(ComputingDomain &D, const ScheduledJob &S,
 
 void ReservationLedger::retireFinished(double Now) {
   for (const RunningJob &R : Running) {
-    if (R.EndTime > Now + TimeEpsilon)
+    if (approxGt(R.EndTime, Now))
       continue;
     Completed.push_back({R.JobId, R.StartTime, R.EndTime, R.Cost,
                          R.Attempts});
   }
   std::erase_if(Running, [Now](const RunningJob &R) {
-    return R.EndTime <= Now + TimeEpsilon;
+    return approxLe(R.EndTime, Now);
   });
 }
 

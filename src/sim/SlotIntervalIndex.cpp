@@ -1,0 +1,254 @@
+//===-- sim/SlotIntervalIndex.cpp - Per-node interval index ---------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SlotIntervalIndex.h"
+
+#include "support/Check.h"
+
+#include <algorithm>
+
+using namespace ecosched;
+
+bool SlotIntervalIndex::entryLess(const Entry &A, const Entry &B) {
+  if (A.NodeId != B.NodeId)
+    return A.NodeId < B.NodeId;
+  if (A.Start != B.Start)
+    return A.Start < B.Start;
+  return A.End < B.End;
+}
+
+void SlotIntervalIndex::clear() {
+  Entries.clear();
+  Pending.clear();
+  UnsortedEndNodes.clear();
+  DeadCount = 0;
+  Built = false;
+}
+
+void SlotIntervalIndex::markEndsUnsorted(int NodeId) {
+  const auto It = std::lower_bound(UnsortedEndNodes.begin(),
+                                   UnsortedEndNodes.end(), NodeId);
+  if (It == UnsortedEndNodes.end() || *It != NodeId)
+    UnsortedEndNodes.insert(It, NodeId);
+}
+
+bool SlotIntervalIndex::endsUnsorted(int NodeId) const {
+  return !UnsortedEndNodes.empty() &&
+         std::binary_search(UnsortedEndNodes.begin(), UnsortedEndNodes.end(),
+                            NodeId);
+}
+
+void SlotIntervalIndex::recomputeUnsortedEnds() {
+  // A node whose ends decrease somewhere in its run (overlapping
+  // same-node slots — possible only for invariant-violating input)
+  // cannot be binary-searched by end; record it for the scan fallback.
+  UnsortedEndNodes.clear();
+  for (size_t I = 1, E = Entries.size(); I < E; ++I)
+    if (Entries[I].NodeId == Entries[I - 1].NodeId &&
+        Entries[I - 1].End > Entries[I].End)
+      markEndsUnsorted(Entries[I].NodeId);
+}
+
+void SlotIntervalIndex::buildFrom(const std::vector<Slot> &Slots) {
+  clear();
+  Entries.reserve(Slots.size());
+  for (const Slot &S : Slots)
+    Entries.push_back({S.NodeId, /*Dead=*/false, S.Start, S.End});
+  std::sort(Entries.begin(), Entries.end(), entryLess);
+  recomputeUnsortedEnds();
+  Built = true;
+}
+
+void SlotIntervalIndex::compact() {
+  // One-pass sorted merge of the live entries and the Pending buffer.
+  std::vector<Entry> Merged;
+  Merged.reserve(Entries.size() - DeadCount + Pending.size());
+  auto PIt = Pending.begin();
+  const auto PEnd = Pending.end();
+  for (const Entry &E : Entries) {
+    if (E.Dead)
+      continue;
+    while (PIt != PEnd && entryLess(*PIt, E))
+      Merged.push_back(*PIt++);
+    Merged.push_back(E);
+  }
+  Merged.insert(Merged.end(), PIt, PEnd);
+  Entries = std::move(Merged);
+  Pending.clear();
+  DeadCount = 0;
+  // Tombstoned overlap culprits are gone and pending entries joined
+  // their runs: recompute the marks exactly rather than carrying the
+  // sticky over-approximation forward.
+  recomputeUnsortedEnds();
+}
+
+void SlotIntervalIndex::compactIfDue() {
+  if (DeadCount + Pending.size() >= CompactThreshold)
+    compact();
+}
+
+void SlotIntervalIndex::noteInsert(const Slot &S) {
+  if (!Built)
+    return;
+  const Entry Fresh{S.NodeId, /*Dead=*/false, S.Start, S.End};
+  // upper_bound, like the master's placement; the buffer is small so
+  // the splice moves at most CompactThreshold entries.
+  const auto Pos =
+      std::upper_bound(Pending.begin(), Pending.end(), Fresh, entryLess);
+  Pending.insert(Pos, Fresh);
+  compactIfDue();
+}
+
+void SlotIntervalIndex::noteErase(const Slot &S) {
+  if (!Built)
+    return;
+  const Entry Key{S.NodeId, /*Dead=*/false, S.Start, S.End};
+  // Any live occurrence of the triple is equivalent (identical value);
+  // take one from the buffer when present — erasing there is cheap.
+  const auto PIt =
+      std::lower_bound(Pending.begin(), Pending.end(), Key, entryLess);
+  if (PIt != Pending.end() && PIt->NodeId == S.NodeId &&
+      PIt->Start == S.Start && PIt->End == S.End) {
+    Pending.erase(PIt);
+    return;
+  }
+  auto It = std::lower_bound(Entries.begin(), Entries.end(), Key, entryLess);
+  // Full-key duplicates sit adjacently; skip already-dead twins.
+  while (It != Entries.end() && It->Dead && It->NodeId == S.NodeId &&
+         It->Start == S.Start && It->End == S.End)
+    ++It;
+  ECOSCHED_CHECK(It != Entries.end() && It->NodeId == S.NodeId &&
+                     It->Start == S.Start && It->End == S.End,
+                 "interval index is missing span [{}, {}) on node {} at "
+                 "erase time",
+                 S.Start, S.End, S.NodeId);
+  It->Dead = true;
+  ++DeadCount;
+  compactIfDue();
+}
+
+std::optional<SlotIntervalIndex::Span>
+SlotIntervalIndex::findContainer(int NodeId, double Start,
+                                 double End) const {
+  ECOSCHED_DCHECK(Built, "containment probe on an unbuilt interval index");
+  // Candidate from the main vector: the node's entries form a
+  // contiguous run delimited by two partition points. The linear
+  // scan's two tolerant conditions each hold on a contiguous stretch
+  // of the run: starts are non-decreasing (tombstones keep their keys,
+  // so the searches see an intact ordering), hence "Start <= probe
+  // start" holds on a prefix [First, UB); and when ends are
+  // non-decreasing "End >= probe end" holds on a suffix [Lo, Last).
+  // The first live entry of [Lo, UB) is the run's first match.
+  const Entry *FromMain = nullptr;
+  const auto First = std::partition_point(
+      Entries.begin(), Entries.end(),
+      [NodeId](const Entry &E) { return E.NodeId < NodeId; });
+  const auto Last = std::partition_point(
+      First, Entries.end(),
+      [NodeId](const Entry &E) { return E.NodeId == NodeId; });
+  if (First != Last) {
+    const auto UB = std::partition_point(
+        First, Last,
+        [Start](const Entry &E) { return !approxGt(E.Start, Start); });
+    if (!endsUnsorted(NodeId)) {
+      auto It = std::partition_point(
+          First, Last,
+          [End](const Entry &E) { return approxLt(E.End, End); });
+      while (It < UB && It->Dead)
+        ++It;
+      if (It < UB)
+        FromMain = &*It;
+    } else {
+      // Unsorted ends (invariant-violating list): in-order scan of the
+      // run, still restricted to the candidate prefix.
+      for (auto It = First; It != UB; ++It)
+        if (!It->Dead && !approxLt(It->End, End)) {
+          FromMain = &*It;
+          break;
+        }
+    }
+  }
+  // Candidate from the Pending buffer: its node range is (Start, End)-
+  // sorted too, so the first entry satisfying both conditions is the
+  // buffer's first match in per-node master order.
+  const Entry *FromPending = nullptr;
+  for (auto It = std::partition_point(
+           Pending.begin(), Pending.end(),
+           [NodeId](const Entry &E) { return E.NodeId < NodeId; });
+       It != Pending.end() && It->NodeId == NodeId &&
+       !approxGt(It->Start, Start);
+       ++It)
+    if (!approxLt(It->End, End)) {
+      FromPending = &*It;
+      break;
+    }
+  // The per-node master order is exactly (Start, End) lexicographic,
+  // so the earlier of the two candidates is the list-wide first match.
+  const Entry *Hit = FromMain;
+  if (!Hit || (FromPending && (FromPending->Start < Hit->Start ||
+                               (FromPending->Start == Hit->Start &&
+                                FromPending->End < Hit->End))))
+    Hit = FromPending;
+  if (!Hit)
+    return std::nullopt;
+  return Span{Hit->Start, Hit->End};
+}
+
+bool SlotIntervalIndex::consistentWith(const std::vector<Slot> &Slots) const {
+  if (!Built)
+    return Entries.empty() && Pending.empty() && UnsortedEndNodes.empty() &&
+           DeadCount == 0;
+  SlotIntervalIndex Fresh;
+  Fresh.buildFrom(Slots);
+  // The live view — main entries minus tombstones, merged with the
+  // buffer — must be exactly the fresh build, triple for triple.
+  size_t FreshIdx = 0;
+  auto PIt = Pending.begin();
+  const auto PEnd = Pending.end();
+  size_t SeenDead = 0;
+  const auto Matches = [&](const Entry &E) {
+    if (FreshIdx >= Fresh.Entries.size())
+      return false;
+    const Entry &Want = Fresh.Entries[FreshIdx];
+    if (E.NodeId != Want.NodeId || E.Start != Want.Start ||
+        E.End != Want.End)
+      return false;
+    ++FreshIdx;
+    return true;
+  };
+  for (const Entry &E : Entries) {
+    if (E.Dead) {
+      ++SeenDead;
+      continue;
+    }
+    while (PIt != PEnd && entryLess(*PIt, E)) {
+      if (!Matches(*PIt++))
+        return false;
+    }
+    if (!Matches(E))
+      return false;
+  }
+  for (; PIt != PEnd; ++PIt)
+    if (!Matches(*PIt))
+      return false;
+  if (FreshIdx != Fresh.Entries.size() || SeenDead != DeadCount)
+    return false;
+  if (DeadCount + Pending.size() >= CompactThreshold)
+    return false; // compactIfDue() must have fired.
+  // Marks must stay truthful relative to the main vector the binary
+  // searches run over: an unmarked node's run (tombstones included —
+  // the searches see them) must really have non-decreasing ends. The
+  // Pending buffer needs no marks; probes scan it in order. (Marking a
+  // node the searches could still handle is allowed — it only costs
+  // that node's probes their binary search.)
+  for (size_t I = 1, E = Entries.size(); I < E; ++I)
+    if (Entries[I].NodeId == Entries[I - 1].NodeId &&
+        Entries[I - 1].End > Entries[I].End &&
+        !endsUnsorted(Entries[I].NodeId))
+      return false;
+  return true;
+}

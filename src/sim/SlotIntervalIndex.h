@@ -1,0 +1,156 @@
+//===-- sim/SlotIntervalIndex.h - Per-node interval index ----------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An auxiliary per-node interval index over a SlotList's slot vector,
+/// answering the containment probe behind SlotList::subtract ("which
+/// slot on node N contains [Start, End)?") in O(log n) instead of the
+/// front-to-back scan. The master vector stays the canonical storage —
+/// iteration order, and therefore every search result, is untouched —
+/// and the index is a pure lookup accelerator whose answers are
+/// bitwise-identical to the linear scan's (docs/PERFORMANCE.md,
+/// "The interval index").
+///
+/// Structure: one flat vector of (NodeId, Start, End) entries sorted
+/// lexicographically — a node's entries form a contiguous run, in the
+/// master's per-node order (the master is sorted by (Start, NodeId,
+/// End), so its restriction to one node is (Start, End)-sorted, which
+/// is exactly the flat order's per-node restriction). A single flat
+/// vector means building and copying the index is one allocation and
+/// one memcpy, no matter how many nodes the list spans.
+///
+/// Mutations are deliberately lazy so that subtract-heavy flows do not
+/// pay an O(n) entry-vector splice on top of the master vector's own:
+/// an erase tombstones its entry in place (no memmove), an insert goes
+/// to a small sorted Pending side buffer, and once tombstones plus
+/// pending entries reach a fixed threshold the index compacts with one
+/// O(n) merge. Probes consult the main vector (skipping tombstones)
+/// and the buffer, and take the earlier of the two candidates in
+/// per-node master order — amortized O(log n + threshold).
+///
+/// Per-node spans of a structurally valid list are disjoint with
+/// positive length, which makes both the starts *and* the ends
+/// non-decreasing within a run — so the tolerant containment
+/// conditions of the linear scan each hold on a contiguous stretch and
+/// a handful of binary searches find the first match. Lists that
+/// violate the disjointness invariant (constructible via the sorting
+/// constructor) lose the sorted-ends guarantee; such nodes are tracked
+/// in a side list and probed with an in-order scan of their run,
+/// preserving the answer exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SIM_SLOTINTERVALINDEX_H
+#define ECOSCHED_SIM_SLOTINTERVALINDEX_H
+
+#include "sim/Slot.h"
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace ecosched {
+
+/// Per-node interval index over a start-sorted slot vector. Built
+/// lazily by SlotList on the first containment probe, then maintained
+/// incrementally through every insert and erase.
+class SlotIntervalIndex {
+public:
+  /// One indexed span; Performance/UnitPrice stay in the master vector.
+  struct Span {
+    double Start = 0.0;
+    double End = 0.0;
+  };
+
+  /// True once buildFrom() has run; an unbuilt index ignores
+  /// noteInsert/noteErase so lists that never probe pay nothing.
+  bool built() const { return Built; }
+
+  /// Drops all entries and returns to the unbuilt state.
+  void clear();
+
+  /// Rebuilds the entries from \p Slots (must be slotStartLess-sorted,
+  /// as SlotList maintains). O(n log n), one allocation.
+  void buildFrom(const std::vector<Slot> &Slots);
+
+  /// Mirrors SlotList::insert: records \p S in the Pending buffer (a
+  /// probe sees it immediately), compacting when the buffer fills.
+  void noteInsert(const Slot &S);
+
+  /// Mirrors an erase from the master vector: tombstones one live
+  /// entry equal to (\p S.NodeId, S.Start, S.End). Aborts if absent —
+  /// the index and the master may never disagree.
+  void noteErase(const Slot &S);
+
+  /// The containment probe: the span the linear scan would select for
+  /// the reserved span [\p Start, \p End) on \p NodeId — the first slot
+  /// of the node, in master order, with Start <= \p Start and
+  /// End >= \p End under the tolerant comparisons — or nullopt if no
+  /// slot contains it. O(log n + threshold); O(run) on a node whose
+  /// ends went unsorted (invariant-violating input).
+  std::optional<Span> findContainer(int NodeId, double Start,
+                                    double End) const;
+
+  /// True if the live entries (main vector minus tombstones, merged
+  /// with the Pending buffer) are exactly \p Slots regrouped by node,
+  /// the tombstone count is bookkept correctly, compaction fired when
+  /// due, and every unmarked node's run really has non-decreasing ends
+  /// (tombstones included — the binary searches run over them).
+  /// Consistency oracle for tests and SlotList::validate().
+  bool consistentWith(const std::vector<Slot> &Slots) const;
+
+private:
+  /// One slot's identity, grouped by node: sorted by (NodeId, Start,
+  /// End), exact comparisons. Dead entries keep their key (ordering
+  /// stays intact for the binary searches) and are skipped by probes.
+  struct Entry {
+    int NodeId = -1;
+    bool Dead = false;
+    double Start = 0.0;
+    double End = 0.0;
+  };
+
+  /// Compaction fires when tombstones + pending entries reach this
+  /// count, bounding both the probes' skip work and the buffer scan.
+  static constexpr size_t CompactThreshold = 128;
+
+  /// Exact lexicographic (NodeId, Start, End) order. Within one node
+  /// this equals the master vector's per-node order: the master is
+  /// sorted by (Start, NodeId, End), so restricted to a node it is
+  /// (Start, End)-sorted. Full-key duplicates are interchangeable, so
+  /// a plain sort reproduces the master's per-node sequence exactly.
+  static bool entryLess(const Entry &A, const Entry &B);
+
+  /// Rebuilds Entries as the one-pass merge of the live entries and
+  /// the Pending buffer, then recomputes the unsorted-ends marks.
+  void compact();
+  void compactIfDue();
+
+  /// Recomputes UnsortedEndNodes from the (tombstone-free) Entries.
+  void recomputeUnsortedEnds();
+
+  /// Marks \p NodeId's run as no longer binary-searchable by end.
+  void markEndsUnsorted(int NodeId);
+  bool endsUnsorted(int NodeId) const;
+
+  /// All spans, grouped by node id, in master per-node order; may
+  /// contain tombstones between compactions.
+  std::vector<Entry> Entries;
+  /// Inserts since the last compaction, entryLess-sorted, all live.
+  std::vector<Entry> Pending;
+  /// Sorted node ids whose Entries runs lost the non-decreasing-ends
+  /// guarantee (possible only for invariant-violating lists). Empty in
+  /// practice, so the membership test is one empty() check.
+  std::vector<int> UnsortedEndNodes;
+  /// Tombstones currently in Entries.
+  size_t DeadCount = 0;
+  bool Built = false;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SIM_SLOTINTERVALINDEX_H

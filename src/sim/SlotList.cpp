@@ -8,6 +8,7 @@
 #include "sim/SlotList.h"
 
 #include <algorithm>
+#include <cmath>
 
 using namespace ecosched;
 
@@ -21,6 +22,33 @@ void SlotList::insert(const Slot &S) {
     return;
   auto Pos = std::upper_bound(Slots.begin(), Slots.end(), S, slotStartLess);
   Slots.insert(Pos, S);
+  if (Index.built())
+    Index.noteInsert(S);
+}
+
+void SlotList::eraseAt(std::vector<Slot>::iterator It) {
+  if (Index.built())
+    Index.noteErase(*It);
+  Slots.erase(It);
+}
+
+void SlotList::splitAround(std::vector<Slot>::iterator It, double Start,
+                           double End) {
+  // Split the containing slot K into K1 and K2. The span may overshoot
+  // K's bounds by up to TimeEpsilon (tolerant containment in the
+  // callers), so test each piece's length before constructing the Slot
+  // — the constructor rejects End < Start even by one ulp.
+  const Slot K = *It;
+  eraseAt(It);
+  if (approxGt(Start - K.Start, 0.0))
+    insert(Slot(K.NodeId, K.Performance, K.UnitPrice, K.Start, Start));
+  if (approxGt(K.End - End, 0.0))
+    insert(Slot(K.NodeId, K.Performance, K.UnitPrice, End, K.End));
+}
+
+void SlotList::buildIndexNow() {
+  if (!Index.built())
+    Index.buildFrom(Slots);
 }
 
 bool SlotList::subtract(int NodeId, double Start, double End) {
@@ -29,24 +57,49 @@ bool SlotList::subtract(int NodeId, double Start, double End) {
                  NodeId, Start, End);
   if (approxLe(End - Start, 0.0))
     return true; // Nothing to reserve.
+  if (!Index.built()) {
+    // Below the threshold the linear scan's early break wins outright;
+    // the two paths are bitwise-interchangeable, so this is purely a
+    // performance cutoff.
+    if (Slots.size() < IndexBuildThreshold)
+      return subtractLinear(NodeId, Start, End);
+    Index.buildFrom(Slots);
+  }
+  const auto Found = Index.findContainer(NodeId, Start, End);
+  if (!Found)
+    return false;
+  // The index only stores (Start, End); re-find the canonical slot for
+  // its performance/price fields. lower_bound lands on the first slot
+  // with this (Start, NodeId, End) key — the same one the linear scan
+  // reaches first.
+  const Slot Key(NodeId, /*Performance=*/1.0, /*UnitPrice=*/0.0,
+                 Found->Start, Found->End);
+  const auto It =
+      std::lower_bound(Slots.begin(), Slots.end(), Key, slotStartLess);
+  ECOSCHED_CHECK(It != Slots.end() && It->NodeId == NodeId &&
+                     It->Start == Found->Start && It->End == Found->End,
+                 "interval index names a container missing from the "
+                 "list: node {} [{}, {})",
+                 NodeId, Found->Start, Found->End);
+  splitAround(It, Start, End);
+  return true;
+}
+
+bool SlotList::subtractLinear(int NodeId, double Start, double End) {
+  ECOSCHED_CHECK(End >= Start,
+                 "reserved span on node {} ends before it starts: [{}, {})",
+                 NodeId, Start, End);
+  if (approxLe(End - Start, 0.0))
+    return true; // Nothing to reserve.
   for (auto It = Slots.begin(), E = Slots.end(); It != E; ++It) {
+    if (approxGt(It->Start, Start))
+      break; // Slots are start-sorted: once a start meaningfully
+             // exceeds the span's, no later slot can contain it either.
     if (It->NodeId != NodeId)
       continue;
-    if (approxGt(It->Start, Start))
-      continue; // Slots are sorted; a later slot cannot contain Start,
-                // but keep scanning in case of equal starts on the node.
     if (approxLt(It->End, End))
       continue;
-    // Found the containing slot K; split it into K1 and K2. The span may
-    // overshoot K's bounds by up to TimeEpsilon (tolerant containment
-    // above), so test each piece's length before constructing the Slot —
-    // the constructor rejects End < Start even by one ulp.
-    Slot K = *It;
-    Slots.erase(It);
-    if (approxGt(Start - K.Start, 0.0))
-      insert(Slot(K.NodeId, K.Performance, K.UnitPrice, K.Start, Start));
-    if (approxGt(K.End - End, 0.0))
-      insert(Slot(K.NodeId, K.Performance, K.UnitPrice, End, K.End));
+    splitAround(It, Start, End);
     return true;
   }
   return false;
@@ -73,7 +126,7 @@ bool SlotList::subtractExact(const Slot &Container, double Start, double End,
       It->Start != Container.Start || It->End != Container.End)
     return false;
   const Slot K = *It;
-  Slots.erase(It);
+  eraseAt(It);
   // Windows whose runtime is not representable exactly may end within
   // TimeEpsilon past K.End (coversFrom accepts that tolerantly), which
   // would make the Tail piece negative-length; the Slot constructor
@@ -100,10 +153,34 @@ bool SlotList::containsExact(const Slot &S) const {
 }
 
 double SlotList::totalSpan() const {
+  // Neumaier's variant of Kahan summation, as in RunningStats::sum():
+  // the compensation picks up the low-order bits of whichever operand
+  // is smaller in magnitude, so a huge slot does not erase small ones.
   double Total = 0.0;
-  for (const Slot &S : Slots)
-    Total += S.length();
-  return Total;
+  double Comp = 0.0;
+  for (const Slot &S : Slots) {
+    const double X = S.length();
+    const double T = Total + X;
+    if (std::abs(Total) >= std::abs(X))
+      Comp += (Total - T) + X;
+    else
+      Comp += (X - T) + Total;
+    Total = T;
+  }
+  return Total + Comp;
+}
+
+std::vector<Slot>::const_iterator
+SlotList::scanEndBefore(double Limit) const {
+  if (!std::isfinite(Limit))
+    return Slots.end();
+  return std::partition_point(
+      Slots.begin(), Slots.end(),
+      [Limit](const Slot &S) { return approxLt(S.Start, Limit); });
+}
+
+bool SlotList::checkIndexConsistency() const {
+  return !Index.built() || Index.consistentWith(Slots);
 }
 
 bool SlotList::checkInvariants() const {
@@ -149,4 +226,6 @@ void SlotList::validate() const {
                      I, J, A.NodeId, A.Start, A.End, B.Start, B.End);
     }
   }
+  ECOSCHED_CHECK(checkIndexConsistency(),
+                 "interval index diverged from the slot vector");
 }

@@ -17,6 +17,7 @@
 #define ECOSCHED_SIM_SLOTLIST_H
 
 #include "sim/Slot.h"
+#include "sim/SlotIntervalIndex.h"
 #include "support/FunctionRef.h"
 
 #include <cstddef>
@@ -35,18 +36,53 @@ public:
   /// Builds a list from arbitrary slots; sorts them by start time.
   explicit SlotList(std::vector<Slot> Slots);
 
+  /// Copies carry the interval index along: the flat entry vector
+  /// copies with one memcpy, which is far cheaper than the O(n log n)
+  /// rebuild a probing copy would otherwise pay — and the engine's
+  /// copy-then-damage snapshot flows probe immediately. Lists that
+  /// never probe never build an index in the first place, so their
+  /// copies stay index-free too.
+
   /// Inserts \p S keeping the start-time order. Zero-length slots are
   /// ignored (the paper: "if slots K1 and K2 have a zero time span, it
   /// is not necessary to add them to the list").
   void insert(const Slot &S);
 
+  /// Lists below this size answer containment probes with the plain
+  /// linear scan: its early break reaches the container in a handful of
+  /// cache-hot steps there, and no index build or maintenance can beat
+  /// that. The lazy build in subtract() only fires at or above it.
+  static constexpr size_t IndexBuildThreshold = 512;
+
   /// Subtracts the reserved span [\p Start, \p End) from the slot on
   /// \p NodeId that fully contains it. The containing slot is removed
   /// and up to two remainder slots are inserted (Fig. 1(b)).
   ///
+  /// On lists of at least IndexBuildThreshold slots the containment
+  /// probe goes through the per-node interval index (built lazily on
+  /// the first call, maintained incrementally after that): O(log n)
+  /// amortized instead of the front-to-back scan, selecting exactly
+  /// the slot subtractLinear() would — the fuzz harnesses
+  /// differential-test the two paths bit for bit. Smaller lists scan
+  /// linearly unless buildIndexNow() forced the index.
+  ///
   /// \returns true if a containing slot was found and split; false if no
   /// slot on \p NodeId contains the span (the list is left unchanged).
   bool subtract(int NodeId, double Start, double End);
+
+  /// Builds the interval index immediately, regardless of the
+  /// IndexBuildThreshold gate. The differential test harnesses use
+  /// this to drive small lists down the indexed path; production
+  /// callers rely on the lazy build in subtract().
+  void buildIndexNow();
+
+  /// True once the interval index has been built (lazily or forced).
+  bool indexBuilt() const { return Index.built(); }
+
+  /// The O(n) front-to-back scan subtract() accelerates: kept verbatim
+  /// (plus the sorted-order early exit) as the differential-testing
+  /// oracle for the indexed probe. Same result, same list mutations.
+  bool subtractLinear(int NodeId, double Start, double End);
 
   /// Binary-search variant of subtract() for callers that know the
   /// exact containing slot (window members carry their source slot):
@@ -71,19 +107,33 @@ public:
   /// search; used by the speculative sweep's window-intact check.
   bool containsExact(const Slot &S) const;
 
-  /// Total vacant time across all slots.
+  /// Total vacant time across all slots, carried with Neumaier
+  /// compensation (matching support/Statistics.h RunningStats::sum())
+  /// so magnitude-spread slot sets do not drop their small terms.
   double totalSpan() const;
+
+  /// First position whose slot a deadline-bounded scan can never
+  /// examine: the partition point of approxLt(Start, \p Limit), i.e.
+  /// exactly where the ALP/AMP/backfill loops' per-slot deadline break
+  /// would fire. O(log n); end() for an infinite \p Limit.
+  std::vector<Slot>::const_iterator scanEndBefore(double Limit) const;
 
   /// True if the list is sorted by start and slots never overlap within
   /// a node. Intended for asserts and tests.
   bool checkInvariants() const;
 
   /// Structural validator: re-checks the sorted order, the absence of
-  /// zero-length slots, and per-node disjointness, aborting with a
+  /// zero-length slots, per-node disjointness, and (when built) the
+  /// interval index's consistency with the slot vector, aborting with a
   /// diagnostic that names the offending slots on the first violation.
   /// The search algorithms invoke it at stage boundaries under
   /// ECOSCHED_DCHECK; it is O(n^2) and intended for debug builds.
   void validate() const;
+
+  /// True if the lazily built interval index (when built) mirrors the
+  /// slot vector exactly. Exposed for the differential fuzz harnesses;
+  /// always true for an unbuilt index.
+  bool checkIndexConsistency() const;
 
   size_t size() const { return Slots.size(); }
   bool empty() const { return Slots.empty(); }
@@ -93,7 +143,19 @@ public:
   std::vector<Slot>::const_iterator end() const { return Slots.end(); }
 
 private:
+  /// Removes *It, keeping the interval index in step.
+  void eraseAt(std::vector<Slot>::iterator It);
+
+  /// Splits the slot at \p It around the reserved span [\p Start,
+  /// \p End): erases it and re-inserts the nonzero remainder pieces.
+  void splitAround(std::vector<Slot>::iterator It, double Start,
+                   double End);
+
   std::vector<Slot> Slots;
+  /// Containment-probe accelerator for subtract(); built lazily on the
+  /// first probe so lists that are only scanned (SlotFilter views, the
+  /// search loops) never pay for it.
+  SlotIntervalIndex Index;
 };
 
 } // namespace ecosched

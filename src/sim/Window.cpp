@@ -45,7 +45,7 @@ bool Window::intersects(const Window &Other) const {
       const double BEnd = Other.Start + B.Runtime;
       const double OverlapStart = std::max(AStart, BStart);
       const double OverlapEnd = std::min(AEnd, BEnd);
-      if (OverlapEnd - OverlapStart > TimeEpsilon)
+      if (approxGt(OverlapEnd - OverlapStart, 0.0))
         return true;
     }
   }

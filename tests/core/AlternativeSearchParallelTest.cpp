@@ -255,6 +255,84 @@ TEST(SlotFilterTest, IncrementalDamageMatchesRebuild) {
   }
 }
 
+TEST(SlotFilterTest, ViewsApplyTheDeadlineScanHorizon) {
+  // With a finite deadline, a view must hold exactly the admissible
+  // slots a deadline-bounded scan can reach — strictly earlier starts,
+  // per scanEndBefore() — and searching the view must still equal
+  // searching the master.
+  AlpSearch Alp;
+  const SlotList List = makeList(11);
+  Batch Jobs = makeBatch(11, 3);
+  ASSERT_FALSE(List.empty());
+  const double Horizon = List[List.size() / 2].Start;
+  for (Job &J : Jobs)
+    J.Request.Deadline = Horizon;
+  SlotFilter Filter(List, Jobs, Alp);
+
+  for (size_t J = 0; J < Jobs.size(); ++J) {
+    // Manual oracle: the admits()-passing subsequence of the reachable
+    // prefix, built with a plain loop instead of scanEndBefore().
+    std::vector<Slot> Expected;
+    for (const Slot &S : List) {
+      if (approxGe(S.Start, Horizon))
+        break;
+      if (Alp.admits(S, Jobs[J].Request))
+        Expected.push_back(S);
+    }
+    expectSameLists(SlotList(std::move(Expected)), Filter.view(J),
+                    "deadline view " + std::to_string(J));
+
+    const auto FromView =
+        Alp.findWindowFiltered(Filter.view(J), Jobs[J].Request);
+    const auto FromMaster = Alp.findWindow(List, Jobs[J].Request);
+    ASSERT_EQ(FromView.has_value(), FromMaster.has_value()) << J;
+    if (FromView) {
+      EXPECT_EQ(FromView->startTime(), FromMaster->startTime()) << J;
+      EXPECT_EQ(FromView->totalCost(), FromMaster->totalCost()) << J;
+    }
+  }
+}
+
+TEST(SlotFilterTest, IncrementalDamageMatchesRebuildWithDeadlines) {
+  // The damage property again, but with finite deadlines: remainder
+  // pieces at or past the horizon must not re-enter a view (the Keep
+  // predicate repeats the horizon cutoff), or incremental views would
+  // drift from from-scratch rebuilds.
+  AlpSearch Alp;
+  AmpSearch Amp;
+  const SlotSearchAlgorithm *Algos[] = {&Alp, &Amp};
+  for (const SlotSearchAlgorithm *Algo : Algos) {
+    for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+      SlotList Master = makeList(Seed);
+      Batch Jobs = makeBatch(Seed, 5);
+      ASSERT_FALSE(Master.empty());
+      for (size_t J = 0; J < Jobs.size(); ++J) {
+        // Staggered horizons so different views cut at different slots.
+        const size_t Cut = (J + 1) * Master.size() / (Jobs.size() + 1);
+        Jobs[J].Request.Deadline = Master[Cut].Start + 1.0;
+      }
+      SlotFilter Filter(Master, Jobs, *Algo);
+
+      for (size_t Step = 0; Step < 12; ++Step) {
+        const size_t J = Step % Jobs.size();
+        std::optional<Window> W =
+            Algo->findWindow(Master, Jobs[J].Request);
+        if (!W)
+          continue;
+        ASSERT_TRUE(W->subtractFrom(Master));
+        Filter.applyDamage(*W);
+        for (size_t K = 0; K < Jobs.size(); ++K)
+          expectSameLists(
+              SlotFilter::filteredCopy(Master, Jobs[K].Request, *Algo),
+              Filter.view(K),
+              std::string(Algo->name()) + " deadline seed " +
+                  std::to_string(Seed) + " step " + std::to_string(Step) +
+                  " view " + std::to_string(K));
+      }
+    }
+  }
+}
+
 TEST(SlotFilterTest, WindowIntactDetectsDamage) {
   AlpSearch Alp;
   const SlotList List = makeList(2);

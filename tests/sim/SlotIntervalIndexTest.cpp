@@ -1,0 +1,224 @@
+//===-- tests/sim/SlotIntervalIndexTest.cpp - Interval index tests --------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+//
+// The interval index behind SlotList::subtract must be bitwise
+// transparent: the indexed probe selects exactly the slot the linear
+// scan (SlotList::subtractLinear) selects, on valid and on
+// invariant-violating lists alike, and stays consistent with the slot
+// vector through every insert/subtract/subtractExact mutation —
+// including the Keep re-admission path SlotFilter uses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SlotIntervalIndex.h"
+#include "sim/SlotList.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+using namespace ecosched;
+
+namespace {
+
+Slot makeSlot(int Node, double Start, double End) {
+  return Slot(Node, /*Performance=*/1.0, /*UnitPrice=*/1.0, Start, End);
+}
+
+/// A multi-slot-per-node list on a 0.25 grid: \p PerNode disjoint slots
+/// on each of \p Nodes nodes, with pseudo-random gaps and lengths.
+/// (SlotGenerator gives every slot its own node, so per-node index runs
+/// with more than one span must be built by hand.)
+std::vector<Slot> makeGridSlots(int Nodes, int PerNode, unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<int> Steps(1, 16);
+  std::vector<Slot> Slots;
+  for (int Node = 0; Node < Nodes; ++Node) {
+    double Cursor = 0.25 * Steps(Rng);
+    for (int I = 0; I < PerNode; ++I) {
+      const double Start = Cursor + 0.25 * Steps(Rng);
+      const double End = Start + 0.25 * Steps(Rng);
+      Slots.push_back(makeSlot(Node, Start, End));
+      Cursor = End;
+    }
+  }
+  return Slots;
+}
+
+void expectSameLists(const SlotList &A, const SlotList &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].NodeId, B[I].NodeId) << "slot " << I;
+    EXPECT_EQ(A[I].Start, B[I].Start) << "slot " << I;
+    EXPECT_EQ(A[I].End, B[I].End) << "slot " << I;
+  }
+}
+
+} // namespace
+
+TEST(SlotIntervalIndexTest, FindContainerMatchesLinearSemantics) {
+  SlotIntervalIndex Index;
+  const std::vector<Slot> Slots = {
+      makeSlot(0, 0.0, 10.0), makeSlot(1, 2.0, 8.0), makeSlot(0, 20.0, 30.0)};
+  std::vector<Slot> Sorted = Slots;
+  std::stable_sort(Sorted.begin(), Sorted.end(), slotStartLess);
+  Index.buildFrom(Sorted);
+  ASSERT_TRUE(Index.built());
+
+  const auto Hit = Index.findContainer(0, 5.0, 8.0);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Start, 0.0);
+  EXPECT_EQ(Hit->End, 10.0);
+
+  const auto Exact = Index.findContainer(0, 20.0, 30.0);
+  ASSERT_TRUE(Exact.has_value());
+  EXPECT_EQ(Exact->Start, 20.0);
+
+  // A span bridging the node's hole has no container; nor does a span
+  // on a node the index never saw.
+  EXPECT_FALSE(Index.findContainer(0, 5.0, 25.0).has_value());
+  EXPECT_FALSE(Index.findContainer(7, 5.0, 8.0).has_value());
+  EXPECT_TRUE(Index.consistentWith(Sorted));
+}
+
+TEST(SlotIntervalIndexTest, IndexedSubtractMatchesLinearRandomized) {
+  for (unsigned Seed = 0; Seed < 8; ++Seed) {
+    SlotList Indexed(makeGridSlots(/*Nodes=*/5, /*PerNode=*/12, Seed));
+    SlotList Linear = Indexed;
+    // Below IndexBuildThreshold subtract() would take the linear
+    // cutoff; force the index so the differential is real.
+    Indexed.buildIndexNow();
+    std::mt19937 Rng(Seed * 977 + 1);
+    std::uniform_int_distribution<size_t> Pick(0, Indexed.size() - 1);
+    std::uniform_int_distribution<int> Quarter(0, 4);
+    for (int Op = 0; Op < 64 && !Indexed.empty(); ++Op) {
+      // Derive the probe from a live slot so hits and near-miss
+      // perturbations both occur.
+      const Slot S = Indexed[Pick(Rng) % Indexed.size()];
+      const double Lo = S.Start + 0.25 * Quarter(Rng);
+      const double Hi = Lo + 0.25 * Quarter(Rng);
+      const int Node = Quarter(Rng) == 0 ? S.NodeId + 1 : S.NodeId;
+      const bool HitIndexed = Indexed.subtract(Node, Lo, Hi);
+      const bool HitLinear = Linear.subtractLinear(Node, Lo, Hi);
+      ASSERT_EQ(HitIndexed, HitLinear)
+          << "seed " << Seed << " op " << Op << " node " << Node << " ["
+          << Lo << ", " << Hi << ")";
+      expectSameLists(Indexed, Linear);
+      ASSERT_TRUE(Indexed.checkIndexConsistency());
+    }
+  }
+}
+
+TEST(SlotIntervalIndexTest, StaysConsistentThroughExactAndKeepPath) {
+  SlotList List(makeGridSlots(/*Nodes=*/3, /*PerNode=*/6, /*Seed=*/42));
+  List.buildIndexNow();
+  ASSERT_TRUE(List.indexBuilt());
+  ASSERT_TRUE(List.checkIndexConsistency());
+
+  // subtractExact with a Keep filter: dropped remainder pieces must
+  // leave the index too (the SlotFilter re-admission path).
+  const Slot Container = List[0];
+  const double Mid = (Container.Start + Container.End) / 2.0;
+  ASSERT_TRUE(List.subtractExact(Container, Container.Start, Mid,
+                                 [](const Slot &Piece) {
+                                   return Piece.length() >= 1.0;
+                                 }));
+  EXPECT_TRUE(List.checkIndexConsistency());
+
+  // Plain subtractExact and insert keep maintaining it incrementally.
+  const Slot Next = List[0];
+  ASSERT_TRUE(List.subtractExact(Next, Next.Start, Next.End));
+  List.insert(makeSlot(9, 100.0, 200.0));
+  EXPECT_TRUE(List.checkIndexConsistency());
+  ASSERT_TRUE(List.subtract(9, 110.0, 120.0));
+  EXPECT_TRUE(List.checkIndexConsistency());
+  EXPECT_TRUE(List.checkInvariants());
+}
+
+TEST(SlotIntervalIndexTest, FallsBackExactlyOnInvariantViolatingList) {
+  // Overlapping same-node slots (constructible via the sorting
+  // constructor) break the sorted-ends guarantee: [0, 100) then
+  // [10, 20) has decreasing ends. The index must detect this and still
+  // answer exactly like the linear scan.
+  const std::vector<Slot> Overlapping = {makeSlot(0, 0.0, 100.0),
+                                         makeSlot(0, 10.0, 20.0)};
+  SlotList Indexed(Overlapping);
+  SlotList Linear(Overlapping);
+  Indexed.buildIndexNow();
+  EXPECT_FALSE(Indexed.checkInvariants());
+
+  // The linear scan picks [0, 100) — first in master order — even
+  // though [10, 20) also contains the span.
+  ASSERT_TRUE(Indexed.subtract(0, 12.0, 18.0));
+  ASSERT_TRUE(Linear.subtractLinear(0, 12.0, 18.0));
+  expectSameLists(Indexed, Linear);
+  EXPECT_TRUE(Indexed.checkIndexConsistency());
+
+  // A miss must agree too.
+  EXPECT_FALSE(Indexed.subtract(0, 95.0, 105.0));
+  EXPECT_FALSE(Linear.subtractLinear(0, 95.0, 105.0));
+  expectSameLists(Indexed, Linear);
+}
+
+TEST(SlotIntervalIndexTest, MissLeavesListAndIndexUntouched) {
+  SlotList List({makeSlot(0, 0.0, 40.0), makeSlot(0, 60.0, 100.0),
+                 makeSlot(1, 0.0, 100.0)});
+  List.buildIndexNow();
+  const SlotList Before = List;
+  EXPECT_FALSE(List.subtract(0, 30.0, 70.0)); // Bridges node 0's hole.
+  EXPECT_FALSE(List.subtract(2, 10.0, 20.0)); // Node not present.
+  EXPECT_FALSE(List.subtract(1, 90.0, 110.0)); // Past the slot end.
+  expectSameLists(List, Before);
+  EXPECT_TRUE(List.checkIndexConsistency());
+}
+
+TEST(SlotIntervalIndexTest, LazyBuildHonorsSizeThreshold) {
+  // Small lists answer subtract() with the linear cutoff and never pay
+  // for an index; at IndexBuildThreshold the first probe builds it.
+  SlotList Small(makeGridSlots(/*Nodes=*/2, /*PerNode=*/4, /*Seed=*/3));
+  ASSERT_LT(Small.size(), SlotList::IndexBuildThreshold);
+  const Slot S = Small[0];
+  EXPECT_TRUE(Small.subtract(S.NodeId, S.Start, S.End));
+  EXPECT_FALSE(Small.indexBuilt());
+
+  const int PerNode =
+      static_cast<int>(SlotList::IndexBuildThreshold) / 8 + 1;
+  SlotList Large(makeGridSlots(/*Nodes=*/8, PerNode, /*Seed=*/4));
+  ASSERT_GE(Large.size(), SlotList::IndexBuildThreshold);
+  EXPECT_FALSE(Large.indexBuilt());
+  EXPECT_FALSE(Large.subtract(0, 1e6, 1e6 + 1.0)); // Miss, but builds.
+  EXPECT_TRUE(Large.indexBuilt());
+  EXPECT_TRUE(Large.checkIndexConsistency());
+}
+
+TEST(SlotIntervalIndexTest, CopiesCarryIndependentIndexes) {
+  // Copies carry the index along (see SlotList.h), and mutations on
+  // either side never leak to the other.
+  SlotList Master(makeGridSlots(/*Nodes=*/2, /*PerNode=*/4, /*Seed=*/7));
+  Master.buildIndexNow();
+  SlotList Copy = Master;
+  ASSERT_TRUE(Copy.indexBuilt());
+  const Slot S = Copy[0];
+  ASSERT_TRUE(Copy.subtract(S.NodeId, S.Start, S.End));
+  EXPECT_TRUE(Copy.checkIndexConsistency());
+  EXPECT_FALSE(Copy.containsExact(S));
+  // The master must be unaffected by the copy's mutation.
+  EXPECT_TRUE(Master.checkIndexConsistency());
+  EXPECT_TRUE(Master.containsExact(S));
+
+  // Copy-assignment over a probed list replaces its index wholesale.
+  SlotList Assigned(makeGridSlots(2, 4, /*Seed=*/8));
+  Assigned.buildIndexNow();
+  Assigned = Master;
+  expectSameLists(Assigned, Master);
+  const Slot T = Assigned[0];
+  ASSERT_TRUE(Assigned.subtract(T.NodeId, T.Start, T.End));
+  EXPECT_TRUE(Assigned.checkIndexConsistency());
+  EXPECT_TRUE(Master.containsExact(T));
+}

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 using namespace ecosched;
 
 namespace {
@@ -163,6 +166,77 @@ TEST(SlotListTest, SubtractToleratesSubEpsilonOvershoot) {
 TEST(SlotListTest, TotalSpanSums) {
   SlotList List({makeSlot(0, 0.0, 10.0), makeSlot(1, 5.0, 25.0)});
   EXPECT_DOUBLE_EQ(List.totalSpan(), 30.0);
+}
+
+TEST(SlotListTest, TotalSpanCompensatesMagnitudeSpread) {
+  // One huge slot followed by two unit slots: naive left-to-right
+  // summation loses both unit lengths (1e16 + 1.0 rounds back to 1e16),
+  // while the Neumaier compensation carries them in the low-order term.
+  // 1e16 + 2.0 is exactly representable (the spacing at 1e16 is 2.0).
+  SlotList List({makeSlot(0, 0.0, 1e16), makeSlot(1, 0.0, 1.0),
+                 makeSlot(2, 0.0, 1.0)});
+  EXPECT_EQ(List.totalSpan(), 1e16 + 2.0);
+}
+
+TEST(SlotListTest, SubtractOnLongMultiNodeList) {
+  // Regression for the full-tail scan in the linear subtract: the scan
+  // must stop once slot starts pass the span's start, yet still find
+  // containers anywhere in the list and still report misses correctly.
+  // Build 40 slots per node on 5 nodes, interleaved in start order.
+  std::vector<Slot> Slots;
+  for (int Node = 0; Node < 5; ++Node)
+    for (int I = 0; I < 40; ++I) {
+      const double Start = 10.0 * I + Node;
+      Slots.push_back(makeSlot(Node, Start, Start + 8.0));
+    }
+  SlotList Indexed(Slots);
+  SlotList Linear(Slots);
+  // 200 slots sit below IndexBuildThreshold; force the index so the
+  // probes really compare the two paths.
+  Indexed.buildIndexNow();
+
+  // A hit deep in the list, a hit at the front, and misses that bridge
+  // per-node holes or name absent nodes must agree across both paths.
+  struct Probe {
+    int Node;
+    double Lo, Hi;
+    bool Hit;
+  };
+  const Probe Probes[] = {
+      {3, 353.0, 357.0, true},  // Deep hit: node 3, slot [353, 361).
+      {0, 0.0, 8.0, true},      // Front hit consumes a whole slot.
+      {2, 118.0, 124.0, false}, // Bridges the [112,120)/[122,130) hole.
+      {7, 10.0, 12.0, false},   // Node not present.
+      {4, 395.0, 405.0, false}, // Past the node's last slot end.
+  };
+  for (const Probe &P : Probes) {
+    EXPECT_EQ(Indexed.subtract(P.Node, P.Lo, P.Hi), P.Hit)
+        << "indexed probe node " << P.Node;
+    EXPECT_EQ(Linear.subtractLinear(P.Node, P.Lo, P.Hi), P.Hit)
+        << "linear probe node " << P.Node;
+  }
+  ASSERT_EQ(Indexed.size(), Linear.size());
+  for (size_t I = 0; I < Indexed.size(); ++I) {
+    EXPECT_EQ(Indexed[I].NodeId, Linear[I].NodeId);
+    EXPECT_EQ(Indexed[I].Start, Linear[I].Start);
+    EXPECT_EQ(Indexed[I].End, Linear[I].End);
+  }
+  EXPECT_TRUE(Indexed.checkInvariants());
+  EXPECT_TRUE(Indexed.checkIndexConsistency());
+}
+
+TEST(SlotListTest, ScanEndBeforeMatchesDeadlineBreak) {
+  SlotList List({makeSlot(0, 0.0, 10.0), makeSlot(1, 5.0, 15.0),
+                 makeSlot(2, 20.0, 30.0)});
+  // Exactly the slots a loop with "break on approxGe(Start, Limit)"
+  // would examine: starts strictly below the limit (tolerantly).
+  EXPECT_EQ(List.scanEndBefore(20.0) - List.begin(), 2);
+  EXPECT_EQ(List.scanEndBefore(5.0) - List.begin(), 1);
+  EXPECT_EQ(List.scanEndBefore(0.0) - List.begin(), 0);
+  EXPECT_EQ(List.scanEndBefore(100.0), List.end());
+  // An infinite limit (the default Deadline) never bounds the scan.
+  EXPECT_EQ(List.scanEndBefore(std::numeric_limits<double>::infinity()),
+            List.end());
 }
 
 TEST(SlotListTest, InvariantsDetectOverlap) {

@@ -112,6 +112,59 @@ TEST(WindowTest, SubtractFromFailsWhenSpanMissing) {
   EXPECT_FALSE(W.subtractFrom(List));
 }
 
+TEST(WindowTest, SubtractFromFallsBackWhenSourceWasSplit) {
+  // The window's node-0 member carries source [100, 200), but outside
+  // damage already split that slot into [100, 170) and [190, 200). The
+  // exact splice misses, so subtractFrom must fall back to the
+  // containment probe, find [100, 170) ⊇ [100, 160), and still report
+  // success.
+  SlotList List({Slot(0, 1.0, 2.0, 100.0, 200.0),
+                 Slot(1, 2.0, 5.0, 90.0, 150.0)});
+  ASSERT_TRUE(List.subtract(0, 170.0, 190.0));
+  const double Before = List.totalSpan();
+  const Window W = makeHeterogeneousWindow(); // Node 0 [100,160), node 1 [100,130).
+  EXPECT_TRUE(W.subtractFrom(List));
+  EXPECT_NEAR(List.totalSpan(), Before - 90.0, 1e-9);
+  EXPECT_TRUE(List.checkInvariants());
+  EXPECT_TRUE(List.checkIndexConsistency());
+}
+
+TEST(WindowTest, SubtractFromReportsFallbackMiss) {
+  // Outside damage overlaps the window's reserved span itself: no slot
+  // on node 0 contains [100, 160) anymore, so subtractFrom reports
+  // false — but the other member's span is still subtracted, which is
+  // exactly what the engine's conflict check relies on detecting.
+  SlotList List({Slot(0, 1.0, 2.0, 100.0, 200.0),
+                 Slot(1, 2.0, 5.0, 90.0, 150.0)});
+  ASSERT_TRUE(List.subtract(0, 120.0, 140.0));
+  const Window W = makeHeterogeneousWindow();
+  EXPECT_FALSE(W.subtractFrom(List));
+  // Node 1's member [100, 130) was found and removed.
+  double Node1Span = 0.0;
+  for (const Slot &S : List)
+    if (S.NodeId == 1)
+      Node1Span += S.length();
+  EXPECT_DOUBLE_EQ(Node1Span, 30.0);
+  EXPECT_TRUE(List.checkInvariants());
+}
+
+TEST(WindowTest, IntersectsIgnoresSubEpsilonOverlap) {
+  // Two windows whose usages abut within TimeEpsilon do not intersect:
+  // the tolerant comparison treats a sub-epsilon overlap as zero, the
+  // same rule the slot algebra uses for zero-length pieces.
+  std::vector<WindowSlot> MembersA;
+  MembersA.push_back(makeMember(0, 1.0, 2.0, 100.0, 200.0, 40.0));
+  const Window A(100.0, std::move(MembersA)); // Node 0 busy [100,140).
+  std::vector<WindowSlot> MembersB;
+  MembersB.push_back(makeMember(0, 1.0, 2.0, 100.0, 200.0, 20.0));
+  const Window B(140.0 - TimeEpsilon / 2.0, std::move(MembersB));
+  EXPECT_FALSE(A.intersects(B));
+  std::vector<WindowSlot> MembersC;
+  MembersC.push_back(makeMember(0, 1.0, 2.0, 100.0, 200.0, 20.0));
+  const Window D(139.0, std::move(MembersC)); // Node 0 busy [139,159).
+  EXPECT_TRUE(A.intersects(D));
+}
+
 TEST(WindowTest, EmptyWindow) {
   Window W;
   EXPECT_TRUE(W.empty());
