@@ -24,6 +24,7 @@
 #include "engine/MultiVoDriver.h"
 #include "sim/JobGenerator.h"
 #include "sim/SlotGenerator.h"
+#include "sim/SlotIntervalIndex.h"
 #include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
@@ -338,6 +339,100 @@ void BM_MultiVoDriver(benchmark::State &State) {
   }
 }
 
+/// Steady-state VO iterations over a large fragmented domain: the
+/// first argument is the published slot count (Nodes = slots/512, 512
+/// free spans per node inside the horizon), the second selects the
+/// from-scratch rebuild (0) or the persistent filter (1). The busy
+/// pattern occupies 40 time units around every multiple of the
+/// iteration period, so each iteration's master delta is exactly two
+/// spans per node (one retired in the past, one admitted at the
+/// horizon tail) against a slot list that stays at the full size — the
+/// regime where per-call view rebuilds are pure O(domain) waste. The
+/// batch is 32 identical unplaceable jobs (they ask for two nodes but
+/// only node 0 meets MinPerformance), so every view is carried across
+/// iterations unchanged. PERFORMANCE.md quotes the 0-vs-1 ratio.
+void BM_VoIterationSteadyState(benchmark::State &State) {
+  constexpr double Period = 100.0;
+  constexpr int SpansPerNode = 512;
+  constexpr double Horizon = SpansPerNode * Period;
+  constexpr size_t MeasuredIterations = 8;
+  const int Nodes = static_cast<int>(State.range(0)) / SpansPerNode;
+  const bool Reuse = State.range(1) != 0;
+
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler::Config SchedCfg;
+  SchedCfg.Search.MaxAlternativesPerJob = 2;
+  Metascheduler Scheduler(Amp, Dp, SchedCfg);
+
+  ComputingDomain Proto;
+  for (int Node = 0; Node < Nodes; ++Node)
+    Proto.addNode(Node == 0 ? 2.0 : 1.0, 1.0);
+  const double Coverage =
+      Horizon + Period * static_cast<double>(MeasuredIterations + 4);
+  for (int Node = 0; Node < Nodes; ++Node)
+    for (double T = 0.0; T < Coverage; T += Period)
+      Proto.addLocalTask(Node, std::max(0.0, T - 20.0), T + 20.0);
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    VirtualOrganization::Config VoCfg;
+    VoCfg.IterationPeriod = Period;
+    VoCfg.HorizonLength = Horizon;
+    VoCfg.ReuseFilter = Reuse;
+    VirtualOrganization Vo(Proto, Scheduler, VoCfg);
+    for (int J = 0; J < 32; ++J) {
+      Job Spec;
+      Spec.Id = J;
+      Spec.Request.NodeCount = 2;
+      Spec.Request.Volume = 100.0;
+      Spec.Request.MinPerformance = 1.5;
+      Spec.Request.MaxUnitPrice = 10.0;
+      Vo.submit(Spec);
+    }
+    Vo.runIteration(); // Warm-up: first sync builds the views.
+    State.ResumeTiming();
+    for (size_t I = 0; I < MeasuredIterations; ++I)
+      benchmark::DoNotOptimize(Vo.runIteration().QueueLength);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(MeasuredIterations));
+}
+
+/// Interval-index maintenance under churn as a function of the
+/// compaction trigger; the argument is the threshold
+/// (SlotIntervalIndex::DefaultCompactThreshold = 128 is production).
+/// Low thresholds pay the O(n) merge often but keep probes lean; high
+/// ones batch the merge but wade through tombstones and the pending
+/// buffer on every probe — the bench shows where the middle lies.
+void BM_SlotIndexCompaction(benchmark::State &State) {
+  constexpr int Nodes = 16;
+  constexpr int PerNode = 256;
+  std::vector<Slot> Slots;
+  for (int Node = 0; Node < Nodes; ++Node)
+    for (int I = 0; I < PerNode; ++I) {
+      const double Start = 100.0 * I + 2.0 * Node;
+      Slots.emplace_back(Node, 1.0, 1.0, Start, Start + 60.0);
+    }
+  std::sort(Slots.begin(), Slots.end(), slotStartLess);
+  for (auto _ : State) {
+    SlotIntervalIndex Index;
+    Index.setCompactThreshold(static_cast<size_t>(State.range(0)));
+    Index.buildFrom(Slots);
+    // Retire and re-admit every 7th slot, probing as we go — the
+    // persistent filter's steady-state mutation pattern.
+    for (size_t I = 0; I < Slots.size(); I += 7) {
+      const Slot &S = Slots[I];
+      Index.noteErase(S);
+      Index.noteInsert(S);
+      benchmark::DoNotOptimize(
+          Index.findContainer(S.NodeId, S.Start, S.End));
+    }
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Slots.size() / 7 + 1));
+}
+
 void BM_DpOptimizer(benchmark::State &State) {
   RandomGenerator Rng(13);
   CombinationProblem P;
@@ -431,6 +526,12 @@ BENCHMARK(BM_SlotFilterRebuildDeadline)
     ->RangeMultiplier(4)
     ->Range(1024, 65536);
 BENCHMARK(BM_MultiVoDriver)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
+BENCHMARK(BM_VoIterationSteadyState)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({8192, 0})
+    ->Args({8192, 1});
+BENCHMARK(BM_SlotIndexCompaction)->Arg(1)->Arg(32)->Arg(128)->Arg(4096);
 BENCHMARK(BM_DpOptimizer)->RangeMultiplier(4)->Range(256, 16384);
 BENCHMARK(BM_OnePassBatchScheduler)
     ->RangeMultiplier(4)

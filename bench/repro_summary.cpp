@@ -18,7 +18,9 @@
 #include "core/AlternativeSearch.h"
 #include "core/AmpSearch.h"
 #include "core/BackfillSearch.h"
+#include "core/DpOptimizer.h"
 #include "core/Experiment.h"
+#include "engine/VirtualOrganization.h"
 #include "sim/PaperExample.h"
 #include "sim/SlotGenerator.h"
 #include "support/CommandLine.h"
@@ -230,6 +232,75 @@ int main(int Argc, char **Argv) {
     Checker.check("S3 backfill examines ~m+m^2 slots", ">= m^2",
                   std::to_string(BackfillStats.SlotsExamined),
                   BackfillStats.SlotsExamined >= 4000ull * 4000ull);
+  }
+
+  // --- Cross-iteration reuse claim (docs/PERFORMANCE.md, "The
+  // persistent filter"): the delta-synced views must reproduce the
+  // from-scratch rebuild bitwise while actually reusing views. ---
+  {
+    DpOptimizer Dp;
+    const Metascheduler Scheduler(Amp, Dp);
+    const auto RunVo = [&](bool ReuseFilter) {
+      ComputingDomain Domain;
+      for (int Node = 0; Node < 5; ++Node)
+        Domain.addNode(1.0 + 0.25 * Node, 1.0 + 0.2 * Node);
+      VirtualOrganization::Config Cfg;
+      Cfg.IterationPeriod = 100.0;
+      Cfg.HorizonLength = 600.0;
+      Cfg.ReuseFilter = ReuseFilter;
+      VirtualOrganization Vo(std::move(Domain), Scheduler, Cfg);
+      RandomGenerator Rng(static_cast<uint64_t>(Seed));
+      int NextId = 0;
+      for (int Iter = 0; Iter < 24; ++Iter) {
+        // Demanding enough that some jobs wait in the queue across
+        // iterations (high MinPerformance admits only the fast tail of
+        // the pool), which is exactly the population whose views the
+        // persistent filter carries forward.
+        const int64_t Arrivals = Rng.uniformInt(2, 4);
+        for (int64_t K = 0; K < Arrivals; ++K) {
+          Job J;
+          J.Id = NextId++;
+          J.Request.NodeCount = static_cast<int>(Rng.uniformInt(1, 4));
+          J.Request.Volume = Rng.uniformReal(40.0, 160.0);
+          J.Request.MinPerformance = Rng.uniformReal(1.0, 1.8);
+          J.Request.MaxUnitPrice = 2.5;
+          Vo.submit(J);
+        }
+        Vo.runIteration();
+      }
+      return Vo;
+    };
+    const VirtualOrganization Reuse = RunVo(true);
+    const VirtualOrganization Rebuild = RunVo(false);
+    bool SameHistory = Reuse.totalIncome() == Rebuild.totalIncome() &&
+                       Reuse.completed().size() ==
+                           Rebuild.completed().size();
+    for (size_t C = 0; SameHistory && C < Reuse.completed().size(); ++C)
+      SameHistory = Reuse.completed()[C].JobId ==
+                        Rebuild.completed()[C].JobId &&
+                    Reuse.completed()[C].Cost ==
+                        Rebuild.completed()[C].Cost &&
+                    Reuse.completed()[C].StartTime ==
+                        Rebuild.completed()[C].StartTime;
+    Checker.check("Reuse == rebuild (bitwise, 24-iteration VO)",
+                  "identical",
+                  SameHistory ? "identical" : "DIVERGED", SameHistory);
+    const SearchStats &FS = Reuse.filterStats();
+    Checker.check("Persistent filter reuses views across iterations",
+                  "> 0 reuses",
+                  std::to_string(FS.FilterViewReuses) + " reuses, " +
+                      std::to_string(FS.FilterViewRebuilds) +
+                      " rebuilds, " +
+                      std::to_string(FS.FilterDeltaOps) + " delta ops",
+                  FS.FilterViewReuses > 0);
+    Checker.check("Rebuild oracle never touches filter state", "0",
+                  std::to_string(Rebuild.filterStats().FilterViewReuses +
+                                 Rebuild.filterStats().FilterViewRebuilds +
+                                 Rebuild.filterStats().FilterDeltaOps),
+                  Rebuild.filterStats().FilterViewReuses +
+                          Rebuild.filterStats().FilterViewRebuilds +
+                          Rebuild.filterStats().FilterDeltaOps ==
+                      0);
   }
 
   Checker.Table.print(stdout);

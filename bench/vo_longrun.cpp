@@ -72,6 +72,10 @@ struct SteadyStateReport {
   double IncomeRate = 0.0;
   double Utilization = 0.0;
   double DropRate = 0.0;
+  /// Persistent-filter reconciliation totals (VirtualOrganization::
+  /// filterStats): how often the cross-iteration views were carried by
+  /// delta splices versus rebuilt from scratch.
+  SearchStats FilterStats;
 };
 
 SteadyStateReport runVo(const SlotSearchAlgorithm &Algo, uint64_t Seed,
@@ -140,6 +144,7 @@ SteadyStateReport runVo(const SlotSearchAlgorithm &Algo, uint64_t Seed,
           ? static_cast<double>(Vo.dropped().size() - DroppedAtWarmup) /
                 static_cast<double>(SubmittedAfterWarmup)
           : 0.0;
+  Report.FilterStats = Vo.filterStats();
   return Report;
 }
 
@@ -198,6 +203,7 @@ int main(int Argc, char **Argv) {
                            Iterations, Warmup, ArrivalRate);
             });
     RunningStats Throughput, MeanWait, P95Wait, Drop, Income, Util;
+    SearchStats Filter;
     for (const SteadyStateReport &Report : Reports) {
       Throughput.add(Report.ThroughputPerIteration);
       MeanWait.add(Report.MeanWait);
@@ -205,7 +211,16 @@ int main(int Argc, char **Argv) {
       Drop.add(Report.DropRate);
       Income.add(Report.IncomeRate);
       Util.add(Report.Utilization);
+      Filter += Report.FilterStats;
     }
+    const size_t Synced = Filter.FilterViewReuses + Filter.FilterViewRebuilds;
+    std::printf("%s persistent filter: %zu/%zu views carried by delta "
+                "splice (%.1f%%), %zu delta ops, %zu forced rebuilds\n",
+                UseAmp ? "AMP" : "ALP", Filter.FilterViewReuses, Synced,
+                Synced ? 100.0 * static_cast<double>(Filter.FilterViewReuses) /
+                             static_cast<double>(Synced)
+                       : 0.0,
+                Filter.FilterDeltaOps, Filter.FilterViewRebuilds);
     Table.beginRow();
     Table.addCell(std::string(UseAmp ? "AMP" : "ALP"));
     Table.addCell(Throughput.mean(), 2);

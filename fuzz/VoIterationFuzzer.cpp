@@ -23,7 +23,11 @@
 // The whole sequence is then replayed on a fresh VO and both full
 // traces are compared bitwise — the engine must be a pure function of
 // the operation sequence (replay-twice determinism), or no fuzzer
-// finding could ever be reproduced from its input alone.
+// finding could ever be reproduced from its input alone. A third run
+// flips Config::ReuseFilter to the from-scratch oracle and must also
+// match bitwise: the persistent filter's delta reconciliation may
+// never change a single observable number, no matter which failure /
+// cancellation / repricing interleaving the fuzzer invents.
 //
 //===----------------------------------------------------------------------===//
 
@@ -153,7 +157,7 @@ void checkLedgerInvariants(const VirtualOrganization &V,
 
 /// Runs the scenario on a fresh VO and flattens everything observable
 /// into one number stream for the bitwise replay comparison.
-std::vector<double> runScenario(const Scenario &S) {
+std::vector<double> runScenario(const Scenario &S, bool ReuseFilter) {
   const AmpSearch Amp;
   const DpOptimizer Dp;
   const Metascheduler Scheduler(Amp, Dp);
@@ -161,7 +165,9 @@ std::vector<double> runScenario(const Scenario &S) {
   ComputingDomain Domain;
   for (size_t Node = 0; Node < S.NodePerformance.size(); ++Node)
     Domain.addNode(S.NodePerformance[Node], S.NodePrice[Node]);
-  VirtualOrganization V(std::move(Domain), Scheduler, S.Cfg);
+  VirtualOrganization::Config Cfg = S.Cfg;
+  Cfg.ReuseFilter = ReuseFilter;
+  VirtualOrganization V(std::move(Domain), Scheduler, Cfg);
 
   std::vector<double> Trace;
   size_t CompletedSoFar = 0;
@@ -256,8 +262,8 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
   FuzzInput In(Data, Size);
   const Scenario S = decodeScenario(In);
 
-  const std::vector<double> First = runScenario(S);
-  const std::vector<double> Second = runScenario(S);
+  const std::vector<double> First = runScenario(S, /*ReuseFilter=*/true);
+  const std::vector<double> Second = runScenario(S, /*ReuseFilter=*/true);
   // Replay-twice determinism, bitwise: the engine's behavior must be a
   // pure function of the operation sequence.
   ECOSCHED_CHECK(First.size() == Second.size(),
@@ -267,5 +273,19 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
     ECOSCHED_CHECK(First[I] == Second[I],
                    "replay diverged at trace entry {}: {} vs {}", I,
                    First[I], Second[I]);
+
+  // Twin-VO reuse-vs-rebuild: the from-scratch oracle must reproduce
+  // the persistent-filter run bitwise (the trace holds no search
+  // stats, the one field the paths legitimately differ in).
+  const std::vector<double> Oracle =
+      runScenario(S, /*ReuseFilter=*/false);
+  ECOSCHED_CHECK(First.size() == Oracle.size(),
+                 "rebuild oracle produced {} trace entries, reuse run {}",
+                 Oracle.size(), First.size());
+  for (size_t I = 0; I < First.size(); ++I)
+    ECOSCHED_CHECK(First[I] == Oracle[I],
+                   "reuse diverged from rebuild oracle at trace entry "
+                   "{}: {} vs {}",
+                   I, First[I], Oracle[I]);
   return 0;
 }

@@ -4,14 +4,19 @@
 #
 # Usage: scripts/bench_baseline.sh [--out FILE] [--filter REGEX]
 #                                  [--repetitions N] [--jobs N]
+#                                  [--best-of N]
 #
 #   --out FILE        Output JSON path
-#                     (default: bench/baselines/BENCH_4.json).
+#                     (default: bench/baselines/BENCH_8.json).
 #   --filter REGEX    google-benchmark name filter (default: all).
 #   --repetitions N   Repetitions per benchmark; with N > 1 only the
 #                     mean/median/stddev aggregates are reported
 #                     (default: 1).
 #   --jobs N          Build parallelism (default: nproc).
+#   --best-of N       Run the full suite N times and keep each
+#                     benchmark's best (lowest real_time) entry --
+#                     defends the baseline against erratic external
+#                     load on shared hosts (default: 1).
 #
 # The captured file is the input to scripts/bench_compare.py; the
 # committed baselines under bench/baselines/ are refreshed with this
@@ -22,9 +27,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="bench/baselines/BENCH_4.json"
+OUT="bench/baselines/BENCH_8.json"
 FILTER="."
 REPS=1
+BEST_OF=1
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 while [[ $# -gt 0 ]]; do
@@ -41,8 +47,11 @@ while [[ $# -gt 0 ]]; do
     --jobs)
       [[ $# -ge 2 ]] || { echo "error: --jobs needs an argument" >&2; exit 2; }
       JOBS="$2"; shift 2 ;;
+    --best-of)
+      [[ $# -ge 2 ]] || { echo "error: --best-of needs an argument" >&2; exit 2; }
+      BEST_OF="$2"; shift 2 ;;
     -h|--help)
-      sed -n '2,19p' "$0"; exit 0 ;;
+      sed -n '2,23p' "$0"; exit 0 ;;
     *)
       echo "error: unknown argument '$1' (see --help)" >&2; exit 2 ;;
   esac
@@ -59,11 +68,53 @@ if [[ "$REPS" -gt 1 ]]; then
 fi
 
 mkdir -p "$(dirname "$OUT")"
-echo "== run micro_benchmarks (filter: $FILTER) =="
-build/release/bench/micro_benchmarks \
-  --benchmark_filter="$FILTER" \
-  --benchmark_out="$OUT" \
-  --benchmark_out_format=json \
-  "${EXTRA_ARGS[@]}"
+if [[ "$BEST_OF" -le 1 ]]; then
+  echo "== run micro_benchmarks (filter: $FILTER) =="
+  build/release/bench/micro_benchmarks \
+    --benchmark_filter="$FILTER" \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json \
+    "${EXTRA_ARGS[@]}"
+else
+  # On machines with erratic external load (steal time on shared
+  # hosts), a single capture can attribute a co-tenant's burst to an
+  # arbitrary benchmark. Noise of that kind only ever inflates
+  # timings, so the per-benchmark best across several full runs is the
+  # faithful estimate of what the code actually costs.
+  TMPDIR_BASE="$(mktemp -d)"
+  trap 'rm -rf "$TMPDIR_BASE"' EXIT
+  for ((RUN = 1; RUN <= BEST_OF; ++RUN)); do
+    echo "== run micro_benchmarks (filter: $FILTER, pass $RUN/$BEST_OF) =="
+    build/release/bench/micro_benchmarks \
+      --benchmark_filter="$FILTER" \
+      --benchmark_out="$TMPDIR_BASE/run$RUN.json" \
+      --benchmark_out_format=json \
+      "${EXTRA_ARGS[@]}" > /dev/null
+  done
+  python3 - "$OUT" "$TMPDIR_BASE"/run*.json <<'PYEOF'
+import json, sys
+
+out_path, *runs = sys.argv[1:]
+merged = None
+best = {}
+for path in runs:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if merged is None:
+        merged = data
+    for entry in data["benchmarks"]:
+        name = entry["name"]
+        key = entry.get("real_time", float("inf"))
+        if name not in best or key < best[name].get("real_time",
+                                                    float("inf")):
+            best[name] = entry
+merged["benchmarks"] = [best[e["name"]] for e in merged["benchmarks"]]
+with open(out_path, "w", encoding="utf-8") as handle:
+    json.dump(merged, handle, indent=1)
+    handle.write("\n")
+print(f"merged per-benchmark best of {len(runs)} runs "
+      f"({len(best)} benchmarks)")
+PYEOF
+fi
 
 echo "bench_baseline.sh: baseline written to $OUT"

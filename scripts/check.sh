@@ -58,7 +58,7 @@ for preset in "${PRESETS[@]}"; do
   if [[ "$preset" == tsan ]]; then
     # Concurrency-relevant tests only; see the header comment.
     ctest --preset "$preset" -j "$JOBS" \
-      -R '^(ThreadPool|Experiment|AlternativeSearchParallel|SlotFilter|SlotIntervalIndex|MultiVoDriver)'
+      -R '^(ThreadPool|Experiment|AlternativeSearchParallel|SlotFilter|PersistentFilter|SlotIntervalIndex|MultiVoDriver)'
   else
     ctest --preset "$preset" -j "$JOBS"
   fi

@@ -94,6 +94,10 @@ names = [entry["name"] for entry in data["benchmarks"]]
 assert names, "bench smoke produced no benchmark entries"
 probes = [name for name in names if name.startswith("BM_SlotListProbe")]
 assert probes, "slot-list probe benches missing from the bench binary"
+steady = [n for n in names if n.startswith("BM_VoIterationSteadyState")]
+assert steady, "steady-state VO iteration benches missing from the binary"
+compaction = [n for n in names if n.startswith("BM_SlotIndexCompaction")]
+assert compaction, "index-compaction benches missing from the bench binary"
 print(f"bench smoke: {len(names)} benchmark entries, JSON well-formed")
 PYEOF
 
@@ -105,7 +109,7 @@ echo "=== ci stage 5/10: schedule-fuzz stress (adversarial schedules) ==="
 for SHUFFLE_SEED in 1 7 42; do
   echo "--- schedule-fuzz stress: seed $SHUFFLE_SEED ---"
   ECOSCHED_SCHEDULE_FUZZ="$SHUFFLE_SEED" ctest --preset release -j "$JOBS" \
-    -R '^(ThreadPool|Experiment|AlternativeSearchParallel|SlotFilter|SlotIntervalIndex|MultiVoDriver)' \
+    -R '^(ThreadPool|Experiment|AlternativeSearchParallel|SlotFilter|PersistentFilter|SlotIntervalIndex|MultiVoDriver)' \
     --output-on-failure
 done
 

@@ -100,3 +100,13 @@ bool AlpSearch::admits(const Slot &S, const ResourceRequest &Request) const {
          detail::meetsLength(S, Request) &&
          detail::fitsDeadline(S, S.Start, Request);
 }
+
+bool AlpSearch::admitsRemainder(const Slot &Piece,
+                                const ResourceRequest &Request) const {
+  // A remainder keeps its container's node, performance, and price, so
+  // conditions 2a and 2c hold by inheritance; the span-dependent checks
+  // (2b and the own-start deadline — the piece may start later than its
+  // container) are all that can change.
+  return detail::meetsLength(Piece, Request) &&
+         detail::fitsDeadline(Piece, Piece.Start, Request);
+}

@@ -37,6 +37,12 @@ public:
   /// request-static and shrink-monotone.
   bool admits(const Slot &S, const ResourceRequest &Request) const override;
 
+  /// Remainder fast path: performance and price cap are invariant under
+  /// span shrinking, so only condition 2b (length) and the own-start
+  /// deadline are re-checked.
+  bool admitsRemainder(const Slot &Piece,
+                       const ResourceRequest &Request) const override;
+
   /// Scan that skips the static predicate re-checks on a SlotFilter view.
   std::optional<Window>
   findWindowFiltered(const SlotList &Filtered,

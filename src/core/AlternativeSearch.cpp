@@ -7,6 +7,7 @@
 
 #include "core/AlternativeSearch.h"
 
+#include "core/PersistentSlotFilter.h"
 #include "core/SlotFilter.h"
 #include "support/Check.h"
 #include "support/ThreadPool.h"
@@ -58,14 +59,34 @@ AlternativeSet AlternativeSearch::runUnfiltered(SlotList List,
 }
 
 AlternativeSet AlternativeSearch::run(SlotList List, const Batch &Jobs,
-                                      SearchStats *Stats) const {
+                                      SearchStats *Stats,
+                                      PersistentSlotFilter *Reuse) const {
   if (!Cfg.UseFilter)
     return runUnfiltered(std::move(List), Jobs, Stats);
+  if (Reuse) {
+    ECOSCHED_CHECK(Reuse->jobCount() == Jobs.size(),
+                   "persistent filter holds {} views for a batch of {} "
+                   "jobs; sync() it with this batch first",
+                   Reuse->jobCount(), Jobs.size());
+    AlternativeSet Result =
+        runFiltered(std::move(List), Jobs, Stats, *Reuse);
+    // Unwind the sweep's journaled damage so the views return to their
+    // post-sync state, ready for the next iteration's delta sync.
+    Reuse->rollbackSweepDamage();
+    return Result;
+  }
+  SlotFilter Filter(List, Jobs, Algo);
+  return runFiltered(std::move(List), Jobs, Stats, Filter);
+}
 
+template <typename FilterT>
+AlternativeSet AlternativeSearch::runFiltered(SlotList List,
+                                              const Batch &Jobs,
+                                              SearchStats *Stats,
+                                              FilterT &Filter) const {
   AlternativeSet Result;
   Result.PerJob.resize(Jobs.size());
   ECOSCHED_DVALIDATE(List.validate());
-  SlotFilter Filter(List, Jobs, Algo);
   const bool Sharded = Cfg.Pool && Algo.supportsSpeculativeReuse();
 
   const auto Capped = [&](size_t I) {
@@ -143,8 +164,11 @@ AlternativeSet AlternativeSearch::run(SlotList List, const Batch &Jobs,
         PlacedAny = true;
       }
     }
-    ECOSCHED_DVALIDATE(List.validate());
-    if (!PlacedAny)
+    // A pass that committed nothing left the list untouched, so only
+    // mutating passes re-validate (the entry check covered the rest).
+    if (PlacedAny)
+      ECOSCHED_DVALIDATE(List.validate());
+    else
       break;
   }
   return Result;

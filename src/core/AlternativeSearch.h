@@ -36,6 +36,7 @@
 
 namespace ecosched {
 
+class PersistentSlotFilter;
 class ThreadPool;
 
 /// All alternatives found for one batch; PerJob is parallel to the
@@ -100,13 +101,33 @@ public:
   /// \param Stats optional accumulated search work counters. Counters
   /// depend on the configured path (the filter shrinks SlotsExamined;
   /// speculation adds recompute work) but not on the pool size.
+  /// \param Reuse optional persistent filter already synced with
+  /// exactly \p List and \p Jobs (PersistentSlotFilter::sync): the
+  /// sweep then scans its carried-over views instead of building a
+  /// throwaway SlotFilter, journals its damage, and rolls the journal
+  /// back before returning, leaving \p Reuse ready for the next
+  /// iteration's sync. Views synced from the same list and batch are
+  /// bitwise-equal to the throwaway filter's, so the result is
+  /// bitwise-identical with or without \p Reuse. Ignored when
+  /// Config::UseFilter is false (the unfiltered loop has no views to
+  /// reuse).
   AlternativeSet run(SlotList List, const Batch &Jobs,
-                     SearchStats *Stats = nullptr) const;
+                     SearchStats *Stats = nullptr,
+                     PersistentSlotFilter *Reuse = nullptr) const;
 
 private:
   /// The textbook loop: full-list scans, no speculation (UseFilter off).
   AlternativeSet runUnfiltered(SlotList List, const Batch &Jobs,
                                SearchStats *Stats) const;
+
+  /// The filtered multi-pass sweep, generic over the view provider:
+  /// SlotFilter (throwaway, built per call) or PersistentSlotFilter
+  /// (carried across iterations). Both expose view / applyDamage /
+  /// windowIntact with identical semantics, so the sweep body — and
+  /// therefore the result — is the same code either way.
+  template <typename FilterT>
+  AlternativeSet runFiltered(SlotList List, const Batch &Jobs,
+                             SearchStats *Stats, FilterT &Filter) const;
 
   const SlotSearchAlgorithm &Algo;
   Config Cfg = {};

@@ -125,3 +125,11 @@ bool AmpSearch::admits(const Slot &S, const ResourceRequest &Request) const {
          detail::meetsLength(S, Request) &&
          detail::fitsDeadline(S, S.Start, Request);
 }
+
+bool AmpSearch::admitsRemainder(const Slot &Piece,
+                                const ResourceRequest &Request) const {
+  // Condition 2a holds by inheritance from the admitted container; only
+  // the span-dependent checks can change for a narrower piece.
+  return detail::meetsLength(Piece, Request) &&
+         detail::fitsDeadline(Piece, Piece.Start, Request);
+}

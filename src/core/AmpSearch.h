@@ -37,6 +37,12 @@ public:
   /// price cap 2c is deliberately not part of AMP's admissibility.
   bool admits(const Slot &S, const ResourceRequest &Request) const override;
 
+  /// Remainder fast path: performance is invariant under span
+  /// shrinking, so only condition 2b (length) and the own-start
+  /// deadline are re-checked (AMP has no per-slot price cap).
+  bool admitsRemainder(const Slot &Piece,
+                       const ResourceRequest &Request) const override;
+
   /// Scan that skips the static predicate re-checks on a SlotFilter view.
   std::optional<Window>
   findWindowFiltered(const SlotList &Filtered,

@@ -104,3 +104,11 @@ bool BackfillSearch::admits(const Slot &S,
   return PriceRule != PriceRuleKind::PerSlotCap ||
          detail::meetsPriceCap(S, Request);
 }
+
+bool BackfillSearch::admitsRemainder(const Slot &,
+                                     const ResourceRequest &) const {
+  // Backfill's statics are performance and (optionally) the per-slot
+  // price cap — both properties of the node, not the span, so a piece
+  // of an admitted slot is always admitted.
+  return true;
+}

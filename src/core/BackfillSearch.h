@@ -58,6 +58,12 @@ public:
   /// change results.
   bool admits(const Slot &S, const ResourceRequest &Request) const override;
 
+  /// Remainder fast path: every backfill static predicate (performance,
+  /// optional per-slot price cap) is invariant under span shrinking, so
+  /// an admitted container's pieces are admitted unconditionally.
+  bool admitsRemainder(const Slot &Piece,
+                       const ResourceRequest &Request) const override;
+
 private:
   PriceRuleKind PriceRule;
 };

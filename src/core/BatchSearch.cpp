@@ -50,6 +50,27 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
   std::vector<char> Consumed(Queue.size(), 0);
   size_t Unplaced = Jobs.size();
 
+  // Per-(serial, job) memo of the request-static predicates
+  // (performance, optional price cap): 0 unknown, 1 admitted, 2
+  // rejected. A requeued tail keeps its source's node, performance,
+  // and price, so its row is inherited from the source serial instead
+  // of re-evaluated — the same statics-are-shrink-invariant fact the
+  // filters' admitsRemainder fast path relies on.
+  const size_t JobCount = Jobs.size();
+  std::vector<char> StaticAdmit(Queue.size() * JobCount, 0);
+  const auto staticAdmits = [&](const ScanSlot &Cur,
+                                const ResourceRequest &Req, size_t J) {
+    char &Memo = StaticAdmit[Cur.Serial * JobCount + J];
+    if (Memo == 0) {
+      const bool Ok = detail::meetsPerformance(Cur.S, Req) &&
+                      (PriceMode != PriceModeKind::PerSlotCap ||
+                       detail::meetsPriceCap(Cur.S, Req));
+      Memo = Ok ? 1 : 2;
+    }
+    return Memo == 1;
+  };
+  std::vector<char> RowScratch(JobCount);
+
   // Scratch buffers hoisted out of the scan so commits reuse capacity
   // instead of allocating per window.
   std::vector<const ScanSlot *> Candidates;
@@ -66,10 +87,7 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
       if (Consumed[Cur.Serial])
         break; // A higher-priority job took this slot at this anchor.
       const ResourceRequest &Req = Jobs[J].Request;
-      if (!detail::meetsPerformance(Cur.S, Req))
-        continue;
-      if (PriceMode == PriceModeKind::PerSlotCap &&
-          !detail::meetsPriceCap(Cur.S, Req))
+      if (!staticAdmits(Cur, Req, J))
         continue;
       if (!detail::meetsLength(Cur.S, Req))
         continue;
@@ -128,7 +146,11 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
       Result.PerJob[J] = detail::buildWindow(Anchor, Members, Req);
       --Unplaced;
 
+      size_t MemberIdx = 0;
       for (const WindowSlot &M : *Result.PerJob[J]) {
+        // Window members preserve Candidates order (buildWindow), so
+        // this member's scan-queue serial is Serials[MemberIdx].
+        const uint64_t SourceSerial = Serials[MemberIdx++];
         const double TailStart = Anchor + M.Runtime;
         if (approxGt(M.Source.End - TailStart, 0.0)) {
           ScanSlot Tail;
@@ -136,6 +158,13 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
           Tail.S.Start = TailStart;
           Tail.Serial = NextSerial++;
           Consumed.push_back(0);
+          // Inherit the source's static-predicate row (via scratch —
+          // self-insertion from a vector that may reallocate is UB).
+          std::copy_n(StaticAdmit.begin() +
+                          static_cast<long>(SourceSerial * JobCount),
+                      JobCount, RowScratch.begin());
+          StaticAdmit.insert(StaticAdmit.end(), RowScratch.begin(),
+                             RowScratch.end());
           // Tails start after the current anchor; keep the unscanned
           // region sorted so the scan encounters them in order.
           const auto Pos = std::upper_bound(

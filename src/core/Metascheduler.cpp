@@ -12,11 +12,12 @@
 
 using namespace ecosched;
 
-IterationOutcome Metascheduler::runIteration(const SlotList &List,
-                                             const Batch &Jobs) const {
+IterationOutcome
+Metascheduler::runIteration(const SlotList &List, const Batch &Jobs,
+                            PersistentSlotFilter *Reuse) const {
   IterationOutcome Outcome;
   AlternativeSearch Search(SearchAlgo, Cfg.Search);
-  Outcome.Alternatives = Search.run(List, Jobs, &Outcome.Stats);
+  Outcome.Alternatives = Search.run(List, Jobs, &Outcome.Stats, Reuse);
 
   // Jobs without alternatives are postponed; whether the rest proceeds
   // depends on the partial-batch policy.

@@ -89,10 +89,20 @@ public:
       : SearchAlgo(SearchAlgo), Optimizer(Optimizer), Cfg(Cfg) {}
 
   /// Runs one full scheduling iteration of \p Jobs over \p List.
-  IterationOutcome runIteration(const SlotList &List,
-                                const Batch &Jobs) const;
+  /// \param Reuse optional persistent filter synced with exactly
+  /// \p List and \p Jobs, forwarded to phase 1's AlternativeSearch (see
+  /// AlternativeSearch::run). The scheduler itself stays stateless —
+  /// drivers share one scheduler across many VOs, so cross-iteration
+  /// filter state is owned by the caller and passed per call; the
+  /// outcome is bitwise-identical with or without it.
+  IterationOutcome runIteration(const SlotList &List, const Batch &Jobs,
+                                PersistentSlotFilter *Reuse = nullptr) const;
 
   const Config &config() const { return Cfg; }
+
+  /// The phase-1 search algorithm; engine owners of persistent filter
+  /// state bind their PersistentSlotFilter to it.
+  const SlotSearchAlgorithm &searchAlgo() const { return SearchAlgo; }
 
 private:
   const SlotSearchAlgorithm &SearchAlgo;

@@ -1,0 +1,220 @@
+//===-- core/PersistentSlotFilter.cpp - Cross-iteration slot views --------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PersistentSlotFilter.h"
+
+#include "core/SlotFilter.h"
+#include "support/Check.h"
+
+using namespace ecosched;
+
+namespace {
+
+/// Exact field-by-field request equality. Conservative on purpose: any
+/// difference — even in fields today's admits() implementations ignore,
+/// like the budget factor — rebuilds the view, so the matching never
+/// has to know which fields a (possibly future) algorithm's statics
+/// read. NaN never matches itself, which also degrades to a rebuild.
+bool requestsIdentical(const ResourceRequest &A, const ResourceRequest &B) {
+  return A.NodeCount == B.NodeCount && A.Volume == B.Volume &&
+         A.MinPerformance == B.MinPerformance &&
+         A.MaxUnitPrice == B.MaxUnitPrice &&
+         A.BudgetFactor == B.BudgetFactor &&
+         A.BudgetPolicy == B.BudgetPolicy && A.Deadline == B.Deadline;
+}
+
+/// Exact slot identity beyond the (Start, NodeId, End) ordering key:
+/// the diff treats a key-equal slot whose performance or price changed
+/// (owner-side repricing) as a removal plus an addition, so views never
+/// carry stale denormalized node fields.
+bool slotsIdentical(const Slot &A, const Slot &B) {
+  return A.Performance == B.Performance && A.UnitPrice == B.UnitPrice;
+}
+
+} // namespace
+
+PersistentSlotFilter::PersistentSlotFilter(const SlotSearchAlgorithm &Algo)
+    : Algo(Algo) {}
+
+void PersistentSlotFilter::sync(const SlotList &Master, const Batch &Jobs,
+                                SearchStats *Stats) {
+  ECOSCHED_CHECK(Journal.empty(),
+                 "persistent filter synced with {} unrolled sweep splices "
+                 "in the journal",
+                 Journal.size());
+  // No master validation here: every sync is followed by a sweep over
+  // the same list, and runFiltered() validates it at entry — repeating
+  // the O(n log n) check per sync would double the debug-check cost of
+  // exactly the steady-state path this class exists to shrink.
+
+  // Slot delta: one sorted merge walk of the shadow against the new
+  // master. Both lists are slotStartLess-sorted with unique (Start,
+  // NodeId) keys (per-node disjointness), so equal keys align and the
+  // walk is a plain two-pointer diff; Removed and Added come out sorted
+  // as subsequences of sorted inputs.
+  std::vector<Slot> Removed;
+  std::vector<Slot> Added;
+  {
+    auto I = Shadow.begin();
+    const auto IE = Shadow.end();
+    auto J = Master.begin();
+    const auto JE = Master.end();
+    while (I != IE && J != JE) {
+      if (slotStartLess(*I, *J)) {
+        Removed.push_back(*I);
+        ++I;
+      } else if (slotStartLess(*J, *I)) {
+        Added.push_back(*J);
+        ++J;
+      } else {
+        if (!slotsIdentical(*I, *J)) {
+          Removed.push_back(*I);
+          Added.push_back(*J);
+        }
+        ++I;
+        ++J;
+      }
+    }
+    Removed.insert(Removed.end(), I, IE);
+    Added.insert(Added.end(), J, JE);
+  }
+  const size_t DeltaSize = Removed.size() + Added.size();
+
+  // Job delta: match each batch job against the previous batch's cached
+  // views by identical (Id, Request); each cached view is consumed at
+  // most once, so duplicate ids pair off one-to-one. The batch is small
+  // relative to the slot lists, so the quadratic scan is noise.
+  std::vector<ViewEntry> Next;
+  Next.reserve(Jobs.size());
+  std::vector<char> Consumed(Entries.size(), 0);
+  for (const Job &J : Jobs) {
+    ViewEntry E;
+    E.JobId = J.Id;
+    E.Request = J.Request;
+    size_t Match = Entries.size();
+    for (size_t K = 0, KE = Entries.size(); K != KE; ++K) {
+      if (!Consumed[K] && Entries[K].JobId == J.Id &&
+          requestsIdentical(Entries[K].Request, J.Request)) {
+        Match = K;
+        break;
+      }
+    }
+    if (Match != Entries.size()) {
+      Consumed[Match] = 1;
+      E.View = std::move(Entries[Match].View);
+
+      // Splicing the delta beats refiltering until most of the list has
+      // turned over: a splice runs admits() only on the Added slots
+      // plus a binary search per delta entry, while a rebuild runs
+      // admits() on every master slot. The advancing horizon alone
+      // churns a few slots per node per iteration (clipped starts, new
+      // spans at the far edge), so the cutoff must scale with the
+      // master, not the view — a per-view fraction starves reuse on
+      // exactly the steady-state path this class exists for. Only a
+      // majority turnover (rollover of an idle domain, mass failure)
+      // falls back to the rebuild oracle. The cutoff depends only on
+      // the delta and master sizes, so it is deterministic and
+      // bitwise-neutral either way.
+      const size_t SpliceBudget = 16 + Master.size();
+      if (DeltaSize > SpliceBudget) {
+        E.View = SlotFilter::filteredCopy(Master, E.Request, Algo);
+        if (Stats)
+          ++Stats->FilterViewRebuilds;
+      } else {
+        size_t Ops = 0;
+        for (const Slot &S : Removed)
+          if (E.View.eraseExact(S))
+            ++Ops;
+        // The re-admission path: a span returning to the free pool
+        // (completion, release, repair, horizon extension) re-enters a
+        // view iff it passes exactly the predicate filteredCopy applies
+        // — the scan-horizon cutoff and the full admits(), not the
+        // remainder fast path, because an added slot inherits nothing
+        // from a previously admitted container.
+        for (const Slot &S : Added) {
+          if (SlotFilter::inScanHorizon(S, E.Request) &&
+              Algo.admits(S, E.Request)) {
+            E.View.insertVerbatim(S);
+            ++Ops;
+          }
+        }
+        if (Stats) {
+          ++Stats->FilterViewReuses;
+          Stats->FilterDeltaOps += Ops;
+        }
+      }
+    } else {
+      E.View = SlotFilter::filteredCopy(Master, E.Request, Algo);
+      if (Stats)
+        ++Stats->FilterViewRebuilds;
+    }
+    Next.push_back(std::move(E));
+  }
+  Entries = std::move(Next);
+  Shadow = Master;
+}
+
+void PersistentSlotFilter::applyDamage(const Window &W) {
+  const double Start = W.startTime();
+  for (size_t J = 0, E = Entries.size(); J != E; ++J) {
+    const ResourceRequest &Request = Entries[J].Request;
+    for (const WindowSlot &M : W) {
+      DamageRecord R;
+      R.ViewIndex = J;
+      R.Container = M.Source;
+      // Same Keep predicate as SlotFilter::applyDamage — the horizon
+      // cutoff is skipped for the head piece, which keeps its
+      // container's already-vetted start — additionally capturing the
+      // pieces that re-enter the view so the journal can remove
+      // exactly them on rollback.
+      const auto Keep = [&](const Slot &Piece) {
+        const bool Kept = (Piece.Start == M.Source.Start ||
+                           SlotFilter::inScanHorizon(Piece, Request)) &&
+                          Algo.admitsRemainder(Piece, Request);
+        if (Kept)
+          R.Pieces[R.PieceCount++] = Piece;
+        return Kept;
+      };
+      // A false return means this view never held the member slot
+      // (inadmissible for job J): Keep was not invoked, nothing to
+      // journal.
+      if (Entries[J].View.subtractExact(M.Source, Start, Start + M.Runtime,
+                                        Keep))
+        Journal.push_back(R);
+    }
+  }
+}
+
+bool PersistentSlotFilter::windowIntact(size_t J, const Window &W) const {
+  for (const WindowSlot &M : W)
+    if (!Entries[J].View.containsExact(M.Source))
+      return false;
+  return true;
+}
+
+void PersistentSlotFilter::rollbackSweepDamage() {
+  // Reverse order is load-bearing: a later commit may have taken one of
+  // an earlier splice's remainder pieces as its own container, so the
+  // piece only exists to be erased once the later splice has been
+  // undone first. Exact keys are unambiguous — per-node disjointness
+  // holds at every intermediate state, so (Start, NodeId) names one
+  // slot — which makes each undo an exact inverse and the full unwind
+  // a bitwise restoration of the post-sync views.
+  for (auto It = Journal.rbegin(), E = Journal.rend(); It != E; ++It) {
+    SlotList &View = Entries[It->ViewIndex].View;
+    for (unsigned P = 0; P != It->PieceCount; ++P) {
+      const bool Erased = View.eraseExact(It->Pieces[P]);
+      ECOSCHED_CHECK(Erased,
+                     "sweep rollback missed a journaled remainder piece on "
+                     "node {}: [{}, {})",
+                     It->Pieces[P].NodeId, It->Pieces[P].Start,
+                     It->Pieces[P].End);
+    }
+    View.insertVerbatim(It->Container);
+  }
+  Journal.clear();
+}

@@ -1,0 +1,146 @@
+//===-- core/PersistentSlotFilter.h - Cross-iteration slot views ---*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-job admissibility views that survive across VO iterations.
+/// AlternativeSearch normally rebuilds a SlotFilter from scratch on
+/// every call — O(jobs * slots) — even though consecutive iterations of
+/// VirtualOrganization::runIteration see nearly the same domain: a few
+/// reservations committed or retired, a node failed or repaired, a
+/// local task added, the horizon rolled forward one period. The
+/// persistent filter keeps last iteration's views and reconciles them
+/// with this iteration's published master list by explicit deltas, so
+/// the steady-state cost tracks the delta, not the domain size.
+///
+/// Delta protocol (docs/PERFORMANCE.md, "The persistent filter"):
+///  * Slot deltas are derived, not event-sourced: sync() diffs the new
+///    master against a retained shadow of the previous one with one
+///    sorted merge walk. Every free-pool change — reservations
+///    committed by the ledger, spans returning on completion / release
+///    / cancellation, node failure and repair, owner-side local tasks
+///    and price updates, and the period-rollover horizon shift —
+///    surfaces in that diff, so no producer has to publish events.
+///    Removed slots leave each reused view by an exact-key splice;
+///    added slots re-enter a view iff they pass the same scan-horizon +
+///    admits() test filteredCopy applies (the re-admission path).
+///  * Job deltas come from batch matching: a job whose (Id, Request)
+///    pair is bitwise-identical to one of the previous batch keeps its
+///    view (a *view reuse*); arrivals and changed requests build fresh
+///    (a *view rebuild*); departed jobs drop theirs.
+///  * Sweep damage is journaled: during AlternativeSearch's sweep every
+///    commit splices the views exactly as the throwaway filter would,
+///    and each splice records (container, kept pieces). Rolling the
+///    journal back in reverse order — later splices may subdivide
+///    earlier pieces — restores every view to its post-sync state bit
+///    for bit, ready for the next iteration's diff.
+///
+/// Determinism argument: a reused view equals the from-scratch
+/// filteredCopy of the new master bitwise. Set-equality holds because
+/// the diff is exact and the re-admission predicate is identical to
+/// filteredCopy's; order follows, because in a structurally valid list
+/// the (Start, NodeId) key is unique, so slotStartLess assigns every
+/// slot one canonical position. The sweep then scans identical views,
+/// so results are bitwise-identical to the rebuild path for every
+/// algorithm, pool size, and schedule-fuzz seed — the twin-VO fuzzers
+/// and the PersistentFilter test suites enforce this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_PERSISTENTSLOTFILTER_H
+#define ECOSCHED_CORE_PERSISTENTSLOTFILTER_H
+
+#include "core/SearchAlgorithm.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace ecosched {
+
+/// Per-job admissible slot views reconciled across scheduling
+/// iterations by slot/job deltas. Owned at the engine layer (one per
+/// VirtualOrganization — the Metascheduler is shared and stateless) and
+/// passed down through Metascheduler::runIteration into
+/// AlternativeSearch, which uses it in place of a throwaway SlotFilter.
+class PersistentSlotFilter {
+public:
+  /// \p Algo must outlive the filter; views cache its admits()
+  /// decisions, so one filter serves exactly one algorithm.
+  explicit PersistentSlotFilter(const SlotSearchAlgorithm &Algo);
+
+  /// Reconciles the filter with this iteration's \p Master list and
+  /// \p Jobs batch. Afterwards view(J) is bitwise-equal to
+  /// SlotFilter::filteredCopy(\p Master, \p Jobs[J].Request) for every
+  /// J, and the filter is ready for one AlternativeSearch sweep.
+  /// \p Master must be structurally valid (per-node disjoint, no
+  /// zero-length slots), as ComputingDomain::vacantSlots guarantees.
+  /// O(master-diff + affected-view splices) in the steady state; a view
+  /// facing a delta larger than its splice budget falls back to one
+  /// filteredCopy rebuild (counted as a forced rebuild).
+  /// \param Stats when non-null, accumulates FilterViewReuses,
+  /// FilterViewRebuilds, and FilterDeltaOps for this sync.
+  void sync(const SlotList &Master, const Batch &Jobs,
+            SearchStats *Stats = nullptr);
+
+  /// The admissible subsequence of the master list for job \p J of the
+  /// last synced batch — same meaning as SlotFilter::view.
+  const SlotList &view(size_t J) const { return Entries[J].View; }
+
+  /// Jobs of the last synced batch.
+  size_t jobCount() const { return Entries.size(); }
+
+  /// SlotFilter::applyDamage with journaling: propagates a committed
+  /// window's damage into every view and records each successful splice
+  /// so rollbackSweepDamage() can undo it.
+  void applyDamage(const Window &W);
+
+  /// True if every member slot of \p W is still present verbatim in
+  /// view \p J — same meaning as SlotFilter::windowIntact.
+  bool windowIntact(size_t J, const Window &W) const;
+
+  /// Rolls every journaled splice back in reverse order, restoring all
+  /// views to their post-sync state bitwise. AlternativeSearch calls
+  /// this once after its sweep; idempotent on an empty journal.
+  void rollbackSweepDamage();
+
+  /// Journaled splices not yet rolled back (tests).
+  size_t journalSize() const { return Journal.size(); }
+
+  /// The algorithm the views were filtered through.
+  const SlotSearchAlgorithm &algorithm() const { return Algo; }
+
+  /// The retained copy of the last synced master list (tests).
+  const SlotList &shadowMaster() const { return Shadow; }
+
+private:
+  /// One job's cached view, carried between iterations.
+  struct ViewEntry {
+    int JobId = -1;
+    ResourceRequest Request;
+    SlotList View;
+  };
+
+  /// One journaled view splice: subtractExact erased Container from
+  /// view ViewIndex and kept PieceCount remainder pieces.
+  struct DamageRecord {
+    size_t ViewIndex = 0;
+    Slot Container;
+    Slot Pieces[2];
+    unsigned PieceCount = 0;
+  };
+
+  const SlotSearchAlgorithm &Algo;
+  /// Last synced master list; next sync() diffs against it.
+  SlotList Shadow;
+  /// Views in last synced batch order.
+  std::vector<ViewEntry> Entries;
+  /// Sweep splices since the last sync, in application order.
+  std::vector<DamageRecord> Journal;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_CORE_PERSISTENTSLOTFILTER_H

@@ -16,6 +16,13 @@ bool SlotSearchAlgorithm::admits(const Slot &, const ResourceRequest &) const {
   return true;
 }
 
+bool SlotSearchAlgorithm::admitsRemainder(
+    const Slot &Piece, const ResourceRequest &Request) const {
+  // Re-running the static predicates on a remainder piece is redundant
+  // for the shrink-invariant ones but never wrong.
+  return admits(Piece, Request);
+}
+
 std::optional<Window>
 SlotSearchAlgorithm::findWindowFiltered(const SlotList &Filtered,
                                         const ResourceRequest &Request,

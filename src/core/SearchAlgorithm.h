@@ -37,12 +37,25 @@ struct SearchStats {
   /// Speculative windows discarded and recomputed serially by the
   /// sharded alternative sweep (docs/PERFORMANCE.md).
   size_t SpeculationRecomputes = 0;
+  /// Per-job views carried across VO iterations by the persistent
+  /// filter instead of being rebuilt (docs/PERFORMANCE.md, "The
+  /// persistent filter").
+  size_t FilterViewReuses = 0;
+  /// Views the persistent filter had to build from scratch: new jobs,
+  /// changed requests, and deltas too large to splice profitably.
+  size_t FilterViewRebuilds = 0;
+  /// Individual slot splices (erase or re-admission insert) the
+  /// persistent filter applied while reconciling reused views.
+  size_t FilterDeltaOps = 0;
 
   SearchStats &operator+=(const SearchStats &Other) {
     SlotsExamined += Other.SlotsExamined;
     GroupPeak = GroupPeak > Other.GroupPeak ? GroupPeak : Other.GroupPeak;
     GroupOperations += Other.GroupOperations;
     SpeculationRecomputes += Other.SpeculationRecomputes;
+    FilterViewReuses += Other.FilterViewReuses;
+    FilterViewRebuilds += Other.FilterViewRebuilds;
+    FilterDeltaOps += Other.FilterDeltaOps;
     return *this;
   }
 };
@@ -76,6 +89,20 @@ public:
   /// own-start deadline check satisfy this. The base implementation
   /// admits everything.
   virtual bool admits(const Slot &S, const ResourceRequest &Request) const;
+
+  /// admits() specialized to remainder pieces: \p Piece is a sub-span —
+  /// same node, performance, and unit price, narrower time span — of a
+  /// slot this algorithm already admitted for \p Request.
+  /// Implementations may skip predicates that cannot change when a
+  /// slot's span shrinks (performance, price cap) and re-check only the
+  /// span-dependent ones (length, own-start deadline).
+  ///
+  /// Contract: must return exactly admits(\p Piece, \p Request) — this
+  /// is a pure fast path for the filters' re-admission Keep callback,
+  /// never a semantic change. The base implementation forwards to
+  /// admits(), which is always correct.
+  virtual bool admitsRemainder(const Slot &Piece,
+                               const ResourceRequest &Request) const;
 
   /// findWindow over a \p Filtered list that contains only slots passing
   /// admits(): implementations may skip their request-static predicate

@@ -9,20 +9,6 @@
 
 using namespace ecosched;
 
-namespace {
-
-/// True if a deadline-bounded scan can reach \p S at all: the search
-/// loops stop at SlotList::scanEndBefore(Deadline), so slots past that
-/// horizon can never influence a window and need not enter a view.
-/// Views and filteredCopy() apply the same cutoff, and applyDamage()'s
-/// Keep filter repeats it on remainder pieces, so the view invariant
-/// (view == filteredCopy of the equally damaged master) is preserved.
-bool inScanHorizon(const Slot &S, const ResourceRequest &Request) {
-  return approxLt(S.Start, Request.Deadline);
-}
-
-} // namespace
-
 SlotFilter::SlotFilter(const SlotList &Master, const Batch &Jobs,
                        const SlotSearchAlgorithm &Algo)
     : Algo(Algo) {
@@ -38,13 +24,24 @@ void SlotFilter::applyDamage(const Window &W) {
   const double Start = W.startTime();
   for (size_t J = 0, E = Views.size(); J != E; ++J) {
     const ResourceRequest &Request = Requests[J];
-    const auto Keep = [&](const Slot &Piece) {
-      return inScanHorizon(Piece, Request) && Algo.admits(Piece, Request);
-    };
-    for (const WindowSlot &M : W)
+    for (const WindowSlot &M : W) {
+      // admitsRemainder skips the shrink-invariant statics the
+      // container already passed; its contract pins it to admits()
+      // exactly, so the view invariant is unchanged. The horizon
+      // cutoff is likewise skipped for the head piece: it keeps its
+      // container's exact start, and every slot enters a view only
+      // through that same cutoff (filteredCopy's bounded scan, the
+      // delta re-admission, or this Keep), so only the tail piece —
+      // which starts later than its container — can newly fail it.
+      const auto Keep = [&](const Slot &Piece) {
+        return (Piece.Start == M.Source.Start ||
+                inScanHorizon(Piece, Request)) &&
+               Algo.admitsRemainder(Piece, Request);
+      };
       // A false return means this view never held the member slot
       // (inadmissible for job J), so there is nothing to update.
       Views[J].subtractExact(M.Source, Start, Start + M.Runtime, Keep);
+    }
   }
 }
 

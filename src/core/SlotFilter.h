@@ -79,6 +79,16 @@ public:
                                const ResourceRequest &Request,
                                const SlotSearchAlgorithm &Algo);
 
+  /// True if a deadline-bounded scan can reach \p S at all: the search
+  /// loops stop at SlotList::scanEndBefore(Deadline), so slots past
+  /// that horizon can never influence a window and need not enter a
+  /// view. Views, filteredCopy(), the damage Keep filters, and the
+  /// persistent filter's delta re-admission all apply this same cutoff,
+  /// which is what preserves the view invariant.
+  static bool inScanHorizon(const Slot &S, const ResourceRequest &Request) {
+    return approxLt(S.Start, Request.Deadline);
+  }
+
 private:
   const SlotSearchAlgorithm &Algo;
   std::vector<ResourceRequest> Requests;

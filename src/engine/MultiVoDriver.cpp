@@ -81,3 +81,10 @@ size_t MultiVoDriver::totalDropped() const {
     Count += T.Vo->dropped().size();
   return Count;
 }
+
+SearchStats MultiVoDriver::totalFilterStats() const {
+  SearchStats Total;
+  for (const Tenant &T : Tenants)
+    Total += T.Vo->filterStats();
+  return Total;
+}

@@ -93,6 +93,12 @@ public:
   size_t totalCompleted() const;
   size_t totalDropped() const;
 
+  /// Persistent-filter reconciliation counters summed across tenants in
+  /// VO-index order (each tenant's filter is private to its VO, so the
+  /// fold is race-free). All-zero when tenants run with ReuseFilter
+  /// off.
+  SearchStats totalFilterStats() const;
+
 private:
   /// A VO plus its private arrival stream. The VO is heap-allocated
   /// because it holds a reference member and must stay put while the

@@ -32,7 +32,22 @@ VirtualOrganization::IterationReport VirtualOrganization::runIteration() {
   if (!Jobs.empty()) {
     const SlotList Slots = Domain.vacantSlots(Clock.now(),
                                               Clock.horizonEnd());
-    Report.Outcome = Scheduler.runIteration(Slots, Jobs);
+    // Reconcile the carried-over views with this iteration's slots and
+    // batch; the sweep then reuses them instead of rebuilding. The
+    // sync's reconciliation counters ride along in the iteration's
+    // stats (they are the only stats difference versus the rebuild
+    // path — the sweep scans bitwise-identical views either way).
+    PersistentSlotFilter *Reuse = nullptr;
+    SearchStats SyncStats;
+    if (Cfg.ReuseFilter && Scheduler.config().Search.UseFilter) {
+      if (!Filter)
+        Filter.emplace(Scheduler.searchAlgo());
+      Filter->sync(Slots, Jobs, &SyncStats);
+      Reuse = &*Filter;
+    }
+    Report.Outcome = Scheduler.runIteration(Slots, Jobs, Reuse);
+    Report.Outcome.Stats += SyncStats;
+    FilterStats += SyncStats;
 
     // Commit the selected windows as external reservations and remove
     // the jobs from the queue.

@@ -23,10 +23,13 @@
 #define ECOSCHED_ENGINE_VIRTUALORGANIZATION_H
 
 #include "core/Metascheduler.h"
+#include "core/PersistentSlotFilter.h"
 #include "engine/JobQueue.h"
 #include "engine/ReservationLedger.h"
 #include "engine/SimClock.h"
 #include "sim/ComputingDomain.h"
+
+#include <optional>
 
 namespace ecosched {
 
@@ -41,6 +44,14 @@ public:
     /// Drop a job after this many failed attempts; 0 keeps it queued
     /// forever.
     int MaxAttempts = 0;
+    /// Carry the per-job admissibility views across iterations in a
+    /// PersistentSlotFilter, synced by deltas instead of rebuilt (the
+    /// cross-iteration reuse of docs/PERFORMANCE.md). Results are
+    /// bitwise-identical either way — false selects the from-scratch
+    /// rebuild inside AlternativeSearch and serves as the differential
+    /// oracle for the equivalence suites and twin-VO fuzzers. Ignored
+    /// when the scheduler runs with UseFilter off (no views exist).
+    bool ReuseFilter = true;
   };
 
   /// Report of one VO iteration.
@@ -107,6 +118,12 @@ public:
   const JobQueue &queue() const { return Queue; }
   const ReservationLedger &ledger() const { return Ledger; }
 
+  /// Cumulative persistent-filter reconciliation counters (view
+  /// reuses, forced rebuilds, delta splices) across all iterations so
+  /// far; all-zero when ReuseFilter is off. Each iteration's share is
+  /// also folded into that iteration's Outcome.Stats.
+  const SearchStats &filterStats() const { return FilterStats; }
+
 private:
   ComputingDomain Domain;
   const Metascheduler &Scheduler;
@@ -114,6 +131,12 @@ private:
   SimClock Clock;
   JobQueue Queue;
   ReservationLedger Ledger;
+  /// Cross-iteration admissibility views (engine-owned: the scheduler
+  /// is shared across VOs and stays stateless). Engaged lazily on the
+  /// first iteration that can reuse, so oracle-configured VOs carry no
+  /// filter state at all.
+  std::optional<PersistentSlotFilter> Filter;
+  SearchStats FilterStats;
 };
 
 } // namespace ecosched

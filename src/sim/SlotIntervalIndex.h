@@ -66,6 +66,26 @@ public:
     double End = 0.0;
   };
 
+  /// Default compaction trigger: compaction fires when tombstones plus
+  /// pending entries reach this count, bounding both the probes'
+  /// skip work and the buffer scan. Named so the bench gate
+  /// (BM_SlotIndexCompaction) and the threshold-sweep tests can refer
+  /// to — and override — the production value instead of a magic 128.
+  static constexpr size_t DefaultCompactThreshold = 128;
+
+  /// The active compaction trigger; DefaultCompactThreshold unless a
+  /// test overrode it.
+  size_t compactThreshold() const { return CompactThreshold; }
+
+  /// Test-only override of the compaction trigger (minimum 1). The
+  /// threshold is a pure performance knob — probes and answers are
+  /// identical for any value — so sweeps can force frequent or rare
+  /// compaction to exercise both regimes. Takes effect on the next
+  /// noteInsert/noteErase; it does not trigger a compaction itself.
+  void setCompactThreshold(size_t Threshold) {
+    CompactThreshold = Threshold > 0 ? Threshold : 1;
+  }
+
   /// True once buildFrom() has run; an unbuilt index ignores
   /// noteInsert/noteErase so lists that never probe pay nothing.
   bool built() const { return Built; }
@@ -114,9 +134,9 @@ private:
     double End = 0.0;
   };
 
-  /// Compaction fires when tombstones + pending entries reach this
-  /// count, bounding both the probes' skip work and the buffer scan.
-  static constexpr size_t CompactThreshold = 128;
+  /// Active compaction trigger (see DefaultCompactThreshold /
+  /// setCompactThreshold).
+  size_t CompactThreshold = DefaultCompactThreshold;
 
   /// Exact lexicographic (NodeId, Start, End) order. Within one node
   /// this equals the master vector's per-node order: the master is

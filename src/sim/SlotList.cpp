@@ -9,8 +9,63 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 using namespace ecosched;
+
+namespace {
+
+/// One slot's span keyed for the per-node overlap sweep.
+struct NodeSpanRef {
+  int NodeId = -1;
+  double Start = 0.0;
+  double End = 0.0;
+  size_t Idx = 0;
+};
+
+/// Finds a same-node pair overlapping by more than the tolerance, as
+/// (lower, higher) original indices, or nullopt if per-node spans are
+/// disjoint. Regrouped by (NodeId, Start) with exact comparisons and
+/// swept once per node run: any overlapping pair also overlaps the
+/// running farthest-reaching predecessor, so the adjacent check is
+/// equivalent to the all-pairs scan at O(n log n) instead of O(n^2) —
+/// validate() runs on every search entry point, so hot paths feel this
+/// cost (docs/PERFORMANCE.md).
+std::optional<std::pair<size_t, size_t>>
+findNodeOverlap(const std::vector<Slot> &Slots) {
+  std::vector<NodeSpanRef> Refs;
+  Refs.reserve(Slots.size());
+  for (size_t I = 0, E = Slots.size(); I < E; ++I)
+    Refs.push_back({Slots[I].NodeId, Slots[I].Start, Slots[I].End, I});
+  std::sort(Refs.begin(), Refs.end(),
+            [](const NodeSpanRef &A, const NodeSpanRef &B) {
+              if (A.NodeId != B.NodeId)
+                return A.NodeId < B.NodeId;
+              if (A.Start != B.Start)
+                return A.Start < B.Start;
+              return A.Idx < B.Idx;
+            });
+  size_t MaxEndAt = 0;
+  for (size_t I = 1, E = Refs.size(); I < E; ++I) {
+    if (Refs[I].NodeId != Refs[I - 1].NodeId) {
+      MaxEndAt = I;
+      continue;
+    }
+    // Sorted by start within the node, so the overlap starts at I's
+    // start; its length against the max-end predecessor bounds the
+    // length against every predecessor.
+    const double OverlapEnd = std::min(Refs[MaxEndAt].End, Refs[I].End);
+    if (approxGt(OverlapEnd - Refs[I].Start, 0.0))
+      return std::make_pair(std::min(Refs[MaxEndAt].Idx, Refs[I].Idx),
+                            std::max(Refs[MaxEndAt].Idx, Refs[I].Idx));
+    if (Refs[I].End > Refs[MaxEndAt].End)
+      MaxEndAt = I;
+  }
+  return std::nullopt;
+}
+
+} // namespace
 
 SlotList::SlotList(std::vector<Slot> InitialSlots)
     : Slots(std::move(InitialSlots)) {
@@ -20,10 +75,7 @@ SlotList::SlotList(std::vector<Slot> InitialSlots)
 void SlotList::insert(const Slot &S) {
   if (approxLe(S.length(), 0.0))
     return;
-  auto Pos = std::upper_bound(Slots.begin(), Slots.end(), S, slotStartLess);
-  Slots.insert(Pos, S);
-  if (Index.built())
-    Index.noteInsert(S);
+  insertVerbatim(S);
 }
 
 void SlotList::eraseAt(std::vector<Slot>::iterator It) {
@@ -152,6 +204,25 @@ bool SlotList::containsExact(const Slot &S) const {
          It->Start == S.Start && It->End == S.End;
 }
 
+bool SlotList::eraseExact(const Slot &S) {
+  const auto It =
+      std::lower_bound(Slots.begin(), Slots.end(), S, slotStartLess);
+  // Per-node disjointness makes the (Start, NodeId, End) key unique, so
+  // an equal-key slot is the one to remove or it is absent.
+  if (It == Slots.end() || It->NodeId != S.NodeId || It->Start != S.Start ||
+      It->End != S.End)
+    return false;
+  eraseAt(It);
+  return true;
+}
+
+void SlotList::insertVerbatim(const Slot &S) {
+  auto Pos = std::upper_bound(Slots.begin(), Slots.end(), S, slotStartLess);
+  Slots.insert(Pos, S);
+  if (Index.built())
+    Index.noteInsert(S);
+}
+
 double SlotList::totalSpan() const {
   // Neumaier's variant of Kahan summation, as in RunningStats::sum():
   // the compensation picks up the low-order bits of whichever operand
@@ -187,20 +258,11 @@ bool SlotList::checkInvariants() const {
   for (size_t I = 1, E = Slots.size(); I < E; ++I)
     if (approxGt(Slots[I - 1].Start, Slots[I].Start))
       return false;
-  // Per-node disjointness: O(n^2) scan is fine for test-time checking.
-  for (size_t I = 0, E = Slots.size(); I < E; ++I) {
-    if (approxLe(Slots[I].length(), 0.0))
+  for (const Slot &S : Slots)
+    if (approxLe(S.length(), 0.0))
       return false; // Zero-length slots must not be stored.
-    for (size_t J = I + 1; J < E; ++J) {
-      if (Slots[I].NodeId != Slots[J].NodeId)
-        continue;
-      const double OverlapStart = std::max(Slots[I].Start, Slots[J].Start);
-      const double OverlapEnd = std::min(Slots[I].End, Slots[J].End);
-      if (approxGt(OverlapEnd - OverlapStart, 0.0))
-        return false;
-    }
-  }
-  return true;
+  // Per-node disjointness via the sorted sweep (see findNodeOverlap).
+  return !findNodeOverlap(Slots).has_value();
 }
 
 void SlotList::validate() const {
@@ -214,17 +276,16 @@ void SlotList::validate() const {
     ECOSCHED_CHECK(approxGt(A.length(), 0.0),
                    "zero-length slot stored at index {} on node {}: [{}, {})",
                    I, A.NodeId, A.Start, A.End);
-    for (size_t J = I + 1; J < E; ++J) {
-      const Slot &B = Slots[J];
-      if (A.NodeId != B.NodeId)
-        continue;
-      const double OverlapStart = std::max(A.Start, B.Start);
-      const double OverlapEnd = std::min(A.End, B.End);
-      ECOSCHED_CHECK(!approxGt(OverlapEnd - OverlapStart, 0.0),
-                     "slots {} and {} overlap on node {}: [{}, {}) vs "
-                     "[{}, {})",
-                     I, J, A.NodeId, A.Start, A.End, B.Start, B.End);
-    }
+  }
+  if (const std::optional<std::pair<size_t, size_t>> Overlap =
+          findNodeOverlap(Slots)) {
+    const Slot &A = Slots[Overlap->first];
+    const Slot &B = Slots[Overlap->second];
+    ECOSCHED_CHECK(false,
+                   "slots {} and {} overlap on node {}: [{}, {}) vs "
+                   "[{}, {})",
+                   Overlap->first, Overlap->second, A.NodeId, A.Start,
+                   A.End, B.Start, B.End);
   }
   ECOSCHED_CHECK(checkIndexConsistency(),
                  "interval index diverged from the slot vector");

@@ -107,6 +107,23 @@ public:
   /// search; used by the speculative sweep's window-intact check.
   bool containsExact(const Slot &S) const;
 
+  /// Removes the slot equal to \p S (node, span), if stored: the exact
+  /// inverse of insert() for a slot known by identity. O(log n) lookup
+  /// plus the vector splice. Part of the delta surface the persistent
+  /// filter reconciles per-job views through (docs/PERFORMANCE.md,
+  /// "The persistent filter").
+  /// \returns true if a slot was removed; false leaves the list
+  /// unchanged.
+  bool eraseExact(const Slot &S);
+
+  /// insert() without the zero-length gate: splices \p S at its sorted
+  /// position verbatim, whatever its span. The delta/rollback surface
+  /// uses this so that re-inserting a slot recorded from another list
+  /// reproduces that list bit for bit even for degenerate inputs;
+  /// regular producers should call insert(), which applies the paper's
+  /// zero-span rule.
+  void insertVerbatim(const Slot &S);
+
   /// Total vacant time across all slots, carried with Neumaier
   /// compensation (matching support/Statistics.h RunningStats::sum())
   /// so magnitude-spread slot sets do not drop their small terms.

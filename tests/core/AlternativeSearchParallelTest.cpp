@@ -19,6 +19,7 @@
 #include "core/AlpSearch.h"
 #include "core/AmpSearch.h"
 #include "core/BackfillSearch.h"
+#include "core/SearchCommon.h"
 #include "core/SlotFilter.h"
 #include "sim/JobGenerator.h"
 #include "sim/SlotGenerator.h"
@@ -331,6 +332,41 @@ TEST(SlotFilterTest, IncrementalDamageMatchesRebuildWithDeadlines) {
       }
     }
   }
+}
+
+TEST(SlotFilterTest, DamageKeepHeadPieceSkipsHorizonRecheckExactly) {
+  // The Keep predicate re-tests the scan-horizon cutoff only for tail
+  // pieces: a head piece keeps its container's exact (already vetted)
+  // start. Backfill is the sharpest probe — its admitsRemainder() is
+  // unconditionally true, so the horizon cutoff is the *only* span
+  // check Keep applies, and the admitted set after damage must still
+  // equal the from-scratch rebuild of the damaged master.
+  BackfillSearch Backfill;
+  const SlotList Master{{Slot(0, 1.0, 1.0, 0.0, 100.0)}};
+  Job J;
+  J.Id = 1;
+  J.Request.NodeCount = 1;
+  J.Request.Volume = 60.0;
+  J.Request.MaxUnitPrice = 2.0;
+  J.Request.Deadline = 50.0;
+  const Batch Jobs = {J};
+  SlotFilter Filter(Master, Jobs, Backfill);
+  ASSERT_EQ(Filter.view(0).size(), 1u);
+
+  // Commit [10, 70): the head [0, 10) starts before the deadline and
+  // must survive without a horizon re-test; the tail [70, 100) starts
+  // past the deadline and must be dropped by the retained tail check.
+  const Slot *Chosen[] = {&Master[0]};
+  const Window W = detail::buildWindow(10.0, Chosen, J.Request);
+  SlotList Damaged = Master;
+  ASSERT_TRUE(W.subtractFrom(Damaged));
+  Filter.applyDamage(W);
+
+  expectSameLists(SlotFilter::filteredCopy(Damaged, J.Request, Backfill),
+                  Filter.view(0), "backfill head/tail horizon");
+  ASSERT_EQ(Filter.view(0).size(), 1u);
+  EXPECT_EQ(Filter.view(0)[0].Start, 0.0);
+  EXPECT_EQ(Filter.view(0)[0].End, 10.0);
 }
 
 TEST(SlotFilterTest, WindowIntactDetectsDamage) {

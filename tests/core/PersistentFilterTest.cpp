@@ -1,0 +1,303 @@
+//===-- tests/core/PersistentFilterTest.cpp - Cross-iteration views -------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of the PersistentSlotFilter delta protocol: every sync
+/// must leave each view bitwise-equal to the from-scratch
+/// SlotFilter::filteredCopy of the new master (the view invariant,
+/// whatever mix of slot removals, re-admissions, repricings, job
+/// arrivals and departures the delta carries), the sweep-damage journal
+/// must roll views back bitwise, and the reconciliation counters must
+/// tell reuses, rebuilds, and splices apart. Also pins the
+/// admitsRemainder fast path to admits() for every algorithm
+/// (the satellite regression for the redundant static re-checks).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/PersistentSlotFilter.h"
+
+#include "core/AlpSearch.h"
+#include "core/AmpSearch.h"
+#include "core/BackfillSearch.h"
+#include "core/SlotFilter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace ecosched;
+
+namespace {
+
+void expectSameList(const SlotList &A, const SlotList &B,
+                    const char *What) {
+  ASSERT_EQ(A.size(), B.size()) << What;
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].NodeId, B[I].NodeId) << What << " slot " << I;
+    EXPECT_EQ(A[I].Performance, B[I].Performance) << What << " slot " << I;
+    EXPECT_EQ(A[I].UnitPrice, B[I].UnitPrice) << What << " slot " << I;
+    EXPECT_EQ(A[I].Start, B[I].Start) << What << " slot " << I;
+    EXPECT_EQ(A[I].End, B[I].End) << What << " slot " << I;
+  }
+}
+
+/// Checks the view invariant for every job of \p Jobs.
+void expectViewsMatchOracle(const PersistentSlotFilter &Filter,
+                            const SlotList &Master, const Batch &Jobs,
+                            const SlotSearchAlgorithm &Algo) {
+  ASSERT_EQ(Filter.jobCount(), Jobs.size());
+  for (size_t J = 0; J < Jobs.size(); ++J) {
+    const SlotList Oracle =
+        SlotFilter::filteredCopy(Master, Jobs[J].Request, Algo);
+    expectSameList(Filter.view(J), Oracle, "view vs filteredCopy");
+  }
+}
+
+SlotList makeMaster() {
+  std::vector<Slot> Slots;
+  // Three nodes, mixed performance/price, several spans per node.
+  for (int Node = 0; Node < 3; ++Node) {
+    const double Perf = 1.0 + 0.5 * Node;
+    const double Price = 1.0 + 0.25 * Node;
+    for (int K = 0; K < 4; ++K) {
+      const double Start = 100.0 * K + 10.0 * Node;
+      Slots.emplace_back(Node, Perf, Price, Start, Start + 80.0);
+    }
+  }
+  return SlotList(std::move(Slots));
+}
+
+Job makeJob(int Id, double Volume, double MaxPrice,
+            double MinPerf = 1.0) {
+  Job J;
+  J.Id = Id;
+  J.Request.NodeCount = 1;
+  J.Request.Volume = Volume;
+  J.Request.MinPerformance = MinPerf;
+  J.Request.MaxUnitPrice = MaxPrice;
+  return J;
+}
+
+} // namespace
+
+TEST(PersistentFilterTest, FirstSyncBuildsEveryViewFromScratch) {
+  AlpSearch Alp;
+  PersistentSlotFilter Filter(Alp);
+  const SlotList Master = makeMaster();
+  const Batch Jobs = {makeJob(1, 40.0, 2.0), makeJob(2, 60.0, 1.2)};
+
+  SearchStats Stats;
+  Filter.sync(Master, Jobs, &Stats);
+  EXPECT_EQ(Stats.FilterViewRebuilds, 2u);
+  EXPECT_EQ(Stats.FilterViewReuses, 0u);
+  EXPECT_EQ(Stats.FilterDeltaOps, 0u);
+  expectViewsMatchOracle(Filter, Master, Jobs, Alp);
+  expectSameList(Filter.shadowMaster(), Master, "shadow");
+}
+
+TEST(PersistentFilterTest, ResyncSplicesSlotDeltasIntoReusedViews) {
+  AlpSearch Alp;
+  PersistentSlotFilter Filter(Alp);
+  const SlotList Master = makeMaster();
+  const Batch Jobs = {makeJob(1, 40.0, 2.0), makeJob(2, 60.0, 1.2)};
+  Filter.sync(Master, Jobs);
+
+  // Next iteration's master: one span consumed, one split, one new span
+  // returning to the free pool, and one slot repriced in place (same
+  // (Start, NodeId, End) key, different UnitPrice).
+  std::vector<Slot> Slots(Master.begin(), Master.end());
+  Slots.erase(Slots.begin()); // Consumed by a reservation.
+  Slot Repriced = Slots[0];
+  Repriced.UnitPrice += 0.05;
+  Slots[0] = Repriced;
+  Slots.emplace_back(0, 1.0, 1.0, 400.0, 470.0); // Retired reservation.
+  const SlotList Master2{Slots};
+
+  SearchStats Stats;
+  Filter.sync(Master2, Jobs, &Stats);
+  EXPECT_EQ(Stats.FilterViewReuses, 2u);
+  EXPECT_EQ(Stats.FilterViewRebuilds, 0u);
+  EXPECT_GT(Stats.FilterDeltaOps, 0u);
+  expectViewsMatchOracle(Filter, Master2, Jobs, Alp);
+}
+
+TEST(PersistentFilterTest, JobDeltasRebuildOnlyAffectedViews) {
+  AmpSearch Amp;
+  PersistentSlotFilter Filter(Amp);
+  const SlotList Master = makeMaster();
+  Filter.sync(Master, {makeJob(1, 40.0, 2.0), makeJob(2, 60.0, 1.2),
+                       makeJob(3, 30.0, 1.5)});
+
+  // Job 2 departs, job 4 arrives, job 3 changes its request (budget
+  // factor counts: matching is whole-request on purpose), job 1 is
+  // untouched — and the batch order shifts.
+  Job Changed = makeJob(3, 30.0, 1.5);
+  Changed.Request.BudgetFactor = 0.9;
+  const Batch Jobs2 = {Changed, makeJob(4, 50.0, 1.8),
+                       makeJob(1, 40.0, 2.0)};
+
+  SearchStats Stats;
+  Filter.sync(Master, Jobs2, &Stats);
+  EXPECT_EQ(Stats.FilterViewReuses, 1u);  // Job 1.
+  EXPECT_EQ(Stats.FilterViewRebuilds, 2u); // Jobs 3 (changed) and 4.
+  EXPECT_EQ(Stats.FilterDeltaOps, 0u);     // No slot delta.
+  expectViewsMatchOracle(Filter, Master, Jobs2, Amp);
+}
+
+TEST(PersistentFilterTest, OversizedDeltaFallsBackToForcedRebuild) {
+  BackfillSearch Backfill;
+  PersistentSlotFilter Filter(Backfill);
+  // A wide first master: 3 nodes x 16 spans. Collapsing it to a small
+  // replacement produces a delta (48 removals + 12 additions) past the
+  // splice budget of the 12-slot new master, so the reused view is
+  // refiltered instead of spliced — and still matches the oracle.
+  std::vector<Slot> Wide;
+  for (int Node = 0; Node < 3; ++Node)
+    for (int K = 0; K < 16; ++K) {
+      const double Start = 100.0 * K + 10.0 * Node;
+      Wide.emplace_back(Node, 1.0 + 0.5 * Node, 1.0, Start, Start + 50.0);
+    }
+  const SlotList Master{Wide};
+  const Batch Jobs = {makeJob(1, 40.0, 2.0)};
+  Filter.sync(Master, Jobs);
+
+  std::vector<Slot> Slots;
+  for (int Node = 0; Node < 3; ++Node)
+    for (int K = 0; K < 4; ++K) {
+      const double Start = 10000.0 + 100.0 * K + 10.0 * Node;
+      Slots.emplace_back(Node, 1.0 + 0.5 * Node, 1.0, Start, Start + 50.0);
+    }
+  const SlotList Master2{Slots};
+
+  SearchStats Stats;
+  Filter.sync(Master2, Jobs, &Stats);
+  EXPECT_EQ(Stats.FilterViewReuses, 0u);
+  EXPECT_EQ(Stats.FilterViewRebuilds, 1u);
+  EXPECT_EQ(Stats.FilterDeltaOps, 0u);
+  expectViewsMatchOracle(Filter, Master2, Jobs, Backfill);
+}
+
+TEST(PersistentFilterTest, HorizonRolloverReadmitsAndClipsSlots) {
+  AlpSearch Alp;
+  PersistentSlotFilter Filter(Alp);
+  const Batch Jobs = {makeJob(1, 40.0, 2.0)};
+
+  // Iteration 1 horizon [0, 300): only early spans visible.
+  std::vector<Slot> First = {Slot(0, 1.0, 1.0, 0.0, 80.0),
+                             Slot(1, 1.5, 1.25, 50.0, 300.0)};
+  const SlotList Master1{First};
+  Filter.sync(Master1, Jobs);
+
+  // Iteration 2 horizon [200, 500): the first span ages out, the
+  // second is front-clipped (new key), and a late span rolls in.
+  std::vector<Slot> Second = {Slot(1, 1.5, 1.25, 200.0, 300.0),
+                              Slot(0, 1.0, 1.0, 350.0, 500.0)};
+  const SlotList Master2{Second};
+  SearchStats Stats;
+  Filter.sync(Master2, Jobs, &Stats);
+  EXPECT_EQ(Stats.FilterViewReuses, 1u);
+  expectViewsMatchOracle(Filter, Master2, Jobs, Alp);
+}
+
+TEST(PersistentFilterTest, SweepDamageRollsBackBitwise) {
+  AlpSearch Alp;
+  PersistentSlotFilter Filter(Alp);
+  const SlotList Master = makeMaster();
+  const Batch Jobs = {makeJob(1, 40.0, 2.0), makeJob(2, 20.0, 2.0)};
+  Filter.sync(Master, Jobs);
+
+  // Snapshot the post-sync views.
+  std::vector<SlotList> Snapshot;
+  for (size_t J = 0; J < Filter.jobCount(); ++J)
+    Snapshot.push_back(Filter.view(J));
+
+  // First window consumes [0, 40) of node 0's first slot; the second
+  // consumes [40, 60) of the *remainder piece* the first splice kept —
+  // the nested case only reverse-order rollback undoes correctly.
+  const Slot Original(0, 1.0, 1.0, 0.0, 80.0);
+  WindowSlot M1{Original, 40.0, 40.0};
+  Filter.applyDamage(Window(0.0, {M1}));
+  const Slot Piece(0, 1.0, 1.0, 40.0, 80.0);
+  WindowSlot M2{Piece, 20.0, 20.0};
+  Filter.applyDamage(Window(40.0, {M2}));
+  EXPECT_GT(Filter.journalSize(), 0u);
+  EXPECT_NE(Filter.view(0).size(), Snapshot[0].size());
+
+  Filter.rollbackSweepDamage();
+  EXPECT_EQ(Filter.journalSize(), 0u);
+  for (size_t J = 0; J < Filter.jobCount(); ++J)
+    expectSameList(Filter.view(J), Snapshot[J], "rolled-back view");
+
+  // Rolled-back views must sync cleanly into the next iteration.
+  SearchStats Stats;
+  Filter.sync(Master, Jobs, &Stats);
+  EXPECT_EQ(Stats.FilterViewReuses, 2u);
+  EXPECT_EQ(Stats.FilterDeltaOps, 0u);
+  expectViewsMatchOracle(Filter, Master, Jobs, Alp);
+}
+
+TEST(PersistentFilterTest, DamageKeepMatchesFilteredCopyOfDamagedMaster) {
+  // The satellite regression: applyDamage's Keep callback now uses the
+  // admitsRemainder fast path; the admitted set must stay exactly what
+  // a full refilter of the equally damaged master produces.
+  AlpSearch Alp;
+  PersistentSlotFilter Filter(Alp);
+  SlotList Master = makeMaster();
+  Batch Jobs = {makeJob(1, 40.0, 2.0), makeJob(2, 60.0, 1.2)};
+  // A tight deadline makes remainder pieces fail the own-start deadline
+  // check, exercising the span-dependent half of admitsRemainder.
+  Jobs[0].Request.Deadline = 150.0;
+  Filter.sync(Master, Jobs);
+
+  const Slot Container(1, 1.5, 1.25, 10.0, 90.0);
+  WindowSlot M{Container, 30.0, 37.5};
+  const Window W(10.0, {M});
+  ASSERT_TRUE(W.subtractFrom(Master));
+  Filter.applyDamage(W);
+  expectViewsMatchOracle(Filter, Master, Jobs, Alp);
+  Filter.rollbackSweepDamage();
+}
+
+TEST(PersistentFilterTest, AdmitsRemainderAgreesWithAdmitsForAllAlgorithms) {
+  // Contract: admitsRemainder(Piece) == admits(Piece) whenever Piece is
+  // a sub-span of an admitted container. Sweep containers and piece
+  // spans for every algorithm, including pieces that fail the length
+  // or own-start deadline check.
+  const AlpSearch Alp;
+  const AmpSearch Amp;
+  const BackfillSearch BackfillCap(PriceRuleKind::PerSlotCap);
+  const BackfillSearch BackfillBudget(PriceRuleKind::JobBudget);
+  const SlotSearchAlgorithm *Algos[] = {&Alp, &Amp, &BackfillCap,
+                                        &BackfillBudget};
+
+  ResourceRequest Req;
+  Req.Volume = 30.0;
+  Req.MinPerformance = 1.0;
+  Req.MaxUnitPrice = 1.5;
+  Req.Deadline = 120.0;
+
+  for (const SlotSearchAlgorithm *Algo : Algos) {
+    for (double Perf : {1.0, 2.0}) {
+      for (double Price : {1.0, 1.5}) {
+        const Slot Container(0, Perf, Price, 0.0, 100.0);
+        if (!Algo->admits(Container, Req))
+          continue;
+        for (double PieceStart : {0.0, 20.0, 60.0, 95.0}) {
+          for (double PieceEnd : {10.0, 40.0, 80.0, 100.0}) {
+            if (PieceEnd <= PieceStart)
+              continue;
+            const Slot Piece(0, Perf, Price, PieceStart, PieceEnd);
+            EXPECT_EQ(Algo->admitsRemainder(Piece, Req),
+                      Algo->admits(Piece, Req))
+                << Algo->name() << " piece [" << PieceStart << ", "
+                << PieceEnd << ") perf " << Perf << " price " << Price;
+          }
+        }
+      }
+    }
+  }
+}

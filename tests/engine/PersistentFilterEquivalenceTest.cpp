@@ -1,0 +1,276 @@
+//===-- tests/engine/PersistentFilterEquivalenceTest.cpp - Twin VOs -------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-iteration reuse-vs-rebuild differential gate: a VO running
+/// with the persistent filter (Config::ReuseFilter on) must reproduce
+/// the from-scratch oracle (ReuseFilter off) bitwise — every iteration
+/// report, scheduled window, completed job, income cent — for every
+/// algorithm (ALP / AMP / backfill), pool size {1, 2, 8}, and at least
+/// 8 adversarial ScheduleFuzz seeds, through a scenario that exercises
+/// each delta source mid-stream: arrivals, completions, node failure
+/// and repair, user cancellation, owner repricing and local tasks, and
+/// a queued-budget (rho) change. Exact floating-point comparison on
+/// purpose; the reconciliation counters are deliberately excluded —
+/// they are the one legitimate difference between the paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/VirtualOrganization.h"
+
+#include "core/AlpSearch.h"
+#include "core/AmpSearch.h"
+#include "core/BackfillSearch.h"
+#include "core/DpOptimizer.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace ecosched;
+
+namespace {
+
+constexpr uint64_t FuzzSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34};
+
+ComputingDomain makeDomain() {
+  ComputingDomain D;
+  D.addNode(1.0, 1.0, "n0");
+  D.addNode(1.5, 1.25, "n1");
+  D.addNode(2.0, 1.5, "n2");
+  D.addNode(1.0, 0.75, "n3");
+  return D;
+}
+
+Job makeJob(int Id, int Nodes, double Volume, double MaxPrice) {
+  Job J;
+  J.Id = Id;
+  J.Request.NodeCount = Nodes;
+  J.Request.Volume = Volume;
+  J.Request.MinPerformance = 1.0;
+  J.Request.MaxUnitPrice = MaxPrice;
+  return J;
+}
+
+/// Everything one run observably produces, for exact comparison.
+struct VoTrace {
+  std::vector<VirtualOrganization::IterationReport> Reports;
+  std::vector<CompletedJob> Completed;
+  std::vector<int> Dropped;
+  double Income = 0.0;
+};
+
+/// Runs the mid-stream scenario: submissions every iteration, a node
+/// failure with requeue, a repair, a cancellation of a queued and of a
+/// running job, an owner repricing plus local task, and a rho change.
+VoTrace runScenario(const SlotSearchAlgorithm &Algo, bool ReuseFilter,
+                    ThreadPool *Pool) {
+  DpOptimizer Dp;
+  Metascheduler::Config SchedCfg;
+  SchedCfg.Search.Pool = Pool;
+  SchedCfg.Search.MaxAlternativesPerJob = 4;
+  Metascheduler Scheduler(Algo, Dp, SchedCfg);
+
+  VirtualOrganization::Config Cfg;
+  Cfg.IterationPeriod = 100.0;
+  Cfg.HorizonLength = 500.0;
+  Cfg.MaxAttempts = 6;
+  Cfg.ReuseFilter = ReuseFilter;
+  VirtualOrganization Vo(makeDomain(), Scheduler, Cfg);
+
+  VoTrace Trace;
+  int NextId = 1;
+  for (size_t Iter = 0; Iter < 14; ++Iter) {
+    // Two arrivals per iteration with drifting shapes.
+    const double Volume = 40.0 + 7.0 * static_cast<double>(Iter % 5);
+    Vo.submit(makeJob(NextId++, 1 + static_cast<int>(Iter % 2), Volume,
+                      1.6));
+    Vo.submit(makeJob(NextId++, 1, Volume * 0.5, 1.1));
+
+    switch (Iter) {
+    case 3:
+      Vo.injectNodeFailure(1);
+      break;
+    case 5:
+      Vo.repairNode(1);
+      break;
+    case 6:
+      Vo.cancelJob(NextId - 1); // Still queued this iteration.
+      break;
+    case 7:
+      Vo.cancelJob(1); // Long gone or running; releases if running.
+      break;
+    case 8:
+      Vo.mutableDomain().setNodePrice(2, 1.1);
+      Vo.mutableDomain().addLocalTask(0, Vo.now() + 150.0,
+                                      Vo.now() + 260.0);
+      break;
+    case 10:
+      Vo.setQueuedBudgetFactor(0.85);
+      break;
+    default:
+      break;
+    }
+    Trace.Reports.push_back(Vo.runIteration());
+  }
+  // Drain: let committed work finish.
+  for (size_t Iter = 0; Iter < 6; ++Iter)
+    Trace.Reports.push_back(Vo.runIteration());
+
+  Trace.Completed = Vo.completed();
+  Trace.Dropped = Vo.dropped();
+  Trace.Income = Vo.totalIncome();
+  return Trace;
+}
+
+/// Bitwise comparison of everything except the search stats (the
+/// reconciliation counters legitimately differ between the paths).
+void expectSameTrace(const VoTrace &A, const VoTrace &B) {
+  ASSERT_EQ(A.Reports.size(), B.Reports.size());
+  for (size_t R = 0; R < A.Reports.size(); ++R) {
+    SCOPED_TRACE("iteration " + std::to_string(R));
+    const VirtualOrganization::IterationReport &X = A.Reports[R];
+    const VirtualOrganization::IterationReport &Y = B.Reports[R];
+    ASSERT_EQ(X.Now, Y.Now);
+    ASSERT_EQ(X.QueueLength, Y.QueueLength);
+    ASSERT_EQ(X.Committed, Y.Committed);
+    ASSERT_EQ(X.Dropped, Y.Dropped);
+    ASSERT_EQ(X.Outcome.TimeQuota, Y.Outcome.TimeQuota);
+    ASSERT_EQ(X.Outcome.VoBudget, Y.Outcome.VoBudget);
+    ASSERT_EQ(X.Outcome.Postponed, Y.Outcome.Postponed);
+    ASSERT_EQ(X.Outcome.Alternatives.total(),
+              Y.Outcome.Alternatives.total());
+    ASSERT_EQ(X.Outcome.Scheduled.size(), Y.Outcome.Scheduled.size());
+    for (size_t S = 0; S < X.Outcome.Scheduled.size(); ++S) {
+      const ScheduledJob &P = X.Outcome.Scheduled[S];
+      const ScheduledJob &Q = Y.Outcome.Scheduled[S];
+      ASSERT_EQ(P.JobId, Q.JobId);
+      ASSERT_EQ(P.BatchIndex, Q.BatchIndex);
+      ASSERT_EQ(P.AlternativeIndex, Q.AlternativeIndex);
+      ASSERT_EQ(P.W.startTime(), Q.W.startTime());
+      ASSERT_EQ(P.W.endTime(), Q.W.endTime());
+      ASSERT_EQ(P.W.totalCost(), Q.W.totalCost());
+      ASSERT_EQ(P.W.size(), Q.W.size());
+      for (size_t M = 0; M < P.W.size(); ++M) {
+        ASSERT_EQ(P.W[M].Source.NodeId, Q.W[M].Source.NodeId);
+        ASSERT_EQ(P.W[M].Source.Start, Q.W[M].Source.Start);
+        ASSERT_EQ(P.W[M].Source.End, Q.W[M].Source.End);
+        ASSERT_EQ(P.W[M].Cost, Q.W[M].Cost);
+      }
+    }
+  }
+  ASSERT_EQ(A.Completed.size(), B.Completed.size());
+  for (size_t C = 0; C < A.Completed.size(); ++C) {
+    ASSERT_EQ(A.Completed[C].JobId, B.Completed[C].JobId);
+    ASSERT_EQ(A.Completed[C].StartTime, B.Completed[C].StartTime);
+    ASSERT_EQ(A.Completed[C].EndTime, B.Completed[C].EndTime);
+    ASSERT_EQ(A.Completed[C].Cost, B.Completed[C].Cost);
+    ASSERT_EQ(A.Completed[C].Attempts, B.Completed[C].Attempts);
+  }
+  ASSERT_EQ(A.Dropped, B.Dropped);
+  ASSERT_EQ(A.Income, B.Income);
+}
+
+struct NamedAlgo {
+  const char *Name;
+  const SlotSearchAlgorithm &Algo;
+};
+
+} // namespace
+
+TEST(PersistentFilterEquivalenceTest, ReuseMatchesRebuildSerially) {
+  const AlpSearch Alp;
+  const AmpSearch Amp;
+  const BackfillSearch Backfill;
+  const NamedAlgo Algos[] = {{"ALP", Alp}, {"AMP", Amp},
+                             {"backfill", Backfill}};
+  for (const NamedAlgo &A : Algos) {
+    SCOPED_TRACE(A.Name);
+    expectSameTrace(runScenario(A.Algo, /*ReuseFilter=*/false, nullptr),
+                    runScenario(A.Algo, /*ReuseFilter=*/true, nullptr));
+  }
+}
+
+TEST(PersistentFilterEquivalenceTest, ReuseMatchesRebuildAcrossPoolSizes) {
+  const AlpSearch Alp;
+  const AmpSearch Amp;
+  const BackfillSearch Backfill;
+  const NamedAlgo Algos[] = {{"ALP", Alp}, {"AMP", Amp},
+                             {"backfill", Backfill}};
+  for (const NamedAlgo &A : Algos) {
+    const VoTrace Oracle =
+        runScenario(A.Algo, /*ReuseFilter=*/false, nullptr);
+    for (const size_t Threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE(std::string(A.Name) + " pool " +
+                   std::to_string(Threads));
+      ThreadPool Pool(Threads);
+      expectSameTrace(Oracle,
+                      runScenario(A.Algo, /*ReuseFilter=*/true, &Pool));
+    }
+  }
+}
+
+TEST(PersistentFilterEquivalenceTest, ReuseMatchesRebuildUnderScheduleFuzz) {
+  // Adversarial worker scheduling on top of the reuse path: ALP with a
+  // pool of 8 under every fuzz seed must still reproduce the serial
+  // rebuild oracle bitwise.
+  const AlpSearch Alp;
+  const VoTrace Oracle =
+      runScenario(Alp, /*ReuseFilter=*/false, nullptr);
+  for (const uint64_t Seed : FuzzSeeds) {
+    SCOPED_TRACE("fuzz seed " + std::to_string(Seed));
+    ThreadPool Pool(8, ThreadPool::ScheduleFuzz{/*Enabled=*/true, Seed});
+    expectSameTrace(Oracle,
+                    runScenario(Alp, /*ReuseFilter=*/true, &Pool));
+  }
+}
+
+TEST(PersistentFilterEquivalenceTest, UnfilteredOracleUnaffectedByReuseFlag) {
+  // With the filter disabled entirely (textbook loop) the reuse flag
+  // must be inert: no views exist, so no filter state is created.
+  const AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler::Config SchedCfg;
+  SchedCfg.Search.UseFilter = false;
+  Metascheduler Scheduler(Amp, Dp, SchedCfg);
+  VirtualOrganization::Config Cfg;
+  Cfg.ReuseFilter = true;
+  VirtualOrganization Vo(makeDomain(), Scheduler, Cfg);
+  Vo.submit(makeJob(1, 1, 60.0, 1.6));
+  Vo.runIteration();
+  const SearchStats &Stats = Vo.filterStats();
+  EXPECT_EQ(Stats.FilterViewReuses + Stats.FilterViewRebuilds +
+                Stats.FilterDeltaOps,
+            0u);
+}
+
+TEST(PersistentFilterEquivalenceTest, FilterStatsReportReuseInSteadyState) {
+  // Counter plumbing: after the first iteration, carried-over jobs must
+  // show up as view reuses in both the VO accumulator and the
+  // per-iteration outcome stats.
+  const AlpSearch Alp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler(Alp, Dp);
+  VirtualOrganization::Config Cfg;
+  Cfg.IterationPeriod = 50.0; // Short: jobs stay queued across syncs.
+  Cfg.HorizonLength = 400.0;
+  VirtualOrganization Vo(makeDomain(), Scheduler, Cfg);
+  // An unplaceable job keeps re-entering the batch with an identical
+  // request, so its view must be reused every iteration after the
+  // first.
+  Vo.submit(makeJob(1, 9, 40.0, 1.6));
+  const auto First = Vo.runIteration();
+  EXPECT_EQ(First.Outcome.Stats.FilterViewRebuilds, 1u);
+  EXPECT_EQ(First.Outcome.Stats.FilterViewReuses, 0u);
+  const auto Second = Vo.runIteration();
+  EXPECT_EQ(Second.Outcome.Stats.FilterViewReuses, 1u);
+  EXPECT_EQ(Second.Outcome.Stats.FilterViewRebuilds, 0u);
+  EXPECT_EQ(Vo.filterStats().FilterViewReuses, 1u);
+  EXPECT_EQ(Vo.filterStats().FilterViewRebuilds, 1u);
+}

@@ -222,3 +222,54 @@ TEST(SlotIntervalIndexTest, CopiesCarryIndependentIndexes) {
   EXPECT_TRUE(Assigned.checkIndexConsistency());
   EXPECT_TRUE(Master.containsExact(T));
 }
+
+TEST(SlotIntervalIndexTest, CompactThresholdSweepIsAnswerInvariant) {
+  // The compaction trigger is a pure performance knob: for any
+  // threshold, every probe answer and the consistency oracle must
+  // match the default-threshold index through a churn of erases and
+  // re-inserts. Threshold 1 compacts on every mutation; a huge
+  // threshold never compacts until the churn ends.
+  const std::vector<Slot> Base =
+      makeGridSlots(/*Nodes=*/6, /*PerNode=*/24, /*Seed=*/11);
+  for (const size_t Threshold :
+       {size_t(1), size_t(4), SlotIntervalIndex::DefaultCompactThreshold,
+        size_t(100000)}) {
+    SlotIntervalIndex Index;
+    Index.setCompactThreshold(Threshold);
+    EXPECT_EQ(Index.compactThreshold(), Threshold);
+    Index.buildFrom(Base);
+
+    std::vector<Slot> Mirror = Base;
+    std::mt19937 Rng(29);
+    for (int Step = 0; Step < 96; ++Step) {
+      const size_t Pick = Rng() % Mirror.size();
+      const Slot S = Mirror[Pick];
+      Index.noteErase(S);
+      Mirror.erase(Mirror.begin() + static_cast<long>(Pick));
+      ASSERT_TRUE(Index.consistentWith(Mirror))
+          << "threshold " << Threshold << " step " << Step;
+      if (Step % 3 != 0) { // Re-insert two of every three.
+        Index.noteInsert(S);
+        const auto Pos = std::lower_bound(
+            Mirror.begin(), Mirror.end(), S, [](const Slot &A,
+                                                const Slot &B) {
+              return slotStartLess(A, B);
+            });
+        Mirror.insert(Pos, S);
+        ASSERT_TRUE(Index.consistentWith(Mirror));
+      }
+      const Slot &Probe = Mirror[Rng() % Mirror.size()];
+      const auto Hit =
+          Index.findContainer(Probe.NodeId, Probe.Start, Probe.End);
+      ASSERT_TRUE(Hit.has_value());
+      EXPECT_EQ(Hit->Start, Probe.Start);
+      EXPECT_EQ(Hit->End, Probe.End);
+    }
+  }
+
+  // Clamp: zero is illegal (compaction would fire forever), so the
+  // setter floors it at 1.
+  SlotIntervalIndex Clamped;
+  Clamped.setCompactThreshold(0);
+  EXPECT_EQ(Clamped.compactThreshold(), 1u);
+}

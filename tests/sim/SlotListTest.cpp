@@ -244,3 +244,59 @@ TEST(SlotListTest, InvariantsDetectOverlap) {
   SlotList List({makeSlot(0, 0.0, 50.0), makeSlot(0, 25.0, 60.0)});
   EXPECT_FALSE(List.checkInvariants());
 }
+
+TEST(SlotListTest, EraseExactRemovesOnlyBitwiseMatches) {
+  SlotList List({makeSlot(0, 0.0, 50.0), makeSlot(1, 10.0, 40.0),
+                 makeSlot(0, 60.0, 90.0)});
+  List.buildIndexNow();
+
+  // Near-misses on every key field leave the list untouched.
+  EXPECT_FALSE(List.eraseExact(makeSlot(1, 10.0, 40.0 + 1e-12)));
+  EXPECT_FALSE(List.eraseExact(makeSlot(2, 10.0, 40.0)));
+  EXPECT_FALSE(List.eraseExact(makeSlot(1, 10.0 - 1e-12, 40.0)));
+  ASSERT_EQ(List.size(), 3u);
+
+  EXPECT_TRUE(List.eraseExact(makeSlot(1, 10.0, 40.0)));
+  ASSERT_EQ(List.size(), 2u);
+  EXPECT_FALSE(List.containsExact(makeSlot(1, 10.0, 40.0)));
+  // Idempotence: a second erase of the same key is a miss.
+  EXPECT_FALSE(List.eraseExact(makeSlot(1, 10.0, 40.0)));
+  EXPECT_TRUE(List.checkInvariants());
+  EXPECT_TRUE(List.checkIndexConsistency());
+}
+
+TEST(SlotListTest, InsertVerbatimRoundTripsSubEpsilonSlivers) {
+  // insert() drops spans not tolerantly longer than zero — correct for
+  // subtraction remainders, fatal for delta replay: a sliver erased
+  // from one list copy must be re-insertable bitwise into another.
+  const Slot Sliver = makeSlot(0, 25.0, 25.0 + TimeEpsilon / 2.0);
+  SlotList Gated({makeSlot(0, 0.0, 10.0)});
+  Gated.insert(Sliver);
+  EXPECT_EQ(Gated.size(), 1u);
+
+  SlotList List({makeSlot(0, 0.0, 10.0), makeSlot(1, 30.0, 60.0)});
+  List.buildIndexNow();
+  List.insertVerbatim(Sliver);
+  ASSERT_EQ(List.size(), 3u);
+  EXPECT_TRUE(List.containsExact(Sliver));
+  // Sorted position between the node-0 span and the node-1 span.
+  EXPECT_EQ(List[1].Start, Sliver.Start);
+  EXPECT_EQ(List[1].End, Sliver.End);
+  EXPECT_TRUE(List.checkIndexConsistency());
+
+  // Exact round trip: erase + insertVerbatim restores the original
+  // vector bitwise, which is what the damage-journal rollback relies
+  // on.
+  const std::vector<Slot> Before(List.begin(), List.end());
+  ASSERT_TRUE(List.eraseExact(Sliver));
+  List.insertVerbatim(Sliver);
+  ASSERT_EQ(List.size(), Before.size());
+  for (size_t I = 0; I < Before.size(); ++I) {
+    EXPECT_EQ(List[I].NodeId, Before[I].NodeId);
+    EXPECT_EQ(List[I].Start, Before[I].Start);
+    EXPECT_EQ(List[I].End, Before[I].End);
+    EXPECT_EQ(List[I].Performance, Before[I].Performance);
+    EXPECT_EQ(List[I].UnitPrice, Before[I].UnitPrice);
+  }
+  EXPECT_TRUE(List.checkIndexConsistency());
+}
