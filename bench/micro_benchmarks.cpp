@@ -399,6 +399,55 @@ void BM_VoIterationSteadyState(benchmark::State &State) {
                           static_cast<int64_t>(MeasuredIterations));
 }
 
+/// Snapshot save + load round trip of a mid-run VO
+/// (docs/PERSISTENCE.md): the argument is the node count of the
+/// domain, and the VO carries a populated queue, running and completed
+/// reservations, and an engaged persistent filter so every layer's
+/// saveState/loadState shows up in the measurement. The cost model is
+/// dominated by the domain occupancy records and the canonical-replay
+/// validation on load.
+void BM_SnapshotSaveLoad(benchmark::State &State) {
+  const int Nodes = static_cast<int>(State.range(0));
+
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler(Amp, Dp);
+
+  ComputingDomain Proto;
+  for (int Node = 0; Node < Nodes; ++Node) {
+    Proto.addNode(1.0 + 0.25 * (Node % 4), 1.0 + 0.2 * (Node % 5));
+    for (double T = 0.0; T < 1000.0; T += 200.0)
+      Proto.addLocalTask(Node, T, T + 40.0);
+  }
+
+  VirtualOrganization::Config VoCfg;
+  VoCfg.IterationPeriod = 100.0;
+  VoCfg.HorizonLength = 500.0;
+  VirtualOrganization Vo(std::move(Proto), Scheduler, VoCfg);
+  RandomGenerator Rng(77);
+  for (int Iter = 0; Iter < 4; ++Iter) {
+    for (int J = 0; J < 8; ++J) {
+      Job Spec;
+      Spec.Id = Iter * 8 + J;
+      Spec.Request.NodeCount = static_cast<int>(Rng.uniformInt(1, 3));
+      Spec.Request.Volume = Rng.uniformReal(50.0, 150.0);
+      Spec.Request.MinPerformance = 1.0;
+      Spec.Request.MaxUnitPrice = 2.5;
+      Vo.submit(Spec);
+    }
+    Vo.runIteration();
+  }
+
+  for (auto _ : State) {
+    const std::string Text = Vo.saveSnapshotText();
+    VirtualOrganization Restored(ComputingDomain(), Scheduler);
+    const bool Loaded = Restored.loadSnapshotText(Text);
+    benchmark::DoNotOptimize(Loaded);
+    benchmark::DoNotOptimize(Text.size());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+
 /// Interval-index maintenance under churn as a function of the
 /// compaction trigger; the argument is the threshold
 /// (SlotIntervalIndex::DefaultCompactThreshold = 128 is production).
@@ -531,6 +580,7 @@ BENCHMARK(BM_VoIterationSteadyState)
     ->Args({4096, 1})
     ->Args({8192, 0})
     ->Args({8192, 1});
+BENCHMARK(BM_SnapshotSaveLoad)->Arg(8)->Arg(32)->Arg(128);
 BENCHMARK(BM_SlotIndexCompaction)->Arg(1)->Arg(32)->Arg(128)->Arg(4096);
 BENCHMARK(BM_DpOptimizer)->RangeMultiplier(4)->Range(256, 16384);
 BENCHMARK(BM_OnePassBatchScheduler)

@@ -22,6 +22,7 @@
 #include "core/DpOptimizer.h"
 #include "core/DynamicPricing.h"
 #include "engine/VirtualOrganization.h"
+#include "support/Check.h"
 #include "support/CommandLine.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
@@ -30,6 +31,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
+#include <string>
 
 using namespace ecosched;
 
@@ -80,7 +83,7 @@ struct SteadyStateReport {
 
 SteadyStateReport runVo(const SlotSearchAlgorithm &Algo, uint64_t Seed,
                         int64_t Iterations, int64_t Warmup,
-                        double ArrivalRate) {
+                        double ArrivalRate, int64_t SnapshotStress) {
   RandomGenerator Rng(Seed);
   DpOptimizer Dp;
   Metascheduler Scheduler(Algo, Dp);
@@ -92,8 +95,16 @@ SteadyStateReport runVo(const SlotSearchAlgorithm &Algo, uint64_t Seed,
   Cfg.IterationPeriod = IterationPeriod;
   Cfg.HorizonLength = 700.0;
   Cfg.MaxAttempts = 10;
-  VirtualOrganization Vo(makeDomain(Rng, NodeCount, SpanEnd), Scheduler,
-                         Cfg);
+  ComputingDomain Domain = makeDomain(Rng, NodeCount, SpanEnd);
+  // --snapshot-stress: a twin VO rides along on the same domain and
+  // arrivals, gets torn down and rebuilt from its own snapshot every
+  // M iterations mid-soak, and must keep tracking the uninterrupted
+  // primary bitwise (the crash-safe resume gate of
+  // docs/PERSISTENCE.md run against a realistic long soak).
+  std::optional<VirtualOrganization> Twin;
+  if (SnapshotStress > 0)
+    Twin.emplace(Domain, Scheduler, Cfg);
+  VirtualOrganization Vo(std::move(Domain), Scheduler, Cfg);
 
   int NextJobId = 0;
   size_t CompletedAtWarmup = 0, DroppedAtWarmup = 0;
@@ -108,11 +119,39 @@ SteadyStateReport runVo(const SlotSearchAlgorithm &Algo, uint64_t Seed,
     }
     const int64_t Arrivals = Rng.poisson(ArrivalRate);
     for (int64_t A = 0; A < Arrivals; ++A) {
-      Vo.submit(makeJob(Rng, NextJobId++));
+      const Job J = makeJob(Rng, NextJobId++);
+      Vo.submit(J);
+      if (Twin)
+        Twin->submit(J);
       SubmittedAfterWarmup += Iter >= Warmup;
     }
     const double WindowStart = Vo.now();
-    Vo.runIteration();
+    const VirtualOrganization::IterationReport Report = Vo.runIteration();
+    if (Twin) {
+      const VirtualOrganization::IterationReport TwinReport =
+          Twin->runIteration();
+      ECOSCHED_CHECK(TwinReport.Now == Report.Now &&
+                         TwinReport.QueueLength == Report.QueueLength &&
+                         TwinReport.Committed == Report.Committed &&
+                         TwinReport.Dropped == Report.Dropped &&
+                         Twin->totalIncome() == Vo.totalIncome(),
+                     "snapshot-stress twin diverged at iteration {}",
+                     Iter);
+      if ((Iter + 1) % SnapshotStress == 0) {
+        // Kill the twin and resurrect it from its own snapshot; the
+        // restored state must re-serialize identically.
+        const std::string Snapshot = Twin->saveSnapshotText();
+        Twin.emplace(ComputingDomain(), Scheduler, Cfg);
+        std::string Error;
+        ECOSCHED_CHECK(Twin->loadSnapshotText(Snapshot, &Error),
+                       "snapshot-stress resume failed at iteration {}: {}",
+                       Iter, Error);
+        ECOSCHED_CHECK(Twin->saveSnapshotText() == Snapshot,
+                       "snapshot-stress save->load->save drifted at "
+                       "iteration {}",
+                       Iter);
+      }
+    }
     if (Iter >= Warmup)
       for (const ResourceNode &Node : Vo.domain().pool())
         BusyAfterWarmup += PricingEngine::nodeUtilization(
@@ -161,6 +200,10 @@ int main(int Argc, char **Argv) {
   const int64_t &Seed = Args.addInt("seed", 2011, "RNG seed");
   const double &ArrivalRate = Args.addReal(
       "arrival-rate", 4.0, "mean Poisson job arrivals per iteration");
+  const int64_t &SnapshotStress = Args.addInt(
+      "snapshot-stress", 0,
+      "kill-and-resume a twin VO from its snapshot every M iterations "
+      "and require it to track the primary bitwise (0 disables)");
   const int64_t &Threads = Args.addThreads();
   if (!Args.parse(Argc, Argv))
     return 1;
@@ -200,7 +243,8 @@ int main(int Argc, char **Argv) {
               return runVo(Algo,
                            static_cast<uint64_t>(Seed) +
                                static_cast<uint64_t>(R) * 7919,
-                           Iterations, Warmup, ArrivalRate);
+                           Iterations, Warmup, ArrivalRate,
+                           SnapshotStress);
             });
     RunningStats Throughput, MeanWait, P95Wait, Drop, Income, Util;
     SearchStats Filter;

@@ -15,7 +15,8 @@
 ///   scheduler_cli --mode=schedule --slots=s.trace --jobs=j.trace
 ///                 --search=amp --task=time [--rho=0.8] [--csv=out.csv]
 ///   scheduler_cli --mode=simulate --slots=s.trace --jobs=j.trace
-///                 [--iterations=N]
+///                 [--iterations=N] [--snapshot-every=K --snapshot-out=DIR]
+///                 [--resume=FILE]
 ///   scheduler_cli --mode=inspect --slots=s.trace --jobs=j.trace
 ///
 //===----------------------------------------------------------------------===//
@@ -29,6 +30,7 @@
 #include "sim/SlotGenerator.h"
 #include "sim/TraceIO.h"
 #include "support/CommandLine.h"
+#include "support/StateCodec.h"
 #include "support/Table.h"
 
 #include <algorithm>
@@ -209,9 +211,15 @@ ComputingDomain domainFromSlots(const SlotList &Slots) {
 }
 
 /// Runs the archived jobs through the iterative VO engine loop over the
-/// reconstructed domain instead of a single batch call.
+/// reconstructed domain instead of a single batch call. With
+/// \p SnapshotEvery > 0 a crash-safe snapshot lands in \p SnapshotOut
+/// after every K-th iteration; \p ResumePath restores one and finishes
+/// the run bitwise-identically to the uninterrupted one
+/// (docs/PERSISTENCE.md).
 int simulateMode(const SlotList &Slots, const Batch &Jobs, double Rho,
-                 int64_t Iterations) {
+                 int64_t Iterations, int64_t SnapshotEvery,
+                 const std::string &SnapshotOut,
+                 const std::string &ResumePath) {
   AmpSearch Amp;
   DpOptimizer Dp;
   Metascheduler Scheduler(Amp, Dp);
@@ -220,10 +228,31 @@ int simulateMode(const SlotList &Slots, const Batch &Jobs, double Rho,
   Cfg.IterationPeriod = 100.0;
   Cfg.HorizonLength = 600.0;
   Cfg.MaxAttempts = static_cast<int>(Iterations);
-  VirtualOrganization Vo(domainFromSlots(Slots), Scheduler, Cfg);
-  for (const Job &J : Jobs)
-    Vo.submit(J);
-  Vo.setQueuedBudgetFactor(Rho);
+  std::string Error;
+  if (SnapshotEvery > 0 &&
+      (SnapshotOut.empty() || !ensureDirectory(SnapshotOut, &Error))) {
+    std::fprintf(stderr, "error: --snapshot-every needs a writable "
+                         "--snapshot-out directory%s%s\n",
+                 Error.empty() ? "" : ": ", Error.c_str());
+    return 1;
+  }
+
+  // A resumed run restores the full engine state — clock, queue,
+  // ledger, domain occupancy — from the snapshot, so the archived jobs
+  // are not resubmitted and the budget factor is already applied.
+  VirtualOrganization Vo(ResumePath.empty() ? domainFromSlots(Slots)
+                                            : ComputingDomain(),
+                         Scheduler, Cfg);
+  if (!ResumePath.empty()) {
+    if (!Vo.loadSnapshotFile(ResumePath, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  } else {
+    for (const Job &J : Jobs)
+      Vo.submit(J);
+    Vo.setQueuedBudgetFactor(Rho);
+  }
 
   TablePrinter Table;
   Table.addColumn("iter");
@@ -231,7 +260,8 @@ int simulateMode(const SlotList &Slots, const Batch &Jobs, double Rho,
   Table.addColumn("queued");
   Table.addColumn("placed");
   Table.addColumn("dropped");
-  for (int64_t Iter = 0; Iter < Iterations; ++Iter) {
+  for (int64_t Iter = static_cast<int64_t>(Vo.clock().iteration());
+       Iter < Iterations; ++Iter) {
     const auto Report = Vo.runIteration();
     Table.beginRow();
     Table.addCell(static_cast<long long>(Iter));
@@ -239,10 +269,20 @@ int simulateMode(const SlotList &Slots, const Batch &Jobs, double Rho,
     Table.addCell(static_cast<long long>(Report.QueueLength));
     Table.addCell(static_cast<long long>(Report.Committed));
     Table.addCell(static_cast<long long>(Report.Dropped));
+    if (SnapshotEvery > 0 && (Iter + 1) % SnapshotEvery == 0) {
+      const std::string Path =
+          SnapshotOut + "/iter_" + std::to_string(Iter + 1) + ".snap";
+      if (!Vo.saveSnapshotFile(Path, &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 1;
+      }
+    }
   }
   Table.print(stdout);
+  // %.17g income: the resume check compares this line bitwise against
+  // the uninterrupted run's.
   std::printf("\nsimulated %lld iterations: completed %zu of %zu jobs, "
-              "still queued %zu, dropped %zu, owner income %.2f\n",
+              "still queued %zu, dropped %zu, owner income %.17g\n",
               static_cast<long long>(Iterations), Vo.completed().size(),
               Jobs.size(), Vo.queueLength(), Vo.dropped().size(),
               Vo.totalIncome());
@@ -271,6 +311,13 @@ int main(int Argc, char **Argv) {
       Args.addString("csv", "", "optional CSV schedule output");
   const int64_t &Iterations =
       Args.addInt("iterations", 8, "simulate-mode VO iterations");
+  const int64_t &SnapshotEvery = Args.addInt(
+      "snapshot-every", 0,
+      "simulate-mode: snapshot every K iterations (0 disables)");
+  const std::string &SnapshotOut = Args.addString(
+      "snapshot-out", "", "simulate-mode snapshot directory");
+  const std::string &ResumePath = Args.addString(
+      "resume", "", "simulate-mode: resume from this snapshot file");
   if (!Args.parse(Argc, Argv))
     return 1;
 
@@ -296,7 +343,8 @@ int main(int Argc, char **Argv) {
   if (Mode == "schedule")
     return scheduleMode(*Slots, *Jobs, Search, Task, Rho, CsvPath);
   if (Mode == "simulate")
-    return simulateMode(*Slots, *Jobs, Rho, Iterations);
+    return simulateMode(*Slots, *Jobs, Rho, Iterations, SnapshotEvery,
+                        SnapshotOut, ResumePath);
   std::fprintf(stderr, "unknown mode '%s'\n", Mode.c_str());
   return 1;
 }

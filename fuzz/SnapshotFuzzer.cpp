@@ -1,0 +1,63 @@
+//===-- fuzz/SnapshotFuzzer.cpp - Snapshot parse / fixed-point fuzzer -----===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+//
+// Feeds arbitrary bytes to VirtualOrganization::loadSnapshotText and
+// enforces the crash-safe persistence contract (docs/PERSISTENCE.md):
+//
+//  1. No abort on any input: every layer loader pre-validates its
+//     fields, so hostile bytes are rejected through the StateReader
+//     diagnostic and must never reach an ECOSCHED_CHECK (which would
+//     turn a corrupt snapshot file into a process abort at restart —
+//     exactly the failure the snapshot feature exists to survive).
+//  2. A rejected load leaves the VO fully usable: the facade must run
+//     an iteration afterwards as if the load had never been attempted.
+//  3. Accepted inputs reach a fixed point: re-serializing the loaded
+//     state and loading that text again must reproduce it byte for
+//     byte (write -> parse -> write is the identity on the second
+//     write), the property that makes resumed runs bitwise equal.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AmpSearch.h"
+#include "core/DpOptimizer.h"
+#include "core/Metascheduler.h"
+#include "engine/VirtualOrganization.h"
+#include "support/Check.h"
+
+#include <cstdint>
+#include <string>
+
+using namespace ecosched;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  // One static scheduler stack: the fuzz target only exercises the
+  // snapshot codec, and rebuilding the schedulers per input would
+  // dominate the run time.
+  static AmpSearch Amp;
+  static DpOptimizer Dp;
+  static Metascheduler Scheduler(Amp, Dp);
+
+  const std::string Text(reinterpret_cast<const char *>(Data), Size);
+  VirtualOrganization Vo(ComputingDomain(), Scheduler);
+  std::string Error;
+  if (!Vo.loadSnapshotText(Text, &Error)) {
+    ECOSCHED_CHECK(!Error.empty(),
+                   "rejected snapshot produced no diagnostic");
+    // A failed load must be transactional: the untouched VO still runs.
+    Vo.runIteration();
+    return 0;
+  }
+
+  const std::string First = Vo.saveSnapshotText();
+  VirtualOrganization Second(ComputingDomain(), Scheduler);
+  ECOSCHED_CHECK(Second.loadSnapshotText(First, &Error),
+                 "re-serialized snapshot failed to load: {}", Error);
+  ECOSCHED_CHECK(Second.saveSnapshotText() == First,
+                 "snapshot is not a fixed point under write -> parse -> "
+                 "write");
+  return 0;
+}

@@ -25,7 +25,7 @@
 #      tests (ThreadPool, Experiment, AlternativeSearchParallel,
 #      SlotFilter, SlotIntervalIndex, MultiVoDriver) under
 #      ThreadSanitizer
-#   8. fuzz smoke: build the fuzz preset (ASan+UBSan) and run the four
+#   8. fuzz smoke: build the fuzz preset (ASan+UBSan) and run the five
 #      harnesses over their committed corpora plus a bounded number of
 #      generated inputs (-runs=5000). Uses libFuzzer under clang and
 #      the deterministic standalone driver under any other compiler, so
@@ -98,6 +98,8 @@ steady = [n for n in names if n.startswith("BM_VoIterationSteadyState")]
 assert steady, "steady-state VO iteration benches missing from the binary"
 compaction = [n for n in names if n.startswith("BM_SlotIndexCompaction")]
 assert compaction, "index-compaction benches missing from the bench binary"
+snapshot = [n for n in names if n.startswith("BM_SnapshotSaveLoad")]
+assert snapshot, "snapshot save/load benches missing from the bench binary"
 print(f"bench smoke: {len(names)} benchmark entries, JSON well-formed")
 PYEOF
 
@@ -109,7 +111,7 @@ echo "=== ci stage 5/10: schedule-fuzz stress (adversarial schedules) ==="
 for SHUFFLE_SEED in 1 7 42; do
   echo "--- schedule-fuzz stress: seed $SHUFFLE_SEED ---"
   ECOSCHED_SCHEDULE_FUZZ="$SHUFFLE_SEED" ctest --preset release -j "$JOBS" \
-    -R '^(ThreadPool|Experiment|AlternativeSearchParallel|SlotFilter|PersistentFilter|SlotIntervalIndex|MultiVoDriver)' \
+    -R '^(ThreadPool|Experiment|AlternativeSearchParallel|SlotFilter|PersistentFilter|SlotIntervalIndex|MultiVoDriver|Snapshot)' \
     --output-on-failure
 done
 
@@ -118,7 +120,7 @@ if [[ $SKIP_SAN -eq 0 ]]; then
   scripts/check.sh --preset asan-ubsan --jobs "$JOBS"
   echo "=== ci stage 7/10: tsan build + concurrency tests ==="
   scripts/check.sh --preset tsan --jobs "$JOBS"
-  echo "=== ci stage 8/10: fuzz smoke (4 harnesses, corpora + -runs=5000) ==="
+  echo "=== ci stage 8/10: fuzz smoke (5 harnesses, corpora + -runs=5000) ==="
   cmake --preset fuzz > /dev/null
   cmake --build --preset fuzz -j "$JOBS" > /dev/null
   export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
@@ -128,6 +130,7 @@ if [[ $SKIP_SAN -eq 0 ]]; then
   build/fuzz/fuzz/fuzz_window_invariants fuzz/corpus/window_invariants \
     -runs=5000
   build/fuzz/fuzz/fuzz_vo_iteration fuzz/corpus/vo_iteration -runs=5000
+  build/fuzz/fuzz/fuzz_snapshot fuzz/corpus/snapshot -runs=5000
 else
   echo "=== ci stage 6/10: SKIPPED (--skip-sanitizers) ==="
   echo "=== ci stage 7/10: SKIPPED (--skip-sanitizers) ==="

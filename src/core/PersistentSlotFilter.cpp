@@ -8,7 +8,11 @@
 #include "core/PersistentSlotFilter.h"
 
 #include "core/SlotFilter.h"
+#include "sim/TraceIO.h"
 #include "support/Check.h"
+#include "support/StateCodec.h"
+
+#include <utility>
 
 using namespace ecosched;
 
@@ -217,4 +221,87 @@ void PersistentSlotFilter::rollbackSweepDamage() {
     View.insertVerbatim(It->Container);
   }
   Journal.clear();
+}
+
+namespace {
+
+/// Digest of the rebuilt-on-load state: every entry's job id followed
+/// by the full bit pattern of every view slot. saveState stores it so
+/// loadState can prove its filteredCopy reconstruction matches the
+/// views the writer held, without the views entering the format.
+uint64_t digestViews(const std::vector<std::pair<int, const SlotList *>>
+                         &Views) {
+  StateDigest D;
+  for (const auto &[JobId, View] : Views) {
+    D.addInt(JobId);
+    for (const Slot &S : *View) {
+      D.addInt(S.NodeId);
+      D.addDouble(S.Performance);
+      D.addDouble(S.UnitPrice);
+      D.addDouble(S.Start);
+      D.addDouble(S.End);
+    }
+  }
+  return D.value();
+}
+
+} // namespace
+
+void PersistentSlotFilter::saveState(StateWriter &W) const {
+  ECOSCHED_CHECK(Journal.empty(),
+                 "persistent filter serialized with {} unrolled sweep "
+                 "splices in the journal",
+                 Journal.size());
+  W.beginSection("filter");
+  Shadow.saveState(W);
+  W.writeUInt("entries", Entries.size());
+  std::vector<std::pair<int, const SlotList *>> Views;
+  for (const ViewEntry &E : Entries) {
+    Job Key;
+    Key.Id = E.JobId;
+    Key.Request = E.Request;
+    saveJobState(W, Key);
+    Views.emplace_back(E.JobId, &E.View);
+  }
+  W.writeUInt("view-digest", digestViews(Views));
+  W.endSection("filter");
+}
+
+bool PersistentSlotFilter::loadState(StateReader &R) {
+  if (!R.beginSection("filter"))
+    return false;
+  SlotList LoadedShadow;
+  if (!LoadedShadow.loadState(R))
+    return false;
+  uint64_t EntryCount = 0;
+  if (!R.readUInt("entries", EntryCount))
+    return false;
+  std::vector<ViewEntry> LoadedEntries;
+  for (uint64_t I = 0; I < EntryCount; ++I) {
+    Job Key;
+    if (!loadJobState(R, Key))
+      return false;
+    ViewEntry E;
+    E.JobId = Key.Id;
+    E.Request = Key.Request;
+    // The view is derived state: rebuild it exactly the way sync()'s
+    // rebuild path would, then let the digest prove the reconstruction.
+    E.View = SlotFilter::filteredCopy(LoadedShadow, E.Request, Algo);
+    LoadedEntries.push_back(std::move(E));
+  }
+  uint64_t StoredDigest = 0;
+  if (!R.readUInt("view-digest", StoredDigest) || !R.endSection("filter"))
+    return false;
+  std::vector<std::pair<int, const SlotList *>> Views;
+  for (const ViewEntry &E : LoadedEntries)
+    Views.emplace_back(E.JobId, &E.View);
+  if (digestViews(Views) != StoredDigest) {
+    R.fail("filter: rebuilt views do not match the serialized digest "
+           "(corrupt snapshot or mismatched search algorithm)");
+    return false;
+  }
+  Shadow = std::move(LoadedShadow);
+  Entries = std::move(LoadedEntries);
+  Journal.clear();
+  return true;
 }

@@ -60,6 +60,9 @@
 
 namespace ecosched {
 
+class StateWriter;
+class StateReader;
+
 /// Per-job admissible slot views reconciled across scheduling
 /// iterations by slot/job deltas. Owned at the engine layer (one per
 /// VirtualOrganization — the Metascheduler is shared and stateless) and
@@ -114,6 +117,24 @@ public:
 
   /// The retained copy of the last synced master list (tests).
   const SlotList &shadowMaster() const { return Shadow; }
+
+  /// Serializes the shadow master and every entry's (JobId, Request)
+  /// pair, plus an FNV-1a digest of the views (docs/PERSISTENCE.md).
+  /// The views themselves are derived state — post-sync each equals
+  /// filteredCopy(Shadow, Request) bitwise — so they are rebuilt on
+  /// load and checked against the digest rather than serialized.
+  /// Requires an empty journal (snapshots are taken between iterations,
+  /// never mid-sweep); aborts otherwise, like sync().
+  void saveState(StateWriter &W) const;
+
+  /// Restores a filter written by saveState, rebuilding every view
+  /// through SlotFilter::filteredCopy against this filter's algorithm.
+  /// Rejects — with a diagnostic on the reader, never an abort —
+  /// malformed shadow blobs, out-of-domain requests, and any digest
+  /// mismatch (which also catches loading a snapshot into a filter
+  /// bound to a different search algorithm). The filter is unchanged
+  /// unless the load succeeds.
+  bool loadState(StateReader &R);
 
 private:
   /// One job's cached view, carried between iterations.

@@ -7,7 +7,9 @@
 
 #include "engine/JobQueue.h"
 
+#include "sim/TraceIO.h"
 #include "support/Check.h"
+#include "support/StateCodec.h"
 
 #include <algorithm>
 #include <functional>
@@ -62,4 +64,67 @@ bool JobQueue::cancel(int JobId) {
   return std::erase_if(Queue, [JobId](const PendingJob &P) {
            return P.Spec.Id == JobId;
          }) > 0;
+}
+
+void JobQueue::saveState(StateWriter &W) const {
+  W.beginSection("queue");
+  W.writeInt("max-attempts", MaxAttempts);
+  W.writeUInt("pending", Queue.size());
+  for (const PendingJob &P : Queue) {
+    saveJobState(W, P.Spec);
+    W.writeInt("attempts", P.Attempts);
+  }
+  W.writeUInt("dropped", DroppedIds.size());
+  for (const int Id : DroppedIds)
+    W.writeInt("dropped-id", Id);
+  W.endSection("queue");
+}
+
+bool JobQueue::loadState(StateReader &R) {
+  int64_t Max = 0;
+  uint64_t PendingCount = 0;
+  if (!R.beginSection("queue") || !R.readInt("max-attempts", Max) ||
+      !R.readUInt("pending", PendingCount))
+    return false;
+  if (Max < std::numeric_limits<int>::min() ||
+      Max > std::numeric_limits<int>::max()) {
+    R.fail("queue: max-attempts out of range");
+    return false;
+  }
+  std::deque<PendingJob> Pending;
+  for (uint64_t I = 0; I < PendingCount; ++I) {
+    PendingJob P;
+    if (!loadJobState(R, P.Spec))
+      return false;
+    int64_t Attempts = 0;
+    if (!R.readInt("attempts", Attempts))
+      return false;
+    if (Attempts < 0 || Attempts > std::numeric_limits<int>::max()) {
+      R.fail("queue: attempt counter out of range");
+      return false;
+    }
+    P.Attempts = static_cast<int>(Attempts);
+    Pending.push_back(std::move(P));
+  }
+  uint64_t DroppedCount = 0;
+  if (!R.readUInt("dropped", DroppedCount))
+    return false;
+  std::vector<int> Dropped;
+  for (uint64_t I = 0; I < DroppedCount; ++I) {
+    int64_t Id = 0;
+    if (!R.readInt("dropped-id", Id))
+      return false;
+    if (Id < std::numeric_limits<int>::min() ||
+        Id > std::numeric_limits<int>::max()) {
+      R.fail("queue: dropped job id out of range");
+      return false;
+    }
+    Dropped.push_back(static_cast<int>(Id));
+  }
+  if (!R.endSection("queue"))
+    return false;
+  MaxAttempts = static_cast<int>(Max);
+  Queue = std::move(Pending);
+  DroppedIds = std::move(Dropped);
+  return true;
 }

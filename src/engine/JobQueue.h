@@ -25,6 +25,9 @@
 
 namespace ecosched {
 
+class StateWriter;
+class StateReader;
+
 /// FIFO-with-priority admission queue with attempt accounting.
 class JobQueue {
 public:
@@ -77,6 +80,16 @@ public:
   const std::vector<int> &dropped() const { return DroppedIds; }
 
   int maxAttempts() const { return MaxAttempts; }
+
+  /// Serializes the drop policy, every pending entry in queue order
+  /// (spec plus attempt counter — resubmitFront ordering is part of the
+  /// observable state), and the drop log (docs/PERSISTENCE.md).
+  void saveState(StateWriter &W) const;
+
+  /// Restores a queue written by saveState. Rejects out-of-domain job
+  /// fields and negative attempt counters with a diagnostic on the
+  /// reader; the queue is unchanged unless the load succeeds.
+  bool loadState(StateReader &R);
 
 private:
   int MaxAttempts;

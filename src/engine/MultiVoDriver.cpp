@@ -7,7 +7,17 @@
 
 #include "engine/MultiVoDriver.h"
 
+#include "support/StateCodec.h"
+
 using namespace ecosched;
+
+namespace {
+
+std::string tenantSnapshotPath(const std::string &Dir, size_t Index) {
+  return Dir + "/tenant_" + std::to_string(Index) + ".snap";
+}
+
+} // namespace
 
 size_t MultiVoDriver::addTenant(ComputingDomain Domain,
                                 const Metascheduler &Scheduler,
@@ -87,4 +97,56 @@ SearchStats MultiVoDriver::totalFilterStats() const {
   for (const Tenant &T : Tenants)
     Total += T.Vo->filterStats();
   return Total;
+}
+
+bool MultiVoDriver::saveSnapshots(const std::string &Dir,
+                                  std::string *Error) const {
+  if (!ensureDirectory(Dir, Error))
+    return false;
+  for (size_t I = 0; I < Tenants.size(); ++I) {
+    const Tenant &T = Tenants[I];
+    StateWriter W;
+    W.beginSection("tenant");
+    W.writeUInt("index", I);
+    W.writeUInt("iteration", T.Iteration);
+    T.Rng.saveState(W);
+    T.Vo->saveSnapshot(W);
+    W.endSection("tenant");
+    if (!writeStateFile(W.text(), tenantSnapshotPath(Dir, I), Error))
+      return false;
+  }
+  return true;
+}
+
+bool MultiVoDriver::loadSnapshots(const std::string &Dir,
+                                  std::string *Error) {
+  for (size_t I = 0; I < Tenants.size(); ++I) {
+    const std::string Path = tenantSnapshotPath(Dir, I);
+    std::string Text;
+    if (!readStateFile(Path, Text, Error))
+      return false;
+    StateReader R(Text);
+    Tenant &T = Tenants[I];
+    uint64_t Index = 0;
+    uint64_t Iteration = 0;
+    const bool Ok = R.beginSection("tenant") &&
+                    R.readUInt("index", Index) &&
+                    (Index == I ||
+                     (R.fail("tenant: snapshot index does not match the "
+                             "registered tenant"),
+                      false)) &&
+                    R.readUInt("iteration", Iteration) &&
+                    T.Rng.loadState(R) && T.Vo->loadSnapshot(R) &&
+                    R.endSection("tenant") && R.atEnd();
+    if (!Ok) {
+      if (Error) {
+        *Error = Path + ": " +
+                 (!R.ok() ? R.error()
+                          : std::string("trailing content after snapshot"));
+      }
+      return false;
+    }
+    T.Iteration = static_cast<size_t>(Iteration);
+  }
+  return true;
 }

@@ -99,6 +99,21 @@ public:
   /// off.
   SearchStats totalFilterStats() const;
 
+  /// Writes one snapshot file per tenant — `tenant_<I>.snap` carrying
+  /// the tenant's index, iteration counter, RNG stream, and full VO
+  /// state — into \p Dir (created if missing). Call between driver
+  /// iterations only. \returns false on I/O failure, filling \p Error.
+  bool saveSnapshots(const std::string &Dir,
+                     std::string *Error = nullptr) const;
+
+  /// Loads `tenant_<I>.snap` for every registered tenant from \p Dir.
+  /// Tenants must already be registered with the same schedulers and
+  /// in the same order as when the snapshots were written; each file's
+  /// stored index must match its tenant. On any failure the diagnostic
+  /// lands in \p Error and already-loaded tenants keep their new state
+  /// (callers treat a failed restore as fatal for the whole driver).
+  bool loadSnapshots(const std::string &Dir, std::string *Error = nullptr);
+
 private:
   /// A VO plus its private arrival stream. The VO is heap-allocated
   /// because it holds a reference member and must stay put while the

@@ -7,9 +7,13 @@
 
 #include "engine/ReservationLedger.h"
 
+#include "sim/TraceIO.h"
 #include "support/Check.h"
+#include "support/StateCodec.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 using namespace ecosched;
 
@@ -105,4 +109,121 @@ double ReservationLedger::totalIncome() const {
   for (const CompletedJob &C : Completed)
     Income += C.Cost;
   return Income;
+}
+
+namespace {
+
+/// Shared record shape of RunningJob's and CompletedJob's accounting
+/// head: (job id, start, end, cost, attempts).
+void saveAccountingHead(StateWriter &W, int JobId, double StartTime,
+                        double EndTime, double Cost, int Attempts) {
+  W.writeInt("job", JobId);
+  W.writeDouble("start", StartTime);
+  W.writeDouble("end", EndTime);
+  W.writeDouble("cost", Cost);
+  W.writeInt("attempts", Attempts);
+}
+
+bool loadAccountingHead(StateReader &R, int &JobId, double &StartTime,
+                        double &EndTime, double &Cost, int &Attempts) {
+  int64_t Job = 0, AttemptCount = 0;
+  double Start = 0.0, End = 0.0, JobCost = 0.0;
+  if (!R.readInt("job", Job) || !R.readDouble("start", Start) ||
+      !R.readDouble("end", End) || !R.readDouble("cost", JobCost) ||
+      !R.readInt("attempts", AttemptCount))
+    return false;
+  if (Job < std::numeric_limits<int>::min() ||
+      Job > std::numeric_limits<int>::max()) {
+    R.fail("ledger: job id out of range");
+    return false;
+  }
+  if (!std::isfinite(Start) || !std::isfinite(End) ||
+      !std::isfinite(JobCost)) {
+    R.fail("ledger: times and cost must be finite");
+    return false;
+  }
+  if (AttemptCount < 0 || AttemptCount > std::numeric_limits<int>::max()) {
+    R.fail("ledger: attempt counter out of range");
+    return false;
+  }
+  JobId = static_cast<int>(Job);
+  StartTime = Start;
+  EndTime = End;
+  Cost = JobCost;
+  Attempts = static_cast<int>(AttemptCount);
+  return true;
+}
+
+} // namespace
+
+void ReservationLedger::saveState(StateWriter &W) const {
+  W.beginSection("ledger");
+  W.writeUInt("running", Running.size());
+  for (const RunningJob &R : Running) {
+    W.beginSection("running-job");
+    saveAccountingHead(W, R.JobId, R.StartTime, R.EndTime, R.Cost,
+                       R.Attempts);
+    saveJobState(W, R.Spec);
+    W.writeUInt("nodes", R.Nodes.size());
+    for (const int Node : R.Nodes)
+      W.writeInt("node", Node);
+    W.endSection("running-job");
+  }
+  W.writeUInt("completed", Completed.size());
+  for (const CompletedJob &C : Completed) {
+    W.beginSection("completed-job");
+    saveAccountingHead(W, C.JobId, C.StartTime, C.EndTime, C.Cost,
+                       C.Attempts);
+    W.endSection("completed-job");
+  }
+  W.endSection("ledger");
+}
+
+bool ReservationLedger::loadState(StateReader &R) {
+  uint64_t RunningCount = 0;
+  if (!R.beginSection("ledger") || !R.readUInt("running", RunningCount))
+    return false;
+  std::vector<RunningJob> LoadedRunning;
+  for (uint64_t I = 0; I < RunningCount; ++I) {
+    RunningJob Entry;
+    if (!R.beginSection("running-job") ||
+        !loadAccountingHead(R, Entry.JobId, Entry.StartTime, Entry.EndTime,
+                            Entry.Cost, Entry.Attempts) ||
+        !loadJobState(R, Entry.Spec))
+      return false;
+    uint64_t NodeCount = 0;
+    if (!R.readUInt("nodes", NodeCount))
+      return false;
+    for (uint64_t N = 0; N < NodeCount; ++N) {
+      int64_t Node = 0;
+      if (!R.readInt("node", Node))
+        return false;
+      if (Node < 0 || Node > std::numeric_limits<int>::max()) {
+        R.fail("ledger: reservation node id out of range");
+        return false;
+      }
+      Entry.Nodes.push_back(static_cast<int>(Node));
+    }
+    if (!R.endSection("running-job"))
+      return false;
+    LoadedRunning.push_back(std::move(Entry));
+  }
+  uint64_t CompletedCount = 0;
+  if (!R.readUInt("completed", CompletedCount))
+    return false;
+  std::vector<CompletedJob> LoadedCompleted;
+  for (uint64_t I = 0; I < CompletedCount; ++I) {
+    CompletedJob Entry;
+    if (!R.beginSection("completed-job") ||
+        !loadAccountingHead(R, Entry.JobId, Entry.StartTime, Entry.EndTime,
+                            Entry.Cost, Entry.Attempts) ||
+        !R.endSection("completed-job"))
+      return false;
+    LoadedCompleted.push_back(Entry);
+  }
+  if (!R.endSection("ledger"))
+    return false;
+  Running = std::move(LoadedRunning);
+  Completed = std::move(LoadedCompleted);
+  return true;
 }

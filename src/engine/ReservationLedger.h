@@ -38,6 +38,9 @@
 
 namespace ecosched {
 
+class StateWriter;
+class StateReader;
+
 /// A job finished (its reservation elapsed) inside the VO.
 struct CompletedJob {
   int JobId = -1;
@@ -106,6 +109,18 @@ public:
 
   /// Total owner income from completed external jobs.
   double totalIncome() const;
+
+  /// Serializes the running set (commit order, including specs and node
+  /// lists for failure resubmission) and the completed record
+  /// (docs/PERSISTENCE.md). The domain occupancy backing the running
+  /// reservations is serialized by the domain itself.
+  void saveState(StateWriter &W) const;
+
+  /// Restores a ledger written by saveState. Rejects non-finite times
+  /// or costs, negative attempt counters, and malformed job specs with
+  /// a diagnostic on the reader; the ledger is unchanged unless the
+  /// load succeeds.
+  bool loadState(StateReader &R);
 
 private:
   std::vector<RunningJob> Running;

@@ -8,6 +8,9 @@
 #include "engine/SimClock.h"
 
 #include "support/Check.h"
+#include "support/StateCodec.h"
+
+#include <cmath>
 
 using namespace ecosched;
 
@@ -18,4 +21,43 @@ SimClock::SimClock(double IterationPeriod, double HorizonLength)
                  IterationPeriod);
   ECOSCHED_CHECK(HorizonLength > 0.0, "horizon must be positive, got {}",
                  HorizonLength);
+}
+
+void SimClock::saveState(StateWriter &W) const {
+  W.beginSection("clock");
+  W.writeDouble("period", IterationPeriod);
+  W.writeDouble("horizon", HorizonLength);
+  W.writeDouble("now", Clock);
+  W.writeUInt("iterations", Iterations);
+  W.endSection("clock");
+}
+
+bool SimClock::loadState(StateReader &R) {
+  double Period = 0.0;
+  double Horizon = 0.0;
+  double Now = 0.0;
+  uint64_t Iters = 0;
+  if (!R.beginSection("clock") || !R.readDouble("period", Period) ||
+      !R.readDouble("horizon", Horizon) || !R.readDouble("now", Now) ||
+      !R.readUInt("iterations", Iters) || !R.endSection("clock"))
+    return false;
+  // The constructor CHECKs these invariants; the loader must reject the
+  // same inputs gracefully so corrupt snapshots never reach an abort.
+  if (!(Period > 0.0) || !std::isfinite(Period)) {
+    R.fail("clock: iteration period must be positive and finite");
+    return false;
+  }
+  if (!(Horizon > 0.0) || !std::isfinite(Horizon)) {
+    R.fail("clock: horizon must be positive and finite");
+    return false;
+  }
+  if (!std::isfinite(Now)) {
+    R.fail("clock: current time must be finite");
+    return false;
+  }
+  IterationPeriod = Period;
+  HorizonLength = Horizon;
+  Clock = Now;
+  Iterations = static_cast<size_t>(Iters);
+  return true;
 }

@@ -22,6 +22,9 @@
 
 namespace ecosched {
 
+class StateWriter;
+class StateReader;
+
 /// Iteration cadence of a VO: current time, period, and horizon.
 class SimClock {
 public:
@@ -50,6 +53,16 @@ public:
     Clock += IterationPeriod;
     ++Iterations;
   }
+
+  /// Serializes the cadence and the accumulated clock. The clock value
+  /// itself is stored (not recomputed from the iteration count) because
+  /// advance() accumulates period by period.
+  void saveState(StateWriter &W) const;
+
+  /// Restores a state written by saveState. Rejects non-positive or
+  /// non-finite cadence and a non-finite clock with a diagnostic on the
+  /// reader; the clock is unchanged unless the load succeeds.
+  bool loadState(StateReader &R);
 
 private:
   double IterationPeriod;

@@ -7,6 +7,11 @@
 
 #include "engine/VirtualOrganization.h"
 
+#include "support/StateCodec.h"
+
+#include <cmath>
+#include <limits>
+
 using namespace ecosched;
 
 VirtualOrganization::VirtualOrganization(ComputingDomain InDomain,
@@ -92,4 +97,148 @@ bool VirtualOrganization::cancelJob(int JobId) {
 
 void VirtualOrganization::setQueuedBudgetFactor(double Rho) {
   Queue.setBudgetFactor(Rho);
+}
+
+void VirtualOrganization::saveSnapshot(StateWriter &W) const {
+  W.beginSection("vo");
+  W.beginSection("config");
+  W.writeDouble("iteration-period", Cfg.IterationPeriod);
+  W.writeDouble("horizon-length", Cfg.HorizonLength);
+  W.writeInt("max-attempts", Cfg.MaxAttempts);
+  W.writeBool("reuse-filter", Cfg.ReuseFilter);
+  W.endSection("config");
+  Clock.saveState(W);
+  Queue.saveState(W);
+  Ledger.saveState(W);
+  Domain.saveState(W);
+  W.writeBool("has-filter", Filter.has_value());
+  if (Filter)
+    Filter->saveState(W);
+  W.beginSection("filter-stats");
+  W.writeUInt("slots-examined", FilterStats.SlotsExamined);
+  W.writeUInt("group-peak", FilterStats.GroupPeak);
+  W.writeUInt("group-operations", FilterStats.GroupOperations);
+  W.writeUInt("speculation-recomputes", FilterStats.SpeculationRecomputes);
+  W.writeUInt("view-reuses", FilterStats.FilterViewReuses);
+  W.writeUInt("view-rebuilds", FilterStats.FilterViewRebuilds);
+  W.writeUInt("delta-ops", FilterStats.FilterDeltaOps);
+  W.endSection("filter-stats");
+  W.endSection("vo");
+}
+
+bool VirtualOrganization::loadSnapshot(StateReader &R) {
+  if (!R.beginSection("vo"))
+    return false;
+  Config LoadedCfg;
+  if (!R.beginSection("config") ||
+      !R.readDouble("iteration-period", LoadedCfg.IterationPeriod) ||
+      !R.readDouble("horizon-length", LoadedCfg.HorizonLength))
+    return false;
+  int64_t MaxAttempts = 0;
+  if (!R.readInt("max-attempts", MaxAttempts) ||
+      !R.readBool("reuse-filter", LoadedCfg.ReuseFilter) ||
+      !R.endSection("config"))
+    return false;
+  // The SimClock constructor CHECKs the cadence, so the config copy of
+  // it must be validated here before any SimClock is built from it.
+  if (!(LoadedCfg.IterationPeriod > 0.0) ||
+      !std::isfinite(LoadedCfg.IterationPeriod) ||
+      !(LoadedCfg.HorizonLength > 0.0) ||
+      !std::isfinite(LoadedCfg.HorizonLength)) {
+    R.fail("vo: config cadence must be positive and finite");
+    return false;
+  }
+  if (MaxAttempts < std::numeric_limits<int>::min() ||
+      MaxAttempts > std::numeric_limits<int>::max()) {
+    R.fail("vo: max-attempts out of range");
+    return false;
+  }
+  LoadedCfg.MaxAttempts = static_cast<int>(MaxAttempts);
+
+  // Every layer loads into a temporary so this VO stays untouched
+  // unless the whole snapshot validates.
+  SimClock LoadedClock(LoadedCfg.IterationPeriod, LoadedCfg.HorizonLength);
+  if (!LoadedClock.loadState(R))
+    return false;
+  JobQueue LoadedQueue(LoadedCfg.MaxAttempts);
+  if (!LoadedQueue.loadState(R))
+    return false;
+  ReservationLedger LoadedLedger;
+  if (!LoadedLedger.loadState(R))
+    return false;
+  ComputingDomain LoadedDomain;
+  if (!LoadedDomain.loadState(R))
+    return false;
+  bool HasFilter = false;
+  if (!R.readBool("has-filter", HasFilter))
+    return false;
+  std::optional<PersistentSlotFilter> LoadedFilter;
+  if (HasFilter) {
+    LoadedFilter.emplace(Scheduler.searchAlgo());
+    if (!LoadedFilter->loadState(R))
+      return false;
+  }
+  SearchStats LoadedStats;
+  uint64_t Counters[7] = {};
+  if (!R.beginSection("filter-stats") ||
+      !R.readUInt("slots-examined", Counters[0]) ||
+      !R.readUInt("group-peak", Counters[1]) ||
+      !R.readUInt("group-operations", Counters[2]) ||
+      !R.readUInt("speculation-recomputes", Counters[3]) ||
+      !R.readUInt("view-reuses", Counters[4]) ||
+      !R.readUInt("view-rebuilds", Counters[5]) ||
+      !R.readUInt("delta-ops", Counters[6]) ||
+      !R.endSection("filter-stats") || !R.endSection("vo"))
+    return false;
+  LoadedStats.SlotsExamined = static_cast<size_t>(Counters[0]);
+  LoadedStats.GroupPeak = static_cast<size_t>(Counters[1]);
+  LoadedStats.GroupOperations = static_cast<size_t>(Counters[2]);
+  LoadedStats.SpeculationRecomputes = static_cast<size_t>(Counters[3]);
+  LoadedStats.FilterViewReuses = static_cast<size_t>(Counters[4]);
+  LoadedStats.FilterViewRebuilds = static_cast<size_t>(Counters[5]);
+  LoadedStats.FilterDeltaOps = static_cast<size_t>(Counters[6]);
+
+  Cfg = LoadedCfg;
+  Clock = LoadedClock;
+  Queue = std::move(LoadedQueue);
+  Ledger = std::move(LoadedLedger);
+  Domain = std::move(LoadedDomain);
+  // The filter's algorithm reference deletes its assignment operators,
+  // so the optional is re-engaged by move construction instead.
+  Filter.reset();
+  if (LoadedFilter)
+    Filter.emplace(std::move(*LoadedFilter));
+  FilterStats = LoadedStats;
+  return true;
+}
+
+std::string VirtualOrganization::saveSnapshotText() const {
+  StateWriter W;
+  saveSnapshot(W);
+  return W.text();
+}
+
+bool VirtualOrganization::loadSnapshotText(const std::string &Text,
+                                           std::string *Error) {
+  StateReader R(Text);
+  if (loadSnapshot(R) && R.atEnd())
+    return true;
+  if (Error) {
+    *Error = !R.ok() ? R.error()
+                     : std::string("vo: trailing content after snapshot");
+  }
+  return false;
+}
+
+bool VirtualOrganization::saveSnapshotFile(const std::string &Path,
+                                           std::string *Error) const {
+  return writeStateFile(saveSnapshotText(), Path, Error);
+}
+
+bool VirtualOrganization::loadSnapshotFile(const std::string &Path,
+                                           std::string *Error) {
+  std::string Text;
+  if (!readStateFile(Path, Text, Error))
+    return false;
+  return loadSnapshotText(Text, Error);
 }

@@ -30,8 +30,12 @@
 #include "sim/ComputingDomain.h"
 
 #include <optional>
+#include <string>
 
 namespace ecosched {
+
+class StateWriter;
+class StateReader;
 
 /// VO driver facade: domain + clock + queue + ledger.
 class VirtualOrganization {
@@ -123,6 +127,44 @@ public:
   /// far; all-zero when ReuseFilter is off. Each iteration's share is
   /// also folded into that iteration's Outcome.Stats.
   const SearchStats &filterStats() const { return FilterStats; }
+
+  /// \name Crash-safe snapshots (docs/PERSISTENCE.md)
+  /// The full live state of the VO — config, clock, queue, ledger,
+  /// domain occupancy, persistent-filter shadow, and stats counters —
+  /// as one StateCodec stream. Call between iterations only (never
+  /// mid-runIteration); resuming a loaded VO replays the remaining
+  /// iterations bitwise-identically to the uninterrupted run.
+  /// @{
+
+  /// Serializes every engine layer into \p W in a fixed order.
+  void saveSnapshot(StateWriter &W) const;
+
+  /// Restores a snapshot written by saveSnapshot into this VO. The
+  /// scheduler reference is not part of the snapshot: the caller must
+  /// attach a Metascheduler configured like the writer's (the filter
+  /// view digest rejects a mismatched search algorithm). All layers
+  /// load into temporaries first, so the VO is unchanged unless the
+  /// whole snapshot validates; failures set \p R's diagnostic and
+  /// never abort.
+  bool loadSnapshot(StateReader &R);
+
+  /// saveSnapshot rendered as a standalone snapshot text.
+  std::string saveSnapshotText() const;
+
+  /// Parses and loads a snapshot text. \returns false on any parse or
+  /// validation failure, filling \p Error with the diagnostic.
+  bool loadSnapshotText(const std::string &Text,
+                        std::string *Error = nullptr);
+
+  /// Writes saveSnapshotText() to \p Path via StateCodec's file layer.
+  bool saveSnapshotFile(const std::string &Path,
+                        std::string *Error = nullptr) const;
+
+  /// Reads \p Path and loads it as a snapshot.
+  bool loadSnapshotFile(const std::string &Path,
+                        std::string *Error = nullptr);
+
+  /// @}
 
 private:
   ComputingDomain Domain;

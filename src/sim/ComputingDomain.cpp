@@ -7,7 +7,12 @@
 
 #include "sim/ComputingDomain.h"
 
+#include "support/StateCodec.h"
+
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
 
 using namespace ecosched;
 
@@ -210,4 +215,134 @@ double ComputingDomain::localLoad() const {
       if (B.Kind == OccupancyKind::Local)
         Total += B.End - B.Start;
   return Total;
+}
+
+void ComputingDomain::saveState(StateWriter &W) const {
+  W.beginSection("domain");
+  W.writeUInt("nodes", Pool.size());
+  for (const ResourceNode &Node : Pool) {
+    W.beginSection("node");
+    W.writeInt("id", Node.Id);
+    W.writeDouble("performance", Node.Performance);
+    W.writeDouble("price", Node.UnitPrice);
+    W.writeString("name", Node.Name);
+    W.writeBool("available", Available[static_cast<size_t>(Node.Id)]);
+    const auto &Intervals = BusyByNode[static_cast<size_t>(Node.Id)];
+    W.writeUInt("intervals", Intervals.size());
+    for (const BusyInterval &B : Intervals) {
+      W.writeDouble("start", B.Start);
+      W.writeDouble("end", B.End);
+      W.writeUInt("kind", B.Kind == OccupancyKind::Local ? 0 : 1);
+      W.writeInt("job", B.JobId);
+    }
+    W.endSection("node");
+  }
+  W.endSection("domain");
+}
+
+bool ComputingDomain::loadState(StateReader &R) {
+  uint64_t NodeCount = 0;
+  if (!R.beginSection("domain") || !R.readUInt("nodes", NodeCount))
+    return false;
+  ComputingDomain Loaded;
+  // Per-node records parsed verbatim, for the post-replay canonicality
+  // comparison against what the replay actually stored.
+  std::vector<std::vector<BusyInterval>> Records;
+  std::vector<bool> AvailableFlags;
+  for (uint64_t NodeIdx = 0; NodeIdx < NodeCount; ++NodeIdx) {
+    int64_t Id = 0;
+    double Performance = 0.0, Price = 0.0;
+    std::string Name;
+    bool IsAvailable = true;
+    uint64_t IntervalCount = 0;
+    if (!R.beginSection("node") || !R.readInt("id", Id) ||
+        !R.readDouble("performance", Performance) ||
+        !R.readDouble("price", Price) || !R.readString("name", Name) ||
+        !R.readBool("available", IsAvailable) ||
+        !R.readUInt("intervals", IntervalCount))
+      return false;
+    // addNode() CHECKs these; out-of-domain values must be rejected
+    // here as a diagnostic instead of reaching an abort.
+    if (Id != static_cast<int64_t>(NodeIdx)) {
+      R.fail("domain: node ids must be dense indices");
+      return false;
+    }
+    if (!(Performance > 0.0) || !std::isfinite(Performance)) {
+      R.fail("domain: node performance must be positive and finite");
+      return false;
+    }
+    if (!(Price >= 0.0) || !std::isfinite(Price)) {
+      R.fail("domain: node price must be non-negative and finite");
+      return false;
+    }
+    if (Name.empty()) {
+      R.fail("domain: node name must not be empty");
+      return false;
+    }
+    Loaded.addNode(Performance, Price, Name);
+    AvailableFlags.push_back(IsAvailable);
+    std::vector<BusyInterval> NodeRecords;
+    for (uint64_t I = 0; I < IntervalCount; ++I) {
+      double Start = 0.0, End = 0.0;
+      uint64_t Kind = 0;
+      int64_t JobId = 0;
+      if (!R.readDouble("start", Start) || !R.readDouble("end", End) ||
+          !R.readUInt("kind", Kind) || !R.readInt("job", JobId))
+        return false;
+      if (!std::isfinite(Start) || !std::isfinite(End) || !(End > Start)) {
+        R.fail("domain: busy interval must have finite end > start");
+        return false;
+      }
+      if (Kind > 1) {
+        R.fail("domain: unknown occupancy kind");
+        return false;
+      }
+      if (JobId < std::numeric_limits<int>::min() ||
+          JobId > std::numeric_limits<int>::max()) {
+        R.fail("domain: interval job id out of range");
+        return false;
+      }
+      BusyInterval B;
+      B.Start = Start;
+      B.End = End;
+      B.Kind = Kind == 0 ? OccupancyKind::Local : OccupancyKind::External;
+      B.JobId = static_cast<int>(JobId);
+      // Replay through the production insertion path: an interval that
+      // overlaps the ones already replayed (or is otherwise rejected)
+      // cannot have come from a live domain.
+      if (!Loaded.insertInterval(static_cast<int>(Id), B)) {
+        R.fail("domain: busy interval overlaps previous occupancy");
+        return false;
+      }
+      NodeRecords.push_back(B);
+    }
+    Records.push_back(std::move(NodeRecords));
+    if (!R.endSection("node"))
+      return false;
+  }
+  if (!R.endSection("domain"))
+    return false;
+  // Availability is applied after the replay (insertInterval refuses
+  // unavailable nodes, but a failed node may legitimately keep already-
+  // finished occupancy until the next advanceTo()).
+  Loaded.Available = AvailableFlags;
+  // Canonicality: the replayed schedules must match the parsed records
+  // exactly — order included — so a second save reproduces the snapshot
+  // byte for byte.
+  for (size_t Node = 0; Node < Records.size(); ++Node) {
+    const auto &Stored = Loaded.BusyByNode[Node];
+    const auto &Parsed = Records[Node];
+    bool Same = Stored.size() == Parsed.size();
+    for (size_t I = 0; Same && I < Stored.size(); ++I)
+      Same = Stored[I].Start == Parsed[I].Start &&
+             Stored[I].End == Parsed[I].End &&
+             Stored[I].Kind == Parsed[I].Kind &&
+             Stored[I].JobId == Parsed[I].JobId;
+    if (!Same) {
+      R.fail("domain: occupancy order is not the canonical replay order");
+      return false;
+    }
+  }
+  *this = std::move(Loaded);
+  return true;
 }

@@ -28,6 +28,9 @@
 
 namespace ecosched {
 
+class StateWriter;
+class StateReader;
+
 /// Who occupies a busy interval of a node.
 enum class OccupancyKind {
   /// Owner's local job, scheduled by the node's own manager.
@@ -119,6 +122,22 @@ public:
 
   /// Total busy time booked by local tasks.
   double localLoad() const;
+
+  /// Serializes every node (performance, price, name, availability) and
+  /// its occupancy schedule in stored order (docs/PERSISTENCE.md).
+  void saveState(StateWriter &W) const;
+
+  /// Restores a domain written by saveState by replaying addNode() and
+  /// the production interval insertion for every record, so a loaded
+  /// domain is built through exactly the code paths a live one was.
+  /// Rejects — with a diagnostic on the reader, never an abort — ids
+  /// that are not dense indices, out-of-domain node parameters, empty
+  /// names (addNode never stores one), non-positive-length or
+  /// overlapping intervals, unknown occupancy kinds, and any occupancy
+  /// ordering the replay does not reproduce exactly (so save → load →
+  /// save is provably a fixed point). The domain is unchanged unless
+  /// the load succeeds.
+  bool loadState(StateReader &R);
 
 private:
   bool insertInterval(int NodeId, BusyInterval Interval);

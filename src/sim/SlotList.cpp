@@ -7,6 +7,9 @@
 
 #include "sim/SlotList.h"
 
+#include "sim/TraceIO.h"
+#include "support/StateCodec.h"
+
 #include <algorithm>
 #include <cmath>
 #include <optional>
@@ -289,4 +292,46 @@ void SlotList::validate() const {
   }
   ECOSCHED_CHECK(checkIndexConsistency(),
                  "interval index diverged from the slot vector");
+}
+
+void SlotList::saveState(StateWriter &W) const {
+  W.beginSection("slot-list");
+  W.writeBlob("slots", writeSlotTrace(*this));
+  W.endSection("slot-list");
+}
+
+bool SlotList::loadState(StateReader &R) {
+  std::string Blob;
+  if (!R.beginSection("slot-list") || !R.readBlob("slots", Blob) ||
+      !R.endSection("slot-list"))
+    return false;
+  std::string ParseError;
+  std::optional<SlotList> Parsed = parseSlotTrace(Blob, &ParseError);
+  if (!Parsed) {
+    R.fail("slot-list: " + ParseError);
+    return false;
+  }
+  // The trace format tolerates zero-length slots (End == Start); a
+  // SlotList never stores them, so a blob carrying one cannot have come
+  // from saveState.
+  for (const Slot &S : *Parsed) {
+    if (!(S.End > S.Start)) {
+      R.fail("slot-list: zero-length slot in snapshot");
+      return false;
+    }
+  }
+  if (!Parsed->checkInvariants()) {
+    R.fail("slot-list: slots unsorted or overlapping within a node");
+    return false;
+  }
+  // Canonicality: re-rendering must reproduce the blob byte for byte,
+  // so the loaded list is provably the one saveState wrote and a second
+  // save is a fixed point (non-canonical numeric text like "1.0" is
+  // parseable but rejected here).
+  if (writeSlotTrace(*Parsed) != Blob) {
+    R.fail("slot-list: snapshot is not a canonical rendering");
+    return false;
+  }
+  *this = std::move(*Parsed);
+  return true;
 }

@@ -25,6 +25,9 @@
 
 namespace ecosched {
 
+class StateWriter;
+class StateReader;
+
 /// A list of vacant slots kept sorted by non-decreasing start time.
 ///
 /// Slots on the same node never overlap; this invariant is established by
@@ -151,6 +154,21 @@ public:
   /// slot vector exactly. Exposed for the differential fuzz harnesses;
   /// always true for an unbuilt index.
   bool checkIndexConsistency() const;
+
+  /// Serializes the slot vector as an embedded TraceIO slot-trace blob
+  /// (docs/PERSISTENCE.md). The interval index is derived state and
+  /// never enters the format; loadState leaves it unbuilt, to be
+  /// rebuilt lazily exactly as after the original construction.
+  void saveState(StateWriter &W) const;
+
+  /// Restores a list written by saveState. Rejects — with a diagnostic
+  /// on the reader, never an abort — malformed trace text, zero-length
+  /// slots, invariant violations (unsorted, overlapping within a node),
+  /// and non-canonical renderings (re-serializing the parsed list must
+  /// reproduce the stored blob byte for byte, so save → load → save is
+  /// provably a fixed point). The list is unchanged unless the load
+  /// succeeds.
+  bool loadState(StateReader &R);
 
   size_t size() const { return Slots.size(); }
   bool empty() const { return Slots.empty(); }

@@ -7,6 +7,8 @@
 
 #include "sim/TraceIO.h"
 
+#include "support/StateCodec.h"
+
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -232,4 +234,77 @@ std::optional<Batch> ecosched::loadBatchTrace(const std::string &Path,
   if (!readFile(Path, Text, Error))
     return std::nullopt;
   return parseBatchTrace(Text, Error);
+}
+
+void ecosched::saveJobState(StateWriter &W, const Job &J) {
+  W.beginSection("job");
+  W.writeInt("id", J.Id);
+  W.writeInt("nodes", J.Request.NodeCount);
+  W.writeDouble("volume", J.Request.Volume);
+  W.writeDouble("min-perf", J.Request.MinPerformance);
+  W.writeDouble("max-price", J.Request.MaxUnitPrice);
+  W.writeDouble("rho", J.Request.BudgetFactor);
+  W.writeUInt("policy",
+              J.Request.BudgetPolicy == BudgetPolicyKind::SpanBased ? 0 : 1);
+  W.writeDouble("deadline", J.Request.Deadline);
+  W.endSection("job");
+}
+
+bool ecosched::loadJobState(StateReader &R, Job &J) {
+  int64_t Id = 0;
+  int64_t Nodes = 0;
+  double Volume = 0.0, MinPerf = 0.0, MaxPrice = 0.0, Rho = 0.0;
+  uint64_t Policy = 0;
+  double Deadline = 0.0;
+  if (!R.beginSection("job") || !R.readInt("id", Id) ||
+      !R.readInt("nodes", Nodes) || !R.readDouble("volume", Volume) ||
+      !R.readDouble("min-perf", MinPerf) ||
+      !R.readDouble("max-price", MaxPrice) || !R.readDouble("rho", Rho) ||
+      !R.readUInt("policy", Policy) ||
+      !R.readDouble("deadline", Deadline) || !R.endSection("job"))
+    return false;
+  // Mirror parseBatchTrace's domain checks, plus the fields the batch
+  // format lacks. maxRuntime() CHECKs MinPerformance > 0, so out-of-
+  // domain values must die here as a diagnostic, not there as an abort.
+  if (Id < std::numeric_limits<int>::min() ||
+      Id > std::numeric_limits<int>::max()) {
+    R.fail("job: id out of range");
+    return false;
+  }
+  if (Nodes <= 0 || Nodes > std::numeric_limits<int>::max()) {
+    R.fail("job: node count must be a positive int");
+    return false;
+  }
+  if (!(Volume > 0.0) || !std::isfinite(Volume)) {
+    R.fail("job: volume must be positive and finite");
+    return false;
+  }
+  if (!(MinPerf > 0.0) || !std::isfinite(MinPerf)) {
+    R.fail("job: minimum performance must be positive and finite");
+    return false;
+  }
+  if (!std::isfinite(MaxPrice)) {
+    R.fail("job: maximum unit price must be finite");
+    return false;
+  }
+  if (!std::isfinite(Rho)) {
+    R.fail("job: budget factor must be finite");
+    return false;
+  }
+  if (Policy > 1) {
+    R.fail("job: unknown budget policy");
+    return false;
+  }
+  // Deadline may be infinite (the "no deadline" default); the reader
+  // already rejected NaN.
+  J.Id = static_cast<int>(Id);
+  J.Request.NodeCount = static_cast<int>(Nodes);
+  J.Request.Volume = Volume;
+  J.Request.MinPerformance = MinPerf;
+  J.Request.MaxUnitPrice = MaxPrice;
+  J.Request.BudgetFactor = Rho;
+  J.Request.BudgetPolicy = Policy == 0 ? BudgetPolicyKind::SpanBased
+                                       : BudgetPolicyKind::VolumeBased;
+  J.Request.Deadline = Deadline;
+  return true;
 }

@@ -38,6 +38,9 @@
 
 namespace ecosched {
 
+class StateWriter;
+class StateReader;
+
 /// Renders \p List in the slot-trace text format.
 std::string writeSlotTrace(const SlotList &List);
 
@@ -69,6 +72,26 @@ bool saveBatchTrace(const Batch &Jobs, const std::string &Path,
 /// Reads a job batch trace; std::nullopt on I/O or parse failure.
 std::optional<Batch> loadBatchTrace(const std::string &Path,
                                     std::string *Error = nullptr);
+
+/// \name Snapshot-protocol job records
+/// The job-trace line above predates deadlines and budget policies, so
+/// the snapshot protocol (docs/PERSISTENCE.md) serializes the complete
+/// Job through StateCodec records instead. These live here rather than
+/// in support/ because the support layer must not know about sim types.
+/// @{
+
+/// Writes every field of \p J, including the budget policy and the
+/// (possibly infinite) deadline, as one "job" section.
+void saveJobState(StateWriter &W, const Job &J);
+
+/// Reads a "job" section into \p J. Rejects — with a diagnostic on the
+/// reader, never an abort — any field the generators cannot produce:
+/// non-positive node counts, volumes, or performances, non-finite
+/// prices or budget factors, unknown budget policies, NaN deadlines.
+/// \p J is unchanged unless the load succeeds.
+bool loadJobState(StateReader &R, Job &J);
+
+/// @}
 
 } // namespace ecosched
 

@@ -8,6 +8,7 @@
 #include "support/Random.h"
 
 #include "support/Check.h"
+#include "support/StateCodec.h"
 
 #include <cmath>
 
@@ -89,4 +90,24 @@ RandomGenerator RandomGenerator::fork() {
   // Decorrelate the child further from the parent stream.
   Child.next();
   return Child;
+}
+
+void RandomGenerator::saveState(StateWriter &W) const {
+  W.beginSection("rng");
+  W.writeUInt("s0", State[0]);
+  W.writeUInt("s1", State[1]);
+  W.writeUInt("s2", State[2]);
+  W.writeUInt("s3", State[3]);
+  W.endSection("rng");
+}
+
+bool RandomGenerator::loadState(StateReader &R) {
+  uint64_t Words[4] = {0, 0, 0, 0};
+  if (!R.beginSection("rng") || !R.readUInt("s0", Words[0]) ||
+      !R.readUInt("s1", Words[1]) || !R.readUInt("s2", Words[2]) ||
+      !R.readUInt("s3", Words[3]) || !R.endSection("rng"))
+    return false;
+  for (int I = 0; I < 4; ++I)
+    State[I] = Words[I];
+  return true;
 }

@@ -23,6 +23,9 @@
 
 namespace ecosched {
 
+class StateWriter;
+class StateReader;
+
 /// SplitMix64 generator, used to expand a single 64-bit seed into the
 /// xoshiro256** state. Also usable standalone for cheap hashing-style
 /// randomness.
@@ -37,6 +40,15 @@ public:
     Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
     return Z ^ (Z >> 31);
   }
+
+  /// The stream position: re-seeding another SplitMix64 with this value
+  /// continues the stream exactly where this one stands. The snapshot
+  /// protocol (docs/PERSISTENCE.md) captures and restores it so resumed
+  /// runs draw the identical remaining sequence.
+  uint64_t state() const { return State; }
+
+  /// Restores a stream position previously captured with state().
+  void setState(uint64_t S) { State = S; }
 
 private:
   uint64_t State;
@@ -80,6 +92,16 @@ public:
   /// simulated iteration its own stream so that changing one knob does
   /// not shift unrelated draws.
   RandomGenerator fork();
+
+  /// Serializes the full 256-bit stream position so a resumed run draws
+  /// the identical remaining sequence (docs/PERSISTENCE.md).
+  void saveState(StateWriter &W) const;
+
+  /// Restores a position written by saveState. Any four words form a
+  /// valid xoshiro256** state, so this only fails on malformed records.
+  /// \returns false (with the reader's diagnostic set) on failure; the
+  /// generator is unchanged unless the load succeeds.
+  bool loadState(StateReader &R);
 
 private:
   uint64_t State[4];

@@ -1,0 +1,435 @@
+//===-- support/StateCodec.cpp - Versioned engine-state codec -------------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StateCodec.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sys/stat.h>
+
+using namespace ecosched;
+
+namespace {
+
+const char *const HeaderMagic = "ecosched-snapshot";
+
+void setError(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+}
+
+/// Appends printf-formatted text to \p Out (same helper as TraceIO).
+template <typename... Ts>
+void appendFormat(std::string &Out, const char *Fmt, Ts... Values) {
+  char Buffer[256];
+  const int Count = std::snprintf(Buffer, sizeof(Buffer), Fmt, Values...);
+  if (Count > 0)
+    Out.append(Buffer, static_cast<size_t>(Count));
+}
+
+/// Full-consumption strtoll/strtoull/strtod wrappers: the whole token
+/// must parse, so "12x" or "" are malformed rather than truncated.
+bool parseInt64(const std::string &Token, int64_t &Value) {
+  if (Token.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  const long long V = std::strtoll(Token.c_str(), &End, 10);
+  if (errno != 0 || End != Token.c_str() + Token.size())
+    return false;
+  Value = static_cast<int64_t>(V);
+  return true;
+}
+
+bool parseUInt64(const std::string &Token, uint64_t &Value) {
+  // strtoull accepts a leading '-' (wrapping); forbid it explicitly so
+  // counts can never alias huge values.
+  if (Token.empty() || Token[0] == '-' || Token[0] == '+')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  const unsigned long long V = std::strtoull(Token.c_str(), &End, 10);
+  if (errno != 0 || End != Token.c_str() + Token.size())
+    return false;
+  Value = static_cast<uint64_t>(V);
+  return true;
+}
+
+bool parseDouble(const std::string &Token, double &Value) {
+  if (Token.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  const double V = std::strtod(Token.c_str(), &End);
+  if (End != Token.c_str() + Token.size())
+    return false;
+  if (std::isnan(V))
+    return false;
+  Value = V;
+  return true;
+}
+
+/// RAII FILE handle (same shape as TraceIO's).
+struct FileHandle {
+  std::FILE *F = nullptr;
+  FileHandle(const char *Path, const char *Mode)
+      : F(std::fopen(Path, Mode)) {}
+  ~FileHandle() {
+    if (F)
+      std::fclose(F);
+  }
+  FileHandle(const FileHandle &) = delete;
+  FileHandle &operator=(const FileHandle &) = delete;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// StateWriter
+//===----------------------------------------------------------------------===//
+
+StateWriter::StateWriter() {
+  appendFormat(Out, "%s v%d\n", HeaderMagic, StateFormatVersion);
+}
+
+void StateWriter::beginSection(const char *Name) {
+  appendFormat(Out, "section %s\n", Name);
+}
+
+void StateWriter::endSection(const char *Name) {
+  appendFormat(Out, "end %s\n", Name);
+}
+
+void StateWriter::writeInt(const char *Key, int64_t Value) {
+  appendFormat(Out, "i %s %lld\n", Key, static_cast<long long>(Value));
+}
+
+void StateWriter::writeUInt(const char *Key, uint64_t Value) {
+  appendFormat(Out, "u %s %llu\n", Key,
+               static_cast<unsigned long long>(Value));
+}
+
+void StateWriter::writeBool(const char *Key, bool Value) {
+  appendFormat(Out, "b %s %d\n", Key, Value ? 1 : 0);
+}
+
+void StateWriter::writeDouble(const char *Key, double Value) {
+  appendFormat(Out, "d %s %.17g\n", Key, Value);
+}
+
+void StateWriter::writeString(const char *Key, const std::string &Value) {
+  appendFormat(Out, "s %s %zu ", Key, Value.size());
+  Out += Value;
+  Out += '\n';
+}
+
+void StateWriter::writeBlob(const char *Key, const std::string &Value) {
+  appendFormat(Out, "blob %s %zu\n", Key, Value.size());
+  Out += Value;
+  Out += '\n';
+}
+
+//===----------------------------------------------------------------------===//
+// StateReader
+//===----------------------------------------------------------------------===//
+
+StateReader::StateReader(const std::string &Text) : Text(Text) {
+  std::string Magic, Version;
+  skipInterRecord();
+  if (!readToken(Magic) || Magic != HeaderMagic) {
+    fail("missing 'ecosched-snapshot' header");
+    return;
+  }
+  if (!readToken(Version) || !finishLine()) {
+    fail("malformed snapshot header");
+    return;
+  }
+  const std::string Expected = "v" + std::to_string(StateFormatVersion);
+  if (Version != Expected)
+    fail("unsupported snapshot version '" + Version + "' (this build reads " +
+         Expected + ")");
+}
+
+size_t StateReader::lineNumber() const {
+  size_t Line = 1;
+  for (size_t I = 0; I < Pos && I < Text.size(); ++I)
+    if (Text[I] == '\n')
+      ++Line;
+  return Line;
+}
+
+void StateReader::fail(const std::string &Message) {
+  if (ErrorText.empty())
+    ErrorText =
+        "snapshot line " + std::to_string(lineNumber()) + ": " + Message;
+}
+
+void StateReader::skipInterRecord() {
+  while (Pos < Text.size()) {
+    const char C = Text[Pos];
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      ++Pos;
+    } else if (C == '#') {
+      while (Pos < Text.size() && Text[Pos] != '\n')
+        ++Pos;
+    } else {
+      return;
+    }
+  }
+}
+
+bool StateReader::readToken(std::string &Token) {
+  while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t'))
+    ++Pos;
+  const size_t Begin = Pos;
+  while (Pos < Text.size() && Text[Pos] != ' ' && Text[Pos] != '\t' &&
+         Text[Pos] != '\r' && Text[Pos] != '\n')
+    ++Pos;
+  Token.assign(Text, Begin, Pos - Begin);
+  return !Token.empty();
+}
+
+bool StateReader::finishLine() {
+  while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                               Text[Pos] == '\r'))
+    ++Pos;
+  // The writer terminates every record with '\n', so a record that runs
+  // into end-of-text is a truncated stream, not a complete one.
+  if (Pos == Text.size() || Text[Pos] != '\n')
+    return false;
+  ++Pos;
+  return true;
+}
+
+bool StateReader::expectRecord(const char *Kind, const char *Key) {
+  if (!ok())
+    return false;
+  skipInterRecord();
+  std::string GotKind, GotKey;
+  if (!readToken(GotKind) || !readToken(GotKey)) {
+    fail(std::string("expected '") + Kind + " " + Key +
+         "', found end of snapshot");
+    return false;
+  }
+  if (GotKind != Kind || GotKey != Key) {
+    fail(std::string("expected '") + Kind + " " + Key + "', found '" +
+         GotKind + " " + GotKey + "'");
+    return false;
+  }
+  return true;
+}
+
+bool StateReader::beginSection(const char *Name) {
+  if (!ok())
+    return false;
+  skipInterRecord();
+  std::string Kind, Got;
+  if (!readToken(Kind) || !readToken(Got) || !finishLine() ||
+      Kind != "section" || Got != Name) {
+    fail(std::string("expected 'section ") + Name + "'");
+    return false;
+  }
+  return true;
+}
+
+bool StateReader::endSection(const char *Name) {
+  if (!ok())
+    return false;
+  skipInterRecord();
+  std::string Kind, Got;
+  if (!readToken(Kind) || !readToken(Got) || !finishLine() ||
+      Kind != "end" || Got != Name) {
+    fail(std::string("expected 'end ") + Name + "'");
+    return false;
+  }
+  return true;
+}
+
+bool StateReader::readInt(const char *Key, int64_t &Value) {
+  if (!expectRecord("i", Key))
+    return false;
+  std::string Token;
+  int64_t V = 0;
+  if (!readToken(Token) || !parseInt64(Token, V) || !finishLine()) {
+    fail(std::string("malformed integer value for '") + Key + "'");
+    return false;
+  }
+  Value = V;
+  return true;
+}
+
+bool StateReader::readUInt(const char *Key, uint64_t &Value) {
+  if (!expectRecord("u", Key))
+    return false;
+  std::string Token;
+  uint64_t V = 0;
+  if (!readToken(Token) || !parseUInt64(Token, V) || !finishLine()) {
+    fail(std::string("malformed unsigned value for '") + Key + "'");
+    return false;
+  }
+  Value = V;
+  return true;
+}
+
+bool StateReader::readBool(const char *Key, bool &Value) {
+  if (!expectRecord("b", Key))
+    return false;
+  std::string Token;
+  if (!readToken(Token) || (Token != "0" && Token != "1") || !finishLine()) {
+    fail(std::string("malformed boolean value for '") + Key + "'");
+    return false;
+  }
+  Value = Token == "1";
+  return true;
+}
+
+bool StateReader::readDouble(const char *Key, double &Value) {
+  if (!expectRecord("d", Key))
+    return false;
+  std::string Token;
+  double V = 0.0;
+  if (!readToken(Token) || !parseDouble(Token, V) || !finishLine()) {
+    fail(std::string("malformed double value for '") + Key + "'");
+    return false;
+  }
+  Value = V;
+  return true;
+}
+
+bool StateReader::readLengthPrefixed(const char *Kind, const char *Key,
+                                     std::string &Value) {
+  if (!expectRecord(Kind, Key))
+    return false;
+  std::string Token;
+  uint64_t Length = 0;
+  if (!readToken(Token) || !parseUInt64(Token, Length)) {
+    fail(std::string("malformed byte count for '") + Key + "'");
+    return false;
+  }
+  // The payload starts after exactly one separator: a space for inline
+  // strings, a newline for blobs. Bounding the count by the remaining
+  // text keeps hostile counts from allocating anything.
+  const char Separator = std::strcmp(Kind, "s") == 0 ? ' ' : '\n';
+  if (Pos >= Text.size() || Text[Pos] != Separator) {
+    fail(std::string("malformed payload separator for '") + Key + "'");
+    return false;
+  }
+  ++Pos;
+  if (Length > Text.size() - Pos) {
+    fail(std::string("truncated payload for '") + Key + "'");
+    return false;
+  }
+  std::string Payload(Text, Pos, static_cast<size_t>(Length));
+  Pos += static_cast<size_t>(Length);
+  if (!finishLine()) {
+    fail(std::string("missing newline after payload of '") + Key + "'");
+    return false;
+  }
+  Value = std::move(Payload);
+  return true;
+}
+
+bool StateReader::readString(const char *Key, std::string &Value) {
+  return readLengthPrefixed("s", Key, Value);
+}
+
+bool StateReader::readBlob(const char *Key, std::string &Value) {
+  return readLengthPrefixed("blob", Key, Value);
+}
+
+bool StateReader::atEnd() {
+  if (!ok())
+    return false;
+  skipInterRecord();
+  return Pos == Text.size();
+}
+
+//===----------------------------------------------------------------------===//
+// StateDigest
+//===----------------------------------------------------------------------===//
+
+void StateDigest::addBytes(const void *Data, size_t Size) {
+  const auto *Bytes = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Size; ++I) {
+    Hash ^= Bytes[I];
+    Hash *= 1099511628211ULL;
+  }
+}
+
+void StateDigest::addUInt(uint64_t Value) {
+  unsigned char Bytes[8];
+  for (int I = 0; I < 8; ++I)
+    Bytes[I] = static_cast<unsigned char>(Value >> (8 * I));
+  addBytes(Bytes, sizeof(Bytes));
+}
+
+void StateDigest::addInt(int64_t Value) {
+  addUInt(static_cast<uint64_t>(Value));
+}
+
+void StateDigest::addDouble(double Value) {
+  uint64_t Bits = 0;
+  static_assert(sizeof(Bits) == sizeof(Value), "double must be 64-bit");
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  addUInt(Bits);
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot file I/O
+//===----------------------------------------------------------------------===//
+
+bool ecosched::writeStateFile(const std::string &Text,
+                              const std::string &Path, std::string *Error) {
+  FileHandle Out(Path.c_str(), "w");
+  if (!Out.F) {
+    setError(Error, "cannot open '" + Path + "' for writing");
+    return false;
+  }
+  if (std::fwrite(Text.data(), 1, Text.size(), Out.F) != Text.size()) {
+    setError(Error, "short write to '" + Path + "'");
+    return false;
+  }
+  return true;
+}
+
+bool ecosched::readStateFile(const std::string &Path, std::string &Text,
+                             std::string *Error) {
+  FileHandle In(Path.c_str(), "r");
+  if (!In.F) {
+    setError(Error, "cannot open '" + Path + "' for reading");
+    return false;
+  }
+  Text.clear();
+  char Buffer[4096];
+  size_t Count = 0;
+  while ((Count = std::fread(Buffer, 1, sizeof(Buffer), In.F)) > 0)
+    Text.append(Buffer, Count);
+  return true;
+}
+
+bool ecosched::ensureDirectory(const std::string &Path, std::string *Error) {
+  if (Path.empty()) {
+    setError(Error, "empty snapshot directory path");
+    return false;
+  }
+  // mkdir -p: create each prefix in turn; EEXIST is success.
+  for (size_t I = 1; I <= Path.size(); ++I) {
+    if (I != Path.size() && Path[I] != '/')
+      continue;
+    const std::string Prefix = Path.substr(0, I);
+    if (Prefix == "/" || Prefix.empty())
+      continue;
+    if (::mkdir(Prefix.c_str(), 0777) != 0 && errno != EEXIST) {
+      setError(Error, "cannot create directory '" + Prefix + "'");
+      return false;
+    }
+  }
+  return true;
+}

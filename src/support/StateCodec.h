@@ -1,0 +1,175 @@
+//===-- support/StateCodec.h - Versioned engine-state codec --------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serialization substrate of the crash-safe snapshot protocol
+/// (docs/PERSISTENCE.md): a versioned, text-based record stream that
+/// every stateful component writes itself into via saveState(Writer&)
+/// and restores itself from via loadState(Reader&). Like sim/TraceIO,
+/// the format is plain text with exact double round-trips (%.17g), so
+/// snapshots can be archived, diffed, and replayed bit for bit across
+/// machines.
+///
+/// Stream shape (version header, then records in write order):
+///
+///   ecosched-snapshot v1
+///   section <name>
+///   i <key> <int64>
+///   u <key> <uint64>
+///   b <key> <0|1>
+///   d <key> <%.17g double>
+///   s <key> <byte-count> <raw bytes>
+///   blob <key> <byte-count>
+///   <raw bytes>
+///   end <name>
+///
+/// Strings and blobs are length-prefixed so arbitrary bytes (node names
+/// with spaces, embedded trace text with newlines) transport verbatim.
+/// Lines starting with '#' and blank lines between records are ignored.
+///
+/// The reader is strictly sequential: every read names the key it
+/// expects, and any mismatch — unknown version, wrong record kind or
+/// key, malformed number, truncated payload — sets a sticky diagnostic
+/// and fails every subsequent read. Nothing in this file (or in any
+/// loadState built on it) aborts on malformed input: corrupt snapshots
+/// are rejected with an error message, never a contract check, which
+/// fuzz/SnapshotFuzzer.cpp enforces byte by byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SUPPORT_STATECODEC_H
+#define ECOSCHED_SUPPORT_STATECODEC_H
+
+#include <cstdint>
+#include <string>
+
+namespace ecosched {
+
+/// The snapshot format version this build writes and the only one it
+/// reads. Bump on any incompatible record change; readers reject other
+/// versions with a diagnostic (docs/PERSISTENCE.md's versioning policy).
+inline constexpr int StateFormatVersion = 1;
+
+/// Append-only writer of the snapshot record stream. Components write
+/// their fields in a fixed order inside a named section; the matching
+/// loadState reads them back in exactly that order.
+class StateWriter {
+public:
+  /// Starts a stream with the version header.
+  StateWriter();
+
+  void beginSection(const char *Name);
+  void endSection(const char *Name);
+
+  void writeInt(const char *Key, int64_t Value);
+  void writeUInt(const char *Key, uint64_t Value);
+  void writeBool(const char *Key, bool Value);
+  /// Exact round-trip via %.17g; infinities transport as "inf"/"-inf".
+  void writeDouble(const char *Key, double Value);
+  /// Length-prefixed; \p Value may hold any bytes, including newlines.
+  void writeString(const char *Key, const std::string &Value);
+  /// Length-prefixed multi-line payload (e.g. an embedded TraceIO
+  /// rendering); \p Value may hold any bytes.
+  void writeBlob(const char *Key, const std::string &Value);
+
+  const std::string &text() const { return Out; }
+
+private:
+  std::string Out;
+};
+
+/// Strict sequential reader over a snapshot text. All reads return
+/// false (leaving the out-parameter untouched) once an error is
+/// recorded; the first diagnostic sticks and names the offending line.
+class StateReader {
+public:
+  /// Parses the version header; an unknown or missing version is an
+  /// immediate sticky error.
+  explicit StateReader(const std::string &Text);
+
+  bool ok() const { return ErrorText.empty(); }
+  const std::string &error() const { return ErrorText; }
+
+  /// Records a semantic validation failure (out-of-domain field,
+  /// digest mismatch, ...) from a component loadState. Sticky like any
+  /// parse error; keeps the first message.
+  void fail(const std::string &Message);
+
+  bool beginSection(const char *Name);
+  bool endSection(const char *Name);
+
+  bool readInt(const char *Key, int64_t &Value);
+  bool readUInt(const char *Key, uint64_t &Value);
+  bool readBool(const char *Key, bool &Value);
+  /// Accepts any strtod-parsable value except NaN (a NaN field can
+  /// never compare equal on resume, so it is malformed by definition).
+  bool readDouble(const char *Key, double &Value);
+  bool readString(const char *Key, std::string &Value);
+  bool readBlob(const char *Key, std::string &Value);
+
+  /// True when only skippable content (blanks, comments) remains.
+  bool atEnd();
+
+private:
+  bool expectRecord(const char *Kind, const char *Key);
+  bool readLengthPrefixed(const char *Kind, const char *Key,
+                          std::string &Value);
+  void skipInterRecord();
+  bool readToken(std::string &Token);
+  bool finishLine();
+  size_t lineNumber() const;
+
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string ErrorText;
+};
+
+/// Accumulating FNV-1a (64-bit) digest over field bit patterns. The
+/// snapshot format stores digests of rebuilt-on-load derived state
+/// (persistent-filter views) so a loader can prove its reconstruction
+/// matches what the writer held without the derived state ever entering
+/// the format.
+class StateDigest {
+public:
+  void addBytes(const void *Data, size_t Size);
+  void addUInt(uint64_t Value);
+  void addInt(int64_t Value);
+  /// Hashes the IEEE-754 bit pattern, so -0.0 and 0.0 differ and every
+  /// distinct double is a distinct input.
+  void addDouble(double Value);
+
+  uint64_t value() const { return Hash; }
+
+private:
+  uint64_t Hash = 1469598103934665603ULL;
+};
+
+/// \name Snapshot file I/O
+/// The only file-writing surface of the snapshot protocol: everything
+/// in src/ that persists a snapshot goes through these two calls (the
+/// archlint file-io rule pins all other src/ file I/O to sim/TraceIO).
+/// @{
+
+/// Writes \p Text to \p Path. \returns false on I/O failure, filling
+/// \p Error when provided.
+bool writeStateFile(const std::string &Text, const std::string &Path,
+                    std::string *Error = nullptr);
+
+/// Reads all of \p Path into \p Text. \returns false on I/O failure.
+bool readStateFile(const std::string &Path, std::string &Text,
+                   std::string *Error = nullptr);
+
+/// Creates \p Path and any missing parents (mkdir -p semantics); an
+/// existing directory is success. Snapshot directories (MultiVoDriver
+/// per-tenant layout, scheduler_cli --snapshot-out) go through this.
+bool ensureDirectory(const std::string &Path, std::string *Error = nullptr);
+
+/// @}
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SUPPORT_STATECODEC_H

@@ -135,6 +135,8 @@ std::string SvgDocument::str() const {
 }
 
 bool SvgDocument::write(const std::string &Path) const {
+  // archlint-allow(file-io): user-facing artifact writer (chart/CSV
+  // output), not engine state; the snapshot format stays in StateCodec.
   std::FILE *Out = std::fopen(Path.c_str(), "w");
   if (!Out)
     return false;

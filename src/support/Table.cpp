@@ -96,6 +96,8 @@ static void writeCsvField(std::FILE *Out, const std::string &Field) {
 }
 
 bool TablePrinter::writeCsv(const std::string &Path) const {
+  // archlint-allow(file-io): user-facing artifact writer (chart/CSV
+  // output), not engine state; the snapshot format stays in StateCodec.
   std::FILE *Out = std::fopen(Path.c_str(), "w");
   if (!Out)
     return false;

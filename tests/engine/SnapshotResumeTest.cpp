@@ -1,0 +1,445 @@
+//===-- tests/engine/SnapshotResumeTest.cpp - Kill-and-resume gate --------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The crash-safe snapshot acceptance gate (docs/PERSISTENCE.md): a VO
+/// killed at iteration k and resumed from its snapshot in a fresh
+/// facade must reproduce the uninterrupted run's observable trace —
+/// IterationReports, CompletedJobs, total income, SearchStats —
+/// bitwise, across ALP/AMP/backfill, pool sizes {1, 2, 8}, adversarial
+/// schedule-fuzz seeds, and ReuseFilter on/off. Corrupt, truncated,
+/// and version-mismatched snapshots must be rejected with a diagnostic,
+/// never an abort.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/MultiVoDriver.h"
+#include "engine/VirtualOrganization.h"
+
+#include "core/AlpSearch.h"
+#include "core/AmpSearch.h"
+#include "core/BackfillSearch.h"
+#include "core/DpOptimizer.h"
+#include "support/StateCodec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace ecosched;
+
+namespace {
+
+constexpr size_t TotalIterations = 8;
+
+enum class AlgoKind { Alp, Amp, Backfill };
+
+const char *algoName(AlgoKind K) {
+  switch (K) {
+  case AlgoKind::Alp:
+    return "ALP";
+  case AlgoKind::Amp:
+    return "AMP";
+  case AlgoKind::Backfill:
+    return "backfill";
+  }
+  return "?";
+}
+
+ComputingDomain makeDomain() {
+  ComputingDomain D;
+  D.addNode(1.0, 1.0);
+  D.addNode(1.5, 2.0);
+  // Priced above every job's per-slot cap: ALP views exclude this
+  // node's slots while AMP's include them, which the algorithm-swap
+  // rejection test below relies on.
+  D.addNode(2.0, 3.0);
+  return D;
+}
+
+/// Deterministic per-iteration arrivals: a pure function of the
+/// iteration index, so the uninterrupted and the resumed run feed both
+/// VOs identical submissions without sharing any generator state.
+Batch makeArrivals(size_t Iteration) {
+  Batch B;
+  const size_t Count = 1 + Iteration % 2;
+  for (size_t K = 0; K < Count; ++K) {
+    Job J;
+    J.Id = static_cast<int>(100 * Iteration + K);
+    J.Request.NodeCount = 1 + static_cast<int>((Iteration + K) % 2);
+    J.Request.Volume = 40.0 + 17.0 * static_cast<double>(Iteration) +
+                       5.0 * static_cast<double>(K);
+    J.Request.MinPerformance = 1.0;
+    J.Request.MaxUnitPrice = 2.0 + 0.25 * static_cast<double>(K);
+    if (Iteration % 3 == 2)
+      J.Request.BudgetPolicy = BudgetPolicyKind::VolumeBased;
+    if (K == 1) // A finite deadline exercises the scan-horizon cutoff.
+      J.Request.Deadline = 400.0 + 150.0 * static_cast<double>(Iteration);
+    B.push_back(J);
+  }
+  return B;
+}
+
+/// Everything one run produces, for exact comparison.
+struct RunTrace {
+  std::vector<VirtualOrganization::IterationReport> Reports;
+  std::vector<CompletedJob> Completed;
+  double Income = 0.0;
+  SearchStats FilterStats;
+};
+
+void expectSameStats(const SearchStats &A, const SearchStats &B) {
+  EXPECT_EQ(A.SlotsExamined, B.SlotsExamined);
+  EXPECT_EQ(A.GroupPeak, B.GroupPeak);
+  EXPECT_EQ(A.GroupOperations, B.GroupOperations);
+  EXPECT_EQ(A.SpeculationRecomputes, B.SpeculationRecomputes);
+  EXPECT_EQ(A.FilterViewReuses, B.FilterViewReuses);
+  EXPECT_EQ(A.FilterViewRebuilds, B.FilterViewRebuilds);
+  EXPECT_EQ(A.FilterDeltaOps, B.FilterDeltaOps);
+}
+
+void expectSameTrace(const RunTrace &A, const RunTrace &B) {
+  ASSERT_EQ(A.Reports.size(), B.Reports.size());
+  for (size_t I = 0; I < A.Reports.size(); ++I) {
+    SCOPED_TRACE("iteration " + std::to_string(I));
+    const VirtualOrganization::IterationReport &X = A.Reports[I];
+    const VirtualOrganization::IterationReport &Y = B.Reports[I];
+    ASSERT_EQ(X.Now, Y.Now);
+    ASSERT_EQ(X.QueueLength, Y.QueueLength);
+    ASSERT_EQ(X.Committed, Y.Committed);
+    ASSERT_EQ(X.Dropped, Y.Dropped);
+    ASSERT_EQ(X.Outcome.Scheduled.size(), Y.Outcome.Scheduled.size());
+    for (size_t S = 0; S < X.Outcome.Scheduled.size(); ++S) {
+      const ScheduledJob &P = X.Outcome.Scheduled[S];
+      const ScheduledJob &Q = Y.Outcome.Scheduled[S];
+      ASSERT_EQ(P.JobId, Q.JobId);
+      ASSERT_EQ(P.BatchIndex, Q.BatchIndex);
+      ASSERT_EQ(P.AlternativeIndex, Q.AlternativeIndex);
+      ASSERT_EQ(P.W.startTime(), Q.W.startTime());
+      ASSERT_EQ(P.W.endTime(), Q.W.endTime());
+      ASSERT_EQ(P.W.totalCost(), Q.W.totalCost());
+    }
+    ASSERT_EQ(X.Outcome.Postponed, Y.Outcome.Postponed);
+    expectSameStats(X.Outcome.Stats, Y.Outcome.Stats);
+  }
+  ASSERT_EQ(A.Completed.size(), B.Completed.size());
+  for (size_t C = 0; C < A.Completed.size(); ++C) {
+    ASSERT_EQ(A.Completed[C].JobId, B.Completed[C].JobId);
+    ASSERT_EQ(A.Completed[C].StartTime, B.Completed[C].StartTime);
+    ASSERT_EQ(A.Completed[C].EndTime, B.Completed[C].EndTime);
+    ASSERT_EQ(A.Completed[C].Cost, B.Completed[C].Cost);
+    ASSERT_EQ(A.Completed[C].Attempts, B.Completed[C].Attempts);
+  }
+  ASSERT_EQ(A.Income, B.Income);
+  expectSameStats(A.FilterStats, B.FilterStats);
+}
+
+/// One scheduler stack: algorithm + optimizer + metascheduler + pool,
+/// kept alive together because the scheduler holds references.
+struct SchedulerStack {
+  explicit SchedulerStack(AlgoKind Kind, size_t Threads, uint64_t FuzzSeed)
+      : Pool(Threads,
+             ThreadPool::ScheduleFuzz{/*Enabled=*/FuzzSeed != 0, FuzzSeed}) {
+    switch (Kind) {
+    case AlgoKind::Alp:
+      Algo = &Alp;
+      break;
+    case AlgoKind::Amp:
+      Algo = &Amp;
+      break;
+    case AlgoKind::Backfill:
+      Algo = &Backfill;
+      break;
+    }
+    Metascheduler::Config Cfg;
+    Cfg.Search.Pool = Threads > 1 ? &Pool : nullptr;
+    Scheduler.emplace(*Algo, Dp, Cfg);
+  }
+
+  AlpSearch Alp;
+  AmpSearch Amp;
+  BackfillSearch Backfill;
+  DpOptimizer Dp;
+  ThreadPool Pool;
+  const SlotSearchAlgorithm *Algo = nullptr;
+  std::optional<Metascheduler> Scheduler;
+};
+
+VirtualOrganization::Config makeVoConfig(bool ReuseFilter) {
+  VirtualOrganization::Config Cfg;
+  Cfg.IterationPeriod = 100.0;
+  Cfg.HorizonLength = 500.0;
+  Cfg.MaxAttempts = 3; // Exercise drops and attempt accounting.
+  Cfg.ReuseFilter = ReuseFilter;
+  return Cfg;
+}
+
+/// Runs the fixed scenario straight through, or — when \p SnapshotAt is
+/// set — snapshots at that iteration, loads the snapshot into a fresh
+/// VO ("the restarted process"), and finishes the run there. The trace
+/// concatenates both halves; \p SnapshotText receives the snapshot for
+/// the fixed-point and rejection tests.
+RunTrace runScenario(AlgoKind Kind, size_t Threads, uint64_t FuzzSeed,
+                     bool ReuseFilter,
+                     std::optional<size_t> SnapshotAt = std::nullopt,
+                     std::string *SnapshotText = nullptr) {
+  SchedulerStack Stack(Kind, Threads, FuzzSeed);
+  RunTrace Trace;
+
+  auto First = std::make_unique<VirtualOrganization>(
+      makeDomain(), *Stack.Scheduler, makeVoConfig(ReuseFilter));
+  VirtualOrganization *Vo = First.get();
+  std::unique_ptr<VirtualOrganization> Resumed;
+
+  for (size_t Iter = 0; Iter < TotalIterations; ++Iter) {
+    if (SnapshotAt && Iter == *SnapshotAt) {
+      const std::string Text = Vo->saveSnapshotText();
+      if (SnapshotText)
+        *SnapshotText = Text;
+      // A fresh facade over an empty domain, as a restarted process
+      // would build, restored purely from the snapshot text.
+      Resumed = std::make_unique<VirtualOrganization>(
+          ComputingDomain(), *Stack.Scheduler,
+          VirtualOrganization::Config());
+      std::string Error;
+      EXPECT_TRUE(Resumed->loadSnapshotText(Text, &Error)) << Error;
+      // Re-serializing the restored state must reproduce the snapshot
+      // byte for byte: save → load → save is a fixed point.
+      EXPECT_EQ(Resumed->saveSnapshotText(), Text);
+      First.reset(); // The "killed" process is gone.
+      Vo = Resumed.get();
+    }
+    for (const Job &J : makeArrivals(Iter))
+      Vo->submit(J);
+    Trace.Reports.push_back(Vo->runIteration());
+  }
+  Trace.Completed = Vo->completed();
+  Trace.Income = Vo->totalIncome();
+  Trace.FilterStats = Vo->filterStats();
+  return Trace;
+}
+
+TEST(SnapshotResumeTest, KillAtEveryIterationReproducesTheStraightRun) {
+  const RunTrace Straight =
+      runScenario(AlgoKind::Amp, /*Threads=*/1, /*FuzzSeed=*/0,
+                  /*ReuseFilter=*/true);
+  for (size_t K = 1; K < TotalIterations; ++K) {
+    SCOPED_TRACE("kill at iteration " + std::to_string(K));
+    expectSameTrace(Straight,
+                    runScenario(AlgoKind::Amp, 1, 0, true, K));
+  }
+}
+
+TEST(SnapshotResumeTest, MatrixAlgorithmsPoolsFilterAndFuzzSeeds) {
+  // ALP/AMP/backfill × pools {1, 2, 8} × ReuseFilter {on, off} × 4
+  // schedule-fuzz seeds (seed 0 = fuzz off on the single-thread leg).
+  const uint64_t FuzzSeeds[] = {0, 17, 91, 4242};
+  const size_t Kill = 3;
+  for (const AlgoKind Kind :
+       {AlgoKind::Alp, AlgoKind::Amp, AlgoKind::Backfill}) {
+    for (const size_t Threads : {size_t(1), size_t(2), size_t(8)}) {
+      for (const bool Reuse : {true, false}) {
+        for (const uint64_t Seed : FuzzSeeds) {
+          SCOPED_TRACE(std::string(algoName(Kind)) + " threads=" +
+                       std::to_string(Threads) +
+                       (Reuse ? " reuse" : " rebuild") + " fuzz-seed=" +
+                       std::to_string(Seed));
+          expectSameTrace(runScenario(Kind, Threads, Seed, Reuse),
+                          runScenario(Kind, Threads, Seed, Reuse, Kill));
+        }
+      }
+    }
+  }
+}
+
+TEST(SnapshotResumeTest, RngStreamStateRoundTrips) {
+  RandomGenerator Rng(987654321);
+  for (int I = 0; I < 1000; ++I)
+    Rng.next(); // Advance deep into the stream.
+  StateWriter W;
+  Rng.saveState(W);
+  RandomGenerator Restored(1); // Different seed; must not matter.
+  StateReader R(W.text());
+  ASSERT_TRUE(Restored.loadState(R)) << R.error();
+  for (int I = 0; I < 1000; ++I) {
+    ASSERT_EQ(Rng.next(), Restored.next());
+    ASSERT_EQ(Rng.nextUnit(), Restored.nextUnit());
+  }
+
+  SplitMix64 A(42);
+  A.next();
+  SplitMix64 B(0);
+  B.setState(A.state());
+  EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SnapshotResumeTest, TruncatedSnapshotsAreRejectedAtEveryLine) {
+  std::string Text;
+  runScenario(AlgoKind::Amp, 1, 0, true, /*SnapshotAt=*/4, &Text);
+  ASSERT_FALSE(Text.empty());
+
+  SchedulerStack Stack(AlgoKind::Amp, 1, 0);
+  // Cut the snapshot after every line; no strict prefix may load, and
+  // none may abort. (The final cut reproduces the full text — skip it.)
+  size_t Cut = Text.find('\n');
+  while (Cut != std::string::npos && Cut + 1 < Text.size()) {
+    VirtualOrganization Vo(ComputingDomain(), *Stack.Scheduler);
+    std::string Error;
+    EXPECT_FALSE(Vo.loadSnapshotText(Text.substr(0, Cut + 1), &Error));
+    EXPECT_FALSE(Error.empty());
+    Cut = Text.find('\n', Cut + 1);
+  }
+}
+
+TEST(SnapshotResumeTest, VersionMismatchIsRejected) {
+  std::string Text;
+  runScenario(AlgoKind::Amp, 1, 0, true, 4, &Text);
+  const size_t V = Text.find("v1");
+  ASSERT_NE(V, std::string::npos);
+  std::string Future = Text;
+  Future[V + 1] = '9';
+  SchedulerStack Stack(AlgoKind::Amp, 1, 0);
+  VirtualOrganization Vo(ComputingDomain(), *Stack.Scheduler);
+  std::string Error;
+  EXPECT_FALSE(Vo.loadSnapshotText(Future, &Error));
+  EXPECT_NE(Error.find("version"), std::string::npos) << Error;
+}
+
+TEST(SnapshotResumeTest, SingleByteCorruptionsNeverAbort) {
+  std::string Text;
+  runScenario(AlgoKind::Amp, 1, 0, true, 4, &Text);
+  SchedulerStack Stack(AlgoKind::Amp, 1, 0);
+  // Flip a byte at a spread of positions. Some corruptions are benign
+  // (a changed node name still parses); the contract under test is
+  // graceful handling — a clean bool either way, never a contract-
+  // check abort, and a diagnostic whenever the load fails.
+  for (size_t Pos = 0; Pos < Text.size(); Pos += 7) {
+    std::string Corrupt = Text;
+    Corrupt[Pos] = Corrupt[Pos] == 'x' ? 'y' : 'x';
+    VirtualOrganization Vo(ComputingDomain(), *Stack.Scheduler);
+    std::string Error;
+    const bool Loaded = Vo.loadSnapshotText(Corrupt, &Error);
+    if (!Loaded) {
+      EXPECT_FALSE(Error.empty()) << "silent failure at byte " << Pos;
+    }
+  }
+}
+
+TEST(SnapshotResumeTest, FilterDigestRejectsAlgorithmSwap) {
+  // Snapshot an AMP-filtered VO whose views include the node priced
+  // above the jobs' per-slot cap, then load it into an ALP-bound VO:
+  // ALP's filteredCopy excludes that node, so the rebuilt views cannot
+  // match the serialized digest.
+  std::string Text;
+  runScenario(AlgoKind::Amp, 1, 0, true, 4, &Text);
+  ASSERT_NE(Text.find("section filter"), std::string::npos)
+      << "scenario did not engage the persistent filter";
+  SchedulerStack Stack(AlgoKind::Alp, 1, 0);
+  VirtualOrganization Vo(ComputingDomain(), *Stack.Scheduler);
+  std::string Error;
+  EXPECT_FALSE(Vo.loadSnapshotText(Text, &Error));
+  EXPECT_NE(Error.find("digest"), std::string::npos) << Error;
+}
+
+TEST(SnapshotResumeTest, TamperedDigestIsRejected) {
+  std::string Text;
+  runScenario(AlgoKind::Amp, 1, 0, true, 4, &Text);
+  const size_t D = Text.find("u view-digest ");
+  ASSERT_NE(D, std::string::npos);
+  std::string Tampered = Text;
+  const size_t Digit = D + std::string("u view-digest ").size();
+  Tampered[Digit] = Tampered[Digit] == '1' ? '2' : '1';
+  SchedulerStack Stack(AlgoKind::Amp, 1, 0);
+  VirtualOrganization Vo(ComputingDomain(), *Stack.Scheduler);
+  std::string Error;
+  EXPECT_FALSE(Vo.loadSnapshotText(Tampered, &Error));
+  EXPECT_NE(Error.find("digest"), std::string::npos) << Error;
+}
+
+TEST(SnapshotResumeTest, TrailingContentIsRejected) {
+  std::string Text;
+  runScenario(AlgoKind::Amp, 1, 0, true, 4, &Text);
+  SchedulerStack Stack(AlgoKind::Amp, 1, 0);
+  VirtualOrganization Vo(ComputingDomain(), *Stack.Scheduler);
+  std::string Error;
+  EXPECT_FALSE(Vo.loadSnapshotText(Text + "i stray 1\n", &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(SnapshotResumeTest, MultiVoDriverSnapshotDirectoryRoundTrips) {
+  char Template[] = "/tmp/ecosched-snapshots-XXXXXX";
+  ASSERT_NE(::mkdtemp(Template), nullptr);
+  const std::string Dir = std::string(Template) + "/tenants";
+
+  AmpSearch Amp;
+  DpOptimizer Dp;
+  Metascheduler Scheduler(Amp, Dp);
+  const auto Arrivals = [](size_t VoIndex, size_t Iteration,
+                           RandomGenerator &Rng) {
+    Batch B;
+    const int64_t Count = Rng.uniformInt(0, 2);
+    for (int64_t K = 0; K < Count; ++K) {
+      Job J;
+      J.Id = static_cast<int>(VoIndex * 1000 + Iteration * 10 +
+                              static_cast<size_t>(K));
+      J.Request.NodeCount = static_cast<int>(Rng.uniformInt(1, 2));
+      J.Request.Volume = Rng.uniformReal(40.0, 120.0);
+      J.Request.MinPerformance = 1.0;
+      J.Request.MaxUnitPrice = Rng.uniformReal(1.5, 2.5);
+      B.push_back(J);
+    }
+    return B;
+  };
+
+  const auto registerTenants = [&](MultiVoDriver &Driver) {
+    VirtualOrganization::Config VoCfg;
+    VoCfg.IterationPeriod = 100.0;
+    VoCfg.HorizonLength = 500.0;
+    for (size_t I = 0; I < 3; ++I)
+      Driver.addTenant(makeDomain(), Scheduler, VoCfg, /*Seed=*/500 + I);
+  };
+
+  MultiVoDriver Original;
+  registerTenants(Original);
+  Original.run(4, Arrivals);
+  std::string Error;
+  ASSERT_TRUE(Original.saveSnapshots(Dir, &Error)) << Error;
+
+  MultiVoDriver Restored;
+  registerTenants(Restored);
+  ASSERT_TRUE(Restored.loadSnapshots(Dir, &Error)) << Error;
+
+  // Both drivers continue; the restored one must track the original
+  // bitwise — including the per-tenant RNG streams driving arrivals.
+  for (size_t Round = 0; Round < 4; ++Round) {
+    const auto A = Original.runIteration(Arrivals);
+    const auto B = Restored.runIteration(Arrivals);
+    ASSERT_EQ(A.size(), B.size());
+    for (size_t I = 0; I < A.size(); ++I) {
+      ASSERT_EQ(A[I].Arrivals, B[I].Arrivals);
+      ASSERT_EQ(A[I].Report.Now, B[I].Report.Now);
+      ASSERT_EQ(A[I].Report.Committed, B[I].Report.Committed);
+    }
+  }
+  ASSERT_EQ(Original.totalIncome(), Restored.totalIncome());
+  ASSERT_EQ(Original.totalCompleted(), Restored.totalCompleted());
+
+  // A mismatched tenant count is a clean failure, not an abort.
+  MultiVoDriver TooFew;
+  VirtualOrganization::Config VoCfg;
+  TooFew.addTenant(makeDomain(), Scheduler, VoCfg, 1);
+  std::string Unused;
+  EXPECT_TRUE(TooFew.loadSnapshots(Dir, &Unused)); // Loads tenant_0 only.
+  MultiVoDriver Empty;
+  EXPECT_TRUE(Empty.loadSnapshots(Dir, &Unused)); // Nothing to load.
+}
+
+} // namespace

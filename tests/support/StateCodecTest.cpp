@@ -1,0 +1,336 @@
+//===-- tests/support/StateCodecTest.cpp - Snapshot codec tests -----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The StateCodec contract (docs/PERSISTENCE.md): every scalar written
+/// comes back bitwise-identical — including sub-epsilon slivers, ±huge
+/// magnitudes, -0.0, denormals, and infinities — while malformed input
+/// of any shape is rejected with a sticky diagnostic, never an abort.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/StateCodec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+using namespace ecosched;
+
+namespace {
+
+TEST(StateCodecTest, ScalarRoundTrip) {
+  StateWriter W;
+  W.beginSection("s");
+  W.writeInt("imin", std::numeric_limits<int64_t>::min());
+  W.writeInt("imax", std::numeric_limits<int64_t>::max());
+  W.writeUInt("umax", std::numeric_limits<uint64_t>::max());
+  W.writeBool("yes", true);
+  W.writeBool("no", false);
+  W.endSection("s");
+
+  StateReader R(W.text());
+  int64_t I = 0;
+  uint64_t U = 0;
+  bool B = false;
+  ASSERT_TRUE(R.beginSection("s"));
+  ASSERT_TRUE(R.readInt("imin", I));
+  EXPECT_EQ(I, std::numeric_limits<int64_t>::min());
+  ASSERT_TRUE(R.readInt("imax", I));
+  EXPECT_EQ(I, std::numeric_limits<int64_t>::max());
+  ASSERT_TRUE(R.readUInt("umax", U));
+  EXPECT_EQ(U, std::numeric_limits<uint64_t>::max());
+  ASSERT_TRUE(R.readBool("yes", B));
+  EXPECT_TRUE(B);
+  ASSERT_TRUE(R.readBool("no", B));
+  EXPECT_FALSE(B);
+  ASSERT_TRUE(R.endSection("s"));
+  ASSERT_TRUE(R.atEnd());
+  EXPECT_TRUE(R.ok());
+}
+
+TEST(StateCodecTest, DoubleRoundTripIsExact) {
+  // The values the snapshot format must carry bit for bit: sub-epsilon
+  // slivers (a SlotList can legitimately store spans smaller than the
+  // 1e-9 time epsilon), huge magnitudes, denormals, negative zero, and
+  // the infinities (a Job's default deadline is +inf).
+  const double Values[] = {
+      0.0,
+      -0.0,
+      1.0,
+      1.0 + std::numeric_limits<double>::epsilon(),
+      1e-12,
+      -3.5e-13,
+      1e300,
+      -1e300,
+      5e-324, // Smallest denormal.
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),
+      0.1, // Not exactly representable; %.17g must still round-trip it.
+      1.0 / 3.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+  };
+  StateWriter W;
+  for (const double V : Values)
+    W.writeDouble("v", V);
+  StateReader R(W.text());
+  for (const double V : Values) {
+    double Got = 42.0;
+    ASSERT_TRUE(R.readDouble("v", Got)) << R.error();
+    // Bit-pattern comparison so -0.0 vs 0.0 cannot slip through ==.
+    EXPECT_EQ(std::signbit(Got), std::signbit(V));
+    if (std::isinf(V))
+      EXPECT_EQ(Got, V);
+    else
+      EXPECT_EQ(Got, V);
+  }
+  ASSERT_TRUE(R.atEnd());
+}
+
+TEST(StateCodecTest, NanIsRejectedOnRead) {
+  // A NaN field can never compare equal on resume, so the reader treats
+  // it as malformed even though %.17g would happily print it.
+  StateWriter W;
+  W.writeDouble("v", std::numeric_limits<double>::quiet_NaN());
+  StateReader R(W.text());
+  double Got = 0.0;
+  EXPECT_FALSE(R.readDouble("v", Got));
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("v"), std::string::npos);
+}
+
+TEST(StateCodecTest, StringRoundTripCarriesArbitraryBytes) {
+  const std::string Values[] = {
+      "",
+      "plain",
+      "with spaces and\ttabs",
+      "embedded\nnewline",
+      std::string("nul\0byte", 8),
+      "# not a comment",
+      "end section trailer",
+  };
+  StateWriter W;
+  for (const std::string &V : Values)
+    W.writeString("s", V);
+  W.writeBlob("b", "line one\nline two\n# not a comment\n");
+  StateReader R(W.text());
+  for (const std::string &V : Values) {
+    std::string Got;
+    ASSERT_TRUE(R.readString("s", Got)) << R.error();
+    EXPECT_EQ(Got, V);
+  }
+  std::string Blob;
+  ASSERT_TRUE(R.readBlob("b", Blob));
+  EXPECT_EQ(Blob, "line one\nline two\n# not a comment\n");
+  ASSERT_TRUE(R.atEnd());
+}
+
+TEST(StateCodecTest, MissingHeaderIsRejected) {
+  StateReader R("i key 1\n");
+  EXPECT_FALSE(R.ok());
+  int64_t V = 0;
+  EXPECT_FALSE(R.readInt("key", V));
+}
+
+TEST(StateCodecTest, FutureVersionIsRejected) {
+  StateReader R("ecosched-snapshot v2\ni key 1\n");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("version"), std::string::npos);
+}
+
+TEST(StateCodecTest, EmptyAndGarbageInputsAreRejected) {
+  for (const char *Text : {"", "garbage", "ecosched-snapshot",
+                           "ecosched-snapshot v1 trailing\n"}) {
+    StateReader R{std::string(Text)};
+    EXPECT_FALSE(R.ok()) << "input: " << Text;
+  }
+}
+
+TEST(StateCodecTest, WrongKindOrKeyIsRejected) {
+  StateWriter W;
+  W.writeInt("count", 3);
+  {
+    StateReader R(W.text());
+    uint64_t U = 0;
+    EXPECT_FALSE(R.readUInt("count", U)); // Kind mismatch: i vs u.
+    EXPECT_FALSE(R.ok());
+  }
+  {
+    StateReader R(W.text());
+    int64_t I = 0;
+    EXPECT_FALSE(R.readInt("total", I)); // Key mismatch.
+    EXPECT_FALSE(R.ok());
+    EXPECT_NE(R.error().find("total"), std::string::npos);
+  }
+}
+
+TEST(StateCodecTest, ErrorsAreStickyAndKeepTheFirstMessage) {
+  StateWriter W;
+  W.writeInt("a", 1);
+  W.writeInt("b", 2);
+  StateReader R(W.text());
+  int64_t V = 0;
+  ASSERT_FALSE(R.readInt("wrong", V));
+  const std::string First = R.error();
+  // Even a read that would have matched now fails, and the diagnostic
+  // does not churn.
+  EXPECT_FALSE(R.readInt("a", V));
+  EXPECT_EQ(R.error(), First);
+  R.fail("later semantic failure");
+  EXPECT_EQ(R.error(), First);
+  EXPECT_FALSE(R.atEnd());
+}
+
+TEST(StateCodecTest, SemanticFailSetsDiagnosticWithLineNumber) {
+  StateWriter W;
+  W.writeInt("a", 1);
+  StateReader R(W.text());
+  int64_t V = 0;
+  ASSERT_TRUE(R.readInt("a", V));
+  R.fail("value out of domain");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("value out of domain"), std::string::npos);
+  EXPECT_NE(R.error().find("line"), std::string::npos);
+}
+
+TEST(StateCodecTest, TruncatedPayloadsAreRejectedWithoutAllocating) {
+  // A hostile byte count far beyond the remaining text must fail
+  // cleanly (the reader bounds the count before allocating).
+  StateReader R("ecosched-snapshot v1\ns key 18446744073709551615 x\n");
+  std::string Got;
+  EXPECT_FALSE(R.readString("key", Got));
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.error().find("truncated"), std::string::npos);
+}
+
+TEST(StateCodecTest, TruncatedStreamsAreRejected) {
+  StateWriter W;
+  W.beginSection("s");
+  W.writeUInt("n", 7);
+  W.writeBlob("payload", "0123456789");
+  W.endSection("s");
+  const std::string Full = W.text();
+  // Every strict prefix must fail somewhere — never crash, never
+  // accept the whole protocol.
+  for (size_t Cut = 0; Cut < Full.size(); ++Cut) {
+    const std::string Prefix = Full.substr(0, Cut);
+    StateReader R(Prefix);
+    uint64_t N = 0;
+    std::string Blob;
+    const bool Accepted = R.ok() && R.beginSection("s") &&
+                          R.readUInt("n", N) &&
+                          R.readBlob("payload", Blob) &&
+                          R.endSection("s") && R.atEnd();
+    EXPECT_FALSE(Accepted) << "prefix of " << Cut << " bytes accepted";
+  }
+}
+
+TEST(StateCodecTest, SkipsCommentsAndBlankLinesBetweenRecords) {
+  const std::string Text = "ecosched-snapshot v1\n"
+                           "# a comment\n"
+                           "\n"
+                           "i key 5\n"
+                           "   \n"
+                           "# trailing comment\n";
+  StateReader R(Text);
+  int64_t V = 0;
+  ASSERT_TRUE(R.readInt("key", V));
+  EXPECT_EQ(V, 5);
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(StateCodecTest, NonCanonicalNumbersStillParse) {
+  // The reader accepts any strtod/strtoll-parsable token; canonicality
+  // is enforced by the component loaders, not the codec.
+  const std::string Text = "ecosched-snapshot v1\n"
+                           "d x 1.0\n"
+                           "i y 007\n";
+  StateReader R(Text);
+  double D = 0.0;
+  int64_t I = 0;
+  ASSERT_TRUE(R.readDouble("x", D));
+  EXPECT_EQ(D, 1.0);
+  ASSERT_TRUE(R.readInt("y", I));
+  EXPECT_EQ(I, 7);
+}
+
+TEST(StateCodecTest, MalformedNumbersAreRejected) {
+  const char *Bad[] = {
+      "ecosched-snapshot v1\nd x nan\n",
+      "ecosched-snapshot v1\nd x 1.0x\n",
+      "ecosched-snapshot v1\ni y 12abc\n",
+      "ecosched-snapshot v1\nu z -1\n",
+      "ecosched-snapshot v1\nu z +1\n",
+      "ecosched-snapshot v1\nb w 2\n",
+      "ecosched-snapshot v1\nb w true\n",
+  };
+  for (const char *Text : Bad) {
+    StateReader R{std::string(Text)};
+    double D = 0.0;
+    int64_t I = 0;
+    uint64_t U = 0;
+    bool B = false;
+    EXPECT_FALSE(R.readDouble("x", D) || R.readInt("y", I) ||
+                 R.readUInt("z", U) || R.readBool("w", B))
+        << "accepted: " << Text;
+    EXPECT_FALSE(R.ok());
+  }
+}
+
+TEST(StateCodecTest, DigestSeparatesBitPatterns) {
+  StateDigest A, B;
+  A.addDouble(0.0);
+  B.addDouble(-0.0);
+  EXPECT_NE(A.value(), B.value()); // Sign bit matters.
+
+  StateDigest C, D;
+  C.addUInt(1);
+  C.addUInt(2);
+  D.addUInt(2);
+  D.addUInt(1);
+  EXPECT_NE(C.value(), D.value()); // Order matters.
+
+  StateDigest E, F;
+  E.addInt(-1);
+  F.addInt(-1);
+  EXPECT_EQ(E.value(), F.value()); // Deterministic.
+}
+
+TEST(StateCodecTest, FileHelpersRoundTrip) {
+  char Template[] = "/tmp/ecosched-statecodec-XXXXXX";
+  ASSERT_NE(::mkdtemp(Template), nullptr);
+  const std::string Dir = Template;
+
+  const std::string Nested = Dir + "/a/b/c";
+  ASSERT_TRUE(ensureDirectory(Nested));
+  ASSERT_TRUE(ensureDirectory(Nested)); // Existing directory is success.
+
+  const std::string Path = Nested + "/state.snap";
+  StateWriter W;
+  W.writeDouble("pi", 3.14159265358979312);
+  std::string Error;
+  ASSERT_TRUE(writeStateFile(W.text(), Path, &Error)) << Error;
+  std::string Back;
+  ASSERT_TRUE(readStateFile(Path, Back, &Error)) << Error;
+  EXPECT_EQ(Back, W.text());
+
+  std::string Missing;
+  EXPECT_FALSE(readStateFile(Dir + "/does-not-exist", Missing, &Error));
+  EXPECT_FALSE(Error.empty());
+
+  // Cleanup (best effort).
+  std::remove(Path.c_str());
+}
+
+} // namespace

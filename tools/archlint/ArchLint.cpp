@@ -264,6 +264,23 @@ bool hasPointerKey(const std::string &Line) {
   return false;
 }
 
+/// The two reviewed serialization boundaries: the only src/ files that
+/// may open files directly. Everything else — snapshot writers
+/// included — must route bytes through sim/TraceIO or
+/// support/StateCodec so corrupt-input handling and the text formats
+/// stay in one place (docs/PERSISTENCE.md). Other writers carry an
+/// explicit archlint-allow(file-io) rationale at the call site.
+bool isFileIoBoundary(const std::string &Path) {
+  return Path == "src/sim/TraceIO.cpp" ||
+         Path == "src/support/StateCodec.cpp";
+}
+
+/// Tokens of the file-io rule. fopen covers the repo's C-stream idiom;
+/// the fstream tokens close the C++-stream escape hatch.
+constexpr std::array<const char *, 5> FileIoTokens = {
+    "fopen(", "std::ifstream", "std::ofstream", "std::fstream",
+    "<fstream>"};
+
 /// The deleted pre-PR-4 forwarding header; reintroducing it (or
 /// including it) regresses the layering cleanup.
 const char *const LegacyForwarderPath = "src/core/VirtualOrganization.h";
@@ -335,6 +352,17 @@ void lintOneFile(const SourceFile &F, std::vector<Finding> &Out) {
         if (findToken(Line, Ban.Token) != std::string::npos &&
             !isSuppressed(F.Lines, I, Ban.Rule))
           Out.push_back({F.Path, LineNo, Ban.Rule, Ban.Message});
+      // file-io: direct filesystem access outside the serialization
+      // boundaries.
+      if (!isFileIoBoundary(F.Path))
+        for (const char *Token : FileIoTokens)
+          if (findToken(Line, Token) != std::string::npos &&
+              !isSuppressed(F.Lines, I, "file-io"))
+            Out.push_back(
+                {F.Path, LineNo, "file-io",
+                 "direct file I/O in library code; route through "
+                 "sim/TraceIO or support/StateCodec (or carry an "
+                 "archlint-allow(file-io) rationale)"});
       if ((Layer == "core" || Layer == "engine") &&
           Line.find("std::function") != std::string::npos &&
           !isSuppressed(F.Lines, I, "std-function"))
@@ -531,6 +559,25 @@ std::vector<SelfTestCase> selfTestCases() {
                               "std::function<void()> F;", "int X;",
                               "std::function<void()> G;"})},
                    {"std-function"}});
+
+  Cases.push_back({"file I/O flagged in engine, allowed at the boundaries",
+                   {makeFile("src/engine/IO1.cpp",
+                             {"std::FILE *F = std::fopen(P, \"w\");"}),
+                    makeFile("src/support/StateCodec.cpp",
+                             {"std::FILE *F = std::fopen(P, \"w\");"}),
+                    makeFile("src/sim/TraceIO.cpp",
+                             {"std::ifstream In(Path);"})},
+                   {"file-io"}});
+  Cases.push_back({"fstream tokens are flagged as file I/O",
+                   {makeFile("src/core/IO2.cpp",
+                             {"#include <fstream>",
+                              "std::ofstream Out(Path);"})},
+                   {"file-io", "file-io"}});
+  Cases.push_back({"file I/O with an allow rationale passes",
+                   {makeFile("src/support/IO3.cpp",
+                             {"// archlint-allow(file-io): chart output",
+                              "std::FILE *F = std::fopen(P, \"w\");"})},
+                   {}});
 
   Cases.push_back({"wrong include guard is flagged",
                    {makeFile("src/sim/H.h",
