@@ -54,7 +54,8 @@ ComputingDomain makeDiurnalDomain(RandomGenerator &Rng, int Nodes,
       const double WorkEnd = DayStart + Day / 2.0;
       while (Cursor < WorkEnd) {
         const double Busy = Rng.uniformReal(40.0, 120.0);
-        D.addLocalTask(Id, Cursor, std::min(Cursor + Busy, WorkEnd));
+        D.addLocalTask(Id, TimePoint(Cursor),
+                       TimePoint(std::min(Cursor + Busy, WorkEnd)));
         Cursor += Busy + Rng.uniformReal(5.0, 40.0);
       }
     }
@@ -114,8 +115,8 @@ PolicyReport runPolicy(PolicyKind Policy, uint64_t Seed, int Days) {
       double Load = 0.0;
       for (const ResourceNode &Node : Vo.domain().pool())
         Load += PricingEngine::nodeUtilization(
-            Vo.domain(), Node.Id, Vo.now(),
-            Vo.now() + 2.0 * Cfg.IterationPeriod);
+            Vo.domain(), Node.Id, TimePoint(Vo.now().value()),
+            TimePoint(Vo.now().value() + 2.0 * Cfg.IterationPeriod));
       Load /= static_cast<double>(Vo.domain().pool().size());
       Rho = std::clamp(0.5 + Load * 0.7, 0.62, 1.0);
     }

@@ -55,10 +55,10 @@ void addWindows(SchemeStats &Stats,
   RunningStats Start, Completion, Cost;
   double End = 0.0;
   for (const Window *W : Windows) {
-    Start.add(W->startTime());
-    Completion.add(W->endTime());
-    Cost.add(W->totalCost());
-    End = std::max(End, W->endTime());
+    Start.add(W->startTime().value());
+    Completion.add(W->endTime().value());
+    Cost.add(W->totalCost().value());
+    End = std::max(End, W->endTime().value());
   }
   Stats.MeanStart.add(Start.mean());
   Stats.MeanCompletion.add(Completion.mean());

@@ -76,7 +76,7 @@ int main(int Argc, char **Argv) {
     const auto Values = toAlternativeValues(Alts);
     const double Quota =
         computeTimeQuota(Values, QuotaPolicyKind::ExactMean);
-    const double Budget = computeVoBudget(Values, Quota, Dp);
+    const double Budget = computeVoBudget(Values, Duration(Quota), Dp);
     if (Budget < 0.0)
       continue;
     ++Instances;

@@ -46,11 +46,11 @@ SlotList domainSlots(RandomGenerator &Rng) {
     double Cursor = Rng.uniformReal(0.0, 120.0);
     while (Cursor < Horizon) {
       const double Busy = Rng.uniformReal(15.0, 80.0);
-      Domain.addLocalTask(Id, Cursor, std::min(Cursor + Busy, Horizon));
+      Domain.addLocalTask(Id, TimePoint(Cursor), TimePoint(std::min(Cursor + Busy, Horizon)));
       Cursor += Busy + Rng.uniformReal(80.0, 350.0);
     }
   }
-  return Domain.vacantSlots(0.0, Horizon);
+  return Domain.vacantSlots(TimePoint(0.0), TimePoint(Horizon));
 }
 
 } // namespace

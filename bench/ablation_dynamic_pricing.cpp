@@ -86,28 +86,29 @@ RunReport runVo(uint64_t Seed, int64_t Iterations, bool DynamicPrices) {
     const int Arrivals = static_cast<int>(Rng.uniformInt(5, 11));
     for (int A = 0; A < Arrivals; ++A)
       Vo.submit(makeJob(Rng, NextJobId++));
-    const double WindowStart = Vo.now();
+    const double WindowStart = Vo.now().value();
     Vo.runIteration();
 
     // Account external load committed over the elapsed period and, in
     // dynamic mode, let the owners react to it.
     for (size_t N = 0; N < NodeCount; ++N)
       BusyPerNode[N] += PricingEngine::nodeUtilization(
-                            Vo.domain(), static_cast<int>(N), WindowStart,
-                            WindowStart + Cfg.IterationPeriod) *
+                            Vo.domain(), static_cast<int>(N),
+                            TimePoint(WindowStart),
+                            TimePoint(WindowStart + Cfg.IterationPeriod)) *
                         Cfg.IterationPeriod;
     if (DynamicPrices)
       // Owners look at booked demand over the whole look-ahead horizon,
       // not just the elapsed period, so committed future reservations
       // count towards the trend.
       Pricing.update(Vo.mutableDomain(), Vo.now(),
-                     Vo.now() + Cfg.HorizonLength);
+                     TimePoint(Vo.now().value() + Cfg.HorizonLength));
   }
 
   RunReport Report;
   Report.Completed = Vo.completed().size();
   Report.Leftover = Vo.queueLength();
-  Report.Income = Vo.totalIncome();
+  Report.Income = Vo.totalIncome().value();
   RunningStats Wait, Busy;
   for (const CompletedJob &C : Vo.completed())
     Wait.add(static_cast<double>(C.Attempts - 1));

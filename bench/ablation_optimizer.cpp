@@ -92,7 +92,7 @@ int main(int Argc, char **Argv) {
       continue;
     const auto Values = toAlternativeValues(Alts);
     const double Quota = computeTimeQuota(Values);
-    const double Budget = computeVoBudget(Values, Quota, Exact);
+    const double Budget = computeVoBudget(Values, Duration(Quota), Exact);
     if (Budget < 0.0)
       continue;
 

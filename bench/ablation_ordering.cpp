@@ -81,8 +81,8 @@ int main(int Argc, char **Argv) {
         ++FullyCovered;
       ScheduledJobs += Out.Scheduled.size();
       for (const ScheduledJob &S : Out.Scheduled) {
-        JobTime.add(S.W.timeSpan());
-        JobCost.add(S.W.totalCost());
+        JobTime.add(S.W.timeSpan().value());
+        JobCost.add(S.W.totalCost().value());
         AltsPerJob.add(static_cast<double>(
             Out.Alternatives.PerJob[S.BatchIndex].size()));
       }

@@ -74,7 +74,7 @@ int main(int Argc, char **Argv) {
         Cfg.MaxVersions = MaxVersions;
         const auto Strategies = buildStrategies(Outcome, Cfg);
         for (const JobStrategy &S : Strategies) {
-          Reserved += S.reservedNodeTime();
+          Reserved += S.reservedNodeTime().value();
           for (const WindowSlot &M : S.Versions[0])
             Primary += M.Runtime;
         }

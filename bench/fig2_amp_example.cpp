@@ -36,8 +36,7 @@ int main(int Argc, char **Argv) {
 
   ComputingDomain Domain = buildPaperExampleDomain();
   const Batch Jobs = buildPaperExampleBatch();
-  const SlotList Slots = Domain.vacantSlots(PaperExampleHorizonStart,
-                                            PaperExampleHorizonEnd);
+  const SlotList Slots = Domain.vacantSlots(TimePoint(PaperExampleHorizonStart), TimePoint(PaperExampleHorizonEnd));
 
   std::printf("(a) initial state: %zu vacant slots, 7 local tasks "
               "('#')\n\n%s\n",
@@ -86,8 +85,8 @@ int main(int Argc, char **Argv) {
       NodesText += Domain.pool().node(M.Source.NodeId).Name;
     }
     char Span[64], RefSpan[64];
-    std::snprintf(Span, sizeof(Span), "[%.0f, %.0f)", W->startTime(),
-                  W->endTime());
+    std::snprintf(Span, sizeof(Span), "[%.0f, %.0f)", W->startTime().value(),
+                  W->endTime().value());
     std::snprintf(RefSpan, sizeof(RefSpan), "[%.0f, %.0f)", Refs[I].Start,
                   Refs[I].End);
     Table.beginRow();
@@ -96,7 +95,7 @@ int main(int Argc, char **Argv) {
     Table.addCell(std::string(RefSpan));
     Table.addCell(NodesText);
     Table.addCell(std::string(Refs[I].Nodes));
-    Table.addCell(W->unitPriceSum(), 0);
+    Table.addCell(W->unitPriceSum().value(), 0);
     Table.addCell(Refs[I].UnitCost, 0);
     FirstPass.push_back(*W);
   }

@@ -40,8 +40,7 @@ int main(int Argc, char **Argv) {
 
   ComputingDomain Domain = buildPaperExampleDomain();
   const Batch Jobs = buildPaperExampleBatch();
-  const SlotList Slots = Domain.vacantSlots(PaperExampleHorizonStart,
-                                            PaperExampleHorizonEnd);
+  const SlotList Slots = Domain.vacantSlots(TimePoint(PaperExampleHorizonStart), TimePoint(PaperExampleHorizonEnd));
 
   AlpSearch Alp;
   AmpSearch Amp;

@@ -98,7 +98,7 @@ void BM_SlotSubtraction(benchmark::State &State) {
       const Slot S = Work[I];
       const double Mid = (S.Start + S.End) / 2.0;
       benchmark::DoNotOptimize(
-          Work.subtract(S.NodeId, S.Start, Mid));
+          Work.subtract(S.NodeId, TimePoint(S.Start), TimePoint(Mid)));
     }
     benchmark::DoNotOptimize(Work.size());
   }
@@ -123,8 +123,7 @@ double pastAllSlots(const SlotList &List) {
 /// itself.
 void BM_SlotListProbeSubtract(benchmark::State &State) {
   SlotList Master = makeList(static_cast<int>(State.range(0)), 7);
-  Master.subtract(Master[0].NodeId, pastAllSlots(Master),
-                  pastAllSlots(Master) + 1.0); // Builds the index; no hit.
+  Master.subtract(Master[0].NodeId, TimePoint(pastAllSlots(Master)), TimePoint(pastAllSlots(Master) + 1.0)); // Builds the index; no hit.
   std::vector<Slot> Probes;
   const size_t Stride = std::max<size_t>(1, Master.size() / 64);
   for (size_t I = 0; I < Master.size() && Probes.size() < 64; I += Stride)
@@ -133,7 +132,7 @@ void BM_SlotListProbeSubtract(benchmark::State &State) {
     SlotList Work = Master;
     for (const Slot &S : Probes) {
       const double Mid = (S.Start + S.End) / 2.0;
-      benchmark::DoNotOptimize(Work.subtract(S.NodeId, S.Start, Mid));
+      benchmark::DoNotOptimize(Work.subtract(S.NodeId, TimePoint(S.Start), TimePoint(Mid)));
     }
     benchmark::DoNotOptimize(Work.size());
   }
@@ -153,7 +152,7 @@ void BM_SlotListProbeSubtractLinear(benchmark::State &State) {
     SlotList Work = Master;
     for (const Slot &S : Probes) {
       const double Mid = (S.Start + S.End) / 2.0;
-      benchmark::DoNotOptimize(Work.subtractLinear(S.NodeId, S.Start, Mid));
+      benchmark::DoNotOptimize(Work.subtractLinear(S.NodeId, TimePoint(S.Start), TimePoint(Mid)));
     }
     benchmark::DoNotOptimize(Work.size());
   }
@@ -166,9 +165,9 @@ void BM_SlotListProbeMiss(benchmark::State &State) {
   SlotList List = makeList(static_cast<int>(State.range(0)), 7);
   const double Miss = pastAllSlots(List);
   const int Node = List[0].NodeId;
-  List.subtract(Node, Miss, Miss + 1.0); // Builds the index; no hit.
+  List.subtract(Node, TimePoint(Miss), TimePoint(Miss + 1.0)); // Builds the index; no hit.
   for (auto _ : State)
-    benchmark::DoNotOptimize(List.subtract(Node, Miss, Miss + 1.0));
+    benchmark::DoNotOptimize(List.subtract(Node, TimePoint(Miss), TimePoint(Miss + 1.0)));
   State.SetComplexityN(State.range(0));
 }
 
@@ -178,7 +177,7 @@ void BM_SlotListProbeMissLinear(benchmark::State &State) {
   const double Miss = pastAllSlots(List);
   const int Node = List[0].NodeId;
   for (auto _ : State)
-    benchmark::DoNotOptimize(List.subtractLinear(Node, Miss, Miss + 1.0));
+    benchmark::DoNotOptimize(List.subtractLinear(Node, TimePoint(Miss), TimePoint(Miss + 1.0)));
   State.SetComplexityN(State.range(0));
 }
 
@@ -372,7 +371,7 @@ void BM_VoIterationSteadyState(benchmark::State &State) {
       Horizon + Period * static_cast<double>(MeasuredIterations + 4);
   for (int Node = 0; Node < Nodes; ++Node)
     for (double T = 0.0; T < Coverage; T += Period)
-      Proto.addLocalTask(Node, std::max(0.0, T - 20.0), T + 20.0);
+      Proto.addLocalTask(Node, TimePoint(std::max(0.0, T - 20.0)), TimePoint(T + 20.0));
 
   for (auto _ : State) {
     State.PauseTiming();
@@ -417,7 +416,7 @@ void BM_SnapshotSaveLoad(benchmark::State &State) {
   for (int Node = 0; Node < Nodes; ++Node) {
     Proto.addNode(1.0 + 0.25 * (Node % 4), 1.0 + 0.2 * (Node % 5));
     for (double T = 0.0; T < 1000.0; T += 200.0)
-      Proto.addLocalTask(Node, T, T + 40.0);
+      Proto.addLocalTask(Node, TimePoint(T), TimePoint(T + 40.0));
   }
 
   VirtualOrganization::Config VoCfg;
@@ -475,7 +474,7 @@ void BM_SlotIndexCompaction(benchmark::State &State) {
       Index.noteErase(S);
       Index.noteInsert(S);
       benchmark::DoNotOptimize(
-          Index.findContainer(S.NodeId, S.Start, S.End));
+          Index.findContainer(S.NodeId, TimePoint(S.Start), TimePoint(S.End)));
     }
   }
   State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *

@@ -64,8 +64,8 @@ struct ClaimChecker {
 };
 
 std::string spanText(const Window &W) {
-  return "[" + formatDouble(W.startTime(), 0) + ", " +
-         formatDouble(W.endTime(), 0) + ")";
+  return "[" + formatDouble(W.startTime().value(), 0) + ", " +
+         formatDouble(W.endTime().value(), 0) + ")";
 }
 
 } // namespace
@@ -94,8 +94,7 @@ int main(int Argc, char **Argv) {
   {
     ComputingDomain Domain = buildPaperExampleDomain();
     const Batch Jobs = buildPaperExampleBatch();
-    const SlotList Slots = Domain.vacantSlots(PaperExampleHorizonStart,
-                                              PaperExampleHorizonEnd);
+    const SlotList Slots = Domain.vacantSlots(TimePoint(PaperExampleHorizonStart), TimePoint(PaperExampleHorizonEnd));
     SlotList Work = Slots;
     const auto W1 = Amp.findWindow(Work, Jobs[0].Request);
     if (W1)
@@ -111,21 +110,21 @@ int main(int Argc, char **Argv) {
     Checker.check("Fig2 W1 = [150,230) on cpu1+cpu4, unit cost 10",
                   "[150, 230), 10",
                   W1 ? spanText(*W1) + ", " +
-                           formatDouble(W1->unitPriceSum(), 0)
+                           formatDouble(W1->unitPriceSum().value(), 0)
                      : "none",
-                  W1 && W1->startTime() == 150.0 && W1->endTime() == 230.0 &&
+                  W1 && W1->startTime().value() == 150.0 && W1->endTime().value() == 230.0 &&
                       W1->usesNode(0) && W1->usesNode(3) &&
-                      W1->unitPriceSum() == 10.0);
+                      W1->unitPriceSum().value() == 10.0);
     Checker.check("Fig2 W2 on cpu1+cpu2+cpu4, unit cost 14", "cost 14",
                   W2 ? spanText(*W2) + ", " +
-                           formatDouble(W2->unitPriceSum(), 0)
+                           formatDouble(W2->unitPriceSum().value(), 0)
                      : "none",
                   W2 && W2->usesNode(0) && W2->usesNode(1) &&
-                      W2->usesNode(3) && W2->unitPriceSum() == 14.0);
+                      W2->usesNode(3) && W2->unitPriceSum().value() == 14.0);
     Checker.check("Fig2 W3 = [450,500)", "[450, 500)",
                   W3 ? spanText(*W3) : "none",
-                  W3 && W3->startTime() == 450.0 &&
-                      W3->endTime() == 500.0);
+                  W3 && W3->startTime().value() == 450.0 &&
+                      W3->endTime().value() == 500.0);
 
     const AlternativeSet AlpAlts =
         AlternativeSearch(Alp).run(Slots, Jobs);
@@ -272,7 +271,7 @@ int main(int Argc, char **Argv) {
     };
     const VirtualOrganization Reuse = RunVo(true);
     const VirtualOrganization Rebuild = RunVo(false);
-    bool SameHistory = Reuse.totalIncome() == Rebuild.totalIncome() &&
+    bool SameHistory = Reuse.totalIncome().value() == Rebuild.totalIncome().value() &&
                        Reuse.completed().size() ==
                            Rebuild.completed().size();
     for (size_t C = 0; SameHistory && C < Reuse.completed().size(); ++C)

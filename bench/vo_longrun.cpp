@@ -51,7 +51,8 @@ ComputingDomain makeDomain(RandomGenerator &Rng, int Nodes,
     double Cursor = Rng.uniformReal(0.0, 150.0);
     while (Cursor < SpanEnd) {
       const double Busy = Rng.uniformReal(20.0, 80.0);
-      D.addLocalTask(Id, Cursor, std::min(Cursor + Busy, SpanEnd));
+      D.addLocalTask(Id, TimePoint(Cursor),
+                     TimePoint(std::min(Cursor + Busy, SpanEnd)));
       Cursor += Busy + Rng.uniformReal(80.0, 250.0);
     }
   }
@@ -125,7 +126,7 @@ SteadyStateReport runVo(const SlotSearchAlgorithm &Algo, uint64_t Seed,
         Twin->submit(J);
       SubmittedAfterWarmup += Iter >= Warmup;
     }
-    const double WindowStart = Vo.now();
+    const double WindowStart = Vo.now().value();
     const VirtualOrganization::IterationReport Report = Vo.runIteration();
     if (Twin) {
       const VirtualOrganization::IterationReport TwinReport =
@@ -134,7 +135,7 @@ SteadyStateReport runVo(const SlotSearchAlgorithm &Algo, uint64_t Seed,
                          TwinReport.QueueLength == Report.QueueLength &&
                          TwinReport.Committed == Report.Committed &&
                          TwinReport.Dropped == Report.Dropped &&
-                         Twin->totalIncome() == Vo.totalIncome(),
+                         exactEq(Twin->totalIncome(), Vo.totalIncome()),
                      "snapshot-stress twin diverged at iteration {}",
                      Iter);
       if ((Iter + 1) % SnapshotStress == 0) {
@@ -155,8 +156,8 @@ SteadyStateReport runVo(const SlotSearchAlgorithm &Algo, uint64_t Seed,
     if (Iter >= Warmup)
       for (const ResourceNode &Node : Vo.domain().pool())
         BusyAfterWarmup += PricingEngine::nodeUtilization(
-            Vo.domain(), Node.Id, WindowStart,
-            WindowStart + IterationPeriod);
+            Vo.domain(), Node.Id, TimePoint(WindowStart),
+            TimePoint(WindowStart + IterationPeriod));
   }
 
   const auto Measured = static_cast<double>(Iterations - Warmup);

@@ -155,6 +155,6 @@ int main(int Argc, char **Argv) {
   std::printf("every failed job was resubmitted automatically; no work "
               "was billed for cancelled reservations (owner income "
               "%.1f covers completed jobs only).\n",
-              Vo.totalIncome());
+              Vo.totalIncome().value());
   return 0;
 }

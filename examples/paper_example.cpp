@@ -37,8 +37,7 @@ int main() {
                                 PaperExampleHorizonEnd)
                   .c_str());
 
-  const SlotList Slots = Domain.vacantSlots(PaperExampleHorizonStart,
-                                            PaperExampleHorizonEnd);
+  const SlotList Slots = Domain.vacantSlots(TimePoint(PaperExampleHorizonStart), TimePoint(PaperExampleHorizonEnd));
   std::printf("%zu vacant slots published to the metascheduler\n\n",
               Slots.size());
 
@@ -56,8 +55,8 @@ int main() {
     }
     std::printf("W%zu for job %d: span [%.0f, %.0f), unit-price sum "
                 "%.0f, nodes:",
-                I + 1, Jobs[I].Id, W->startTime(), W->endTime(),
-                W->unitPriceSum());
+                I + 1, Jobs[I].Id, W->startTime().value(), W->endTime().value(),
+                W->unitPriceSum().value());
     for (const WindowSlot &M : *W)
       std::printf(" %s", Domain.pool().node(M.Source.NodeId).Name.c_str());
     std::printf("\n");
@@ -96,8 +95,8 @@ int main() {
   for (const ScheduledJob &S : Out.Scheduled) {
     std::printf("job %d -> alternative %zu, window [%.0f, %.0f), "
                 "cost %.1f\n",
-                S.JobId, S.AlternativeIndex, S.W.startTime(),
-                S.W.endTime(), S.W.totalCost());
+                S.JobId, S.AlternativeIndex, S.W.startTime().value(),
+                S.W.endTime().value(), S.W.totalCost().value());
     Domain.reserveWindow(S.W, S.JobId);
   }
 

@@ -26,11 +26,11 @@ using namespace ecosched;
 
 static void printWindow(const char *Label, const Window &W) {
   std::printf("%s window: start=%.0f span=%.1f cost=%.1f\n", Label,
-              W.startTime(), W.timeSpan(), W.totalCost());
+              W.startTime().value(), W.timeSpan().value(), W.totalCost().value());
   for (const WindowSlot &M : W)
     std::printf("  node %d  perf %.1f  price %.1f  busy [%.0f, %.1f)\n",
                 M.Source.NodeId, M.Source.Performance, M.Source.UnitPrice,
-                W.startTime(), W.startTime() + M.Runtime);
+                W.startTime().value(), W.startTime().value() + M.Runtime);
 }
 
 int main() {
@@ -55,7 +55,7 @@ int main() {
   std::printf("request: %d nodes, volume %.0f, min perf %.1f, "
               "price cap %.1f, AMP budget %.0f\n\n",
               Request.NodeCount, Request.Volume, Request.MinPerformance,
-              Request.MaxUnitPrice, Request.budget());
+              Request.MaxUnitPrice, Request.budget().value());
 
   // ALP: every slot must individually respect the price cap.
   AlpSearch Alp;

@@ -153,10 +153,10 @@ int scheduleMode(const SlotList &Slots, Batch Jobs,
       Nodes += std::to_string(M.Source.NodeId);
     }
     Table.addCell(std::string("scheduled"));
-    Table.addCell(Placed->W.startTime(), 1);
-    Table.addCell(Placed->W.endTime(), 1);
-    Table.addCell(Placed->W.timeSpan(), 2);
-    Table.addCell(Placed->W.totalCost(), 2);
+    Table.addCell(Placed->W.startTime().value(), 1);
+    Table.addCell(Placed->W.endTime().value(), 1);
+    Table.addCell(Placed->W.timeSpan().value(), 2);
+    Table.addCell(Placed->W.totalCost().value(), 2);
     Table.addCell(Nodes);
   }
   Table.print(stdout);
@@ -201,11 +201,11 @@ ComputingDomain domainFromSlots(const SlotList &Slots) {
     double Cursor = 0.0;
     for (const Slot &S : NodeSlots) {
       if (S.Start > Cursor)
-        D.addLocalTask(Node, Cursor, S.Start);
+        D.addLocalTask(Node, TimePoint(Cursor), TimePoint(S.Start));
       Cursor = std::max(Cursor, S.End);
     }
     if (Cursor < TraceEnd)
-      D.addLocalTask(Node, Cursor, TraceEnd);
+      D.addLocalTask(Node, TimePoint(Cursor), TimePoint(TraceEnd));
   }
   return D;
 }
@@ -285,7 +285,7 @@ int simulateMode(const SlotList &Slots, const Batch &Jobs, double Rho,
               "still queued %zu, dropped %zu, owner income %.17g\n",
               static_cast<long long>(Iterations), Vo.completed().size(),
               Jobs.size(), Vo.queueLength(), Vo.dropped().size(),
-              Vo.totalIncome());
+              Vo.totalIncome().value());
   return 0;
 }
 

@@ -45,8 +45,8 @@ RunSummary schedule(const SlotList &Slots, const Batch &Jobs) {
   RunSummary Summary;
   Summary.Scheduled = Out.Scheduled.size();
   for (const ScheduledJob &S : Out.Scheduled) {
-    Summary.TotalTime += S.W.timeSpan();
-    Summary.TotalCost += S.W.totalCost();
+    Summary.TotalTime += S.W.timeSpan().value();
+    Summary.TotalCost += S.W.totalCost().value();
   }
   return Summary;
 }

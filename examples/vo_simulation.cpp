@@ -52,7 +52,7 @@ ComputingDomain makeDomain(RandomGenerator &Rng, int Nodes) {
     double Cursor = Rng.uniformReal(0.0, 150.0);
     while (Cursor < 1200.0) {
       const double Len = Rng.uniformReal(30.0, 150.0);
-      D.addLocalTask(Id, Cursor, Cursor + Len);
+      D.addLocalTask(Id, TimePoint(Cursor), TimePoint(Cursor + Len));
       Cursor += Len + Rng.uniformReal(50.0, 300.0);
     }
   }
@@ -140,13 +140,13 @@ int runMultiVo(const Metascheduler &Scheduler,
     PerVo.addCell(static_cast<long long>(Vo.completed().size()));
     PerVo.addCell(static_cast<long long>(Vo.queueLength()));
     PerVo.addCell(static_cast<long long>(Vo.dropped().size()));
-    PerVo.addCell(Vo.totalIncome(), 1);
+    PerVo.addCell(Vo.totalIncome().value(), 1);
   }
   std::printf("\n");
   PerVo.print(stdout);
   std::printf("\ntotal: completed %zu, dropped %zu, income %.1f\n",
               Driver.totalCompleted(), Driver.totalDropped(),
-              Driver.totalIncome());
+              Driver.totalIncome().value());
   return 0;
 }
 
@@ -235,7 +235,7 @@ int main(int Argc, char **Argv) {
               Vo.dropped().size());
   std::printf("owner income %.1f; per completed job: avg wait %.2f "
               "iterations, avg span %.1f, avg cost %.1f\n",
-              Vo.totalIncome(), Wait.mean(), Span.mean(), Cost.mean());
+              Vo.totalIncome().value(), Wait.mean(), Span.mean(), Cost.mean());
   std::printf("domain load: local %.0f, external %.0f (remaining booked "
               "time)\n",
               Vo.domain().localLoad(), Vo.domain().externalLoad());

@@ -127,7 +127,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
                        Container.UnitPrice, Container.Start + Grid / 2,
                        Container.End + Grid / 2);
       const bool Hit =
-          Incremental.subtractExact(Ghost, SpanStart, SpanEnd);
+          Incremental.subtractExact(Ghost, TimePoint(SpanStart), TimePoint(SpanEnd));
       ECOSCHED_CHECK(!Hit, "subtractExact split a container not in the "
                            "list: node {} [{}, {})",
                      Ghost.NodeId, Ghost.Start, Ghost.End);
@@ -139,12 +139,8 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
       // their lists untouched. (Skipped under the Keep filter, where
       // these two lists deliberately stop tracking the reference.)
       if (!UseKeepFilter) {
-        const bool IndexedHit = Indexed.subtract(
-            Container.NodeId, Container.Start + Grid / 2,
-            Container.End + Grid / 2);
-        const bool LinearHit = Linear.subtractLinear(
-            Container.NodeId, Container.Start + Grid / 2,
-            Container.End + Grid / 2);
+        const bool IndexedHit = Indexed.subtract(Container.NodeId, TimePoint(Container.Start + Grid / 2), TimePoint(Container.End + Grid / 2));
+        const bool LinearHit = Linear.subtractLinear(Container.NodeId, TimePoint(Container.Start + Grid / 2), TimePoint(Container.End + Grid / 2));
         ECOSCHED_CHECK(!IndexedHit && !LinearHit,
                        "uncontained span [{}, {}) on node {} was "
                        "subtracted (indexed {}, linear {})",
@@ -159,8 +155,8 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
 
     const bool DidSubtract =
         UseKeepFilter
-            ? Incremental.subtractExact(Container, SpanStart, SpanEnd, Keep)
-            : Incremental.subtractExact(Container, SpanStart, SpanEnd);
+            ? Incremental.subtractExact(Container, TimePoint(SpanStart), TimePoint(SpanEnd), Keep)
+            : Incremental.subtractExact(Container, TimePoint(SpanStart), TimePoint(SpanEnd));
     ECOSCHED_CHECK(DidSubtract,
                    "subtractExact missed its own container: node {} "
                    "[{}, {}) span [{}, {})",
@@ -186,9 +182,9 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
         // The index-probing and linear-scan variants must both agree
         // with the exact variant.
         const bool IndexedHit =
-            Indexed.subtract(Container.NodeId, SpanStart, SpanEnd);
+            Indexed.subtract(Container.NodeId, TimePoint(SpanStart), TimePoint(SpanEnd));
         const bool LinearHit =
-            Linear.subtractLinear(Container.NodeId, SpanStart, SpanEnd);
+            Linear.subtractLinear(Container.NodeId, TimePoint(SpanStart), TimePoint(SpanEnd));
         ECOSCHED_CHECK(IndexedHit && LinearHit,
                        "subtract disagreed with subtractExact on node {} "
                        "span [{}, {}): indexed {}, linear {}",

@@ -149,10 +149,10 @@ void checkLedgerInvariants(const VirtualOrganization &V,
   double Fold = 0.0;
   for (const CompletedJob &C : Done)
     Fold += C.Cost;
-  ECOSCHED_CHECK(Fold == V.totalIncome(),
+  ECOSCHED_CHECK(Fold == V.totalIncome().value(),
                  "income {} is not the in-order fold {} of {} completed "
                  "jobs",
-                 V.totalIncome(), Fold, Done.size());
+                 V.totalIncome().value(), Fold, Done.size());
 }
 
 /// Runs the scenario on a fresh VO and flattens everything observable
@@ -173,7 +173,7 @@ std::vector<double> runScenario(const Scenario &S, bool ReuseFilter) {
   size_t CompletedSoFar = 0;
   int NextJobId = 0;
   for (const Op &O : S.Ops) {
-    const double Before = V.now();
+    const double Before = V.now().value();
     switch (O.K) {
     case Op::Submit: {
       const size_t QueuedBefore = V.queueLength();
@@ -188,10 +188,10 @@ std::vector<double> runScenario(const Scenario &S, bool ReuseFilter) {
     }
     case Op::RunIteration: {
       const VirtualOrganization::IterationReport R = V.runIteration();
-      ECOSCHED_CHECK(V.now() == Before + S.Cfg.IterationPeriod,
+      ECOSCHED_CHECK(V.now().value() == Before + S.Cfg.IterationPeriod,
                      "iteration advanced the clock from {} to {}, period "
                      "{}",
-                     Before, V.now(), S.Cfg.IterationPeriod);
+                     Before, V.now().value(), S.Cfg.IterationPeriod);
       Trace.push_back(R.Now);
       Trace.push_back(static_cast<double>(R.QueueLength));
       Trace.push_back(static_cast<double>(R.Committed));
@@ -199,9 +199,9 @@ std::vector<double> runScenario(const Scenario &S, bool ReuseFilter) {
       Trace.push_back(static_cast<double>(R.Outcome.Scheduled.size()));
       for (const ScheduledJob &P : R.Outcome.Scheduled) {
         Trace.push_back(static_cast<double>(P.JobId));
-        Trace.push_back(P.W.startTime());
-        Trace.push_back(P.W.endTime());
-        Trace.push_back(P.W.totalCost());
+        Trace.push_back(P.W.startTime().value());
+        Trace.push_back(P.W.endTime().value());
+        Trace.push_back(P.W.totalCost().value());
       }
       break;
     }
@@ -224,22 +224,20 @@ std::vector<double> runScenario(const Scenario &S, bool ReuseFilter) {
       V.setQueuedBudgetFactor(O.Rho);
       break;
     case Op::AddLocalTask:
-      Trace.push_back(V.mutableDomain().addLocalTask(
-                          O.Node, Before + O.Start,
-                          Before + O.Start + O.Length)
+      Trace.push_back(V.mutableDomain().addLocalTask(O.Node, TimePoint(Before + O.Start), TimePoint(Before + O.Start + O.Length))
                           ? 1.0
                           : 0.0);
       break;
     case Op::SetPrice:
-      V.mutableDomain().setNodePrice(O.Node, O.Price);
+      V.mutableDomain().setNodePrice(O.Node, Price(O.Price));
       break;
     case Op::KindCount:
       break;
     }
-    ECOSCHED_CHECK(V.now() >= Before, "clock ran backwards: {} -> {}",
-                   Before, V.now());
+    ECOSCHED_CHECK(V.now().value() >= Before, "clock ran backwards: {} -> {}",
+                   Before, V.now().value());
     checkLedgerInvariants(V, CompletedSoFar);
-    Trace.push_back(V.totalIncome());
+    Trace.push_back(V.totalIncome().value());
     Trace.push_back(static_cast<double>(V.queueLength()));
   }
 

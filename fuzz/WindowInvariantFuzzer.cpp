@@ -91,10 +91,10 @@ void checkWindow(const Window &W, const ResourceRequest &R, bool PerSlotCap,
       ECOSCHED_CHECK(M.Source.NodeId != W[J].Source.NodeId,
                      "{} window members {} and {} share node {}", Algo, I,
                      J, M.Source.NodeId);
-    ECOSCHED_CHECK(M.Source.coversFrom(W.startTime(), M.Runtime),
+    ECOSCHED_CHECK(M.Source.coversFrom(TimePoint(W.startTime().value()), Duration(M.Runtime)),
                    "{} member {} does not cover its own task: slot "
                    "[{}, {}) vs start {} runtime {}",
-                   Algo, I, M.Source.Start, M.Source.End, W.startTime(),
+                   Algo, I, M.Source.Start, M.Source.End, W.startTime().value(),
                    M.Runtime);
     ECOSCHED_CHECK(approxGe(M.Source.Performance, R.MinPerformance),
                    "{} member {} below the performance floor: {} < {}",
@@ -108,19 +108,19 @@ void checkWindow(const Window &W, const ResourceRequest &R, bool PerSlotCap,
                      I, M.Source.UnitPrice, R.MaxUnitPrice);
   }
   if (!PerSlotCap)
-    ECOSCHED_CHECK(approxLe(W.totalCost(), R.budget()),
+    ECOSCHED_CHECK(approxLe(W.totalCost().value(), R.budget().value()),
                    "{} window cost {} exceeds the job budget {}", Algo,
-                   W.totalCost(), R.budget());
+                   W.totalCost().value(), R.budget().value());
   if (std::isfinite(R.Deadline))
-    ECOSCHED_CHECK(approxLe(W.endTime(), R.Deadline),
+    ECOSCHED_CHECK(approxLe(W.endTime().value(), R.Deadline),
                    "{} window ends at {} past the deadline {}", Algo,
-                   W.endTime(), R.Deadline);
+                   W.endTime().value(), R.Deadline);
 }
 
 /// Bitwise window equality, for the filtered-vs-unfiltered differential.
 bool sameWindow(const Window &A, const Window &B) {
-  if (A.startTime() != B.startTime() || A.timeSpan() != B.timeSpan() ||
-      A.totalCost() != B.totalCost() || A.size() != B.size())
+  if (A.startTime().value() != B.startTime().value() || A.timeSpan().value() != B.timeSpan().value() ||
+      A.totalCost().value() != B.totalCost().value() || A.size() != B.size())
     return false;
   for (size_t I = 0; I < A.size(); ++I) {
     const WindowSlot &MA = A[I], &MB = B[I];
@@ -166,20 +166,19 @@ void checkDamageDifferential(const SlotList &List,
       const bool IndexedFound = W.subtractFrom(IndexedList);
       bool LinearFound = true;
       for (const WindowSlot &M : W) {
-        const double End = W.startTime() + M.Runtime;
-        if (!LinearList.subtractExact(M.Source, W.startTime(), End))
-          LinearFound &= LinearList.subtractLinear(M.Source.NodeId,
-                                                   W.startTime(), End);
+        const double End = W.startTime().value() + M.Runtime;
+        if (!LinearList.subtractExact(M.Source, TimePoint(W.startTime().value()), TimePoint(End)))
+          LinearFound &= LinearList.subtractLinear(M.Source.NodeId, TimePoint(W.startTime().value()), TimePoint(End));
       }
       ECOSCHED_CHECK(IndexedFound == LinearFound,
                      "indexed damage found {} but the linear mirror "
                      "found {} for the window starting at {}",
-                     IndexedFound, LinearFound, W.startTime());
+                     IndexedFound, LinearFound, W.startTime().value());
       checkSameLists(IndexedList, LinearList);
       ECOSCHED_CHECK(IndexedList.checkIndexConsistency(),
                      "interval index diverged after subtracting the "
                      "window starting at {}",
-                     W.startTime());
+                     W.startTime().value());
     }
   }
 }

@@ -7,7 +7,7 @@
 #                                  [--best-of N]
 #
 #   --out FILE        Output JSON path
-#                     (default: bench/baselines/BENCH_9.json).
+#                     (default: bench/baselines/BENCH_10.json).
 #   --filter REGEX    google-benchmark name filter (default: all).
 #   --repetitions N   Repetitions per benchmark; with N > 1 only the
 #                     mean/median/stddev aggregates are reported
@@ -27,7 +27,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="bench/baselines/BENCH_9.json"
+OUT="bench/baselines/BENCH_10.json"
 FILTER="."
 REPS=1
 BEST_OF=1

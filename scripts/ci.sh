@@ -43,6 +43,45 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Per-stage wall-clock accounting: stage() closes the previous stage's
+# timer and opens the next; the EXIT trap prints the summary whether
+# the run passes or dies mid-stage, so a hanging stage is identifiable
+# from the last line of the table.
+STAGE_LABELS=()
+STAGE_SECONDS=()
+CURRENT_STAGE=""
+CURRENT_STAGE_START=0
+BENCH_JSON=""
+
+stage_close() {
+  if [[ -n "$CURRENT_STAGE" ]]; then
+    STAGE_LABELS+=("$CURRENT_STAGE")
+    STAGE_SECONDS+=($((SECONDS - CURRENT_STAGE_START)))
+    CURRENT_STAGE=""
+  fi
+}
+
+stage() {
+  stage_close
+  CURRENT_STAGE="$1"
+  CURRENT_STAGE_START=$SECONDS
+  echo "=== ci $1 ==="
+}
+
+ci_exit() {
+  [[ -n "$BENCH_JSON" ]] && rm -f "$BENCH_JSON"
+  stage_close
+  if [[ ${#STAGE_LABELS[@]} -gt 0 ]]; then
+    echo "--- ci stage timing ---"
+    local i
+    for i in "${!STAGE_LABELS[@]}"; do
+      printf '%5ds  %s\n' "${STAGE_SECONDS[$i]}" "${STAGE_LABELS[$i]}"
+    done
+    printf '%5ds  total\n' "$SECONDS"
+  fi
+}
+trap ci_exit EXIT
+
 JOBS="$(nproc 2>/dev/null || echo 4)"
 SKIP_SAN=0
 
@@ -60,7 +99,7 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-echo "=== ci stage 1/10: repo hygiene (tracked files vs ignore rules) ==="
+stage "stage 1/10: repo hygiene (tracked files vs ignore rules)"
 TRACKED_IGNORED="$(git ls-files --cached -i --exclude-standard)"
 if [[ -n "$TRACKED_IGNORED" ]]; then
   echo "error: tracked files match the repo ignore rules:" >&2
@@ -70,18 +109,17 @@ if [[ -n "$TRACKED_IGNORED" ]]; then
 fi
 echo "repo hygiene: clean"
 
-echo "=== ci stage 2/10: release build + tests ==="
+stage "stage 2/10: release build + tests"
 scripts/check.sh --preset release --jobs "$JOBS"
 
-echo "=== ci stage 3/10: archlint (architecture + detlint, no self-skip) ==="
+stage "stage 3/10: archlint (architecture + detlint, no self-skip)"
 # Stage 2 just built this binary; a missing binary is a build failure,
 # never a reason to skip the lint.
 build/release/tools/archlint/archlint --self-test
 build/release/tools/archlint/archlint --root .
 
-echo "=== ci stage 4/10: bench smoke (micro_benchmarks JSON output) ==="
+stage "stage 4/10: bench smoke (micro_benchmarks JSON output)"
 BENCH_JSON="$(mktemp --suffix=.json)"
-trap 'rm -f "$BENCH_JSON"' EXIT
 build/release/bench/micro_benchmarks \
   --benchmark_out="$BENCH_JSON" \
   --benchmark_out_format=json \
@@ -103,7 +141,7 @@ assert snapshot, "snapshot save/load benches missing from the bench binary"
 print(f"bench smoke: {len(names)} benchmark entries, JSON well-formed")
 PYEOF
 
-echo "=== ci stage 5/10: schedule-fuzz stress (adversarial schedules) ==="
+stage "stage 5/10: schedule-fuzz stress (adversarial schedules)"
 # The determinism gate's dynamic half: the whole concurrency-relevant
 # test set must stay bitwise-deterministic when every pool claims
 # chunks in shuffled orders with injected yields. Reuses the stage 2
@@ -116,11 +154,11 @@ for SHUFFLE_SEED in 1 7 42; do
 done
 
 if [[ $SKIP_SAN -eq 0 ]]; then
-  echo "=== ci stage 6/10: asan-ubsan build + tests ==="
+  stage "stage 6/10: asan-ubsan build + tests"
   scripts/check.sh --preset asan-ubsan --jobs "$JOBS"
-  echo "=== ci stage 7/10: tsan build + concurrency tests ==="
+  stage "stage 7/10: tsan build + concurrency tests"
   scripts/check.sh --preset tsan --jobs "$JOBS"
-  echo "=== ci stage 8/10: fuzz smoke (5 harnesses, corpora + -runs=5000) ==="
+  stage "stage 8/10: fuzz smoke (5 harnesses, corpora + -runs=5000)"
   cmake --preset fuzz > /dev/null
   cmake --build --preset fuzz -j "$JOBS" > /dev/null
   export ASAN_OPTIONS=detect_leaks=1:strict_string_checks=1
@@ -137,10 +175,10 @@ else
   echo "=== ci stage 8/10: SKIPPED (--skip-sanitizers) ==="
 fi
 
-echo "=== ci stage 9/10: clang-tidy ==="
+stage "stage 9/10: clang-tidy"
 scripts/run_clang_tidy.sh --jobs "$JOBS"
 
-echo "=== ci stage 10/10: clang-format ==="
+stage "stage 10/10: clang-format"
 FORMAT="${CLANG_FORMAT:-}"
 if [[ -z "$FORMAT" ]]; then
   for candidate in clang-format clang-format-21 clang-format-20 \

@@ -41,7 +41,7 @@ std::optional<Window> alpScan(const SlotList &List,
   // where the per-slot "start meets the deadline" break used to fire,
   // so the examined set (and the window, if any) is unchanged while
   // the scan becomes O(log n + examined).
-  const auto ScanEnd = List.scanEndBefore(Request.Deadline);
+  const auto ScanEnd = List.scanEndBefore(Request.deadline());
   for (auto ScanIt = List.begin(); ScanIt != ScanEnd; ++ScanIt) {
     const Slot &S = *ScanIt;
     ++Local.SlotsExamined;
@@ -52,14 +52,14 @@ std::optional<Window> alpScan(const SlotList &List,
         continue;
       if (!detail::meetsLength(S, Request))
         continue;
-      if (!detail::fitsDeadline(S, S.Start, Request))
+      if (!detail::fitsDeadline(S, S.start(), Request))
         continue;
     }
 
     // Step 3: the window start advances to the newest slot's start; drop
     // group members whose remaining length is no longer sufficient (or,
     // with a deadline, whose task can no longer finish in time).
-    const double WindowStart = S.Start;
+    const TimePoint WindowStart = S.start();
     std::erase_if(Group, [&](const Slot *G) {
       return !G->coversFrom(WindowStart, G->runtimeFor(Request.Volume)) ||
              !detail::fitsDeadline(*G, WindowStart, Request);
@@ -98,7 +98,7 @@ bool AlpSearch::admits(const Slot &S, const ResourceRequest &Request) const {
   return detail::meetsPerformance(S, Request) &&
          detail::meetsPriceCap(S, Request) &&
          detail::meetsLength(S, Request) &&
-         detail::fitsDeadline(S, S.Start, Request);
+         detail::fitsDeadline(S, S.start(), Request);
 }
 
 bool AlpSearch::admitsRemainder(const Slot &Piece,
@@ -108,5 +108,5 @@ bool AlpSearch::admitsRemainder(const Slot &Piece,
   // (2b and the own-start deadline — the piece may start later than its
   // container) are all that can change.
   return detail::meetsLength(Piece, Request) &&
-         detail::fitsDeadline(Piece, Piece.Start, Request);
+         detail::fitsDeadline(Piece, Piece.start(), Request);
 }

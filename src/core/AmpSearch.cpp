@@ -35,7 +35,7 @@ std::optional<Window> ampScan(const SlotList &List,
     ECOSCHED_DVALIDATE(List.validate());
   }
   const size_t Needed = static_cast<size_t>(Request.NodeCount);
-  const double Budget = Request.budget();
+  const Money Budget = Request.budget();
   std::vector<const Slot *> Group;
   std::vector<const Slot *> Cheapest;
   SearchStats Local;
@@ -44,7 +44,7 @@ std::optional<Window> ampScan(const SlotList &List,
   // where the per-slot "start meets the deadline" break used to fire,
   // so the examined set (and the window, if any) is unchanged while
   // the scan becomes O(log n + examined).
-  const auto ScanEnd = List.scanEndBefore(Request.Deadline);
+  const auto ScanEnd = List.scanEndBefore(Request.deadline());
   for (auto ScanIt = List.begin(); ScanIt != ScanEnd; ++ScanIt) {
     const Slot &S = *ScanIt;
     ++Local.SlotsExamined;
@@ -55,11 +55,11 @@ std::optional<Window> ampScan(const SlotList &List,
         continue;
       if (!detail::meetsLength(S, Request))
         continue;
-      if (!detail::fitsDeadline(S, S.Start, Request))
+      if (!detail::fitsDeadline(S, S.start(), Request))
         continue;
     }
 
-    const double WindowStart = S.Start;
+    const TimePoint WindowStart = S.start();
     std::erase_if(Group, [&](const Slot *G) {
       return !G->coversFrom(WindowStart, G->runtimeFor(Request.Volume)) ||
              !detail::fitsDeadline(*G, WindowStart, Request);
@@ -78,22 +78,20 @@ std::optional<Window> ampScan(const SlotList &List,
     std::partial_sort(Cheapest.begin(),
                       Cheapest.begin() + static_cast<long>(Needed),
                       Cheapest.end(), [&](const Slot *A, const Slot *B) {
-                        const double CostA =
-                            detail::slotUsageCost(*A, Request);
-                        const double CostB =
-                            detail::slotUsageCost(*B, Request);
+                        const Money CostA = detail::slotUsageCost(*A, Request);
+                        const Money CostB = detail::slotUsageCost(*B, Request);
                         // Exact comparison: comparator must stay a
                         // strict weak ordering.
-                        if (CostA != CostB)
-                          return CostA < CostB;
+                        if (!exactEq(CostA, CostB))
+                          return exactLess(CostA, CostB);
                         return A->NodeId < B->NodeId;
                       });
     Cheapest.resize(Needed);
     Local.GroupOperations += Group.size();
 
-    double Total = 0.0;
+    Money Total(0.0);
     for (const Slot *C : Cheapest)
-      Total += detail::slotUsageCost(*C, Request);
+      Total = Total + detail::slotUsageCost(*C, Request);
     if (approxLe(Total, Budget)) {
       if (Stats)
         *Stats += Local;
@@ -123,7 +121,7 @@ AmpSearch::findWindowFiltered(const SlotList &Filtered,
 bool AmpSearch::admits(const Slot &S, const ResourceRequest &Request) const {
   return detail::meetsPerformance(S, Request) &&
          detail::meetsLength(S, Request) &&
-         detail::fitsDeadline(S, S.Start, Request);
+         detail::fitsDeadline(S, S.start(), Request);
 }
 
 bool AmpSearch::admitsRemainder(const Slot &Piece,
@@ -131,5 +129,5 @@ bool AmpSearch::admitsRemainder(const Slot &Piece,
   // Condition 2a holds by inheritance from the admitted container; only
   // the span-dependent checks can change for a narrower piece.
   return detail::meetsLength(Piece, Request) &&
-         detail::fitsDeadline(Piece, Piece.Start, Request);
+         detail::fitsDeadline(Piece, Piece.start(), Request);
 }

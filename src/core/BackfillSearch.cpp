@@ -22,7 +22,7 @@ BackfillSearch::findWindow(const SlotList &List,
                  Request.NodeCount);
   ECOSCHED_DVALIDATE(List.validate());
   const size_t Needed = static_cast<size_t>(Request.NodeCount);
-  const double Budget = Request.budget();
+  const Money Budget = Request.budget();
   SearchStats Local;
   std::vector<const Slot *> Alive;
 
@@ -32,7 +32,7 @@ BackfillSearch::findWindow(const SlotList &List,
   // The deadline horizon is binary-searched (scanEndBefore() sits
   // exactly where the per-anchor deadline break used to fire); the
   // inner rescans stay the deliberate O(m) of the baseline.
-  const auto AnchorEnd = List.scanEndBefore(Request.Deadline);
+  const auto AnchorEnd = List.scanEndBefore(Request.deadline());
   for (auto AnchorIt = List.begin(); AnchorIt != AnchorEnd; ++AnchorIt) {
     const Slot &Anchor = *AnchorIt;
     ++Local.SlotsExamined;
@@ -41,7 +41,7 @@ BackfillSearch::findWindow(const SlotList &List,
     if (PriceRule == PriceRuleKind::PerSlotCap &&
         !detail::meetsPriceCap(Anchor, Request))
       continue;
-    const double StartTime = Anchor.Start;
+    const TimePoint StartTime = Anchor.start();
 
     // Rescan the whole list for slots alive at StartTime. This is the
     // deliberate O(m) inner loop of the baseline.
@@ -69,22 +69,20 @@ BackfillSearch::findWindow(const SlotList &List,
     std::partial_sort(Alive.begin(),
                       Alive.begin() + static_cast<long>(Needed),
                       Alive.end(), [&](const Slot *A, const Slot *B) {
-                        const double CostA =
-                            detail::slotUsageCost(*A, Request);
-                        const double CostB =
-                            detail::slotUsageCost(*B, Request);
+                        const Money CostA = detail::slotUsageCost(*A, Request);
+                        const Money CostB = detail::slotUsageCost(*B, Request);
                         // Exact comparison: comparator must stay a
                         // strict weak ordering.
-                        if (CostA != CostB)
-                          return CostA < CostB;
+                        if (!exactEq(CostA, CostB))
+                          return exactLess(CostA, CostB);
                         return A->NodeId < B->NodeId;
                       });
     Alive.resize(Needed);
 
     if (PriceRule == PriceRuleKind::JobBudget) {
-      double Total = 0.0;
+      Money Total(0.0);
       for (const Slot *S : Alive)
-        Total += detail::slotUsageCost(*S, Request);
+        Total = Total + detail::slotUsageCost(*S, Request);
       if (approxGt(Total, Budget))
         continue;
     }

@@ -79,7 +79,7 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
   for (size_t Idx = 0; Idx < Queue.size() && Unplaced > 0; ++Idx) {
     const ScanSlot Cur = Queue[Idx]; // Copy: Queue may reallocate below.
     ++Result.Stats.SlotsExamined;
-    const double Anchor = Cur.S.Start;
+    const TimePoint Anchor = Cur.S.start();
 
     for (size_t J = 0, E = Jobs.size(); J != E; ++J) {
       if (Result.PerJob[J])
@@ -118,20 +118,20 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
           Candidates.begin(),
           Candidates.begin() + static_cast<long>(Needed),
           Candidates.end(), [&](const ScanSlot *A, const ScanSlot *B) {
-            const double CostA = detail::slotUsageCost(A->S, Req);
-            const double CostB = detail::slotUsageCost(B->S, Req);
+            const Money CostA = detail::slotUsageCost(A->S, Req);
+            const Money CostB = detail::slotUsageCost(B->S, Req);
             // Exact comparison: comparator must stay a strict weak
             // ordering.
-            if (CostA != CostB)
-              return CostA < CostB;
+            if (!exactEq(CostA, CostB))
+              return exactLess(CostA, CostB);
             return A->Serial < B->Serial;
           });
       Candidates.resize(Needed);
 
       if (PriceMode == PriceModeKind::JobBudget) {
-        double Total = 0.0;
+        Money Total(0.0);
         for (const ScanSlot *C : Candidates)
-          Total += detail::slotUsageCost(C->S, Req);
+          Total = Total + detail::slotUsageCost(C->S, Req);
         if (approxGt(Total, Req.budget()))
           continue;
       }
@@ -151,7 +151,7 @@ BatchAssignment OnePassBatchScheduler::assign(const SlotList &List,
         // Window members preserve Candidates order (buildWindow), so
         // this member's scan-queue serial is Serials[MemberIdx].
         const uint64_t SourceSerial = Serials[MemberIdx++];
-        const double TailStart = Anchor + M.Runtime;
+        const double TailStart = Anchor.value() + M.Runtime;
         if (approxGt(M.Source.End - TailStart, 0.0)) {
           ScanSlot Tail;
           Tail.S = M.Source;

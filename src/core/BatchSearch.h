@@ -48,22 +48,22 @@ struct BatchAssignment {
     return Count;
   }
 
-  /// Latest end time across placed windows; 0 when none placed.
-  double makespan() const {
+  /// Latest end time across placed windows; time 0 when none placed.
+  TimePoint makespan() const {
     double End = 0.0;
     for (const auto &W : PerJob)
-      if (W && W->endTime() > End)
-        End = W->endTime();
-    return End;
+      if (W)
+        End = std::max(End, W->endTime().value());
+    return TimePoint(End);
   }
 
   /// Total money cost across placed windows.
-  double totalCost() const {
+  Money totalCost() const {
     double Cost = 0.0;
     for (const auto &W : PerJob)
       if (W)
-        Cost += W->totalCost();
-    return Cost;
+        Cost += W->totalCost().value();
+    return Money(Cost);
   }
 };
 

@@ -8,6 +8,7 @@
 #include "core/BicriteriaOptimizer.h"
 
 #include "support/Check.h"
+#include "support/Units.h"
 
 #include <algorithm>
 #include <cmath>
@@ -41,8 +42,8 @@ BicriteriaChoice evaluate(const BicriteriaProblem &P,
     Choice.Cost += V.Cost;
     Choice.Time += V.Time;
   }
-  Choice.Feasible = Choice.Cost <= P.Budget + 1e-9 &&
-                    Choice.Time <= P.TimeQuota + 1e-9;
+  Choice.Feasible =
+      approxLe(Choice.Cost, P.Budget) && approxLe(Choice.Time, P.TimeQuota);
   return Choice;
 }
 
@@ -65,16 +66,16 @@ std::vector<size_t> solve2d(const BicriteriaProblem &P, size_t CostBins,
   std::vector<std::vector<uint32_t>> ChoiceTable(
       JobCount, std::vector<uint32_t>(States, 0));
 
-  std::vector<size_t> CostNeeded, TimeNeeded;
+  std::vector<size_t> NeededCostCells, NeededTimeCells;
   std::vector<double> Score;
   for (size_t I = JobCount; I-- > 0;) {
     const auto &Alts = P.PerJob[I];
-    CostNeeded.resize(Alts.size());
-    TimeNeeded.resize(Alts.size());
+    NeededCostCells.resize(Alts.size());
+    NeededTimeCells.resize(Alts.size());
     Score.resize(Alts.size());
     for (size_t A = 0, E = Alts.size(); A != E; ++A) {
-      CostNeeded[A] = toCells(Alts[A].Cost, CostCell, Round);
-      TimeNeeded[A] = toCells(Alts[A].Time, TimeCell, Round);
+      NeededCostCells[A] = toCells(Alts[A].Cost, CostCell, Round);
+      NeededTimeCells[A] = toCells(Alts[A].Time, TimeCell, Round);
       Score[A] = P.CostWeight * Alts[A].Cost +
                  (1.0 - P.CostWeight) * Alts[A].Time;
     }
@@ -83,10 +84,10 @@ std::vector<size_t> solve2d(const BicriteriaProblem &P, size_t CostBins,
         double Best = Unreachable;
         uint32_t BestAlt = 0;
         for (size_t A = 0, E = Alts.size(); A != E; ++A) {
-          if (CostNeeded[A] > Zc || TimeNeeded[A] > Zt)
+          if (NeededCostCells[A] > Zc || NeededTimeCells[A] > Zt)
             continue;
-          const double Tail =
-              Next[(Zc - CostNeeded[A]) * WidthT + (Zt - TimeNeeded[A])];
+          const double Tail = Next[(Zc - NeededCostCells[A]) * WidthT +
+                                   (Zt - NeededTimeCells[A])];
           if (Tail == Unreachable)
             continue;
           const double Value = Score[A] + Tail;
@@ -185,8 +186,8 @@ ecosched::enumerateParetoFront(const BicriteriaProblem &P) {
   std::vector<size_t> Stack;
   auto Visit = [&](auto &&Self, size_t Job, double Cost,
                    double Time) -> void {
-    if (Cost + MinCostSuffix[Job] > P.Budget + 1e-9 ||
-        Time + MinTimeSuffix[Job] > P.TimeQuota + 1e-9)
+    if (approxGt(Cost + MinCostSuffix[Job], P.Budget) ||
+        approxGt(Time + MinTimeSuffix[Job], P.TimeQuota))
       return;
     if (Job == JobCount) {
       Points.push_back({Cost, Time, Stack});
@@ -204,14 +205,14 @@ ecosched::enumerateParetoFront(const BicriteriaProblem &P) {
   // Keep the non-dominated points: sort by (cost, time) and sweep.
   std::sort(Points.begin(), Points.end(),
             [](const ParetoPoint &A, const ParetoPoint &B) {
-              if (A.Cost != B.Cost)
-                return A.Cost < B.Cost;
-              return A.Time < B.Time;
+              if (!exactEq(A.Cost, B.Cost))
+                return exactLess(A.Cost, B.Cost);
+              return exactLess(A.Time, B.Time);
             });
   std::vector<ParetoPoint> Front;
   double BestTime = Unreachable;
   for (ParetoPoint &Point : Points) {
-    if (Point.Time < BestTime - 1e-12) {
+    if (approxLt(Point.Time, BestTime, 1e-12)) {
       BestTime = Point.Time;
       Front.push_back(std::move(Point));
     }

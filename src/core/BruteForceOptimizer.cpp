@@ -63,7 +63,7 @@ struct EnumerationState {
       return;
     }
     // Prune: the cheapest completion already violates the limit.
-    if (Weight + SuffixMinWeight[Job] > P.Limit + 1e-9)
+    if (approxGt(Weight + SuffixMinWeight[Job], P.Limit))
       return;
     // Prune: even the ideal completion cannot beat the incumbent.
     if (HaveBest) {
@@ -74,7 +74,7 @@ struct EnumerationState {
     for (size_t A = 0, E = P.PerJob[Job].size(); A != E; ++A) {
       const AlternativeValue &V = P.PerJob[Job][A];
       const double NextWeight = Weight + V.get(P.Constraint);
-      if (NextWeight > P.Limit + 1e-9)
+      if (approxGt(NextWeight, P.Limit))
         continue;
       Stack.push_back(A);
       visit(Job + 1, Objective + V.get(P.Objective), NextWeight);

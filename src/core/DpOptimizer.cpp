@@ -92,10 +92,10 @@ std::vector<size_t> solveRounded(const CombinationProblem &P, size_t Bins,
       uint32_t BestAlt = 0;
       bool Found = false;
       for (size_t A = 0, E = Alts.size(); A != E; ++A) {
-        const size_t Cost = CellCosts[A];
-        if (Cost > Z)
+        const size_t Cells = CellCosts[A];
+        if (Cells > Z)
           continue;
-        const double Tail = Next[Z - Cost];
+        const double Tail = Next[Z - Cells];
         if (Tail == Unreachable || Tail == -Unreachable)
           continue;
         const double Value = Objectives[A] + Tail;

@@ -20,24 +20,27 @@ void PricingEngine::captureBasePrices(const ComputingDomain &Domain) {
 }
 
 double PricingEngine::nodeUtilization(const ComputingDomain &Domain,
-                                      int NodeId, double WindowStart,
-                                      double WindowEnd) {
-  ECOSCHED_CHECK(WindowStart < WindowEnd,
-                 "empty utilization window [{}, {}) on node {}",
-                 WindowStart, WindowEnd, NodeId);
+                                      int NodeId, TimePoint WindowStart,
+                                      TimePoint WindowEnd) {
+  ECOSCHED_CHECK(exactLess(WindowStart, WindowEnd),
+                 "empty utilization window [{}, {}) on node {}", WindowStart,
+                 WindowEnd, NodeId);
   double Busy = 0.0;
   for (const BusyInterval &B : Domain.occupancy(NodeId)) {
-    const double OverlapStart = std::max(B.Start, WindowStart);
-    const double OverlapEnd = std::min(B.End, WindowEnd);
-    if (OverlapEnd > OverlapStart)
+    const double OverlapStart = std::max(B.Start, WindowStart.value());
+    const double OverlapEnd = std::min(B.End, WindowEnd.value());
+    // Tolerant on purpose: a sub-epsilon sliver where a reservation
+    // merely abuts the window boundary is not load (the same rule
+    // Window::intersects applies to zero-length overlaps).
+    if (approxGt(OverlapEnd, OverlapStart))
       Busy += OverlapEnd - OverlapStart;
   }
-  return Busy / (WindowEnd - WindowStart);
+  return Busy / (WindowEnd - WindowStart).value();
 }
 
 std::vector<double> PricingEngine::update(ComputingDomain &Domain,
-                                          double WindowStart,
-                                          double WindowEnd) {
+                                          TimePoint WindowStart,
+                                          TimePoint WindowEnd) {
   ECOSCHED_CHECK(BasePrices.size() == Domain.pool().size(),
                  "captured {} base prices for {} nodes: call "
                  "captureBasePrices() before update(), and after adding "
@@ -55,7 +58,7 @@ std::vector<double> PricingEngine::update(ComputingDomain &Domain,
         Node.UnitPrice * (1.0 + Cfg.Sensitivity * Error);
     const double Clamped = std::clamp(Proposed, Cfg.MinFactor * Base,
                                       Cfg.MaxFactor * Base);
-    Domain.setNodePrice(Node.Id, Clamped);
+    Domain.setNodePrice(Node.Id, Price(Clamped));
   }
   return Utilizations;
 }

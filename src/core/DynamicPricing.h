@@ -56,12 +56,12 @@ public:
   /// Measures each node's utilization over [\p WindowStart,
   /// \p WindowEnd) and adjusts its price in \p Domain.
   /// \returns the per-node utilizations measured (test/report hook).
-  std::vector<double> update(ComputingDomain &Domain, double WindowStart,
-                             double WindowEnd);
+  std::vector<double> update(ComputingDomain &Domain, TimePoint WindowStart,
+                             TimePoint WindowEnd);
 
   /// Utilization of one node over a time window: busy time / window.
   static double nodeUtilization(const ComputingDomain &Domain, int NodeId,
-                                double WindowStart, double WindowEnd);
+                                TimePoint WindowStart, TimePoint WindowEnd);
 
   const Config &config() const { return Cfg; }
 

@@ -43,7 +43,8 @@ MethodIteration runMethod(const SlotSearchAlgorithm &Algo,
 
   Out.Values = toAlternativeValues(Out.Alts);
   Out.TimeQuota = computeTimeQuota(Out.Values, Quota);
-  Out.VoBudget = computeVoBudget(Out.Values, Out.TimeQuota, Optimizer);
+  Out.VoBudget =
+      computeVoBudget(Out.Values, Duration(Out.TimeQuota), Optimizer);
   if (Out.VoBudget < 0.0)
     return Out; // T* admits no combination; iteration is not counted.
 
@@ -186,12 +187,11 @@ ExperimentResult PairedExperiment::run() const {
   // SurplusIterations.
   ThreadPool Pool(Threads);
   const int64_t BlockSize = static_cast<int64_t>(Threads) * 8;
-  for (int64_t BlockStart = 0;
-       BlockStart < Cfg.Iterations && !Done();
-       BlockStart += BlockSize) {
-    const int64_t BlockEnd =
-        std::min(BlockStart + BlockSize, Cfg.Iterations);
-    const size_t Count = static_cast<size_t>(BlockEnd - BlockStart);
+  for (int64_t BlockBegin = 0; BlockBegin < Cfg.Iterations && !Done();
+       BlockBegin += BlockSize) {
+    const int64_t BlockLimit =
+        std::min(BlockBegin + BlockSize, Cfg.Iterations);
+    const size_t Count = static_cast<size_t>(BlockLimit - BlockBegin);
 
     std::vector<RandomGenerator> Rngs;
     Rngs.reserve(Count);

@@ -40,7 +40,7 @@ GreedyOptimizer::solve(const CombinationProblem &Problem) const {
     Selected[I] = Best;
     Weight += Alts[Best].get(Problem.Constraint);
   }
-  if (Weight > Problem.Limit + 1e-9)
+  if (approxGt(Weight, Problem.Limit))
     return Infeasible;
 
   // Improve: repeatedly take the swap with the best objective gain that
@@ -63,7 +63,7 @@ GreedyOptimizer::solve(const CombinationProblem &Problem) const {
           continue;
         const double Extra =
             Cand.get(Problem.Constraint) - Cur.get(Problem.Constraint);
-        if (Weight + Extra > Problem.Limit + 1e-9)
+        if (approxGt(Weight + Extra, Problem.Limit))
           continue;
         // Gain per unit of extra weight; free or weight-saving swaps
         // score as pure gain.

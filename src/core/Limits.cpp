@@ -30,13 +30,13 @@ double ecosched::computeTimeQuota(
 
 double ecosched::computeVoBudget(
     const std::vector<std::vector<AlternativeValue>> &PerJob,
-    double TimeQuota, const CombinationOptimizer &Optimizer) {
+    Duration TimeQuota, const CombinationOptimizer &Optimizer) {
   CombinationProblem Income;
   Income.PerJob = PerJob;
   Income.Objective = MeasureKind::Cost;
   Income.Direction = DirectionKind::Maximize;
   Income.Constraint = MeasureKind::Time;
-  Income.Limit = TimeQuota;
+  Income.Limit = TimeQuota.value();
   const CombinationChoice Choice = Optimizer.solve(Income);
   if (!Choice.Feasible)
     return -1.0;

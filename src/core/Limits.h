@@ -18,6 +18,7 @@
 #define ECOSCHED_CORE_LIMITS_H
 
 #include "core/Optimizer.h"
+#include "support/Units.h"
 
 namespace ecosched {
 
@@ -48,7 +49,7 @@ double computeTimeQuota(
 /// counting rule).
 double computeVoBudget(
     const std::vector<std::vector<AlternativeValue>> &PerJob,
-    double TimeQuota, const CombinationOptimizer &Optimizer);
+    Duration TimeQuota, const CombinationOptimizer &Optimizer);
 
 } // namespace ecosched
 

@@ -42,12 +42,13 @@ Metascheduler::runIteration(const SlotList &List, const Batch &Jobs,
   for (size_t I : Covered) {
     std::vector<AlternativeValue> JobValues;
     for (const Window &W : Outcome.Alternatives.PerJob[I])
-      JobValues.push_back({W.totalCost(), W.timeSpan()});
+      JobValues.push_back({W.totalCost().value(), W.timeSpan().value()});
     Values.push_back(std::move(JobValues));
   }
 
   Outcome.TimeQuota = computeTimeQuota(Values, Cfg.Quota);
-  Outcome.VoBudget = computeVoBudget(Values, Outcome.TimeQuota, Optimizer);
+  Outcome.VoBudget =
+      computeVoBudget(Values, Duration(Outcome.TimeQuota), Optimizer);
 
   CombinationProblem Problem;
   Problem.PerJob = Values;

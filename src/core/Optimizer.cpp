@@ -22,7 +22,7 @@ ecosched::toAlternativeValues(const AlternativeSet &Alts) {
     std::vector<AlternativeValue> JobValues;
     JobValues.reserve(Windows.size());
     for (const Window &W : Windows)
-      JobValues.push_back({W.totalCost(), W.timeSpan()});
+      JobValues.push_back({W.totalCost().value(), W.timeSpan().value()});
     Values.push_back(std::move(JobValues));
   }
   return Values;

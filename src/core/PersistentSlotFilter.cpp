@@ -123,8 +123,8 @@ void PersistentSlotFilter::sync(const SlotList &Master, const Batch &Jobs,
       // falls back to the rebuild oracle. The cutoff depends only on
       // the delta and master sizes, so it is deterministic and
       // bitwise-neutral either way.
-      const size_t SpliceBudget = 16 + Master.size();
-      if (DeltaSize > SpliceBudget) {
+      const size_t SpliceLimit = 16 + Master.size();
+      if (DeltaSize > SpliceLimit) {
         E.View = SlotFilter::filteredCopy(Master, E.Request, Algo);
         if (Stats)
           ++Stats->FilterViewRebuilds;
@@ -163,7 +163,7 @@ void PersistentSlotFilter::sync(const SlotList &Master, const Batch &Jobs,
 }
 
 void PersistentSlotFilter::applyDamage(const Window &W) {
-  const double Start = W.startTime();
+  const TimePoint Start = W.startTime();
   for (size_t J = 0, E = Entries.size(); J != E; ++J) {
     const ResourceRequest &Request = Entries[J].Request;
     for (const WindowSlot &M : W) {
@@ -186,7 +186,7 @@ void PersistentSlotFilter::applyDamage(const Window &W) {
       // A false return means this view never held the member slot
       // (inadmissible for job J): Keep was not invoked, nothing to
       // journal.
-      if (Entries[J].View.subtractExact(M.Source, Start, Start + M.Runtime,
+      if (Entries[J].View.subtractExact(M.Source, Start, Start + M.runtime(),
                                         Keep))
         Journal.push_back(R);
     }

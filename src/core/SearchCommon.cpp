@@ -9,7 +9,7 @@
 
 using namespace ecosched;
 
-Window ecosched::detail::buildWindow(double StartTime,
+Window ecosched::detail::buildWindow(TimePoint StartTime,
                                      std::span<const Slot *const> Chosen,
                                      const ResourceRequest &Req) {
   ECOSCHED_CHECK(!Chosen.empty(), "cannot build a window from zero slots");
@@ -18,8 +18,8 @@ Window ecosched::detail::buildWindow(double StartTime,
   for (const Slot *S : Chosen) {
     WindowSlot M;
     M.Source = *S;
-    M.Runtime = S->runtimeFor(Req.Volume);
-    M.Cost = slotUsageCost(*S, Req);
+    M.Runtime = S->runtimeFor(Req.Volume).value();
+    M.Cost = slotUsageCost(*S, Req).value();
     Members.push_back(M);
   }
   Window Result(StartTime, std::move(Members));

@@ -40,26 +40,26 @@ inline bool meetsPriceCap(const Slot &S, const ResourceRequest &Req) {
 /// start. (The paper prints the performance ratio inverted; see
 /// DESIGN.md, "Model conventions".)
 inline bool meetsLength(const Slot &S, const ResourceRequest &Req) {
-  return approxGe(S.length(), S.runtimeFor(Req.Volume));
+  return approxGe(S.span(), S.runtimeFor(Req.Volume));
 }
 
 /// Money charged for running a task of the request's volume on \p S.
-inline double slotUsageCost(const Slot &S, const ResourceRequest &Req) {
-  return S.UnitPrice * S.runtimeFor(Req.Volume);
+inline Money slotUsageCost(const Slot &S, const ResourceRequest &Req) {
+  return S.price() * S.runtimeFor(Req.Volume);
 }
 
 /// True if a task launched on \p S at \p StartTime finishes within the
 /// request's deadline (always true for the default infinite deadline).
-inline bool fitsDeadline(const Slot &S, double StartTime,
+inline bool fitsDeadline(const Slot &S, TimePoint StartTime,
                          const ResourceRequest &Req) {
-  return approxLe(StartTime + S.runtimeFor(Req.Volume), Req.Deadline);
+  return approxLe(StartTime + S.runtimeFor(Req.Volume), Req.deadline());
 }
 
 /// Builds a Window starting at \p StartTime from \p Chosen slots; each
 /// must cover [StartTime, StartTime + runtime]. Takes a view so callers
 /// can pass any contiguous pointer buffer without materializing a
 /// vector.
-Window buildWindow(double StartTime, std::span<const Slot *const> Chosen,
+Window buildWindow(TimePoint StartTime, std::span<const Slot *const> Chosen,
                    const ResourceRequest &Req);
 
 } // namespace detail

@@ -21,7 +21,7 @@ SlotFilter::SlotFilter(const SlotList &Master, const Batch &Jobs,
 }
 
 void SlotFilter::applyDamage(const Window &W) {
-  const double Start = W.startTime();
+  const TimePoint Start = W.startTime();
   for (size_t J = 0, E = Views.size(); J != E; ++J) {
     const ResourceRequest &Request = Requests[J];
     for (const WindowSlot &M : W) {
@@ -40,7 +40,7 @@ void SlotFilter::applyDamage(const Window &W) {
       };
       // A false return means this view never held the member slot
       // (inadmissible for job J), so there is nothing to update.
-      Views[J].subtractExact(M.Source, Start, Start + M.Runtime, Keep);
+      Views[J].subtractExact(M.Source, Start, Start + M.runtime(), Keep);
     }
   }
 }
@@ -58,7 +58,7 @@ SlotList SlotFilter::filteredCopy(const SlotList &List,
   std::vector<Slot> Kept;
   // O(log n + k) with a finite deadline: only the prefix a
   // deadline-bounded scan can reach is tested for admissibility.
-  const auto E = List.scanEndBefore(Request.Deadline);
+  const auto E = List.scanEndBefore(Request.deadline());
   for (auto It = List.begin(); It != E; ++It)
     if (Algo.admits(*It, Request))
       Kept.push_back(*It);

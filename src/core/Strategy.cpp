@@ -42,9 +42,9 @@ ecosched::buildStrategies(const IterationOutcome &Outcome,
     }
     std::sort(Candidates.begin(), Candidates.end(),
               [](const Window *A, const Window *B) {
-                if (A->startTime() != B->startTime())
-                  return A->startTime() < B->startTime();
-                return A->totalCost() < B->totalCost();
+                if (!exactEq(A->startTime(), B->startTime()))
+                  return exactLess(A->startTime(), B->startTime());
+                return exactLess(A->totalCost(), B->totalCost());
               });
     for (const Window *W : Candidates) {
       if (Strategy.Versions.size() >= Cfg.MaxVersions)
@@ -68,9 +68,9 @@ ecosched::executeStrategies(const std::vector<JobStrategy> &Strategies,
   Report.Jobs = Strategies.size();
 
   for (const JobStrategy &Strategy : Strategies) {
-    Report.ReservedNodeTime += Strategy.reservedNodeTime();
+    Report.ReservedNodeTime += Strategy.reservedNodeTime().value();
 
-    double Now = 0.0; // Earliest time the next launch may happen.
+    TimePoint Now(0.0); // Earliest time the next launch may happen.
     bool Done = false;
     size_t Used = 0;
     for (const Window &Version : Strategy.Versions) {
@@ -83,9 +83,9 @@ ecosched::executeStrategies(const std::vector<JobStrategy> &Strategies,
                          static_cast<double>(Version.size()));
       if (!Rng.bernoulli(WindowFailure)) {
         ++Report.Completed;
-        Report.CompletionTime.add(Version.endTime());
+        Report.CompletionTime.add(Version.endTime().value());
         Report.VersionsUsed.add(static_cast<double>(Used));
-        Report.PaidCost += Version.totalCost();
+        Report.PaidCost += Version.totalCost().value();
         Done = true;
         break;
       }

@@ -45,11 +45,11 @@ struct JobStrategy {
 
   /// Total processor time reserved across all versions (the price of
   /// safety: capacity withheld from other use).
-  double reservedNodeTime() const {
-    double Total = 0.0;
+  Duration reservedNodeTime() const {
+    Duration Total(0.0);
     for (const Window &W : Versions)
       for (const WindowSlot &M : W)
-        Total += M.Runtime;
+        Total = Total + M.runtime();
     return Total;
   }
 };

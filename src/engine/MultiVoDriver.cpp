@@ -71,11 +71,11 @@ MultiVoDriver::run(size_t Iterations, const ArrivalFn &Arrivals) {
   return Last;
 }
 
-double MultiVoDriver::totalIncome() const {
+Money MultiVoDriver::totalIncome() const {
   double Income = 0.0;
   for (const Tenant &T : Tenants)
-    Income += T.Vo->totalIncome();
-  return Income;
+    Income += T.Vo->totalIncome().value();
+  return Money(Income);
 }
 
 size_t MultiVoDriver::totalCompleted() const {

@@ -89,7 +89,7 @@ public:
   VirtualOrganization &tenant(size_t I) { return *Tenants[I].Vo; }
 
   /// Aggregates folded in VO-index order on the calling thread.
-  double totalIncome() const;
+  Money totalIncome() const;
   size_t totalCompleted() const;
   size_t totalDropped() const;
 

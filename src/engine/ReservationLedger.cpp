@@ -26,9 +26,9 @@ void ReservationLedger::commit(ComputingDomain &D, const ScheduledJob &S,
                  S.JobId, S.W.startTime());
   RunningJob R;
   R.JobId = S.JobId;
-  R.StartTime = S.W.startTime();
-  R.EndTime = S.W.endTime();
-  R.Cost = S.W.totalCost();
+  R.StartTime = S.W.startTime().value();
+  R.EndTime = S.W.endTime().value();
+  R.Cost = S.W.totalCost().value();
   R.Attempts = Attempts;
   R.Spec = Spec;
   for (const WindowSlot &M : S.W)
@@ -36,15 +36,16 @@ void ReservationLedger::commit(ComputingDomain &D, const ScheduledJob &S,
   Running.push_back(std::move(R));
 }
 
-void ReservationLedger::retireFinished(double Now) {
+void ReservationLedger::retireFinished(TimePoint Now) {
+  const double Cut = Now.value();
   for (const RunningJob &R : Running) {
-    if (approxGt(R.EndTime, Now))
+    if (approxGt(R.EndTime, Cut))
       continue;
     Completed.push_back({R.JobId, R.StartTime, R.EndTime, R.Cost,
                          R.Attempts});
   }
-  std::erase_if(Running, [Now](const RunningJob &R) {
-    return approxLe(R.EndTime, Now);
+  std::erase_if(Running, [Cut](const RunningJob &R) {
+    return approxLe(R.EndTime, Cut);
   });
 }
 
@@ -66,7 +67,8 @@ bool ReservationLedger::release(ComputingDomain &D, int JobId) {
 }
 
 std::vector<ReservationLedger::RequeuedJob>
-ReservationLedger::cancelOnNode(ComputingDomain &D, int NodeId, double Now) {
+ReservationLedger::cancelOnNode(ComputingDomain &D, int NodeId,
+                                TimePoint Now) {
   const size_t RunningBefore = Running.size();
   const std::vector<int> Cancelled = D.failNode(NodeId, Now);
 
@@ -104,11 +106,11 @@ bool ReservationLedger::isRunning(int JobId) const {
                      });
 }
 
-double ReservationLedger::totalIncome() const {
+Money ReservationLedger::totalIncome() const {
   double Income = 0.0;
   for (const CompletedJob &C : Completed)
     Income += C.Cost;
-  return Income;
+  return Money(Income);
 }
 
 namespace {

@@ -86,7 +86,7 @@ public:
 
   /// Moves every running entry that finished by \p Now into
   /// completed(), preserving commit order.
-  void retireFinished(double Now);
+  void retireFinished(TimePoint Now);
 
   /// Releases a running job's reservations (user cancellation). Safe at
   /// any point of the reservation's life, including before it starts.
@@ -99,7 +99,7 @@ public:
   /// to resubmit. Failing a node that holds no reservations is a no-op
   /// on the ledger.
   std::vector<RequeuedJob> cancelOnNode(ComputingDomain &D, int NodeId,
-                                        double Now);
+                                        TimePoint Now);
 
   const std::vector<CompletedJob> &completed() const { return Completed; }
   size_t runningCount() const { return Running.size(); }
@@ -108,7 +108,7 @@ public:
   bool isRunning(int JobId) const;
 
   /// Total owner income from completed external jobs.
-  double totalIncome() const;
+  Money totalIncome() const;
 
   /// Serializes the running set (commit order, including specs and node
   /// lists for failure resubmission) and the completed record

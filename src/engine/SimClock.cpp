@@ -14,13 +14,16 @@
 
 using namespace ecosched;
 
-SimClock::SimClock(double IterationPeriod, double HorizonLength)
-    : IterationPeriod(IterationPeriod), HorizonLength(HorizonLength) {
-  ECOSCHED_CHECK(IterationPeriod > 0.0,
+SimClock::SimClock(Duration IterationPeriod, Duration HorizonLength)
+    : IterationPeriod(IterationPeriod.value()),
+      HorizonLength(HorizonLength.value()) {
+  // Exact sign tests on purpose (and mirrored by loadState): IEEE-754
+  // comparison against the literal zero is exact, no epsilon needed.
+  ECOSCHED_CHECK(this->IterationPeriod > 0.0,
                  "iteration period must be positive, got {}",
-                 IterationPeriod);
-  ECOSCHED_CHECK(HorizonLength > 0.0, "horizon must be positive, got {}",
-                 HorizonLength);
+                 this->IterationPeriod);
+  ECOSCHED_CHECK(this->HorizonLength > 0.0, "horizon must be positive, got {}",
+                 this->HorizonLength);
 }
 
 void SimClock::saveState(StateWriter &W) const {

@@ -18,6 +18,8 @@
 #ifndef ECOSCHED_ENGINE_SIMCLOCK_H
 #define ECOSCHED_ENGINE_SIMCLOCK_H
 
+#include "support/Units.h"
+
 #include <cstddef>
 
 namespace ecosched {
@@ -29,19 +31,19 @@ class StateReader;
 class SimClock {
 public:
   /// \p IterationPeriod and \p HorizonLength must be positive.
-  SimClock(double IterationPeriod, double HorizonLength);
+  SimClock(Duration IterationPeriod, Duration HorizonLength);
 
   /// Current simulation time (start of the pending iteration).
-  double now() const { return Clock; }
+  TimePoint now() const { return TimePoint(Clock); }
 
   /// Time between scheduling iterations.
-  double period() const { return IterationPeriod; }
+  Duration period() const { return Duration(IterationPeriod); }
 
   /// Length of the look-ahead horizon.
-  double horizonLength() const { return HorizonLength; }
+  Duration horizonLength() const { return Duration(HorizonLength); }
 
   /// End of the slot-publication horizon for the pending iteration.
-  double horizonEnd() const { return Clock + HorizonLength; }
+  TimePoint horizonEnd() const { return TimePoint(Clock + HorizonLength); }
 
   /// Number of completed iterations.
   size_t iteration() const { return Iterations; }

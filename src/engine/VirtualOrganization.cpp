@@ -22,14 +22,14 @@ VirtualOrganization::VirtualOrganization(ComputingDomain InDomain,
                                          const Metascheduler &Scheduler,
                                          Config Cfg)
     : Domain(std::move(InDomain)), Scheduler(Scheduler), Cfg(Cfg),
-      Clock(Cfg.IterationPeriod, Cfg.HorizonLength),
+      Clock(Duration(Cfg.IterationPeriod), Duration(Cfg.HorizonLength)),
       Queue(Cfg.MaxAttempts) {}
 
 void VirtualOrganization::submit(const Job &J) { Queue.submit(J); }
 
 VirtualOrganization::IterationReport VirtualOrganization::runIteration() {
   IterationReport Report;
-  Report.Now = Clock.now();
+  Report.Now = Clock.now().value();
   Report.QueueLength = Queue.size();
 
   // Build the batch in queue (priority) order.
@@ -157,7 +157,8 @@ bool VirtualOrganization::loadSnapshot(StateReader &R) {
 
   // Every layer loads into a temporary so this VO stays untouched
   // unless the whole snapshot validates.
-  SimClock LoadedClock(LoadedCfg.IterationPeriod, LoadedCfg.HorizonLength);
+  SimClock LoadedClock(Duration(LoadedCfg.IterationPeriod),
+                       Duration(LoadedCfg.HorizonLength));
   if (!LoadedClock.loadState(R))
     return false;
   JobQueue LoadedQueue(LoadedCfg.MaxAttempts);

@@ -102,7 +102,7 @@ public:
   /// selected windows, and advances the clock by the iteration period.
   IterationReport runIteration();
 
-  double now() const { return Clock.now(); }
+  TimePoint now() const { return Clock.now(); }
   size_t queueLength() const { return Queue.size(); }
   const ComputingDomain &domain() const { return Domain; }
 
@@ -115,7 +115,7 @@ public:
   const std::vector<int> &dropped() const { return Queue.dropped(); }
 
   /// Total owner income from completed external jobs.
-  double totalIncome() const { return Ledger.totalIncome(); }
+  Money totalIncome() const { return Ledger.totalIncome(); }
 
   /// Read access to the engine layers (introspection, tests, drivers).
   const SimClock &clock() const { return Clock; }

@@ -25,43 +25,43 @@ int ComputingDomain::addNode(double Performance, double UnitPrice,
 }
 
 bool ComputingDomain::insertInterval(int NodeId, BusyInterval Interval) {
-  ECOSCHED_CHECK(Interval.End > Interval.Start,
+  ECOSCHED_CHECK(exactLess(Interval.Start, Interval.End),
                  "empty busy interval [{}, {}) on node {}", Interval.Start,
                  Interval.End, NodeId);
   if (!isNodeAvailable(NodeId))
     return false;
-  if (isBusy(NodeId, Interval.Start, Interval.End))
+  if (isBusy(NodeId, TimePoint(Interval.Start), TimePoint(Interval.End)))
     return false;
   auto &Intervals = BusyByNode[static_cast<size_t>(NodeId)];
   auto Pos = std::upper_bound(
       Intervals.begin(), Intervals.end(), Interval,
       [](const BusyInterval &A, const BusyInterval &B) {
-        return A.Start < B.Start;
+        return exactLess(A.Start, B.Start);
       });
   Intervals.insert(Pos, Interval);
   return true;
 }
 
-bool ComputingDomain::addLocalTask(int NodeId, double Start, double End,
+bool ComputingDomain::addLocalTask(int NodeId, TimePoint Start, TimePoint End,
                                    int TaskId) {
-  return insertInterval(NodeId,
-                        {Start, End, OccupancyKind::Local, TaskId});
+  return insertInterval(
+      NodeId, {Start.value(), End.value(), OccupancyKind::Local, TaskId});
 }
 
-bool ComputingDomain::reserve(int NodeId, double Start, double End,
+bool ComputingDomain::reserve(int NodeId, TimePoint Start, TimePoint End,
                               int JobId) {
-  return insertInterval(NodeId,
-                        {Start, End, OccupancyKind::External, JobId});
+  return insertInterval(
+      NodeId, {Start.value(), End.value(), OccupancyKind::External, JobId});
 }
 
 bool ComputingDomain::reserveWindow(const Window &W, int JobId) {
   // Validate all member spans before mutating anything.
   for (const WindowSlot &M : W)
-    if (isBusy(M.Source.NodeId, W.startTime(), W.startTime() + M.Runtime))
+    if (isBusy(M.Source.NodeId, W.startTime(), W.startTime() + M.runtime()))
       return false;
   for (const WindowSlot &M : W) {
-    const bool Ok = reserve(
-        M.Source.NodeId, W.startTime(), W.startTime() + M.Runtime, JobId);
+    const bool Ok = reserve(M.Source.NodeId, W.startTime(),
+                            W.startTime() + M.runtime(), JobId);
     ECOSCHED_CHECK(Ok,
                    "window member on node {} became busy during commit of "
                    "job {}",
@@ -70,51 +70,54 @@ bool ComputingDomain::reserveWindow(const Window &W, int JobId) {
   return true;
 }
 
-bool ComputingDomain::isBusy(int NodeId, double Start, double End) const {
+bool ComputingDomain::isBusy(int NodeId, TimePoint Start, TimePoint End) const {
   ECOSCHED_CHECK(NodeId >= 0 &&
                      static_cast<size_t>(NodeId) < BusyByNode.size(),
                  "invalid node id {} for a domain of {} nodes", NodeId,
                  BusyByNode.size());
   for (const BusyInterval &B : BusyByNode[static_cast<size_t>(NodeId)]) {
-    const double OverlapStart = std::max(Start, B.Start);
-    const double OverlapEnd = std::min(End, B.End);
+    const double OverlapStart = std::max(Start.value(), B.Start);
+    const double OverlapEnd = std::min(End.value(), B.End);
     if (approxGt(OverlapEnd - OverlapStart, 0.0))
       return true;
   }
   return false;
 }
 
-SlotList ComputingDomain::vacantSlots(double HorizonStart,
-                                      double HorizonEnd) const {
-  ECOSCHED_CHECK(HorizonStart < HorizonEnd,
-                 "empty scheduling horizon [{}, {})", HorizonStart,
-                 HorizonEnd);
+SlotList ComputingDomain::vacantSlots(TimePoint HorizonStart,
+                                      TimePoint HorizonEnd) const {
+  ECOSCHED_CHECK(exactLess(HorizonStart, HorizonEnd),
+                 "empty scheduling horizon [{}, {})", HorizonStart.value(),
+                 HorizonEnd.value());
+  const double RangeStart = HorizonStart.value();
+  const double RangeEnd = HorizonEnd.value();
   std::vector<Slot> Slots;
   for (const ResourceNode &Node : Pool) {
     if (!Available[static_cast<size_t>(Node.Id)])
       continue;
-    double Cursor = HorizonStart;
+    double Cursor = RangeStart;
     for (const BusyInterval &B :
          BusyByNode[static_cast<size_t>(Node.Id)]) {
-      if (B.End <= HorizonStart || B.Start >= HorizonEnd)
+      if (!exactLess(RangeStart, B.End) || !exactLess(B.Start, RangeEnd))
         continue;
-      const double GapEnd = std::max(B.Start, HorizonStart);
+      const double GapEnd = std::max(B.Start, RangeStart);
       if (approxGt(GapEnd, Cursor))
         Slots.emplace_back(Node.Id, Node.Performance, Node.UnitPrice,
                            Cursor, GapEnd);
-      Cursor = std::max(Cursor, std::min(B.End, HorizonEnd));
+      Cursor = std::max(Cursor, std::min(B.End, RangeEnd));
     }
-    if (approxGt(HorizonEnd, Cursor))
+    if (approxGt(RangeEnd, Cursor))
       Slots.emplace_back(Node.Id, Node.Performance, Node.UnitPrice, Cursor,
-                         HorizonEnd);
+                         RangeEnd);
   }
   return SlotList(std::move(Slots));
 }
 
-void ComputingDomain::advanceTo(double Now) {
+void ComputingDomain::advanceTo(TimePoint Now) {
+  const double Cut = Now.value();
   for (auto &Intervals : BusyByNode)
-    std::erase_if(Intervals, [Now](const BusyInterval &B) {
-      return approxLe(B.End, Now);
+    std::erase_if(Intervals, [Cut](const BusyInterval &B) {
+      return approxLe(B.End, Cut);
     });
 }
 
@@ -127,23 +130,24 @@ ComputingDomain::occupancy(int NodeId) const {
   return BusyByNode[static_cast<size_t>(NodeId)];
 }
 
-void ComputingDomain::setNodePrice(int NodeId, double UnitPrice) {
+void ComputingDomain::setNodePrice(int NodeId, Price UnitPrice) {
   Pool.setUnitPrice(NodeId, UnitPrice);
 }
 
-std::vector<int> ComputingDomain::failNode(int NodeId, double Now) {
+std::vector<int> ComputingDomain::failNode(int NodeId, TimePoint Now) {
   ECOSCHED_CHECK(NodeId >= 0 &&
                      static_cast<size_t>(NodeId) < BusyByNode.size(),
                  "invalid node id {} for a domain of {} nodes", NodeId,
                  BusyByNode.size());
   Available[static_cast<size_t>(NodeId)] = false;
+  const double Cut = Now.value();
   std::vector<int> CancelledJobs;
   auto &Intervals = BusyByNode[static_cast<size_t>(NodeId)];
   for (const BusyInterval &B : Intervals)
-    if (approxGt(B.End, Now) && B.Kind == OccupancyKind::External)
+    if (approxGt(B.End, Cut) && B.Kind == OccupancyKind::External)
       CancelledJobs.push_back(B.JobId);
-  std::erase_if(Intervals, [Now](const BusyInterval &B) {
-    return approxGt(B.End, Now);
+  std::erase_if(Intervals, [Cut](const BusyInterval &B) {
+    return approxGt(B.End, Cut);
   });
   return CancelledJobs;
 }
@@ -289,7 +293,8 @@ bool ComputingDomain::loadState(StateReader &R) {
       if (!R.readDouble("start", Start) || !R.readDouble("end", End) ||
           !R.readUInt("kind", Kind) || !R.readInt("job", JobId))
         return false;
-      if (!std::isfinite(Start) || !std::isfinite(End) || !(End > Start)) {
+      if (!std::isfinite(Start) || !std::isfinite(End) ||
+          !exactLess(Start, End)) {
         R.fail("domain: busy interval must have finite end > start");
         return false;
       }

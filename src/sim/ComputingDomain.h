@@ -52,6 +52,9 @@ struct BusyInterval {
 class ComputingDomain {
 public:
   /// Adds a node; returns its id.
+  // archlint-allow(fp-double-api): construction boundary — node specs
+  // arrive as raw numbers from traces and generators, and no boundary
+  // decision happens here; the typed world starts at the accessors.
   int addNode(double Performance, double UnitPrice,
               std::string Name = std::string());
 
@@ -59,37 +62,38 @@ public:
 
   /// Schedules an owner-local task on \p NodeId.
   /// \returns false if the interval overlaps existing occupancy.
-  bool addLocalTask(int NodeId, double Start, double End, int TaskId = -1);
+  bool addLocalTask(int NodeId, TimePoint Start, TimePoint End,
+                    int TaskId = -1);
 
   /// Reserves [\p Start, \p End) on \p NodeId for external job \p JobId.
   /// \returns false if the interval overlaps existing occupancy.
-  bool reserve(int NodeId, double Start, double End, int JobId);
+  bool reserve(int NodeId, TimePoint Start, TimePoint End, int JobId);
 
   /// Commits every member span of \p W as external reservations for
   /// \p JobId. \returns false (and commits nothing) if any span is busy.
   bool reserveWindow(const Window &W, int JobId);
 
   /// True if any occupancy intersects [\p Start, \p End) on \p NodeId.
-  bool isBusy(int NodeId, double Start, double End) const;
+  bool isBusy(int NodeId, TimePoint Start, TimePoint End) const;
 
   /// Publishes the vacant spans of all nodes inside the scheduling
   /// horizon [\p HorizonStart, \p HorizonEnd) as an ordered slot list.
-  SlotList vacantSlots(double HorizonStart, double HorizonEnd) const;
+  SlotList vacantSlots(TimePoint HorizonStart, TimePoint HorizonEnd) const;
 
   /// Drops occupancy that ends at or before \p Now. Models the periodic
   /// update of local schedules between scheduling iterations.
-  void advanceTo(double Now);
+  void advanceTo(TimePoint Now);
 
   /// Updates the owner's price of \p NodeId; future vacant slots carry
   /// the new rate (committed reservations keep their agreed cost).
-  void setNodePrice(int NodeId, double UnitPrice);
+  void setNodePrice(int NodeId, Price UnitPrice);
 
   /// Takes \p NodeId out of service at time \p Now: occupancy that has
   /// not finished by \p Now is cancelled and the node publishes no
   /// vacant slots until restoreNode().
   /// \returns the external job ids whose reservations were cancelled
   /// (for resubmission by the VO).
-  std::vector<int> failNode(int NodeId, double Now);
+  std::vector<int> failNode(int NodeId, TimePoint Now);
 
   /// Puts a failed node back into service.
   void restoreNode(int NodeId);

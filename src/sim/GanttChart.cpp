@@ -13,10 +13,13 @@
 
 using namespace ecosched;
 
-GanttChart::GanttChart(double HorizonStart, double HorizonEnd, int Columns)
-    : HorizonStart(HorizonStart), HorizonEnd(HorizonEnd), Columns(Columns) {
-  ECOSCHED_CHECK(HorizonStart < HorizonEnd,
-                 "empty chart horizon [{}, {})", HorizonStart, HorizonEnd);
+GanttChart::GanttChart(TimePoint HorizonStart, TimePoint HorizonEnd,
+                       int Columns)
+    : HorizonStart(HorizonStart.value()), HorizonEnd(HorizonEnd.value()),
+      Columns(Columns) {
+  ECOSCHED_CHECK(exactLess(HorizonStart, HorizonEnd),
+                 "empty chart horizon [{}, {})", HorizonStart.value(),
+                 HorizonEnd.value());
   ECOSCHED_CHECK(Columns > 0, "chart needs at least one column, got {}",
                  Columns);
 }
@@ -27,20 +30,24 @@ size_t GanttChart::addRow(const std::string &Label) {
   return Labels.size() - 1;
 }
 
-size_t GanttChart::columnFor(double Time) const {
+size_t GanttChart::columnFor(TimePoint Time) const {
   const double Fraction =
-      (Time - HorizonStart) / (HorizonEnd - HorizonStart);
+      (Time.value() - HorizonStart) / (HorizonEnd - HorizonStart);
   const double Clamped = std::clamp(Fraction, 0.0, 1.0);
   const auto Col = static_cast<size_t>(Clamped * Columns);
   return std::min(Col, static_cast<size_t>(Columns - 1));
 }
 
-void GanttChart::fill(size_t Row, double Start, double End, char Fill) {
+void GanttChart::fill(size_t Row, TimePoint SpanStart, TimePoint SpanEnd,
+                      char Fill) {
   ECOSCHED_CHECK(Row < Cells.size(),
                  "invalid chart row {} of {}", Row, Cells.size());
-  if (End <= HorizonStart || Start >= HorizonEnd || End <= Start)
+  const double Start = SpanStart.value();
+  const double End = SpanEnd.value();
+  if (!exactLess(HorizonStart, End) || !exactLess(Start, HorizonEnd) ||
+      !exactLess(Start, End))
     return;
-  const size_t FirstCol = columnFor(Start);
+  const size_t FirstCol = columnFor(TimePoint(Start));
   // Last painted cell: the one containing End (exclusive), i.e.
   // ceil(offset) - 1, clamped to the chart.
   const double Width = (HorizonEnd - HorizonStart) / Columns;
@@ -82,8 +89,8 @@ std::string GanttChart::render() const {
 
 static std::string renderChartImpl(const ComputingDomain &Domain,
                                    const std::vector<ChartWindow> *Windows,
-                                   double HorizonStart, double HorizonEnd,
-                                   int Columns) {
+                                   TimePoint HorizonStart,
+                                   TimePoint HorizonEnd, int Columns) {
   GanttChart Chart(HorizonStart, HorizonEnd, Columns);
   for (const ResourceNode &Node : Domain.pool()) {
     char Label[96];
@@ -94,37 +101,38 @@ static std::string renderChartImpl(const ComputingDomain &Domain,
       char Fill = '#';
       if (B.Kind == OccupancyKind::External)
         Fill = static_cast<char>('A' + (B.JobId >= 0 ? B.JobId % 26 : 25));
-      Chart.fill(Row, B.Start, B.End, Fill);
+      Chart.fill(Row, TimePoint(B.Start), TimePoint(B.End), Fill);
     }
     if (Windows)
       for (const ChartWindow &CW : *Windows)
         for (const WindowSlot &M : *CW.W)
           if (M.Source.NodeId == Node.Id)
             Chart.fill(Row, CW.W->startTime(),
-                       CW.W->startTime() + M.Runtime, CW.Fill);
+                       CW.W->startTime() + M.runtime(), CW.Fill);
   }
   return Chart.render();
 }
 
 std::string ecosched::renderDomainChart(const ComputingDomain &Domain,
-                                        double HorizonStart,
-                                        double HorizonEnd, int Columns) {
+                                        TimePoint HorizonStart,
+                                        TimePoint HorizonEnd, int Columns) {
   return renderChartImpl(Domain, nullptr, HorizonStart, HorizonEnd,
                          Columns);
 }
 
 std::string ecosched::renderDomainChart(
     const ComputingDomain &Domain, const std::vector<ChartWindow> &Windows,
-    double HorizonStart, double HorizonEnd, int Columns) {
+    TimePoint HorizonStart, TimePoint HorizonEnd, int Columns) {
   return renderChartImpl(Domain, &Windows, HorizonStart, HorizonEnd,
                          Columns);
 }
 
 SvgDocument ecosched::renderDomainSvg(
     const ComputingDomain &Domain, const std::vector<ChartWindow> &Windows,
-    double HorizonStart, double HorizonEnd) {
-  ECOSCHED_CHECK(HorizonStart < HorizonEnd,
-                 "empty chart horizon [{}, {})", HorizonStart, HorizonEnd);
+    TimePoint HorizonStart, TimePoint HorizonEnd) {
+  ECOSCHED_CHECK(exactLess(HorizonStart, HorizonEnd),
+                 "empty chart horizon [{}, {})", HorizonStart.value(),
+                 HorizonEnd.value());
   const double LaneHeight = 26.0;
   const double LaneGap = 6.0;
   const double Left = 110.0, Right = 16.0, Top = 28.0, Bottom = 34.0;
@@ -135,8 +143,8 @@ SvgDocument ecosched::renderDomainSvg(
   SvgDocument Doc(Left + PlotWidth + Right, Height);
 
   const auto XOf = [&](double Time) {
-    const double Fraction =
-        (Time - HorizonStart) / (HorizonEnd - HorizonStart);
+    const double Fraction = (Time - HorizonStart.value()) /
+                            (HorizonEnd.value() - HorizonStart.value());
     return Left + std::clamp(Fraction, 0.0, 1.0) * PlotWidth;
   };
 
@@ -146,8 +154,8 @@ SvgDocument ecosched::renderDomainSvg(
   const double AxisY = Height - Bottom + 4.0;
   Doc.addLine(Left, AxisY, Left + PlotWidth, AxisY, Axis);
   for (int Tick = 0; Tick <= 6; ++Tick) {
-    const double T = HorizonStart +
-                     (HorizonEnd - HorizonStart) * Tick / 6.0;
+    const double T = HorizonStart.value() +
+                     (HorizonEnd.value() - HorizonStart.value()) * Tick / 6.0;
     char Label[32];
     std::snprintf(Label, sizeof(Label), "%.0f", T);
     Doc.addLine(XOf(T), AxisY, XOf(T), AxisY + 4.0, Axis);
@@ -183,7 +191,7 @@ SvgDocument ecosched::renderDomainSvg(
     for (size_t W = 0; W < Windows.size(); ++W)
       for (const WindowSlot &M : *Windows[W].W)
         if (M.Source.NodeId == Node.Id) {
-          const double Start = Windows[W].W->startTime();
+          const double Start = Windows[W].W->startTime().value();
           SvgStyle Fill;
           Fill.Fill = JobColors[W % JobColors.size()];
           Fill.Stroke = "#222222";

@@ -29,20 +29,20 @@ class GanttChart {
 public:
   /// Creates a chart covering [\p HorizonStart, \p HorizonEnd) rendered
   /// into \p Columns character cells per row.
-  GanttChart(double HorizonStart, double HorizonEnd, int Columns = 72);
+  GanttChart(TimePoint HorizonStart, TimePoint HorizonEnd, int Columns = 72);
 
   /// Appends an empty row labelled \p Label; returns its index.
   size_t addRow(const std::string &Label);
 
   /// Paints [\p Start, \p End) of row \p Row with \p Fill. Cells already
   /// painted with a different character are overwritten.
-  void fill(size_t Row, double Start, double End, char Fill);
+  void fill(size_t Row, TimePoint Start, TimePoint End, char Fill);
 
   /// Renders all rows plus a time axis.
   std::string render() const;
 
 private:
-  size_t columnFor(double Time) const;
+  size_t columnFor(TimePoint Time) const;
 
   double HorizonStart;
   double HorizonEnd;
@@ -55,7 +55,7 @@ private:
 /// with '#', external reservations with the letter cycle 'A'..'Z' keyed
 /// by job id, vacancy with '.'.
 std::string renderDomainChart(const ComputingDomain &Domain,
-                              double HorizonStart, double HorizonEnd,
+                              TimePoint HorizonStart, TimePoint HorizonEnd,
                               int Columns = 72);
 
 /// An assigned window to overlay on a chart.
@@ -67,7 +67,7 @@ struct ChartWindow {
 /// Renders \p Domain with the given windows overlaid.
 std::string renderDomainChart(const ComputingDomain &Domain,
                               const std::vector<ChartWindow> &Windows,
-                              double HorizonStart, double HorizonEnd,
+                              TimePoint HorizonStart, TimePoint HorizonEnd,
                               int Columns = 72);
 
 /// Renders \p Domain as an SVG Gantt chart (one lane per node): local
@@ -76,7 +76,7 @@ std::string renderDomainChart(const ComputingDomain &Domain,
 /// Fig. 2/3 benches to emit the figures as image files.
 SvgDocument renderDomainSvg(const ComputingDomain &Domain,
                             const std::vector<ChartWindow> &Windows,
-                            double HorizonStart, double HorizonEnd);
+                            TimePoint HorizonStart, TimePoint HorizonEnd);
 
 } // namespace ecosched
 

@@ -17,6 +17,7 @@
 #define ECOSCHED_SIM_JOB_H
 
 #include "support/Check.h"
+#include "support/Units.h"
 
 #include <limits>
 #include <vector>
@@ -54,6 +55,12 @@ struct ResourceRequest {
   /// Infinity (the default) disables the constraint.
   double Deadline = std::numeric_limits<double>::infinity();
 
+  /// Latest completion time as a typed instant.
+  TimePoint deadline() const { return TimePoint(Deadline); }
+
+  /// Maximum admissible slot price as a typed rate.
+  Price priceCap() const { return Price(MaxUnitPrice); }
+
   /// Worst admissible runtime: the reservation span t of the request.
   double maxRuntime() const {
     ECOSCHED_CHECK(MinPerformance > 0.0,
@@ -62,12 +69,12 @@ struct ResourceRequest {
     return Volume / MinPerformance;
   }
 
-  /// The AMP budget S for this request.
-  double budget() const {
+  /// The AMP budget S for this request as a typed amount.
+  Money budget() const {
     const double Span =
         BudgetPolicy == BudgetPolicyKind::SpanBased ? maxRuntime() : Volume;
-    return BudgetFactor * MaxUnitPrice * static_cast<double>(NodeCount) *
-           Span;
+    return Money(BudgetFactor * MaxUnitPrice * static_cast<double>(NodeCount) *
+                 Span);
   }
 };
 

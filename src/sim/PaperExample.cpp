@@ -23,13 +23,13 @@ ComputingDomain ecosched::buildPaperExampleDomain() {
 
   // Local tasks p1..p7 already scheduled in the system.
   bool Ok = true;
-  Ok &= Domain.addLocalTask(Cpu1, 0.0, 150.0, /*TaskId=*/1);
-  Ok &= Domain.addLocalTask(Cpu2, 0.0, 200.0, /*TaskId=*/2);
-  Ok &= Domain.addLocalTask(Cpu3, 40.0, 350.0, /*TaskId=*/3);
-  Ok &= Domain.addLocalTask(Cpu4, 20.0, 150.0, /*TaskId=*/4);
-  Ok &= Domain.addLocalTask(Cpu2, 320.0, 420.0, /*TaskId=*/5);
-  Ok &= Domain.addLocalTask(Cpu5, 100.0, 450.0, /*TaskId=*/6);
-  Ok &= Domain.addLocalTask(Cpu6, 0.0, 250.0, /*TaskId=*/7);
+  Ok &= Domain.addLocalTask(Cpu1, TimePoint(0.0), TimePoint(150.0), /*TaskId=*/1);
+  Ok &= Domain.addLocalTask(Cpu2, TimePoint(0.0), TimePoint(200.0), /*TaskId=*/2);
+  Ok &= Domain.addLocalTask(Cpu3, TimePoint(40.0), TimePoint(350.0), /*TaskId=*/3);
+  Ok &= Domain.addLocalTask(Cpu4, TimePoint(20.0), TimePoint(150.0), /*TaskId=*/4);
+  Ok &= Domain.addLocalTask(Cpu2, TimePoint(320.0), TimePoint(420.0), /*TaskId=*/5);
+  Ok &= Domain.addLocalTask(Cpu5, TimePoint(100.0), TimePoint(450.0), /*TaskId=*/6);
+  Ok &= Domain.addLocalTask(Cpu6, TimePoint(0.0), TimePoint(250.0), /*TaskId=*/7);
   ECOSCHED_CHECK(Ok, "example local tasks must not conflict");
   return Domain;
 }

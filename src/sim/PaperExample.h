@@ -27,8 +27,8 @@
 namespace ecosched {
 
 /// Scheduling horizon of the example.
-inline constexpr double PaperExampleHorizonStart = 0.0;
-inline constexpr double PaperExampleHorizonEnd = 600.0;
+inline constexpr TimePoint PaperExampleHorizonStart{0.0};
+inline constexpr TimePoint PaperExampleHorizonEnd{600.0};
 
 /// Builds the six-node domain with the seven local tasks p1..p7.
 ComputingDomain buildPaperExampleDomain();

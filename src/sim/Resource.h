@@ -16,6 +16,7 @@
 #define ECOSCHED_SIM_RESOURCE_H
 
 #include "support/Check.h"
+#include "support/Units.h"
 
 #include <string>
 #include <vector>
@@ -39,6 +40,9 @@ struct ResourceNode {
 class ResourcePool {
 public:
   /// Adds a node and returns its id.
+  // archlint-allow(fp-double-api): construction boundary — node specs
+  // arrive as raw numbers from traces and generators, and no boundary
+  // decision happens here; the typed world starts at the accessors.
   int addNode(double Performance, double UnitPrice,
               std::string Name = std::string()) {
     ECOSCHED_CHECK(Performance > 0.0,
@@ -65,13 +69,14 @@ public:
 
   /// Owner-side price update (supply-and-demand pricing adjusts node
   /// rates between scheduling iterations; see core/DynamicPricing.h).
-  void setUnitPrice(int Id, double UnitPrice) {
+  void setUnitPrice(int Id, Price UnitPrice) {
     ECOSCHED_CHECK(Id >= 0 && static_cast<size_t>(Id) < Nodes.size(),
                    "invalid node id {} for a pool of {} nodes", Id,
                    Nodes.size());
-    ECOSCHED_CHECK(UnitPrice >= 0.0, "price must be non-negative, got {}",
+    ECOSCHED_CHECK(UnitPrice.value() >= 0.0,
+                   "price must be non-negative, got {}",
                    UnitPrice);
-    Nodes[static_cast<size_t>(Id)].UnitPrice = UnitPrice;
+    Nodes[static_cast<size_t>(Id)].UnitPrice = UnitPrice.value();
   }
 
   size_t size() const { return Nodes.size(); }

@@ -11,57 +11,25 @@
 /// node's performance and unit price are denormalized into the slot so
 /// the search algorithms can scan a flat list.
 ///
+/// This is the storage bridge of the unit-tagged quantity layer
+/// (support/Units.h): the fields stay raw doubles — they are the trace
+/// and snapshot representation, and the exact sort keys below need the
+/// raw bits — while the typed accessors (start/end/span/price) hand the
+/// rest of the library dimension-checked quantities. Slot.h and Units.h
+/// are the only files exempt from the fplint raw-comparison rules
+/// (docs/STATIC_ANALYSIS.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ECOSCHED_SIM_SLOT_H
 #define ECOSCHED_SIM_SLOT_H
 
 #include "support/Check.h"
+#include "support/Units.h"
 
 #include <cmath>
 
 namespace ecosched {
-
-/// Comparison tolerance for times and costs throughout the library.
-/// Slot arithmetic only adds and subtracts values of comparable
-/// magnitude (hundreds), so a fixed epsilon is adequate.
-inline constexpr double TimeEpsilon = 1e-9;
-
-/// \name Tolerant comparisons
-/// Every time/cost comparison in the library goes through these helpers
-/// so the tolerance convention is stated once: two values within
-/// TimeEpsilon of each other are the same instant / the same price.
-/// Exact `<`/`==` on doubles remains correct — and required — inside
-/// strict-weak-ordering comparators, where an epsilon would break
-/// transitivity.
-/// @{
-
-/// True if \p A and \p B are within \p Eps of each other.
-inline bool approxEq(double A, double B, double Eps = TimeEpsilon) {
-  return std::fabs(A - B) <= Eps;
-}
-
-/// True if \p A <= \p B up to tolerance (A is not meaningfully greater).
-inline bool approxLe(double A, double B, double Eps = TimeEpsilon) {
-  return A <= B + Eps;
-}
-
-/// True if \p A >= \p B up to tolerance (A is not meaningfully smaller).
-inline bool approxGe(double A, double B, double Eps = TimeEpsilon) {
-  return A >= B - Eps;
-}
-
-/// True if \p A is meaningfully less than \p B (by more than \p Eps).
-inline bool approxLt(double A, double B, double Eps = TimeEpsilon) {
-  return A < B - Eps;
-}
-
-/// True if \p A is meaningfully greater than \p B (by more than \p Eps).
-inline bool approxGt(double A, double B, double Eps = TimeEpsilon) {
-  return A > B + Eps;
-}
-
-/// @}
 
 /// A vacant time span on one node.
 struct Slot {
@@ -88,18 +56,33 @@ struct Slot {
                    Performance);
   }
 
-  /// Time span of the slot.
+  /// Time span of the slot as a raw double (storage-level convenience;
+  /// span() is the typed equivalent).
   double length() const { return End - Start; }
 
-  /// Runtime of a task of etalon volume \p Volume on this slot's node.
-  double runtimeFor(double Volume) const { return Volume / Performance; }
+  /// Start of the vacant span as a typed instant.
+  TimePoint start() const { return TimePoint(Start); }
 
-  /// True if the slot still offers at least \p Duration time units when
-  /// the task starts at \p StartTime (used by the expiration step 3 of
+  /// End of the vacant span as a typed instant.
+  TimePoint end() const { return TimePoint(End); }
+
+  /// Time span of the slot as a typed duration.
+  Duration span() const { return Duration(End - Start); }
+
+  /// Usage price of the slot's node as a typed rate.
+  Price price() const { return Price(UnitPrice); }
+
+  /// Runtime of a task of etalon volume \p Volume on this slot's node.
+  Duration runtimeFor(double Volume) const {
+    return Duration(Volume / Performance);
+  }
+
+  /// True if the slot still offers at least \p Needed time when the
+  /// task starts at \p StartTime (used by the expiration step 3 of
   /// ALP/AMP).
-  bool coversFrom(double StartTime, double Duration) const {
-    return approxLe(Start, StartTime) &&
-           approxGe(End - StartTime, Duration);
+  bool coversFrom(TimePoint StartTime, Duration Needed) const {
+    return approxLe(Start, StartTime.value()) &&
+           approxGe(End - StartTime.value(), Needed.value());
   }
 };
 

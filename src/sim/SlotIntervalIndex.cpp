@@ -17,8 +17,8 @@ bool SlotIntervalIndex::entryLess(const Entry &A, const Entry &B) {
   if (A.NodeId != B.NodeId)
     return A.NodeId < B.NodeId;
   if (A.Start != B.Start)
-    return A.Start < B.Start;
-  return A.End < B.End;
+    return exactLess(A.Start, B.Start);
+  return exactLess(A.End, B.End);
 }
 
 void SlotIntervalIndex::clear() {
@@ -49,7 +49,7 @@ void SlotIntervalIndex::recomputeUnsortedEnds() {
   UnsortedEndNodes.clear();
   for (size_t I = 1, E = Entries.size(); I < E; ++I)
     if (Entries[I].NodeId == Entries[I - 1].NodeId &&
-        Entries[I - 1].End > Entries[I].End)
+        exactLess(Entries[I].End, Entries[I - 1].End))
       markEndsUnsorted(Entries[I].NodeId);
 }
 
@@ -132,9 +132,11 @@ void SlotIntervalIndex::noteErase(const Slot &S) {
 }
 
 std::optional<SlotIntervalIndex::Span>
-SlotIntervalIndex::findContainer(int NodeId, double Start,
-                                 double End) const {
+SlotIntervalIndex::findContainer(int NodeId, TimePoint Start,
+                                 TimePoint End) const {
   ECOSCHED_DCHECK(Built, "containment probe on an unbuilt interval index");
+  const double ProbeStart = Start.value();
+  const double ProbeEnd = End.value();
   // Candidate from the main vector: the node's entries form a
   // contiguous run delimited by two partition points. The linear
   // scan's two tolerant conditions each hold on a contiguous stretch
@@ -153,11 +155,11 @@ SlotIntervalIndex::findContainer(int NodeId, double Start,
   if (First != Last) {
     const auto UB = std::partition_point(
         First, Last,
-        [Start](const Entry &E) { return !approxGt(E.Start, Start); });
+        [ProbeStart](const Entry &E) { return !approxGt(E.Start, ProbeStart); });
     if (!endsUnsorted(NodeId)) {
       auto It = std::partition_point(
           First, Last,
-          [End](const Entry &E) { return approxLt(E.End, End); });
+          [ProbeEnd](const Entry &E) { return approxLt(E.End, ProbeEnd); });
       while (It < UB && It->Dead)
         ++It;
       if (It < UB)
@@ -166,7 +168,7 @@ SlotIntervalIndex::findContainer(int NodeId, double Start,
       // Unsorted ends (invariant-violating list): in-order scan of the
       // run, still restricted to the candidate prefix.
       for (auto It = First; It != UB; ++It)
-        if (!It->Dead && !approxLt(It->End, End)) {
+        if (!It->Dead && !approxLt(It->End, ProbeEnd)) {
           FromMain = &*It;
           break;
         }
@@ -180,18 +182,19 @@ SlotIntervalIndex::findContainer(int NodeId, double Start,
            Pending.begin(), Pending.end(),
            [NodeId](const Entry &E) { return E.NodeId < NodeId; });
        It != Pending.end() && It->NodeId == NodeId &&
-       !approxGt(It->Start, Start);
+       !approxGt(It->Start, ProbeStart);
        ++It)
-    if (!approxLt(It->End, End)) {
+    if (!approxLt(It->End, ProbeEnd)) {
       FromPending = &*It;
       break;
     }
   // The per-node master order is exactly (Start, End) lexicographic,
   // so the earlier of the two candidates is the list-wide first match.
   const Entry *Hit = FromMain;
-  if (!Hit || (FromPending && (FromPending->Start < Hit->Start ||
-                               (FromPending->Start == Hit->Start &&
-                                FromPending->End < Hit->End))))
+  if (!Hit ||
+      (FromPending && (exactLess(FromPending->Start, Hit->Start) ||
+                       (FromPending->Start == Hit->Start &&
+                        exactLess(FromPending->End, Hit->End)))))
     Hit = FromPending;
   if (!Hit)
     return std::nullopt;
@@ -247,7 +250,7 @@ bool SlotIntervalIndex::consistentWith(const std::vector<Slot> &Slots) const {
   // that node's probes their binary search.)
   for (size_t I = 1, E = Entries.size(); I < E; ++I)
     if (Entries[I].NodeId == Entries[I - 1].NodeId &&
-        Entries[I - 1].End > Entries[I].End &&
+        exactLess(Entries[I].End, Entries[I - 1].End) &&
         !endsUnsorted(Entries[I].NodeId))
       return false;
   return true;

@@ -112,8 +112,8 @@ public:
   /// End >= \p End under the tolerant comparisons — or nullopt if no
   /// slot contains it. O(log n + threshold); O(run) on a node whose
   /// ends went unsorted (invariant-violating input).
-  std::optional<Span> findContainer(int NodeId, double Start,
-                                    double End) const;
+  std::optional<Span> findContainer(int NodeId, TimePoint Start,
+                                    TimePoint End) const;
 
   /// True if the live entries (main vector minus tombstones, merged
   /// with the Pending buffer) are exactly \p Slots regrouped by node,

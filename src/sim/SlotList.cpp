@@ -46,7 +46,7 @@ findNodeOverlap(const std::vector<Slot> &Slots) {
               if (A.NodeId != B.NodeId)
                 return A.NodeId < B.NodeId;
               if (A.Start != B.Start)
-                return A.Start < B.Start;
+                return exactLess(A.Start, B.Start);
               return A.Idx < B.Idx;
             });
   size_t MaxEndAt = 0;
@@ -62,7 +62,7 @@ findNodeOverlap(const std::vector<Slot> &Slots) {
     if (approxGt(OverlapEnd - Refs[I].Start, 0.0))
       return std::make_pair(std::min(Refs[MaxEndAt].Idx, Refs[I].Idx),
                             std::max(Refs[MaxEndAt].Idx, Refs[I].Idx));
-    if (Refs[I].End > Refs[MaxEndAt].End)
+    if (exactLess(Refs[MaxEndAt].End, Refs[I].End))
       MaxEndAt = I;
   }
   return std::nullopt;
@@ -87,18 +87,18 @@ void SlotList::eraseAt(std::vector<Slot>::iterator It) {
   Slots.erase(It);
 }
 
-void SlotList::splitAround(std::vector<Slot>::iterator It, double Start,
-                           double End) {
+void SlotList::splitAround(std::vector<Slot>::iterator It, TimePoint Start,
+                           TimePoint End) {
   // Split the containing slot K into K1 and K2. The span may overshoot
   // K's bounds by up to TimeEpsilon (tolerant containment in the
   // callers), so test each piece's length before constructing the Slot
   // — the constructor rejects End < Start even by one ulp.
   const Slot K = *It;
   eraseAt(It);
-  if (approxGt(Start - K.Start, 0.0))
-    insert(Slot(K.NodeId, K.Performance, K.UnitPrice, K.Start, Start));
-  if (approxGt(K.End - End, 0.0))
-    insert(Slot(K.NodeId, K.Performance, K.UnitPrice, End, K.End));
+  if (approxGt(Start.value() - K.Start, 0.0))
+    insert(Slot(K.NodeId, K.Performance, K.UnitPrice, K.Start, Start.value()));
+  if (approxGt(K.End - End.value(), 0.0))
+    insert(Slot(K.NodeId, K.Performance, K.UnitPrice, End.value(), K.End));
 }
 
 void SlotList::buildIndexNow() {
@@ -106,11 +106,11 @@ void SlotList::buildIndexNow() {
     Index.buildFrom(Slots);
 }
 
-bool SlotList::subtract(int NodeId, double Start, double End) {
-  ECOSCHED_CHECK(End >= Start,
+bool SlotList::subtract(int NodeId, TimePoint Start, TimePoint End) {
+  ECOSCHED_CHECK(!exactLess(End, Start),
                  "reserved span on node {} ends before it starts: [{}, {})",
-                 NodeId, Start, End);
-  if (approxLe(End - Start, 0.0))
+                 NodeId, Start.value(), End.value());
+  if (approxLe(End - Start, Duration(0.0)))
     return true; // Nothing to reserve.
   if (!Index.built()) {
     // Below the threshold the linear scan's early break wins outright;
@@ -140,19 +140,19 @@ bool SlotList::subtract(int NodeId, double Start, double End) {
   return true;
 }
 
-bool SlotList::subtractLinear(int NodeId, double Start, double End) {
-  ECOSCHED_CHECK(End >= Start,
+bool SlotList::subtractLinear(int NodeId, TimePoint Start, TimePoint End) {
+  ECOSCHED_CHECK(!exactLess(End, Start),
                  "reserved span on node {} ends before it starts: [{}, {})",
-                 NodeId, Start, End);
-  if (approxLe(End - Start, 0.0))
+                 NodeId, Start.value(), End.value());
+  if (approxLe(End - Start, Duration(0.0)))
     return true; // Nothing to reserve.
   for (auto It = Slots.begin(), E = Slots.end(); It != E; ++It) {
-    if (approxGt(It->Start, Start))
+    if (approxGt(It->Start, Start.value()))
       break; // Slots are start-sorted: once a start meaningfully
              // exceeds the span's, no later slot can contain it either.
     if (It->NodeId != NodeId)
       continue;
-    if (approxLt(It->End, End))
+    if (approxLt(It->End, End.value()))
       continue;
     splitAround(It, Start, End);
     return true;
@@ -160,18 +160,19 @@ bool SlotList::subtractLinear(int NodeId, double Start, double End) {
   return false;
 }
 
-bool SlotList::subtractExact(const Slot &Container, double Start,
-                             double End) {
+bool SlotList::subtractExact(const Slot &Container, TimePoint Start,
+                             TimePoint End) {
   return subtractExact(Container, Start, End,
                        [](const Slot &) { return true; });
 }
 
-bool SlotList::subtractExact(const Slot &Container, double Start, double End,
+bool SlotList::subtractExact(const Slot &Container, TimePoint Start,
+                             TimePoint End,
                              FunctionRef<bool(const Slot &)> Keep) {
-  ECOSCHED_CHECK(End >= Start,
+  ECOSCHED_CHECK(!exactLess(End, Start),
                  "reserved span on node {} ends before it starts: [{}, {})",
-                 Container.NodeId, Start, End);
-  if (approxLe(End - Start, 0.0))
+                 Container.NodeId, Start.value(), End.value());
+  if (approxLe(End - Start, Duration(0.0)))
     return true; // Nothing to reserve.
   const auto It =
       std::lower_bound(Slots.begin(), Slots.end(), Container, slotStartLess);
@@ -187,13 +188,14 @@ bool SlotList::subtractExact(const Slot &Container, double Start, double End,
   // would make the Tail piece negative-length; the Slot constructor
   // aborts on that, so test the length before constructing. Found by
   // fuzz/WindowInvariantFuzzer.cpp.
-  if (approxGt(Start - K.Start, 0.0)) {
-    const Slot Head(K.NodeId, K.Performance, K.UnitPrice, K.Start, Start);
+  if (approxGt(Start.value() - K.Start, 0.0)) {
+    const Slot Head(K.NodeId, K.Performance, K.UnitPrice, K.Start,
+                    Start.value());
     if (Keep(Head))
       insert(Head);
   }
-  if (approxGt(K.End - End, 0.0)) {
-    const Slot Tail(K.NodeId, K.Performance, K.UnitPrice, End, K.End);
+  if (approxGt(K.End - End.value(), 0.0)) {
+    const Slot Tail(K.NodeId, K.Performance, K.UnitPrice, End.value(), K.End);
     if (Keep(Tail))
       insert(Tail);
   }
@@ -245,12 +247,13 @@ double SlotList::totalSpan() const {
 }
 
 std::vector<Slot>::const_iterator
-SlotList::scanEndBefore(double Limit) const {
-  if (!std::isfinite(Limit))
+SlotList::scanEndBefore(TimePoint Limit) const {
+  if (!Limit.isFinite())
     return Slots.end();
+  const double Bound = Limit.value();
   return std::partition_point(
       Slots.begin(), Slots.end(),
-      [Limit](const Slot &S) { return approxLt(S.Start, Limit); });
+      [Bound](const Slot &S) { return approxLt(S.Start, Bound); });
 }
 
 bool SlotList::checkIndexConsistency() const {
@@ -315,7 +318,7 @@ bool SlotList::loadState(StateReader &R) {
   // SlotList never stores them, so a blob carrying one cannot have come
   // from saveState.
   for (const Slot &S : *Parsed) {
-    if (!(S.End > S.Start)) {
+    if (!exactLess(S.Start, S.End)) {
       R.fail("slot-list: zero-length slot in snapshot");
       return false;
     }

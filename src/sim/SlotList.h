@@ -71,7 +71,7 @@ public:
   ///
   /// \returns true if a containing slot was found and split; false if no
   /// slot on \p NodeId contains the span (the list is left unchanged).
-  bool subtract(int NodeId, double Start, double End);
+  bool subtract(int NodeId, TimePoint Start, TimePoint End);
 
   /// Builds the interval index immediately, regardless of the
   /// IndexBuildThreshold gate. The differential test harnesses use
@@ -85,7 +85,7 @@ public:
   /// The O(n) front-to-back scan subtract() accelerates: kept verbatim
   /// (plus the sorted-order early exit) as the differential-testing
   /// oracle for the indexed probe. Same result, same list mutations.
-  bool subtractLinear(int NodeId, double Start, double End);
+  bool subtractLinear(int NodeId, TimePoint Start, TimePoint End);
 
   /// Binary-search variant of subtract() for callers that know the
   /// exact containing slot (window members carry their source slot):
@@ -94,7 +94,7 @@ public:
   /// otherwise returns false without modifying the list, and the
   /// caller falls back to the linear subtract(). O(log n) lookup plus
   /// the vector splice instead of a front-to-back scan.
-  bool subtractExact(const Slot &Container, double Start, double End);
+  bool subtractExact(const Slot &Container, TimePoint Start, TimePoint End);
 
   /// subtractExact() with a remainder filter: each nonzero remainder
   /// piece is inserted only if \p Keep returns true. SlotFilter uses
@@ -103,7 +103,7 @@ public:
   /// filter is taken as a non-allocating FunctionRef because this call
   /// sits on the window-damage hot path (once per member span of every
   /// committed window, across every per-job view).
-  bool subtractExact(const Slot &Container, double Start, double End,
+  bool subtractExact(const Slot &Container, TimePoint Start, TimePoint End,
                      FunctionRef<bool(const Slot &)> Keep);
 
   /// True if a slot equal to \p S (node, span) is stored. Binary
@@ -136,7 +136,7 @@ public:
   /// examine: the partition point of approxLt(Start, \p Limit), i.e.
   /// exactly where the ALP/AMP/backfill loops' per-slot deadline break
   /// would fire. O(log n); end() for an infinite \p Limit.
-  std::vector<Slot>::const_iterator scanEndBefore(double Limit) const;
+  std::vector<Slot>::const_iterator scanEndBefore(TimePoint Limit) const;
 
   /// True if the list is sorted by start and slots never overlap within
   /// a node. Intended for asserts and tests.
@@ -183,8 +183,8 @@ private:
 
   /// Splits the slot at \p It around the reserved span [\p Start,
   /// \p End): erases it and re-inserts the nonzero remainder pieces.
-  void splitAround(std::vector<Slot>::iterator It, double Start,
-                   double End);
+  void splitAround(std::vector<Slot>::iterator It, TimePoint Start,
+                   TimePoint End);
 
   std::vector<Slot> Slots;
   /// Containment-probe accelerator for subtract(); built lazily on the

@@ -145,7 +145,7 @@ std::optional<SlotList> ecosched::parseSlotTrace(const std::string &Text,
       setError(Error, lineError(LineNo, "non-finite slot parameter"));
       return std::nullopt;
     }
-    if (Performance <= 0.0 || End < Start) {
+    if (Performance <= 0.0 || exactLess(End, Start)) {
       setError(Error, lineError(LineNo, "invalid slot parameters"));
       return std::nullopt;
     }

@@ -13,10 +13,10 @@
 
 using namespace ecosched;
 
-Window::Window(double StartTime, std::vector<WindowSlot> InMembers)
-    : Start(StartTime), Members(std::move(InMembers)) {
+Window::Window(TimePoint StartTime, std::vector<WindowSlot> InMembers)
+    : Start(StartTime.value()), Members(std::move(InMembers)) {
   for (const WindowSlot &M : Members) {
-    ECOSCHED_CHECK(M.Source.coversFrom(Start, M.Runtime),
+    ECOSCHED_CHECK(M.Source.coversFrom(TimePoint(Start), M.runtime()),
                    "member slot on node {} [{}, {}) does not cover the "
                    "window span [{}, {})",
                    M.Source.NodeId, M.Source.Start, M.Source.End, Start,
@@ -55,14 +55,15 @@ bool Window::intersects(const Window &Other) const {
 bool Window::subtractFrom(SlotList &List) const {
   bool AllFound = true;
   for (const WindowSlot &M : Members) {
-    const double End = Start + M.Runtime;
+    const TimePoint SpanStart(Start);
+    const TimePoint SpanEnd(Start + M.Runtime);
     // Fast path: the member's source slot is usually still in the list
     // verbatim (it was copied out of it when the window was built), and
     // per-node disjointness makes it the unique container of the span —
     // a binary search replaces the front-to-back scan. Fall back to the
     // linear scan when the source has since been split by other damage.
-    if (!List.subtractExact(M.Source, Start, End))
-      AllFound &= List.subtract(M.Source.NodeId, Start, End);
+    if (!List.subtractExact(M.Source, SpanStart, SpanEnd))
+      AllFound &= List.subtract(M.Source.NodeId, SpanStart, SpanEnd);
   }
   return AllFound;
 }
@@ -76,7 +77,7 @@ void Window::validate() const {
     ECOSCHED_CHECK(M.Runtime > 0.0,
                    "member {} on node {} has non-positive runtime {}", I,
                    M.Source.NodeId, M.Runtime);
-    ECOSCHED_CHECK(M.Source.coversFrom(Start, M.Runtime),
+    ECOSCHED_CHECK(M.Source.coversFrom(TimePoint(Start), M.runtime()),
                    "member {} on node {} [{}, {}) does not cover the window "
                    "span [{}, {})",
                    I, M.Source.NodeId, M.Source.Start, M.Source.End, Start,

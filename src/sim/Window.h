@@ -27,6 +27,9 @@ namespace ecosched {
 class SlotList;
 
 /// One member of a window: the source slot plus its derived usage.
+/// Like Slot, this is storage-bridge state: the fields stay raw double
+/// (trace/snapshot representation), the typed accessors carry the
+/// dimension.
 struct WindowSlot {
   /// The vacant slot the task is placed on.
   Slot Source;
@@ -34,6 +37,11 @@ struct WindowSlot {
   double Runtime = 0.0;
   /// Money charged for the usage: UnitPrice * Runtime.
   double Cost = 0.0;
+
+  /// Occupied time as a typed duration.
+  Duration runtime() const { return Duration(Runtime); }
+  /// Charged money as a typed amount.
+  Money cost() const { return Money(Cost); }
 };
 
 /// The co-allocated slot set for one job.
@@ -43,24 +51,24 @@ public:
 
   /// Builds a window starting at \p StartTime from \p Members whose
   /// slots all cover [StartTime, StartTime + Runtime].
-  Window(double StartTime, std::vector<WindowSlot> Members);
+  Window(TimePoint StartTime, std::vector<WindowSlot> Members);
 
   /// Synchronous start time of all tasks.
-  double startTime() const { return Start; }
+  TimePoint startTime() const { return TimePoint(Start); }
 
   /// Runtime of the task on the slowest selected node; the paper's
   /// t_i(s_i) resource usage time.
-  double timeSpan() const { return MaxRuntime; }
+  Duration timeSpan() const { return Duration(MaxRuntime); }
 
   /// End of the latest-finishing task.
-  double endTime() const { return Start + MaxRuntime; }
+  TimePoint endTime() const { return TimePoint(Start + MaxRuntime); }
 
   /// Total money charged for all member slots; the paper's c_i(s_i).
-  double totalCost() const { return TotalCost; }
+  Money totalCost() const { return Money(TotalCost); }
 
   /// Sum of member unit prices (the "window cost per time unit" used in
   /// the Section 4 example, where all performances are equal).
-  double unitPriceSum() const { return UnitPrices; }
+  Price unitPriceSum() const { return Price(UnitPrices); }
 
   /// Number of co-allocated slots.
   size_t size() const { return Members.size(); }

@@ -45,9 +45,9 @@ struct ThreadPool::Call {
   std::atomic<size_t> Done{0};
   /// Set on the first exception; stops later chunks from running.
   std::atomic<bool> Failed{false};
-  std::mutex Mutex;
-  std::condition_variable AllDone;
-  std::exception_ptr Error; // Guarded by Mutex.
+  ecosched::Mutex Mutex;
+  ConditionVariable AllDone;
+  std::exception_ptr Error ECOSCHED_GUARDED_BY(Mutex);
 };
 
 ThreadPool::ThreadPool(size_t ThreadCount)
@@ -68,7 +68,7 @@ ThreadPool::ScheduleFuzz ThreadPool::scheduleFuzzFromEnv() {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> Lock(QueueMutex);
+    const MutexLock Lock(QueueMutex);
     Stopping = true;
   }
   WorkAvailable.notify_all();
@@ -114,7 +114,7 @@ void ThreadPool::runCall(Call &C) {
           (*C.Body)(I);
       } catch (...) {
         C.Failed.store(true, std::memory_order_release);
-        const std::lock_guard<std::mutex> Lock(C.Mutex);
+        const MutexLock Lock(C.Mutex);
         if (!C.Error)
           C.Error = std::current_exception();
       }
@@ -127,7 +127,7 @@ void ThreadPool::runCall(Call &C) {
         C.Total) {
       // Lock so the notify cannot slip between the caller's predicate
       // check and its wait.
-      const std::lock_guard<std::mutex> Lock(C.Mutex);
+      const MutexLock Lock(C.Mutex);
       C.AllDone.notify_all();
     }
   }
@@ -147,8 +147,12 @@ void ThreadPool::workerLoop() {
   for (;;) {
     std::shared_ptr<Call> C;
     {
-      std::unique_lock<std::mutex> Lock(QueueMutex);
-      WorkAvailable.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      MutexLock Lock(QueueMutex);
+      // The predicate runs with QueueMutex held by the wait itself; the
+      // analysis cannot see that from inside a lambda, so it opts out.
+      WorkAvailable.wait(Lock, [this]() ECOSCHED_NO_THREAD_SAFETY_ANALYSIS {
+        return Stopping || !Queue.empty();
+      });
       if (Stopping)
         return;
       C = std::move(Queue.front());
@@ -205,7 +209,7 @@ void ThreadPool::parallelFor(size_t First, size_t Last, size_t Chunk,
   // exhausted and return immediately.
   const size_t Helpers = std::min(Count - 1, Chunks - 1);
   {
-    const std::lock_guard<std::mutex> Lock(QueueMutex);
+    const MutexLock Lock(QueueMutex);
     startWorkersLocked();
     for (size_t I = 0; I < Helpers; ++I)
       Queue.push_back(C);
@@ -217,7 +221,7 @@ void ThreadPool::parallelFor(size_t First, size_t Last, size_t Chunk,
 
   runCall(*C);
 
-  std::unique_lock<std::mutex> Lock(C->Mutex);
+  MutexLock Lock(C->Mutex);
   C->AllDone.wait(Lock, [&C] {
     return C->Done.load(std::memory_order_acquire) == C->Total;
   });

@@ -38,14 +38,14 @@
 #ifndef ECOSCHED_SUPPORT_THREADPOOL_H
 #define ECOSCHED_SUPPORT_THREADPOOL_H
 
+#include "support/ThreadSafety.h"
+
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -131,7 +131,7 @@ private:
   /// shared ownership so a stale token outliving the call is harmless.
   struct Call;
 
-  void startWorkersLocked();
+  void startWorkersLocked() ECOSCHED_REQUIRES(QueueMutex);
   void workerLoop();
   static void runCall(Call &C);
 
@@ -140,12 +140,15 @@ private:
   /// Per-call shuffle sub-stream selector; atomic because independent
   /// threads may issue parallel calls on one pool.
   std::atomic<uint64_t> FuzzCallIndex{0};
-  std::mutex QueueMutex;
-  std::condition_variable WorkAvailable;
-  std::deque<std::shared_ptr<Call>> Queue;
+  Mutex QueueMutex;
+  ConditionVariable WorkAvailable;
+  std::deque<std::shared_ptr<Call>> Queue ECOSCHED_GUARDED_BY(QueueMutex);
+  /// Grown only under QueueMutex (startWorkersLocked); joined lock-free
+  /// in the destructor, after Stopping has drained every worker — no
+  /// GUARDED_BY, the join loop is the documented exception.
   std::vector<std::thread> Workers;
-  bool Started = false;
-  bool Stopping = false;
+  bool Started ECOSCHED_GUARDED_BY(QueueMutex) = false;
+  bool Stopping ECOSCHED_GUARDED_BY(QueueMutex) = false;
 };
 
 } // namespace ecosched

@@ -1,0 +1,127 @@
+//===-- support/ThreadSafety.h - Clang thread-safety annotations -*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static lock-discipline checking for the concurrency layer
+/// (docs/CONCURRENCY.md). Under clang with -Wthread-safety the macros
+/// expand to the thread-safety-analysis attributes, so "which mutex
+/// guards which member" is compiler-checked instead of comment-only;
+/// under every other compiler they expand to nothing and the code is
+/// unchanged.
+///
+/// The standard library's mutex types are not annotated as
+/// capabilities (with libstdc++ there is nothing for the analysis to
+/// see through), so this header also provides the thin annotated
+/// wrappers the analysis needs: Mutex (a capability over std::mutex),
+/// MutexLock (a scoped acquire/release), and ConditionVariable (waits
+/// on a held MutexLock without giving up the annotation). The wrappers
+/// forward directly to the standard types — no behavior change, only
+/// visibility to the analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SUPPORT_THREADSAFETY_H
+#define ECOSCHED_SUPPORT_THREADSAFETY_H
+
+#include <condition_variable>
+#include <mutex>
+
+// The attribute spelling, gated so non-clang compilers (and clang
+// builds without the capability attribute) see plain code.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ECOSCHED_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ECOSCHED_THREAD_ANNOTATION
+#define ECOSCHED_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a lockable capability.
+#define ECOSCHED_CAPABILITY(name) ECOSCHED_THREAD_ANNOTATION(capability(name))
+/// Declares an RAII type that acquires on construction, releases on
+/// destruction.
+#define ECOSCHED_SCOPED_CAPABILITY ECOSCHED_THREAD_ANNOTATION(scoped_lockable)
+/// Member may only be read or written while holding the given mutex.
+#define ECOSCHED_GUARDED_BY(x) ECOSCHED_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee may only be accessed while holding the given mutex.
+#define ECOSCHED_PT_GUARDED_BY(x) ECOSCHED_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function acquires the listed capabilities and does not release them.
+#define ECOSCHED_ACQUIRE(...)                                                 \
+  ECOSCHED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities.
+#define ECOSCHED_RELEASE(...)                                                 \
+  ECOSCHED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define ECOSCHED_TRY_ACQUIRE(...)                                             \
+  ECOSCHED_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Caller must hold the listed capabilities when calling the function.
+#define ECOSCHED_REQUIRES(...)                                                \
+  ECOSCHED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Caller must NOT hold the listed capabilities (deadlock prevention).
+#define ECOSCHED_EXCLUDES(...)                                                \
+  ECOSCHED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Opt a function (or lambda) out of the analysis, with a comment
+/// saying why — typically a wait predicate that runs with the lock
+/// held by the waiting function.
+#define ECOSCHED_NO_THREAD_SAFETY_ANALYSIS                                    \
+  ECOSCHED_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ecosched {
+
+/// std::mutex as a capability the analysis can track.
+class ECOSCHED_CAPABILITY("mutex") Mutex {
+public:
+  void lock() ECOSCHED_ACQUIRE() { M.lock(); }
+  void unlock() ECOSCHED_RELEASE() { M.unlock(); }
+  bool try_lock() ECOSCHED_TRY_ACQUIRE(true) { return M.try_lock(); }
+
+private:
+  friend class ConditionVariable;
+  std::mutex M;
+};
+
+/// Scoped lock over Mutex; the annotated replacement for
+/// std::lock_guard / std::unique_lock in annotated code.
+class ECOSCHED_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) ECOSCHED_ACQUIRE(M) : M(M) { M.lock(); }
+  ~MutexLock() ECOSCHED_RELEASE() { M.unlock(); }
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+private:
+  friend class ConditionVariable;
+  Mutex &M;
+};
+
+/// Condition variable that waits on a held MutexLock. The wait borrows
+/// the already-locked native mutex (adopt/release), so the lock is
+/// held again when wait returns and MutexLock's destructor remains the
+/// single release point — exactly std::condition_variable semantics,
+/// visible to the analysis.
+class ConditionVariable {
+public:
+  /// Blocks until \p P() is true; \p P runs with the lock held, so a
+  /// lambda predicate reading guarded members should be marked
+  /// ECOSCHED_NO_THREAD_SAFETY_ANALYSIS (the analysis cannot see the
+  /// borrowed acquisition from inside the lambda).
+  template <class Pred> void wait(MutexLock &Lock, Pred P) {
+    std::unique_lock<std::mutex> Borrowed(Lock.M.M, std::adopt_lock);
+    Cv.wait(Borrowed, P);
+    (void)Borrowed.release();
+  }
+  void notify_one() { Cv.notify_one(); }
+  void notify_all() { Cv.notify_all(); }
+
+private:
+  std::condition_variable Cv;
+};
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SUPPORT_THREADSAFETY_H

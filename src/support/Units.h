@@ -1,0 +1,307 @@
+//===-- support/Units.h - Unit-tagged Time/Money quantities --------*- C++ -*-=//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The epsilon-discipline layer: every time and money quantity in the
+/// result-affecting layers is a zero-cost tagged wrapper over double —
+///
+///   TimePoint  an absolute instant on the simulation time axis
+///   Duration   a time span (TimePoint - TimePoint)
+///   Money      an amount of currency
+///   Price      a rate: Money per unit time
+///
+/// The wrappers never change the representation (same bits, same
+/// arithmetic, statically proven trivially copyable and double-sized
+/// below), so adopting them is bitwise-free; what they change is what
+/// the compiler lets you write:
+///
+///  - construction from raw double is explicit, so a bare number cannot
+///    silently become an instant or a price at a call boundary;
+///  - arithmetic preserves dimensions (TimePoint - TimePoint yields a
+///    Duration, Price * Duration yields Money, TimePoint + TimePoint
+///    does not compile);
+///  - the relational operators are deleted: a boundary decision must go
+///    through the tolerant approxEq/Le/Ge/Lt/Gt helpers, or through the
+///    explicit exactLess/exactEq named escapes (sort keys and identity
+///    checks, where an epsilon would break strict weak ordering);
+///  - .value() is the escape hatch back to double, and the fplint rule
+///    family (tools/archlint, docs/STATIC_ANALYSIS.md) flags raw
+///    comparisons composed with it.
+///
+/// This header is also the canonical home of the tolerance convention
+/// itself (TimeEpsilon and the double-typed approx helpers used by the
+/// storage-level code in sim/Slot.h — the one file that keeps raw
+/// double fields as the trace/codec representation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_SUPPORT_UNITS_H
+#define ECOSCHED_SUPPORT_UNITS_H
+
+#include <cmath>
+#include <ostream>
+#include <type_traits>
+
+namespace ecosched {
+
+/// Comparison tolerance for times and costs throughout the library.
+/// Slot arithmetic only adds and subtracts values of comparable
+/// magnitude (hundreds), so a fixed epsilon is adequate.
+inline constexpr double TimeEpsilon = 1e-9;
+
+/// \name Tolerant comparisons (double)
+/// Every time/cost comparison in the library goes through these helpers
+/// so the tolerance convention is stated once: two values within
+/// TimeEpsilon of each other are the same instant / the same price.
+/// Exact `<`/`==` on doubles remains correct — and required — inside
+/// strict-weak-ordering comparators, where an epsilon would break
+/// transitivity; such sites use exactLess/exactEq so the intent is
+/// greppable and the fplint raw-comparison rule stays quiet.
+/// @{
+
+/// True if \p A and \p B are within \p Eps of each other.
+inline bool approxEq(double A, double B, double Eps = TimeEpsilon) {
+  return std::fabs(A - B) <= Eps;
+}
+
+/// True if \p A <= \p B up to tolerance (A is not meaningfully greater).
+inline bool approxLe(double A, double B, double Eps = TimeEpsilon) {
+  return A <= B + Eps;
+}
+
+/// True if \p A >= \p B up to tolerance (A is not meaningfully smaller).
+inline bool approxGe(double A, double B, double Eps = TimeEpsilon) {
+  return A >= B - Eps;
+}
+
+/// True if \p A is meaningfully less than \p B (by more than \p Eps).
+inline bool approxLt(double A, double B, double Eps = TimeEpsilon) {
+  return A < B - Eps;
+}
+
+/// True if \p A is meaningfully greater than \p B (by more than \p Eps).
+inline bool approxGt(double A, double B, double Eps = TimeEpsilon) {
+  return A > B + Eps;
+}
+
+/// Exact `<` under a name that documents the intent: strict-weak-order
+/// sort keys and binary-search partition points, where tolerance would
+/// break transitivity. The named form is the sanctioned way to compare
+/// exactly; a bare relational on a time/price quantity is a lint
+/// finding (fp-raw-compare).
+inline bool exactLess(double A, double B) { return A < B; }
+
+/// Exact `==` under a name that documents the intent: identity checks
+/// (key matching, canonical round-trips), never admissibility.
+inline bool exactEq(double A, double B) { return A == B; }
+
+/// @}
+
+/// Zero-cost tagged wrapper over double; the shared representation and
+/// escape hatch of the four quantity types. Dimension-specific
+/// arithmetic lives in free operators below, so ill-dimensioned
+/// expressions fail to compile instead of compiling to nonsense.
+template <class Tag> class UnitValue {
+public:
+  constexpr UnitValue() = default;
+  /// Explicit on purpose: raw numbers must be visibly tagged at the
+  /// boundary where they enter the typed world.
+  explicit constexpr UnitValue(double V) : V(V) {}
+
+  /// The raw double — the escape hatch back to storage and formatting.
+  /// Comparisons composed with it are flagged by fplint.
+  constexpr double value() const { return V; }
+
+  /// True for representable (non-NaN, non-infinite) quantities.
+  bool isFinite() const { return std::isfinite(V); }
+
+  /// Relational operators are deleted: boundary decisions go through
+  /// approxEq/Le/Ge/Lt/Gt; sort keys through exactLess.
+  friend bool operator<(UnitValue, UnitValue) = delete;
+  friend bool operator<=(UnitValue, UnitValue) = delete;
+  friend bool operator>(UnitValue, UnitValue) = delete;
+  friend bool operator>=(UnitValue, UnitValue) = delete;
+  friend bool operator==(UnitValue, UnitValue) = delete;
+  friend bool operator!=(UnitValue, UnitValue) = delete;
+
+private:
+  double V = 0.0;
+};
+
+namespace detail_units {
+struct TimePointTag;
+struct DurationTag;
+struct MoneyTag;
+struct PriceTag;
+} // namespace detail_units
+
+/// An absolute instant on the simulation time axis.
+using TimePoint = UnitValue<detail_units::TimePointTag>;
+/// A time span; the difference of two TimePoints.
+using Duration = UnitValue<detail_units::DurationTag>;
+/// An amount of currency.
+using Money = UnitValue<detail_units::MoneyTag>;
+/// A rate of payment: Money per unit time.
+using Price = UnitValue<detail_units::PriceTag>;
+
+// The wrappers are provably free: same size and layout as the double
+// they wrap, trivially copyable (memcpy/StateCodec-compatible).
+static_assert(sizeof(TimePoint) == sizeof(double) &&
+                  sizeof(Duration) == sizeof(double) &&
+                  sizeof(Money) == sizeof(double) &&
+                  sizeof(Price) == sizeof(double),
+              "unit wrappers must not change the representation");
+static_assert(std::is_trivially_copyable_v<TimePoint> &&
+                  std::is_trivially_copyable_v<Duration> &&
+                  std::is_trivially_copyable_v<Money> &&
+                  std::is_trivially_copyable_v<Price>,
+              "unit wrappers must stay trivially copyable");
+
+/// \name Dimension-preserving arithmetic
+/// Exactly the operations that are physically meaningful; everything
+/// else is a compile error. Each forwards to the identical double
+/// expression, so adopting the types is bitwise-free.
+/// @{
+
+// Duration is a vector space over double.
+inline constexpr Duration operator+(Duration A, Duration B) {
+  return Duration(A.value() + B.value());
+}
+inline constexpr Duration operator-(Duration A, Duration B) {
+  return Duration(A.value() - B.value());
+}
+inline constexpr Duration operator-(Duration A) { return Duration(-A.value()); }
+inline constexpr Duration operator*(Duration A, double S) {
+  return Duration(A.value() * S);
+}
+inline constexpr Duration operator*(double S, Duration A) {
+  return Duration(S * A.value());
+}
+inline constexpr Duration operator/(Duration A, double S) {
+  return Duration(A.value() / S);
+}
+inline constexpr double operator/(Duration A, Duration B) {
+  return A.value() / B.value();
+}
+
+// TimePoint is an affine space over Duration.
+inline constexpr TimePoint operator+(TimePoint T, Duration D) {
+  return TimePoint(T.value() + D.value());
+}
+inline constexpr TimePoint operator+(Duration D, TimePoint T) {
+  return TimePoint(D.value() + T.value());
+}
+inline constexpr TimePoint operator-(TimePoint T, Duration D) {
+  return TimePoint(T.value() - D.value());
+}
+inline constexpr Duration operator-(TimePoint A, TimePoint B) {
+  return Duration(A.value() - B.value());
+}
+
+// Money is a vector space over double.
+inline constexpr Money operator+(Money A, Money B) {
+  return Money(A.value() + B.value());
+}
+inline constexpr Money operator-(Money A, Money B) {
+  return Money(A.value() - B.value());
+}
+inline constexpr Money operator-(Money A) { return Money(-A.value()); }
+inline constexpr Money operator*(Money A, double S) {
+  return Money(A.value() * S);
+}
+inline constexpr Money operator*(double S, Money A) {
+  return Money(S * A.value());
+}
+inline constexpr Money operator/(Money A, double S) {
+  return Money(A.value() / S);
+}
+inline constexpr double operator/(Money A, Money B) {
+  return A.value() / B.value();
+}
+
+// Price bridges the two: Price * Duration = Money.
+inline constexpr Price operator+(Price A, Price B) {
+  return Price(A.value() + B.value());
+}
+inline constexpr Price operator-(Price A, Price B) {
+  return Price(A.value() - B.value());
+}
+inline constexpr Price operator*(Price A, double S) {
+  return Price(A.value() * S);
+}
+inline constexpr Price operator*(double S, Price A) {
+  return Price(S * A.value());
+}
+inline constexpr Money operator*(Price P, Duration D) {
+  return Money(P.value() * D.value());
+}
+inline constexpr Money operator*(Duration D, Price P) {
+  return Money(D.value() * P.value());
+}
+inline constexpr Price operator/(Money M, Duration D) {
+  return Price(M.value() / D.value());
+}
+inline constexpr double operator/(Price A, Price B) {
+  return A.value() / B.value();
+}
+
+/// @}
+
+/// \name Tolerant and exact comparisons (typed)
+/// Same semantics as the double helpers, dimension-checked: comparing a
+/// TimePoint to a Money does not compile. The epsilon stays a raw
+/// double — it is a tolerance, not a quantity.
+/// @{
+
+template <class Tag>
+inline bool approxEq(UnitValue<Tag> A, UnitValue<Tag> B,
+                     double Eps = TimeEpsilon) {
+  return approxEq(A.value(), B.value(), Eps);
+}
+template <class Tag>
+inline bool approxLe(UnitValue<Tag> A, UnitValue<Tag> B,
+                     double Eps = TimeEpsilon) {
+  return approxLe(A.value(), B.value(), Eps);
+}
+template <class Tag>
+inline bool approxGe(UnitValue<Tag> A, UnitValue<Tag> B,
+                     double Eps = TimeEpsilon) {
+  return approxGe(A.value(), B.value(), Eps);
+}
+template <class Tag>
+inline bool approxLt(UnitValue<Tag> A, UnitValue<Tag> B,
+                     double Eps = TimeEpsilon) {
+  return approxLt(A.value(), B.value(), Eps);
+}
+template <class Tag>
+inline bool approxGt(UnitValue<Tag> A, UnitValue<Tag> B,
+                     double Eps = TimeEpsilon) {
+  return approxGt(A.value(), B.value(), Eps);
+}
+
+/// Exact `<` for strict-weak-order sort keys over typed quantities.
+template <class Tag> inline bool exactLess(UnitValue<Tag> A, UnitValue<Tag> B) {
+  return A.value() < B.value();
+}
+
+/// Exact `==` for identity checks over typed quantities.
+template <class Tag> inline bool exactEq(UnitValue<Tag> A, UnitValue<Tag> B) {
+  return A.value() == B.value();
+}
+
+/// @}
+
+/// Quantities print as their raw value (diagnostics and contract
+/// messages); the dimension is evident from the message text.
+template <class Tag>
+inline std::ostream &operator<<(std::ostream &OS, UnitValue<Tag> V) {
+  return OS << V.value();
+}
+
+} // namespace ecosched
+
+#endif // ECOSCHED_SUPPORT_UNITS_H

@@ -30,9 +30,9 @@ TEST(AlpSearchTest, SingleSlotRequest) {
   AlpSearch Alp;
   const auto W = Alp.findWindow(List, makeRequest(1, 50.0, 1.0, 3.0));
   ASSERT_TRUE(W.has_value());
-  EXPECT_DOUBLE_EQ(W->startTime(), 10.0);
-  EXPECT_DOUBLE_EQ(W->timeSpan(), 50.0);
-  EXPECT_DOUBLE_EQ(W->totalCost(), 100.0);
+  EXPECT_DOUBLE_EQ(W->startTime().value(), 10.0);
+  EXPECT_DOUBLE_EQ(W->timeSpan().value(), 50.0);
+  EXPECT_DOUBLE_EQ(W->totalCost().value(), 100.0);
   EXPECT_EQ(W->size(), 1u);
 }
 
@@ -43,7 +43,7 @@ TEST(AlpSearchTest, PriceCapExcludesExpensiveSlots) {
   const auto W = Alp.findWindow(List, makeRequest(1, 50.0, 1.0, 3.0));
   ASSERT_TRUE(W.has_value());
   EXPECT_EQ((*W)[0].Source.NodeId, 1);
-  EXPECT_DOUBLE_EQ(W->startTime(), 50.0);
+  EXPECT_DOUBLE_EQ(W->startTime().value(), 50.0);
 }
 
 TEST(AlpSearchTest, PerformanceFilter) {
@@ -53,7 +53,7 @@ TEST(AlpSearchTest, PerformanceFilter) {
   const auto W = Alp.findWindow(List, makeRequest(1, 100.0, 2.0, 5.0));
   ASSERT_TRUE(W.has_value());
   EXPECT_EQ((*W)[0].Source.NodeId, 1);
-  EXPECT_DOUBLE_EQ(W->timeSpan(), 40.0); // 100 / 2.5.
+  EXPECT_DOUBLE_EQ(W->timeSpan().value(), 40.0); // 100 / 2.5.
 }
 
 TEST(AlpSearchTest, TooShortSlotSkipped) {
@@ -75,7 +75,7 @@ TEST(AlpSearchTest, ExpirationDropsStaleGroupMembers) {
   AlpSearch Alp;
   const auto W = Alp.findWindow(List, makeRequest(2, 100.0, 1.0, 2.0));
   ASSERT_TRUE(W.has_value());
-  EXPECT_DOUBLE_EQ(W->startTime(), 150.0);
+  EXPECT_DOUBLE_EQ(W->startTime().value(), 150.0);
   EXPECT_TRUE(W->usesNode(1));
   EXPECT_TRUE(W->usesNode(2));
   EXPECT_FALSE(W->usesNode(0));
@@ -88,7 +88,7 @@ TEST(AlpSearchTest, MemberStillValidWhenWindowAdvancesWithinSlot) {
   AlpSearch Alp;
   const auto W = Alp.findWindow(List, makeRequest(2, 100.0, 1.0, 2.0));
   ASSERT_TRUE(W.has_value());
-  EXPECT_DOUBLE_EQ(W->startTime(), 100.0);
+  EXPECT_DOUBLE_EQ(W->startTime().value(), 100.0);
   EXPECT_TRUE(W->usesNode(0));
   EXPECT_TRUE(W->usesNode(1));
 }
@@ -115,7 +115,7 @@ TEST(AlpSearchTest, RoughRightEdgeOnHeterogeneousNodes) {
   AlpSearch Alp;
   const auto W = Alp.findWindow(List, makeRequest(2, 100.0, 1.0, 2.0));
   ASSERT_TRUE(W.has_value());
-  EXPECT_DOUBLE_EQ(W->timeSpan(), 100.0); // Slowest node dominates.
+  EXPECT_DOUBLE_EQ(W->timeSpan().value(), 100.0); // Slowest node dominates.
   // Member runtimes differ: 100 and 50.
   double FastRuntime = 0.0, SlowRuntime = 0.0;
   for (const WindowSlot &M : *W)
@@ -123,7 +123,7 @@ TEST(AlpSearchTest, RoughRightEdgeOnHeterogeneousNodes) {
   EXPECT_DOUBLE_EQ(SlowRuntime, 100.0);
   EXPECT_DOUBLE_EQ(FastRuntime, 50.0);
   // Cost: 1*100 + 1.5*50 = 175.
-  EXPECT_DOUBLE_EQ(W->totalCost(), 175.0);
+  EXPECT_DOUBLE_EQ(W->totalCost().value(), 175.0);
 }
 
 TEST(AlpSearchTest, ReturnsEarliestWindow) {
@@ -135,7 +135,7 @@ TEST(AlpSearchTest, ReturnsEarliestWindow) {
   AlpSearch Alp;
   const auto W = Alp.findWindow(List, makeRequest(2, 50.0, 1.0, 3.0));
   ASSERT_TRUE(W.has_value());
-  EXPECT_DOUBLE_EQ(W->startTime(), 0.0);
+  EXPECT_DOUBLE_EQ(W->startTime().value(), 0.0);
 }
 
 TEST(AlpSearchTest, StatsCountEveryExaminedSlot) {

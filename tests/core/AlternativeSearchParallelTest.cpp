@@ -66,8 +66,8 @@ void expectSameWindows(const AlternativeSet &Expected,
       SCOPED_TRACE(Label + ": job " + std::to_string(J) + " alt " +
                    std::to_string(A));
       ASSERT_EQ(E.size(), G.size());
-      EXPECT_EQ(E.startTime(), G.startTime());
-      EXPECT_EQ(E.totalCost(), G.totalCost());
+      EXPECT_EQ(E.startTime().value(), G.startTime().value());
+      EXPECT_EQ(E.totalCost().value(), G.totalCost().value());
       for (size_t M = 0; M < E.size(); ++M) {
         EXPECT_EQ(E[M].Source.NodeId, G[M].Source.NodeId);
         EXPECT_EQ(E[M].Source.Performance, G[M].Source.Performance);
@@ -288,8 +288,8 @@ TEST(SlotFilterTest, ViewsApplyTheDeadlineScanHorizon) {
     const auto FromMaster = Alp.findWindow(List, Jobs[J].Request);
     ASSERT_EQ(FromView.has_value(), FromMaster.has_value()) << J;
     if (FromView) {
-      EXPECT_EQ(FromView->startTime(), FromMaster->startTime()) << J;
-      EXPECT_EQ(FromView->totalCost(), FromMaster->totalCost()) << J;
+      EXPECT_EQ(FromView->startTime().value(), FromMaster->startTime().value()) << J;
+      EXPECT_EQ(FromView->totalCost().value(), FromMaster->totalCost().value()) << J;
     }
   }
 }
@@ -357,7 +357,7 @@ TEST(SlotFilterTest, DamageKeepHeadPieceSkipsHorizonRecheckExactly) {
   // must survive without a horizon re-test; the tail [70, 100) starts
   // past the deadline and must be dropped by the retained tail check.
   const Slot *Chosen[] = {&Master[0]};
-  const Window W = detail::buildWindow(10.0, Chosen, J.Request);
+  const Window W = detail::buildWindow(TimePoint(10.0), Chosen, J.Request);
   SlotList Damaged = Master;
   ASSERT_TRUE(W.subtractFrom(Damaged));
   Filter.applyDamage(W);

@@ -56,8 +56,8 @@ void expectSameWindows(const AlternativeSet &Expected,
       SCOPED_TRACE(Label + ": job " + std::to_string(J) + " alt " +
                    std::to_string(A));
       ASSERT_EQ(E.size(), G.size());
-      ASSERT_EQ(E.startTime(), G.startTime());
-      ASSERT_EQ(E.totalCost(), G.totalCost());
+      ASSERT_EQ(E.startTime().value(), G.startTime().value());
+      ASSERT_EQ(E.totalCost().value(), G.totalCost().value());
       for (size_t M = 0; M < E.size(); ++M) {
         ASSERT_EQ(E[M].Source.NodeId, G[M].Source.NodeId);
         ASSERT_EQ(E[M].Source.Performance, G[M].Source.Performance);

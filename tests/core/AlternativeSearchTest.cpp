@@ -120,9 +120,9 @@ TEST(AlternativeSearchTest, PriorityOrderGivesFirstJobEarliestWindow) {
   ASSERT_TRUE(Alts.allCovered());
   // Job 1 is served first on every pass, so its first alternative
   // starts no later than job 2's first alternative.
-  EXPECT_LE(Alts.PerJob[0][0].startTime(), Alts.PerJob[1][0].startTime());
-  EXPECT_DOUBLE_EQ(Alts.PerJob[0][0].startTime(), 0.0);
-  EXPECT_DOUBLE_EQ(Alts.PerJob[1][0].startTime(), 100.0);
+  EXPECT_LE(Alts.PerJob[0][0].startTime().value(), Alts.PerJob[1][0].startTime().value());
+  EXPECT_DOUBLE_EQ(Alts.PerJob[0][0].startTime().value(), 0.0);
+  EXPECT_DOUBLE_EQ(Alts.PerJob[1][0].startTime().value(), 100.0);
 }
 
 TEST(AlternativeSearchTest, AmpFindsAtLeastAsManyAsAlp) {

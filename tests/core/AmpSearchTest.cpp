@@ -40,8 +40,8 @@ TEST(AmpSearchTest, AcceptsIndividuallyExpensiveSlotWithinBudget) {
   AmpSearch Amp;
   const auto W = Amp.findWindow(List, Req);
   ASSERT_TRUE(W.has_value());
-  EXPECT_DOUBLE_EQ(W->startTime(), 0.0);
-  EXPECT_DOUBLE_EQ(W->totalCost(), 250.0);
+  EXPECT_DOUBLE_EQ(W->startTime().value(), 0.0);
+  EXPECT_DOUBLE_EQ(W->totalCost().value(), 250.0);
 }
 
 TEST(AmpSearchTest, RejectsWindowOverBudget) {
@@ -63,7 +63,7 @@ TEST(AmpSearchTest, ContinuesToLaterCheaperWindow) {
   AmpSearch Amp;
   const auto W = Amp.findWindow(List, Req);
   ASSERT_TRUE(W.has_value());
-  EXPECT_DOUBLE_EQ(W->startTime(), 200.0);
+  EXPECT_DOUBLE_EQ(W->startTime().value(), 200.0);
   EXPECT_TRUE(W->usesNode(2));
   EXPECT_TRUE(W->usesNode(3));
 }
@@ -80,7 +80,7 @@ TEST(AmpSearchTest, PicksCheapestSubsetOfAliveSlots) {
   ASSERT_TRUE(W.has_value());
   EXPECT_TRUE(W->usesNode(1));
   EXPECT_TRUE(W->usesNode(3));
-  EXPECT_DOUBLE_EQ(W->totalCost(), 150.0);
+  EXPECT_DOUBLE_EQ(W->totalCost().value(), 150.0);
 }
 
 TEST(AmpSearchTest, ExactBudgetAccepted) {
@@ -91,7 +91,7 @@ TEST(AmpSearchTest, ExactBudgetAccepted) {
   AmpSearch Amp;
   const auto W = Amp.findWindow(List, Req);
   ASSERT_TRUE(W.has_value());
-  EXPECT_DOUBLE_EQ(W->totalCost(), 200.0);
+  EXPECT_DOUBLE_EQ(W->totalCost().value(), 200.0);
 }
 
 TEST(AmpSearchTest, PerformanceConditionStillEnforced) {
@@ -114,8 +114,8 @@ TEST(AmpSearchTest, FastNodeLowersEffectiveCost) {
   AmpSearch Amp;
   const auto W = Amp.findWindow(List, Req);
   ASSERT_TRUE(W.has_value());
-  EXPECT_NEAR(W->totalCost(), 400.0 / 3.0, 1e-9);
-  EXPECT_NEAR(W->timeSpan(), 100.0 / 3.0, 1e-9);
+  EXPECT_NEAR(W->totalCost().value(), 400.0 / 3.0, 1e-9);
+  EXPECT_NEAR(W->timeSpan().value(), 100.0 / 3.0, 1e-9);
 }
 
 TEST(AmpSearchTest, BudgetFactorRhoShrinksBudget) {

@@ -33,7 +33,7 @@ TEST(BackfillSearchTest, FindsEarliestWindow) {
   const auto W = Backfill.findWindow(List, makeRequest(2, 50.0, 1.0, 2.0));
   ASSERT_TRUE(W.has_value());
   // At t=90 both slot 1 and 2 cover 50 time units.
-  EXPECT_DOUBLE_EQ(W->startTime(), 90.0);
+  EXPECT_DOUBLE_EQ(W->startTime().value(), 90.0);
 }
 
 TEST(BackfillSearchTest, PerSlotCapMode) {
@@ -53,7 +53,7 @@ TEST(BackfillSearchTest, JobBudgetMode) {
   const auto W =
       Backfill.findWindow(List, makeRequest(2, 50.0, 1.0, 2.0));
   ASSERT_TRUE(W.has_value());
-  EXPECT_DOUBLE_EQ(W->totalCost(), 200.0);
+  EXPECT_DOUBLE_EQ(W->totalCost().value(), 200.0);
 }
 
 TEST(BackfillSearchTest, PicksCheapestAliveSubset) {

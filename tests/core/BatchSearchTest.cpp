@@ -43,10 +43,10 @@ TEST(BatchSearchTest, PlacesWholeBatchInOnePass) {
   ASSERT_EQ(A.placedCount(), 2u);
   // Four free nodes: both jobs can start at t=0 side by side, which the
   // sequential scheme also achieves here.
-  EXPECT_DOUBLE_EQ(A.PerJob[0]->startTime(), 0.0);
-  EXPECT_DOUBLE_EQ(A.PerJob[1]->startTime(), 0.0);
+  EXPECT_DOUBLE_EQ(A.PerJob[0]->startTime().value(), 0.0);
+  EXPECT_DOUBLE_EQ(A.PerJob[1]->startTime().value(), 0.0);
   EXPECT_FALSE(A.PerJob[0]->intersects(*A.PerJob[1]));
-  EXPECT_DOUBLE_EQ(A.makespan(), 100.0);
+  EXPECT_DOUBLE_EQ(A.makespan().value(), 100.0);
 }
 
 TEST(BatchSearchTest, ReusesTailsWithinTheSamePass) {
@@ -59,8 +59,8 @@ TEST(BatchSearchTest, ReusesTailsWithinTheSamePass) {
                       makeJob(2, 2, 100.0, 2.0)};
   const BatchAssignment A = Scheduler.assign(List, Jobs);
   ASSERT_EQ(A.placedCount(), 2u);
-  EXPECT_DOUBLE_EQ(A.PerJob[0]->startTime(), 0.0);
-  EXPECT_DOUBLE_EQ(A.PerJob[1]->startTime(), 100.0);
+  EXPECT_DOUBLE_EQ(A.PerJob[0]->startTime().value(), 0.0);
+  EXPECT_DOUBLE_EQ(A.PerJob[1]->startTime().value(), 100.0);
   EXPECT_FALSE(A.PerJob[0]->intersects(*A.PerJob[1]));
 }
 
@@ -72,8 +72,8 @@ TEST(BatchSearchTest, PriorityOrderBreaksContention) {
                       makeJob(8, 1, 100.0, 2.0)};
   const BatchAssignment A = Scheduler.assign(List, Jobs);
   ASSERT_EQ(A.placedCount(), 2u);
-  EXPECT_DOUBLE_EQ(A.PerJob[0]->startTime(), 0.0);
-  EXPECT_DOUBLE_EQ(A.PerJob[1]->startTime(), 100.0);
+  EXPECT_DOUBLE_EQ(A.PerJob[0]->startTime().value(), 0.0);
+  EXPECT_DOUBLE_EQ(A.PerJob[1]->startTime().value(), 100.0);
 }
 
 TEST(BatchSearchTest, UnplaceableJobReported) {
@@ -108,8 +108,7 @@ TEST(BatchSearchTest, PerSlotCapModeFiltersExpensiveSlots) {
 
 TEST(BatchSearchTest, HandlesPaperExampleBatch) {
   ComputingDomain Domain = buildPaperExampleDomain();
-  const SlotList Slots = Domain.vacantSlots(PaperExampleHorizonStart,
-                                            PaperExampleHorizonEnd);
+  const SlotList Slots = Domain.vacantSlots(TimePoint(PaperExampleHorizonStart), TimePoint(PaperExampleHorizonEnd));
   OnePassBatchScheduler Scheduler;
   const BatchAssignment A =
       Scheduler.assign(Slots, buildPaperExampleBatch());
@@ -130,8 +129,8 @@ TEST(BatchSearchTest, EmptyInputs) {
             0u);
   const BatchAssignment A = Scheduler.assign(makeUniformList(), Batch{});
   EXPECT_EQ(A.placedCount(), 0u);
-  EXPECT_DOUBLE_EQ(A.makespan(), 0.0);
-  EXPECT_DOUBLE_EQ(A.totalCost(), 0.0);
+  EXPECT_DOUBLE_EQ(A.makespan().value(), 0.0);
+  EXPECT_DOUBLE_EQ(A.totalCost().value(), 0.0);
 }
 
 TEST(BatchSearchTest, StatsCountRequeuedTails) {

@@ -42,7 +42,7 @@ TEST(DeadlineTest, InfiniteDeadlineChangesNothing) {
   AmpSearch Amp;
   const auto W = Amp.findWindow(makeList(), makeRequest(2, 100.0, 1e18));
   ASSERT_TRUE(W.has_value());
-  EXPECT_DOUBLE_EQ(W->startTime(), 100.0);
+  EXPECT_DOUBLE_EQ(W->startTime().value(), 100.0);
 }
 
 TEST(DeadlineTest, TightDeadlineRejectsLateWindows) {
@@ -55,15 +55,15 @@ TEST(DeadlineTest, TightDeadlineRejectsLateWindows) {
   // Deadline 200 admits [100, 200).
   const auto W = Amp.findWindow(makeList(), makeRequest(2, 100.0, 200.0));
   ASSERT_TRUE(W.has_value());
-  EXPECT_LE(W->endTime(), 200.0 + 1e-9);
+  EXPECT_LE(W->endTime().value(), 200.0 + 1e-9);
 }
 
 TEST(DeadlineTest, ShortJobFitsEarlySlotsBeforeDeadline) {
   AlpSearch Alp;
   const auto W = Alp.findWindow(makeList(), makeRequest(2, 50.0, 60.0));
   ASSERT_TRUE(W.has_value());
-  EXPECT_DOUBLE_EQ(W->startTime(), 0.0);
-  EXPECT_LE(W->endTime(), 60.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(W->startTime().value(), 0.0);
+  EXPECT_LE(W->endTime().value(), 60.0 + 1e-9);
 }
 
 TEST(DeadlineTest, DeadlineEnablesEarlyScanExit) {
@@ -95,7 +95,7 @@ TEST(DeadlineTest, ExpirationAccountsForDeadline) {
   Req.Deadline = 140.0;
   const auto W = Amp.findWindow(List, Req);
   ASSERT_TRUE(W.has_value());
-  EXPECT_DOUBLE_EQ(W->startTime(), 40.0);
+  EXPECT_DOUBLE_EQ(W->startTime().value(), 40.0);
 }
 
 TEST(DeadlineTest, OnePassBatchRespectsPerJobDeadlines) {
@@ -112,8 +112,8 @@ TEST(DeadlineTest, OnePassBatchRespectsPerJobDeadlines) {
   OnePassBatchScheduler Scheduler;
   const BatchAssignment Assignment = Scheduler.assign(makeList(), Jobs);
   ASSERT_EQ(Assignment.placedCount(), 2u);
-  EXPECT_LE(Assignment.PerJob[0]->endTime(), 60.0 + 1e-9);
-  EXPECT_GT(Assignment.PerJob[1]->endTime(), 60.0);
+  EXPECT_LE(Assignment.PerJob[0]->endTime().value(), 60.0 + 1e-9);
+  EXPECT_GT(Assignment.PerJob[1]->endTime().value(), 60.0);
 }
 
 /// Property: with random deadlines, every found window finishes in
@@ -136,15 +136,15 @@ TEST_P(DeadlinePropertyTest, WindowsFinishByDeadlineAndMatchOracle) {
     const auto AO = AlpOracle.findWindow(List, J.Request);
     ASSERT_EQ(A.has_value(), AO.has_value());
     if (A) {
-      EXPECT_LE(A->endTime(), J.Request.Deadline + 1e-9);
-      EXPECT_NEAR(A->startTime(), AO->startTime(), 1e-9);
+      EXPECT_LE(A->endTime().value(), J.Request.Deadline + 1e-9);
+      EXPECT_NEAR(A->startTime().value(), AO->startTime().value(), 1e-9);
     }
     const auto M = Amp.findWindow(List, J.Request);
     const auto MO = AmpOracle.findWindow(List, J.Request);
     ASSERT_EQ(M.has_value(), MO.has_value());
     if (M) {
-      EXPECT_LE(M->endTime(), J.Request.Deadline + 1e-9);
-      EXPECT_NEAR(M->startTime(), MO->startTime(), 1e-9);
+      EXPECT_LE(M->endTime().value(), J.Request.Deadline + 1e-9);
+      EXPECT_NEAR(M->startTime().value(), MO->startTime().value(), 1e-9);
     }
   }
 }

@@ -22,7 +22,7 @@ ComputingDomain makeTwoNodeDomain() {
   ComputingDomain D;
   const int Busy = D.addNode(1.0, 2.0, "busy");
   D.addNode(1.0, 2.0, "idle");
-  EXPECT_TRUE(D.addLocalTask(Busy, 0.0, 100.0));
+  EXPECT_TRUE(D.addLocalTask(Busy, TimePoint(0.0), TimePoint(100.0)));
   return D;
 }
 
@@ -30,12 +30,50 @@ ComputingDomain makeTwoNodeDomain() {
 
 TEST(DynamicPricingTest, NodeUtilization) {
   const ComputingDomain D = makeTwoNodeDomain();
-  EXPECT_DOUBLE_EQ(PricingEngine::nodeUtilization(D, 0, 0.0, 100.0), 1.0);
-  EXPECT_DOUBLE_EQ(PricingEngine::nodeUtilization(D, 0, 0.0, 200.0), 0.5);
-  EXPECT_DOUBLE_EQ(PricingEngine::nodeUtilization(D, 1, 0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      PricingEngine::nodeUtilization(D, 0, TimePoint(0.0), TimePoint(100.0)),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      PricingEngine::nodeUtilization(D, 0, TimePoint(0.0), TimePoint(200.0)),
+      0.5);
+  EXPECT_DOUBLE_EQ(
+      PricingEngine::nodeUtilization(D, 1, TimePoint(0.0), TimePoint(100.0)),
+      0.0);
   // Clipped to the window.
-  EXPECT_DOUBLE_EQ(PricingEngine::nodeUtilization(D, 0, 50.0, 150.0),
-                   0.5);
+  EXPECT_DOUBLE_EQ(
+      PricingEngine::nodeUtilization(D, 0, TimePoint(50.0), TimePoint(150.0)),
+      0.5);
+}
+
+// Regression (graduated): a reservation that merely abuts the sampling
+// window — or overlaps it by less than TimeEpsilon — must contribute no
+// busy time. The original code used an exact `OverlapEnd > OverlapStart`
+// test, so a floating-point sliver of ~1e-12 at the window edge counted
+// as load and nudged prices upward; the overlap test is now tolerant
+// (the same rule Window::intersects applies to zero-length overlaps).
+TEST(DynamicPricingTest, SubEpsilonOverlapIsNotLoad) {
+  ComputingDomain D;
+  const int N = D.addNode(1.0, 2.0, "edge");
+  // The task ends a hair *past* the window start: an exact comparison
+  // sees a positive overlap, the tolerant one does not.
+  EXPECT_TRUE(
+      D.addLocalTask(N, TimePoint(0.0), TimePoint(100.0 + TimeEpsilon / 2)));
+
+  // Graduation 1: exact abutment (no overlap at all) — was already 0.
+  EXPECT_DOUBLE_EQ(
+      PricingEngine::nodeUtilization(D, N, TimePoint(100.0 + TimeEpsilon / 2),
+                                     TimePoint(200.0)),
+      0.0);
+  // Graduation 2: sub-epsilon overlap — the regression proper. The
+  // sliver is below the tolerance, so it must not register as load.
+  EXPECT_DOUBLE_EQ(PricingEngine::nodeUtilization(D, N, TimePoint(100.0),
+                                                  TimePoint(200.0)),
+                   0.0);
+  // Graduation 3: an overlap comfortably above the tolerance still
+  // counts in full — the fix must not eat real load.
+  EXPECT_NEAR(PricingEngine::nodeUtilization(D, N, TimePoint(90.0),
+                                             TimePoint(190.0)),
+              0.1, 1e-6);
 }
 
 TEST(DynamicPricingTest, BusyNodesGetMoreExpensiveIdleCheaper) {
@@ -46,7 +84,8 @@ TEST(DynamicPricingTest, BusyNodesGetMoreExpensiveIdleCheaper) {
   PricingEngine Engine(Cfg);
   Engine.captureBasePrices(D);
 
-  const std::vector<double> Utilization = Engine.update(D, 0.0, 100.0);
+  const std::vector<double> Utilization =
+      Engine.update(D, TimePoint(0.0), TimePoint(100.0));
   ASSERT_EQ(Utilization.size(), 2u);
   EXPECT_DOUBLE_EQ(Utilization[0], 1.0);
   EXPECT_DOUBLE_EQ(Utilization[1], 0.0);
@@ -67,7 +106,7 @@ TEST(DynamicPricingTest, PricesClampedToBaseFactors) {
 
   // Repeated updates push towards the clamps, never beyond.
   for (int I = 0; I < 20; ++I)
-    Engine.update(D, 0.0, 100.0);
+    Engine.update(D, TimePoint(0.0), TimePoint(100.0));
   EXPECT_DOUBLE_EQ(D.pool().node(0).UnitPrice, 2.0 * 2.0);
   EXPECT_DOUBLE_EQ(D.pool().node(1).UnitPrice, 2.0 * 0.5);
 }
@@ -75,12 +114,13 @@ TEST(DynamicPricingTest, PricesClampedToBaseFactors) {
 TEST(DynamicPricingTest, AtTargetUtilizationPricesHold) {
   ComputingDomain D;
   const int N = D.addNode(1.0, 3.0);
-  ASSERT_TRUE(D.addLocalTask(N, 0.0, 60.0));
+  ASSERT_TRUE(D.addLocalTask(N, TimePoint(0.0), TimePoint(60.0)));
   PricingEngine::Config Cfg;
   Cfg.TargetUtilization = 0.6;
   PricingEngine Engine(Cfg);
   Engine.captureBasePrices(D);
-  Engine.update(D, 0.0, 100.0); // Utilization exactly 0.6.
+  // Utilization exactly 0.6.
+  Engine.update(D, TimePoint(0.0), TimePoint(100.0));
   EXPECT_DOUBLE_EQ(D.pool().node(N).UnitPrice, 3.0);
 }
 
@@ -88,8 +128,8 @@ TEST(DynamicPricingTest, NewSlotsCarryUpdatedPrices) {
   ComputingDomain D = makeTwoNodeDomain();
   PricingEngine Engine;
   Engine.captureBasePrices(D);
-  Engine.update(D, 0.0, 100.0);
-  const SlotList Slots = D.vacantSlots(100.0, 200.0);
+  Engine.update(D, TimePoint(0.0), TimePoint(100.0));
+  const SlotList Slots = D.vacantSlots(TimePoint(100.0), TimePoint(200.0));
   for (const Slot &S : Slots)
     EXPECT_DOUBLE_EQ(S.UnitPrice, D.pool().node(S.NodeId).UnitPrice);
 }
@@ -108,9 +148,10 @@ TEST(DynamicPricingTest, IntegratesWithVirtualOrganization) {
   Engine.captureBasePrices(Vo.domain());
 
   for (int I = 0; I < 3; ++I) {
-    const double Start = Vo.now();
+    const double Start = Vo.now().value();
     Vo.runIteration();
-    Engine.update(Vo.mutableDomain(), Start, Vo.now());
+    Engine.update(Vo.mutableDomain(), TimePoint(Start),
+                  TimePoint(Vo.now().value()));
   }
   EXPECT_LT(Vo.domain().pool().node(0).UnitPrice, 4.0);
   EXPECT_LT(Vo.domain().pool().node(1).UnitPrice, 6.0);
@@ -119,6 +160,8 @@ TEST(DynamicPricingTest, IntegratesWithVirtualOrganization) {
 TEST(DynamicPricingTest, ExternalReservationsCountAsDemand) {
   ComputingDomain D;
   const int N = D.addNode(1.0, 2.0);
-  ASSERT_TRUE(D.reserve(N, 0.0, 80.0, /*JobId=*/1));
-  EXPECT_DOUBLE_EQ(PricingEngine::nodeUtilization(D, N, 0.0, 100.0), 0.8);
+  ASSERT_TRUE(D.reserve(N, TimePoint(0.0), TimePoint(80.0), /*JobId=*/1));
+  EXPECT_DOUBLE_EQ(
+      PricingEngine::nodeUtilization(D, N, TimePoint(0.0), TimePoint(100.0)),
+      0.8);
 }

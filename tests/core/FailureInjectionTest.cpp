@@ -31,8 +31,8 @@ TEST(DomainFailureTest, FailedNodePublishesNoSlots) {
   ComputingDomain D;
   const int A = D.addNode(1.0, 1.0);
   const int B = D.addNode(1.0, 1.0);
-  D.failNode(A, 0.0);
-  const SlotList Slots = D.vacantSlots(0.0, 100.0);
+  D.failNode(A, TimePoint(0.0));
+  const SlotList Slots = D.vacantSlots(TimePoint(0.0), TimePoint(100.0));
   ASSERT_EQ(Slots.size(), 1u);
   EXPECT_EQ(Slots[0].NodeId, B);
   EXPECT_FALSE(D.isNodeAvailable(A));
@@ -42,11 +42,11 @@ TEST(DomainFailureTest, FailedNodePublishesNoSlots) {
 TEST(DomainFailureTest, FailureCancelsUnfinishedOccupancy) {
   ComputingDomain D;
   const int N = D.addNode(1.0, 1.0);
-  ASSERT_TRUE(D.addLocalTask(N, 0.0, 50.0));      // Finished by t=100.
-  ASSERT_TRUE(D.reserve(N, 60.0, 150.0, /*JobId=*/7)); // Running at 100.
-  ASSERT_TRUE(D.reserve(N, 200.0, 250.0, /*JobId=*/8)); // Future.
+  ASSERT_TRUE(D.addLocalTask(N, TimePoint(0.0), TimePoint(50.0)));      // Finished by t=100.
+  ASSERT_TRUE(D.reserve(N, TimePoint(60.0), TimePoint(150.0), /*JobId=*/7)); // Running at 100.
+  ASSERT_TRUE(D.reserve(N, TimePoint(200.0), TimePoint(250.0), /*JobId=*/8)); // Future.
 
-  const std::vector<int> Cancelled = D.failNode(N, 100.0);
+  const std::vector<int> Cancelled = D.failNode(N, TimePoint(100.0));
   ASSERT_EQ(Cancelled.size(), 2u);
   EXPECT_EQ(Cancelled[0], 7);
   EXPECT_EQ(Cancelled[1], 8);
@@ -58,19 +58,19 @@ TEST(DomainFailureTest, FailureCancelsUnfinishedOccupancy) {
 TEST(DomainFailureTest, ReservationRejectedWhileFailed) {
   ComputingDomain D;
   const int N = D.addNode(1.0, 1.0);
-  D.failNode(N, 0.0);
-  EXPECT_FALSE(D.reserve(N, 10.0, 20.0, 1));
-  EXPECT_FALSE(D.addLocalTask(N, 10.0, 20.0));
+  D.failNode(N, TimePoint(0.0));
+  EXPECT_FALSE(D.reserve(N, TimePoint(10.0), TimePoint(20.0), 1));
+  EXPECT_FALSE(D.addLocalTask(N, TimePoint(10.0), TimePoint(20.0)));
   D.restoreNode(N);
-  EXPECT_TRUE(D.reserve(N, 10.0, 20.0, 1));
+  EXPECT_TRUE(D.reserve(N, TimePoint(10.0), TimePoint(20.0), 1));
 }
 
 TEST(DomainFailureTest, CancelReservationsRemovesOnlyThatJob) {
   ComputingDomain D;
   const int N = D.addNode(1.0, 1.0);
-  ASSERT_TRUE(D.reserve(N, 0.0, 50.0, 1));
-  ASSERT_TRUE(D.reserve(N, 60.0, 100.0, 2));
-  ASSERT_TRUE(D.addLocalTask(N, 110.0, 150.0));
+  ASSERT_TRUE(D.reserve(N, TimePoint(0.0), TimePoint(50.0), 1));
+  ASSERT_TRUE(D.reserve(N, TimePoint(60.0), TimePoint(100.0), 2));
+  ASSERT_TRUE(D.addLocalTask(N, TimePoint(110.0), TimePoint(150.0)));
   EXPECT_EQ(D.cancelReservations(N, 1), 1u);
   ASSERT_EQ(D.occupancy(N).size(), 2u);
   EXPECT_EQ(D.occupancy(N)[0].JobId, 2);

@@ -42,7 +42,7 @@ TEST(TimeQuotaTest, FloorCanMakeQuotaInfeasible) {
   const double Quota = computeTimeQuota(PerJob);
   EXPECT_LT(Quota, 59.5);
   BruteForceOptimizer Exact;
-  EXPECT_LT(computeVoBudget(PerJob, Quota, Exact), 0.0);
+  EXPECT_LT(computeVoBudget(PerJob, Duration(Quota), Exact), 0.0);
 }
 
 TEST(VoBudgetTest, MaximizesOwnerIncomeUnderQuota) {
@@ -52,11 +52,11 @@ TEST(VoBudgetTest, MaximizesOwnerIncomeUnderQuota) {
       {{10.0, 50.0}, {30.0, 20.0}}, {{5.0, 40.0}, {25.0, 10.0}}};
   BruteForceOptimizer Exact;
   // Quota 60: max income 55 (both expensive picks, time 30 <= 60).
-  EXPECT_DOUBLE_EQ(computeVoBudget(PerJob, 60.0, Exact), 55.0);
+  EXPECT_DOUBLE_EQ(computeVoBudget(PerJob, Duration(60.0), Exact), 55.0);
   // Quota 30: only (1,1) fits (time 30); income 55.
-  EXPECT_DOUBLE_EQ(computeVoBudget(PerJob, 30.0, Exact), 55.0);
+  EXPECT_DOUBLE_EQ(computeVoBudget(PerJob, Duration(30.0), Exact), 55.0);
   // Quota 25: nothing fits.
-  EXPECT_LT(computeVoBudget(PerJob, 25.0, Exact), 0.0);
+  EXPECT_LT(computeVoBudget(PerJob, Duration(25.0), Exact), 0.0);
 }
 
 TEST(VoBudgetTest, DpAndBruteForceAgree) {
@@ -67,8 +67,8 @@ TEST(VoBudgetTest, DpAndBruteForceAgree) {
   BruteForceOptimizer Exact;
   DpOptimizer Dp(8192);
   const double Quota = 80.0;
-  const double Want = computeVoBudget(PerJob, Quota, Exact);
-  const double Got = computeVoBudget(PerJob, Quota, Dp);
+  const double Want = computeVoBudget(PerJob, Duration(Quota), Exact);
+  const double Got = computeVoBudget(PerJob, Duration(Quota), Dp);
   ASSERT_GE(Want, 0.0);
   // DP may be marginally conservative due to the grid, never higher.
   EXPECT_LE(Got, Want + 1e-9);
@@ -82,7 +82,7 @@ TEST(VoBudgetTest, BudgetFeasibleForSchedulingTask) {
       {{10.0, 50.0}, {30.0, 20.0}}, {{5.0, 40.0}, {25.0, 10.0}}};
   BruteForceOptimizer Exact;
   const double Quota = computeTimeQuota(PerJob);
-  const double Budget = computeVoBudget(PerJob, Quota, Exact);
+  const double Budget = computeVoBudget(PerJob, Duration(Quota), Exact);
   ASSERT_GE(Budget, 0.0);
 
   CombinationProblem TimeMin;

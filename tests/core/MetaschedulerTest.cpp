@@ -164,6 +164,6 @@ TEST(MetaschedulerTest, ScheduledEntriesReferenceChosenAlternative) {
             Out.Alternatives.PerJob[S.BatchIndex].size());
   const Window &Chosen =
       Out.Alternatives.PerJob[S.BatchIndex][S.AlternativeIndex];
-  EXPECT_DOUBLE_EQ(S.W.startTime(), Chosen.startTime());
-  EXPECT_DOUBLE_EQ(S.W.totalCost(), Chosen.totalCost());
+  EXPECT_DOUBLE_EQ(S.W.startTime().value(), Chosen.startTime().value());
+  EXPECT_DOUBLE_EQ(S.W.totalCost().value(), Chosen.totalCost().value());
 }

@@ -220,10 +220,10 @@ TEST(PersistentFilterTest, SweepDamageRollsBackBitwise) {
   // the nested case only reverse-order rollback undoes correctly.
   const Slot Original(0, 1.0, 1.0, 0.0, 80.0);
   WindowSlot M1{Original, 40.0, 40.0};
-  Filter.applyDamage(Window(0.0, {M1}));
+  Filter.applyDamage(Window(TimePoint(0.0), {M1}));
   const Slot Piece(0, 1.0, 1.0, 40.0, 80.0);
   WindowSlot M2{Piece, 20.0, 20.0};
-  Filter.applyDamage(Window(40.0, {M2}));
+  Filter.applyDamage(Window(TimePoint(40.0), {M2}));
   EXPECT_GT(Filter.journalSize(), 0u);
   EXPECT_NE(Filter.view(0).size(), Snapshot[0].size());
 
@@ -255,7 +255,7 @@ TEST(PersistentFilterTest, DamageKeepMatchesFilteredCopyOfDamagedMaster) {
 
   const Slot Container(1, 1.5, 1.25, 10.0, 90.0);
   WindowSlot M{Container, 30.0, 37.5};
-  const Window W(10.0, {M});
+  const Window W(TimePoint(10.0), {M});
   ASSERT_TRUE(W.subtractFrom(Master));
   Filter.applyDamage(W);
   expectViewsMatchOracle(Filter, Master, Jobs, Alp);

@@ -50,10 +50,10 @@ TEST(StrategyBuildTest, PrimaryIsChosenAlternative) {
   const JobStrategy &S = Strategies[0];
   EXPECT_EQ(S.JobId, 1);
   ASSERT_FALSE(S.Versions.empty());
-  EXPECT_DOUBLE_EQ(S.Versions[0].startTime(),
-                   Outcome.Scheduled[0].W.startTime());
-  EXPECT_DOUBLE_EQ(S.Versions[0].totalCost(),
-                   Outcome.Scheduled[0].W.totalCost());
+  EXPECT_DOUBLE_EQ(S.Versions[0].startTime().value(),
+                   Outcome.Scheduled[0].W.startTime().value());
+  EXPECT_DOUBLE_EQ(S.Versions[0].totalCost().value(),
+                   Outcome.Scheduled[0].W.totalCost().value());
 }
 
 TEST(StrategyBuildTest, FallbacksAreOrderedAndNotEarlier) {
@@ -65,11 +65,11 @@ TEST(StrategyBuildTest, FallbacksAreOrderedAndNotEarlier) {
   EXPECT_GT(S.Versions.size(), 1u);
   EXPECT_LE(S.Versions.size(), 4u);
   for (size_t V = 1; V < S.Versions.size(); ++V) {
-    EXPECT_GE(S.Versions[V].startTime(),
-              S.Versions[0].startTime() - 1e-9);
+    EXPECT_GE(S.Versions[V].startTime().value(),
+              S.Versions[0].startTime().value() - 1e-9);
     if (V >= 2) {
-      EXPECT_GE(S.Versions[V].startTime(),
-                S.Versions[V - 1].startTime() - 1e-9);
+      EXPECT_GE(S.Versions[V].startTime().value(),
+                S.Versions[V - 1].startTime().value() - 1e-9);
     }
   }
 }
@@ -100,15 +100,15 @@ TEST(StrategyBuildTest, ReservedNodeTimeSumsVersions) {
   M.Runtime = 50.0;
   M.Cost = 50.0;
   Members.push_back(M);
-  S.Versions.emplace_back(0.0, Members);
-  S.Versions.emplace_back(50.0, std::vector<WindowSlot>{[] {
+  S.Versions.emplace_back(TimePoint(0.0), Members);
+  S.Versions.emplace_back(TimePoint(50.0), std::vector<WindowSlot>{[] {
                             WindowSlot N;
                             N.Source = Slot(0, 1.0, 1.0, 0.0, 200.0);
                             N.Runtime = 30.0;
                             N.Cost = 30.0;
                             return N;
                           }()});
-  EXPECT_DOUBLE_EQ(S.reservedNodeTime(), 80.0);
+  EXPECT_DOUBLE_EQ(S.reservedNodeTime().value(), 80.0);
 }
 
 TEST(StrategyExecuteTest, NoFailuresUsePrimaryOnly) {

@@ -57,13 +57,13 @@ TEST(VirtualOrganizationTest, SchedulesAndCompletesJobs) {
   EXPECT_EQ(Report.QueueLength, 2u);
   EXPECT_EQ(Report.Committed, 2u);
   EXPECT_EQ(Vo.queueLength(), 0u);
-  EXPECT_DOUBLE_EQ(Vo.now(), 200.0);
+  EXPECT_DOUBLE_EQ(Vo.now().value(), 200.0);
 
   // Keep iterating with an empty queue until the jobs finish.
   for (int I = 0; I < 5; ++I)
     Vo.runIteration();
   EXPECT_EQ(Vo.completed().size(), 2u);
-  EXPECT_GT(Vo.totalIncome(), 0.0);
+  EXPECT_GT(Vo.totalIncome().value(), 0.0);
 }
 
 TEST(VirtualOrganizationTest, CommittedReservationsAppearInDomain) {
@@ -176,7 +176,7 @@ TEST(VirtualOrganizationTest, CancelRunningJobReleasesReservations) {
   for (int I = 0; I < 5; ++I)
     Vo.runIteration();
   EXPECT_TRUE(Vo.completed().empty());
-  EXPECT_DOUBLE_EQ(Vo.totalIncome(), 0.0);
+  EXPECT_DOUBLE_EQ(Vo.totalIncome().value(), 0.0);
 }
 
 TEST(VirtualOrganizationTest, CancelUnknownJobReturnsFalse) {

@@ -88,7 +88,7 @@ RunTrace runScenario(size_t Threads, ThreadPool::ScheduleFuzz Fuzz) {
     Trace.PerRound.push_back(Driver.runIteration(makeArrivals));
   for (size_t I = 0; I < TenantCount; ++I) {
     Trace.Completed.push_back(Driver.tenant(I).completed());
-    Trace.Income.push_back(Driver.tenant(I).totalIncome());
+    Trace.Income.push_back(Driver.tenant(I).totalIncome().value());
   }
   return Trace;
 }
@@ -113,9 +113,9 @@ void expectSameTrace(const RunTrace &A, const RunTrace &B) {
         ASSERT_EQ(P.JobId, Q.JobId);
         ASSERT_EQ(P.BatchIndex, Q.BatchIndex);
         ASSERT_EQ(P.AlternativeIndex, Q.AlternativeIndex);
-        ASSERT_EQ(P.W.startTime(), Q.W.startTime());
-        ASSERT_EQ(P.W.endTime(), Q.W.endTime());
-        ASSERT_EQ(P.W.totalCost(), Q.W.totalCost());
+        ASSERT_EQ(P.W.startTime().value(), Q.W.startTime().value());
+        ASSERT_EQ(P.W.endTime().value(), Q.W.endTime().value());
+        ASSERT_EQ(P.W.totalCost().value(), Q.W.totalCost().value());
       }
     }
   }

@@ -85,7 +85,7 @@ RunTrace runScenario(size_t Threads) {
     Trace.PerRound.push_back(Driver.runIteration(makeArrivals));
   for (size_t I = 0; I < TenantCount; ++I) {
     Trace.Completed.push_back(Driver.tenant(I).completed());
-    Trace.Income.push_back(Driver.tenant(I).totalIncome());
+    Trace.Income.push_back(Driver.tenant(I).totalIncome().value());
   }
   return Trace;
 }
@@ -110,9 +110,9 @@ void expectSameTrace(const RunTrace &A, const RunTrace &B) {
         EXPECT_EQ(P.JobId, Q.JobId);
         EXPECT_EQ(P.BatchIndex, Q.BatchIndex);
         EXPECT_EQ(P.AlternativeIndex, Q.AlternativeIndex);
-        EXPECT_EQ(P.W.startTime(), Q.W.startTime());
-        EXPECT_EQ(P.W.endTime(), Q.W.endTime());
-        EXPECT_EQ(P.W.totalCost(), Q.W.totalCost());
+        EXPECT_EQ(P.W.startTime().value(), Q.W.startTime().value());
+        EXPECT_EQ(P.W.endTime().value(), Q.W.endTime().value());
+        EXPECT_EQ(P.W.totalCost().value(), Q.W.totalCost().value());
       }
     }
   }
@@ -169,10 +169,10 @@ TEST(MultiVoDriverTest, AggregatesFoldAcrossTenants) {
   double Income = 0.0;
   size_t Completed = 0;
   for (size_t I = 0; I < Driver.tenantCount(); ++I) {
-    Income += Driver.tenant(I).totalIncome();
+    Income += Driver.tenant(I).totalIncome().value();
     Completed += Driver.tenant(I).completed().size();
   }
-  EXPECT_EQ(Driver.totalIncome(), Income);
+  EXPECT_EQ(Driver.totalIncome().value(), Income);
   EXPECT_EQ(Driver.totalCompleted(), Completed);
   EXPECT_GT(Completed, 0u);
 }

@@ -107,9 +107,8 @@ VoTrace runScenario(const SlotSearchAlgorithm &Algo, bool ReuseFilter,
       Vo.cancelJob(1); // Long gone or running; releases if running.
       break;
     case 8:
-      Vo.mutableDomain().setNodePrice(2, 1.1);
-      Vo.mutableDomain().addLocalTask(0, Vo.now() + 150.0,
-                                      Vo.now() + 260.0);
+      Vo.mutableDomain().setNodePrice(2, Price(1.1));
+      Vo.mutableDomain().addLocalTask(0, TimePoint(Vo.now().value() + 150.0), TimePoint(Vo.now().value() + 260.0));
       break;
     case 10:
       Vo.setQueuedBudgetFactor(0.85);
@@ -125,7 +124,7 @@ VoTrace runScenario(const SlotSearchAlgorithm &Algo, bool ReuseFilter,
 
   Trace.Completed = Vo.completed();
   Trace.Dropped = Vo.dropped();
-  Trace.Income = Vo.totalIncome();
+  Trace.Income = Vo.totalIncome().value();
   return Trace;
 }
 
@@ -153,9 +152,9 @@ void expectSameTrace(const VoTrace &A, const VoTrace &B) {
       ASSERT_EQ(P.JobId, Q.JobId);
       ASSERT_EQ(P.BatchIndex, Q.BatchIndex);
       ASSERT_EQ(P.AlternativeIndex, Q.AlternativeIndex);
-      ASSERT_EQ(P.W.startTime(), Q.W.startTime());
-      ASSERT_EQ(P.W.endTime(), Q.W.endTime());
-      ASSERT_EQ(P.W.totalCost(), Q.W.totalCost());
+      ASSERT_EQ(P.W.startTime().value(), Q.W.startTime().value());
+      ASSERT_EQ(P.W.endTime().value(), Q.W.endTime().value());
+      ASSERT_EQ(P.W.totalCost().value(), Q.W.totalCost().value());
       ASSERT_EQ(P.W.size(), Q.W.size());
       for (size_t M = 0; M < P.W.size(); ++M) {
         ASSERT_EQ(P.W[M].Source.NodeId, Q.W[M].Source.NodeId);

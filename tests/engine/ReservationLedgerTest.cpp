@@ -46,7 +46,7 @@ struct LedgerFixture {
   LedgerFixture() : Scheduler(Amp, Dp) {}
 
   ScheduledJob schedule(const Job &J) {
-    const SlotList Slots = Domain.vacantSlots(0.0, 600.0);
+    const SlotList Slots = Domain.vacantSlots(TimePoint(0.0), TimePoint(600.0));
     IterationOutcome Outcome = Scheduler.runIteration(Slots, {J});
     EXPECT_EQ(Outcome.Scheduled.size(), 1u);
     return Outcome.Scheduled.at(0);
@@ -64,7 +64,7 @@ TEST(ReservationLedgerTest, CommitOpensRunningEntry) {
   EXPECT_TRUE(F.Ledger.isRunning(1));
   EXPECT_GT(F.Domain.externalLoad(), 0.0);
   EXPECT_TRUE(F.Ledger.completed().empty());
-  EXPECT_DOUBLE_EQ(F.Ledger.totalIncome(), 0.0);
+  EXPECT_DOUBLE_EQ(F.Ledger.totalIncome().value(), 0.0);
 }
 
 TEST(ReservationLedgerTest, RetireFinishedRecordsWindowAccounting) {
@@ -74,20 +74,20 @@ TEST(ReservationLedgerTest, RetireFinishedRecordsWindowAccounting) {
   F.Ledger.commit(F.Domain, S, J, /*Attempts=*/3);
 
   // Before the window elapses nothing retires.
-  F.Ledger.retireFinished(S.W.endTime() - 1.0);
+  F.Ledger.retireFinished(TimePoint(S.W.endTime().value() - 1.0));
   EXPECT_EQ(F.Ledger.runningCount(), 1u);
   EXPECT_TRUE(F.Ledger.completed().empty());
 
-  F.Ledger.retireFinished(S.W.endTime());
+  F.Ledger.retireFinished(TimePoint(S.W.endTime().value()));
   EXPECT_EQ(F.Ledger.runningCount(), 0u);
   ASSERT_EQ(F.Ledger.completed().size(), 1u);
   const CompletedJob &C = F.Ledger.completed()[0];
   EXPECT_EQ(C.JobId, 1);
-  EXPECT_DOUBLE_EQ(C.StartTime, S.W.startTime());
-  EXPECT_DOUBLE_EQ(C.EndTime, S.W.endTime());
-  EXPECT_DOUBLE_EQ(C.Cost, S.W.totalCost());
+  EXPECT_DOUBLE_EQ(C.StartTime, S.W.startTime().value());
+  EXPECT_DOUBLE_EQ(C.EndTime, S.W.endTime().value());
+  EXPECT_DOUBLE_EQ(C.Cost, S.W.totalCost().value());
   EXPECT_EQ(C.Attempts, 3);
-  EXPECT_DOUBLE_EQ(F.Ledger.totalIncome(), S.W.totalCost());
+  EXPECT_DOUBLE_EQ(F.Ledger.totalIncome().value(), S.W.totalCost().value());
 }
 
 TEST(ReservationLedgerTest, ReleaseRoundTripClearsDomain) {
@@ -117,8 +117,7 @@ TEST(ReservationLedgerTest, CancelOnNodeRequeuesWholeWindow) {
   const ScheduledJob S = F.schedule(J);
   F.Ledger.commit(F.Domain, S, J, /*Attempts=*/2);
 
-  const auto Requeued = F.Ledger.cancelOnNode(F.Domain, /*NodeId=*/0,
-                                              /*Now=*/0.0);
+  const auto Requeued = F.Ledger.cancelOnNode(F.Domain, /*NodeId=*/0, TimePoint(/*Now=*/0.0));
   ASSERT_EQ(Requeued.size(), 1u);
   EXPECT_EQ(Requeued[0].Spec.Id, 1);
   EXPECT_EQ(Requeued[0].Attempts, 2); // Attempt count survives requeue.
@@ -144,7 +143,7 @@ TEST(ReservationLedgerTest, CancelOnNodeWithoutReservationsIsLedgerNoOp) {
       FreeNode = Node;
   ASSERT_GE(FreeNode, 0);
 
-  const auto Requeued = F.Ledger.cancelOnNode(F.Domain, FreeNode, 0.0);
+  const auto Requeued = F.Ledger.cancelOnNode(F.Domain, FreeNode, TimePoint(0.0));
   EXPECT_TRUE(Requeued.empty());
   EXPECT_EQ(F.Ledger.runningCount(), 1u);
   EXPECT_TRUE(F.Ledger.isRunning(1));

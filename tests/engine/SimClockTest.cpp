@@ -12,16 +12,16 @@
 using namespace ecosched;
 
 TEST(SimClockTest, StartsAtZero) {
-  SimClock Clock(200.0, 800.0);
-  EXPECT_DOUBLE_EQ(Clock.now(), 0.0);
-  EXPECT_DOUBLE_EQ(Clock.period(), 200.0);
-  EXPECT_DOUBLE_EQ(Clock.horizonLength(), 800.0);
-  EXPECT_DOUBLE_EQ(Clock.horizonEnd(), 800.0);
+  SimClock Clock(Duration(200.0), Duration(800.0));
+  EXPECT_DOUBLE_EQ(Clock.now().value(), 0.0);
+  EXPECT_DOUBLE_EQ(Clock.period().value(), 200.0);
+  EXPECT_DOUBLE_EQ(Clock.horizonLength().value(), 800.0);
+  EXPECT_DOUBLE_EQ(Clock.horizonEnd().value(), 800.0);
   EXPECT_EQ(Clock.iteration(), 0u);
 }
 
 TEST(SimClockTest, AdvanceAccumulatesPeriodByPeriod) {
-  SimClock Clock(0.1, 500.0);
+  SimClock Clock(Duration(0.1), Duration(500.0));
   for (int I = 0; I < 10; ++I)
     Clock.advance();
   EXPECT_EQ(Clock.iteration(), 10u);
@@ -31,13 +31,13 @@ TEST(SimClockTest, AdvanceAccumulatesPeriodByPeriod) {
   double Expected = 0.0;
   for (int I = 0; I < 10; ++I)
     Expected += 0.1;
-  EXPECT_EQ(Clock.now(), Expected);
+  EXPECT_EQ(Clock.now().value(), Expected);
 }
 
 TEST(SimClockTest, HorizonTracksClock) {
-  SimClock Clock(50.0, 600.0);
+  SimClock Clock(Duration(50.0), Duration(600.0));
   Clock.advance();
   Clock.advance();
-  EXPECT_DOUBLE_EQ(Clock.now(), 100.0);
-  EXPECT_DOUBLE_EQ(Clock.horizonEnd(), 700.0);
+  EXPECT_DOUBLE_EQ(Clock.now().value(), 100.0);
+  EXPECT_DOUBLE_EQ(Clock.horizonEnd().value(), 700.0);
 }

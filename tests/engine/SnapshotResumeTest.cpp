@@ -123,9 +123,9 @@ void expectSameTrace(const RunTrace &A, const RunTrace &B) {
       ASSERT_EQ(P.JobId, Q.JobId);
       ASSERT_EQ(P.BatchIndex, Q.BatchIndex);
       ASSERT_EQ(P.AlternativeIndex, Q.AlternativeIndex);
-      ASSERT_EQ(P.W.startTime(), Q.W.startTime());
-      ASSERT_EQ(P.W.endTime(), Q.W.endTime());
-      ASSERT_EQ(P.W.totalCost(), Q.W.totalCost());
+      ASSERT_EQ(P.W.startTime().value(), Q.W.startTime().value());
+      ASSERT_EQ(P.W.endTime().value(), Q.W.endTime().value());
+      ASSERT_EQ(P.W.totalCost().value(), Q.W.totalCost().value());
     }
     ASSERT_EQ(X.Outcome.Postponed, Y.Outcome.Postponed);
     expectSameStats(X.Outcome.Stats, Y.Outcome.Stats);
@@ -222,7 +222,7 @@ RunTrace runScenario(AlgoKind Kind, size_t Threads, uint64_t FuzzSeed,
     Trace.Reports.push_back(Vo->runIteration());
   }
   Trace.Completed = Vo->completed();
-  Trace.Income = Vo->totalIncome();
+  Trace.Income = Vo->totalIncome().value();
   Trace.FilterStats = Vo->filterStats();
   return Trace;
 }
@@ -429,7 +429,7 @@ TEST(SnapshotResumeTest, MultiVoDriverSnapshotDirectoryRoundTrips) {
       ASSERT_EQ(A[I].Report.Committed, B[I].Report.Committed);
     }
   }
-  ASSERT_EQ(Original.totalIncome(), Restored.totalIncome());
+  ASSERT_EQ(Original.totalIncome().value(), Restored.totalIncome().value());
   ASSERT_EQ(Original.totalCompleted(), Restored.totalCompleted());
 
   // A mismatched tenant count is a clean failure, not an abort.

@@ -30,8 +30,7 @@ protected:
   void SetUp() override {
     Domain = buildPaperExampleDomain();
     Jobs = buildPaperExampleBatch();
-    Slots = Domain.vacantSlots(PaperExampleHorizonStart,
-                               PaperExampleHorizonEnd);
+    Slots = Domain.vacantSlots(TimePoint(PaperExampleHorizonStart), TimePoint(PaperExampleHorizonEnd));
   }
 
   ComputingDomain Domain;
@@ -48,11 +47,11 @@ TEST_F(PaperPipelineTest, AmpFirstPassFindsW1) {
   // "The alternative found for Job 1 has two rectangles on cpu1 and
   // cpu4 resource lines on a time span [150, 230] ... total cost per
   // time unit of this window is 10."
-  EXPECT_DOUBLE_EQ(W1->startTime(), 150.0);
-  EXPECT_DOUBLE_EQ(W1->endTime(), 230.0);
+  EXPECT_DOUBLE_EQ(W1->startTime().value(), 150.0);
+  EXPECT_DOUBLE_EQ(W1->endTime().value(), 230.0);
   EXPECT_TRUE(W1->usesNode(0)); // cpu1.
   EXPECT_TRUE(W1->usesNode(3)); // cpu4.
-  EXPECT_DOUBLE_EQ(W1->unitPriceSum(), 10.0);
+  EXPECT_DOUBLE_EQ(W1->unitPriceSum().value(), 10.0);
 }
 
 TEST_F(PaperPipelineTest, AmpFirstPassFindsW2AfterW1Subtraction) {
@@ -70,9 +69,9 @@ TEST_F(PaperPipelineTest, AmpFirstPassFindsW2AfterW1Subtraction) {
   EXPECT_TRUE(W2->usesNode(0)); // cpu1.
   EXPECT_TRUE(W2->usesNode(1)); // cpu2.
   EXPECT_TRUE(W2->usesNode(3)); // cpu4.
-  EXPECT_DOUBLE_EQ(W2->unitPriceSum(), 14.0);
-  EXPECT_DOUBLE_EQ(W2->startTime(), 230.0);
-  EXPECT_DOUBLE_EQ(W2->timeSpan(), 30.0);
+  EXPECT_DOUBLE_EQ(W2->unitPriceSum().value(), 14.0);
+  EXPECT_DOUBLE_EQ(W2->startTime().value(), 230.0);
+  EXPECT_DOUBLE_EQ(W2->timeSpan().value(), 30.0);
 }
 
 TEST_F(PaperPipelineTest, AmpFirstPassFindsW3OnSpan450To500) {
@@ -88,8 +87,8 @@ TEST_F(PaperPipelineTest, AmpFirstPassFindsW3OnSpan450To500) {
   ASSERT_TRUE(W3.has_value());
   // "The earliest possible alternative for the third job is W3 window
   // on a time span of [450, 500]."
-  EXPECT_DOUBLE_EQ(W3->startTime(), 450.0);
-  EXPECT_DOUBLE_EQ(W3->endTime(), 500.0);
+  EXPECT_DOUBLE_EQ(W3->startTime().value(), 450.0);
+  EXPECT_DOUBLE_EQ(W3->endTime().value(), 500.0);
   EXPECT_TRUE(W3->usesNode(2)); // cpu3.
   EXPECT_TRUE(W3->usesNode(4)); // cpu5.
 }

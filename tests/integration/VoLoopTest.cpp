@@ -39,7 +39,7 @@ ComputingDomain makeRandomDomain(RandomGenerator &Rng, int Nodes) {
     double Cursor = Rng.uniformReal(0.0, 100.0);
     for (int T = 0; T < 3; ++T) {
       const double Len = Rng.uniformReal(20.0, 120.0);
-      EXPECT_TRUE(D.addLocalTask(Id, Cursor, Cursor + Len));
+      EXPECT_TRUE(D.addLocalTask(Id, TimePoint(Cursor), TimePoint(Cursor + Len)));
       Cursor += Len + Rng.uniformReal(10.0, 150.0);
     }
   }
@@ -88,7 +88,7 @@ TEST_P(VoLoopTest, LongRunKeepsGlobalInvariants) {
     Committed += Report.Committed;
     Dropped += Report.Dropped;
     // The clock advances by exactly one period per iteration.
-    EXPECT_DOUBLE_EQ(Vo.now(), 150.0 * (Iter + 1));
+    EXPECT_DOUBLE_EQ(Vo.now().value(), 150.0 * (Iter + 1));
   }
 
   // Conservation: every submitted job is running, done, queued, or
@@ -108,7 +108,7 @@ TEST_P(VoLoopTest, LongRunKeepsGlobalInvariants) {
     EXPECT_GE(C.Attempts, 1);
     EXPECT_LE(C.Attempts, Cfg.MaxAttempts);
   }
-  EXPECT_GT(Vo.totalIncome(), 0.0);
+  EXPECT_GT(Vo.totalIncome().value(), 0.0);
 }
 
 TEST_P(VoLoopTest, ReservationsNeverCollideWithLocalTasks) {
@@ -139,9 +139,9 @@ TEST_P(VoLoopTest, ReservationsNeverCollideWithLocalTasks) {
     for (const WindowSlot &M : W)
       for (const BusyInterval &B :
            LocalTasks[static_cast<size_t>(M.Source.NodeId)]) {
-        const double OverlapStart = std::max(W.startTime(), B.Start);
+        const double OverlapStart = std::max(W.startTime().value(), B.Start);
         const double OverlapEnd =
-            std::min(W.startTime() + M.Runtime, B.End);
+            std::min(W.startTime().value() + M.Runtime, B.End);
         EXPECT_LE(OverlapEnd - OverlapStart, 1e-9)
             << "job " << JobId << " overlaps a local task on node "
             << M.Source.NodeId;

@@ -48,14 +48,14 @@ TEST_P(BatchSearchPropertyTest, PlacedWindowsSatisfyRequests) {
     const Window &W = *A.PerJob[J];
     const ResourceRequest &Req = Jobs[J].Request;
     ASSERT_EQ(W.size(), static_cast<size_t>(Req.NodeCount));
-    EXPECT_LE(W.totalCost(), Req.budget() + 1e-6);
+    EXPECT_LE(W.totalCost().value(), Req.budget().value() + 1e-6);
     std::set<int> Nodes;
     for (const WindowSlot &M : W) {
       EXPECT_TRUE(Nodes.insert(M.Source.NodeId).second);
       EXPECT_GE(M.Source.Performance, Req.MinPerformance - 1e-9);
       EXPECT_NEAR(M.Runtime, Req.Volume / M.Source.Performance, 1e-9);
-      EXPECT_LE(M.Source.Start, W.startTime() + 1e-9);
-      EXPECT_GE(M.Source.End, W.startTime() + M.Runtime - 1e-9);
+      EXPECT_LE(M.Source.Start, W.startTime().value() + 1e-9);
+      EXPECT_GE(M.Source.End, W.startTime().value() + M.Runtime - 1e-9);
     }
   }
 }
@@ -110,10 +110,10 @@ TEST_P(BatchSearchPropertyTest, DeterministicAssignment) {
   for (size_t J = 0; J < Jobs.size(); ++J) {
     ASSERT_EQ(A.PerJob[J].has_value(), B.PerJob[J].has_value());
     if (A.PerJob[J]) {
-      EXPECT_DOUBLE_EQ(A.PerJob[J]->startTime(),
-                       B.PerJob[J]->startTime());
-      EXPECT_DOUBLE_EQ(A.PerJob[J]->totalCost(),
-                       B.PerJob[J]->totalCost());
+      EXPECT_DOUBLE_EQ(A.PerJob[J]->startTime().value(),
+                       B.PerJob[J]->startTime().value());
+      EXPECT_DOUBLE_EQ(A.PerJob[J]->totalCost().value(),
+                       B.PerJob[J]->totalCost().value());
     }
   }
 }

@@ -84,7 +84,7 @@ TEST_P(ModelFuzzTest, SlotListMatchesCoverageOracle) {
       return I.second - I.first <= 1e-9;
     });
 
-    const bool ListContained = List.subtract(Node, Start, End);
+    const bool ListContained = List.subtract(Node, TimePoint(Start), TimePoint(End));
     ASSERT_EQ(ListContained, ModelContained)
         << "op " << Op << " node " << Node << " [" << Start << ", "
         << End << ")";
@@ -132,8 +132,8 @@ TEST_P(ModelFuzzTest, DomainVacancyMatchesBooleanTimeline) {
                                           1));
     const bool External = Rng.bernoulli(0.5);
     const bool Accepted =
-        External ? Domain.reserve(Node, Start, End, Op)
-                 : Domain.addLocalTask(Node, Start, End, Op);
+        External ? Domain.reserve(Node, TimePoint(Start), TimePoint(End), Op)
+                 : Domain.addLocalTask(Node, TimePoint(Start), TimePoint(End), Op);
 
     auto &Track = Busy[static_cast<size_t>(Node)];
     bool Overlaps = false;
@@ -147,7 +147,7 @@ TEST_P(ModelFuzzTest, DomainVacancyMatchesBooleanTimeline) {
   }
 
   // The published vacancy must be the exact complement of the timeline.
-  const SlotList Slots = Domain.vacantSlots(0.0, Horizon);
+  const SlotList Slots = Domain.vacantSlots(TimePoint(0.0), TimePoint(Horizon));
   EXPECT_TRUE(Slots.checkInvariants());
   for (int N = 0; N < Nodes; ++N) {
     const auto &Track = Busy[static_cast<size_t>(N)];

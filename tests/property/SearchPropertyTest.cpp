@@ -42,8 +42,8 @@ void expectWindowSatisfiesRequest(const Window &W,
     EXPECT_GE(M.Source.Performance, Req.MinPerformance - 1e-9);
     // Runtime consistency and slot coverage (condition 2b).
     EXPECT_NEAR(M.Runtime, Req.Volume / M.Source.Performance, 1e-9);
-    EXPECT_LE(M.Source.Start, W.startTime() + 1e-9);
-    EXPECT_GE(M.Source.End, W.startTime() + M.Runtime - 1e-9);
+    EXPECT_LE(M.Source.Start, W.startTime().value() + 1e-9);
+    EXPECT_GE(M.Source.End, W.startTime().value() + M.Runtime - 1e-9);
     // Condition 2c (ALP only).
     if (EnforcePerSlotCap) {
       EXPECT_LE(M.Source.UnitPrice, Req.MaxUnitPrice + 1e-9);
@@ -51,9 +51,9 @@ void expectWindowSatisfiesRequest(const Window &W,
     EXPECT_NEAR(M.Cost, M.Source.UnitPrice * M.Runtime, 1e-9);
     Cost += M.Cost;
   }
-  EXPECT_NEAR(W.totalCost(), Cost, 1e-6);
+  EXPECT_NEAR(W.totalCost().value(), Cost, 1e-6);
   if (!EnforcePerSlotCap) {
-    EXPECT_LE(W.totalCost(), Req.budget() + 1e-6);
+    EXPECT_LE(W.totalCost().value(), Req.budget().value() + 1e-6);
   }
 }
 
@@ -101,7 +101,7 @@ TEST_P(SearchPropertyTest, AlpMatchesExhaustiveOracleStart) {
     const auto Slow = Oracle.findWindow(List, J.Request);
     ASSERT_EQ(Fast.has_value(), Slow.has_value());
     if (Fast) {
-      EXPECT_NEAR(Fast->startTime(), Slow->startTime(), 1e-9);
+      EXPECT_NEAR(Fast->startTime().value(), Slow->startTime().value(), 1e-9);
     }
   }
 }
@@ -114,7 +114,7 @@ TEST_P(SearchPropertyTest, AmpMatchesExhaustiveOracleStart) {
     const auto Slow = Oracle.findWindow(List, J.Request);
     ASSERT_EQ(Fast.has_value(), Slow.has_value());
     if (Fast) {
-      EXPECT_NEAR(Fast->startTime(), Slow->startTime(), 1e-9);
+      EXPECT_NEAR(Fast->startTime().value(), Slow->startTime().value(), 1e-9);
     }
   }
 }
@@ -131,7 +131,7 @@ TEST_P(SearchPropertyTest, AmpDominatesAlp) {
     // window, and no later than ALP's.
     const auto AmpW = Amp.findWindow(List, J.Request);
     ASSERT_TRUE(AmpW.has_value());
-    EXPECT_LE(AmpW->startTime(), AlpW->startTime() + 1e-9);
+    EXPECT_LE(AmpW->startTime().value(), AlpW->startTime().value() + 1e-9);
   }
 }
 
@@ -156,8 +156,8 @@ TEST_P(SearchPropertyTest, ResultIsIndependentOfStatsCollection) {
     const auto B = Amp.findWindow(List, J.Request, &Stats);
     ASSERT_EQ(A.has_value(), B.has_value());
     if (A) {
-      EXPECT_DOUBLE_EQ(A->startTime(), B->startTime());
-      EXPECT_DOUBLE_EQ(A->totalCost(), B->totalCost());
+      EXPECT_DOUBLE_EQ(A->startTime().value(), B->startTime().value());
+      EXPECT_DOUBLE_EQ(A->totalCost().value(), B->totalCost().value());
     }
   }
 }

@@ -96,8 +96,8 @@ TEST_P(SubtractionPropertyTest, AlternativesFitOriginalVacancy) {
         bool Contained = false;
         for (const Slot &S : List)
           if (S.NodeId == M.Source.NodeId &&
-              S.Start <= W.startTime() + 1e-9 &&
-              S.End >= W.startTime() + M.Runtime - 1e-9) {
+              S.Start <= W.startTime().value() + 1e-9 &&
+              S.End >= W.startTime().value() + M.Runtime - 1e-9) {
             Contained = true;
             break;
           }

@@ -93,18 +93,18 @@ TEST_P(WorkloadShapeTest, SearchesMatchOracleOnEveryShape) {
     const auto AO = AlpOracle.findWindow(List, J.Request);
     ASSERT_EQ(A.has_value(), AO.has_value());
     if (A) {
-      EXPECT_NEAR(A->startTime(), AO->startTime(), 1e-9);
+      EXPECT_NEAR(A->startTime().value(), AO->startTime().value(), 1e-9);
     }
     const auto M = Amp.findWindow(List, J.Request);
     const auto MO = AmpOracle.findWindow(List, J.Request);
     ASSERT_EQ(M.has_value(), MO.has_value());
     if (M) {
-      EXPECT_NEAR(M->startTime(), MO->startTime(), 1e-9);
+      EXPECT_NEAR(M->startTime().value(), MO->startTime().value(), 1e-9);
     }
     // AMP dominance holds on every shape.
     if (A) {
       ASSERT_TRUE(M.has_value());
-      EXPECT_LE(M->startTime(), A->startTime() + 1e-9);
+      EXPECT_LE(M->startTime().value(), A->startTime().value() + 1e-9);
     }
   }
 }

@@ -14,7 +14,7 @@ using namespace ecosched;
 TEST(ComputingDomainTest, VacantSlotsOfIdleNodeSpanHorizon) {
   ComputingDomain D;
   const int N = D.addNode(1.0, 2.0);
-  const SlotList Slots = D.vacantSlots(0.0, 500.0);
+  const SlotList Slots = D.vacantSlots(TimePoint(0.0), TimePoint(500.0));
   ASSERT_EQ(Slots.size(), 1u);
   EXPECT_EQ(Slots[0].NodeId, N);
   EXPECT_DOUBLE_EQ(Slots[0].Start, 0.0);
@@ -25,9 +25,9 @@ TEST(ComputingDomainTest, VacantSlotsOfIdleNodeSpanHorizon) {
 TEST(ComputingDomainTest, LocalTasksPunchHoles) {
   ComputingDomain D;
   const int N = D.addNode(1.0, 1.0);
-  ASSERT_TRUE(D.addLocalTask(N, 100.0, 200.0));
-  ASSERT_TRUE(D.addLocalTask(N, 300.0, 350.0));
-  const SlotList Slots = D.vacantSlots(0.0, 500.0);
+  ASSERT_TRUE(D.addLocalTask(N, TimePoint(100.0), TimePoint(200.0)));
+  ASSERT_TRUE(D.addLocalTask(N, TimePoint(300.0), TimePoint(350.0)));
+  const SlotList Slots = D.vacantSlots(TimePoint(0.0), TimePoint(500.0));
   ASSERT_EQ(Slots.size(), 3u);
   EXPECT_DOUBLE_EQ(Slots[0].Start, 0.0);
   EXPECT_DOUBLE_EQ(Slots[0].End, 100.0);
@@ -41,9 +41,9 @@ TEST(ComputingDomainTest, HorizonClipsOccupancy) {
   ComputingDomain D;
   const int N = D.addNode(1.0, 1.0);
   // Task straddles the horizon start; another lies fully beyond it.
-  ASSERT_TRUE(D.addLocalTask(N, 0.0, 120.0));
-  ASSERT_TRUE(D.addLocalTask(N, 900.0, 1000.0));
-  const SlotList Slots = D.vacantSlots(100.0, 600.0);
+  ASSERT_TRUE(D.addLocalTask(N, TimePoint(0.0), TimePoint(120.0)));
+  ASSERT_TRUE(D.addLocalTask(N, TimePoint(900.0), TimePoint(1000.0)));
+  const SlotList Slots = D.vacantSlots(TimePoint(100.0), TimePoint(600.0));
   ASSERT_EQ(Slots.size(), 1u);
   EXPECT_DOUBLE_EQ(Slots[0].Start, 120.0);
   EXPECT_DOUBLE_EQ(Slots[0].End, 600.0);
@@ -52,28 +52,28 @@ TEST(ComputingDomainTest, HorizonClipsOccupancy) {
 TEST(ComputingDomainTest, FullyBusyNodePublishesNothing) {
   ComputingDomain D;
   const int N = D.addNode(1.0, 1.0);
-  ASSERT_TRUE(D.addLocalTask(N, 0.0, 1000.0));
-  EXPECT_TRUE(D.vacantSlots(100.0, 600.0).empty());
+  ASSERT_TRUE(D.addLocalTask(N, TimePoint(0.0), TimePoint(1000.0)));
+  EXPECT_TRUE(D.vacantSlots(TimePoint(100.0), TimePoint(600.0)).empty());
 }
 
 TEST(ComputingDomainTest, RejectsOverlappingOccupancy) {
   ComputingDomain D;
   const int N = D.addNode(1.0, 1.0);
-  ASSERT_TRUE(D.addLocalTask(N, 100.0, 200.0));
-  EXPECT_FALSE(D.addLocalTask(N, 150.0, 250.0));
-  EXPECT_FALSE(D.reserve(N, 199.0, 300.0, /*JobId=*/1));
+  ASSERT_TRUE(D.addLocalTask(N, TimePoint(100.0), TimePoint(200.0)));
+  EXPECT_FALSE(D.addLocalTask(N, TimePoint(150.0), TimePoint(250.0)));
+  EXPECT_FALSE(D.reserve(N, TimePoint(199.0), TimePoint(300.0), /*JobId=*/1));
   // Touching intervals are fine.
-  EXPECT_TRUE(D.reserve(N, 200.0, 300.0, /*JobId=*/1));
+  EXPECT_TRUE(D.reserve(N, TimePoint(200.0), TimePoint(300.0), /*JobId=*/1));
 }
 
 TEST(ComputingDomainTest, IsBusyQueries) {
   ComputingDomain D;
   const int N = D.addNode(1.0, 1.0);
-  ASSERT_TRUE(D.addLocalTask(N, 100.0, 200.0));
-  EXPECT_TRUE(D.isBusy(N, 150.0, 160.0));
-  EXPECT_TRUE(D.isBusy(N, 50.0, 101.0));
-  EXPECT_FALSE(D.isBusy(N, 0.0, 100.0));
-  EXPECT_FALSE(D.isBusy(N, 200.0, 300.0));
+  ASSERT_TRUE(D.addLocalTask(N, TimePoint(100.0), TimePoint(200.0)));
+  EXPECT_TRUE(D.isBusy(N, TimePoint(150.0), TimePoint(160.0)));
+  EXPECT_TRUE(D.isBusy(N, TimePoint(50.0), TimePoint(101.0)));
+  EXPECT_FALSE(D.isBusy(N, TimePoint(0.0), TimePoint(100.0)));
+  EXPECT_FALSE(D.isBusy(N, TimePoint(200.0), TimePoint(300.0)));
 }
 
 TEST(ComputingDomainTest, ReserveWindowCommitsAllMembers) {
@@ -92,12 +92,12 @@ TEST(ComputingDomainTest, ReserveWindowCommitsAllMembers) {
   M1.Cost = 150.0;
   Members.push_back(M0);
   Members.push_back(M1);
-  const Window W(50.0, std::move(Members));
+  const Window W(TimePoint(50.0), std::move(Members));
 
   ASSERT_TRUE(D.reserveWindow(W, /*JobId=*/7));
-  EXPECT_TRUE(D.isBusy(A, 50.0, 150.0));
-  EXPECT_TRUE(D.isBusy(B, 50.0, 100.0));
-  EXPECT_FALSE(D.isBusy(B, 100.0, 500.0));
+  EXPECT_TRUE(D.isBusy(A, TimePoint(50.0), TimePoint(150.0)));
+  EXPECT_TRUE(D.isBusy(B, TimePoint(50.0), TimePoint(100.0)));
+  EXPECT_FALSE(D.isBusy(B, TimePoint(100.0), TimePoint(500.0)));
   EXPECT_DOUBLE_EQ(D.externalLoad(), 150.0);
 }
 
@@ -105,7 +105,7 @@ TEST(ComputingDomainTest, ReserveWindowIsAtomicOnConflict) {
   ComputingDomain D;
   const int A = D.addNode(1.0, 2.0);
   const int B = D.addNode(1.0, 3.0);
-  ASSERT_TRUE(D.addLocalTask(B, 60.0, 80.0)); // Conflicts with member 1.
+  ASSERT_TRUE(D.addLocalTask(B, TimePoint(60.0), TimePoint(80.0))); // Conflicts with member 1.
 
   std::vector<WindowSlot> Members;
   WindowSlot M0;
@@ -118,24 +118,24 @@ TEST(ComputingDomainTest, ReserveWindowIsAtomicOnConflict) {
   M1.Cost = 300.0;
   Members.push_back(M0);
   Members.push_back(M1);
-  const Window W(50.0, std::move(Members));
+  const Window W(TimePoint(50.0), std::move(Members));
 
   EXPECT_FALSE(D.reserveWindow(W, /*JobId=*/7));
   // Nothing was committed, node A stays free.
-  EXPECT_FALSE(D.isBusy(A, 0.0, 500.0));
+  EXPECT_FALSE(D.isBusy(A, TimePoint(0.0), TimePoint(500.0)));
   EXPECT_DOUBLE_EQ(D.externalLoad(), 0.0);
 }
 
 TEST(ComputingDomainTest, AdvanceDropsPastOccupancy) {
   ComputingDomain D;
   const int N = D.addNode(1.0, 1.0);
-  ASSERT_TRUE(D.addLocalTask(N, 0.0, 100.0));
-  ASSERT_TRUE(D.reserve(N, 150.0, 250.0, /*JobId=*/1));
-  D.advanceTo(120.0);
+  ASSERT_TRUE(D.addLocalTask(N, TimePoint(0.0), TimePoint(100.0)));
+  ASSERT_TRUE(D.reserve(N, TimePoint(150.0), TimePoint(250.0), /*JobId=*/1));
+  D.advanceTo(TimePoint(120.0));
   EXPECT_EQ(D.occupancy(N).size(), 1u); // Only the reservation remains.
   EXPECT_DOUBLE_EQ(D.localLoad(), 0.0);
   EXPECT_DOUBLE_EQ(D.externalLoad(), 100.0);
-  D.advanceTo(300.0);
+  D.advanceTo(TimePoint(300.0));
   EXPECT_TRUE(D.occupancy(N).empty());
 }
 
@@ -143,9 +143,9 @@ TEST(ComputingDomainTest, LoadAccounting) {
   ComputingDomain D;
   const int A = D.addNode(1.0, 1.0);
   const int B = D.addNode(1.0, 1.0);
-  ASSERT_TRUE(D.addLocalTask(A, 0.0, 100.0));
-  ASSERT_TRUE(D.addLocalTask(B, 0.0, 50.0));
-  ASSERT_TRUE(D.reserve(B, 60.0, 100.0, /*JobId=*/3));
+  ASSERT_TRUE(D.addLocalTask(A, TimePoint(0.0), TimePoint(100.0)));
+  ASSERT_TRUE(D.addLocalTask(B, TimePoint(0.0), TimePoint(50.0)));
+  ASSERT_TRUE(D.reserve(B, TimePoint(60.0), TimePoint(100.0), /*JobId=*/3));
   EXPECT_DOUBLE_EQ(D.localLoad(), 150.0);
   EXPECT_DOUBLE_EQ(D.externalLoad(), 40.0);
 }
@@ -154,9 +154,9 @@ TEST(ComputingDomainTest, VacantSlotsAreSorted) {
   ComputingDomain D;
   const int A = D.addNode(1.0, 1.0);
   const int B = D.addNode(1.0, 1.0);
-  ASSERT_TRUE(D.addLocalTask(A, 0.0, 300.0));
-  ASSERT_TRUE(D.addLocalTask(B, 100.0, 200.0));
-  const SlotList Slots = D.vacantSlots(0.0, 600.0);
+  ASSERT_TRUE(D.addLocalTask(A, TimePoint(0.0), TimePoint(300.0)));
+  ASSERT_TRUE(D.addLocalTask(B, TimePoint(100.0), TimePoint(200.0)));
+  const SlotList Slots = D.vacantSlots(TimePoint(0.0), TimePoint(600.0));
   EXPECT_TRUE(Slots.checkInvariants());
   ASSERT_EQ(Slots.size(), 3u);
   EXPECT_DOUBLE_EQ(Slots[0].Start, 0.0);   // B: [0,100).

@@ -12,28 +12,28 @@
 using namespace ecosched;
 
 TEST(GanttChartTest, FillMarksExpectedCells) {
-  GanttChart Chart(0.0, 100.0, 10); // 10 units per cell.
+  GanttChart Chart(TimePoint(0.0), TimePoint(100.0), 10); // 10 units per cell.
   const size_t Row = Chart.addRow("n0");
-  Chart.fill(Row, 20.0, 50.0, '#');
+  Chart.fill(Row, TimePoint(20.0), TimePoint(50.0), '#');
   const std::string Out = Chart.render();
   // Cells 2..4 are painted; cell 5 (t=50, exclusive end) is not.
   EXPECT_NE(Out.find("n0 |..###.....|"), std::string::npos);
 }
 
 TEST(GanttChartTest, SubCellSpanStillVisible) {
-  GanttChart Chart(0.0, 100.0, 10);
+  GanttChart Chart(TimePoint(0.0), TimePoint(100.0), 10);
   const size_t Row = Chart.addRow("n0");
-  Chart.fill(Row, 42.0, 44.0, 'X');
+  Chart.fill(Row, TimePoint(42.0), TimePoint(44.0), 'X');
   const std::string Out = Chart.render();
   EXPECT_NE(Out.find("X"), std::string::npos);
 }
 
 TEST(GanttChartTest, OutOfHorizonSpansClipped) {
-  GanttChart Chart(100.0, 200.0, 10);
+  GanttChart Chart(TimePoint(100.0), TimePoint(200.0), 10);
   const size_t Row = Chart.addRow("n0");
-  Chart.fill(Row, 0.0, 50.0, 'A');   // Fully before: invisible.
-  Chart.fill(Row, 250.0, 300.0, 'B'); // Fully after: invisible.
-  Chart.fill(Row, 150.0, 400.0, 'C'); // Clipped to [150,200).
+  Chart.fill(Row, TimePoint(0.0), TimePoint(50.0), 'A');   // Fully before: invisible.
+  Chart.fill(Row, TimePoint(250.0), TimePoint(300.0), 'B'); // Fully after: invisible.
+  Chart.fill(Row, TimePoint(150.0), TimePoint(400.0), 'C'); // Clipped to [150,200).
   const std::string Out = Chart.render();
   EXPECT_EQ(Out.find('A'), std::string::npos);
   EXPECT_EQ(Out.find('B'), std::string::npos);
@@ -41,7 +41,7 @@ TEST(GanttChartTest, OutOfHorizonSpansClipped) {
 }
 
 TEST(GanttChartTest, RendersAllRowsAndAxis) {
-  GanttChart Chart(0.0, 600.0, 20);
+  GanttChart Chart(TimePoint(0.0), TimePoint(600.0), 20);
   Chart.addRow("cpu1");
   Chart.addRow("cpu2-long-name");
   const std::string Out = Chart.render();
@@ -54,9 +54,9 @@ TEST(GanttChartTest, RendersAllRowsAndAxis) {
 TEST(GanttChartTest, DomainChartShowsLocalAndExternal) {
   ComputingDomain D;
   const int N = D.addNode(1.0, 2.0, "cpuX");
-  ASSERT_TRUE(D.addLocalTask(N, 0.0, 300.0));
-  ASSERT_TRUE(D.reserve(N, 300.0, 600.0, /*JobId=*/1));
-  const std::string Out = renderDomainChart(D, 0.0, 600.0, 24);
+  ASSERT_TRUE(D.addLocalTask(N, TimePoint(0.0), TimePoint(300.0)));
+  ASSERT_TRUE(D.reserve(N, TimePoint(300.0), TimePoint(600.0), /*JobId=*/1));
+  const std::string Out = renderDomainChart(D, TimePoint(0.0), TimePoint(600.0), 24);
   EXPECT_NE(Out.find("cpuX"), std::string::npos);
   EXPECT_NE(Out.find('#'), std::string::npos); // Local occupancy.
   EXPECT_NE(Out.find('B'), std::string::npos); // Job 1 -> 'A' + 1.
@@ -66,9 +66,9 @@ TEST(GanttChartTest, SvgChartContainsLanesAndOccupancy) {
   ComputingDomain D;
   const int A = D.addNode(1.0, 2.0, "alpha");
   D.addNode(2.0, 3.0, "beta");
-  ASSERT_TRUE(D.addLocalTask(A, 0.0, 200.0));
-  ASSERT_TRUE(D.reserve(A, 250.0, 400.0, /*JobId=*/2));
-  const SvgDocument Doc = renderDomainSvg(D, {}, 0.0, 600.0);
+  ASSERT_TRUE(D.addLocalTask(A, TimePoint(0.0), TimePoint(200.0)));
+  ASSERT_TRUE(D.reserve(A, TimePoint(250.0), TimePoint(400.0), /*JobId=*/2));
+  const SvgDocument Doc = renderDomainSvg(D, {}, TimePoint(0.0), TimePoint(600.0));
   const std::string Out = Doc.str();
   EXPECT_NE(Out.find("alpha"), std::string::npos);
   EXPECT_NE(Out.find("beta"), std::string::npos);
@@ -85,10 +85,10 @@ TEST(GanttChartTest, SvgWindowOverlayRendered) {
   M.Runtime = 100.0;
   M.Cost = 200.0;
   Members.push_back(M);
-  const Window W(50.0, std::move(Members));
+  const Window W(TimePoint(50.0), std::move(Members));
   const std::vector<ChartWindow> Overlay = {{&W, 'A'}};
   const std::string Out =
-      renderDomainSvg(D, Overlay, 0.0, 600.0).str();
+      renderDomainSvg(D, Overlay, TimePoint(0.0), TimePoint(600.0)).str();
   EXPECT_NE(Out.find("stroke=\"#222222\""), std::string::npos);
 }
 
@@ -101,8 +101,8 @@ TEST(GanttChartTest, WindowOverlayUsesRequestedFill) {
   M.Runtime = 200.0;
   M.Cost = 400.0;
   Members.push_back(M);
-  const Window W(100.0, std::move(Members));
+  const Window W(TimePoint(100.0), std::move(Members));
   const std::vector<ChartWindow> Overlay = {{&W, 'W'}};
-  const std::string Out = renderDomainChart(D, Overlay, 0.0, 600.0, 24);
+  const std::string Out = renderDomainChart(D, Overlay, TimePoint(0.0), TimePoint(600.0), 24);
   EXPECT_NE(Out.find('W'), std::string::npos);
 }

@@ -163,10 +163,10 @@ TEST(RequestBudgetTest, PolicyFormulas) {
   Req.BudgetFactor = 1.0;
   Req.BudgetPolicy = BudgetPolicyKind::SpanBased;
   // Span-based: 4 * 3 * (100/2) = 600.
-  EXPECT_DOUBLE_EQ(Req.budget(), 600.0);
+  EXPECT_DOUBLE_EQ(Req.budget().value(), 600.0);
   Req.BudgetPolicy = BudgetPolicyKind::VolumeBased;
   // Volume-based: 4 * 3 * 100 = 1200.
-  EXPECT_DOUBLE_EQ(Req.budget(), 1200.0);
+  EXPECT_DOUBLE_EQ(Req.budget().value(), 1200.0);
   Req.BudgetFactor = 0.5;
-  EXPECT_DOUBLE_EQ(Req.budget(), 600.0);
+  EXPECT_DOUBLE_EQ(Req.budget().value(), 600.0);
 }

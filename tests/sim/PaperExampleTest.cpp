@@ -32,8 +32,7 @@ TEST(PaperExampleTest, SevenLocalTasks) {
 
 TEST(PaperExampleTest, TenVacantSlotsAsInFig2a) {
   const ComputingDomain D = buildPaperExampleDomain();
-  const SlotList Slots = D.vacantSlots(PaperExampleHorizonStart,
-                                       PaperExampleHorizonEnd);
+  const SlotList Slots = D.vacantSlots(TimePoint(PaperExampleHorizonStart), TimePoint(PaperExampleHorizonEnd));
   ASSERT_EQ(Slots.size(), 10u);
   EXPECT_TRUE(Slots.checkInvariants());
 
@@ -78,7 +77,7 @@ TEST(PaperExampleTest, BatchMatchesSection4Requirements) {
 TEST(PaperExampleTest, BudgetsMatchTotalWindowCostCaps) {
   const Batch Jobs = buildPaperExampleBatch();
   // S = C*t*N with uniform performance: total cap per time * runtime.
-  EXPECT_DOUBLE_EQ(Jobs[0].Request.budget(), 10.0 * 80.0);
-  EXPECT_DOUBLE_EQ(Jobs[1].Request.budget(), 30.0 * 30.0);
-  EXPECT_DOUBLE_EQ(Jobs[2].Request.budget(), 6.0 * 50.0);
+  EXPECT_DOUBLE_EQ(Jobs[0].Request.budget().value(), 10.0 * 80.0);
+  EXPECT_DOUBLE_EQ(Jobs[1].Request.budget().value(), 30.0 * 30.0);
+  EXPECT_DOUBLE_EQ(Jobs[2].Request.budget().value(), 6.0 * 50.0);
 }

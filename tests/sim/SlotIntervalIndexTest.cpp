@@ -71,19 +71,19 @@ TEST(SlotIntervalIndexTest, FindContainerMatchesLinearSemantics) {
   Index.buildFrom(Sorted);
   ASSERT_TRUE(Index.built());
 
-  const auto Hit = Index.findContainer(0, 5.0, 8.0);
+  const auto Hit = Index.findContainer(0, TimePoint(5.0), TimePoint(8.0));
   ASSERT_TRUE(Hit.has_value());
   EXPECT_EQ(Hit->Start, 0.0);
   EXPECT_EQ(Hit->End, 10.0);
 
-  const auto Exact = Index.findContainer(0, 20.0, 30.0);
+  const auto Exact = Index.findContainer(0, TimePoint(20.0), TimePoint(30.0));
   ASSERT_TRUE(Exact.has_value());
   EXPECT_EQ(Exact->Start, 20.0);
 
   // A span bridging the node's hole has no container; nor does a span
   // on a node the index never saw.
-  EXPECT_FALSE(Index.findContainer(0, 5.0, 25.0).has_value());
-  EXPECT_FALSE(Index.findContainer(7, 5.0, 8.0).has_value());
+  EXPECT_FALSE(Index.findContainer(0, TimePoint(5.0), TimePoint(25.0)).has_value());
+  EXPECT_FALSE(Index.findContainer(7, TimePoint(5.0), TimePoint(8.0)).has_value());
   EXPECT_TRUE(Index.consistentWith(Sorted));
 }
 
@@ -104,8 +104,8 @@ TEST(SlotIntervalIndexTest, IndexedSubtractMatchesLinearRandomized) {
       const double Lo = S.Start + 0.25 * Quarter(Rng);
       const double Hi = Lo + 0.25 * Quarter(Rng);
       const int Node = Quarter(Rng) == 0 ? S.NodeId + 1 : S.NodeId;
-      const bool HitIndexed = Indexed.subtract(Node, Lo, Hi);
-      const bool HitLinear = Linear.subtractLinear(Node, Lo, Hi);
+      const bool HitIndexed = Indexed.subtract(Node, TimePoint(Lo), TimePoint(Hi));
+      const bool HitLinear = Linear.subtractLinear(Node, TimePoint(Lo), TimePoint(Hi));
       ASSERT_EQ(HitIndexed, HitLinear)
           << "seed " << Seed << " op " << Op << " node " << Node << " ["
           << Lo << ", " << Hi << ")";
@@ -125,18 +125,17 @@ TEST(SlotIntervalIndexTest, StaysConsistentThroughExactAndKeepPath) {
   // leave the index too (the SlotFilter re-admission path).
   const Slot Container = List[0];
   const double Mid = (Container.Start + Container.End) / 2.0;
-  ASSERT_TRUE(List.subtractExact(Container, Container.Start, Mid,
-                                 [](const Slot &Piece) {
+  ASSERT_TRUE(List.subtractExact(Container, TimePoint(Container.Start), TimePoint(Mid), [](const Slot &Piece) {
                                    return Piece.length() >= 1.0;
                                  }));
   EXPECT_TRUE(List.checkIndexConsistency());
 
   // Plain subtractExact and insert keep maintaining it incrementally.
   const Slot Next = List[0];
-  ASSERT_TRUE(List.subtractExact(Next, Next.Start, Next.End));
+  ASSERT_TRUE(List.subtractExact(Next, TimePoint(Next.Start), TimePoint(Next.End)));
   List.insert(makeSlot(9, 100.0, 200.0));
   EXPECT_TRUE(List.checkIndexConsistency());
-  ASSERT_TRUE(List.subtract(9, 110.0, 120.0));
+  ASSERT_TRUE(List.subtract(9, TimePoint(110.0), TimePoint(120.0)));
   EXPECT_TRUE(List.checkIndexConsistency());
   EXPECT_TRUE(List.checkInvariants());
 }
@@ -155,14 +154,14 @@ TEST(SlotIntervalIndexTest, FallsBackExactlyOnInvariantViolatingList) {
 
   // The linear scan picks [0, 100) — first in master order — even
   // though [10, 20) also contains the span.
-  ASSERT_TRUE(Indexed.subtract(0, 12.0, 18.0));
-  ASSERT_TRUE(Linear.subtractLinear(0, 12.0, 18.0));
+  ASSERT_TRUE(Indexed.subtract(0, TimePoint(12.0), TimePoint(18.0)));
+  ASSERT_TRUE(Linear.subtractLinear(0, TimePoint(12.0), TimePoint(18.0)));
   expectSameLists(Indexed, Linear);
   EXPECT_TRUE(Indexed.checkIndexConsistency());
 
   // A miss must agree too.
-  EXPECT_FALSE(Indexed.subtract(0, 95.0, 105.0));
-  EXPECT_FALSE(Linear.subtractLinear(0, 95.0, 105.0));
+  EXPECT_FALSE(Indexed.subtract(0, TimePoint(95.0), TimePoint(105.0)));
+  EXPECT_FALSE(Linear.subtractLinear(0, TimePoint(95.0), TimePoint(105.0)));
   expectSameLists(Indexed, Linear);
 }
 
@@ -171,9 +170,9 @@ TEST(SlotIntervalIndexTest, MissLeavesListAndIndexUntouched) {
                  makeSlot(1, 0.0, 100.0)});
   List.buildIndexNow();
   const SlotList Before = List;
-  EXPECT_FALSE(List.subtract(0, 30.0, 70.0)); // Bridges node 0's hole.
-  EXPECT_FALSE(List.subtract(2, 10.0, 20.0)); // Node not present.
-  EXPECT_FALSE(List.subtract(1, 90.0, 110.0)); // Past the slot end.
+  EXPECT_FALSE(List.subtract(0, TimePoint(30.0), TimePoint(70.0))); // Bridges node 0's hole.
+  EXPECT_FALSE(List.subtract(2, TimePoint(10.0), TimePoint(20.0))); // Node not present.
+  EXPECT_FALSE(List.subtract(1, TimePoint(90.0), TimePoint(110.0))); // Past the slot end.
   expectSameLists(List, Before);
   EXPECT_TRUE(List.checkIndexConsistency());
 }
@@ -184,7 +183,7 @@ TEST(SlotIntervalIndexTest, LazyBuildHonorsSizeThreshold) {
   SlotList Small(makeGridSlots(/*Nodes=*/2, /*PerNode=*/4, /*Seed=*/3));
   ASSERT_LT(Small.size(), SlotList::IndexBuildThreshold);
   const Slot S = Small[0];
-  EXPECT_TRUE(Small.subtract(S.NodeId, S.Start, S.End));
+  EXPECT_TRUE(Small.subtract(S.NodeId, TimePoint(S.Start), TimePoint(S.End)));
   EXPECT_FALSE(Small.indexBuilt());
 
   const int PerNode =
@@ -192,7 +191,7 @@ TEST(SlotIntervalIndexTest, LazyBuildHonorsSizeThreshold) {
   SlotList Large(makeGridSlots(/*Nodes=*/8, PerNode, /*Seed=*/4));
   ASSERT_GE(Large.size(), SlotList::IndexBuildThreshold);
   EXPECT_FALSE(Large.indexBuilt());
-  EXPECT_FALSE(Large.subtract(0, 1e6, 1e6 + 1.0)); // Miss, but builds.
+  EXPECT_FALSE(Large.subtract(0, TimePoint(1e6), TimePoint(1e6 + 1.0))); // Miss, but builds.
   EXPECT_TRUE(Large.indexBuilt());
   EXPECT_TRUE(Large.checkIndexConsistency());
 }
@@ -205,7 +204,7 @@ TEST(SlotIntervalIndexTest, CopiesCarryIndependentIndexes) {
   SlotList Copy = Master;
   ASSERT_TRUE(Copy.indexBuilt());
   const Slot S = Copy[0];
-  ASSERT_TRUE(Copy.subtract(S.NodeId, S.Start, S.End));
+  ASSERT_TRUE(Copy.subtract(S.NodeId, TimePoint(S.Start), TimePoint(S.End)));
   EXPECT_TRUE(Copy.checkIndexConsistency());
   EXPECT_FALSE(Copy.containsExact(S));
   // The master must be unaffected by the copy's mutation.
@@ -218,7 +217,7 @@ TEST(SlotIntervalIndexTest, CopiesCarryIndependentIndexes) {
   Assigned = Master;
   expectSameLists(Assigned, Master);
   const Slot T = Assigned[0];
-  ASSERT_TRUE(Assigned.subtract(T.NodeId, T.Start, T.End));
+  ASSERT_TRUE(Assigned.subtract(T.NodeId, TimePoint(T.Start), TimePoint(T.End)));
   EXPECT_TRUE(Assigned.checkIndexConsistency());
   EXPECT_TRUE(Master.containsExact(T));
 }
@@ -260,7 +259,7 @@ TEST(SlotIntervalIndexTest, CompactThresholdSweepIsAnswerInvariant) {
       }
       const Slot &Probe = Mirror[Rng() % Mirror.size()];
       const auto Hit =
-          Index.findContainer(Probe.NodeId, Probe.Start, Probe.End);
+          Index.findContainer(Probe.NodeId, TimePoint(Probe.Start), TimePoint(Probe.End));
       ASSERT_TRUE(Hit.has_value());
       EXPECT_EQ(Hit->Start, Probe.Start);
       EXPECT_EQ(Hit->End, Probe.End);

@@ -48,7 +48,7 @@ TEST(SlotListTest, InsertIgnoresZeroLength) {
 
 TEST(SlotListTest, SubtractMiddleSplitsInTwo) {
   SlotList List({makeSlot(0, 0.0, 100.0)});
-  ASSERT_TRUE(List.subtract(0, 40.0, 60.0));
+  ASSERT_TRUE(List.subtract(0, TimePoint(40.0), TimePoint(60.0)));
   ASSERT_EQ(List.size(), 2u);
   EXPECT_DOUBLE_EQ(List[0].Start, 0.0);
   EXPECT_DOUBLE_EQ(List[0].End, 40.0);
@@ -59,7 +59,7 @@ TEST(SlotListTest, SubtractMiddleSplitsInTwo) {
 
 TEST(SlotListTest, SubtractPrefixLeavesTail) {
   SlotList List({makeSlot(0, 0.0, 100.0)});
-  ASSERT_TRUE(List.subtract(0, 0.0, 30.0));
+  ASSERT_TRUE(List.subtract(0, TimePoint(0.0), TimePoint(30.0)));
   ASSERT_EQ(List.size(), 1u);
   EXPECT_DOUBLE_EQ(List[0].Start, 30.0);
   EXPECT_DOUBLE_EQ(List[0].End, 100.0);
@@ -67,7 +67,7 @@ TEST(SlotListTest, SubtractPrefixLeavesTail) {
 
 TEST(SlotListTest, SubtractSuffixLeavesHead) {
   SlotList List({makeSlot(0, 0.0, 100.0)});
-  ASSERT_TRUE(List.subtract(0, 70.0, 100.0));
+  ASSERT_TRUE(List.subtract(0, TimePoint(70.0), TimePoint(100.0)));
   ASSERT_EQ(List.size(), 1u);
   EXPECT_DOUBLE_EQ(List[0].Start, 0.0);
   EXPECT_DOUBLE_EQ(List[0].End, 70.0);
@@ -75,14 +75,14 @@ TEST(SlotListTest, SubtractSuffixLeavesHead) {
 
 TEST(SlotListTest, SubtractWholeSlotRemovesIt) {
   SlotList List({makeSlot(0, 0.0, 100.0), makeSlot(1, 0.0, 50.0)});
-  ASSERT_TRUE(List.subtract(0, 0.0, 100.0));
+  ASSERT_TRUE(List.subtract(0, TimePoint(0.0), TimePoint(100.0)));
   ASSERT_EQ(List.size(), 1u);
   EXPECT_EQ(List[0].NodeId, 1);
 }
 
 TEST(SlotListTest, SubtractPicksCorrectNode) {
   SlotList List({makeSlot(0, 0.0, 100.0), makeSlot(1, 0.0, 100.0)});
-  ASSERT_TRUE(List.subtract(1, 10.0, 20.0));
+  ASSERT_TRUE(List.subtract(1, TimePoint(10.0), TimePoint(20.0)));
   ASSERT_EQ(List.size(), 3u);
   // Node 0's slot is untouched.
   double Node0Span = 0.0;
@@ -94,9 +94,9 @@ TEST(SlotListTest, SubtractPicksCorrectNode) {
 
 TEST(SlotListTest, SubtractFailsWhenNotContained) {
   SlotList List({makeSlot(0, 20.0, 100.0)});
-  EXPECT_FALSE(List.subtract(0, 10.0, 30.0));  // Starts before the slot.
-  EXPECT_FALSE(List.subtract(0, 90.0, 110.0)); // Ends after the slot.
-  EXPECT_FALSE(List.subtract(1, 30.0, 40.0));  // Wrong node.
+  EXPECT_FALSE(List.subtract(0, TimePoint(10.0), TimePoint(30.0)));  // Starts before the slot.
+  EXPECT_FALSE(List.subtract(0, TimePoint(90.0), TimePoint(110.0))); // Ends after the slot.
+  EXPECT_FALSE(List.subtract(1, TimePoint(30.0), TimePoint(40.0)));  // Wrong node.
   EXPECT_EQ(List.size(), 1u);
 }
 
@@ -104,13 +104,13 @@ TEST(SlotListTest, SubtractAcrossTwoSlotsOfSameNodeFails) {
   // [0,40) and [60,100) on the same node: a span bridging the hole is
   // not contained in either slot.
   SlotList List({makeSlot(0, 0.0, 40.0), makeSlot(0, 60.0, 100.0)});
-  EXPECT_FALSE(List.subtract(0, 30.0, 70.0));
+  EXPECT_FALSE(List.subtract(0, TimePoint(30.0), TimePoint(70.0)));
   EXPECT_EQ(List.size(), 2u);
 }
 
 TEST(SlotListTest, SubtractEmptySpanIsNoop) {
   SlotList List({makeSlot(0, 0.0, 100.0)});
-  EXPECT_TRUE(List.subtract(0, 50.0, 50.0));
+  EXPECT_TRUE(List.subtract(0, TimePoint(50.0), TimePoint(50.0)));
   EXPECT_EQ(List.size(), 1u);
   EXPECT_DOUBLE_EQ(List.totalSpan(), 100.0);
 }
@@ -118,7 +118,7 @@ TEST(SlotListTest, SubtractEmptySpanIsNoop) {
 TEST(SlotListTest, SubtractConservesMeasure) {
   SlotList List({makeSlot(0, 0.0, 100.0), makeSlot(1, 10.0, 210.0)});
   const double Before = List.totalSpan();
-  ASSERT_TRUE(List.subtract(1, 50.0, 90.0));
+  ASSERT_TRUE(List.subtract(1, TimePoint(50.0), TimePoint(90.0)));
   EXPECT_NEAR(List.totalSpan(), Before - 40.0, 1e-9);
   EXPECT_TRUE(List.checkInvariants());
 }
@@ -127,7 +127,7 @@ TEST(SlotListTest, SubtractWithEqualStartsOnNode) {
   // Two slots share a start time; subtraction must pick the one that
   // actually contains the span.
   SlotList List({makeSlot(0, 0.0, 20.0), makeSlot(1, 0.0, 200.0)});
-  ASSERT_TRUE(List.subtract(1, 150.0, 200.0));
+  ASSERT_TRUE(List.subtract(1, TimePoint(150.0), TimePoint(200.0)));
   EXPECT_TRUE(List.checkInvariants());
   double Node1Span = 0.0;
   for (const Slot &S : List)
@@ -144,13 +144,13 @@ TEST(SlotListTest, SubtractToleratesSubEpsilonOvershoot) {
   // fuzz/WindowInvariantFuzzer.cpp.
   const double Overshoot = 10.0 + TimeEpsilon / 2.0;
   SlotList List({makeSlot(0, 0.0, 10.0)});
-  ASSERT_TRUE(List.subtract(0, 2.0, Overshoot));
+  ASSERT_TRUE(List.subtract(0, TimePoint(2.0), TimePoint(Overshoot)));
   EXPECT_TRUE(List.checkInvariants());
   EXPECT_DOUBLE_EQ(List.totalSpan(), 2.0);
 
   SlotList Exact({makeSlot(0, 0.0, 10.0)});
   const Slot Container = *Exact.begin();
-  ASSERT_TRUE(Exact.subtractExact(Container, 2.0, Overshoot));
+  ASSERT_TRUE(Exact.subtractExact(Container, TimePoint(2.0), TimePoint(Overshoot)));
   EXPECT_TRUE(Exact.checkInvariants());
   EXPECT_DOUBLE_EQ(Exact.totalSpan(), 2.0);
 
@@ -158,7 +158,7 @@ TEST(SlotListTest, SubtractToleratesSubEpsilonOvershoot) {
   SlotList HeadSide({makeSlot(0, 5.0, 15.0)});
   const Slot HeadContainer = *HeadSide.begin();
   ASSERT_TRUE(
-      HeadSide.subtractExact(HeadContainer, 5.0 - TimeEpsilon / 2.0, 9.0));
+      HeadSide.subtractExact(HeadContainer, TimePoint(5.0 - TimeEpsilon / 2.0), TimePoint(9.0)));
   EXPECT_TRUE(HeadSide.checkInvariants());
   EXPECT_DOUBLE_EQ(HeadSide.totalSpan(), 6.0);
 }
@@ -210,9 +210,9 @@ TEST(SlotListTest, SubtractOnLongMultiNodeList) {
       {4, 395.0, 405.0, false}, // Past the node's last slot end.
   };
   for (const Probe &P : Probes) {
-    EXPECT_EQ(Indexed.subtract(P.Node, P.Lo, P.Hi), P.Hit)
+    EXPECT_EQ(Indexed.subtract(P.Node, TimePoint(P.Lo), TimePoint(P.Hi)), P.Hit)
         << "indexed probe node " << P.Node;
-    EXPECT_EQ(Linear.subtractLinear(P.Node, P.Lo, P.Hi), P.Hit)
+    EXPECT_EQ(Linear.subtractLinear(P.Node, TimePoint(P.Lo), TimePoint(P.Hi)), P.Hit)
         << "linear probe node " << P.Node;
   }
   ASSERT_EQ(Indexed.size(), Linear.size());
@@ -230,12 +230,12 @@ TEST(SlotListTest, ScanEndBeforeMatchesDeadlineBreak) {
                  makeSlot(2, 20.0, 30.0)});
   // Exactly the slots a loop with "break on approxGe(Start, Limit)"
   // would examine: starts strictly below the limit (tolerantly).
-  EXPECT_EQ(List.scanEndBefore(20.0) - List.begin(), 2);
-  EXPECT_EQ(List.scanEndBefore(5.0) - List.begin(), 1);
-  EXPECT_EQ(List.scanEndBefore(0.0) - List.begin(), 0);
-  EXPECT_EQ(List.scanEndBefore(100.0), List.end());
+  EXPECT_EQ(List.scanEndBefore(TimePoint(20.0)) - List.begin(), 2);
+  EXPECT_EQ(List.scanEndBefore(TimePoint(5.0)) - List.begin(), 1);
+  EXPECT_EQ(List.scanEndBefore(TimePoint(0.0)) - List.begin(), 0);
+  EXPECT_EQ(List.scanEndBefore(TimePoint(100.0)), List.end());
   // An infinite limit (the default Deadline) never bounds the scan.
-  EXPECT_EQ(List.scanEndBefore(std::numeric_limits<double>::infinity()),
+  EXPECT_EQ(List.scanEndBefore(TimePoint(std::numeric_limits<double>::infinity())),
             List.end());
 }
 

@@ -60,7 +60,7 @@ TEST(SlotListValidate, TouchingSlotsAreNotOverlap) {
 
 TEST(SlotListValidate, SubtractPreservesValidity) {
   SlotList List = healthyList();
-  ASSERT_TRUE(List.subtract(0, 2.0, 4.0));
+  ASSERT_TRUE(List.subtract(0, TimePoint(2.0), TimePoint(4.0)));
   List.validate();
   SUCCEED();
 }
@@ -72,7 +72,7 @@ Window healthyWindow() {
                      /*Cost=*/8.0});
   Members.push_back({Slot(1, 2.0, 3.0, 1.0, 8.0), /*Runtime=*/2.0,
                      /*Cost=*/6.0});
-  return Window(1.0, std::move(Members));
+  return Window(TimePoint(1.0), std::move(Members));
 }
 
 TEST(WindowValidate, HealthyWindowPasses) {
@@ -86,7 +86,7 @@ TEST(WindowValidateDeathTest, DetectsCostInconsistentWithPriceAndRuntime) {
   // UnitPrice 2.0 * Runtime 4.0 = 8.0, but the cached cost claims 9.5.
   Members.push_back({Slot(0, 1.0, 2.0, 0.0, 10.0), /*Runtime=*/4.0,
                      /*Cost=*/9.5});
-  const Window W(1.0, std::move(Members));
+  const Window W(TimePoint(1.0), std::move(Members));
   EXPECT_DEATH(W.validate(), "disagrees with UnitPrice");
 }
 
@@ -101,7 +101,7 @@ TEST(WindowValidateDeathTest, ConstructorRejectsNonCoveringMember) {
   std::vector<WindowSlot> Members;
   Members.push_back({Slot(0, 1.0, 2.0, 0.0, 3.0), /*Runtime=*/4.0,
                      /*Cost=*/8.0});
-  EXPECT_DEATH(Window(1.0, std::move(Members)),
+  EXPECT_DEATH(Window(TimePoint(1.0), std::move(Members)),
                "does not cover the window span");
 }
 

@@ -16,32 +16,32 @@ TEST(SlotTest, LengthAndRuntime) {
          /*Start=*/10.0, /*End=*/110.0);
   EXPECT_DOUBLE_EQ(S.length(), 100.0);
   // A task of volume 80 runs for 40 on a performance-2 node.
-  EXPECT_DOUBLE_EQ(S.runtimeFor(80.0), 40.0);
+  EXPECT_DOUBLE_EQ(S.runtimeFor(80.0).value(), 40.0);
 }
 
 TEST(SlotTest, EtalonNodeRuntimeEqualsVolume) {
   Slot S(0, 1.0, 1.0, 0.0, 100.0);
-  EXPECT_DOUBLE_EQ(S.runtimeFor(65.0), 65.0);
+  EXPECT_DOUBLE_EQ(S.runtimeFor(65.0).value(), 65.0);
 }
 
 TEST(SlotTest, CoversFromInside) {
   Slot S(0, 1.0, 1.0, 100.0, 200.0);
-  EXPECT_TRUE(S.coversFrom(100.0, 100.0)); // Exactly fits.
-  EXPECT_TRUE(S.coversFrom(150.0, 50.0));  // Tail fits.
-  EXPECT_TRUE(S.coversFrom(120.0, 30.0));  // Interior.
+  EXPECT_TRUE(S.coversFrom(TimePoint(100.0), Duration(100.0))); // Exactly fits.
+  EXPECT_TRUE(S.coversFrom(TimePoint(150.0), Duration(50.0)));  // Tail fits.
+  EXPECT_TRUE(S.coversFrom(TimePoint(120.0), Duration(30.0)));  // Interior.
 }
 
 TEST(SlotTest, CoversFromRejectsOutside) {
   Slot S(0, 1.0, 1.0, 100.0, 200.0);
-  EXPECT_FALSE(S.coversFrom(99.0, 10.0));   // Starts before the slot.
-  EXPECT_FALSE(S.coversFrom(150.0, 51.0));  // Overruns the end.
-  EXPECT_FALSE(S.coversFrom(200.0, 1.0));   // Starts at the end.
+  EXPECT_FALSE(S.coversFrom(TimePoint(99.0), Duration(10.0)));   // Starts before the slot.
+  EXPECT_FALSE(S.coversFrom(TimePoint(150.0), Duration(51.0)));  // Overruns the end.
+  EXPECT_FALSE(S.coversFrom(TimePoint(200.0), Duration(1.0)));   // Starts at the end.
 }
 
 TEST(SlotTest, CoversFromToleratesEpsilon) {
   Slot S(0, 1.0, 1.0, 100.0, 200.0);
-  EXPECT_TRUE(S.coversFrom(100.0 - 1e-12, 100.0));
-  EXPECT_TRUE(S.coversFrom(100.0, 100.0 + 1e-12));
+  EXPECT_TRUE(S.coversFrom(TimePoint(100.0 - 1e-12), Duration(100.0)));
+  EXPECT_TRUE(S.coversFrom(TimePoint(100.0), Duration(100.0 + 1e-12)));
 }
 
 TEST(SlotStartLessTest, OrdersByStartThenNodeThenEnd) {

@@ -30,17 +30,17 @@ Window makeHeterogeneousWindow() {
   std::vector<WindowSlot> Members;
   Members.push_back(makeMember(0, 1.0, 2.0, 100.0, 200.0, 60.0));
   Members.push_back(makeMember(1, 2.0, 5.0, 90.0, 150.0, 60.0));
-  return Window(100.0, std::move(Members));
+  return Window(TimePoint(100.0), std::move(Members));
 }
 
 } // namespace
 
 TEST(WindowTest, RoughRightEdge) {
   const Window W = makeHeterogeneousWindow();
-  EXPECT_DOUBLE_EQ(W.startTime(), 100.0);
+  EXPECT_DOUBLE_EQ(W.startTime().value(), 100.0);
   // Slowest member (perf 1) runs for 60; the fast one for 30.
-  EXPECT_DOUBLE_EQ(W.timeSpan(), 60.0);
-  EXPECT_DOUBLE_EQ(W.endTime(), 160.0);
+  EXPECT_DOUBLE_EQ(W.timeSpan().value(), 60.0);
+  EXPECT_DOUBLE_EQ(W.endTime().value(), 160.0);
   EXPECT_DOUBLE_EQ(W[0].Runtime, 60.0);
   EXPECT_DOUBLE_EQ(W[1].Runtime, 30.0);
 }
@@ -48,8 +48,8 @@ TEST(WindowTest, RoughRightEdge) {
 TEST(WindowTest, CostAggregation) {
   const Window W = makeHeterogeneousWindow();
   // Costs: 2*60 + 5*30 = 270; unit price sum 7.
-  EXPECT_DOUBLE_EQ(W.totalCost(), 270.0);
-  EXPECT_DOUBLE_EQ(W.unitPriceSum(), 7.0);
+  EXPECT_DOUBLE_EQ(W.totalCost().value(), 270.0);
+  EXPECT_DOUBLE_EQ(W.unitPriceSum().value(), 7.0);
   EXPECT_EQ(W.size(), 2u);
 }
 
@@ -64,7 +64,7 @@ TEST(WindowTest, IntersectsSameNodeOverlap) {
   const Window A = makeHeterogeneousWindow(); // Node 0 busy [100,160).
   std::vector<WindowSlot> Members;
   Members.push_back(makeMember(0, 1.0, 2.0, 100.0, 200.0, 20.0));
-  const Window B(140.0, std::move(Members)); // Node 0 busy [140,160).
+  const Window B(TimePoint(140.0), std::move(Members)); // Node 0 busy [140,160).
   EXPECT_TRUE(A.intersects(B));
   EXPECT_TRUE(B.intersects(A));
 }
@@ -73,7 +73,7 @@ TEST(WindowTest, NoIntersectionWhenTimeDisjoint) {
   const Window A = makeHeterogeneousWindow(); // Node 0 busy [100,160).
   std::vector<WindowSlot> Members;
   Members.push_back(makeMember(0, 1.0, 2.0, 100.0, 200.0, 20.0));
-  const Window B(160.0, std::move(Members)); // Node 0 busy [160,180).
+  const Window B(TimePoint(160.0), std::move(Members)); // Node 0 busy [160,180).
   EXPECT_FALSE(A.intersects(B));
 }
 
@@ -81,7 +81,7 @@ TEST(WindowTest, NoIntersectionAcrossNodes) {
   const Window A = makeHeterogeneousWindow();
   std::vector<WindowSlot> Members;
   Members.push_back(makeMember(7, 1.0, 2.0, 100.0, 200.0, 50.0));
-  const Window B(100.0, std::move(Members));
+  const Window B(TimePoint(100.0), std::move(Members));
   EXPECT_FALSE(A.intersects(B));
 }
 
@@ -91,7 +91,7 @@ TEST(WindowTest, PartialOverlapOnlyWithSlowMember) {
   const Window A = makeHeterogeneousWindow();
   std::vector<WindowSlot> Members;
   Members.push_back(makeMember(1, 2.0, 5.0, 90.0, 150.0, 20.0));
-  const Window B(135.0, std::move(Members)); // Node 1 busy [135,145).
+  const Window B(TimePoint(135.0), std::move(Members)); // Node 1 busy [135,145).
   EXPECT_FALSE(A.intersects(B)); // Node 1 usage of A ends at 130.
 }
 
@@ -120,7 +120,7 @@ TEST(WindowTest, SubtractFromFallsBackWhenSourceWasSplit) {
   // success.
   SlotList List({Slot(0, 1.0, 2.0, 100.0, 200.0),
                  Slot(1, 2.0, 5.0, 90.0, 150.0)});
-  ASSERT_TRUE(List.subtract(0, 170.0, 190.0));
+  ASSERT_TRUE(List.subtract(0, TimePoint(170.0), TimePoint(190.0)));
   const double Before = List.totalSpan();
   const Window W = makeHeterogeneousWindow(); // Node 0 [100,160), node 1 [100,130).
   EXPECT_TRUE(W.subtractFrom(List));
@@ -136,7 +136,7 @@ TEST(WindowTest, SubtractFromReportsFallbackMiss) {
   // exactly what the engine's conflict check relies on detecting.
   SlotList List({Slot(0, 1.0, 2.0, 100.0, 200.0),
                  Slot(1, 2.0, 5.0, 90.0, 150.0)});
-  ASSERT_TRUE(List.subtract(0, 120.0, 140.0));
+  ASSERT_TRUE(List.subtract(0, TimePoint(120.0), TimePoint(140.0)));
   const Window W = makeHeterogeneousWindow();
   EXPECT_FALSE(W.subtractFrom(List));
   // Node 1's member [100, 130) was found and removed.
@@ -154,20 +154,20 @@ TEST(WindowTest, IntersectsIgnoresSubEpsilonOverlap) {
   // same rule the slot algebra uses for zero-length pieces.
   std::vector<WindowSlot> MembersA;
   MembersA.push_back(makeMember(0, 1.0, 2.0, 100.0, 200.0, 40.0));
-  const Window A(100.0, std::move(MembersA)); // Node 0 busy [100,140).
+  const Window A(TimePoint(100.0), std::move(MembersA)); // Node 0 busy [100,140).
   std::vector<WindowSlot> MembersB;
   MembersB.push_back(makeMember(0, 1.0, 2.0, 100.0, 200.0, 20.0));
-  const Window B(140.0 - TimeEpsilon / 2.0, std::move(MembersB));
+  const Window B(TimePoint(140.0 - TimeEpsilon / 2.0), std::move(MembersB));
   EXPECT_FALSE(A.intersects(B));
   std::vector<WindowSlot> MembersC;
   MembersC.push_back(makeMember(0, 1.0, 2.0, 100.0, 200.0, 20.0));
-  const Window D(139.0, std::move(MembersC)); // Node 0 busy [139,159).
+  const Window D(TimePoint(139.0), std::move(MembersC)); // Node 0 busy [139,159).
   EXPECT_TRUE(A.intersects(D));
 }
 
 TEST(WindowTest, EmptyWindow) {
   Window W;
   EXPECT_TRUE(W.empty());
-  EXPECT_DOUBLE_EQ(W.timeSpan(), 0.0);
-  EXPECT_DOUBLE_EQ(W.totalCost(), 0.0);
+  EXPECT_DOUBLE_EQ(W.timeSpan().value(), 0.0);
+  EXPECT_DOUBLE_EQ(W.totalCost().value(), 0.0);
 }

@@ -1,0 +1,127 @@
+//===-- tests/support/UnitsTest.cpp - Unit-tagged quantity tests ----------===//
+//
+// Part of EcoSched, a reproduction of "Slot Selection and Co-allocation for
+// Economic Scheduling in Distributed Computing" (Toporkov et al., PaCT 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Units.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <type_traits>
+
+using namespace ecosched;
+
+// The zero-cost claim, statically: same representation as double,
+// trivially copyable (StateCodec/memcpy-compatible), and not
+// implicitly constructible from a bare number.
+static_assert(sizeof(TimePoint) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Money>);
+static_assert(!std::is_convertible_v<double, TimePoint>,
+              "raw doubles must be tagged explicitly at the boundary");
+static_assert(!std::is_convertible_v<double, Price>,
+              "raw doubles must be tagged explicitly at the boundary");
+
+// Dimension algebra: only physically meaningful expressions compile.
+// (The negative cases — TimePoint + TimePoint, Money + Duration — are
+// compile errors by construction; what's checkable here is that the
+// sanctioned operations produce the right type and the same bits.)
+TEST(UnitsTest, DimensionPreservingArithmetic) {
+  const TimePoint Start(100.0);
+  const TimePoint End(160.0);
+  const Duration Span = End - Start;
+  static_assert(std::is_same_v<decltype(End - Start), Duration>);
+  EXPECT_DOUBLE_EQ(Span.value(), 60.0);
+
+  static_assert(std::is_same_v<decltype(Start + Span), TimePoint>);
+  EXPECT_DOUBLE_EQ((Start + Span).value(), End.value());
+  EXPECT_DOUBLE_EQ((End - Span).value(), Start.value());
+
+  const Price Rate(1.5);
+  static_assert(std::is_same_v<decltype(Rate * Span), Money>);
+  EXPECT_DOUBLE_EQ((Rate * Span).value(), 90.0);
+  EXPECT_DOUBLE_EQ((Span * Rate).value(), 90.0);
+
+  const Money Cost = Rate * Span;
+  static_assert(std::is_same_v<decltype(Cost / Span), Price>);
+  EXPECT_DOUBLE_EQ((Cost / Span).value(), 1.5);
+
+  // Ratios of like quantities are dimensionless.
+  static_assert(std::is_same_v<decltype(Span / Duration(30.0)), double>);
+  EXPECT_DOUBLE_EQ(Span / Duration(30.0), 2.0);
+  EXPECT_DOUBLE_EQ(Cost / Money(45.0), 2.0);
+  EXPECT_DOUBLE_EQ(Rate / Price(0.5), 3.0);
+
+  // Scaling stays within the dimension.
+  EXPECT_DOUBLE_EQ((2.0 * Span).value(), 120.0);
+  EXPECT_DOUBLE_EQ((Cost / 3.0).value(), 30.0);
+  EXPECT_DOUBLE_EQ((-Cost).value(), -90.0);
+}
+
+// Arithmetic forwards to the identical double expression — the
+// bitwise-free adoption guarantee, spot-checked on a value where
+// floating point rounding is visible.
+TEST(UnitsTest, ArithmeticIsBitwiseIdenticalToRawDoubles) {
+  const double A = 0.1;
+  const double B = 0.2;
+  EXPECT_EQ((TimePoint(A) + Duration(B)).value(), A + B);
+  EXPECT_EQ((Duration(A) + Duration(B)).value(), A + B);
+  EXPECT_EQ((Price(A) * Duration(B)).value(), A * B);
+}
+
+// Tolerant comparisons: the deleted relational operators route every
+// boundary decision through these, so their semantics at the epsilon
+// edge are contract.
+TEST(UnitsTest, ApproxComparisonsHonorTheTolerance) {
+  const TimePoint T(100.0);
+  const TimePoint Within(100.0 + TimeEpsilon / 2);
+  const TimePoint Beyond(100.0 + 10 * TimeEpsilon);
+
+  EXPECT_TRUE(approxEq(T, Within));
+  EXPECT_FALSE(approxEq(T, Beyond));
+
+  // A sub-epsilon excess is not "greater"; a real excess is.
+  EXPECT_TRUE(approxLe(Within, T));
+  EXPECT_FALSE(approxGt(Within, T));
+  EXPECT_TRUE(approxGt(Beyond, T));
+  EXPECT_FALSE(approxLt(T, Within));
+  EXPECT_TRUE(approxLt(T, Beyond));
+  EXPECT_TRUE(approxGe(T, Within));
+
+  // The dimension check is compile-time: approxEq(TimePoint, Money)
+  // does not compile. A custom epsilon threads through.
+  EXPECT_TRUE(approxEq(Money(1.0), Money(1.05), /*Eps=*/0.1));
+}
+
+// Exact escapes: strict weak ordering for sort keys, identity for
+// round-trip checks — the two places tolerance would be wrong.
+TEST(UnitsTest, ExactEscapesAreExact) {
+  const TimePoint T(100.0);
+  const TimePoint Within(100.0 + TimeEpsilon / 2);
+
+  // approx sees one instant; exact sees two distinct keys.
+  EXPECT_TRUE(approxEq(T, Within));
+  EXPECT_FALSE(exactEq(T, Within));
+  EXPECT_TRUE(exactLess(T, Within));
+  EXPECT_FALSE(exactLess(Within, T));
+  EXPECT_FALSE(exactLess(T, T));
+  EXPECT_TRUE(exactEq(T, T));
+}
+
+TEST(UnitsTest, DefaultConstructionIsZeroAndFiniteChecks) {
+  EXPECT_DOUBLE_EQ(TimePoint().value(), 0.0);
+  EXPECT_TRUE(Duration(1.0).isFinite());
+  EXPECT_FALSE(TimePoint(std::numeric_limits<double>::infinity()).isFinite());
+  EXPECT_FALSE(Money(std::numeric_limits<double>::quiet_NaN()).isFinite());
+}
+
+// Quantities stream as their raw value, so contract-violation messages
+// (support/Check.h) can format them directly.
+TEST(UnitsTest, StreamsAsRawValue) {
+  std::ostringstream OS;
+  OS << TimePoint(12.5) << ' ' << Money(-3.0);
+  EXPECT_EQ(OS.str(), "12.5 -3");
+}

@@ -10,6 +10,8 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -69,6 +71,8 @@ bool isCommentLine(const std::string &Line);
 bool isSuppressed(const std::vector<std::string> &Lines, size_t Index,
                   const std::string &Rule) {
   const std::string Marker = "archlint-allow(" + Rule + ")";
+  if (Index >= Lines.size())
+    return false;
   if (Lines[Index].find(Marker) != std::string::npos)
     return true;
   for (size_t I = Index; I > 0 && isCommentLine(Lines[I - 1]); --I)
@@ -285,6 +289,244 @@ constexpr std::array<const char *, 5> FileIoTokens = {
 /// including it) regresses the layering cleanup.
 const char *const LegacyForwarderPath = "src/core/VirtualOrganization.h";
 
+//===----------------------------------------------------------------------===//
+// fplint: the epsilon-discipline rule family (support/Units.h)
+//===----------------------------------------------------------------------===//
+
+/// True for the layers under the epsilon-discipline contract: the code
+/// that makes boundary decisions on times and prices.
+bool isFpLayer(const std::string &Layer) {
+  return Layer == "sim" || Layer == "core" || Layer == "engine";
+}
+
+/// The two files exempt from the fplint family: the storage bridge
+/// (raw double fields are its trace/codec job) and the tolerance
+/// convention itself.
+bool isFpExempt(const std::string &Path) {
+  return Path == "src/sim/Slot.h" || Path == "src/support/Units.h";
+}
+
+/// Camel-case words that mark an identifier as a time/price quantity.
+constexpr std::array<const char *, 12> DimensionWords = {
+    "Start", "End",    "Time",   "Deadline", "Horizon", "Price",
+    "Cost",  "Budget", "Income", "Runtime",  "Span",    "Money"};
+
+/// Camel-case words that mark an identifier as a count/index/weight —
+/// dimensionless even when a dimension word is embedded (StartIndex and
+/// EndPos are offsets into containers, CostCells counts DP grid cells,
+/// CostWeight is a scalarization weight — none of them instants or
+/// prices).
+constexpr std::array<const char *, 10> CountingWords = {
+    "Index", "Idx", "Count", "Num",   "Id",
+    "No",    "Pos", "Size",  "Cells", "Weight"};
+
+/// Parameter-name words of the fp-double-api rule (the subset of
+/// DimensionWords the Units types actually model at API boundaries).
+constexpr std::array<const char *, 6> ApiDimensionWords = {
+    "Time", "Start", "End", "Price", "Budget", "Deadline"};
+
+/// True when \p Word occurs in \p Token as a camel-case word: at any
+/// position for the capitalized spelling, or at an identifier start
+/// (token begin or after a non-identifier char) for the
+/// first-letter-lowercased spelling (accessor names: startTime,
+/// deadline()). In both cases the match must not be followed by a
+/// lowercase letter, so Timer/Spand/endsWith do not match
+/// Time/Span/end.
+bool hasCamelWord(const std::string &Token, const std::string &Word) {
+  const auto BoundaryAfter = [&](size_t Pos) {
+    const size_t After = Pos + Word.size();
+    return After >= Token.size() ||
+           std::islower(static_cast<unsigned char>(Token[After])) == 0;
+  };
+  size_t Pos = 0;
+  while ((Pos = Token.find(Word, Pos)) != std::string::npos) {
+    if (BoundaryAfter(Pos))
+      return true;
+    ++Pos;
+  }
+  std::string Lower = Word;
+  Lower[0] =
+      static_cast<char>(std::tolower(static_cast<unsigned char>(Lower[0])));
+  Pos = 0;
+  while ((Pos = Token.find(Lower, Pos)) != std::string::npos) {
+    if ((Pos == 0 || !isIdentChar(Token[Pos - 1])) && BoundaryAfter(Pos))
+      return true;
+    ++Pos;
+  }
+  return false;
+}
+
+/// True when an operand token names a quantity: a Units .value() escape
+/// hatch, or a dimension camel word without a counting word.
+bool isDimensionedOperand(const std::string &Token) {
+  if (Token.find(".value()") != std::string::npos ||
+      Token.find("->value()") != std::string::npos)
+    return true;
+  bool Dim = false;
+  for (const char *W : DimensionWords)
+    if (hasCamelWord(Token, W)) {
+      Dim = true;
+      break;
+    }
+  if (!Dim)
+    return false;
+  for (const char *W : CountingWords)
+    if (hasCamelWord(Token, W))
+      return false;
+  return true;
+}
+
+/// True when \p Token is a literal zero ("0", "0.0", "0.0)", ...).
+/// Sign and emptiness tests against the literal zero are
+/// IEEE-754-exact and stay raw on purpose (e.g. SimClock's
+/// constructor contract), so they are exempt from fp-raw-compare.
+bool isZeroLiteral(std::string Token) {
+  while (!Token.empty() && (Token.front() == '(' || Token.front() == '+'))
+    Token.erase(Token.begin());
+  while (!Token.empty() &&
+         (Token.back() == ')' || Token.back() == ';' || Token.back() == ',' ||
+          Token.back() == '{'))
+    Token.pop_back();
+  if (Token.empty())
+    return false;
+  char *End = nullptr;
+  const double V = std::strtod(Token.c_str(), &End);
+  if (End == Token.c_str())
+    return false;
+  for (const char *P = End; *P != 0; ++P)
+    if (*P != 'f' && *P != 'F' && *P != 'u' && *P != 'U' && *P != 'l' &&
+        *P != 'L')
+      return false;
+  return V == 0.0;
+}
+
+/// The whitespace-delimited token ending at \p End (exclusive).
+std::string tokenEndingAt(const std::string &Line, size_t End) {
+  size_t B = End;
+  while (B > 0 && Line[B - 1] != ' ')
+    --B;
+  return Line.substr(B, End - B);
+}
+
+/// The whitespace-delimited token starting at \p Begin.
+std::string tokenStartingAt(const std::string &Line, size_t Begin) {
+  size_t E = Begin;
+  while (E < Line.size() && Line[E] != ' ')
+    ++E;
+  return Line.substr(Begin, E - Begin);
+}
+
+/// Replaces the interiors of double-quoted string literals with
+/// underscores so the fplint scans never fire on prose inside
+/// diagnostics (e.g. a CHECK message saying "end > start"). Handles
+/// backslash escapes; line-local like every rule here.
+std::string maskStringLiterals(const std::string &Line) {
+  std::string Out = Line;
+  bool InString = false;
+  for (size_t I = 0; I < Out.size(); ++I) {
+    if (InString) {
+      if (Out[I] == '\\') {
+        Out[I] = '_';
+        if (I + 1 < Out.size())
+          Out[++I] = '_';
+      } else if (Out[I] == '"') {
+        InString = false;
+      } else {
+        Out[I] = '_';
+      }
+    } else if (Out[I] == '"') {
+      InString = true;
+    }
+  }
+  return Out;
+}
+
+/// One spaced relational operator on a line, located by its operands.
+struct RawRelational {
+  size_t OperandBefore; ///< End (exclusive) of the left operand.
+  size_t OperandAfter;  ///< Begin of the right operand.
+};
+
+/// Positions of the spaced relational operators " < ", " <= ", " > ",
+/// " >= " on \p Line. The project is clang-formatted, so binary
+/// operators are space-delimited and templates, shifts, and arrows
+/// never match. Equality operators are excluded on purpose: identity
+/// checks and iterator-end tests are not boundary decisions.
+std::vector<RawRelational> rawRelationals(const std::string &Line) {
+  std::vector<RawRelational> Out;
+  for (size_t I = 1; I + 1 < Line.size(); ++I) {
+    if ((Line[I] != '<' && Line[I] != '>') || Line[I - 1] != ' ')
+      continue;
+    size_t After = I + 1;
+    if (After < Line.size() && Line[After] == '=')
+      ++After;
+    if (After >= Line.size() || Line[After] != ' ')
+      continue;
+    Out.push_back({I - 1, After + 1});
+  }
+  return Out;
+}
+
+/// Scans a header line for a `double <Name>` parameter (followed, after
+/// an optional default argument, by ',' or ')') whose name embeds an
+/// ApiDimensionWords word. Fields and locals (terminated by ';') never
+/// match. On success stores the offending name in \p Name.
+bool findDoubleApiParam(const std::string &Line, std::string &Name) {
+  size_t Pos = 0;
+  while ((Pos = Line.find("double ", Pos)) != std::string::npos) {
+    if (Pos > 0 && isIdentChar(Line[Pos - 1])) {
+      Pos += 7;
+      continue;
+    }
+    size_t B = Pos + 7;
+    while (B < Line.size() && Line[B] == ' ')
+      ++B;
+    size_t E = B;
+    while (E < Line.size() && isIdentChar(Line[E]))
+      ++E;
+    const std::string Ident = Line.substr(B, E - B);
+    Pos = E;
+    if (Ident.empty())
+      continue;
+    size_t C = E;
+    while (C < Line.size() && Line[C] == ' ')
+      ++C;
+    bool Param = false;
+    if (C < Line.size() && (Line[C] == ',' || Line[C] == ')')) {
+      Param = true;
+    } else if (C < Line.size() && Line[C] == '=') {
+      // Default argument vs member initializer: a parameter's
+      // initializer runs into an unbalanced ',' or ')' before any ';'
+      // (parens inside the initializer expression are balanced).
+      int Depth = 0;
+      for (size_t K = C + 1; K < Line.size(); ++K) {
+        if (Line[K] == ';')
+          break;
+        if (Line[K] == '(') {
+          ++Depth;
+        } else if (Line[K] == ')') {
+          if (Depth == 0) {
+            Param = true;
+            break;
+          }
+          --Depth;
+        } else if (Line[K] == ',' && Depth == 0) {
+          Param = true;
+          break;
+        }
+      }
+    }
+    if (!Param)
+      continue;
+    for (const char *W : ApiDimensionWords)
+      if (hasCamelWord(Ident, W)) {
+        Name = Ident;
+        return true;
+      }
+  }
+  return false;
+}
+
 void lintOneFile(const SourceFile &F, std::vector<Finding> &Out) {
   const std::vector<std::string> Parts = pathComponents(F.Path);
   if (Parts.empty())
@@ -298,48 +540,51 @@ void lintOneFile(const SourceFile &F, std::vector<Finding> &Out) {
   const auto &Allows = layerAllows();
   const auto AllowIt = Allows.find(Layer);
 
+  // Every finding is emitted, suppressed or not; the flag lets the JSON
+  // consumer audit allow-listed sites while text output and the exit
+  // status consider only unsuppressed findings.
+  const auto Emit = [&](size_t Anchor, size_t LineNo, const std::string &Rule,
+                        const std::string &Message) {
+    Out.push_back(
+        {F.Path, LineNo, Rule, Message, isSuppressed(F.Lines, Anchor, Rule)});
+  };
+
   bool SawIfndef = false, SawDefine = false, IfndefFlagged = false;
   const std::string Guard = canonicalGuard(F.Path);
 
   // no-legacy-forwarder: the deprecated core/VirtualOrganization.h
   // forwarder was deleted after its one-release grace period; the path
   // itself must not come back.
-  if (F.Path == LegacyForwarderPath &&
-      !isSuppressed(F.Lines, 0, "no-legacy-forwarder"))
-    Out.push_back({F.Path, 0, "no-legacy-forwarder",
-                   "the deprecated forwarding header was removed; the VO "
-                   "facade lives at src/engine/VirtualOrganization.h"});
+  if (F.Path == LegacyForwarderPath)
+    Emit(0, 0, "no-legacy-forwarder",
+         "the deprecated forwarding header was removed; the VO "
+         "facade lives at src/engine/VirtualOrganization.h");
 
   for (size_t I = 0; I < F.Lines.size(); ++I) {
     const std::string &Line = F.Lines[I];
     const size_t LineNo = I + 1;
 
     // pragma-once: the repo convention is canonical include guards.
-    if (trimLeft(Line).rfind("#pragma once", 0) == 0 &&
-        !isSuppressed(F.Lines, I, "pragma-once"))
-      Out.push_back({F.Path, LineNo, "pragma-once",
-                     "#pragma once; use the canonical include guard " +
-                         Guard});
+    if (trimLeft(Line).rfind("#pragma once", 0) == 0)
+      Emit(I, LineNo, "pragma-once",
+           "#pragma once; use the canonical include guard " + Guard);
 
     // layer-dag: quoted includes from a src/ layer must stay within the
     // layer's allowed dependency set.
     const std::string Target = quotedIncludeTarget(Line);
-    if (Target == "core/VirtualOrganization.h" &&
-        !isSuppressed(F.Lines, I, "no-legacy-forwarder"))
-      Out.push_back({F.Path, LineNo, "no-legacy-forwarder",
-                     "core/VirtualOrganization.h was removed; include "
-                     "engine/VirtualOrganization.h"});
+    if (Target == "core/VirtualOrganization.h")
+      Emit(I, LineNo, "no-legacy-forwarder",
+           "core/VirtualOrganization.h was removed; include "
+           "engine/VirtualOrganization.h");
     if (!Target.empty() && AllowIt != Allows.end()) {
       const std::vector<std::string> TargetParts = pathComponents(Target);
       if (!TargetParts.empty() && Allows.count(TargetParts[0]) != 0) {
         const std::vector<std::string> &Allowed = AllowIt->second;
         if (std::find(Allowed.begin(), Allowed.end(), TargetParts[0]) ==
-                Allowed.end() &&
-            !isSuppressed(F.Lines, I, "layer-dag"))
-          Out.push_back(
-              {F.Path, LineNo, "layer-dag",
+            Allowed.end())
+          Emit(I, LineNo, "layer-dag",
                "layer '" + Layer + "' must not include '" + Target +
-                   "' (allowed: engine -> core -> sim -> support)"});
+                   "' (allowed: engine -> core -> sim -> support)");
       }
     }
 
@@ -349,42 +594,66 @@ void lintOneFile(const SourceFile &F, std::vector<Finding> &Out) {
     // Banned tokens in library code.
     if (InSrc) {
       for (const BannedToken &Ban : SrcWideBans)
-        if (findToken(Line, Ban.Token) != std::string::npos &&
-            !isSuppressed(F.Lines, I, Ban.Rule))
-          Out.push_back({F.Path, LineNo, Ban.Rule, Ban.Message});
+        if (findToken(Line, Ban.Token) != std::string::npos)
+          Emit(I, LineNo, Ban.Rule, Ban.Message);
       // file-io: direct filesystem access outside the serialization
       // boundaries.
       if (!isFileIoBoundary(F.Path))
         for (const char *Token : FileIoTokens)
-          if (findToken(Line, Token) != std::string::npos &&
-              !isSuppressed(F.Lines, I, "file-io"))
-            Out.push_back(
-                {F.Path, LineNo, "file-io",
+          if (findToken(Line, Token) != std::string::npos)
+            Emit(I, LineNo, "file-io",
                  "direct file I/O in library code; route through "
                  "sim/TraceIO or support/StateCodec (or carry an "
-                 "archlint-allow(file-io) rationale)"});
+                 "archlint-allow(file-io) rationale)");
       if ((Layer == "core" || Layer == "engine") &&
-          Line.find("std::function") != std::string::npos &&
-          !isSuppressed(F.Lines, I, "std-function"))
-        Out.push_back(
-            {F.Path, LineNo, "std-function",
+          Line.find("std::function") != std::string::npos)
+        Emit(I, LineNo, "std-function",
              "std::function in a hot layer; pass support/FunctionRef.h "
              "FunctionRef for non-owning callback parameters (owning "
-             "storage may carry an archlint-allow entry)"});
+             "storage may carry an archlint-allow entry)");
       // detlint: the determinism rule family over the result-affecting
       // layers (docs/STATIC_ANALYSIS.md).
       if (isDetLayer(Layer)) {
         for (const BannedToken &Ban : DetBans)
-          if (findToken(Line, Ban.Token) != std::string::npos &&
-              !isSuppressed(F.Lines, I, Ban.Rule))
-            Out.push_back({F.Path, LineNo, Ban.Rule, Ban.Message});
-        if (hasPointerKey(Line) &&
-            !isSuppressed(F.Lines, I, "det-pointer-key"))
-          Out.push_back(
-              {F.Path, LineNo, "det-pointer-key",
+          if (findToken(Line, Ban.Token) != std::string::npos)
+            Emit(I, LineNo, Ban.Rule, Ban.Message);
+        if (hasPointerKey(Line))
+          Emit(I, LineNo, "det-pointer-key",
                "pointer-typed ordering/hash key: iteration walks "
                "allocation addresses, which vary run to run; key by a "
-               "stable id or index instead"});
+               "stable id or index instead");
+      }
+      // fplint: the epsilon-discipline rule family over the
+      // quantity-bearing layers (support/Units.h).
+      if (isFpLayer(Layer) && !isFpExempt(F.Path)) {
+        const std::string Masked = maskStringLiterals(Line);
+        for (const RawRelational &R : rawRelationals(Masked)) {
+          const std::string LHS = tokenEndingAt(Masked, R.OperandBefore);
+          const std::string RHS = tokenStartingAt(Masked, R.OperandAfter);
+          if (!isDimensionedOperand(LHS) && !isDimensionedOperand(RHS))
+            continue;
+          if (isZeroLiteral(LHS) || isZeroLiteral(RHS))
+            continue;
+          Emit(I, LineNo, "fp-raw-compare",
+               "raw relational on a time/price quantity ('" + LHS + "' vs '" +
+                   RHS +
+                   "'); decide through approxEq/Le/Ge/Lt/Gt or the named "
+                   "exactLess/exactEq escapes (support/Units.h)");
+        }
+        if (!rawRelationals(Masked).empty() &&
+            (findToken(Masked, "TimeEpsilon") != std::string::npos ||
+             Masked.find("1e-9") != std::string::npos ||
+             Masked.find("1E-9") != std::string::npos))
+          Emit(I, LineNo, "fp-raw-epsilon",
+               "hand-rolled epsilon composed with a raw comparison; use "
+               "the approx helpers so the tolerance convention stays in "
+               "one place (support/Units.h)");
+        std::string ParamName;
+        if (IsHeader && findDoubleApiParam(Masked, ParamName))
+          Emit(I, LineNo, "fp-double-api",
+               "public signature takes raw double for '" + ParamName +
+                   "'; take the Units strong type (TimePoint/Duration/"
+                   "Money/Price) so callers cannot pass a bare number");
       }
     }
 
@@ -393,30 +662,27 @@ void lintOneFile(const SourceFile &F, std::vector<Finding> &Out) {
       const std::string T = trimLeft(Line);
       if (!SawIfndef && startsWith(T, "#ifndef")) {
         SawIfndef = true;
-        if (trimLeft(T.substr(7)) != Guard &&
-            !isSuppressed(F.Lines, I, "header-guard")) {
+        if (trimLeft(T.substr(7)) != Guard) {
           IfndefFlagged = true;
-          Out.push_back({F.Path, LineNo, "header-guard",
-                         "include guard '" + trimLeft(T.substr(7)) +
-                             "' does not match the canonical " + Guard});
+          Emit(I, LineNo, "header-guard",
+               "include guard '" + trimLeft(T.substr(7)) +
+                   "' does not match the canonical " + Guard);
         }
       } else if (SawIfndef && !SawDefine && startsWith(T, "#define")) {
         SawDefine = true;
         // A wrong #ifndef was already reported; flagging the matching
         // #define again would double-count the same defect.
-        if (!IfndefFlagged && trimLeft(T.substr(7)) != Guard &&
-            !isSuppressed(F.Lines, I, "header-guard"))
-          Out.push_back({F.Path, LineNo, "header-guard",
-                         "guard #define '" + trimLeft(T.substr(7)) +
-                             "' does not match the canonical " + Guard});
+        if (!IfndefFlagged && trimLeft(T.substr(7)) != Guard)
+          Emit(I, LineNo, "header-guard",
+               "guard #define '" + trimLeft(T.substr(7)) +
+                   "' does not match the canonical " + Guard);
       }
     }
   }
 
-  if (IsHeader && GuardedTree && (!SawIfndef || !SawDefine) &&
-      !isSuppressed(F.Lines, 0, "header-guard"))
-    Out.push_back({F.Path, 0, "header-guard",
-                   "missing #ifndef/#define include guard " + Guard});
+  if (IsHeader && GuardedTree && (!SawIfndef || !SawDefine))
+    Emit(0, 0, "header-guard",
+         "missing #ifndef/#define include guard " + Guard);
 }
 
 /// test-registration: every tests/**/*.cpp must be named (path relative
@@ -436,11 +702,11 @@ void lintTestRegistration(const std::vector<SourceFile> &Files,
     if (!startsWith(F.Path, "tests/") || !endsWith(F.Path, ".cpp"))
       continue;
     const std::string Relative = F.Path.substr(std::string("tests/").size());
-    if (Registrations.find(Relative) == std::string::npos &&
-        !isSuppressed(F.Lines, 0, "test-registration"))
+    if (Registrations.find(Relative) == std::string::npos)
       Out.push_back({F.Path, 0, "test-registration",
                      "not registered in any tests/ CMakeLists.txt; the "
-                     "file never builds or runs"});
+                     "file never builds or runs",
+                     isSuppressed(F.Lines, 0, "test-registration")});
   }
 }
 
@@ -466,6 +732,43 @@ ecosched::archlint::lintFiles(const std::vector<SourceFile> &Files) {
 std::string ecosched::archlint::formatFinding(const Finding &F) {
   std::ostringstream OS;
   OS << F.Path << ':' << F.Line << ": [" << F.Rule << "] " << F.Message;
+  return OS.str();
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (const char C : S) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string ecosched::archlint::formatFindingsJson(
+    const std::vector<Finding> &Findings) {
+  std::ostringstream OS;
+  OS << '[';
+  for (size_t I = 0; I < Findings.size(); ++I) {
+    const Finding &F = Findings[I];
+    OS << (I == 0 ? "\n" : ",\n") << "  {\"file\": \"" << jsonEscape(F.Path)
+       << "\", \"line\": " << F.Line << ", \"rule\": \"" << jsonEscape(F.Rule)
+       << "\", \"message\": \"" << jsonEscape(F.Message)
+       << "\", \"suppressed\": " << (F.Suppressed ? "true" : "false") << '}';
+  }
+  OS << "\n]\n";
   return OS.str();
 }
 
@@ -681,6 +984,113 @@ std::vector<SelfTestCase> selfTestCases() {
                              {"ecosched_add_test(x_tests", "  x/T.cpp", ")"})},
                    {}});
 
+  Cases.push_back({"raw relational on dimensioned operands is flagged",
+                   {makeFile("src/core/FP1.cpp",
+                             {"if (StartTime < Request.Deadline)",
+                              "  return false;"})},
+                   {"fp-raw-compare"}});
+  Cases.push_back({"raw relational on a .value() escape is flagged",
+                   {makeFile("src/engine/FP2.cpp",
+                             {"if (Clock.now().value() >= Limit)",
+                              "  return false;"})},
+                   {"fp-raw-compare"}});
+  Cases.push_back({"literal-zero sign tests stay exempt",
+                   {makeFile("src/engine/FP3.cpp",
+                             {"if (IterationPeriod > 0.0)",
+                              "if (0.0 < HorizonLength)"})},
+                   {}});
+  Cases.push_back({"counting identifiers embedding a dimension word pass",
+                   {makeFile("src/core/FP4.cpp",
+                             {"for (size_t I = StartIndex; I < EndIndex; ++I)",
+                              "if (LineNo > EndPos)"})},
+                   {}});
+  Cases.push_back({"undimensioned relationals and equality tests pass",
+                   {makeFile("src/core/FP5.cpp",
+                             {"if (A < B)", "if (It != List.end())",
+                              "if (Lo.Start == Hi.Start)"})},
+                   {}});
+  Cases.push_back({"approx helpers and exact escapes pass",
+                   {makeFile("src/core/FP6.cpp",
+                             {"if (approxLe(StartTime, Deadline))",
+                              "return exactLess(A.startTime(), B.startTime());",
+                              "return approxGe(End - Cut, Needed, TimeEpsilon);"})},
+                   {}});
+  Cases.push_back({"the storage bridge Slot.h is exempt from fplint",
+                   {makeFile("src/sim/Slot.h",
+                             {"#ifndef ECOSCHED_SIM_SLOT_H",
+                              "#define ECOSCHED_SIM_SLOT_H",
+                              "bool Ok = Start < End;", "#endif"})},
+                   {}});
+  Cases.push_back({"fplint does not fire outside sim/core/engine",
+                   {makeFile("src/support/FP7.cpp",
+                             {"if (StartTime < Deadline)"}),
+                    makeFile("tests/x/FP7.cpp",
+                             {"if (StartTime < Deadline)"}),
+                    makeFile("tests/CMakeLists.txt", {"x/FP7.cpp"})},
+                   {}});
+  Cases.push_back({"relational prose inside string literals passes",
+                   {makeFile("src/sim/FP16.cpp",
+                             {"ECOSCHED_CHECK(Ok, \"end > start on {}\", Id);"})},
+                   {}});
+  Cases.push_back({"suppressed raw compare with rationale passes",
+                   {makeFile("src/sim/FP8.cpp",
+                             {"// archlint-allow(fp-raw-compare): codec",
+                              "// round-trip needs the raw bits.",
+                              "if (Loaded.Start < Saved.Start)"})},
+                   {}});
+  Cases.push_back({"hand-rolled epsilon with a raw comparison is flagged",
+                   {makeFile("src/core/FP9.cpp",
+                             {"if (Piece.End < Deadline + TimeEpsilon)"})},
+                   {"fp-raw-compare", "fp-raw-epsilon"}});
+  Cases.push_back({"literal 1e-9 epsilon composition is flagged",
+                   {makeFile("src/core/FP10.cpp",
+                             {"if (X < Y + 1e-9)"})},
+                   {"fp-raw-epsilon"}});
+  Cases.push_back({"epsilon as an approx argument passes",
+                   {makeFile("src/core/FP11.cpp",
+                             {"return approxLe(End, Deadline, TimeEpsilon);"})},
+                   {}});
+  Cases.push_back({"raw double dimension parameter in a header is flagged",
+                   {makeFile("src/core/FP12.h",
+                             {"#ifndef ECOSCHED_CORE_FP12_H",
+                              "#define ECOSCHED_CORE_FP12_H",
+                              "bool schedule(double Deadline, int Count);",
+                              "#endif"})},
+                   {"fp-double-api"}});
+  Cases.push_back({"typed parameters and double fields pass fp-double-api",
+                   {makeFile("src/core/FP13.h",
+                             {"#ifndef ECOSCHED_CORE_FP13_H",
+                              "#define ECOSCHED_CORE_FP13_H",
+                              "bool schedule(TimePoint Deadline);",
+                              "void pace(double Volume, double Factor);",
+                              "double Deadline = 0.0;", "#endif"})},
+                   {}});
+  Cases.push_back({"fields with call initializers are not parameters",
+                   {makeFile("src/sim/FP17.h",
+                             {"#ifndef ECOSCHED_SIM_FP17_H",
+                              "#define ECOSCHED_SIM_FP17_H",
+                              "double Deadline = std::numeric_limits<"
+                              "double>::infinity();",
+                              "#endif"})},
+                   {}});
+  Cases.push_back({"dimensionless weights and cell counts pass",
+                   {makeFile("src/core/FP18.cpp",
+                             {"if (P.CostWeight <= 1.0)",
+                              "if (NeededCostCells[A] > Zc)"})},
+                   {}});
+  Cases.push_back({"fp-double-api is a signature rule, not a .cpp rule",
+                   {makeFile("src/core/FP14.cpp",
+                             {"bool schedule(double Deadline) { return true; }"})},
+                   {}});
+  Cases.push_back({"suppressed fp-double-api boundary passes",
+                   {makeFile("src/sim/FP15.h",
+                             {"#ifndef ECOSCHED_SIM_FP15_H",
+                              "#define ECOSCHED_SIM_FP15_H",
+                              "// archlint-allow(fp-double-api): construction",
+                              "// boundary, raw doubles by design.",
+                              "int addNode(double UnitPrice);", "#endif"})},
+                   {}});
+
   return Cases;
 }
 
@@ -693,7 +1103,8 @@ int ecosched::archlint::runSelfTest() {
     std::vector<std::string> Got;
     Got.reserve(Findings.size());
     for (const Finding &F : Findings)
-      Got.push_back(F.Rule);
+      if (!F.Suppressed)
+        Got.push_back(F.Rule);
     std::vector<std::string> Want = Case.ExpectedRules;
     std::sort(Got.begin(), Got.end());
     std::sort(Want.begin(), Want.end());

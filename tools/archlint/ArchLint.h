@@ -50,6 +50,29 @@
 ///                            forwarder must not be reintroduced or
 ///                            included.
 ///
+/// The fplint rule family guards the epsilon-discipline contract of the
+/// quantity-bearing layers (src/sim, src/core, src/engine — see
+/// support/Units.h and docs/STATIC_ANALYSIS.md): every boundary
+/// decision on a time or price goes through approxEq/Le/Ge/Lt/Gt (or
+/// the named exactLess/exactEq escapes), never a bare relational
+/// operator. Slot.h (the storage bridge) and Units.h (the convention
+/// itself) are the two exempt files:
+///
+///   fp-raw-compare     a relational operator (<, <=, >, >=) where an
+///                      operand lexes as a time/price-named quantity or
+///                      a Units .value() escape. Comparisons against the
+///                      literal zero are exempt (IEEE-754-exact sign
+///                      tests), as are counting identifiers (e.g.
+///                      StartIndex) that merely embed a dimension word.
+///   fp-raw-epsilon     a hand-rolled tolerance: literal 1e-9 or
+///                      TimeEpsilon arithmetic composed with a raw
+///                      comparison on the same line instead of the
+///                      approx helpers.
+///   fp-double-api      a public signature in those layers taking raw
+///                      `double` for a parameter named *Time*/*Start*/
+///                      *End*/*Price*/*Budget*/*Deadline* instead of the
+///                      Units strong types.
+///
 /// A finding on line L is suppressed when line L or L-1 contains
 /// `archlint-allow(<rule>)` — intentional exceptions are documented at
 /// the site they occur (e.g. owning std::function members carry
@@ -78,12 +101,15 @@ struct SourceFile {
   std::vector<std::string> Lines;
 };
 
-/// One rule violation.
+/// One rule violation. Suppressed findings (an `archlint-allow(<rule>)`
+/// rationale at the site) are carried with the flag set so machine
+/// consumers can audit them; they never affect the exit status.
 struct Finding {
   std::string Path;
   size_t Line = 0; // 1-based; 0 for whole-file findings.
   std::string Rule;
   std::string Message;
+  bool Suppressed = false;
 };
 
 /// Runs every rule over \p Files and returns the findings sorted by
@@ -93,6 +119,11 @@ std::vector<Finding> lintFiles(const std::vector<SourceFile> &Files);
 
 /// Renders a finding as "path:line: [rule] message".
 std::string formatFinding(const Finding &F);
+
+/// Renders all findings (suppressed ones included) as a JSON array of
+/// {"file", "line", "rule", "message", "suppressed"} objects — the
+/// machine-readable `--format=json` output.
+std::string formatFindingsJson(const std::vector<Finding> &Findings);
 
 /// Built-in synthetic-case suite covering each rule's positive and
 /// negative direction. \returns the number of failed cases (0 = pass)

@@ -28,12 +28,15 @@ namespace fs = std::filesystem;
 namespace {
 
 const char *const Usage =
-    "usage: archlint [--root DIR] [--self-test]\n"
+    "usage: archlint [--root DIR] [--format=text|json] [--self-test]\n"
     "\n"
     "Lints the EcoSched source tree (src/ tests/ bench/ examples/ under\n"
     "--root, default '.') against the project architecture rules; see\n"
-    "docs/STATIC_ANALYSIS.md for the rule catalog. Exits 1 on findings.\n"
-    "--self-test runs the built-in synthetic rule suite instead.\n";
+    "docs/STATIC_ANALYSIS.md for the rule catalog. Exits 1 on\n"
+    "unsuppressed findings. --format=json emits every finding (including\n"
+    "suppressed ones, flagged) as a JSON array on stdout for machine\n"
+    "consumers. --self-test runs the built-in synthetic rule suite\n"
+    "instead.\n";
 
 /// Reads \p Path into a SourceFile with \p StorePath as its reported
 /// (root-relative) path. \returns false on I/O failure.
@@ -98,10 +101,15 @@ bool collectFiles(const fs::path &Root, std::vector<SourceFile> &Out) {
 int main(int Argc, char **Argv) {
   std::string Root = ".";
   bool SelfTest = false;
+  bool Json = false;
   for (int I = 1; I < Argc; ++I) {
     const std::string Arg = Argv[I];
     if (Arg == "--root" && I + 1 < Argc) {
       Root = Argv[++I];
+    } else if (Arg == "--format=text") {
+      Json = false;
+    } else if (Arg == "--format=json") {
+      Json = true;
     } else if (Arg == "--self-test") {
       SelfTest = true;
     } else if (Arg == "-h" || Arg == "--help") {
@@ -133,10 +141,21 @@ int main(int Argc, char **Argv) {
             });
 
   const std::vector<Finding> Findings = lintFiles(Files);
+  size_t Unsuppressed = 0;
   for (const Finding &F : Findings)
-    std::cerr << formatFinding(F) << '\n';
-  if (!Findings.empty()) {
-    std::cerr << "archlint: " << Findings.size() << " finding(s) in "
+    if (!F.Suppressed)
+      ++Unsuppressed;
+  if (Json) {
+    // Machine consumers get every finding; suppressed sites carry the
+    // flag so allow-list audits need no second pass.
+    std::cout << formatFindingsJson(Findings);
+    return Unsuppressed == 0 ? 0 : 1;
+  }
+  for (const Finding &F : Findings)
+    if (!F.Suppressed)
+      std::cerr << formatFinding(F) << '\n';
+  if (Unsuppressed != 0) {
+    std::cerr << "archlint: " << Unsuppressed << " finding(s) in "
               << Files.size() << " files\n";
     return 1;
   }

@@ -1,0 +1,37 @@
+//===-- SloppyEpsilon.h - archlint negative fixture ----------------*- C++ -*-=//
+//
+// Deliberately violates the fplint epsilon-discipline rules: a raw
+// relational on a time-dimensioned identifier, a hand-rolled epsilon
+// composed with a raw comparison, and a public signature taking raw
+// double for a dimensioned parameter. One additional violation is
+// suppressed with a rationale so the JSON smoke test can assert the
+// suppressed:true plumbing. The ArchLintNegativeFplint ctest lints
+// this tree and is marked WILL_FAIL — if the linter ever stops
+// flagging these hazards, CI fails.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ECOSCHED_CORE_SLOPPYEPSILON_H
+#define ECOSCHED_CORE_SLOPPYEPSILON_H
+
+struct SloppyEpsilon {
+  // fp-double-api: dimensioned parameter passed as a bare double.
+  bool admits(double StartTime, double Deadline) const {
+    // fp-raw-compare: raw relational on time quantities.
+    if (StartTime < Deadline)
+      return true;
+    // fp-raw-epsilon: hand-rolled tolerance instead of approxLe.
+    return StartTime <= Deadline + 1e-9;
+  }
+
+  bool tieBreak() const {
+    const double AEnd = 1.0;
+    const double BEnd = 2.0;
+    // archlint-allow(fp-raw-compare): fixture case for the suppression
+    // plumbing — the JSON smoke test asserts this surfaces with
+    // suppressed:true and does not count towards the exit code.
+    return AEnd < BEnd;
+  }
+};
+
+#endif // ECOSCHED_CORE_SLOPPYEPSILON_H

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""ArchLintJsonSmoke: machine-readable output contract check.
+
+Runs archlint --format=json over the known-bad fplint fixture and
+asserts the JSON shape downstream allow-list audits rely on:
+
+ - output parses as a JSON array of objects;
+ - every entry carries file/line/rule/message/suppressed with the
+   right types;
+ - all three fplint rules appear among the unsuppressed findings;
+ - the fixture's archlint-allow'd site surfaces with suppressed=true
+   (JSON emits everything; only unsuppressed findings gate the exit
+   code, which must be 1 here).
+
+Usage: json_smoke.py <archlint-binary> <fixture-root>
+"""
+
+import json
+import subprocess
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} <archlint-binary> <fixture-root>")
+        return 2
+    binary, fixture = sys.argv[1], sys.argv[2]
+
+    proc = subprocess.run(
+        [binary, "--root", fixture, "--format=json"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 1, (
+        f"expected exit 1 on the bad fixture, got {proc.returncode}\n"
+        f"stderr: {proc.stderr}"
+    )
+
+    findings = json.loads(proc.stdout)
+    assert isinstance(findings, list) and findings, "expected a non-empty array"
+
+    for entry in findings:
+        assert isinstance(entry, dict), f"non-object entry: {entry!r}"
+        assert isinstance(entry["file"], str) and entry["file"]
+        assert isinstance(entry["line"], int) and entry["line"] > 0
+        assert isinstance(entry["rule"], str) and entry["rule"]
+        assert isinstance(entry["message"], str) and entry["message"]
+        assert isinstance(entry["suppressed"], bool)
+
+    unsuppressed_rules = {e["rule"] for e in findings if not e["suppressed"]}
+    for rule in ("fp-raw-compare", "fp-raw-epsilon", "fp-double-api"):
+        assert rule in unsuppressed_rules, f"rule {rule} missing from output"
+
+    suppressed = [e for e in findings if e["suppressed"]]
+    assert suppressed, "archlint-allow'd finding missing from JSON output"
+    assert all(e["rule"] == "fp-raw-compare" for e in suppressed), (
+        "fixture only suppresses fp-raw-compare sites"
+    )
+
+    print(f"json smoke: {len(findings)} findings, "
+          f"{len(suppressed)} suppressed, shape OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
